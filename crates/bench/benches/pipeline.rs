@@ -1,0 +1,159 @@
+//! Microbenchmarks of the pipeline components: query compilation, the
+//! XML lexer, stream preprojection (lazy DFA vs per-instance NFA), and
+//! the buffer's role/GC operations — the costs behind the §5 claim that
+//! "the overhead imposed by the buffer cleanup algorithm is small".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gcx_bench::xmark_doc;
+use gcx_buffer::BufferTree;
+use gcx_projection::{ProjTree, Role, StreamMatcher};
+use gcx_query::{compile, CompileOptions};
+use gcx_xml::{TagInterner, XmlLexer, XmlToken};
+
+fn compile_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile");
+    for (qname, query) in gcx_xmark::ALL {
+        group.bench_function(*qname, |b| {
+            b.iter(|| {
+                let mut tags = TagInterner::new();
+                compile(query, &mut tags, CompileOptions::default()).expect("compile")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn lexer_throughput(c: &mut Criterion) {
+    let doc = xmark_doc(1.0, 42);
+    let mut group = c.benchmark_group("lexer");
+    group.throughput(Throughput::Bytes(doc.len() as u64));
+    group.sample_size(10);
+    group.bench_function("tokenize-1MB", |b| {
+        b.iter(|| {
+            let mut tags = TagInterner::new();
+            let mut lexer = XmlLexer::new(&doc[..], &mut tags);
+            let mut count = 0u64;
+            while let Some(t) = lexer.next_token().expect("lex") {
+                if matches!(t, XmlToken::Open(_)) {
+                    count += 1;
+                }
+            }
+            count
+        })
+    });
+    group.finish();
+}
+
+fn preprojection(c: &mut Criterion) {
+    let doc = xmark_doc(1.0, 42);
+    let mut group = c.benchmark_group("preproject");
+    group.throughput(Throughput::Bytes(doc.len() as u64));
+    group.sample_size(10);
+    for (qname, query) in [("Q1", gcx_xmark::Q1), ("Q6", gcx_xmark::Q6)] {
+        group.bench_with_input(BenchmarkId::new("match", qname), &doc, |b, doc| {
+            let mut tags = TagInterner::new();
+            let compiled = compile(query, &mut tags, CompileOptions::default()).unwrap();
+            b.iter(|| {
+                let mut tags2 = tags.clone();
+                let mut lexer = XmlLexer::new(&doc[..], &mut tags2);
+                let mut matcher = StreamMatcher::new(&compiled.projection.tree);
+                let mut buffered = 0u64;
+                while let Some(t) = lexer.next_token().expect("lex") {
+                    match t {
+                        XmlToken::Open(tag) => {
+                            if matcher.open(tag).buffer {
+                                buffered += 1;
+                            }
+                        }
+                        XmlToken::Close(_) => matcher.close(),
+                        XmlToken::Text(_) => {
+                            if matcher.text().buffer {
+                                buffered += 1;
+                            }
+                        }
+                    }
+                }
+                buffered
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Role add/remove + localized GC churn: a deep path of nodes receiving
+/// and losing roles, the §5 hot loop.
+fn buffer_gc_churn(c: &mut Criterion) {
+    let mut tags = TagInterner::new();
+    let x = tags.intern("x");
+    c.bench_function("buffer/role-churn-10k", |b| {
+        b.iter(|| {
+            let mut buf = BufferTree::new(2, &[]);
+            for _ in 0..10_000 {
+                let n = buf.open_element(BufferTree::ROOT, x);
+                buf.add_role(n, Role(0));
+                buf.finish(n);
+                buf.sign_off(n, Role(0), 1).expect("signoff");
+            }
+            buf.stats().nodes_purged
+        })
+    });
+    c.bench_function("buffer/deep-subtree-purge", |b| {
+        b.iter(|| {
+            let mut buf = BufferTree::new(2, &[]);
+            let mut chain = Vec::new();
+            let mut parent = BufferTree::ROOT;
+            for _ in 0..500 {
+                let n = buf.open_element(parent, x);
+                chain.push(n);
+                parent = n;
+            }
+            buf.add_role(*chain.last().unwrap(), Role(0));
+            for &n in chain.iter().rev() {
+                buf.finish(n);
+            }
+            buf.sign_off(*chain.last().unwrap(), Role(0), 1).expect("signoff");
+            buf.stats().live_nodes
+        })
+    });
+}
+
+/// Lazy-DFA construction and reuse over repetitive structure.
+fn dfa_laziness(c: &mut Criterion) {
+    let mut tags = TagInterner::new();
+    let site = tags.intern("site");
+    let people = tags.intern("people");
+    let person = tags.intern("person");
+    let id = tags.intern("id");
+    let mut tree = ProjTree::new();
+    use gcx_projection::{PStep, PTest};
+    let v1 = tree.add_child(ProjTree::ROOT, PStep::child(PTest::Tag(site)), Some(Role(0)));
+    let v2 = tree.add_child(v1, PStep::child(PTest::Tag(people)), Some(Role(1)));
+    let v3 = tree.add_child(v2, PStep::descendant(PTest::Tag(person)), Some(Role(2)));
+    tree.add_child(v3, PStep::child(PTest::Tag(id)), Some(Role(3)));
+    c.bench_function("dfa/repetitive-10k-persons", |b| {
+        b.iter(|| {
+            let mut m = StreamMatcher::new(&tree);
+            m.open(site);
+            m.open(people);
+            for _ in 0..10_000 {
+                m.open(person);
+                m.open(id);
+                m.close();
+                m.close();
+            }
+            m.close();
+            m.close();
+            m.dfa_states()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    compile_queries,
+    lexer_throughput,
+    preprojection,
+    buffer_gc_churn,
+    dfa_laziness
+);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Criterion benches regenerating the *time* dimension of paper Table 1:
+//! every benchmark query × engine over XMark documents, plus a size sweep
+//! for the streamable queries (Q1's row of the table).
+//!
+//! Memory (the other Table 1 dimension) is reported by the `table1`
+//! binary, since Criterion measures time only.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gcx_bench::{run_engine, xmark_doc, Engine};
+use gcx_query::CompileOptions;
+
+/// Table 1, all queries at a fixed small size, all engines.
+fn table1_queries(c: &mut Criterion) {
+    let mb = 0.5;
+    let doc = xmark_doc(mb, 42);
+    let mut group = c.benchmark_group("table1");
+    group.throughput(Throughput::Bytes(doc.len() as u64));
+    group.sample_size(10);
+    for (qname, query) in gcx_xmark::ALL {
+        for engine in Engine::ALL {
+            // The quadratic join is benchmarked separately at tiny scale.
+            if *qname == "Q8" && engine != Engine::Dom {
+                continue;
+            }
+            group.bench_with_input(
+                BenchmarkId::new(qname.to_string(), engine.label()),
+                &doc,
+                |b, doc| {
+                    b.iter(|| {
+                        run_engine(engine, query, doc, CompileOptions::default())
+                            .expect("run")
+                            .report
+                            .output_bytes
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Q8 (join) at reduced scale — quadratic, like the paper's nested-loop
+/// prototype.
+fn q8_join(c: &mut Criterion) {
+    let doc = xmark_doc(0.1, 42);
+    let mut group = c.benchmark_group("q8-join");
+    group.sample_size(10);
+    for engine in Engine::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("0.1MB", engine.label()),
+            &doc,
+            |b, doc| {
+                b.iter(|| {
+                    run_engine(engine, gcx_xmark::Q8, doc, CompileOptions::default())
+                        .expect("run")
+                        .report
+                        .output_bytes
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Scaling sweep (the rows of Table 1): Q1 over growing documents for the
+/// streaming engines; time should scale linearly, memory (asserted in the
+/// harness) stays flat for GCX.
+fn size_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("q1-size-sweep");
+    group.sample_size(10);
+    for mb in [0.25, 0.5, 1.0, 2.0] {
+        let doc = xmark_doc(mb, 42);
+        group.throughput(Throughput::Bytes(doc.len() as u64));
+        for engine in [Engine::Gcx, Engine::Dom] {
+            group.bench_with_input(
+                BenchmarkId::new(engine.label(), format!("{mb}MB")),
+                &doc,
+                |b, doc| {
+                    b.iter(|| {
+                        run_engine(engine, gcx_xmark::Q1, doc, CompileOptions::default())
+                            .expect("run")
+                            .report
+                            .output_bytes
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table1_queries, q8_join, size_sweep);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Ablation study over the §6 optimizations (the design choices DESIGN.md
+//! calls out): runs GCX with each optimization toggled off and reports the
+//! impact on peak buffer memory, role traffic and time.
+//!
+//! ```text
+//! cargo run --release -p gcx-bench --bin ablation -- [--mb 2] [--seed 42]
+//! ```
+
+use gcx_bench::{arg_value, run_engine, xmark_doc, Engine};
+use gcx_query::CompileOptions;
+
+struct Variant {
+    name: &'static str,
+    opts: CompileOptions,
+}
+
+fn variants() -> Vec<Variant> {
+    let base = CompileOptions::default();
+    vec![
+        Variant {
+            name: "full (all §6 optimizations)",
+            opts: base,
+        },
+        Variant {
+            name: "no early updates",
+            opts: CompileOptions {
+                early_updates: false,
+                ..base
+            },
+        },
+        Variant {
+            name: "no redundant-role elim",
+            opts: CompileOptions {
+                redundant_role_elimination: false,
+                ..base
+            },
+        },
+        Variant {
+            name: "no aggregate roles",
+            opts: CompileOptions {
+                aggregate_roles: false,
+                ..base
+            },
+        },
+        Variant {
+            name: "plain (§4/§5 only)",
+            opts: CompileOptions::plain(),
+        },
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mb: f64 = arg_value(&args, "--mb")
+        .unwrap_or_else(|| "2".into())
+        .parse()
+        .expect("--mb");
+    let seed: u64 = arg_value(&args, "--seed")
+        .unwrap_or_else(|| "42".into())
+        .parse()
+        .expect("--seed");
+    let doc = xmark_doc(mb, seed);
+    println!("GCX optimization ablations on {mb}MB XMark data (seed {seed})\n");
+    for (qname, query) in gcx_xmark::ALL {
+        if *qname == "Q8" && mb > 5.0 {
+            println!("{qname}: skipped at {mb}MB (quadratic join)\n");
+            continue;
+        }
+        println!("{qname}:");
+        println!(
+            "  {:<28} {:>10} {:>12} {:>12} {:>12} {:>10}",
+            "variant", "time", "peak mem", "roles+", "roles-", "gc visits"
+        );
+        for v in variants() {
+            match run_engine(Engine::Gcx, query, &doc, v.opts) {
+                Ok(cell) => {
+                    let s = &cell.report.stats;
+                    println!(
+                        "  {:<28} {:>10} {:>12} {:>12} {:>12} {:>10}",
+                        v.name,
+                        gcx_bench::fmt_duration(cell.report.elapsed),
+                        s.peak_human(),
+                        s.roles_assigned,
+                        s.roles_removed,
+                        s.gc_visits
+                    );
+                }
+                Err(e) => println!("  {:<28} error: {e}", v.name),
+            }
+        }
+        println!();
+    }
+}

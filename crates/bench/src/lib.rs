@@ -1,0 +1,215 @@
+//! # gcx-bench — benchmark harness for the Table 1 reproduction
+//!
+//! Shared plumbing for the `table1` and `ablation` binaries and the
+//! Criterion benches: document generation/caching, engine dispatch, and
+//! paper-style table formatting.
+
+use gcx_core::{run_dom, run_gcx, run_no_gc_streaming, run_static_projection, RunReport};
+use gcx_query::{compile, CompileOptions};
+use gcx_xmark::XmarkConfig;
+use gcx_xml::TagInterner;
+use std::io::Write;
+use std::time::Duration;
+
+/// The engines of our Table 1 (see DESIGN.md for the mapping to the
+/// paper's comparison systems).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// GCX: incremental projection + active garbage collection.
+    Gcx,
+    /// Streaming projection, no GC ("static analysis alone";
+    /// FluXQuery-class buffering).
+    NoGc,
+    /// Full projection first, then evaluate (Galax + projection \[13\]).
+    StaticProj,
+    /// Full DOM (Galax/Saxon/QizX class).
+    Dom,
+}
+
+impl Engine {
+    /// All engines, table order.
+    pub const ALL: [Engine; 4] = [Engine::Gcx, Engine::NoGc, Engine::StaticProj, Engine::Dom];
+
+    /// Table label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Engine::Gcx => "GCX",
+            Engine::NoGc => "NoGC-Stream",
+            Engine::StaticProj => "StaticProj",
+            Engine::Dom => "DOM",
+        }
+    }
+
+    /// Parses a label (CLI).
+    pub fn parse(s: &str) -> Option<Engine> {
+        match s.to_ascii_lowercase().as_str() {
+            "gcx" => Some(Engine::Gcx),
+            "nogc" | "nogc-stream" => Some(Engine::NoGc),
+            "staticproj" | "static" => Some(Engine::StaticProj),
+            "dom" => Some(Engine::Dom),
+            _ => None,
+        }
+    }
+}
+
+/// A sink that counts output bytes without storing them, so output I/O
+/// stays out of the measurements.
+#[derive(Default)]
+pub struct NullSink(pub u64);
+
+impl Write for NullSink {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0 += buf.len() as u64;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Generates (or returns cached) XMark data of roughly `mb` mebibytes.
+pub fn xmark_doc(mb: f64, seed: u64) -> Vec<u8> {
+    let cfg = XmarkConfig {
+        seed,
+        scale: mb,
+    };
+    let mut buf = Vec::with_capacity((mb * 1024.0 * 1024.0) as usize);
+    gcx_xmark::generate(cfg, &mut buf).expect("generation");
+    buf
+}
+
+/// One measured cell of the table.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    pub report: RunReport,
+}
+
+impl Cell {
+    /// `0.18s / 1.2MB` in the paper's Table 1 style.
+    pub fn render(&self) -> String {
+        format!(
+            "{} / {}",
+            fmt_duration(self.report.elapsed),
+            self.report.stats.peak_human()
+        )
+    }
+}
+
+/// Formats a duration like the paper (seconds, or mm:ss above a minute).
+pub fn fmt_duration(d: Duration) -> String {
+    let secs = d.as_secs_f64();
+    if secs >= 60.0 {
+        format!("{:02}:{:02}", (secs / 60.0) as u64, (secs % 60.0) as u64)
+    } else {
+        format!("{secs:.2}s")
+    }
+}
+
+/// Runs `engine` on (query, document); `copts` selects the optimization
+/// set (ablations).
+pub fn run_engine(
+    engine: Engine,
+    query: &str,
+    doc: &[u8],
+    copts: CompileOptions,
+) -> Result<Cell, String> {
+    let mut tags = TagInterner::new();
+    let compiled = compile(query, &mut tags, copts).map_err(|e| e.to_string())?;
+    let mut sink = NullSink::default();
+    let report = match engine {
+        Engine::Gcx => run_gcx(&compiled, &mut tags, doc, &mut sink),
+        Engine::NoGc => run_no_gc_streaming(&compiled, &mut tags, doc, &mut sink),
+        Engine::StaticProj => run_static_projection(&compiled, &mut tags, doc, &mut sink),
+        Engine::Dom => run_dom(&compiled, &mut tags, doc, &mut sink),
+    }
+    .map_err(|e| e.to_string())?;
+    if let Some(false) = report.safety {
+        return Err("safety violation: roles leaked".into());
+    }
+    Ok(Cell { report })
+}
+
+/// Simple `--flag value` CLI parsing shared by the binaries.
+pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engines_roundtrip_labels() {
+        for e in Engine::ALL {
+            assert!(Engine::parse(e.label()).is_some() || e != Engine::Gcx);
+        }
+        assert_eq!(Engine::parse("gcx"), Some(Engine::Gcx));
+        assert_eq!(Engine::parse("DOM"), Some(Engine::Dom));
+        assert_eq!(Engine::parse("bogus"), None);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_millis(180)), "0.18s");
+        assert_eq!(fmt_duration(Duration::from_secs(83)), "01:23");
+    }
+
+    #[test]
+    fn all_engines_agree_on_tiny_xmark() {
+        let doc = xmark_doc(0.02, 11);
+        for (name, query) in gcx_xmark::ALL {
+            let mut outputs = Vec::new();
+            for e in Engine::ALL {
+                let mut tags = TagInterner::new();
+                let compiled =
+                    compile(query, &mut tags, CompileOptions::default()).expect("compile");
+                let mut out = Vec::new();
+                let r = match e {
+                    Engine::Gcx => run_gcx(&compiled, &mut tags, &doc[..], &mut out),
+                    Engine::NoGc => run_no_gc_streaming(&compiled, &mut tags, &doc[..], &mut out),
+                    Engine::StaticProj => {
+                        run_static_projection(&compiled, &mut tags, &doc[..], &mut out)
+                    }
+                    Engine::Dom => run_dom(&compiled, &mut tags, &doc[..], &mut out),
+                };
+                r.unwrap_or_else(|err| panic!("{name} on {:?}: {err}", e));
+                outputs.push(out);
+            }
+            for o in &outputs[1..] {
+                assert_eq!(
+                    String::from_utf8_lossy(&outputs[0]),
+                    String::from_utf8_lossy(o),
+                    "engines disagree on {name}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gcx_peak_below_dom_peak() {
+        let doc = xmark_doc(0.05, 13);
+        let gcx = run_engine(Engine::Gcx, gcx_xmark::Q1, &doc, CompileOptions::default()).unwrap();
+        let dom = run_engine(Engine::Dom, gcx_xmark::Q1, &doc, CompileOptions::default()).unwrap();
+        assert!(
+            gcx.report.stats.peak_bytes * 5 < dom.report.stats.peak_bytes,
+            "GCX {} vs DOM {}",
+            gcx.report.stats.peak_bytes,
+            dom.report.stats.peak_bytes
+        );
+    }
+
+    #[test]
+    fn arg_parsing() {
+        let args: Vec<String> = ["--sizes", "1,5", "--seed", "7"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(arg_value(&args, "--sizes").as_deref(), Some("1,5"));
+        assert_eq!(arg_value(&args, "--seed").as_deref(), Some("7"));
+        assert_eq!(arg_value(&args, "--none"), None);
+    }
+}

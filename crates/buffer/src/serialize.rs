@@ -1,0 +1,168 @@
+//! Serialization of buffered subtrees to output tokens.
+//!
+//! When the evaluator outputs a variable binding (`$x` or `$x/axis::ν`),
+//! the buffered subtree is emitted to the output stream. Marked
+//! (semantically deleted) nodes are never emitted; within output subtrees
+//! every live node carries roles (the `dos::node()` dependency guarantees
+//! it), so marked nodes can only be stale structural leftovers.
+
+use crate::node::{BufKind, BufNodeId, BufferTree};
+use gcx_xml::{TagInterner, XmlToken, XmlWriter};
+use std::io::{self, Write};
+
+impl BufferTree {
+    /// Writes the subtree rooted at `id` to `w` as XML.
+    pub fn write_subtree<W: Write>(
+        &self,
+        id: BufNodeId,
+        tags: &TagInterner,
+        w: &mut XmlWriter<W>,
+    ) -> io::Result<()> {
+        if self.is_marked(id) {
+            return Ok(());
+        }
+        match self.kind(id) {
+            BufKind::Root => {
+                let mut c = self.first_child(id);
+                while let Some(x) = c {
+                    self.write_subtree(x, tags, w)?;
+                    c = self.next_sibling(x);
+                }
+                Ok(())
+            }
+            BufKind::Text(t) => w.text(t),
+            BufKind::Element(tag) => {
+                let tag = *tag;
+                w.open(tag, tags)?;
+                let mut c = self.first_child(id);
+                while let Some(x) = c {
+                    self.write_subtree(x, tags, w)?;
+                    c = self.next_sibling(x);
+                }
+                w.close(tag, tags)
+            }
+        }
+    }
+
+    /// Collects the subtree as tokens (tests, traces).
+    pub fn subtree_tokens(&self, id: BufNodeId, out: &mut Vec<XmlToken>) {
+        if self.is_marked(id) {
+            return;
+        }
+        match self.kind(id) {
+            BufKind::Root => {
+                let mut c = self.first_child(id);
+                while let Some(x) = c {
+                    self.subtree_tokens(x, out);
+                    c = self.next_sibling(x);
+                }
+            }
+            BufKind::Text(t) => out.push(XmlToken::Text(t.to_string())),
+            BufKind::Element(tag) => {
+                let tag = *tag;
+                out.push(XmlToken::Open(tag));
+                let mut c = self.first_child(id);
+                while let Some(x) = c {
+                    self.subtree_tokens(x, out);
+                    c = self.next_sibling(x);
+                }
+                out.push(XmlToken::Close(tag));
+            }
+        }
+    }
+
+    /// The string value of a buffered node: concatenation of all text in
+    /// its subtree (XPath `string()`; needed for comparisons).
+    pub fn string_value(&self, id: BufNodeId) -> String {
+        let mut s = String::new();
+        self.collect_text(id, &mut s);
+        s
+    }
+
+    fn collect_text(&self, id: BufNodeId, out: &mut String) {
+        if self.is_marked(id) {
+            return;
+        }
+        if let BufKind::Text(t) = self.kind(id) {
+            out.push_str(t);
+            return;
+        }
+        let mut c = self.first_child(id);
+        while let Some(x) = c {
+            self.collect_text(x, out);
+            c = self.next_sibling(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcx_projection::Role;
+    use gcx_xml::TagInterner;
+
+    fn build() -> (BufferTree, TagInterner, BufNodeId) {
+        let mut tags = TagInterner::new();
+        let book = tags.intern("book");
+        let title = tags.intern("title");
+        let mut b = BufferTree::new(4, &[]);
+        let n1 = b.open_element(BufferTree::ROOT, book);
+        b.add_role(n1, Role(0));
+        let n2 = b.open_element(n1, title);
+        b.add_role(n2, Role(0));
+        let t = b.add_text(n2, "T<&ext");
+        b.add_role(t, Role(0));
+        b.finish(n2);
+        b.finish(n1);
+        (b, tags, n1)
+    }
+
+    #[test]
+    fn serializes_with_escaping() {
+        let (b, tags, n1) = build();
+        let mut out = Vec::new();
+        let mut w = XmlWriter::new(&mut out);
+        b.write_subtree(n1, &tags, &mut w).unwrap();
+        assert_eq!(
+            String::from_utf8(out).unwrap(),
+            "<book><title>T&lt;&amp;ext</title></book>"
+        );
+    }
+
+    #[test]
+    fn tokens_roundtrip() {
+        let (b, tags, n1) = build();
+        let mut toks = Vec::new();
+        b.subtree_tokens(n1, &mut toks);
+        assert_eq!(toks.len(), 5);
+        let _ = tags;
+    }
+
+    #[test]
+    fn string_value_concatenates() {
+        let (b, _tags, n1) = build();
+        assert_eq!(b.string_value(n1), "T<&ext");
+    }
+
+    #[test]
+    fn marked_nodes_are_skipped() {
+        let mut tags = TagInterner::new();
+        let x = tags.intern("x");
+        let y = tags.intern("y");
+        let mut b = BufferTree::new(4, &[]);
+        let n1 = b.open_element(BufferTree::ROOT, x);
+        b.add_role(n1, Role(0));
+        let dead = b.open_element(n1, y);
+        b.add_role(dead, Role(1));
+        b.pin(dead); // keep it navigable
+        b.finish(dead);
+        b.sign_off(dead, Role(1), 1).unwrap();
+        // dead is pinned: not purged, not marked (pins block gc) — unpin
+        // purges it.
+        b.unpin(dead);
+        b.finish(n1);
+        let mut toks = Vec::new();
+        b.subtree_tokens(n1, &mut toks);
+        assert_eq!(toks.len(), 2, "only <x></x> remains");
+    }
+}

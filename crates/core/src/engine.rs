@@ -1,0 +1,897 @@
+//! The GCX engine: pull-based streaming XQuery evaluation with active
+//! garbage collection (paper Fig. 11 and §5/§6).
+//!
+//! The engine evaluates the *rewritten* query strictly sequentially. When
+//! evaluation needs data that is not buffered yet — the next binding of a
+//! for-loop, the subtree of a node being output, a condition witness — it
+//! blocks and pumps the [`Preprojector`] token by token until the data is
+//! available (or provably absent). Every `signOff($x/π, r)` encountered is
+//! forwarded to the buffer manager, which performs the role update and the
+//! localized garbage collection of Fig. 10.
+//!
+//! The same evaluator also powers two baselines (paper §7 comparisons):
+//! with `gc: false` signOffs are ignored (static analysis only), and with
+//! `preload: true` the whole projected document is materialized before
+//! evaluation (Galax-style projection \[13\]).
+
+use crate::error::EngineError;
+use crate::preproject::{Preprojector, PumpEvent};
+use crate::value::compare_values;
+use gcx_buffer::{BufNodeId, BufferStats, BufferTree};
+use gcx_projection::{PStep, PTest, Pred, Role};
+use gcx_query::{Axis, Cond, CompiledQuery, Expr, NodeTest, Step, VarId};
+use gcx_xml::{LexerOptions, TagInterner, XmlLexer, XmlWriter};
+use std::io::{Read, Write};
+use std::time::{Duration, Instant};
+
+/// Engine configuration (the evaluation strategies of Table 1).
+#[derive(Debug, Clone, Copy)]
+pub struct EngineOptions {
+    /// Execute signOff statements (active garbage collection). `false`
+    /// turns the engine into the static-analysis-only baseline.
+    pub gc: bool,
+    /// Materialize the full projected document before evaluating
+    /// (Galax-style static projection \[13\]).
+    pub preload: bool,
+    /// Lexer options for the input stream.
+    pub lexer: LexerOptions,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            gc: true,
+            preload: false,
+            lexer: LexerOptions::default(),
+        }
+    }
+}
+
+/// A trace event (paper Fig. 2 reproduction).
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// What happened (`read <book>`, `signOff($x, r3)`, …).
+    pub label: String,
+    /// Rendering of the live buffer, Fig. 2 style.
+    pub buffer: String,
+}
+
+type Tracer = Box<dyn FnMut(&TraceEvent)>;
+
+/// Result of one engine run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Engine label (for tables).
+    pub engine: String,
+    /// Bytes of XML output produced.
+    pub output_bytes: u64,
+    /// Buffer statistics including the peak footprint.
+    pub stats: BufferStats,
+    /// Wall-clock evaluation time.
+    pub elapsed: Duration,
+    /// Lazy-DFA states constructed (0 in NFA mode).
+    pub dfa_states: usize,
+    /// Input tokens read / skipped by the preprojector.
+    pub tokens_read: u64,
+    pub tokens_skipped: u64,
+    /// `Some(true)` when GC ran and every assigned role instance was
+    /// removed (paper safety requirement 2 + Theorem 1 precondition).
+    pub safety: Option<bool>,
+    /// Per-role (assigned, removed) instance counters, indexed by role id
+    /// (diagnostics; empty for the DOM baseline).
+    pub role_balance: Vec<(u64, u64)>,
+}
+
+/// Cursor over the matches of one step, relative to a base node. The
+/// current scan position is pinned in the buffer so that active GC cannot
+/// invalidate navigation (see DESIGN.md, "cursor pinning").
+struct Cursor {
+    base: BufNodeId,
+    step: Step,
+    mark: Option<BufNodeId>,
+    done: bool,
+}
+
+impl Cursor {
+    fn new(base: BufNodeId, step: Step) -> Self {
+        Cursor {
+            base,
+            step,
+            mark: None,
+            done: false,
+        }
+    }
+}
+
+/// The streaming engine. Construct via [`run_gcx`] and friends (module
+/// functions below) unless you need custom wiring.
+pub struct GcxEngine<'t, 'q, R: Read, W: Write> {
+    compiled: &'q CompiledQuery,
+    projector: Preprojector<'t, 'q, R>,
+    buffer: BufferTree,
+    writer: XmlWriter<W>,
+    bindings: Vec<Option<BufNodeId>>,
+    gc: bool,
+    preload: bool,
+    tracer: Option<Tracer>,
+}
+
+impl<'t, 'q, R: Read, W: Write> GcxEngine<'t, 'q, R, W> {
+    /// Wires up an engine over an input stream and an output sink.
+    pub fn new(
+        compiled: &'q CompiledQuery,
+        tags: &'t mut TagInterner,
+        input: R,
+        output: W,
+        options: EngineOptions,
+    ) -> Self {
+        let mut buffer = BufferTree::new(compiled.roles.len(), &compiled.projection.aggregates);
+        let lexer = XmlLexer::with_options(input, tags, options.lexer);
+        let projector = Preprojector::new(lexer, &compiled.projection.tree, &mut buffer);
+        let writer = XmlWriter::new(output);
+        let bindings = vec![None; compiled.rewritten.vars.len()];
+        GcxEngine {
+            compiled,
+            projector,
+            buffer,
+            writer,
+            bindings,
+            gc: options.gc,
+            preload: options.preload,
+            tracer: None,
+        }
+    }
+
+    /// Installs a trace callback (Fig. 2 reproduction). Expensive: the
+    /// buffer is rendered on every event.
+    pub fn set_tracer(&mut self, t: Tracer) {
+        self.tracer = Some(t);
+    }
+
+    /// Runs the query to completion.
+    pub fn run(mut self) -> Result<RunReport, EngineError> {
+        let start = Instant::now();
+        if self.preload {
+            while self.pump_step()? != PumpEvent::Eof {}
+        }
+        self.bindings[VarId::ROOT.index()] = Some(BufferTree::ROOT);
+        let root_tag = self.compiled.rewritten.root_tag;
+        self.writer.open(root_tag, self.projector.tags())?;
+        self.trace("output root open");
+        let body = self.compiled.rewritten.body.clone();
+        self.eval(&body)?;
+        self.writer.close(root_tag, self.projector.tags())?;
+        self.writer.flush()?;
+        let elapsed = start.elapsed();
+        let safety = if self.gc {
+            Some(self.buffer.all_roles_returned())
+        } else {
+            None
+        };
+        let role_balance = self
+            .compiled
+            .roles
+            .roles()
+            .map(|r| self.buffer.role_accounting(r))
+            .collect();
+        Ok(RunReport {
+            engine: if self.preload {
+                "static-projection".into()
+            } else if self.gc {
+                "gcx".into()
+            } else {
+                "no-gc-streaming".into()
+            },
+            output_bytes: self.writer.bytes_written(),
+            stats: self.buffer.stats().clone(),
+            elapsed,
+            dfa_states: self.projector.dfa_states(),
+            tokens_read: self.projector.tokens_read,
+            tokens_skipped: self.projector.tokens_skipped,
+            safety,
+            role_balance,
+        })
+    }
+
+    /// Access to the buffer (tests and traces).
+    pub fn buffer(&self) -> &BufferTree {
+        &self.buffer
+    }
+
+    // ------------------------------------------------------------------
+    // Pumping
+    // ------------------------------------------------------------------
+
+    fn pump_step(&mut self) -> Result<PumpEvent, EngineError> {
+        let ev = self.projector.pump(&mut self.buffer)?;
+        if self.tracer.is_some() {
+            let label = match ev {
+                PumpEvent::Buffered(n) => format!("read+buffer node {}", n.0),
+                PumpEvent::Closed(n) => format!("close node {}", n.0),
+                PumpEvent::Skipped => "skip token".into(),
+                PumpEvent::Eof => "eof".into(),
+            };
+            self.trace(&label);
+        }
+        Ok(ev)
+    }
+
+    fn trace(&mut self, label: &str) {
+        if let Some(t) = &mut self.tracer {
+            let ev = TraceEvent {
+                label: label.to_string(),
+                buffer: self.buffer.render(self.projector.tags()),
+            };
+            t(&ev);
+        }
+    }
+
+    /// Pumps until `node`'s closing tag has been processed.
+    fn pump_until_finished(&mut self, node: BufNodeId) -> Result<(), EngineError> {
+        while !self.buffer.is_finished(node) {
+            if self.pump_step()? == PumpEvent::Eof && !self.buffer.is_finished(node) {
+                return Err(EngineError::MissingData(
+                    "input ended before an open element finished".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Cursors
+    // ------------------------------------------------------------------
+
+    fn node_matches(&self, n: BufNodeId, test: NodeTest) -> bool {
+        match test {
+            NodeTest::Tag(t) => self.buffer.tag(n) == Some(t),
+            NodeTest::Star => self.buffer.tag(n).is_some(),
+            NodeTest::Text => self.buffer.is_text(n),
+        }
+    }
+
+    /// Advances a cursor to its next match, pumping the input as needed
+    /// (this is where the evaluator "blocks" in the paper's terms).
+    fn cursor_next(&mut self, c: &mut Cursor) -> Result<Option<BufNodeId>, EngineError> {
+        if c.done {
+            return Ok(None);
+        }
+        loop {
+            let candidate = match (c.step.axis, c.mark) {
+                (Axis::Child, None) => self.buffer.first_child(c.base),
+                (Axis::Child, Some(m)) => self.buffer.next_sibling(m),
+                (Axis::Descendant, None) => self.buffer.next_in_subtree(c.base, c.base),
+                (Axis::Descendant, Some(m)) => self.buffer.next_in_subtree(c.base, m),
+            };
+            match candidate {
+                Some(n) => {
+                    self.buffer.pin(n);
+                    if let Some(m) = c.mark {
+                        self.buffer.unpin(m);
+                    }
+                    c.mark = Some(n);
+                    if self.node_matches(n, c.step.test) {
+                        return Ok(Some(n));
+                    }
+                }
+                None => {
+                    if self.buffer.is_finished(c.base) {
+                        self.cursor_abort(c);
+                        return Ok(None);
+                    }
+                    if self.pump_step()? == PumpEvent::Eof && !self.buffer.is_finished(c.base) {
+                        return Err(EngineError::MissingData(
+                            "input ended inside an open element".into(),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Releases a cursor's pin early (used by exists-checks).
+    fn cursor_abort(&mut self, c: &mut Cursor) {
+        if let Some(m) = c.mark.take() {
+            self.buffer.unpin(m);
+        }
+        c.done = true;
+    }
+
+    // ------------------------------------------------------------------
+    // Expression evaluation
+    // ------------------------------------------------------------------
+
+    fn eval(&mut self, e: &Expr) -> Result<(), EngineError> {
+        match e {
+            Expr::Empty => Ok(()),
+            Expr::OpenTag(t) => {
+                self.writer.open(*t, self.projector.tags())?;
+                Ok(())
+            }
+            Expr::CloseTag(t) => {
+                self.writer.close(*t, self.projector.tags())?;
+                Ok(())
+            }
+            Expr::Element { tag, content } => {
+                self.writer.open(*tag, self.projector.tags())?;
+                self.eval(content)?;
+                self.writer.close(*tag, self.projector.tags())?;
+                Ok(())
+            }
+            Expr::Sequence(items) => {
+                for i in items {
+                    self.eval(i)?;
+                }
+                Ok(())
+            }
+            Expr::VarRef(v) => {
+                let node = self.binding(*v);
+                self.pump_until_finished(node)?;
+                self.buffer
+                    .write_subtree(node, self.projector.tags(), &mut self.writer)?;
+                self.trace("output binding subtree");
+                Ok(())
+            }
+            Expr::PathOutput { var, step } => {
+                let base = self.binding(*var);
+                let mut cur = Cursor::new(base, *step);
+                while let Some(n) = self.cursor_next(&mut cur)? {
+                    self.pump_until_finished(n)?;
+                    self.buffer
+                        .write_subtree(n, self.projector.tags(), &mut self.writer)?;
+                }
+                Ok(())
+            }
+            Expr::For {
+                var,
+                source,
+                step,
+                body,
+            } => {
+                let base = self.binding(*source);
+                let mut cur = Cursor::new(base, *step);
+                while let Some(n) = self.cursor_next(&mut cur)? {
+                    if std::env::var_os("GCX_DEBUG").is_some() {
+                        let name = self
+                            .buffer
+                            .tag(n)
+                            .map(|t| self.projector.tags().name(t).to_string())
+                            .unwrap_or_else(|| "#text".into());
+                        eprintln!(
+                            "bind var{} -> node {} <{}>   buffer: {}",
+                            var.0, n.0, name,
+                            self.buffer.render_debug(self.projector.tags())
+                        );
+                    }
+                    self.bindings[var.index()] = Some(n);
+                    self.eval(body)?;
+                }
+                self.bindings[var.index()] = None;
+                Ok(())
+            }
+            Expr::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                if self.eval_cond(cond)? {
+                    self.eval(then_branch)
+                } else {
+                    self.eval(else_branch)
+                }
+            }
+            Expr::SignOff { var, path, role } => self.exec_signoff(*var, path, *role),
+        }
+    }
+
+    fn binding(&self, v: VarId) -> BufNodeId {
+        self.bindings[v.index()]
+            .unwrap_or_else(|| panic!("variable {} evaluated outside its scope", v.0))
+    }
+
+    // ------------------------------------------------------------------
+    // Conditions
+    // ------------------------------------------------------------------
+
+    fn eval_cond(&mut self, c: &Cond) -> Result<bool, EngineError> {
+        match c {
+            Cond::True => Ok(true),
+            Cond::Exists { var, step } => {
+                let base = self.binding(*var);
+                let mut cur = Cursor::new(base, *step);
+                let found = self.cursor_next(&mut cur)?.is_some();
+                self.cursor_abort(&mut cur);
+                Ok(found)
+            }
+            Cond::CmpStr {
+                var,
+                step,
+                op,
+                value,
+            } => {
+                let base = self.binding(*var);
+                self.pump_until_finished(base)?;
+                let matches = self.collect_matches(base, *step);
+                Ok(matches
+                    .iter()
+                    .any(|&n| compare_values(&self.buffer.string_value(n), value, *op)))
+            }
+            Cond::CmpVar {
+                left_var,
+                left_step,
+                op,
+                right_var,
+                right_step,
+            } => {
+                let lbase = self.binding(*left_var);
+                let rbase = self.binding(*right_var);
+                self.pump_until_finished(lbase)?;
+                self.pump_until_finished(rbase)?;
+                let left: Vec<String> = self
+                    .collect_matches(lbase, *left_step)
+                    .iter()
+                    .map(|&n| self.buffer.string_value(n))
+                    .collect();
+                if left.is_empty() {
+                    return Ok(false);
+                }
+                let right = self.collect_matches(rbase, *right_step);
+                for &rn in &right {
+                    let rv = self.buffer.string_value(rn);
+                    if left.iter().any(|lv| compare_values(lv, &rv, *op)) {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+            Cond::And(a, b) => Ok(self.eval_cond(a)? && self.eval_cond(b)?),
+            Cond::Or(a, b) => Ok(self.eval_cond(a)? || self.eval_cond(b)?),
+            Cond::Not(inner) => Ok(!self.eval_cond(inner)?),
+        }
+    }
+
+    /// Collects all buffered matches of `step` under a *finished* base (no
+    /// pumping; used by comparisons).
+    fn collect_matches(&self, base: BufNodeId, step: Step) -> Vec<BufNodeId> {
+        let mut out = Vec::new();
+        match step.axis {
+            Axis::Child => {
+                let mut c = self.buffer.first_child(base);
+                while let Some(n) = c {
+                    if self.node_matches(n, step.test) {
+                        out.push(n);
+                    }
+                    c = self.buffer.next_sibling(n);
+                }
+            }
+            Axis::Descendant => {
+                let mut cur = base;
+                while let Some(n) = self.buffer.next_in_subtree(base, cur) {
+                    if self.node_matches(n, step.test) {
+                        out.push(n);
+                    }
+                    cur = n;
+                }
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // signOff execution (paper Fig. 10)
+    // ------------------------------------------------------------------
+
+    fn exec_signoff(
+        &mut self,
+        var: VarId,
+        path: &gcx_projection::RelPath,
+        role: Role,
+    ) -> Result<(), EngineError> {
+        if !self.gc {
+            return Ok(());
+        }
+        let base = self.binding(var);
+        if path.is_empty() {
+            self.buffer.sign_off(base, role, 1)?;
+            self.trace("signOff(ε)");
+            return Ok(());
+        }
+        // Path evaluation is only correct once the base subtree is
+        // complete; the evaluator blocks until then (this coincides with
+        // when the paper's sequential semantics reaches the statement).
+        self.pump_until_finished(base)?;
+        // Aggregate roles (paper §6) are carried by the subtree root only:
+        // evaluate the path without its dos::node() terminal.
+        let steps: &[PStep] = if self.compiled.is_aggregate(role) {
+            match path.steps.last() {
+                Some(last) if last.test == PTest::AnyNode => &path.steps[..path.steps.len() - 1],
+                _ => &path.steps,
+            }
+        } else {
+            &path.steps
+        };
+        let targets = self.eval_relpath(base, steps);
+        if std::env::var_os("GCX_DEBUG").is_some() {
+            eprintln!("signOff path base={} role=r{} targets={:?}", base.0, role.0,
+                targets.iter().map(|&(n, c)| (n.0, c)).collect::<Vec<_>>());
+        }
+        for (node, count) in targets {
+            self.buffer.sign_off(node, role, count)?;
+        }
+        self.trace("signOff(path)");
+        Ok(())
+    }
+
+    /// Evaluates a projection path over the buffer with *multiplicity*
+    /// semantics: each target is returned with the number of distinct
+    /// step-binding assignments reaching it, mirroring role-assignment
+    /// multiplicities (paper Example 1; DESIGN.md "signOff path
+    /// semantics").
+    fn eval_relpath(&self, base: BufNodeId, steps: &[PStep]) -> Vec<(BufNodeId, u32)> {
+        let mut frontier: Vec<(BufNodeId, u32)> = vec![(base, 1)];
+        for step in steps {
+            let mut next: Vec<(BufNodeId, u32)> = Vec::new();
+            for &(n, count) in &frontier {
+                match step.axis {
+                    gcx_projection::PAxis::Child => {
+                        let mut c = self.buffer.first_child(n);
+                        while let Some(x) = c {
+                            if ptest_matches(&self.buffer, x, step.test) {
+                                next.push((x, count));
+                                if step.pred == Pred::First {
+                                    break;
+                                }
+                            }
+                            c = self.buffer.next_sibling(x);
+                        }
+                    }
+                    gcx_projection::PAxis::Descendant => {
+                        let mut cur = n;
+                        while let Some(x) = self.buffer.next_in_subtree(n, cur) {
+                            if ptest_matches(&self.buffer, x, step.test) {
+                                next.push((x, count));
+                                if step.pred == Pred::First {
+                                    break;
+                                }
+                            }
+                            cur = x;
+                        }
+                    }
+                    gcx_projection::PAxis::DescendantOrSelf => {
+                        debug_assert_eq!(step.pred, Pred::True);
+                        if ptest_matches(&self.buffer, n, step.test) {
+                            next.push((n, count));
+                        }
+                        let mut cur = n;
+                        while let Some(x) = self.buffer.next_in_subtree(n, cur) {
+                            if ptest_matches(&self.buffer, x, step.test) {
+                                next.push((x, count));
+                            }
+                            cur = x;
+                        }
+                    }
+                }
+            }
+            // Merge duplicate targets, summing multiplicities.
+            next.sort_unstable_by_key(|&(n, _)| n);
+            next.dedup_by(|a, b| {
+                if a.0 == b.0 {
+                    b.1 += a.1;
+                    true
+                } else {
+                    false
+                }
+            });
+            frontier = next;
+        }
+        frontier
+    }
+}
+
+fn ptest_matches(buffer: &BufferTree, n: BufNodeId, test: PTest) -> bool {
+    match test {
+        PTest::Tag(t) => buffer.tag(n) == Some(t),
+        PTest::Star => buffer.tag(n).is_some(),
+        PTest::Text => buffer.is_text(n),
+        PTest::AnyNode => true,
+    }
+}
+
+// ----------------------------------------------------------------------
+// Convenience entry points (the engines of Table 1)
+// ----------------------------------------------------------------------
+
+/// Runs the full GCX engine: incremental projection + active GC.
+pub fn run_gcx<R: Read, W: Write>(
+    compiled: &CompiledQuery,
+    tags: &mut TagInterner,
+    input: R,
+    output: W,
+) -> Result<RunReport, EngineError> {
+    GcxEngine::new(compiled, tags, input, output, EngineOptions::default()).run()
+}
+
+/// Streaming projection without garbage collection ("static analysis
+/// alone"; FluXQuery-class buffering behaviour for buffered data).
+pub fn run_no_gc_streaming<R: Read, W: Write>(
+    compiled: &CompiledQuery,
+    tags: &mut TagInterner,
+    input: R,
+    output: W,
+) -> Result<RunReport, EngineError> {
+    let opts = EngineOptions {
+        gc: false,
+        ..Default::default()
+    };
+    GcxEngine::new(compiled, tags, input, output, opts).run()
+}
+
+/// Galax-style static projection \[13\]: materialize the projected document
+/// entirely, then evaluate in memory.
+pub fn run_static_projection<R: Read, W: Write>(
+    compiled: &CompiledQuery,
+    tags: &mut TagInterner,
+    input: R,
+    output: W,
+) -> Result<RunReport, EngineError> {
+    let opts = EngineOptions {
+        gc: false,
+        preload: true,
+        ..Default::default()
+    };
+    GcxEngine::new(compiled, tags, input, output, opts).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcx_query::{compile, compile_default, CompileOptions};
+
+    fn gcx_output(query: &str, doc: &str) -> (String, RunReport) {
+        let mut tags = TagInterner::new();
+        let compiled = compile_default(query, &mut tags).expect("compile");
+        let mut out = Vec::new();
+        let report = run_gcx(&compiled, &mut tags, doc.as_bytes(), &mut out).expect("run");
+        (String::from_utf8(out).unwrap(), report)
+    }
+
+    fn gcx_output_opts(query: &str, doc: &str, copts: CompileOptions) -> (String, RunReport) {
+        let mut tags = TagInterner::new();
+        let compiled = compile(query, &mut tags, copts).expect("compile");
+        let mut out = Vec::new();
+        let report = run_gcx(&compiled, &mut tags, doc.as_bytes(), &mut out).expect("run");
+        (String::from_utf8(out).unwrap(), report)
+    }
+
+    #[test]
+    fn simple_for_loop() {
+        let (out, report) = gcx_output(
+            "<r>{ for $b in /bib/book return $b/title }</r>",
+            "<bib><book><title>A</title></book><book><title>B</title><price>5</price></book></bib>",
+        );
+        assert_eq!(out, "<r><title>A</title><title>B</title></r>");
+        assert_eq!(report.safety, Some(true), "all roles returned");
+    }
+
+    #[test]
+    fn intro_query_end_to_end() {
+        let query = r#"<r>{ for $bib in /bib return
+          ((for $x in $bib/* return if (not(exists($x/price))) then $x else ()),
+           for $b in $bib/book return $b/title) }</r>"#;
+        let doc = "<bib><book><title>T1</title><author>A1</author></book>\
+                   <book><title>T2</title><price>9</price></book>\
+                   <cd><label>L</label></cd></bib>";
+        let (out, report) = gcx_output(query, doc);
+        // First loop: nodes without price → book1 and cd, full subtrees.
+        // Second loop: all book titles.
+        assert_eq!(
+            out,
+            "<r><book><title>T1</title><author>A1</author></book>\
+             <cd><label>L</label></cd>\
+             <title>T1</title><title>T2</title></r>"
+        );
+        assert_eq!(report.safety, Some(true));
+    }
+
+    #[test]
+    fn intro_query_plain_options_same_output() {
+        let query = r#"<r>{ for $bib in /bib return
+          ((for $x in $bib/* return if (not(exists($x/price))) then $x else ()),
+           for $b in $bib/book return $b/title) }</r>"#;
+        let doc = "<bib><book><title>T1</title><author>A1</author></book>\
+                   <book><title>T2</title><price>9</price></book></bib>";
+        let (out1, r1) = gcx_output(query, doc);
+        let (out2, r2) = gcx_output_opts(query, doc, CompileOptions::plain());
+        assert_eq!(out1, out2, "optimizations preserve semantics");
+        assert_eq!(r1.safety, Some(true));
+        assert_eq!(r2.safety, Some(true));
+    }
+
+    #[test]
+    fn descendant_axis_query() {
+        let (out, report) = gcx_output(
+            "<r>{ for $t in /doc//title return $t }</r>",
+            "<doc><sec><title>S1</title><sub><title>S2</title></sub></sec><title>Top</title></doc>",
+        );
+        assert_eq!(
+            out,
+            "<r><title>S1</title><title>S2</title><title>Top</title></r>"
+        );
+        assert_eq!(report.safety, Some(true));
+    }
+
+    #[test]
+    fn join_query() {
+        let query = r#"<r>{ for $p in /db/person return
+            for $s in /db/sale return
+            if ($s/buyer = $p/id) then <hit>{ ($p/name, $s/item) }</hit> else () }</r>"#;
+        let doc = "<db><person><id>p1</id><name>Ann</name></person>\
+                   <person><id>p2</id><name>Bob</name></person>\
+                   <sale><buyer>p2</buyer><item>car</item></sale>\
+                   <sale><buyer>p1</buyer><item>pen</item></sale></db>";
+        let (out, report) = gcx_output(query, doc);
+        assert_eq!(
+            out,
+            "<r><hit><name>Ann</name><item>pen</item></hit>\
+             <hit><name>Bob</name><item>car</item></hit></r>"
+        );
+        assert_eq!(report.safety, Some(true));
+    }
+
+    #[test]
+    fn comparisons_numeric() {
+        let query = r#"<r>{ for $i in /inv/item return
+            if ($i/price >= 10) then $i/name else () }</r>"#;
+        let doc = "<inv><item><name>a</name><price>9.5</price></item>\
+                   <item><name>b</name><price>10</price></item>\
+                   <item><name>c</name><price>200</price></item></inv>";
+        let (out, _) = gcx_output(query, doc);
+        assert_eq!(out, "<r><name>b</name><name>c</name></r>");
+    }
+
+    #[test]
+    fn text_output() {
+        let (out, _) = gcx_output(
+            "<r>{ for $n in /a/name return $n/text() }</r>",
+            "<a><name>Jo</name><name>Mo</name></a>",
+        );
+        assert_eq!(out, "<r>JoMo</r>");
+    }
+
+    #[test]
+    fn empty_result() {
+        let (out, report) = gcx_output(
+            "<r>{ for $x in /a/zzz return $x }</r>",
+            "<a><b/><c/></a>",
+        );
+        assert_eq!(out, "<r></r>");
+        assert_eq!(report.safety, Some(true));
+    }
+
+    #[test]
+    fn memory_stays_constant_for_streamable_query() {
+        // 200 books; GCX should hold only O(1) of them at a time.
+        let mut doc = String::from("<bib>");
+        for i in 0..200 {
+            doc.push_str(&format!("<book><title>T{i}</title></book>"));
+        }
+        doc.push_str("</bib>");
+        let (_, report) = gcx_output("<r>{ for $b in /bib/book return $b/title }</r>", &doc);
+        assert!(
+            report.stats.peak_nodes <= 8,
+            "peak nodes {} should be constant-ish",
+            report.stats.peak_nodes
+        );
+        assert_eq!(report.safety, Some(true));
+    }
+
+    #[test]
+    fn no_gc_buffers_everything_projected() {
+        let mut doc = String::from("<bib>");
+        for i in 0..50 {
+            doc.push_str(&format!("<book><title>T{i}</title></book>"));
+        }
+        doc.push_str("</bib>");
+        let query = "<r>{ for $b in /bib/book return $b/title }</r>";
+        let mut tags = TagInterner::new();
+        let compiled = compile_default(query, &mut tags).unwrap();
+        let mut out1 = Vec::new();
+        let gcx = run_gcx(&compiled, &mut tags, doc.as_bytes(), &mut out1).unwrap();
+        let mut tags2 = TagInterner::new();
+        let compiled2 = compile_default(query, &mut tags2).unwrap();
+        let mut out2 = Vec::new();
+        let nogc = run_no_gc_streaming(&compiled2, &mut tags2, doc.as_bytes(), &mut out2).unwrap();
+        assert_eq!(out1, out2, "same output");
+        assert!(
+            gcx.stats.peak_nodes * 4 < nogc.stats.peak_nodes,
+            "GCX {} ≪ no-GC {}",
+            gcx.stats.peak_nodes,
+            nogc.stats.peak_nodes
+        );
+        assert_eq!(nogc.safety, None);
+    }
+
+    #[test]
+    fn static_projection_equals_no_gc_peak() {
+        let doc = "<bib><book><title>A</title></book><book><title>B</title></book></bib>";
+        let query = "<r>{ for $b in /bib/book return $b/title }</r>";
+        let mut tags = TagInterner::new();
+        let compiled = compile_default(query, &mut tags).unwrap();
+        let mut out = Vec::new();
+        let st = run_static_projection(&compiled, &mut tags, doc.as_bytes(), &mut out).unwrap();
+        let mut tags2 = TagInterner::new();
+        let compiled2 = compile_default(query, &mut tags2).unwrap();
+        let mut out2 = Vec::new();
+        let ng = run_no_gc_streaming(&compiled2, &mut tags2, doc.as_bytes(), &mut out2).unwrap();
+        assert_eq!(out, out2);
+        assert_eq!(st.stats.peak_nodes, ng.stats.peak_nodes);
+        assert_eq!(st.engine, "static-projection");
+    }
+
+    #[test]
+    fn nested_constructors_and_sequences() {
+        let query = r#"<out>{ for $b in /bib/book return
+            <entry><t>{ $b/title }</t><when>now</when></entry> }</out>"#;
+        // "now" is not valid content — constructors contain queries; use a
+        // bachelor tag instead.
+        let query = query.replace("<when>now</when>", "<when/>");
+        let (out, _) = gcx_output(
+            &query,
+            "<bib><book><title>X</title></book></bib>",
+        );
+        assert_eq!(
+            out,
+            "<out><entry><t><title>X</title></t><when></when></entry></out>"
+        );
+    }
+
+    #[test]
+    fn exists_positive_and_negative() {
+        let query = r#"<r>{ for $b in /bib/book return
+            if (exists($b/price)) then <priced/> else <free/> }</r>"#;
+        let doc = "<bib><book><price>1</price></book><book><title>t</title></book></bib>";
+        let (out, report) = gcx_output(query, doc);
+        assert_eq!(out, "<r><priced></priced><free></free></r>");
+        assert_eq!(report.safety, Some(true));
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let query = r#"<r>{ for $b in /bib/book return
+            if (exists($b/a) and not(exists($b/b)) or $b/k = "yes") then $b else () }</r>"#;
+        let doc = "<bib>\
+            <book><a/><id>1</id></book>\
+            <book><a/><b/><id>2</id></book>\
+            <book><b/><k>yes</k><id>3</id></book></bib>";
+        let (out, _) = gcx_output(query, doc);
+        assert!(out.contains("<id>1</id>"));
+        assert!(!out.contains("<id>2</id>"));
+        assert!(out.contains("<id>3</id>"));
+    }
+
+    #[test]
+    fn tracer_sees_buffer_states() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let query = "<r>{ for $b in /bib/book return $b/title }</r>";
+        let doc = "<bib><book><title>A</title></book></bib>";
+        let mut tags = TagInterner::new();
+        let compiled = compile_default(query, &mut tags).unwrap();
+        let events: Rc<RefCell<Vec<String>>> = Rc::new(RefCell::new(Vec::new()));
+        let sink = events.clone();
+        let mut engine = GcxEngine::new(
+            &compiled,
+            &mut tags,
+            doc.as_bytes(),
+            Vec::new(),
+            EngineOptions::default(),
+        );
+        engine.set_tracer(Box::new(move |ev| {
+            sink.borrow_mut().push(format!("{}: {}", ev.label, ev.buffer));
+        }));
+        engine.run().unwrap();
+        let log = events.borrow();
+        assert!(!log.is_empty());
+        assert!(log.iter().any(|l| l.contains("title")));
+    }
+}

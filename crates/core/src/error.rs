@@ -1,0 +1,74 @@
+//! Engine error type.
+
+use gcx_buffer::BufferError;
+use gcx_xml::XmlError;
+use std::fmt;
+
+/// Errors produced while evaluating a query.
+#[derive(Debug)]
+pub enum EngineError {
+    /// Malformed input stream.
+    Xml(XmlError),
+    /// Buffer-manager safety violation (paper safety requirement 1) or
+    /// internal misuse.
+    Buffer(BufferError),
+    /// Output sink failure.
+    Io(std::io::Error),
+    /// Evaluation needed data that the input stream can no longer provide
+    /// (internal bug: the projection should have buffered it).
+    MissingData(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Xml(e) => write!(f, "XML error: {e}"),
+            EngineError::Buffer(e) => write!(f, "buffer error: {e}"),
+            EngineError::Io(e) => write!(f, "output error: {e}"),
+            EngineError::MissingData(s) => write!(f, "missing data: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Xml(e) => Some(e),
+            EngineError::Buffer(e) => Some(e),
+            EngineError::Io(e) => Some(e),
+            EngineError::MissingData(_) => None,
+        }
+    }
+}
+
+impl From<XmlError> for EngineError {
+    fn from(e: XmlError) -> Self {
+        EngineError::Xml(e)
+    }
+}
+
+impl From<BufferError> for EngineError {
+    fn from(e: BufferError) -> Self {
+        EngineError::Buffer(e)
+    }
+}
+
+impl From<std::io::Error> for EngineError {
+    fn from(e: std::io::Error) -> Self {
+        EngineError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e: EngineError = std::io::Error::other("sink").into();
+        assert!(e.to_string().contains("sink"));
+        assert!(std::error::Error::source(&e).is_some());
+        let m = EngineError::MissingData("x".into());
+        assert!(std::error::Error::source(&m).is_none());
+    }
+}

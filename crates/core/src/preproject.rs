@@ -1,0 +1,298 @@
+//! The stream preprojector (paper Fig. 11, right-hand component).
+//!
+//! "Once it has been activated by the buffer manager, the stream projector
+//! processes the input stream until a token relevant to query evaluation
+//! is detected. This token is then copied directly into the buffer,
+//! together with its associated roles."
+//!
+//! [`Preprojector::pump`] processes one input token: it matches it against
+//! the projection tree (via [`StreamMatcher`]), copies it into the buffer
+//! with its roles when preserved, and maintains the open-element stack so
+//! that promoted descendants attach to the nearest *buffered* ancestor
+//! (document projection, paper Def. 1). Dead subtrees — where the matcher
+//! proves nothing below can match — are fast-skipped without per-token
+//! matching.
+
+use crate::error::EngineError;
+use gcx_buffer::{BufNodeId, BufferTree};
+use gcx_projection::{ProjTree, StreamMatcher};
+use gcx_xml::{XmlLexer, XmlToken};
+use std::io::Read;
+
+/// What one pump step did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PumpEvent {
+    /// A node was copied into the buffer.
+    Buffered(BufNodeId),
+    /// A buffered element's closing tag was processed (the node may have
+    /// been purged by the close-time sweep).
+    Closed(BufNodeId),
+    /// A token (or a whole dead subtree) was discarded.
+    Skipped,
+    /// The input is exhausted; the buffer root is now finished.
+    Eof,
+}
+
+struct OpenEntry {
+    /// The buffer node of this element, if it was preserved.
+    buf: Option<BufNodeId>,
+    /// The nearest buffered ancestor-or-self (attachment point for
+    /// children).
+    attach: BufNodeId,
+}
+
+/// Streaming projector over a lexer. See module docs.
+pub struct Preprojector<'t, 'q, R: Read> {
+    lexer: XmlLexer<'t, R>,
+    matcher: StreamMatcher<'q>,
+    stack: Vec<OpenEntry>,
+    eof: bool,
+    /// Tokens read from the input (statistics).
+    pub tokens_read: u64,
+    /// Tokens skipped without buffering (statistics).
+    pub tokens_skipped: u64,
+}
+
+impl<'t, 'q, R: Read> Preprojector<'t, 'q, R> {
+    /// Creates a projector and assigns the root roles (a query that
+    /// outputs `$root` projects the whole document).
+    pub fn new(lexer: XmlLexer<'t, R>, tree: &'q ProjTree, buffer: &mut BufferTree) -> Self {
+        let matcher = StreamMatcher::new(tree);
+        for &r in matcher.root_roles() {
+            buffer.add_role(BufferTree::ROOT, r);
+        }
+        Preprojector {
+            lexer,
+            matcher,
+            stack: vec![OpenEntry {
+                buf: Some(BufferTree::ROOT),
+                attach: BufferTree::ROOT,
+            }],
+            eof: false,
+            tokens_read: 0,
+            tokens_skipped: 0,
+        }
+    }
+
+    /// Access to the tag interner (for output rendering).
+    pub fn tags(&self) -> &gcx_xml::TagInterner {
+        self.lexer.tags()
+    }
+
+    /// True once the whole input has been consumed.
+    pub fn at_eof(&self) -> bool {
+        self.eof
+    }
+
+    /// Number of DFA states constructed by the matcher (0 in NFA mode).
+    pub fn dfa_states(&self) -> usize {
+        self.matcher.dfa_states()
+    }
+
+    /// Processes one token (or one dead subtree). Returns what happened.
+    pub fn pump(&mut self, buffer: &mut BufferTree) -> Result<PumpEvent, EngineError> {
+        if self.eof {
+            return Ok(PumpEvent::Eof);
+        }
+        let Some(token) = self.lexer.next_token()? else {
+            self.eof = true;
+            buffer.finish(BufferTree::ROOT);
+            return Ok(PumpEvent::Eof);
+        };
+        self.tokens_read += 1;
+        match token {
+            XmlToken::Open(tag) => {
+                let outcome = self.matcher.open(tag);
+                let top_attach = self.stack.last().expect("stack nonempty").attach;
+                if outcome.buffer {
+                    let node = buffer.open_element(top_attach, tag);
+                    for &r in &outcome.roles {
+                        buffer.add_role(node, r);
+                    }
+                    self.stack.push(OpenEntry {
+                        buf: Some(node),
+                        attach: node,
+                    });
+                    Ok(PumpEvent::Buffered(node))
+                } else if self.matcher.is_dead() {
+                    // Nothing inside this subtree can match: fast-skip to
+                    // the matching close without per-token matching.
+                    self.skip_subtree()?;
+                    self.matcher.close();
+                    self.tokens_skipped += 1;
+                    Ok(PumpEvent::Skipped)
+                } else {
+                    self.stack.push(OpenEntry {
+                        buf: None,
+                        attach: top_attach,
+                    });
+                    self.tokens_skipped += 1;
+                    Ok(PumpEvent::Skipped)
+                }
+            }
+            XmlToken::Close(_) => {
+                self.matcher.close();
+                let entry = self.stack.pop().expect("balanced stream");
+                match entry.buf {
+                    Some(node) => {
+                        buffer.finish(node);
+                        Ok(PumpEvent::Closed(node))
+                    }
+                    None => {
+                        self.tokens_skipped += 1;
+                        Ok(PumpEvent::Skipped)
+                    }
+                }
+            }
+            XmlToken::Text(text) => {
+                let outcome = self.matcher.text();
+                if outcome.buffer {
+                    let parent = self.stack.last().expect("stack nonempty").attach;
+                    let node = buffer.add_text(parent, &text);
+                    for &r in &outcome.roles {
+                        buffer.add_role(node, r);
+                    }
+                    Ok(PumpEvent::Buffered(node))
+                } else {
+                    self.tokens_skipped += 1;
+                    Ok(PumpEvent::Skipped)
+                }
+            }
+        }
+    }
+
+    /// Consumes tokens until the current element's closing tag, without
+    /// matching (the matcher has proven the subtree dead).
+    fn skip_subtree(&mut self) -> Result<(), EngineError> {
+        let mut depth = 0usize;
+        loop {
+            let Some(token) = self.lexer.next_token()? else {
+                // Unbalanced input is caught by the lexer itself.
+                return Ok(());
+            };
+            self.tokens_read += 1;
+            self.tokens_skipped += 1;
+            match token {
+                XmlToken::Open(_) => depth += 1,
+                XmlToken::Close(_) => {
+                    if depth == 0 {
+                        return Ok(());
+                    }
+                    depth -= 1;
+                }
+                XmlToken::Text(_) => {}
+            }
+        }
+    }
+
+    /// Pumps until end of input (used by the static-projection baseline).
+    pub fn pump_to_eof(&mut self, buffer: &mut BufferTree) -> Result<(), EngineError> {
+        while self.pump(buffer)? != PumpEvent::Eof {}
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcx_projection::{PStep, PTest, Role};
+    use gcx_xml::TagInterner;
+
+    /// Projection for /bib/book/dos::node() over a small document.
+    #[test]
+    fn projects_matching_subtrees() {
+        let mut tags = TagInterner::new();
+        let bib = tags.intern("bib");
+        let book = tags.intern("book");
+        let mut tree = ProjTree::new();
+        let v1 = tree.add_child(ProjTree::ROOT, PStep::child(PTest::Tag(bib)), Some(Role(0)));
+        let v2 = tree.add_child(v1, PStep::child(PTest::Tag(book)), Some(Role(1)));
+        tree.add_child(v2, PStep::dos_node(), Some(Role(2)));
+        let doc = "<bib><book><title>t</title></book><junk><deep/></junk></bib>";
+        let mut buffer = BufferTree::new(3, &[]);
+        let lexer = XmlLexer::new(doc.as_bytes(), &mut tags);
+        let mut proj = Preprojector::new(lexer, &tree, &mut buffer);
+        proj.pump_to_eof(&mut buffer).unwrap();
+        // Root + bib + book + title + text = 5 live nodes; junk skipped.
+        assert_eq!(buffer.stats().live_nodes, 5);
+        assert!(proj.tokens_skipped > 0);
+        let rendered = buffer.render(proj.tags());
+        assert!(rendered.contains("bib{r0}"), "got {rendered}");
+        assert!(rendered.contains("book{r1,r2}"), "got {rendered}");
+        assert!(!rendered.contains("junk"));
+    }
+
+    /// Promotion: descendants matched through skipped intermediates attach
+    /// to the nearest buffered ancestor.
+    #[test]
+    fn promotion_to_buffered_ancestor() {
+        let mut tags = TagInterner::new();
+        let b = tags.intern("b");
+        let mut tree = ProjTree::new();
+        tree.add_child(ProjTree::ROOT, PStep::descendant(PTest::Tag(b)), Some(Role(0)));
+        let doc = "<a><x><y><b/></y></x><b/></a>";
+        let mut buffer = BufferTree::new(1, &[]);
+        let lexer = XmlLexer::new(doc.as_bytes(), &mut tags);
+        let mut proj = Preprojector::new(lexer, &tree, &mut buffer);
+        proj.pump_to_eof(&mut buffer).unwrap();
+        // Both b's become children of the buffer root (a, x, y discarded).
+        assert_eq!(buffer.child_count(BufferTree::ROOT), 2);
+        assert_eq!(buffer.stats().live_nodes, 3);
+    }
+
+    /// Dead-subtree skipping keeps the element count honest.
+    #[test]
+    fn dead_subtrees_are_skipped_wholesale() {
+        let mut tags = TagInterner::new();
+        let a = tags.intern("a");
+        let k = tags.intern("k");
+        let mut tree = ProjTree::new();
+        let va = tree.add_child(ProjTree::ROOT, PStep::child(PTest::Tag(a)), Some(Role(0)));
+        tree.add_child(va, PStep::child(PTest::Tag(k)), Some(Role(1)));
+        // The <z> subtree is dead (only /a/k matters).
+        let doc = "<a><z><k/><k/><k/></z><k/></a>";
+        let mut buffer = BufferTree::new(2, &[]);
+        let lexer = XmlLexer::new(doc.as_bytes(), &mut tags);
+        let mut proj = Preprojector::new(lexer, &tree, &mut buffer);
+        proj.pump_to_eof(&mut buffer).unwrap();
+        // Only /a/k buffered — the k's inside z are not children of a.
+        assert_eq!(buffer.stats().live_nodes, 3, "root, a, one k");
+    }
+
+    /// Eof finishes the root.
+    #[test]
+    fn eof_finishes_root() {
+        let mut tags = TagInterner::new();
+        let tree = ProjTree::new();
+        let mut buffer = BufferTree::new(0, &[]);
+        let lexer = XmlLexer::new("<a/>".as_bytes(), &mut tags);
+        let mut proj = Preprojector::new(lexer, &tree, &mut buffer);
+        assert!(!buffer.is_finished(BufferTree::ROOT));
+        proj.pump_to_eof(&mut buffer).unwrap();
+        assert!(buffer.is_finished(BufferTree::ROOT));
+        assert!(proj.at_eof());
+        // Further pumps keep returning Eof.
+        assert_eq!(proj.pump(&mut buffer).unwrap(), PumpEvent::Eof);
+    }
+
+    /// Structural (condition-2) nodes are buffered without roles and carry
+    /// role-bearing descendants.
+    #[test]
+    fn structural_nodes_buffered() {
+        let mut tags = TagInterner::new();
+        let a = tags.intern("a");
+        let b = tags.intern("b");
+        let mut tree = ProjTree::new();
+        let va = tree.add_child(ProjTree::ROOT, PStep::child(PTest::Tag(a)), Some(Role(0)));
+        tree.add_child(va, PStep::child(PTest::Tag(b)), Some(Role(1)));
+        tree.add_child(va, PStep::descendant(PTest::Tag(b)), Some(Role(2)));
+        let doc = "<a><mid><b/></mid></a>";
+        let mut buffer = BufferTree::new(3, &[]);
+        let lexer = XmlLexer::new(doc.as_bytes(), &mut tags);
+        let mut proj = Preprojector::new(lexer, &tree, &mut buffer);
+        proj.pump_to_eof(&mut buffer).unwrap();
+        let rendered = buffer.render(proj.tags());
+        assert!(rendered.contains("mid{}"), "structural mid kept: {rendered}");
+        assert!(rendered.contains("b{r2}"), "only //b matches: {rendered}");
+    }
+}

@@ -1,0 +1,62 @@
+//! Comparison semantics for XQ conditions.
+//!
+//! The fragment compares string values of nodes (paper Fig. 6:
+//! `var/axis::ν RelOp string`). Following XPath 1.0 practice — and because
+//! the XMark queries compare prices and incomes — operands that both parse
+//! as numbers are compared numerically; otherwise lexicographically.
+//! Comparisons over node sets are existential: `$x/p = "v"` holds when
+//! *some* matched node's string value satisfies the relation.
+
+use gcx_query::RelOp;
+
+/// Compares two string values under `op`, numerically when both sides
+/// parse as `f64`.
+pub fn compare_values(left: &str, right: &str, op: RelOp) -> bool {
+    let lt = left.trim();
+    let rt = right.trim();
+    if let (Ok(a), Ok(b)) = (lt.parse::<f64>(), rt.parse::<f64>()) {
+        return match op {
+            RelOp::Le => a <= b,
+            RelOp::Lt => a < b,
+            RelOp::Eq => a == b,
+            RelOp::Ne => a != b,
+            RelOp::Ge => a >= b,
+            RelOp::Gt => a > b,
+        };
+    }
+    match op {
+        RelOp::Le => left <= right,
+        RelOp::Lt => left < right,
+        RelOp::Eq => left == right,
+        RelOp::Ne => left != right,
+        RelOp::Ge => left >= right,
+        RelOp::Gt => left > right,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_when_both_numeric() {
+        assert!(compare_values("9", "10", RelOp::Lt), "9 < 10 numerically");
+        assert!(!compare_values("9", "10", RelOp::Gt));
+        assert!(compare_values("2.5", "2.50", RelOp::Eq));
+        assert!(compare_values(" 42 ", "42", RelOp::Eq), "trimmed");
+    }
+
+    #[test]
+    fn string_when_not_numeric() {
+        assert!(compare_values("9a", "10a", RelOp::Gt), "lexicographic");
+        assert!(compare_values("abc", "abd", RelOp::Lt));
+        assert!(compare_values("person0", "person0", RelOp::Eq));
+        assert!(compare_values("a", "b", RelOp::Ne));
+    }
+
+    #[test]
+    fn mixed_falls_back_to_string() {
+        assert!(!compare_values("10", "ten", RelOp::Eq));
+        assert!(compare_values("10", "ten", RelOp::Ne));
+    }
+}

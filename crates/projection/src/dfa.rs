@@ -1,0 +1,444 @@
+//! The lazily constructed DFA of paper §2 (Fig. 5).
+//!
+//! "Similar to processing XPath on streams, we realize stream preprojection
+//! with a lazily constructed deterministic finite automaton." A DFA state
+//! represents a path shape of the input document and *maps to a multiset of
+//! projection tree nodes* (paper Example 1); the multiplicity of a node is
+//! the number of possible path-step assignments that lead to matches.
+//!
+//! States are created on demand: the key of a state is the canonical pair
+//! (match multiset, pending-descendant-edge multiset). Transitions are
+//! memoized per `(state, tag)`, so repeated document shapes — the common
+//! case in data-centric XML like XMark — cost one hash lookup per opening
+//! tag.
+//!
+//! The DFA is only used when the projection tree carries no
+//! `[position()=1]` predicates; those need per-instance bookkeeping (see
+//! [`crate::matcher`]).
+
+use crate::path::{PAxis, Pred};
+use crate::role::Role;
+use crate::tree::{ProjNodeId, ProjTree};
+use gcx_xml::TagId;
+use std::collections::HashMap;
+
+/// A DFA state id.
+pub type StateId = u32;
+
+/// One DFA state: the canonical multisets plus precomputed verdicts.
+#[derive(Debug)]
+struct DfaState {
+    /// Matched projection nodes with their `via_self` flag, sorted.
+    matches: Vec<(ProjNodeId, bool)>,
+    /// Pending descendant-like edges (multiset, sorted).
+    pending: Vec<ProjNodeId>,
+    /// Roles assigned to a document node entering this state.
+    entry_roles: Vec<Role>,
+    /// Condition (2): children of nodes in this state must be preserved.
+    preserve_children: bool,
+    /// Nothing below a node in this state can match.
+    dead_below: bool,
+    /// Cached text verdict for text children of nodes in this state.
+    text: Option<(bool, Vec<Role>)>,
+}
+
+type StateKey = (Vec<(ProjNodeId, bool)>, Vec<ProjNodeId>);
+
+/// The lazy DFA. See module docs.
+#[derive(Debug)]
+pub struct LazyDfa {
+    states: Vec<DfaState>,
+    index: HashMap<StateKey, StateId>,
+    trans: HashMap<(StateId, TagId), StateId>,
+}
+
+impl LazyDfa {
+    /// The initial state (the virtual document root).
+    pub const INITIAL: StateId = 0;
+
+    /// Builds the DFA with its initial state from the root match set
+    /// (which already includes the root dos self-closure).
+    pub fn new(tree: &ProjTree, root_matches: &[(ProjNodeId, bool)]) -> Self {
+        debug_assert!(!tree.has_positional(), "DFA mode requires no predicates");
+        let mut dfa = LazyDfa {
+            states: Vec::new(),
+            index: HashMap::new(),
+            trans: HashMap::new(),
+        };
+        let pending = collect_pending(tree, root_matches, Vec::new());
+        let id = dfa.intern_state(tree, root_matches.to_vec(), pending);
+        debug_assert_eq!(id, Self::INITIAL);
+        dfa
+    }
+
+    /// Number of constructed states (grows lazily).
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True when no state has been constructed (never the case after
+    /// `new`).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// The paper's state mapping: the multiset of projection-tree nodes a
+    /// state maps to, excluding `dos` self-closure entries (matching the
+    /// presentation in Example 1).
+    pub fn mapping(&self, s: StateId) -> Vec<ProjNodeId> {
+        self.states[s as usize]
+            .matches
+            .iter()
+            .filter(|&&(_, via_self)| !via_self)
+            .map(|&(n, _)| n)
+            .collect()
+    }
+
+    /// The full match multiset including self-closure entries.
+    pub fn full_matches(&self, s: StateId) -> &[(ProjNodeId, bool)] {
+        &self.states[s as usize].matches
+    }
+
+    /// Roles assigned on entering `s`.
+    pub fn entry_roles(&self, s: StateId) -> &[Role] {
+        &self.states[s as usize].entry_roles
+    }
+
+    /// True when `s` maps to at least one projection node.
+    pub fn has_matches(&self, s: StateId) -> bool {
+        !self.states[s as usize].matches.is_empty()
+    }
+
+    /// Condition (2) verdict for children of nodes in `s`.
+    pub fn preserve_children(&self, s: StateId) -> bool {
+        self.states[s as usize].preserve_children
+    }
+
+    /// True when nothing below a node in state `s` can match.
+    pub fn is_dead(&self, s: StateId) -> bool {
+        self.states[s as usize].dead_below
+    }
+
+    /// Takes the transition `(from, tag)`, constructing the target state on
+    /// first use.
+    pub fn transition(&mut self, tree: &ProjTree, from: StateId, tag: TagId) -> StateId {
+        if let Some(&to) = self.trans.get(&(from, tag)) {
+            return to;
+        }
+        let state = &self.states[from as usize];
+        let mut new: Vec<(ProjNodeId, bool)> = Vec::new();
+        for &(m, _) in &state.matches {
+            for &c in tree.children(m) {
+                let s = tree.step(c);
+                if s.axis == PAxis::Child && s.test.matches_element(tag) {
+                    new.push((c, false));
+                }
+            }
+        }
+        for &p in &state.pending {
+            if tree.step(p).test.matches_element(tag) {
+                new.push((p, false));
+            }
+        }
+        // dos self-closure.
+        let mut i = 0;
+        while i < new.len() {
+            let v = new[i].0;
+            for &c in tree.children(v) {
+                let s = tree.step(c);
+                if s.axis == PAxis::DescendantOrSelf && s.test.matches_element(tag) {
+                    debug_assert_eq!(s.pred, Pred::True);
+                    new.push((c, true));
+                }
+            }
+            i += 1;
+        }
+        let pending = collect_pending(tree, &new, state.pending.clone());
+        let to = self.intern_state(tree, new, pending);
+        self.trans.insert((from, tag), to);
+        to
+    }
+
+    /// The verdict for a text child of a node in state `s`: whether to
+    /// buffer it and which roles to assign. Cached per state.
+    pub fn text_outcome(&mut self, tree: &ProjTree, s: StateId) -> (bool, Vec<Role>) {
+        if let Some(cached) = &self.states[s as usize].text {
+            return cached.clone();
+        }
+        let state = &self.states[s as usize];
+        let mut new: Vec<(ProjNodeId, bool)> = Vec::new();
+        for &(m, _) in &state.matches {
+            for &c in tree.children(m) {
+                let st = tree.step(c);
+                if st.axis == PAxis::Child && st.test.matches_text() {
+                    new.push((c, false));
+                }
+            }
+        }
+        for &p in &state.pending {
+            if tree.step(p).test.matches_text() {
+                new.push((p, false));
+            }
+        }
+        let mut i = 0;
+        while i < new.len() {
+            let v = new[i].0;
+            for &c in tree.children(v) {
+                let st = tree.step(c);
+                if st.axis == PAxis::DescendantOrSelf && st.test.matches_text() {
+                    new.push((c, true));
+                }
+            }
+            i += 1;
+        }
+        let result = (!new.is_empty(), entry_roles(tree, &new));
+        self.states[s as usize].text = Some(result.clone());
+        result
+    }
+
+    /// Canonicalizes and interns a state.
+    fn intern_state(
+        &mut self,
+        tree: &ProjTree,
+        mut matches: Vec<(ProjNodeId, bool)>,
+        mut pending: Vec<ProjNodeId>,
+    ) -> StateId {
+        matches.sort_unstable();
+        pending.sort_unstable();
+        let key = (matches.clone(), pending.clone());
+        if let Some(&id) = self.index.get(&key) {
+            return id;
+        }
+        let entry_roles = entry_roles(tree, &matches);
+        let preserve_children = preserve_condition(tree, &matches, &pending);
+        let dead_below = pending.is_empty()
+            && !preserve_children
+            && matches.iter().all(|&(m, _)| tree.children(m).is_empty());
+        let id = self.states.len() as StateId;
+        self.states.push(DfaState {
+            matches,
+            pending,
+            entry_roles,
+            preserve_children,
+            dead_below,
+            text: None,
+        });
+        self.index.insert(key, id);
+        id
+    }
+}
+
+/// Pending edges of a new state: the inherited multiset plus the
+/// descendant-like child edges of the fresh matches.
+fn collect_pending(
+    tree: &ProjTree,
+    matches: &[(ProjNodeId, bool)],
+    mut inherited: Vec<ProjNodeId>,
+) -> Vec<ProjNodeId> {
+    for &(m, _) in matches {
+        for &c in tree.children(m) {
+            if tree.step(c).axis.is_descendant_like() {
+                inherited.push(c);
+            }
+        }
+    }
+    inherited
+}
+
+/// Role instances assigned when entering a state with these matches;
+/// aggregate roles only on self matches (paper §6).
+fn entry_roles(tree: &ProjTree, matches: &[(ProjNodeId, bool)]) -> Vec<Role> {
+    let mut roles = Vec::new();
+    for &(m, via_self) in matches {
+        let n = tree.node(m);
+        if let Some(r) = n.role {
+            if !n.aggregate || via_self {
+                roles.push(r);
+            }
+        }
+    }
+    roles
+}
+
+/// Condition (2), same logic as the NFA path (see `matcher`).
+fn preserve_condition(
+    tree: &ProjTree,
+    matches: &[(ProjNodeId, bool)],
+    pending: &[ProjNodeId],
+) -> bool {
+    if pending.is_empty() {
+        return false;
+    }
+    for &(m, _) in matches {
+        for &c in tree.children(m) {
+            let s = tree.step(c);
+            if s.axis != PAxis::Child {
+                continue;
+            }
+            for &p in pending {
+                if s.test.overlaps(tree.step(p).test) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::{PStep, PTest};
+    use gcx_xml::TagInterner;
+
+    /// Projection tree of Fig. 5(a): /a/b/dos::node() and /a//b/dos::node().
+    /// Returns (tree, [v2, v3, v4, v5, v6, v7]).
+    fn fig5_tree(tags: &mut TagInterner) -> (ProjTree, Vec<ProjNodeId>) {
+        let a = tags.intern("a");
+        let b = tags.intern("b");
+        let mut t = ProjTree::new();
+        let v2 = t.add_child(ProjTree::ROOT, PStep::child(PTest::Tag(a)), None);
+        let v3 = t.add_child(v2, PStep::child(PTest::Tag(b)), None);
+        let v4 = t.add_child(v3, PStep::dos_node(), None);
+        let v5 = t.add_child(ProjTree::ROOT, PStep::child(PTest::Tag(a)), None);
+        let v6 = t.add_child(v5, PStep::descendant(PTest::Tag(b)), None);
+        let v7 = t.add_child(v6, PStep::dos_node(), None);
+        (t, vec![v2, v3, v4, v5, v6, v7])
+    }
+
+    /// Paper Example 1, first part: state mappings for the Fig. 5 DFA over
+    /// the Fig. 5(a) tree.
+    #[test]
+    fn example1_fig5_mappings() {
+        let mut tags = TagInterner::new();
+        let (tree, v) = fig5_tree(&mut tags);
+        let a = tags.get("a").unwrap();
+        let b = tags.get("b").unwrap();
+        let mut dfa = LazyDfa::new(&tree, &[(ProjTree::ROOT, false)]);
+
+        // q0 maps to {v1} (the root).
+        assert_eq!(dfa.mapping(LazyDfa::INITIAL), vec![ProjTree::ROOT]);
+        // q1 = δ(q0, a) maps to {v2, v5}.
+        let q1 = dfa.transition(&tree, LazyDfa::INITIAL, a);
+        assert_eq!(dfa.mapping(q1), vec![v[0], v[3]]);
+        // q2 = δ(q1, a) maps to ∅.
+        let q2 = dfa.transition(&tree, q1, a);
+        assert!(dfa.mapping(q2).is_empty());
+        // q3 = δ(q2, b) maps to {v6}.
+        let q3 = dfa.transition(&tree, q2, b);
+        assert_eq!(dfa.mapping(q3), vec![v[4]]);
+        // q4 = δ(q1, b) maps to {v3, v6}.
+        let q4 = dfa.transition(&tree, q1, b);
+        assert_eq!(dfa.mapping(q4), vec![v[1], v[4]]);
+    }
+
+    /// Paper Example 1, second part: over the Fig. 4(b) tree (//a//b),
+    /// state q3 (path /a/a/b) maps to the multiset {v3, v3}.
+    #[test]
+    fn example1_fig4b_multiplicity() {
+        let mut tags = TagInterner::new();
+        let a = tags.intern("a");
+        let b = tags.intern("b");
+        let mut tree = ProjTree::new();
+        let v2 = tree.add_child(ProjTree::ROOT, PStep::descendant(PTest::Tag(a)), Some(Role(2)));
+        let v3 = tree.add_child(v2, PStep::descendant(PTest::Tag(b)), Some(Role(3)));
+        let mut dfa = LazyDfa::new(&tree, &[(ProjTree::ROOT, false)]);
+        let q1 = dfa.transition(&tree, LazyDfa::INITIAL, a);
+        let q2 = dfa.transition(&tree, q1, a);
+        let q3 = dfa.transition(&tree, q2, b);
+        assert_eq!(dfa.mapping(q3), vec![v3, v3]);
+        assert_eq!(dfa.entry_roles(q3), &[Role(3), Role(3)]);
+        // And /a/b maps to {v3} only.
+        let q4 = dfa.transition(&tree, q1, b);
+        assert_eq!(dfa.mapping(q4), vec![v3]);
+    }
+
+    /// Paper Example 2: in state q1, reading another `a` yields a state
+    /// with no matches, but q1's preserve_children flag forces structural
+    /// preservation.
+    #[test]
+    fn example2_preservation_flag() {
+        let mut tags = TagInterner::new();
+        let (tree, _) = fig5_tree(&mut tags);
+        let a = tags.get("a").unwrap();
+        let mut dfa = LazyDfa::new(&tree, &[(ProjTree::ROOT, false)]);
+        let q1 = dfa.transition(&tree, LazyDfa::INITIAL, a);
+        assert!(
+            dfa.preserve_children(q1),
+            "child ./b and descendant .//b edges for the same tag force preservation"
+        );
+        let q2 = dfa.transition(&tree, q1, a);
+        assert!(!dfa.has_matches(q2));
+        // q0 has both child edges (/a) but no pending overlap (no pending at
+        // all), so no preservation there.
+        assert!(!dfa.preserve_children(LazyDfa::INITIAL));
+    }
+
+    /// Transitions are memoized: same (state, tag) does not grow the DFA.
+    #[test]
+    fn laziness_and_memoization() {
+        let mut tags = TagInterner::new();
+        let (tree, _) = fig5_tree(&mut tags);
+        let a = tags.get("a").unwrap();
+        let b = tags.get("b").unwrap();
+        let mut dfa = LazyDfa::new(&tree, &[(ProjTree::ROOT, false)]);
+        let q1 = dfa.transition(&tree, LazyDfa::INITIAL, a);
+        let before = dfa.len();
+        let q1_again = dfa.transition(&tree, LazyDfa::INITIAL, a);
+        assert_eq!(q1, q1_again);
+        assert_eq!(dfa.len(), before);
+        let _ = dfa.transition(&tree, q1, b);
+        assert!(dfa.len() > before);
+    }
+
+    /// Sibling-equivalent paths collapse to the same state (canonical
+    /// multiset keys).
+    #[test]
+    fn state_sharing_across_siblings() {
+        let mut tags = TagInterner::new();
+        let (tree, _) = fig5_tree(&mut tags);
+        let a = tags.get("a").unwrap();
+        let c = tags.intern("c");
+        let mut dfa = LazyDfa::new(&tree, &[(ProjTree::ROOT, false)]);
+        let q1 = dfa.transition(&tree, LazyDfa::INITIAL, a);
+        // /a/c and /a/c/c — the dead state self-collapses.
+        let qc = dfa.transition(&tree, q1, c);
+        let qcc = dfa.transition(&tree, qc, c);
+        // Both have no matches; q1's pending (.//b) is inherited by both, so
+        // they are the same state.
+        assert_eq!(qc, qcc);
+    }
+
+    /// Text verdicts are cached and respect dos::node().
+    #[test]
+    fn text_outcome_cached() {
+        let mut tags = TagInterner::new();
+        let x = tags.intern("x");
+        let mut tree = ProjTree::new();
+        let vx = tree.add_child(ProjTree::ROOT, PStep::child(PTest::Tag(x)), Some(Role(1)));
+        tree.add_child(vx, PStep::dos_node(), Some(Role(5)));
+        let mut dfa = LazyDfa::new(&tree, &[(ProjTree::ROOT, false)]);
+        let qx = dfa.transition(&tree, LazyDfa::INITIAL, x);
+        let (buf, roles) = dfa.text_outcome(&tree, qx);
+        assert!(buf);
+        assert_eq!(roles, vec![Role(5)]);
+        let again = dfa.text_outcome(&tree, qx);
+        assert_eq!(again, (buf, roles));
+    }
+
+    /// Dead-state detection.
+    #[test]
+    fn dead_state() {
+        let mut tags = TagInterner::new();
+        let a = tags.intern("a");
+        let z = tags.intern("z");
+        let mut tree = ProjTree::new();
+        tree.add_child(ProjTree::ROOT, PStep::child(PTest::Tag(a)), Some(Role(1)));
+        let mut dfa = LazyDfa::new(&tree, &[(ProjTree::ROOT, false)]);
+        let qz = dfa.transition(&tree, LazyDfa::INITIAL, z);
+        assert!(dfa.is_dead(qz));
+        let qa = dfa.transition(&tree, LazyDfa::INITIAL, a);
+        assert!(dfa.is_dead(qa), "a has no children in the projection tree");
+        assert!(!dfa.is_dead(LazyDfa::INITIAL));
+    }
+}

@@ -1,0 +1,839 @@
+//! Matching an XML token stream against a projection tree.
+//!
+//! This implements the runtime side of paper §2: while reading the input
+//! stream, each token is matched against the projection tree, and
+//!
+//! 1. a node is preserved (buffered, with roles) when the "successor state
+//!    maps to a node in the projection tree" — condition (1);
+//! 2. a node is preserved *without* roles when discarding it could promote
+//!    a descendant into a false `child::` match — condition (2),
+//!    paper Example 2.
+//!
+//! Role multiplicities follow the paper's multiset semantics (Example 1:
+//! `//a//b` matches `/a/a/b` in two ways, so the node receives the role
+//! twice — Example 3, Fig. 4(c)).
+//!
+//! Two execution modes share the same semantics:
+//!
+//! * **DFA mode** ([`crate::dfa::LazyDfa`]) — the paper's lazily
+//!   constructed deterministic automaton, used when the projection tree has
+//!   no positional predicates. Transition results are memoized per
+//!   `(state, tag)`.
+//! * **NFA mode** — per-instance simulation with explicit frames, required
+//!   when `[position() = 1]` predicates are present, because "first
+//!   witness" is relative to a concrete ancestor instance and cannot be
+//!   captured by a finite state.
+
+use crate::dfa::LazyDfa;
+use crate::path::{PAxis, Pred};
+use crate::role::Role;
+use crate::tree::{ProjNodeId, ProjTree};
+use gcx_xml::TagId;
+
+/// The matcher's verdict for one input node.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Outcome {
+    /// Copy this input node into the buffer?
+    pub buffer: bool,
+    /// Role instances to assign (repeats encode multiplicity).
+    pub roles: Vec<Role>,
+    /// True when the node is preserved only by condition (2) — it matches
+    /// nothing but must not be discarded to protect `child::` semantics.
+    pub structural: bool,
+}
+
+impl Outcome {
+    fn skip() -> Self {
+        Outcome::default()
+    }
+}
+
+/// A match instance at a frame: the projection node plus whether it was
+/// reached "as self" (via the `dos::node()` self-closure). Aggregate roles
+/// (paper §6) are only assigned on self matches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct MatchInst {
+    node: ProjNodeId,
+    via_self: bool,
+}
+
+/// A pending descendant-like edge: `node` may match any strict descendant
+/// of the frame that spawned it; `origin` is that frame's index (the frame
+/// holding the `[position()=1]` firing record for this edge).
+#[derive(Debug, Clone, Copy)]
+struct PendingEdge {
+    node: ProjNodeId,
+    origin: u32,
+}
+
+#[derive(Debug, Default)]
+struct Frame {
+    matches: Vec<MatchInst>,
+    pending: Vec<PendingEdge>,
+    /// Positional edges that have already fired with this frame as origin.
+    fired: Vec<ProjNodeId>,
+    /// Precomputed condition (2) for children of this frame.
+    preserve_children: bool,
+    /// Nothing below this frame can match: no pending edges, no outgoing
+    /// child edges, no structural preservation.
+    dead_below: bool,
+}
+
+enum Mode {
+    Dfa { dfa: LazyDfa, stack: Vec<u32> },
+    Nfa { frames: Vec<Frame> },
+}
+
+/// Streaming projection matcher (see module docs).
+pub struct StreamMatcher<'t> {
+    tree: &'t ProjTree,
+    mode: Mode,
+    root_roles: Vec<Role>,
+    depth: usize,
+}
+
+impl<'t> StreamMatcher<'t> {
+    /// Creates a matcher positioned at the virtual document root.
+    pub fn new(tree: &'t ProjTree) -> Self {
+        let mut root_matches = vec![MatchInst {
+            node: ProjTree::ROOT,
+            via_self: false,
+        }];
+        // dos-self closure at the virtual root: a `dos::node()` edge
+        // directly below a matched node also matches the node itself. The
+        // virtual root is neither element nor text; only `node()` applies.
+        let mut i = 0;
+        while i < root_matches.len() {
+            let v = root_matches[i].node;
+            for &c in tree.children(v) {
+                let s = tree.step(c);
+                if s.axis == PAxis::DescendantOrSelf
+                    && matches!(s.test, crate::path::PTest::AnyNode)
+                {
+                    root_matches.push(MatchInst {
+                        node: c,
+                        via_self: true,
+                    });
+                }
+            }
+            i += 1;
+        }
+        let root_roles = roles_of(tree, &root_matches);
+        let mode = if tree.has_positional() {
+            let frame = make_frame(tree, root_matches, Vec::new(), 0);
+            Mode::Nfa {
+                frames: vec![frame],
+            }
+        } else {
+            let tuples: Vec<(ProjNodeId, bool)> = root_matches
+                .iter()
+                .map(|m| (m.node, m.via_self))
+                .collect();
+            let dfa = LazyDfa::new(tree, &tuples);
+            let stack = vec![LazyDfa::INITIAL];
+            Mode::Dfa { dfa, stack }
+        };
+        StreamMatcher {
+            tree,
+            mode,
+            root_roles,
+            depth: 0,
+        }
+    }
+
+    /// Roles the virtual document root itself carries (non-empty only when
+    /// the query outputs `$root`).
+    pub fn root_roles(&self) -> &[Role] {
+        &self.root_roles
+    }
+
+    /// Current element depth (0 = at the virtual root).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// True when nothing below the current position can match: the
+    /// preprojector may skip the whole subtree without consulting the
+    /// matcher (it must still track nesting itself).
+    pub fn is_dead(&self) -> bool {
+        match &self.mode {
+            Mode::Dfa { dfa, stack } => {
+                let s = *stack.last().expect("stack never empty");
+                dfa.is_dead(s)
+            }
+            Mode::Nfa { frames } => frames.last().expect("frames never empty").dead_below,
+        }
+    }
+
+    /// Processes an opening tag; returns the buffering verdict.
+    pub fn open(&mut self, tag: TagId) -> Outcome {
+        self.depth += 1;
+        match &mut self.mode {
+            Mode::Dfa { dfa, stack } => {
+                let from = *stack.last().expect("stack never empty");
+                let to = dfa.transition(self.tree, from, tag);
+                stack.push(to);
+                let matched = dfa.has_matches(to);
+                let structural = !matched && dfa.preserve_children(from);
+                Outcome {
+                    buffer: matched || structural,
+                    roles: dfa.entry_roles(to).to_vec(),
+                    structural,
+                }
+            }
+            Mode::Nfa { frames } => {
+                let pi = frames.len() - 1;
+                // Collect candidate edges first (child edges from the
+                // parent's matches, then pending descendant-like edges),
+                // then apply positional firing in order.
+                let tree = self.tree;
+                let mut cands: Vec<(ProjNodeId, u32)> = Vec::new();
+                for m in &frames[pi].matches {
+                    for &c in tree.children(m.node) {
+                        let s = tree.step(c);
+                        if s.axis == PAxis::Child && s.test.matches_element(tag) {
+                            cands.push((c, pi as u32));
+                        }
+                    }
+                }
+                for pe in &frames[pi].pending {
+                    let s = tree.step(pe.node);
+                    if s.test.matches_element(tag) {
+                        cands.push((pe.node, pe.origin));
+                    }
+                }
+                let mut new: Vec<MatchInst> = Vec::new();
+                // `[position()=1]` fires once per origin instance, but an
+                // origin with match multiplicity m contributes m candidate
+                // entries for the *same* element — all of them are part of
+                // this first witness (the role lands with multiplicity m,
+                // mirroring the chain-assignment count; see Example 1).
+                let mut fired_now: Vec<(ProjNodeId, u32)> = Vec::new();
+                for (c, o) in cands {
+                    if tree.step(c).pred == Pred::First {
+                        let fired = &mut frames[o as usize].fired;
+                        if fired.contains(&c) {
+                            if !fired_now.contains(&(c, o)) {
+                                continue; // witnessed by an earlier element
+                            }
+                        } else {
+                            fired.push(c);
+                            fired_now.push((c, o));
+                        }
+                    }
+                    new.push(MatchInst {
+                        node: c,
+                        via_self: false,
+                    });
+                }
+                close_self(tree, &mut new, |t| t.matches_element(tag));
+                let structural = new.is_empty() && frames[pi].preserve_children;
+                let roles = roles_of(tree, &new);
+                let buffer = !new.is_empty() || structural;
+                let inherited = frames[pi].pending.clone();
+                let frame = make_frame(tree, new, inherited, frames.len() as u32);
+                frames.push(frame);
+                Outcome {
+                    buffer,
+                    roles,
+                    structural,
+                }
+            }
+        }
+    }
+
+    /// Processes a closing tag.
+    pub fn close(&mut self) {
+        debug_assert!(self.depth > 0, "close below the document root");
+        self.depth -= 1;
+        match &mut self.mode {
+            Mode::Dfa { stack, .. } => {
+                stack.pop();
+                debug_assert!(!stack.is_empty());
+            }
+            Mode::Nfa { frames } => {
+                frames.pop();
+                debug_assert!(!frames.is_empty());
+            }
+        }
+    }
+
+    /// Processes a text node (no frame is pushed; text has no children).
+    pub fn text(&mut self) -> Outcome {
+        match &mut self.mode {
+            Mode::Dfa { dfa, stack } => {
+                let s = *stack.last().expect("stack never empty");
+                let (buffer, roles) = dfa.text_outcome(self.tree, s);
+                Outcome {
+                    buffer,
+                    roles,
+                    structural: false,
+                }
+            }
+            Mode::Nfa { frames } => {
+                let tree = self.tree;
+                let pi = frames.len() - 1;
+                let mut cands: Vec<(ProjNodeId, u32)> = Vec::new();
+                for m in &frames[pi].matches {
+                    for &c in tree.children(m.node) {
+                        let s = tree.step(c);
+                        if s.axis == PAxis::Child && s.test.matches_text() {
+                            cands.push((c, pi as u32));
+                        }
+                    }
+                }
+                for pe in &frames[pi].pending {
+                    if tree.step(pe.node).test.matches_text() {
+                        cands.push((pe.node, pe.origin));
+                    }
+                }
+                let mut new: Vec<MatchInst> = Vec::new();
+                let mut fired_now: Vec<(ProjNodeId, u32)> = Vec::new();
+                for (c, o) in cands {
+                    if tree.step(c).pred == Pred::First {
+                        let fired = &mut frames[o as usize].fired;
+                        if fired.contains(&c) {
+                            if !fired_now.contains(&(c, o)) {
+                                continue;
+                            }
+                        } else {
+                            fired.push(c);
+                            fired_now.push((c, o));
+                        }
+                    }
+                    new.push(MatchInst {
+                        node: c,
+                        via_self: false,
+                    });
+                }
+                close_self(tree, &mut new, |t| t.matches_text());
+                if new.is_empty() {
+                    return Outcome::skip();
+                }
+                Outcome {
+                    buffer: true,
+                    roles: roles_of(tree, &new),
+                    structural: false,
+                }
+            }
+        }
+    }
+
+    /// True when the matcher runs in the paper's lazy-DFA mode.
+    pub fn uses_dfa(&self) -> bool {
+        matches!(self.mode, Mode::Dfa { .. })
+    }
+
+    /// Number of DFA states constructed so far (0 in NFA mode). Lets tests
+    /// and the bench harness observe laziness.
+    pub fn dfa_states(&self) -> usize {
+        match &self.mode {
+            Mode::Dfa { dfa, .. } => dfa.len(),
+            Mode::Nfa { .. } => 0,
+        }
+    }
+}
+
+/// Extends `new` with the `dos::node()` self-closure: whenever a matched
+/// node has a `descendant-or-self` child whose test accepts the *current*
+/// node, that child matches too (recursively).
+fn close_self<F: Fn(crate::path::PTest) -> bool>(
+    tree: &ProjTree,
+    new: &mut Vec<MatchInst>,
+    accepts: F,
+) {
+    let mut i = 0;
+    while i < new.len() {
+        let v = new[i].node;
+        for &c in tree.children(v) {
+            let s = tree.step(c);
+            if s.axis == PAxis::DescendantOrSelf && accepts(s.test) {
+                debug_assert_eq!(
+                    s.pred,
+                    Pred::True,
+                    "positional predicates are not supported on dos steps"
+                );
+                new.push(MatchInst {
+                    node: c,
+                    via_self: true,
+                });
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Collects the role instances for a set of match instances. Aggregate
+/// roles are assigned only when matched as self (the subtree root).
+fn roles_of(tree: &ProjTree, matches: &[MatchInst]) -> Vec<Role> {
+    let mut roles = Vec::new();
+    for m in matches {
+        let n = tree.node(m.node);
+        if let Some(r) = n.role {
+            if !n.aggregate || m.via_self {
+                roles.push(r);
+            }
+        }
+    }
+    roles
+}
+
+/// Builds a frame for freshly matched instances: computes the new pending
+/// list (inherited + descendant-like edges of the new matches) and the
+/// condition-(2) flag for the frame's children.
+fn make_frame(
+    tree: &ProjTree,
+    matches: Vec<MatchInst>,
+    mut pending: Vec<PendingEdge>,
+    own_index: u32,
+) -> Frame {
+    for m in &matches {
+        for &c in tree.children(m.node) {
+            if tree.step(c).axis.is_descendant_like() {
+                pending.push(PendingEdge {
+                    node: c,
+                    origin: own_index,
+                });
+            }
+        }
+    }
+    let preserve_children = preserve_condition(tree, &matches, &pending);
+    let dead_below = pending.is_empty()
+        && !preserve_children
+        && matches.iter().all(|m| tree.children(m.node).is_empty());
+    Frame {
+        matches,
+        pending,
+        fired: Vec::new(),
+        preserve_children,
+        dead_below,
+    }
+}
+
+/// Paper condition (2): children of this frame must be preserved when some
+/// match has a `child::τ1` edge and some descendant-like edge with test τ2
+/// reaches below this frame, with τ1 and τ2 able to accept the same node —
+/// otherwise discarding the child could promote a deeper τ2-match into a
+/// false `child::τ1` match.
+fn preserve_condition(tree: &ProjTree, matches: &[MatchInst], pending: &[PendingEdge]) -> bool {
+    if pending.is_empty() {
+        return false;
+    }
+    for m in matches {
+        for &c in tree.children(m.node) {
+            let s = tree.step(c);
+            if s.axis != PAxis::Child {
+                continue;
+            }
+            for pe in pending {
+                if s.test.overlaps(tree.step(pe.node).test) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::{PStep, PTest, RelPath};
+    use crate::role::RoleSet;
+    use gcx_xml::{TagInterner, XmlLexer, XmlToken};
+
+    /// Drives a matcher over a document string; returns per-node outcomes
+    /// rendered as `(path-ish label, buffered, roles)`.
+    fn run(tree: &ProjTree, tags: &mut TagInterner, doc: &str) -> Vec<(String, bool, String)> {
+        let mut lexer = XmlLexer::new(doc.as_bytes(), tags);
+        let tokens = lexer.tokenize_all().unwrap();
+        let mut m = StreamMatcher::new(tree);
+        let mut out = Vec::new();
+        let mut path: Vec<String> = Vec::new();
+        for t in &tokens {
+            match t {
+                XmlToken::Open(tag) => {
+                    path.push(tags.name(*tag).to_string());
+                    let o = m.open(*tag);
+                    let rs: RoleSet = o.roles.iter().copied().collect();
+                    out.push((format!("/{}", path.join("/")), o.buffer, rs.to_string()));
+                }
+                XmlToken::Close(_) => {
+                    m.close();
+                    path.pop();
+                }
+                XmlToken::Text(_) => {
+                    let o = m.text();
+                    let rs: RoleSet = o.roles.iter().copied().collect();
+                    out.push((
+                        format!("/{}/text()", path.join("/")),
+                        o.buffer,
+                        rs.to_string(),
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Fig. 4(b): t = v1:/ with v2:.//a, and v3:.//b below v2;
+    /// rπ(v2)=r2, rπ(v3)=r3.
+    fn fig4b_tree(tags: &mut TagInterner) -> ProjTree {
+        let a = tags.intern("a");
+        let b = tags.intern("b");
+        let mut t = ProjTree::new();
+        let v2 = t.add_child(ProjTree::ROOT, PStep::descendant(PTest::Tag(a)), Some(Role(2)));
+        let _v3 = t.add_child(v2, PStep::descendant(PTest::Tag(b)), Some(Role(3)));
+        t
+    }
+
+    /// The document of Fig. 4(a): n1:a { n2:a { n3:b }, n4:b }.
+    const FIG4_DOC: &str = "<a><a><b></b></a><b></b></a>";
+
+    /// Paper Example 3 / Fig. 4(c): the first b (path /a/a/b) gets {r3,r3}
+    /// because //a//b matches it with multiplicity 2; the second b (path
+    /// /a/b) gets {r3}.
+    #[test]
+    fn fig4c_role_multiplicity() {
+        let mut tags = TagInterner::new();
+        let tree = fig4b_tree(&mut tags);
+        let out = run(&tree, &mut tags, FIG4_DOC);
+        assert_eq!(
+            out,
+            vec![
+                ("/a".to_string(), true, "{r2}".to_string()),
+                ("/a/a".to_string(), true, "{r2}".to_string()),
+                ("/a/a/b".to_string(), true, "{r3,r3}".to_string()),
+                ("/a/b".to_string(), true, "{r3}".to_string()),
+            ]
+        );
+    }
+
+    /// Fig. 4(d): t' = v1:/ with *independent* v2:.//a and v3:.//b.
+    /// Each b gets r3 exactly once (Fig. 4(e)).
+    #[test]
+    fn fig4e_independent_paths() {
+        let mut tags = TagInterner::new();
+        let a = tags.intern("a");
+        let b = tags.intern("b");
+        let mut tree = ProjTree::new();
+        tree.add_child(ProjTree::ROOT, PStep::descendant(PTest::Tag(a)), Some(Role(2)));
+        tree.add_child(ProjTree::ROOT, PStep::descendant(PTest::Tag(b)), Some(Role(3)));
+        let out = run(&tree, &mut tags, FIG4_DOC);
+        assert_eq!(
+            out,
+            vec![
+                ("/a".to_string(), true, "{r2}".to_string()),
+                ("/a/a".to_string(), true, "{r2}".to_string()),
+                ("/a/a/b".to_string(), true, "{r3}".to_string()),
+                ("/a/b".to_string(), true, "{r3}".to_string()),
+            ]
+        );
+    }
+
+    /// Paper Example 2: projecting with tree {/a/b, /a//b} (Fig. 5(a)),
+    /// node n2 (= second `a` at path /a/a) matches nothing but is preserved
+    /// by condition (2): v2 has child ./b, v5 has child .//b.
+    #[test]
+    fn example2_condition_two() {
+        let mut tags = TagInterner::new();
+        let a = tags.intern("a");
+        let b = tags.intern("b");
+        let mut tree = ProjTree::new();
+        let v2 = tree.add_child(ProjTree::ROOT, PStep::child(PTest::Tag(a)), None);
+        let v3 = tree.add_child(v2, PStep::child(PTest::Tag(b)), Some(Role(1)));
+        tree.add_child(v3, PStep::dos_node(), Some(Role(10)));
+        let v5 = tree.add_child(ProjTree::ROOT, PStep::child(PTest::Tag(a)), None);
+        let v6 = tree.add_child(v5, PStep::descendant(PTest::Tag(b)), Some(Role(2)));
+        tree.add_child(v6, PStep::dos_node(), Some(Role(20)));
+
+        let out = run(&tree, &mut tags, FIG4_DOC);
+        // /a matches v2,v5 (roleless variable-ish nodes here) — buffered?
+        // v2/v5 carry no roles in Fig. 5; they match, so condition (1) holds.
+        assert_eq!(out[0].0, "/a");
+        assert!(out[0].1);
+        // /a/a matches nothing, but is structurally preserved.
+        assert_eq!(out[1], ("/a/a".to_string(), true, "{}".to_string()));
+        // /a/a/b matches //b (+ its dos self-closure r20).
+        assert_eq!(out[2], ("/a/a/b".to_string(), true, "{r2,r20}".to_string()));
+        // /a/b matches both ./b and //b (+ both dos closures).
+        assert_eq!(
+            out[3],
+            ("/a/b".to_string(), true, "{r1,r2,r10,r20}".to_string())
+        );
+    }
+
+    /// Without a competing child:: edge, unmatched intermediates are skipped.
+    #[test]
+    fn no_structural_preservation_without_child_edges() {
+        let mut tags = TagInterner::new();
+        let b = tags.intern("b");
+        tags.intern("a");
+        let mut tree = ProjTree::new();
+        tree.add_child(ProjTree::ROOT, PStep::descendant(PTest::Tag(b)), Some(Role(1)));
+        let out = run(&tree, &mut tags, FIG4_DOC);
+        assert_eq!(out[0], ("/a".to_string(), false, "{}".to_string()));
+        assert_eq!(out[1], ("/a/a".to_string(), false, "{}".to_string()));
+        assert!(out[2].1);
+        assert!(out[3].1);
+    }
+
+    /// `[position()=1]` keeps only the first witness *per origin instance*.
+    #[test]
+    fn positional_first_child() {
+        let mut tags = TagInterner::new();
+        let x = tags.intern("x");
+        let price = tags.intern("price");
+        let mut tree = ProjTree::new();
+        let vx = tree.add_child(ProjTree::ROOT, PStep::descendant(PTest::Tag(x)), Some(Role(1)));
+        tree.add_child(
+            vx,
+            PStep::with_pred(PAxis::Child, PTest::Tag(price), Pred::First),
+            Some(Role(4)),
+        );
+        let doc = "<x><price>1</price><price>2</price></x>";
+        let out = run(&tree, &mut tags, doc);
+        assert_eq!(out[0].2, "{r1}");
+        assert_eq!(out[1], ("/x/price".to_string(), true, "{r4}".to_string()));
+        // Second price: no match, not buffered.
+        assert_eq!(out[3], ("/x/price".to_string(), false, "{}".to_string()));
+    }
+
+    /// Positional firing is per ancestor instance: each `x` gets its own
+    /// first price.
+    #[test]
+    fn positional_resets_per_instance() {
+        let mut tags = TagInterner::new();
+        let x = tags.intern("x");
+        let price = tags.intern("price");
+        let mut tree = ProjTree::new();
+        let vx = tree.add_child(ProjTree::ROOT, PStep::descendant(PTest::Tag(x)), Some(Role(1)));
+        tree.add_child(
+            vx,
+            PStep::with_pred(PAxis::Child, PTest::Tag(price), Pred::First),
+            Some(Role(4)),
+        );
+        let doc = "<r><x><price>1</price></x><x><price>2</price></x></r>";
+        let out = run(&tree, &mut tags, doc);
+        let buffered_prices: Vec<_> = out
+            .iter()
+            .filter(|(p, b, _)| p == "/r/x/price" && *b)
+            .collect();
+        assert_eq!(buffered_prices.len(), 2);
+    }
+
+    /// Positional firing with descendant axis: first witness in the whole
+    /// subtree of the origin instance.
+    #[test]
+    fn positional_descendant_first() {
+        let mut tags = TagInterner::new();
+        let x = tags.intern("x");
+        let k = tags.intern("k");
+        let mut tree = ProjTree::new();
+        let vx = tree.add_child(ProjTree::ROOT, PStep::child(PTest::Tag(x)), Some(Role(1)));
+        tree.add_child(
+            vx,
+            PStep::with_pred(PAxis::Descendant, PTest::Tag(k), Pred::First),
+            Some(Role(2)),
+        );
+        let doc = "<x><d><k>deep</k></d><k>shallow</k></x>";
+        let out = run(&tree, &mut tags, doc);
+        // The deep k comes first in document order and is the only witness.
+        let ks: Vec<_> = out.iter().filter(|(p, _, _)| p.ends_with("/k")).collect();
+        assert!(ks[0].1, "first k (deep) buffered");
+        assert!(!ks[1].1, "second k not buffered");
+    }
+
+    /// Text node matching via `text()` and `dos::node()`.
+    #[test]
+    fn text_matching() {
+        let mut tags = TagInterner::new();
+        let x = tags.intern("x");
+        let mut tree = ProjTree::new();
+        let vx = tree.add_child(ProjTree::ROOT, PStep::child(PTest::Tag(x)), Some(Role(1)));
+        tree.add_child(vx, PStep::new(PAxis::Child, PTest::Text), Some(Role(2)));
+        let out = run(&tree, &mut tags, "<x>hi<y>inner</y></x>");
+        assert_eq!(out[1], ("/x/text()".to_string(), true, "{r2}".to_string()));
+        // Text inside y matches nothing (child::text() only reaches x's own
+        // text children).
+        assert!(!out[3].1);
+    }
+
+    /// dos::node() buffers whole subtrees, assigning the role everywhere.
+    #[test]
+    fn dos_buffers_subtree_with_roles() {
+        let mut tags = TagInterner::new();
+        let x = tags.intern("x");
+        let mut tree = ProjTree::new();
+        let vx = tree.add_child(ProjTree::ROOT, PStep::child(PTest::Tag(x)), Some(Role(1)));
+        tree.add_child(vx, PStep::dos_node(), Some(Role(5)));
+        let out = run(&tree, &mut tags, "<x>t<y><z>u</z></y></x>");
+        assert_eq!(out[0].2, "{r1,r5}", "x itself gets r5 via self-closure");
+        for (p, b, r) in &out[1..] {
+            assert!(*b, "{p} buffered");
+            assert_eq!(r, "{r5}", "{p} carries r5");
+        }
+    }
+
+    /// Aggregate roles: only the subtree root receives the role instance.
+    #[test]
+    fn aggregate_role_only_at_root() {
+        let mut tags = TagInterner::new();
+        let x = tags.intern("x");
+        let mut tree = ProjTree::new();
+        let vx = tree.add_child(ProjTree::ROOT, PStep::child(PTest::Tag(x)), Some(Role(1)));
+        let dos = tree.add_child(vx, PStep::dos_node(), Some(Role(5)));
+        tree.set_aggregate(dos);
+        let out = run(&tree, &mut tags, "<x>t<y><z>u</z></y></x>");
+        assert_eq!(out[0].2, "{r1,r5}");
+        for (p, b, r) in &out[1..] {
+            assert!(*b, "{p} still buffered");
+            assert_eq!(r, "{}", "{p} carries no explicit role under aggregation");
+        }
+    }
+
+    /// DFA mode and NFA mode agree on a mixed workload (differential).
+    #[test]
+    fn dfa_nfa_agree() {
+        let mut tags = TagInterner::new();
+        let tree = fig4b_tree(&mut tags);
+        assert!(!tree.has_positional());
+        // Force NFA by wrapping: build an identical tree and compare both
+        // matchers manually over the same token walk.
+        let doc = "<a><a><b><b></b></b></a><b></b><c><b></b></c></a>";
+        let dfa_out = run(&tree, &mut tags, doc);
+        let nfa_out = run_forced_nfa(&tree, &mut tags, doc);
+        assert_eq!(dfa_out, nfa_out);
+    }
+
+    /// Drives the NFA path directly (bypassing the has_positional check).
+    fn run_forced_nfa(
+        tree: &ProjTree,
+        tags: &mut TagInterner,
+        doc: &str,
+    ) -> Vec<(String, bool, String)> {
+        let mut lexer = XmlLexer::new(doc.as_bytes(), tags);
+        let tokens = lexer.tokenize_all().unwrap();
+        let mut m = StreamMatcher::new(tree);
+        // Swap in NFA mode regardless of predicates.
+        let root_matches = vec![MatchInst {
+            node: ProjTree::ROOT,
+            via_self: false,
+        }];
+        m.mode = Mode::Nfa {
+            frames: vec![make_frame(tree, root_matches, Vec::new(), 0)],
+        };
+        let mut out = Vec::new();
+        let mut path: Vec<String> = Vec::new();
+        for t in &tokens {
+            match t {
+                XmlToken::Open(tag) => {
+                    path.push(tags.name(*tag).to_string());
+                    let o = m.open(*tag);
+                    let rs: RoleSet = o.roles.iter().copied().collect();
+                    out.push((format!("/{}", path.join("/")), o.buffer, rs.to_string()));
+                }
+                XmlToken::Close(_) => {
+                    m.close();
+                    path.pop();
+                }
+                XmlToken::Text(_) => {
+                    let o = m.text();
+                    let rs: RoleSet = o.roles.iter().copied().collect();
+                    out.push((
+                        format!("/{}/text()", path.join("/")),
+                        o.buffer,
+                        rs.to_string(),
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Dead-subtree detection lets the preprojector skip.
+    #[test]
+    fn dead_subtree_detection() {
+        let mut tags = TagInterner::new();
+        let a = tags.intern("a");
+        let b = tags.intern("b");
+        let c = tags.intern("c");
+        let mut tree = ProjTree::new();
+        let va = tree.add_child(ProjTree::ROOT, PStep::child(PTest::Tag(a)), Some(Role(1)));
+        tree.add_child(va, PStep::child(PTest::Tag(b)), Some(Role(2)));
+        let mut m = StreamMatcher::new(&tree);
+        assert!(!m.is_dead());
+        m.open(a);
+        assert!(!m.is_dead());
+        m.open(c); // nothing can match inside /a/c
+        assert!(m.is_dead());
+        m.close();
+        m.open(b);
+        assert!(m.is_dead(), "below /a/b nothing can match either");
+        m.close();
+        m.close();
+    }
+
+    /// Positional firing with origin multiplicity: //a//b/c\[1\] over
+    /// a{a{b{c,c}}} — b matches with multiplicity 2, so the first c gets
+    /// the role twice and one signOff execution removes both instances.
+    #[test]
+    fn positional_with_origin_multiplicity() {
+        let mut tags = TagInterner::new();
+        let a = tags.intern("a");
+        let b = tags.intern("b");
+        let c = tags.intern("c");
+        let mut tree = ProjTree::new();
+        let va = tree.add_child(ProjTree::ROOT, PStep::descendant(PTest::Tag(a)), Some(Role(0)));
+        let vb = tree.add_child(va, PStep::descendant(PTest::Tag(b)), Some(Role(1)));
+        tree.add_child(
+            vb,
+            PStep::with_pred(PAxis::Child, PTest::Tag(c), Pred::First),
+            Some(Role(2)),
+        );
+        let out = run(&tree, &mut tags, "<a><a><b><c></c><c></c></b></a></a>");
+        assert_eq!(out[2], ("/a/a/b".to_string(), true, "{r1,r1}".to_string()));
+        assert_eq!(
+            out[3],
+            ("/a/a/b/c".to_string(), true, "{r2,r2}".to_string()),
+            "first witness carries the origin multiplicity"
+        );
+        assert_eq!(out[4], ("/a/a/b/c".to_string(), false, "{}".to_string()));
+    }
+
+    /// A path used by the intro example: /bib/*/price\[1\].
+    #[test]
+    fn star_child_matching() {
+        let mut tags = TagInterner::new();
+        let bib = tags.intern("bib");
+        tags.intern("book");
+        let mut tree = ProjTree::new();
+        let vb = tree.add_child(ProjTree::ROOT, PStep::child(PTest::Tag(bib)), Some(Role(2)));
+        tree.add_child(vb, PStep::child(PTest::Star), Some(Role(3)));
+        let out = run(&tree, &mut tags, "<bib><book></book><cd></cd></bib>");
+        assert_eq!(out[1].2, "{r3}");
+        assert_eq!(out[2].2, "{r3}");
+    }
+
+    /// RelPath helper used by query compilation exercises chains.
+    #[test]
+    fn chain_terminal_role_via_self_closure() {
+        let mut tags = TagInterner::new();
+        let book = tags.intern("book");
+        let title = tags.intern("title");
+        let mut tree = ProjTree::new();
+        let vb = tree.add_child(ProjTree::ROOT, PStep::descendant(PTest::Tag(book)), Some(Role(6)));
+        let p = RelPath::single(PStep::child(PTest::Tag(title))).then(PStep::dos_node());
+        tree.add_path(vb, &p.steps, Some(Role(7)));
+        let out = run(
+            &tree,
+            &mut tags,
+            "<book><title>T<b>old</b></title><author></author></book>",
+        );
+        assert_eq!(out[0].2, "{r6}");
+        assert_eq!(out[1].2, "{r7}", "title matched via dos self-closure");
+        assert_eq!(out[2].2, "{r7}", "title text via dos descent");
+        assert_eq!(out[3].2, "{r7}", "b via dos descent");
+        assert_eq!(out[5], ("/book/author".to_string(), false, "{}".to_string()));
+    }
+}

@@ -1,0 +1,261 @@
+//! Roles and role multisets (paper §2, "Preliminaries").
+//!
+//! A *role-set* is a multiset over roles: `m : roles → ℕ` maps each role to
+//! its multiplicity. Nodes in the buffer are annotated with role-sets; a
+//! node can carry the same role several times when a descendant-axis path
+//! matches it in several ways (paper Example 1: `//a//b` matches `/a/a/b`
+//! with multiplicity 2).
+
+use std::fmt;
+
+/// An interned role. Each projection-tree node defines one role
+/// (`rπ : nodes → roles`), and each query subexpression is assigned one
+/// (`rQ : XQ → roles`, injective).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Role(pub u32);
+
+impl Role {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A multiset of roles, optimized for the common cases of zero, one or two
+/// instances.
+///
+/// Stored as a sorted small vector of `(role, multiplicity)` pairs; the
+/// paper notes that "the memory overhead is small" is a key advantage of
+/// reference-counting-style schemes, so the representation matters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RoleSet {
+    entries: Vec<(Role, u32)>,
+}
+
+impl RoleSet {
+    /// The empty role-set (all multiplicities zero).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when every multiplicity is zero.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total number of role *instances* (sum of multiplicities).
+    pub fn total(&self) -> u32 {
+        self.entries.iter().map(|&(_, c)| c).sum()
+    }
+
+    /// Number of distinct roles present.
+    pub fn distinct(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Multiplicity of `role` in this set.
+    pub fn count(&self, role: Role) -> u32 {
+        match self.entries.binary_search_by_key(&role, |&(r, _)| r) {
+            Ok(i) => self.entries[i].1,
+            Err(_) => 0,
+        }
+    }
+
+    /// `addρ(r, n)` from the paper: increments the multiplicity of `role`.
+    pub fn add(&mut self, role: Role) {
+        self.add_n(role, 1);
+    }
+
+    /// Adds `n` instances of `role` at once.
+    pub fn add_n(&mut self, role: Role, n: u32) {
+        if n == 0 {
+            return;
+        }
+        match self.entries.binary_search_by_key(&role, |&(r, _)| r) {
+            Ok(i) => self.entries[i].1 += n,
+            Err(i) => self.entries.insert(i, (role, n)),
+        }
+    }
+
+    /// `remρ(r, n)` from the paper: decrements the multiplicity of `role`.
+    ///
+    /// Removal of a role with multiplicity zero is *undefined* in the paper
+    /// (safety requirement (1)); here it returns `false` and leaves the set
+    /// unchanged, so callers can surface the violation.
+    #[must_use]
+    pub fn remove(&mut self, role: Role) -> bool {
+        self.remove_n(role, 1) == 1
+    }
+
+    /// Removes up to `n` instances; returns how many were actually removed.
+    pub fn remove_n(&mut self, role: Role, n: u32) -> u32 {
+        match self.entries.binary_search_by_key(&role, |&(r, _)| r) {
+            Ok(i) => {
+                let have = self.entries[i].1;
+                let removed = have.min(n);
+                if removed == have {
+                    self.entries.remove(i);
+                } else {
+                    self.entries[i].1 -= removed;
+                }
+                removed
+            }
+            Err(_) => 0,
+        }
+    }
+
+    /// Iterates `(role, multiplicity)` pairs in role order.
+    pub fn iter(&self) -> impl Iterator<Item = (Role, u32)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.entries.capacity() * std::mem::size_of::<(Role, u32)>()
+    }
+}
+
+impl fmt::Display for RoleSet {
+    /// Renders like the paper's figures: `{r2,r3,r3}`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for (r, c) in self.iter() {
+            for _ in 0..c {
+                if !first {
+                    write!(f, ",")?;
+                }
+                write!(f, "{r}")?;
+                first = false;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<Role> for RoleSet {
+    fn from_iter<I: IntoIterator<Item = Role>>(iter: I) -> Self {
+        let mut s = RoleSet::new();
+        for r in iter {
+            s.add(r);
+        }
+        s
+    }
+}
+
+/// Allocates roles and remembers a human-readable origin for each, used by
+/// traces, the pretty-printer and error messages.
+#[derive(Debug, Default, Clone)]
+pub struct RoleCatalog {
+    origins: Vec<String>,
+}
+
+impl RoleCatalog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a fresh role with a description of the query expression
+    /// it belongs to (the paper's injective `rQ`).
+    pub fn fresh(&mut self, origin: impl Into<String>) -> Role {
+        let r = Role(self.origins.len() as u32);
+        self.origins.push(origin.into());
+        r
+    }
+
+    /// Description of the expression that defined `role`.
+    pub fn origin(&self, role: Role) -> &str {
+        &self.origins[role.index()]
+    }
+
+    /// Number of allocated roles.
+    pub fn len(&self) -> usize {
+        self.origins.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.origins.is_empty()
+    }
+
+    /// Iterates all roles in allocation order.
+    pub fn roles(&self) -> impl Iterator<Item = Role> {
+        (0..self.origins.len() as u32).map(Role)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_remove_roundtrip() {
+        let mut s = RoleSet::new();
+        let r1 = Role(1);
+        let r2 = Role(2);
+        s.add(r1);
+        s.add(r1);
+        s.add(r2);
+        assert_eq!(s.count(r1), 2);
+        assert_eq!(s.count(r2), 1);
+        assert_eq!(s.total(), 3);
+        assert!(s.remove(r1));
+        assert_eq!(s.count(r1), 1);
+        assert!(s.remove(r1));
+        assert!(!s.remove(r1), "removal at multiplicity zero is rejected");
+        assert!(!s.is_empty());
+        assert!(s.remove(r2));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn remove_n_partial() {
+        let mut s = RoleSet::new();
+        s.add_n(Role(7), 5);
+        assert_eq!(s.remove_n(Role(7), 3), 3);
+        assert_eq!(s.count(Role(7)), 2);
+        assert_eq!(s.remove_n(Role(7), 10), 2);
+        assert!(s.is_empty());
+        assert_eq!(s.remove_n(Role(7), 1), 0);
+    }
+
+    #[test]
+    fn display_matches_paper_figures() {
+        let mut s = RoleSet::new();
+        s.add(Role(3));
+        s.add(Role(3));
+        s.add(Role(2));
+        assert_eq!(s.to_string(), "{r2,r3,r3}");
+        assert_eq!(RoleSet::new().to_string(), "{}");
+    }
+
+    #[test]
+    fn from_iterator() {
+        let s: RoleSet = [Role(1), Role(2), Role(1)].into_iter().collect();
+        assert_eq!(s.count(Role(1)), 2);
+        assert_eq!(s.count(Role(2)), 1);
+    }
+
+    #[test]
+    fn catalog_allocates_sequentially() {
+        let mut c = RoleCatalog::new();
+        let a = c.fresh("for $x");
+        let b = c.fresh("exists($x/price)");
+        assert_eq!(a, Role(0));
+        assert_eq!(b, Role(1));
+        assert_eq!(c.origin(b), "exists($x/price)");
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn add_n_zero_is_noop() {
+        let mut s = RoleSet::new();
+        s.add_n(Role(0), 0);
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,352 @@
+//! Abstract syntax of the XQ fragment (paper §3, Fig. 6).
+//!
+//! ```text
+//! Q    ::= <a> q </a>
+//! q    ::= () | <a> q </a> | var | var/axis::ν | (q, ..., q)
+//!        | (if cond then <a> else (), q, if cond then </a> else ())
+//!        | for var in var/axis::ν return q
+//!        | if cond then q else q
+//! cond ::= true() | exists var/axis::ν | var/axis::ν RelOp string
+//!        | var/axis::ν RelOp var/axis::ν | cond and cond
+//!        | cond or cond | not cond
+//! axis ::= child | descendant          ν ::= a | * | text()
+//! RelOp ::= ≤ | < | = | ≥ | >
+//! ```
+//!
+//! Two extra node kinds exist only in *rewritten* queries: the split
+//! constructor tags produced by the NC rule (Fig. 7) and the
+//! `signOff($x/π, r)` statements inserted by `suQ` (Fig. 8).
+
+use gcx_projection::{RelPath, Role};
+use gcx_xml::TagId;
+
+/// An XQuery variable. `VarId(0)` is always the distinguished `$root`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// The distinguished root variable, the unique free variable of any
+    /// query.
+    pub const ROOT: VarId = VarId(0);
+
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Variable-name table. Parsing freshens duplicate names so that every
+/// `for` introduces a distinct [`VarId`] (the paper's analysis assumes
+/// uniquely named variables).
+#[derive(Debug, Clone)]
+pub struct VarTable {
+    names: Vec<String>,
+}
+
+impl Default for VarTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl VarTable {
+    pub fn new() -> Self {
+        VarTable {
+            names: vec!["root".to_string()],
+        }
+    }
+
+    /// Introduces a fresh variable; `name` is freshened if already used.
+    pub fn fresh(&mut self, name: &str) -> VarId {
+        let mut candidate = name.to_string();
+        let mut i = 1;
+        while self.names.iter().any(|n| n == &candidate) {
+            i += 1;
+            candidate = format!("{name}_{i}");
+        }
+        let id = VarId(self.names.len() as u32);
+        self.names.push(candidate);
+        id
+    }
+
+    /// `$name` of a variable (without the dollar sign).
+    pub fn name(&self, v: VarId) -> &str {
+        &self.names[v.index()]
+    }
+
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false // $root always exists
+    }
+
+    /// All variables including `$root`.
+    pub fn ids(&self) -> impl Iterator<Item = VarId> {
+        (0..self.names.len() as u32).map(VarId)
+    }
+}
+
+/// Axis of an XQ step (`child` or `descendant`; `dos` appears only in
+/// projection paths).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Axis {
+    Child,
+    Descendant,
+}
+
+/// Node test ν of an XQ step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeTest {
+    Tag(TagId),
+    Star,
+    Text,
+}
+
+/// A single location step `axis::ν`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Step {
+    pub axis: Axis,
+    pub test: NodeTest,
+}
+
+impl Step {
+    pub fn child(test: NodeTest) -> Self {
+        Step {
+            axis: Axis::Child,
+            test,
+        }
+    }
+
+    pub fn descendant(test: NodeTest) -> Self {
+        Step {
+            axis: Axis::Descendant,
+            test,
+        }
+    }
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RelOp {
+    Le,
+    Lt,
+    Eq,
+    Ne,
+    Ge,
+    Gt,
+}
+
+impl RelOp {
+    /// The operator with flipped operands (`a op b` ⇔ `b op.flip() a`).
+    pub fn flip(self) -> RelOp {
+        match self {
+            RelOp::Le => RelOp::Ge,
+            RelOp::Lt => RelOp::Gt,
+            RelOp::Eq => RelOp::Eq,
+            RelOp::Ne => RelOp::Ne,
+            RelOp::Ge => RelOp::Le,
+            RelOp::Gt => RelOp::Lt,
+        }
+    }
+
+    pub fn symbol(self) -> &'static str {
+        match self {
+            RelOp::Le => "<=",
+            RelOp::Lt => "<",
+            RelOp::Eq => "=",
+            RelOp::Ne => "!=",
+            RelOp::Ge => ">=",
+            RelOp::Gt => ">",
+        }
+    }
+}
+
+/// XQ expressions (the `q` nonterminal).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// `()`
+    Empty,
+    /// `<a> q </a>`
+    Element { tag: TagId, content: Box<Expr> },
+    /// `$x` — outputs the subtree of the binding.
+    VarRef(VarId),
+    /// `$x/axis::ν` — outputs all matched nodes with their subtrees.
+    PathOutput { var: VarId, step: Step },
+    /// `(q, ..., q)`
+    Sequence(Vec<Expr>),
+    /// `for $var in $source/step return body`
+    For {
+        var: VarId,
+        source: VarId,
+        step: Step,
+        body: Box<Expr>,
+    },
+    /// `if cond then q else q`
+    If {
+        cond: Cond,
+        then_branch: Box<Expr>,
+        else_branch: Box<Expr>,
+    },
+    /// `<a>` alone — produced by the NC rewriting rule only.
+    OpenTag(TagId),
+    /// `</a>` alone — produced by the NC rewriting rule only.
+    CloseTag(TagId),
+    /// `signOff($var/path, role)` — produced by suQ only.
+    SignOff {
+        var: VarId,
+        path: RelPath,
+        role: Role,
+    },
+}
+
+impl Expr {
+    /// Wraps a list of expressions as a sequence, flattening trivial cases.
+    pub fn seq(mut items: Vec<Expr>) -> Expr {
+        items.retain(|e| !matches!(e, Expr::Empty));
+        match items.len() {
+            0 => Expr::Empty,
+            1 => items.pop().expect("one item"),
+            _ => Expr::Sequence(items),
+        }
+    }
+
+    /// True when the expression contains a `for` anywhere (used by the
+    /// practical if-pushdown mode).
+    pub fn contains_for(&self) -> bool {
+        match self {
+            Expr::For { .. } => true,
+            Expr::Element { content, .. } => content.contains_for(),
+            Expr::Sequence(items) => items.iter().any(Expr::contains_for),
+            Expr::If {
+                then_branch,
+                else_branch,
+                ..
+            } => then_branch.contains_for() || else_branch.contains_for(),
+            _ => false,
+        }
+    }
+
+    /// Visits every subexpression, outermost first.
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        f(self);
+        match self {
+            Expr::Element { content, .. } => content.visit(f),
+            Expr::Sequence(items) => {
+                for e in items {
+                    e.visit(f);
+                }
+            }
+            Expr::For { body, .. } => body.visit(f),
+            Expr::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                then_branch.visit(f);
+                else_branch.visit(f);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Conditions (the `cond` nonterminal).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cond {
+    /// `true()`
+    True,
+    /// `exists($x/axis::ν)`
+    Exists { var: VarId, step: Step },
+    /// `$x/axis::ν RelOp "string"` (string side normalized to the right).
+    CmpStr {
+        var: VarId,
+        step: Step,
+        op: RelOp,
+        value: String,
+    },
+    /// `$x/axis::ν RelOp $y/axis::ν` — the join form.
+    CmpVar {
+        left_var: VarId,
+        left_step: Step,
+        op: RelOp,
+        right_var: VarId,
+        right_step: Step,
+    },
+    And(Box<Cond>, Box<Cond>),
+    Or(Box<Cond>, Box<Cond>),
+    Not(Box<Cond>),
+}
+
+impl Cond {
+    /// Visits every condition node.
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a Cond)) {
+        f(self);
+        match self {
+            Cond::And(a, b) | Cond::Or(a, b) => {
+                a.visit(f);
+                b.visit(f);
+            }
+            Cond::Not(c) => c.visit(f),
+            _ => {}
+        }
+    }
+}
+
+/// A complete query `Q ::= <a> q </a>` plus its variable table.
+#[derive(Debug, Clone)]
+pub struct Query {
+    pub root_tag: TagId,
+    pub body: Expr,
+    pub vars: VarTable,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_table_freshens_duplicates() {
+        let mut vt = VarTable::new();
+        let a = vt.fresh("x");
+        let b = vt.fresh("x");
+        assert_ne!(a, b);
+        assert_eq!(vt.name(a), "x");
+        assert_eq!(vt.name(b), "x_2");
+        assert_eq!(vt.name(VarId::ROOT), "root");
+    }
+
+    #[test]
+    fn seq_flattens() {
+        assert_eq!(Expr::seq(vec![]), Expr::Empty);
+        assert_eq!(Expr::seq(vec![Expr::Empty, Expr::Empty]), Expr::Empty);
+        let one = Expr::seq(vec![Expr::Empty, Expr::VarRef(VarId(1))]);
+        assert_eq!(one, Expr::VarRef(VarId(1)));
+        let two = Expr::seq(vec![Expr::VarRef(VarId(1)), Expr::VarRef(VarId(2))]);
+        assert!(matches!(two, Expr::Sequence(v) if v.len() == 2));
+    }
+
+    #[test]
+    fn relop_flip() {
+        assert_eq!(RelOp::Lt.flip(), RelOp::Gt);
+        assert_eq!(RelOp::Eq.flip(), RelOp::Eq);
+        assert_eq!(RelOp::Ge.flip(), RelOp::Le);
+    }
+
+    #[test]
+    fn contains_for_detects_nesting() {
+        let f = Expr::For {
+            var: VarId(1),
+            source: VarId::ROOT,
+            step: Step::child(NodeTest::Star),
+            body: Box::new(Expr::Empty),
+        };
+        let wrapped = Expr::Element {
+            tag: TagId(0),
+            content: Box::new(Expr::Sequence(vec![Expr::Empty, f])),
+        };
+        assert!(wrapped.contains_for());
+        assert!(!Expr::Empty.contains_for());
+    }
+}

@@ -1,0 +1,313 @@
+//! Dependencies and role allocation (paper Definition 2).
+//!
+//! For every use of a variable the paper derives a *dependency*
+//! `⟨$x/π, r⟩` describing which input nodes must be buffered on behalf of
+//! that use, with a fresh role `r` (the injective `rQ`):
+//!
+//! * `exists($x/axis::ν)` → `⟨axis::ν\[1\], r⟩` — only the first witness;
+//! * output `$x/axis::ν` or a comparison operand → `⟨axis::ν/dos::node(), r⟩`
+//!   — the nodes with their whole subtrees;
+//! * output `$x` → `⟨dos::node(), r⟩` — the binding's whole subtree.
+//!
+//! For-loops themselves also consume a role (assigned to the nodes the
+//! variable binds to); those are allocated here too.
+
+use crate::ast::{Cond, Expr, Query, Step, VarId};
+use crate::vartree::step_to_pstep;
+use gcx_projection::{PStep, Pred, RelPath, Role, RoleCatalog};
+use gcx_xml::TagInterner;
+
+/// Why a dependency exists (drives projection-tree predicates and the
+/// aggregate-role optimization).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DepKind {
+    /// From `exists($x/step)` — `[position()=1]`, no descendants.
+    Exists,
+    /// From an output expression `$x/step` — step plus `dos::node()`.
+    Output,
+    /// From a comparison operand `$x/step` — step plus `dos::node()`.
+    Compare,
+    /// From an output `$x` — `dos::node()` on the binding itself.
+    SelfOutput,
+}
+
+/// One dependency `⟨π, r⟩` of a variable.
+#[derive(Debug, Clone)]
+pub struct DepEntry {
+    pub path: RelPath,
+    pub role: Role,
+    pub kind: DepKind,
+}
+
+/// Dependency table: `per_var[v]` lists `dep($v)` in syntactic order.
+#[derive(Debug, Clone, Default)]
+pub struct DepTable {
+    pub per_var: Vec<Vec<DepEntry>>,
+    /// `rQ(β)` for each for-loop β, indexed by the bound variable.
+    /// `None` for `$root` and for roles eliminated as redundant (§6).
+    pub var_role: Vec<Option<Role>>,
+}
+
+impl DepTable {
+    pub fn deps(&self, v: VarId) -> &[DepEntry] {
+        &self.per_var[v.index()]
+    }
+
+    /// True when `dep($v)` contains a self-output (dos on the binding).
+    pub fn has_self_output(&self, v: VarId) -> bool {
+        self.per_var[v.index()]
+            .iter()
+            .any(|d| d.kind == DepKind::SelfOutput)
+    }
+}
+
+/// Collects dependencies and allocates all roles.
+///
+/// Must run on the normalized query *before* signOff insertion. Roles are
+/// allocated in a deterministic order: for-loop roles and dependency roles
+/// interleaved in syntactic (depth-first) order, which matches the paper's
+/// numbering in the running example (r2 = for $bib, r3 = for $x,
+/// r4 = price\[1\], r5 = dos for $x, r6 = for $b, r7 = title/dos).
+pub fn collect_deps(q: &Query, tags: &TagInterner, catalog: &mut RoleCatalog) -> DepTable {
+    let mut t = DepTable {
+        per_var: vec![Vec::new(); q.vars.len()],
+        var_role: vec![None; q.vars.len()],
+    };
+    walk(&q.body, q, tags, catalog, &mut t);
+    t
+}
+
+fn dep_step(step: Step, first: bool) -> PStep {
+    let mut p = step_to_pstep(step);
+    if first {
+        p.pred = Pred::First;
+    }
+    p
+}
+
+fn walk(e: &Expr, q: &Query, tags: &TagInterner, catalog: &mut RoleCatalog, t: &mut DepTable) {
+    match e {
+        Expr::Empty | Expr::OpenTag(_) | Expr::CloseTag(_) => {}
+        Expr::SignOff { .. } => {
+            unreachable!("dependencies are collected before signOff insertion")
+        }
+        Expr::Element { content, .. } => walk(content, q, tags, catalog, t),
+        Expr::Sequence(items) => {
+            for i in items {
+                walk(i, q, tags, catalog, t);
+            }
+        }
+        Expr::VarRef(v) => {
+            let role = catalog.fresh(format!("output ${}", q.vars.name(*v)));
+            t.per_var[v.index()].push(DepEntry {
+                path: RelPath::single(PStep::dos_node()),
+                role,
+                kind: DepKind::SelfOutput,
+            });
+        }
+        Expr::PathOutput { var, step } => {
+            let role = catalog.fresh(format!("output ${}/…", q.vars.name(*var)));
+            t.per_var[var.index()].push(DepEntry {
+                path: RelPath::single(dep_step(*step, false)).then(PStep::dos_node()),
+                role,
+                kind: DepKind::Output,
+            });
+        }
+        Expr::For {
+            var, body, ..
+        } => {
+            let role = catalog.fresh(format!("for ${}", q.vars.name(*var)));
+            t.var_role[var.index()] = Some(role);
+            walk(body, q, tags, catalog, t);
+        }
+        Expr::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            walk_cond(cond, q, tags, catalog, t);
+            walk(then_branch, q, tags, catalog, t);
+            walk(else_branch, q, tags, catalog, t);
+        }
+    }
+}
+
+fn walk_cond(c: &Cond, q: &Query, tags: &TagInterner, catalog: &mut RoleCatalog, t: &mut DepTable) {
+    let _ = tags;
+    match c {
+        Cond::True => {}
+        Cond::Exists { var, step } => {
+            let role = catalog.fresh(format!("exists(${}/…)", q.vars.name(*var)));
+            t.per_var[var.index()].push(DepEntry {
+                path: RelPath::single(dep_step(*step, true)),
+                role,
+                kind: DepKind::Exists,
+            });
+        }
+        Cond::CmpStr { var, step, .. } => {
+            let role = catalog.fresh(format!("compare ${}/…", q.vars.name(*var)));
+            t.per_var[var.index()].push(DepEntry {
+                path: RelPath::single(dep_step(*step, false)).then(PStep::dos_node()),
+                role,
+                kind: DepKind::Compare,
+            });
+        }
+        Cond::CmpVar {
+            left_var,
+            left_step,
+            right_var,
+            right_step,
+            ..
+        } => {
+            let role = catalog.fresh(format!("compare ${}/…", q.vars.name(*left_var)));
+            t.per_var[left_var.index()].push(DepEntry {
+                path: RelPath::single(dep_step(*left_step, false)).then(PStep::dos_node()),
+                role,
+                kind: DepKind::Compare,
+            });
+            let role2 = catalog.fresh(format!("compare ${}/…", q.vars.name(*right_var)));
+            t.per_var[right_var.index()].push(DepEntry {
+                path: RelPath::single(dep_step(*right_step, false)).then(PStep::dos_node()),
+                role: role2,
+                kind: DepKind::Compare,
+            });
+        }
+        Cond::And(a, b) | Cond::Or(a, b) => {
+            walk_cond(a, q, tags, catalog, t);
+            walk_cond(b, q, tags, catalog, t);
+        }
+        Cond::Not(inner) => walk_cond(inner, q, tags, catalog, t),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use gcx_projection::PTest;
+
+    fn setup(input: &str) -> (Query, TagInterner, DepTable, RoleCatalog) {
+        let mut tags = TagInterner::new();
+        let q = parse(input, &mut tags).expect("parse");
+        let mut catalog = RoleCatalog::new();
+        let t = collect_deps(&q, &tags, &mut catalog);
+        (q, tags, t, catalog)
+    }
+
+    fn var_by_name(q: &Query, name: &str) -> VarId {
+        q.vars.ids().find(|&v| q.vars.name(v) == name).unwrap()
+    }
+
+    /// Paper Example 5: dep($x) = {⟨price\[1\], r4⟩, ⟨dos::node(), r5⟩},
+    /// dep($b) = {⟨title/dos::node(), r7⟩}.
+    #[test]
+    fn example5_intro_deps() {
+        let (q, tags, t, _) = setup(
+            r#"<r>{ for $bib in /bib return
+              ((for $x in $bib/* return if (not(exists($x/price))) then $x else ()),
+               for $b in $bib/book return $b/title) }</r>"#,
+        );
+        let vx = var_by_name(&q, "x");
+        let vb = var_by_name(&q, "b");
+        let dx = t.deps(vx);
+        assert_eq!(dx.len(), 2);
+        assert_eq!(dx[0].kind, DepKind::Exists);
+        assert_eq!(dx[0].path.display(&tags).to_string(), "price[1]");
+        assert_eq!(dx[1].kind, DepKind::SelfOutput);
+        assert_eq!(dx[1].path.display(&tags).to_string(), "dos::node()");
+        let db = t.deps(vb);
+        assert_eq!(db.len(), 1);
+        assert_eq!(db[0].kind, DepKind::Output);
+        assert_eq!(db[0].path.display(&tags).to_string(), "title/dos::node()");
+        // $bib itself has no dependencies; only its for-loop role.
+        let vbib = var_by_name(&q, "bib");
+        assert!(t.deps(vbib).is_empty());
+        assert!(t.var_role[vbib.index()].is_some());
+    }
+
+    /// Role numbering matches the paper's running example when counting
+    /// from r2 (the paper starts at the for-loop of $bib).
+    #[test]
+    fn role_allocation_order() {
+        let (_, _, t, catalog) = setup(
+            r#"<r>{ for $bib in /bib return
+              ((for $x in $bib/* return if (not(exists($x/price))) then $x else ()),
+               for $b in $bib/book return $b/title) }</r>"#,
+        );
+        // Allocation order: for $bib, for $x, exists, output $x,
+        // for $b, output $b/title.
+        assert_eq!(catalog.len(), 6);
+        assert_eq!(t.var_role[1], Some(Role(0))); // $bib  — paper's r2
+        assert_eq!(t.var_role[2], Some(Role(1))); // $x    — paper's r3
+        assert_eq!(catalog.origin(Role(2)), "exists($x/…)"); // paper's r4
+        assert_eq!(catalog.origin(Role(3)), "output $x"); // paper's r5
+        assert_eq!(t.var_role[3], Some(Role(4))); // $b    — paper's r6
+        assert_eq!(catalog.origin(Role(5)), "output $b/…"); // paper's r7
+    }
+
+    #[test]
+    fn comparison_creates_two_deps() {
+        let (q, tags, t, _) = setup(
+            r#"<r>{ for $p in /people return for $t in /sales return
+                if ($t/buyer = $p/id) then $t else () }</r>"#,
+        );
+        let vp = var_by_name(&q, "p");
+        let vt = var_by_name(&q, "t");
+        assert_eq!(t.deps(vp).len(), 1);
+        // $t: compare dep + self-output dep.
+        assert_eq!(t.deps(vt).len(), 2);
+        assert_eq!(
+            t.deps(vt)[0].path.display(&tags).to_string(),
+            "buyer/dos::node()"
+        );
+        assert_eq!(t.deps(vp)[0].kind, DepKind::Compare);
+    }
+
+    #[test]
+    fn string_compare_single_dep() {
+        let (q, tags, t, _) = setup(
+            r#"<r>{ for $p in /a return if ($p/id = "x7") then $p/name else () }</r>"#,
+        );
+        let vp = var_by_name(&q, "p");
+        let d = t.deps(vp);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].kind, DepKind::Compare);
+        assert_eq!(d[0].path.display(&tags).to_string(), "id/dos::node()");
+        assert_eq!(d[1].kind, DepKind::Output);
+        assert_eq!(d[1].path.display(&tags).to_string(), "name/dos::node()");
+    }
+
+    #[test]
+    fn exists_gets_positional_predicate() {
+        let (q, _, t, _) =
+            setup(r#"<r>{ for $x in /a return if (exists($x//k)) then <hit/> else () }</r>"#);
+        let vx = var_by_name(&q, "x");
+        let d = &t.deps(vx)[0];
+        assert_eq!(d.path.steps.len(), 1);
+        assert_eq!(d.path.steps[0].pred, Pred::First);
+        assert_eq!(
+            d.path.steps[0].axis,
+            gcx_projection::PAxis::Descendant,
+            "descendant axis preserved"
+        );
+    }
+
+    #[test]
+    fn text_step_dependency() {
+        let (q, _, t, _) = setup("<r>{ for $x in /a return $x/text() }</r>");
+        let vx = var_by_name(&q, "x");
+        let d = &t.deps(vx)[0];
+        assert_eq!(d.path.steps[0].test, PTest::Text);
+        assert_eq!(d.path.steps.len(), 2, "text step still gets dos::node()");
+    }
+
+    #[test]
+    fn self_output_detection() {
+        let (q, _, t, _) = setup("<r>{ for $x in /a return $x }</r>");
+        let vx = var_by_name(&q, "x");
+        assert!(t.has_self_output(vx));
+        let (q2, _, t2, _) = setup("<r>{ for $x in /a return $x/b }</r>");
+        let vx2 = var_by_name(&q2, "x");
+        assert!(!t2.has_self_output(vx2));
+    }
+}

@@ -1,0 +1,308 @@
+//! If-pushdown rewriting (paper §3, Fig. 7).
+//!
+//! SignOff statements are always inserted at the ends of for-loop bodies
+//! (Fig. 8). If a for-loop sat inside an if-branch, its signOffs would only
+//! execute when the condition holds — breaking the invariant that every
+//! assigned role instance is eventually removed. Pushing if-expressions
+//! down into for-loops guarantees no signOff ends up guarded:
+//!
+//! ```text
+//! DECOMP: if X then α else β
+//!           ⇒ (if X then α else (), if not X then β else ())
+//! SEQ:    if X then (α1,…,αn) else ()   ⇒ (if X then αi else ())i
+//! NC:     if X then <a>α</a> else ()
+//!           ⇒ (if X then <a> else (), if X then α else (), if X then </a> else ())
+//! FOR:    if X then (for $x in $y/s return α) else ()
+//!           ⇒ for $x in $y/s return (if X then α else ())
+//! ```
+//!
+//! In *practical mode* (the paper: "we might decide to process only those
+//! if-expressions with a for-loop as a subexpression") if-expressions whose
+//! branches contain no for-loop are left untouched.
+
+use crate::ast::{Cond, Expr};
+
+/// Applies the Fig. 7 rules to a whole expression tree.
+pub fn push_ifs(e: Expr, practical: bool) -> Expr {
+    match e {
+        Expr::Element { tag, content } => Expr::Element {
+            tag,
+            content: Box::new(push_ifs(*content, practical)),
+        },
+        Expr::Sequence(items) => {
+            Expr::seq(items.into_iter().map(|i| push_ifs(i, practical)).collect())
+        }
+        Expr::For {
+            var,
+            source,
+            step,
+            body,
+        } => Expr::For {
+            var,
+            source,
+            step,
+            body: Box::new(push_ifs(*body, practical)),
+        },
+        Expr::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            let then_branch = push_ifs(*then_branch, practical);
+            let else_branch = push_ifs(*else_branch, practical);
+            if practical && !then_branch.contains_for() && !else_branch.contains_for() {
+                return Expr::If {
+                    cond,
+                    then_branch: Box::new(then_branch),
+                    else_branch: Box::new(else_branch),
+                };
+            }
+            // DECOMP, then push both halves.
+            let mut parts = Vec::new();
+            if !matches!(then_branch, Expr::Empty) {
+                parts.push(push_guarded(cond.clone(), then_branch, practical));
+            }
+            if !matches!(else_branch, Expr::Empty) {
+                parts.push(push_guarded(
+                    Cond::Not(Box::new(cond)),
+                    else_branch,
+                    practical,
+                ));
+            }
+            Expr::seq(parts)
+        }
+        leaf => leaf,
+    }
+}
+
+/// Pushes the guard `cond` into `e` (which is already if-pushed) using
+/// SEQ / NC / FOR until the guard sits directly above leaves.
+fn push_guarded(cond: Cond, e: Expr, practical: bool) -> Expr {
+    if practical && !e.contains_for() {
+        return guard(cond, e);
+    }
+    match e {
+        Expr::Empty => Expr::Empty,
+        // SEQ
+        Expr::Sequence(items) => Expr::seq(
+            items
+                .into_iter()
+                .map(|i| push_guarded(cond.clone(), i, practical))
+                .collect(),
+        ),
+        // NC
+        Expr::Element { tag, content } => Expr::seq(vec![
+            guard(cond.clone(), Expr::OpenTag(tag)),
+            push_guarded(cond.clone(), *content, practical),
+            guard(cond, Expr::CloseTag(tag)),
+        ]),
+        // FOR
+        Expr::For {
+            var,
+            source,
+            step,
+            body,
+        } => Expr::For {
+            var,
+            source,
+            step,
+            body: Box::new(push_guarded(cond, *body, practical)),
+        },
+        // Nested if: conjoin the guards.
+        Expr::If {
+            cond: inner,
+            then_branch,
+            else_branch,
+        } => {
+            debug_assert!(matches!(*else_branch, Expr::Empty), "DECOMP ran first");
+            push_guarded(
+                Cond::And(Box::new(cond), Box::new(inner)),
+                *then_branch,
+                practical,
+            )
+        }
+        // Leaves: $x, $x/step, <a>, </a>.
+        leaf => guard(cond, leaf),
+    }
+}
+
+fn guard(cond: Cond, e: Expr) -> Expr {
+    Expr::If {
+        cond,
+        then_branch: Box::new(e),
+        else_branch: Box::new(Expr::Empty),
+    }
+}
+
+/// Verifies the postcondition the signOff insertion relies on: no for-loop
+/// is nested inside an if-branch.
+pub fn no_for_under_if(e: &Expr) -> bool {
+    fn check(e: &Expr, under_if: bool) -> bool {
+        match e {
+            Expr::For { body, .. } => !under_if && check(body, false),
+            Expr::If {
+                then_branch,
+                else_branch,
+                ..
+            } => check(then_branch, true) && check(else_branch, true),
+            Expr::Element { content, .. } => check(content, under_if),
+            Expr::Sequence(items) => items.iter().all(|i| check(i, under_if)),
+            _ => true,
+        }
+    }
+    check(e, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{NodeTest, Query, Step, VarId};
+    use crate::parser::parse;
+    use crate::pretty::pretty_query;
+    use gcx_xml::TagInterner;
+
+    fn pushed(input: &str, practical: bool) -> (Query, TagInterner) {
+        let mut tags = TagInterner::new();
+        let mut q = parse(input, &mut tags).expect("parse");
+        q.body = push_ifs(q.body, practical);
+        (q, tags)
+    }
+
+    #[test]
+    fn decomp_splits_else() {
+        let (q, tags) = pushed(
+            r#"<r>{ for $x in /a return
+                if (exists($x/p)) then (for $y in $x/b return $y) else $x }</r>"#,
+            true,
+        );
+        let s = pretty_query(&q, &tags);
+        assert!(s.contains("if (exists($x/p)) then"));
+        assert!(s.contains("if (not(exists($x/p))) then $x else ()"));
+        assert!(no_for_under_if(&q.body));
+    }
+
+    #[test]
+    fn for_rule_moves_if_inside() {
+        let (q, tags) = pushed(
+            r#"<r>{ for $x in /a return
+                if (exists($x/p)) then (for $y in $x/b return $y) else () }</r>"#,
+            false,
+        );
+        let s = pretty_query(&q, &tags);
+        // The for must now be outermost with the if inside.
+        assert!(
+            s.contains("for $y in $x/b return (if (exists($x/p)) then $y else ())"),
+            "got: {s}"
+        );
+        assert!(no_for_under_if(&q.body));
+    }
+
+    #[test]
+    fn nc_splits_constructors() {
+        let (q, _tags) = pushed(
+            r#"<r>{ for $x in /a return
+                if (exists($x/p)) then <hit>{ for $y in $x/b return $y }</hit> else () }</r>"#,
+            true,
+        );
+        let mut opens = 0;
+        let mut closes = 0;
+        q.body.visit(&mut |e| match e {
+            Expr::OpenTag(_) => opens += 1,
+            Expr::CloseTag(_) => closes += 1,
+            _ => {}
+        });
+        assert_eq!(opens, 1);
+        assert_eq!(closes, 1);
+        assert!(no_for_under_if(&q.body));
+    }
+
+    #[test]
+    fn practical_mode_leaves_forless_ifs() {
+        let (q, _) = pushed(
+            r#"<r>{ for $x in /a return if (exists($x/p)) then $x else $x/q }</r>"#,
+            true,
+        );
+        // The if contains no for — untouched, still has a real else branch.
+        let mut intact = false;
+        q.body.visit(&mut |e| {
+            if let Expr::If { else_branch, .. } = e {
+                if !matches!(else_branch.as_ref(), Expr::Empty) {
+                    intact = true;
+                }
+            }
+        });
+        assert!(intact);
+    }
+
+    #[test]
+    fn full_mode_splits_everything() {
+        let (q, _) = pushed(
+            r#"<r>{ for $x in /a return if (exists($x/p)) then $x else $x/q }</r>"#,
+            false,
+        );
+        q.body.visit(&mut |e| {
+            if let Expr::If { else_branch, .. } = e {
+                assert!(matches!(else_branch.as_ref(), Expr::Empty));
+            }
+        });
+    }
+
+    #[test]
+    fn nested_ifs_conjoin() {
+        let (q, tags) = pushed(
+            r#"<r>{ for $x in /a return
+                if (exists($x/p)) then
+                  (if (exists($x/q)) then (for $y in $x/b return $y) else ())
+                else () }</r>"#,
+            false,
+        );
+        let s = pretty_query(&q, &tags);
+        assert!(
+            s.contains("exists($x/p) and exists($x/q)"),
+            "conjoined guard, got: {s}"
+        );
+        assert!(no_for_under_if(&q.body));
+    }
+
+    #[test]
+    fn seq_distributes() {
+        let (q, _) = pushed(
+            r#"<r>{ for $x in /a return
+                if (exists($x/p)) then ($x, for $y in $x/b return $y, $x/c) else () }</r>"#,
+            false,
+        );
+        assert!(no_for_under_if(&q.body));
+        // Three guarded pieces.
+        let mut ifs = 0;
+        q.body.visit(&mut |e| {
+            if matches!(e, Expr::If { .. }) {
+                ifs += 1;
+            }
+        });
+        assert_eq!(ifs, 3);
+    }
+
+    #[test]
+    fn untouched_query_unchanged() {
+        let input = "<r>{ for $x in /a return $x }</r>";
+        let (q, tags) = pushed(input, true);
+        let mut tags2 = TagInterner::new();
+        let orig = parse(input, &mut tags2).unwrap();
+        assert_eq!(pretty_query(&q, &tags), pretty_query(&orig, &tags2));
+    }
+
+    #[test]
+    fn postcondition_checker() {
+        let bad = Expr::If {
+            cond: Cond::True,
+            then_branch: Box::new(Expr::For {
+                var: VarId(1),
+                source: VarId::ROOT,
+                step: Step::child(NodeTest::Star),
+                body: Box::new(Expr::Empty),
+            }),
+            else_branch: Box::new(Expr::Empty),
+        };
+        assert!(!no_for_under_if(&bad));
+    }
+}

@@ -1,0 +1,469 @@
+//! Tokenizer for the XQ surface syntax.
+//!
+//! The surface syntax follows the paper's examples:
+//!
+//! ```xquery
+//! <r> {
+//!   for $bib in /bib return
+//!   ((for $x in $bib/* return
+//!       if (not(exists($x/price))) then $x else ()),
+//!    for $b in $bib/book return $b/title)
+//! } </r>
+//! ```
+//!
+//! The classic `<` ambiguity (constructor vs. less-than) is resolved
+//! lexically: `<name` opens a constructor, `</name` closes one, `<=` and a
+//! `<` followed by whitespace are comparison operators.
+
+use std::fmt;
+
+/// Tokens of the XQ surface syntax.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// `<name`
+    TagOpen(String),
+    /// `</name`
+    TagClose(String),
+    /// `>`
+    RAngle,
+    /// `/>`
+    SelfClose,
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    Comma,
+    /// `$name`
+    Var(String),
+    /// bare name / keyword
+    Name(String),
+    /// quoted string literal
+    Str(String),
+    /// numeric literal (kept as text; comparisons decide numeric-ness)
+    Number(String),
+    Slash,
+    DSlash,
+    Star,
+    ColonColon,
+    /// `:=` (rejected by the parser with a let-specific hint)
+    Assign,
+    Eq,
+    Ne,
+    Le,
+    Lt,
+    Ge,
+    Gt,
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::TagOpen(n) => write!(f, "<{n}"),
+            Tok::TagClose(n) => write!(f, "</{n}"),
+            Tok::RAngle => write!(f, ">"),
+            Tok::SelfClose => write!(f, "/>"),
+            Tok::LBrace => write!(f, "{{"),
+            Tok::RBrace => write!(f, "}}"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::Comma => write!(f, ","),
+            Tok::Var(n) => write!(f, "${n}"),
+            Tok::Name(n) => write!(f, "{n}"),
+            Tok::Str(s) => write!(f, "\"{s}\""),
+            Tok::Number(n) => write!(f, "{n}"),
+            Tok::Slash => write!(f, "/"),
+            Tok::DSlash => write!(f, "//"),
+            Tok::Star => write!(f, "*"),
+            Tok::ColonColon => write!(f, "::"),
+            Tok::Assign => write!(f, ":="),
+            Tok::Eq => write!(f, "="),
+            Tok::Ne => write!(f, "!="),
+            Tok::Le => write!(f, "<="),
+            Tok::Lt => write!(f, "<"),
+            Tok::Ge => write!(f, ">="),
+            Tok::Gt => write!(f, ">"),
+            Tok::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token with its byte position (for error messages).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    pub tok: Tok,
+    pub pos: usize,
+}
+
+/// Lexer errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    pub pos: usize,
+    pub detail: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.pos, self.detail)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+fn is_name_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_name_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.'
+}
+
+/// Tokenizes a whole query string.
+pub fn lex(input: &str) -> Result<Vec<Spanned>, LexError> {
+    let bytes: Vec<char> = input.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let n = bytes.len();
+    macro_rules! push {
+        ($tok:expr, $pos:expr) => {
+            out.push(Spanned {
+                tok: $tok,
+                pos: $pos,
+            })
+        };
+    }
+    while i < n {
+        let c = bytes[i];
+        let pos = i;
+        match c {
+            c if c.is_whitespace() => {
+                i += 1;
+            }
+            '(' => {
+                // XQuery comments: (: ... :)
+                if i + 1 < n && bytes[i + 1] == ':' {
+                    let mut depth = 1;
+                    i += 2;
+                    while i < n && depth > 0 {
+                        if bytes[i] == '(' && i + 1 < n && bytes[i + 1] == ':' {
+                            depth += 1;
+                            i += 2;
+                        } else if bytes[i] == ':' && i + 1 < n && bytes[i + 1] == ')' {
+                            depth -= 1;
+                            i += 2;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    if depth > 0 {
+                        return Err(LexError {
+                            pos,
+                            detail: "unterminated comment".into(),
+                        });
+                    }
+                } else {
+                    push!(Tok::LParen, pos);
+                    i += 1;
+                }
+            }
+            ')' => {
+                push!(Tok::RParen, pos);
+                i += 1;
+            }
+            '{' => {
+                push!(Tok::LBrace, pos);
+                i += 1;
+            }
+            '}' => {
+                push!(Tok::RBrace, pos);
+                i += 1;
+            }
+            ',' => {
+                push!(Tok::Comma, pos);
+                i += 1;
+            }
+            '*' => {
+                push!(Tok::Star, pos);
+                i += 1;
+            }
+            '=' => {
+                push!(Tok::Eq, pos);
+                i += 1;
+            }
+            '!' => {
+                if i + 1 < n && bytes[i + 1] == '=' {
+                    push!(Tok::Ne, pos);
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        pos,
+                        detail: "expected '=' after '!'".into(),
+                    });
+                }
+            }
+            ':' => {
+                if i + 1 < n && bytes[i + 1] == ':' {
+                    push!(Tok::ColonColon, pos);
+                    i += 2;
+                } else if i + 1 < n && bytes[i + 1] == '=' {
+                    // `:=` only appears in let-expressions, which the
+                    // parser rejects with a helpful message.
+                    push!(Tok::Assign, pos);
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        pos,
+                        detail: "stray ':'".into(),
+                    });
+                }
+            }
+            '/' => {
+                if i + 1 < n && bytes[i + 1] == '/' {
+                    push!(Tok::DSlash, pos);
+                    i += 2;
+                } else if i + 1 < n && bytes[i + 1] == '>' {
+                    push!(Tok::SelfClose, pos);
+                    i += 2;
+                } else {
+                    push!(Tok::Slash, pos);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < n && bytes[i + 1] == '=' {
+                    push!(Tok::Ge, pos);
+                    i += 2;
+                } else {
+                    push!(Tok::RAngle, pos);
+                    i += 1;
+                }
+            }
+            '<' => {
+                if i + 1 < n && bytes[i + 1] == '=' {
+                    push!(Tok::Le, pos);
+                    i += 2;
+                } else if i + 1 < n && bytes[i + 1] == '/' {
+                    let mut j = i + 2;
+                    let mut name = String::new();
+                    while j < n && is_name_char(bytes[j]) {
+                        name.push(bytes[j]);
+                        j += 1;
+                    }
+                    if name.is_empty() {
+                        return Err(LexError {
+                            pos,
+                            detail: "expected tag name after '</'".into(),
+                        });
+                    }
+                    push!(Tok::TagClose(name), pos);
+                    i = j;
+                } else if i + 1 < n && is_name_start(bytes[i + 1]) {
+                    let mut j = i + 1;
+                    let mut name = String::new();
+                    while j < n && is_name_char(bytes[j]) {
+                        name.push(bytes[j]);
+                        j += 1;
+                    }
+                    push!(Tok::TagOpen(name), pos);
+                    i = j;
+                } else {
+                    push!(Tok::Lt, pos);
+                    i += 1;
+                }
+            }
+            '$' => {
+                let mut j = i + 1;
+                let mut name = String::new();
+                while j < n && is_name_char(bytes[j]) {
+                    name.push(bytes[j]);
+                    j += 1;
+                }
+                if name.is_empty() {
+                    return Err(LexError {
+                        pos,
+                        detail: "expected variable name after '$'".into(),
+                    });
+                }
+                push!(Tok::Var(name), pos);
+                i = j;
+            }
+            '"' | '\'' => {
+                let quote = c;
+                let mut j = i + 1;
+                let mut s = String::new();
+                while j < n && bytes[j] != quote {
+                    s.push(bytes[j]);
+                    j += 1;
+                }
+                if j >= n {
+                    return Err(LexError {
+                        pos,
+                        detail: "unterminated string literal".into(),
+                    });
+                }
+                push!(Tok::Str(s), pos);
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                let mut s = String::new();
+                while j < n && (bytes[j].is_ascii_digit() || bytes[j] == '.') {
+                    s.push(bytes[j]);
+                    j += 1;
+                }
+                push!(Tok::Number(s), pos);
+                i = j;
+            }
+            c if is_name_start(c) => {
+                let mut j = i;
+                let mut s = String::new();
+                while j < n && is_name_char(bytes[j]) {
+                    s.push(bytes[j]);
+                    j += 1;
+                }
+                push!(Tok::Name(s), pos);
+                i = j;
+            }
+            other => {
+                return Err(LexError {
+                    pos,
+                    detail: format!("unexpected character '{other}'"),
+                });
+            }
+        }
+    }
+    out.push(Spanned {
+        tok: Tok::Eof,
+        pos: n,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Tok> {
+        lex(s).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn constructor_tokens() {
+        assert_eq!(
+            toks("<r>{ }</r>"),
+            vec![
+                Tok::TagOpen("r".into()),
+                Tok::RAngle,
+                Tok::LBrace,
+                Tok::RBrace,
+                Tok::TagClose("r".into()),
+                Tok::RAngle,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn bachelor_tag() {
+        assert_eq!(
+            toks("<b/>"),
+            vec![Tok::TagOpen("b".into()), Tok::SelfClose, Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn paths_and_vars() {
+        assert_eq!(
+            toks("$bib/book//title/*"),
+            vec![
+                Tok::Var("bib".into()),
+                Tok::Slash,
+                Tok::Name("book".into()),
+                Tok::DSlash,
+                Tok::Name("title".into()),
+                Tok::Slash,
+                Tok::Star,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            toks("$x/a <= 5"),
+            vec![
+                Tok::Var("x".into()),
+                Tok::Slash,
+                Tok::Name("a".into()),
+                Tok::Le,
+                Tok::Number("5".into()),
+                Tok::Eof
+            ]
+        );
+        // '<' with whitespace is less-than, not a constructor.
+        assert!(toks("$x/a < 5").contains(&Tok::Lt));
+        assert!(toks("$x/a >= $y/b").contains(&Tok::Ge));
+        assert!(toks("$x/a > $y/b").contains(&Tok::RAngle));
+        assert!(toks("$x/a != 'q'").contains(&Tok::Ne));
+    }
+
+    #[test]
+    fn axis_syntax() {
+        assert_eq!(
+            toks("$x/descendant::b"),
+            vec![
+                Tok::Var("x".into()),
+                Tok::Slash,
+                Tok::Name("descendant".into()),
+                Tok::ColonColon,
+                Tok::Name("b".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_both_quotes() {
+        assert_eq!(
+            toks("\"a b\" 'c d'"),
+            vec![Tok::Str("a b".into()), Tok::Str("c d".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            toks("(: outer (: inner :) still :) $x"),
+            vec![Tok::Var("x".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn error_on_unterminated_string() {
+        assert!(lex("\"abc").is_err());
+    }
+
+    #[test]
+    fn error_on_stray_colon() {
+        assert!(lex("a : b").is_err());
+    }
+
+    #[test]
+    fn keywords_are_plain_names() {
+        assert_eq!(
+            toks("for $x in /a return ()"),
+            vec![
+                Tok::Name("for".into()),
+                Tok::Var("x".into()),
+                Tok::Name("in".into()),
+                Tok::Slash,
+                Tok::Name("a".into()),
+                Tok::Name("return".into()),
+                Tok::LParen,
+                Tok::RParen,
+                Tok::Eof
+            ]
+        );
+    }
+}

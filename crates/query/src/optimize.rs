@@ -1,0 +1,270 @@
+//! The optimizations of paper §6: early updates and redundant-role
+//! elimination. (Aggregate roles are applied during projection-tree
+//! construction; see [`crate::projection`].)
+
+use crate::ast::{Expr, Query, VarId};
+use crate::deps::DepTable;
+use crate::vartree::VarAnalysis;
+
+/// **Early updates** (§6): rewrites every output expression `$x/σ` into
+/// `for $y in $x/σ return $y` with a fresh variable. After signOff
+/// insertion this becomes `for $y in $x/σ return ($y, signOff($y, r))`, so
+/// each matched node loses its output role immediately after being
+/// emitted, instead of at the end of `$x`'s scope.
+pub fn early_updates(q: &mut Query) {
+    let body = std::mem::replace(&mut q.body, Expr::Empty);
+    q.body = rewrite(body, q);
+}
+
+fn rewrite(e: Expr, q: &mut Query) -> Expr {
+    match e {
+        Expr::PathOutput { var, step } => {
+            let y = q.vars.fresh("out");
+            Expr::For {
+                var: y,
+                source: var,
+                step,
+                body: Box::new(Expr::VarRef(y)),
+            }
+        }
+        Expr::Element { tag, content } => Expr::Element {
+            tag,
+            content: Box::new(rewrite(*content, q)),
+        },
+        Expr::Sequence(items) => {
+            Expr::Sequence(items.into_iter().map(|i| rewrite(i, q)).collect())
+        }
+        Expr::For {
+            var,
+            source,
+            step,
+            body,
+        } => Expr::For {
+            var,
+            source,
+            step,
+            body: Box::new(rewrite(*body, q)),
+        },
+        Expr::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => Expr::If {
+            cond,
+            then_branch: Box::new(rewrite(*then_branch, q)),
+            else_branch: Box::new(rewrite(*else_branch, q)),
+        },
+        other => other,
+    }
+}
+
+/// **Redundant-role elimination** (§6, Fig. 12): drops for-loop roles that
+/// can never affect correctness, so they are neither assigned during
+/// projection nor signed off.
+///
+/// A variable role `rQ(for $x …)` is redundant when either
+///
+/// 1. `dep($x)` contains a self-output dependency (`$x` is output): the
+///    `dos::node()` role covers the binding itself with identical
+///    multiplicity and is removed at the same scope end; or
+/// 2. the subtree of `$x`'s loop is *pure output*: its body consists only
+///    of sequences, for-loops (recursively pure) and output paths rooted
+///    at `$x` or its descendant variables. Then a binding whose subtree
+///    carries no other role produces no output, so purging it early (and
+///    skipping the binding) cannot change the result. Conditions,
+///    constructors and outputs of outer variables all disqualify, because
+///    for those an *absent* binding is observable.
+///
+/// Returns the eliminated variables; their entries in
+/// [`DepTable::var_role`] are cleared.
+pub fn eliminate_redundant_roles(
+    q: &Query,
+    analysis: &VarAnalysis,
+    deps: &mut DepTable,
+) -> Vec<VarId> {
+    let mut eliminated = Vec::new();
+    for i in 1..analysis.len() {
+        let v = VarId(i as u32);
+        if deps.var_role[i].is_none() {
+            continue;
+        }
+        let redundant = deps.has_self_output(v)
+            || body_of(&q.body, v).is_some_and(|b| pure_output(b, v, analysis));
+        if redundant {
+            deps.var_role[i] = None;
+            eliminated.push(v);
+        }
+    }
+    eliminated
+}
+
+/// Finds the body of the for-loop binding `v`.
+fn body_of(e: &Expr, v: VarId) -> Option<&Expr> {
+    match e {
+        Expr::For { var, body, .. } if *var == v => Some(body),
+        Expr::For { body, .. } => body_of(body, v),
+        Expr::Element { content, .. } => body_of(content, v),
+        Expr::Sequence(items) => items.iter().find_map(|i| body_of(i, v)),
+        Expr::If {
+            then_branch,
+            else_branch,
+            ..
+        } => body_of(then_branch, v).or_else(|| body_of(else_branch, v)),
+        _ => None,
+    }
+}
+
+/// Pure-output check for rule 2 (see [`eliminate_redundant_roles`]).
+fn pure_output(e: &Expr, scope_root: VarId, analysis: &VarAnalysis) -> bool {
+    match e {
+        Expr::Empty => true,
+        Expr::VarRef(v) | Expr::PathOutput { var: v, .. } => {
+            analysis.is_ancestor(scope_root, *v, true)
+        }
+        Expr::Sequence(items) => items.iter().all(|i| pure_output(i, scope_root, analysis)),
+        Expr::For { body, .. } => pure_output(body, scope_root, analysis),
+        // Conditions, constructors, split tags, signOffs: not pure.
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deps::collect_deps;
+    use crate::parser::parse;
+    use crate::pretty::pretty_query;
+    use crate::vartree::analyze;
+    use gcx_projection::RoleCatalog;
+    use gcx_xml::TagInterner;
+
+    fn var_by_name(q: &Query, name: &str) -> VarId {
+        q.vars.ids().find(|&v| q.vars.name(v) == name).unwrap()
+    }
+
+    #[test]
+    fn early_updates_introduce_loops() {
+        let mut tags = TagInterner::new();
+        let mut q = parse("<r>{ for $b in /bib return $b/title }</r>", &mut tags).unwrap();
+        early_updates(&mut q);
+        let s = pretty_query(&q, &tags);
+        assert!(
+            s.contains("for $out in $b/title return $out"),
+            "got: {s}"
+        );
+    }
+
+    #[test]
+    fn early_updates_skip_var_refs() {
+        let mut tags = TagInterner::new();
+        let mut q = parse("<r>{ for $b in /bib return $b }</r>", &mut tags).unwrap();
+        let before = pretty_query(&q, &tags);
+        early_updates(&mut q);
+        assert_eq!(pretty_query(&q, &tags), before);
+    }
+
+    /// Paper Fig. 12 context: in the intro query, $x's role (r3) is
+    /// redundant because $x is output ($x has a dos-self dependency), and
+    /// $b's role (r6) is redundant because its body is pure output.
+    #[test]
+    fn fig12_intro_roles_eliminated() {
+        let mut tags = TagInterner::new();
+        let q = parse(
+            r#"<r>{ for $bib in /bib return
+              ((for $x in $bib/* return if (not(exists($x/price))) then $x else ()),
+               for $b in $bib/book return $b/title) }</r>"#,
+            &mut tags,
+        )
+        .unwrap();
+        let analysis = analyze(&q).unwrap();
+        let mut catalog = RoleCatalog::new();
+        let mut deps = collect_deps(&q, &tags, &mut catalog);
+        let eliminated = eliminate_redundant_roles(&q, &analysis, &mut deps);
+        let vx = var_by_name(&q, "x");
+        let vb = var_by_name(&q, "b");
+        let vbib = var_by_name(&q, "bib");
+        assert!(eliminated.contains(&vx), "$x eliminated (self-output)");
+        assert!(eliminated.contains(&vb), "$b eliminated (pure output)");
+        assert!(
+            !eliminated.contains(&vbib),
+            "$bib must keep its role: its body contains conditions"
+        );
+        assert_eq!(deps.var_role[vx.index()], None);
+        assert!(deps.var_role[vbib.index()].is_some());
+    }
+
+    /// A loop whose body constructs elements cannot lose its role: a
+    /// skipped binding would silently drop the constructor output.
+    #[test]
+    fn constructor_bodies_not_eliminated() {
+        let mut tags = TagInterner::new();
+        let q = parse(
+            "<r>{ for $x in /a return <entry>{ $x/title }</entry> }</r>",
+            &mut tags,
+        )
+        .unwrap();
+        let analysis = analyze(&q).unwrap();
+        let mut catalog = RoleCatalog::new();
+        let mut deps = collect_deps(&q, &tags, &mut catalog);
+        let eliminated = eliminate_redundant_roles(&q, &analysis, &mut deps);
+        assert!(eliminated.is_empty());
+    }
+
+    /// A body outputting an *outer* variable disqualifies rule 2.
+    #[test]
+    fn outer_variable_output_not_eliminated() {
+        let mut tags = TagInterner::new();
+        let q = parse(
+            "<r>{ for $a in /a return for $x in /b return $a/k }</r>",
+            &mut tags,
+        )
+        .unwrap();
+        let analysis = analyze(&q).unwrap();
+        let mut catalog = RoleCatalog::new();
+        let mut deps = collect_deps(&q, &tags, &mut catalog);
+        let eliminated = eliminate_redundant_roles(&q, &analysis, &mut deps);
+        let vx = var_by_name(&q, "x");
+        assert!(
+            !eliminated.contains(&vx),
+            "$x's body outputs $a/k which does not depend on $x"
+        );
+        // $a itself is eliminable: pure output rooted at $a… no — its body
+        // contains a for over /b whose output is rooted at $a. That is
+        // still "output of $a's data", and skipping an $a binding with no
+        // buffered k-children produces no output. $a qualifies.
+        let va = var_by_name(&q, "a");
+        assert!(eliminated.contains(&va));
+    }
+
+    /// Condition-bearing bodies keep their roles.
+    #[test]
+    fn conditions_block_elimination() {
+        let mut tags = TagInterner::new();
+        let q = parse(
+            "<r>{ for $x in /a return if (exists($x/p)) then <hit/> else () }</r>",
+            &mut tags,
+        )
+        .unwrap();
+        let analysis = analyze(&q).unwrap();
+        let mut catalog = RoleCatalog::new();
+        let mut deps = collect_deps(&q, &tags, &mut catalog);
+        let eliminated = eliminate_redundant_roles(&q, &analysis, &mut deps);
+        assert!(eliminated.is_empty());
+    }
+
+    /// Nested pure-output loops are eliminated together.
+    #[test]
+    fn nested_pure_output() {
+        let mut tags = TagInterner::new();
+        let q = parse(
+            "<r>{ for $a in /a return for $b in $a/b return $b/c }</r>",
+            &mut tags,
+        )
+        .unwrap();
+        let analysis = analyze(&q).unwrap();
+        let mut catalog = RoleCatalog::new();
+        let mut deps = collect_deps(&q, &tags, &mut catalog);
+        let eliminated = eliminate_redundant_roles(&q, &analysis, &mut deps);
+        assert_eq!(eliminated.len(), 2);
+    }
+}

@@ -1,0 +1,862 @@
+//! Recursive-descent parser for the XQ surface syntax.
+//!
+//! The parser folds the paper's normalization steps in (§3, "many
+//! syntactically richer fragments … can be rewritten into our fragment"):
+//!
+//! * absolute paths `/a`, `//a` become steps from `$root`;
+//! * multi-step paths in `for` sources and output positions are rewritten
+//!   to nested single-step for-loops (the adaptation the paper applied to
+//!   the XMark queries);
+//! * `where` clauses become `if`-then-else;
+//! * condition paths must already be single-step (exactly Fig. 6) — a
+//!   clear error explains the manual rewrite otherwise.
+
+use crate::ast::{Axis, Cond, Expr, NodeTest, Query, RelOp, Step, VarId, VarTable};
+use crate::lexer::{lex, Spanned, Tok};
+use gcx_xml::TagInterner;
+use std::fmt;
+
+/// Parse errors with byte positions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub pos: usize,
+    pub detail: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.pos, self.detail)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<crate::lexer::LexError> for ParseError {
+    fn from(e: crate::lexer::LexError) -> Self {
+        ParseError {
+            pos: e.pos,
+            detail: e.detail,
+        }
+    }
+}
+
+/// Parses a complete XQ query.
+pub fn parse(input: &str, tags: &mut TagInterner) -> Result<Query, ParseError> {
+    let toks = lex(input)?;
+    let mut p = Parser {
+        toks,
+        i: 0,
+        tags,
+        vars: VarTable::new(),
+        scope: Vec::new(),
+    };
+    p.parse_query()
+}
+
+/// What a surface name resolves to: a for-bound variable, or a path
+/// alias introduced by a (removed) let-expression.
+#[derive(Clone)]
+enum Binding {
+    Var(VarId),
+    /// `let $x := $src/steps…` — inlined at every use (the paper: "in
+    /// many practical queries, let-expressions can be removed \[10\]").
+    Alias(VarId, Vec<Step>),
+}
+
+struct Parser<'t> {
+    toks: Vec<Spanned>,
+    i: usize,
+    tags: &'t mut TagInterner,
+    vars: VarTable,
+    scope: Vec<(String, Binding)>,
+}
+
+impl<'t> Parser<'t> {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.i].tok
+    }
+
+    fn pos(&self) -> usize {
+        self.toks[self.i].pos
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.i].tok.clone();
+        if self.i + 1 < self.toks.len() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, detail: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            pos: self.pos(),
+            detail: detail.into(),
+        })
+    }
+
+    fn expect(&mut self, tok: &Tok, what: &str) -> Result<(), ParseError> {
+        if self.peek() == tok {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {what}, found '{}'", self.peek()))
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Tok::Name(n) if n == kw => {
+                self.bump();
+                Ok(())
+            }
+            other => self.err(format!("expected '{kw}', found '{other}'")),
+        }
+    }
+
+    fn lookup(&self, name: &str) -> Option<Binding> {
+        self.scope
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, b)| b.clone())
+    }
+
+    fn parse_query(&mut self) -> Result<Query, ParseError> {
+        let tag = match self.bump() {
+            Tok::TagOpen(name) => self.tags.intern(&name),
+            other => {
+                return self.err(format!(
+                    "a query must start with an element constructor, found '{other}'"
+                ))
+            }
+        };
+        let body = match self.peek() {
+            Tok::SelfClose => {
+                self.bump();
+                Expr::Empty
+            }
+            Tok::RAngle => {
+                self.bump();
+                self.parse_constructor_content(tag)?
+            }
+            other => return self.err(format!("expected '>' or '/>', found '{other}'")),
+        };
+        if self.peek() != &Tok::Eof {
+            return self.err("trailing input after the query");
+        }
+        Ok(Query {
+            root_tag: tag,
+            body,
+            vars: std::mem::take(&mut self.vars),
+        })
+    }
+
+    /// Content of `<tag> … </tag>`: nested constructors and `{ expr }`
+    /// blocks, joined as a sequence.
+    fn parse_constructor_content(&mut self, tag: gcx_xml::TagId) -> Result<Expr, ParseError> {
+        let mut items = Vec::new();
+        loop {
+            match self.peek().clone() {
+                Tok::TagOpen(_) => items.push(self.parse_constructor()?),
+                Tok::LBrace => {
+                    self.bump();
+                    if self.peek() == &Tok::RBrace {
+                        self.bump();
+                        continue;
+                    }
+                    items.push(self.parse_expr()?);
+                    self.expect(&Tok::RBrace, "'}'")?;
+                }
+                Tok::TagClose(name) => {
+                    let id = self.tags.intern(&name);
+                    if id != tag {
+                        return self.err(format!(
+                            "mismatched constructor: expected </{}>, found </{}>",
+                            self.tags.name(tag),
+                            name
+                        ));
+                    }
+                    self.bump();
+                    self.expect(&Tok::RAngle, "'>'")?;
+                    return Ok(Expr::seq(items));
+                }
+                other => {
+                    return self.err(format!(
+                        "expected nested constructor, '{{' or closing tag, found '{other}'"
+                    ))
+                }
+            }
+        }
+    }
+
+    fn parse_constructor(&mut self) -> Result<Expr, ParseError> {
+        let tag = match self.bump() {
+            Tok::TagOpen(name) => self.tags.intern(&name),
+            other => return self.err(format!("expected constructor, found '{other}'")),
+        };
+        match self.peek() {
+            Tok::SelfClose => {
+                self.bump();
+                Ok(Expr::Element {
+                    tag,
+                    content: Box::new(Expr::Empty),
+                })
+            }
+            Tok::RAngle => {
+                self.bump();
+                let content = self.parse_constructor_content(tag)?;
+                Ok(Expr::Element {
+                    tag,
+                    content: Box::new(content),
+                })
+            }
+            other => self.err(format!("expected '>' or '/>', found '{other}'")),
+        }
+    }
+
+    /// `expr := single (',' single)*`
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut items = vec![self.parse_single()?];
+        while self.peek() == &Tok::Comma {
+            self.bump();
+            items.push(self.parse_single()?);
+        }
+        Ok(Expr::seq(items))
+    }
+
+    fn parse_single(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            Tok::LParen => {
+                self.bump();
+                if self.peek() == &Tok::RParen {
+                    self.bump();
+                    return Ok(Expr::Empty);
+                }
+                let e = self.parse_expr()?;
+                self.expect(&Tok::RParen, "')'")?;
+                Ok(e)
+            }
+            Tok::TagOpen(_) => self.parse_constructor(),
+            Tok::Name(kw) if kw == "for" => self.parse_for(),
+            Tok::Name(kw) if kw == "if" => self.parse_if(),
+            Tok::Name(kw) if kw == "let" => self.parse_let(),
+            Tok::Var(_) | Tok::Slash | Tok::DSlash => {
+                let (source, steps) = self.parse_path()?;
+                Ok(self.path_to_output(source, steps))
+            }
+            other => self.err(format!("expected an expression, found '{other}'")),
+        }
+    }
+
+    fn parse_for(&mut self) -> Result<Expr, ParseError> {
+        self.expect_kw("for")?;
+        let var_name = match self.bump() {
+            Tok::Var(n) => n,
+            other => return self.err(format!("expected a variable after 'for', found '{other}'")),
+        };
+        self.expect_kw("in")?;
+        let (source, steps) = self.parse_path()?;
+        if steps.is_empty() {
+            return self.err("a for-loop source must contain at least one step");
+        }
+        // Optional where clause, then return.
+        let cond = match self.peek() {
+            Tok::Name(n) if n == "where" => {
+                // `where` may reference the loop variable: bind it first.
+                // We must know the VarId before parsing the condition, so
+                // allocate the whole chain now.
+                None::<Cond> // placeholder — handled below
+            }
+            _ => None,
+        };
+        let _ = cond;
+        // Build the nested chain: intermediates for steps[..k-1], the user
+        // variable for the last step.
+        let mut chain: Vec<(VarId, VarId, Step)> = Vec::new(); // (var, source, step)
+        let mut src = source;
+        for (idx, st) in steps.iter().enumerate() {
+            let v = if idx + 1 == steps.len() {
+                self.vars.fresh(&var_name)
+            } else {
+                self.vars.fresh("tmp")
+            };
+            chain.push((v, src, *st));
+            src = v;
+        }
+        let user_var = chain.last().expect("nonempty").0;
+        self.scope.push((var_name.clone(), Binding::Var(user_var)));
+        let where_cond = match self.peek() {
+            Tok::Name(n) if n == "where" => {
+                self.bump();
+                Some(self.parse_cond()?)
+            }
+            _ => None,
+        };
+        self.expect_kw("return")?;
+        let body = self.parse_single()?;
+        self.scope.pop();
+        let mut acc = match where_cond {
+            Some(c) => Expr::If {
+                cond: c,
+                then_branch: Box::new(body),
+                else_branch: Box::new(Expr::Empty),
+            },
+            None => body,
+        };
+        for (v, s, st) in chain.into_iter().rev() {
+            acc = Expr::For {
+                var: v,
+                source: s,
+                step: st,
+                body: Box::new(acc),
+            };
+        }
+        Ok(acc)
+    }
+
+    /// `let $x := <path> return e` — removed by inlining the path at
+    /// every use of `$x`, the normalization the paper cites from \[10\].
+    /// Only path-valued lets are expressible in the fragment; anything
+    /// else gets a targeted error.
+    fn parse_let(&mut self) -> Result<Expr, ParseError> {
+        self.expect_kw("let")?;
+        let name = match self.bump() {
+            Tok::Var(n) => n,
+            other => return self.err(format!("expected a variable after 'let', found '{other}'")),
+        };
+        self.expect(&Tok::Assign, "':=' in let")?;
+        match self.peek() {
+            Tok::Var(_) | Tok::Slash | Tok::DSlash => {}
+            other => {
+                return self.err(format!(
+                    "only path-valued let-expressions can be inlined into the XQ \
+                     fragment (found '{other}'); rewrite the query without let"
+                ))
+            }
+        }
+        let (source, steps) = self.parse_path()?;
+        self.expect_kw("return")?;
+        self.scope.push((name, Binding::Alias(source, steps)));
+        let body = self.parse_single()?;
+        self.scope.pop();
+        Ok(body)
+    }
+
+    fn parse_if(&mut self) -> Result<Expr, ParseError> {
+        self.expect_kw("if")?;
+        let cond = self.parse_cond()?;
+        self.expect_kw("then")?;
+        let then_branch = self.parse_single()?;
+        self.expect_kw("else")?;
+        let else_branch = self.parse_single()?;
+        Ok(Expr::If {
+            cond,
+            then_branch: Box::new(then_branch),
+            else_branch: Box::new(else_branch),
+        })
+    }
+
+    /// Turns a parsed output path into AST: zero steps → `$x`, one step →
+    /// `$x/step`, more → nested for-loops over the prefix.
+    fn path_to_output(&mut self, source: VarId, steps: Vec<Step>) -> Expr {
+        match steps.len() {
+            0 => Expr::VarRef(source),
+            1 => Expr::PathOutput {
+                var: source,
+                step: steps[0],
+            },
+            _ => {
+                let mut src = source;
+                let mut loops: Vec<(VarId, VarId, Step)> = Vec::new();
+                for st in &steps[..steps.len() - 1] {
+                    let v = self.vars.fresh("tmp");
+                    loops.push((v, src, *st));
+                    src = v;
+                }
+                let mut acc = Expr::PathOutput {
+                    var: src,
+                    step: *steps.last().expect("nonempty"),
+                };
+                for (v, s, st) in loops.into_iter().rev() {
+                    acc = Expr::For {
+                        var: v,
+                        source: s,
+                        step: st,
+                        body: Box::new(acc),
+                    };
+                }
+                acc
+            }
+        }
+    }
+
+    /// `path := $var steps | /steps | //steps` — returns source and steps.
+    fn parse_path(&mut self) -> Result<(VarId, Vec<Step>), ParseError> {
+        let (source, mut steps) = match self.peek().clone() {
+            Tok::Var(name) => {
+                self.bump();
+                if name == "root" {
+                    (VarId::ROOT, Vec::new())
+                } else {
+                    match self.lookup(&name) {
+                        Some(Binding::Var(v)) => (v, Vec::new()),
+                        Some(Binding::Alias(src, prefix)) => (src, prefix),
+                        None => return self.err(format!("unbound variable ${name}")),
+                    }
+                }
+            }
+            Tok::Slash | Tok::DSlash => (VarId::ROOT, Vec::new()),
+            other => return self.err(format!("expected a path, found '{other}'")),
+        };
+        loop {
+            let axis_from_slash = match self.peek() {
+                Tok::Slash => Some(Axis::Child),
+                Tok::DSlash => Some(Axis::Descendant),
+                _ => None,
+            };
+            let Some(mut axis) = axis_from_slash else {
+                break;
+            };
+            self.bump();
+            // Optional explicit axis: child:: / descendant::.
+            if let Tok::Name(n) = self.peek().clone() {
+                if (n == "child" || n == "descendant")
+                    && self.toks.get(self.i + 1).map(|s| &s.tok) == Some(&Tok::ColonColon)
+                {
+                    if axis == Axis::Descendant {
+                        return self.err("'//' cannot be combined with an explicit axis");
+                    }
+                    axis = if n == "child" {
+                        Axis::Child
+                    } else {
+                        Axis::Descendant
+                    };
+                    self.bump();
+                    self.bump();
+                }
+            }
+            let test = match self.bump() {
+                Tok::Star => NodeTest::Star,
+                Tok::Name(n) if n == "text" && self.peek() == &Tok::LParen => {
+                    self.bump();
+                    self.expect(&Tok::RParen, "')'")?;
+                    NodeTest::Text
+                }
+                Tok::Name(n) if n == "node" && self.peek() == &Tok::LParen => {
+                    return self.err(
+                        "node() is not part of the XQ output grammar (it only appears in \
+                         projection paths)",
+                    )
+                }
+                Tok::Name(n) => NodeTest::Tag(self.tags.intern(&n)),
+                other => return self.err(format!("expected a node test, found '{other}'")),
+            };
+            steps.push(Step { axis, test });
+        }
+        Ok((source, steps))
+    }
+
+    // ------------------------------------------------------------------
+    // Conditions
+    // ------------------------------------------------------------------
+
+    fn parse_cond(&mut self) -> Result<Cond, ParseError> {
+        let mut left = self.parse_cond_and()?;
+        while matches!(self.peek(), Tok::Name(n) if n == "or") {
+            self.bump();
+            let right = self.parse_cond_and()?;
+            left = Cond::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_cond_and(&mut self) -> Result<Cond, ParseError> {
+        let mut left = self.parse_cond_unary()?;
+        while matches!(self.peek(), Tok::Name(n) if n == "and") {
+            self.bump();
+            let right = self.parse_cond_unary()?;
+            left = Cond::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_cond_unary(&mut self) -> Result<Cond, ParseError> {
+        match self.peek().clone() {
+            Tok::Name(n) if n == "not" => {
+                self.bump();
+                self.expect(&Tok::LParen, "'(' after not")?;
+                let c = self.parse_cond()?;
+                self.expect(&Tok::RParen, "')'")?;
+                Ok(Cond::Not(Box::new(c)))
+            }
+            Tok::Name(n) if n == "true" => {
+                self.bump();
+                self.expect(&Tok::LParen, "'(' after true")?;
+                self.expect(&Tok::RParen, "')'")?;
+                Ok(Cond::True)
+            }
+            Tok::Name(n) if n == "exists" => {
+                self.bump();
+                self.expect(&Tok::LParen, "'(' after exists")?;
+                let (var, steps) = self.parse_path()?;
+                self.expect(&Tok::RParen, "')'")?;
+                let step = self.single_step(steps, "exists")?;
+                Ok(Cond::Exists { var, step })
+            }
+            Tok::LParen => {
+                self.bump();
+                let c = self.parse_cond()?;
+                self.expect(&Tok::RParen, "')'")?;
+                Ok(c)
+            }
+            _ => self.parse_comparison(),
+        }
+    }
+
+    fn single_step(&self, steps: Vec<Step>, ctx: &str) -> Result<Step, ParseError> {
+        match steps.len() {
+            1 => Ok(steps[0]),
+            0 => Err(ParseError {
+                pos: self.pos(),
+                detail: format!("{ctx} requires a path with exactly one step (got a bare variable)"),
+            }),
+            _ => Err(ParseError {
+                pos: self.pos(),
+                detail: format!(
+                    "{ctx} requires a single-step path (Fig. 6 of the paper); rewrite \
+                     the query with a nested for-loop over the path prefix"
+                ),
+            }),
+        }
+    }
+
+    fn parse_comparison(&mut self) -> Result<Cond, ParseError> {
+        enum Operand {
+            Path(VarId, Step),
+            Lit(String),
+        }
+        let operand = |p: &mut Self| -> Result<Operand, ParseError> {
+            match p.peek().clone() {
+                Tok::Str(s) => {
+                    p.bump();
+                    Ok(Operand::Lit(s))
+                }
+                Tok::Number(s) => {
+                    p.bump();
+                    Ok(Operand::Lit(s))
+                }
+                Tok::Var(_) | Tok::Slash | Tok::DSlash => {
+                    let (v, steps) = p.parse_path()?;
+                    let step = p.single_step(steps, "a comparison operand")?;
+                    Ok(Operand::Path(v, step))
+                }
+                other => Err(ParseError {
+                    pos: p.pos(),
+                    detail: format!("expected a comparison operand, found '{other}'"),
+                }),
+            }
+        };
+        let left = operand(self)?;
+        let op = match self.bump() {
+            Tok::Eq => RelOp::Eq,
+            Tok::Ne => RelOp::Ne,
+            Tok::Le => RelOp::Le,
+            Tok::Lt => RelOp::Lt,
+            Tok::Ge => RelOp::Ge,
+            Tok::RAngle => RelOp::Gt,
+            other => {
+                return self.err(format!(
+                    "expected a comparison operator, found '{other}'"
+                ))
+            }
+        };
+        let right = operand(self)?;
+        match (left, right) {
+            (Operand::Path(v, s), Operand::Lit(val)) => Ok(Cond::CmpStr {
+                var: v,
+                step: s,
+                op,
+                value: val,
+            }),
+            (Operand::Lit(val), Operand::Path(v, s)) => Ok(Cond::CmpStr {
+                var: v,
+                step: s,
+                op: op.flip(),
+                value: val,
+            }),
+            (Operand::Path(lv, ls), Operand::Path(rv, rs)) => Ok(Cond::CmpVar {
+                left_var: lv,
+                left_step: ls,
+                op,
+                right_var: rv,
+                right_step: rs,
+            }),
+            (Operand::Lit(_), Operand::Lit(_)) => {
+                self.err("comparing two literals is not part of the XQ fragment")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(input: &str) -> Query {
+        let mut tags = TagInterner::new();
+        parse(input, &mut tags).expect("parse ok")
+    }
+
+    fn perr(input: &str) -> ParseError {
+        let mut tags = TagInterner::new();
+        parse(input, &mut tags).expect_err("expected parse error")
+    }
+
+    #[test]
+    fn intro_query_parses() {
+        let q = p(r#"<r> {
+            for $bib in /bib return
+            ((for $x in $bib/* return
+               if (not(exists($x/price))) then $x else ()),
+             for $b in $bib/book return $b/title)
+        } </r>"#);
+        // Structure: For($bib) { Sequence [ For($x){If..}, For($b){PathOutput} ] }
+        let Expr::For { var, source, body, .. } = &q.body else {
+            panic!("expected for, got {:?}", q.body);
+        };
+        assert_eq!(*source, VarId::ROOT);
+        assert_eq!(q.vars.name(*var), "bib");
+        let Expr::Sequence(items) = body.as_ref() else {
+            panic!("expected sequence");
+        };
+        assert_eq!(items.len(), 2);
+        assert!(matches!(&items[0], Expr::For { .. }));
+    }
+
+    #[test]
+    fn empty_query() {
+        let q = p("<r/>");
+        assert_eq!(q.body, Expr::Empty);
+        let q2 = p("<r>{ }</r>");
+        assert_eq!(q2.body, Expr::Empty);
+    }
+
+    #[test]
+    fn nested_constructors() {
+        let q = p("<a><b/><c>{ () }</c></a>");
+        let Expr::Sequence(items) = &q.body else {
+            panic!("expected sequence");
+        };
+        assert_eq!(items.len(), 2);
+        assert!(matches!(items[0], Expr::Element { .. }));
+    }
+
+    #[test]
+    fn multistep_for_source_nests() {
+        let q = p("<r>{ for $p in /site/people/person return $p }</r>");
+        // for tmp in /site return for tmp_2 in tmp/people return for p ...
+        let Expr::For { step, body, .. } = &q.body else {
+            panic!()
+        };
+        assert_eq!(step.axis, Axis::Child);
+        let Expr::For { body: b2, .. } = body.as_ref() else {
+            panic!()
+        };
+        let Expr::For { var, body: b3, .. } = b2.as_ref() else {
+            panic!()
+        };
+        assert_eq!(q.vars.name(*var), "p");
+        assert_eq!(**b3, Expr::VarRef(*var));
+    }
+
+    #[test]
+    fn multistep_output_nests() {
+        let q = p("<r>{ for $b in /bib return $b/book/title }</r>");
+        let Expr::For { body, .. } = &q.body else {
+            panic!()
+        };
+        let Expr::For { step, body: inner, .. } = body.as_ref() else {
+            panic!("expected inner for, got {body:?}")
+        };
+        assert!(matches!(step.test, NodeTest::Tag(_)));
+        assert!(matches!(inner.as_ref(), Expr::PathOutput { .. }));
+    }
+
+    #[test]
+    fn where_becomes_if() {
+        let q = p(r#"<r>{ for $x in /a where $x/b = "1" return $x }</r>"#);
+        let Expr::For { body, .. } = &q.body else {
+            panic!()
+        };
+        let Expr::If { cond, else_branch, .. } = body.as_ref() else {
+            panic!("expected if, got {body:?}")
+        };
+        assert!(matches!(cond, Cond::CmpStr { .. }));
+        assert_eq!(**else_branch, Expr::Empty);
+    }
+
+    #[test]
+    fn descendant_axis_forms() {
+        let q = p("<r>{ for $x in //item return $x/descendant::name }</r>");
+        let Expr::For { step, body, .. } = &q.body else {
+            panic!()
+        };
+        assert_eq!(step.axis, Axis::Descendant);
+        let Expr::PathOutput { step: s2, .. } = body.as_ref() else {
+            panic!()
+        };
+        assert_eq!(s2.axis, Axis::Descendant);
+    }
+
+    #[test]
+    fn text_test() {
+        let q = p("<r>{ for $x in /a return $x/text() }</r>");
+        let Expr::For { body, .. } = &q.body else {
+            panic!()
+        };
+        let Expr::PathOutput { step, .. } = body.as_ref() else {
+            panic!()
+        };
+        assert_eq!(step.test, NodeTest::Text);
+    }
+
+    #[test]
+    fn comparison_flip() {
+        let q = p(r#"<r>{ for $x in /a return if ("5" = $x/b) then $x else () }</r>"#);
+        let Expr::For { body, .. } = &q.body else {
+            panic!()
+        };
+        let Expr::If { cond, .. } = body.as_ref() else {
+            panic!()
+        };
+        let Cond::CmpStr { op, value, .. } = cond else {
+            panic!("expected CmpStr, got {cond:?}")
+        };
+        assert_eq!(*op, RelOp::Eq);
+        assert_eq!(value, "5");
+    }
+
+    #[test]
+    fn join_condition() {
+        let q = p(r#"<r>{ for $p in /a return
+            for $t in /b return
+            if ($t/ref = $p/id) then $t else () }</r>"#);
+        let mut found = false;
+        q.body.visit(&mut |e| {
+            if let Expr::If { cond, .. } = e {
+                if matches!(cond, Cond::CmpVar { .. }) {
+                    found = true;
+                }
+            }
+        });
+        assert!(found);
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let q = p(r#"<r>{ for $x in /a return
+            if ($x/b = "1" and not($x/c = "2") or true()) then $x else () }</r>"#);
+        let mut ands = 0;
+        let mut ors = 0;
+        let mut nots = 0;
+        q.body.visit(&mut |e| {
+            if let Expr::If { cond, .. } = e {
+                cond.visit(&mut |c| match c {
+                    Cond::And(..) => ands += 1,
+                    Cond::Or(..) => ors += 1,
+                    Cond::Not(..) => nots += 1,
+                    _ => {}
+                });
+            }
+        });
+        assert_eq!((ands, ors, nots), (1, 1, 1));
+    }
+
+    #[test]
+    fn unbound_variable_rejected() {
+        let e = perr("<r>{ $nope }</r>");
+        assert!(e.detail.contains("unbound"));
+    }
+
+    #[test]
+    fn path_let_is_inlined() {
+        let q = p("<r>{ let $x := /a/b return for $y in $x/c return $y }</r>");
+        // Equivalent to: for tmp in /a return for tmp2 in tmp/b
+        //                  return for y in tmp2/c …
+        let mut fors = 0;
+        q.body.visit(&mut |e| {
+            if matches!(e, Expr::For { .. }) {
+                fors += 1;
+            }
+        });
+        assert_eq!(fors, 3, "alias steps splice into the use site");
+    }
+
+    #[test]
+    fn bare_let_alias_outputs_path() {
+        let q = p("<r>{ let $x := /a/b return $x }</r>");
+        // `$x` as output becomes the path /a/b: a for over /a with a
+        // PathOutput of b.
+        let mut saw_output = false;
+        q.body.visit(&mut |e| {
+            if matches!(e, Expr::PathOutput { .. }) {
+                saw_output = true;
+            }
+        });
+        assert!(saw_output);
+    }
+
+    #[test]
+    fn let_shadowing_and_scoping() {
+        let e = perr("<r>{ (let $x := /a return $x, $x) }</r>");
+        assert!(e.detail.contains("unbound"), "alias scope is lexical: {e}");
+    }
+
+    #[test]
+    fn non_path_let_rejected_with_hint() {
+        let e = perr("<r>{ let $x := <a/> return $x }</r>");
+        assert!(e.detail.contains("let"), "got {e}");
+    }
+
+    #[test]
+    fn multistep_condition_rejected() {
+        let e = perr("<r>{ for $x in /a return if (exists($x/b/c)) then $x else () }</r>");
+        assert!(e.detail.contains("single-step"));
+    }
+
+    #[test]
+    fn variable_scoping_is_lexical() {
+        let e = perr("<r>{ (for $x in /a return $x, $x) }</r>");
+        assert!(e.detail.contains("unbound"));
+    }
+
+    #[test]
+    fn shadowing_freshens() {
+        let q = p("<r>{ for $x in /a return for $x in $x/b return $x }</r>");
+        let Expr::For { var: outer, body, .. } = &q.body else {
+            panic!()
+        };
+        let Expr::For { var: inner, source, body: b2, .. } = body.as_ref() else {
+            panic!()
+        };
+        assert_eq!(source, outer, "inner source is the outer $x");
+        assert_ne!(outer, inner);
+        assert_eq!(**b2, Expr::VarRef(*inner), "body references the inner $x");
+    }
+
+    #[test]
+    fn root_variable_is_predefined() {
+        let q = p("<r>{ for $x in $root/a return $x }</r>");
+        let Expr::For { source, .. } = &q.body else {
+            panic!()
+        };
+        assert_eq!(*source, VarId::ROOT);
+    }
+
+    #[test]
+    fn mismatched_constructor_rejected() {
+        let e = perr("<a>{ () }</b>");
+        assert!(e.detail.contains("mismatched"));
+    }
+}

@@ -1,0 +1,215 @@
+//! Deriving the projection tree from a query (paper §4, Example 5).
+//!
+//! Three steps:
+//! 1. build the variable tree;
+//! 2. for each dependency `⟨$x/π, r⟩`, add a chain labeled `π` below
+//!    `$x`'s node with `rπ(terminal) = r`;
+//! 3. relabel variable nodes with their for-loop steps, assign them the
+//!    for-loop roles, and relabel the root `/`.
+//!
+//! The aggregate-role optimization (§6) flags `dos::node()` terminals so
+//! that the matcher assigns their role only at the subtree root.
+
+use crate::ast::VarId;
+use crate::deps::{DepKind, DepTable};
+use crate::vartree::{step_to_pstep, VarAnalysis};
+use gcx_projection::{ProjNodeId, ProjTree, Role};
+
+/// The derived projection artifacts.
+#[derive(Debug, Clone)]
+pub struct Projection {
+    pub tree: ProjTree,
+    /// Projection-tree node of each variable.
+    pub var_node: Vec<ProjNodeId>,
+    /// Roles flagged aggregate (for the buffer and the signOff executor).
+    pub aggregates: Vec<Role>,
+}
+
+/// Builds the projection tree.
+pub fn build_projection(
+    analysis: &VarAnalysis,
+    deps: &DepTable,
+    aggregate_roles: bool,
+) -> Projection {
+    let mut tree = ProjTree::new();
+    let n = analysis.len();
+    let mut var_node = vec![ProjTree::ROOT; n];
+    let mut aggregates = Vec::new();
+    // Variable nodes, in id order (parents precede children since sources
+    // are bound before their dependents).
+    for i in 1..n {
+        let v = VarId(i as u32);
+        let Some(step) = analysis.step[i] else {
+            continue;
+        };
+        let parent = analysis.source[i].expect("non-root variable has a source");
+        let role = deps.var_role[i];
+        var_node[i] = tree.add_child(var_node[parent.index()], step_to_pstep(step), role);
+        let _ = v;
+    }
+    // Dependency chains.
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..n {
+        for dep in deps.deps(VarId(i as u32)) {
+            let terminal = tree.add_path(var_node[i], &dep.path.steps, Some(dep.role));
+            let is_dos_terminal = matches!(dep.kind, DepKind::Output | DepKind::Compare | DepKind::SelfOutput);
+            if aggregate_roles && is_dos_terminal {
+                tree.set_aggregate(terminal);
+                aggregates.push(dep.role);
+            }
+        }
+    }
+    Projection {
+        tree,
+        var_node,
+        aggregates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Query;
+    use crate::deps::collect_deps;
+    use crate::parser::parse;
+    use crate::vartree::analyze;
+    use gcx_projection::{PTest, Pred, RoleCatalog};
+    use gcx_xml::TagInterner;
+
+    fn project(input: &str, aggregates: bool) -> (Query, TagInterner, Projection) {
+        let mut tags = TagInterner::new();
+        let q = parse(input, &mut tags).expect("parse");
+        let analysis = analyze(&q).expect("analyze");
+        let mut catalog = RoleCatalog::new();
+        let deps = collect_deps(&q, &tags, &mut catalog);
+        let p = build_projection(&analysis, &deps, aggregates);
+        (q, tags, p)
+    }
+
+    fn var_by_name(q: &Query, name: &str) -> VarId {
+        q.vars.ids().find(|&v| q.vars.name(v) == name).unwrap()
+    }
+
+    /// Paper Fig. 1: the projection tree of the intro query.
+    ///
+    /// ```text
+    /// n1: /
+    ///   n2: /bib            (r for $bib)
+    ///     n3: /*            (r for $x)
+    ///       n4: /price\[1\]   (exists)
+    ///       n5: dos::node() (output $x)
+    ///     n6: /book         (r for $b)
+    ///       n7: /title → dos::node() (output $b/title)
+    /// ```
+    #[test]
+    fn fig1_intro_projection_tree() {
+        let (q, tags, p) = project(
+            r#"<r>{ for $bib in /bib return
+              ((for $x in $bib/* return if (not(exists($x/price))) then $x else ()),
+               for $b in $bib/book return $b/title) }</r>"#,
+            false,
+        );
+        let t = &p.tree;
+        let root_kids = t.children(ProjTree::ROOT);
+        assert_eq!(root_kids.len(), 1);
+        let n2 = root_kids[0];
+        assert_eq!(t.xpath_of(n2, &tags), "/bib");
+        let bib_kids = t.children(n2);
+        assert_eq!(bib_kids.len(), 2);
+        let n3 = bib_kids[0]; // /*
+        let n6 = bib_kids[1]; // /book
+        assert_eq!(t.xpath_of(n3, &tags), "/bib/*");
+        assert_eq!(t.xpath_of(n6, &tags), "/bib/book");
+        // Children of n3: price[1] and dos::node().
+        let x_kids = t.children(n3);
+        assert_eq!(x_kids.len(), 2);
+        assert_eq!(t.step(x_kids[0]).pred, Pred::First);
+        assert_eq!(t.step(x_kids[1]).test, PTest::AnyNode);
+        // n6 has the title → dos chain.
+        let b_kids = t.children(n6);
+        assert_eq!(b_kids.len(), 1);
+        let title = b_kids[0];
+        assert_eq!(t.role(title), None, "chain intermediates are roleless");
+        let dos = t.children(title)[0];
+        assert!(t.role(dos).is_some());
+        // Variable mapping is consistent.
+        let vbib = var_by_name(&q, "bib");
+        assert_eq!(p.var_node[vbib.index()], n2);
+        // All roles: 6 (paper's r2..r7).
+        let with_roles = t.ids().filter(|&i| t.role(i).is_some()).count();
+        assert_eq!(with_roles, 6, "three variable roles + r4 + r5 + r7");
+    }
+
+    /// Fig. 9's tree (= Fig. 4(d)): $b hangs off the root, not off $a.
+    #[test]
+    fn fig9_tree_shape() {
+        let (q, tags, p) = project(
+            "<q>{ for $a in //a return <a>{ for $b in //b return <b/> }</a> }</q>",
+            false,
+        );
+        let t = &p.tree;
+        let kids = t.children(ProjTree::ROOT);
+        assert_eq!(kids.len(), 2, "both variables are children of the root");
+        assert_eq!(t.xpath_of(kids[0], &tags), "//a");
+        assert_eq!(t.xpath_of(kids[1], &tags), "//b");
+        let va = var_by_name(&q, "a");
+        let vb = var_by_name(&q, "b");
+        assert_eq!(p.var_node[va.index()], kids[0]);
+        assert_eq!(p.var_node[vb.index()], kids[1]);
+    }
+
+    /// Example 4's tree (= Fig. 4(b)): $b below $a.
+    #[test]
+    fn example4_tree_shape() {
+        let (_, tags, p) = project(
+            "<q>{ for $a in //a return <a>{ for $b in $a//b return <b/> }</a> }</q>",
+            false,
+        );
+        let t = &p.tree;
+        let kids = t.children(ProjTree::ROOT);
+        assert_eq!(kids.len(), 1);
+        let va = kids[0];
+        assert_eq!(t.xpath_of(va, &tags), "//a");
+        let a_kids = t.children(va);
+        assert_eq!(a_kids.len(), 1);
+        assert_eq!(t.xpath_of(a_kids[0], &tags), "//a//b");
+    }
+
+    #[test]
+    fn aggregates_flag_dos_terminals() {
+        let (_, _, p) = project(
+            "<r>{ for $b in /bib return ($b/title, $b) }</r>",
+            true,
+        );
+        assert_eq!(p.aggregates.len(), 2, "output dep and self dep both aggregate");
+        let t = &p.tree;
+        let agg_nodes = t
+            .ids()
+            .filter(|&i| t.node(i).aggregate)
+            .count();
+        assert_eq!(agg_nodes, 2);
+    }
+
+    #[test]
+    fn exists_dep_never_aggregate() {
+        let (_, _, p) = project(
+            "<r>{ for $x in /a return if (exists($x/p)) then <hit/> else () }</r>",
+            true,
+        );
+        assert!(p.aggregates.is_empty());
+    }
+
+    #[test]
+    fn eliminated_var_roles_leave_none() {
+        // Simulated elimination: clear var role before building.
+        let mut tags = TagInterner::new();
+        let q = parse("<r>{ for $b in /bib return $b/title }</r>", &mut tags).unwrap();
+        let analysis = analyze(&q).unwrap();
+        let mut catalog = RoleCatalog::new();
+        let mut deps = collect_deps(&q, &tags, &mut catalog);
+        let vb = var_by_name(&q, "b");
+        deps.var_role[vb.index()] = None;
+        let p = build_projection(&analysis, &deps, false);
+        assert_eq!(p.tree.role(p.var_node[vb.index()]), None);
+    }
+}

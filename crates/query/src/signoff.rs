@@ -1,0 +1,276 @@
+//! SignOff insertion (paper §4, Fig. 8 — algorithm `suQ`).
+//!
+//! At the end of the scope of each variable `$x`, all nodes that depend on
+//! `$x` — and for which `$x` is the *first straight ancestor* — lose their
+//! roles:
+//!
+//! ```text
+//! suQ($x):
+//!   for each $z with fsa($z) = $x (own variable first):
+//!     σ = varpath($x, $z)
+//!     emit signOff($x/σ, rQ(for-loop of $z))        -- unless eliminated
+//!     for each ⟨π, r⟩ in dep($z): emit signOff($x/σ/π, r)
+//! ```
+//!
+//! For straight `$z = $x` this yields the paper's `signOff($x, r)`; for
+//! non-straight variables the update happens at the first straight
+//! ancestor through the variable path — exactly the
+//! `signOff($root//b, r2)` of paper Fig. 9. (Fig. 8 as printed emits the
+//! own-variable update only in the `$x ≠ $root` branch; reading it
+//! together with Fig. 9 shows the update must travel to the fsa for
+//! non-straight variables, which is what we implement.)
+//!
+//! Insertion points (the two rules below Fig. 8): the end of the query
+//! body for `$root`, and the end of every for-loop body for its own
+//! variable.
+
+use crate::ast::{Expr, Query, VarId};
+use crate::deps::DepTable;
+use crate::vartree::VarAnalysis;
+
+/// Generates the signOff statements of `suQ($x)`.
+pub fn su_q(x: VarId, analysis: &VarAnalysis, deps: &DepTable) -> Vec<Expr> {
+    let mut out = Vec::new();
+    for z in analysis.scoped_to(x) {
+        let sigma = analysis.varpath(x, z);
+        if z != VarId::ROOT {
+            if let Some(role) = deps.var_role[z.index()] {
+                out.push(Expr::SignOff {
+                    var: x,
+                    path: sigma.clone(),
+                    role,
+                });
+            }
+        }
+        for dep in deps.deps(z) {
+            let mut path = sigma.clone();
+            path.steps.extend(dep.path.steps.iter().copied());
+            out.push(Expr::SignOff {
+                var: x,
+                path,
+                role: dep.role,
+            });
+        }
+    }
+    out
+}
+
+/// Rewrites a query by appending `suQ` at every scope end.
+pub fn insert_signoffs(q: &Query, analysis: &VarAnalysis, deps: &DepTable) -> Query {
+    let body = rewrite(&q.body, analysis, deps);
+    let root_updates = su_q(VarId::ROOT, analysis, deps);
+    let mut items = vec![body];
+    items.extend(root_updates);
+    Query {
+        root_tag: q.root_tag,
+        body: Expr::seq(items),
+        vars: q.vars.clone(),
+    }
+}
+
+fn rewrite(e: &Expr, analysis: &VarAnalysis, deps: &DepTable) -> Expr {
+    match e {
+        Expr::For {
+            var,
+            source,
+            step,
+            body,
+        } => {
+            let inner = rewrite(body, analysis, deps);
+            let updates = su_q(*var, analysis, deps);
+            let mut items = vec![inner];
+            items.extend(updates);
+            Expr::For {
+                var: *var,
+                source: *source,
+                step: *step,
+                body: Box::new(Expr::seq(items)),
+            }
+        }
+        Expr::Element { tag, content } => Expr::Element {
+            tag: *tag,
+            content: Box::new(rewrite(content, analysis, deps)),
+        },
+        Expr::Sequence(items) => {
+            Expr::seq(items.iter().map(|i| rewrite(i, analysis, deps)).collect())
+        }
+        Expr::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => Expr::If {
+            cond: cond.clone(),
+            then_branch: Box::new(rewrite(then_branch, analysis, deps)),
+            else_branch: Box::new(rewrite(else_branch, analysis, deps)),
+        },
+        other => other.clone(),
+    }
+}
+
+/// Static safety check: every allocated role is removed by exactly the
+/// signOffs that reference it, and no signOff sits inside an if-branch.
+/// Returns the list of roles referenced by signOffs.
+pub fn signoff_roles(e: &Expr) -> Vec<gcx_projection::Role> {
+    let mut out = Vec::new();
+    collect_roles(e, &mut out);
+    out
+}
+
+fn collect_roles(e: &Expr, out: &mut Vec<gcx_projection::Role>) {
+    match e {
+        Expr::SignOff { role, .. } => out.push(*role),
+        Expr::Element { content, .. } => collect_roles(content, out),
+        Expr::Sequence(items) => {
+            for i in items {
+                collect_roles(i, out);
+            }
+        }
+        Expr::For { body, .. } => collect_roles(body, out),
+        Expr::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            collect_roles(then_branch, out);
+            collect_roles(else_branch, out);
+        }
+        _ => {}
+    }
+}
+
+/// True when no signOff statement is nested inside an if-branch (the
+/// guarantee the if-pushdown establishes).
+pub fn no_signoff_under_if(e: &Expr) -> bool {
+    fn check(e: &Expr, under_if: bool) -> bool {
+        match e {
+            Expr::SignOff { .. } => !under_if,
+            Expr::Element { content, .. } => check(content, under_if),
+            Expr::Sequence(items) => items.iter().all(|i| check(i, under_if)),
+            Expr::For { body, .. } => check(body, under_if),
+            Expr::If {
+                then_branch,
+                else_branch,
+                ..
+            } => check(then_branch, true) && check(else_branch, true),
+            _ => true,
+        }
+    }
+    check(e, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deps::collect_deps;
+    use crate::parser::parse;
+    use crate::pretty::pretty_query;
+    use crate::vartree::analyze;
+    use gcx_projection::RoleCatalog;
+    use gcx_xml::TagInterner;
+
+    fn rewritten(input: &str) -> (Query, TagInterner) {
+        let mut tags = TagInterner::new();
+        let q = parse(input, &mut tags).expect("parse");
+        let analysis = analyze(&q).expect("analysis");
+        let mut catalog = RoleCatalog::new();
+        let deps = collect_deps(&q, &tags, &mut catalog);
+        let q2 = insert_signoffs(&q, &analysis, &deps);
+        (q2, tags)
+    }
+
+    /// Paper Example 4: both variables straight; signOffs at each loop end.
+    #[test]
+    fn example4_straight_signoffs() {
+        let (q, tags) = rewritten(
+            "<q>{ for $a in //a return <a>{ for $b in $a//b return <b/> }</a> }</q>",
+        );
+        let s = pretty_query(&q, &tags);
+        assert!(s.contains("signOff($b, r1)"), "got: {s}");
+        assert!(s.contains("signOff($a, r0)"), "got: {s}");
+        assert!(no_signoff_under_if(&q.body));
+    }
+
+    /// Paper Fig. 9: $b is not straight; its update is emitted at $root as
+    /// signOff($root//b, r).
+    #[test]
+    fn fig9_non_straight_signoff_at_root() {
+        let (q, tags) = rewritten(
+            "<q>{ for $a in //a return <a>{ for $b in //b return <b/> }</a> }</q>",
+        );
+        let s = pretty_query(&q, &tags);
+        // $a's own update inside its loop:
+        assert!(s.contains("signOff($a, r0)"), "got: {s}");
+        // $b's update travels to $root with the variable path //b:
+        assert!(s.contains("signOff($root//b, r1)"), "got: {s}");
+        // … and appears after the outer for-loop (end of query body).
+        let pos_for = s.find("for $a").unwrap();
+        let pos_so = s.find("signOff($root//b").unwrap();
+        assert!(pos_so > pos_for);
+        // No signOff($b, …) inside the $b loop:
+        assert!(!s.contains("signOff($b"), "got: {s}");
+    }
+
+    /// The intro example: the full rewritten query of paper §1.
+    #[test]
+    fn intro_query_rewriting() {
+        let (q, tags) = rewritten(
+            r#"<r>{ for $bib in /bib return
+              ((for $x in $bib/* return if (not(exists($x/price))) then $x else ()),
+               for $b in $bib/book return $b/title) }</r>"#,
+        );
+        let s = pretty_query(&q, &tags);
+        // Role numbering: r0=$bib(paper r2), r1=$x(r3), r2=exists(r4),
+        // r3=output $x(r5), r4=$b(r6), r5=title/dos(r7).
+        assert!(s.contains("signOff($x, r1)"), "got: {s}");
+        assert!(s.contains("signOff($x/price[1], r2)"), "got: {s}");
+        assert!(s.contains("signOff($x/dos::node(), r3)"), "got: {s}");
+        assert!(s.contains("signOff($b, r4)"), "got: {s}");
+        assert!(s.contains("signOff($b/title/dos::node(), r5)"), "got: {s}");
+        assert!(s.contains("signOff($bib, r0)"), "got: {s}");
+        assert!(no_signoff_under_if(&q.body));
+        // Ordering within the $x loop: own role, then deps in order.
+        let p1 = s.find("signOff($x, r1)").unwrap();
+        let p2 = s.find("signOff($x/price[1], r2)").unwrap();
+        let p3 = s.find("signOff($x/dos::node(), r3)").unwrap();
+        assert!(p1 < p2 && p2 < p3);
+    }
+
+    /// All allocated roles are covered by signOffs exactly once.
+    #[test]
+    fn every_role_signed_off_once() {
+        let inputs = [
+            "<q>{ for $a in //a return <a>{ for $b in //b return <b/> }</a> }</q>",
+            r#"<r>{ for $bib in /bib return
+              ((for $x in $bib/* return if (not(exists($x/price))) then $x else ()),
+               for $b in $bib/book return $b/title) }</r>"#,
+            r#"<r>{ for $p in /a return for $t in /b return
+                if ($t/r = $p/id) then $t else () }</r>"#,
+        ];
+        for input in inputs {
+            let mut tags = TagInterner::new();
+            let q = parse(input, &mut tags).unwrap();
+            let analysis = analyze(&q).unwrap();
+            let mut catalog = RoleCatalog::new();
+            let deps = collect_deps(&q, &tags, &mut catalog);
+            let q2 = insert_signoffs(&q, &analysis, &deps);
+            let mut roles = signoff_roles(&q2.body);
+            roles.sort();
+            let expected: Vec<_> = catalog.roles().collect();
+            assert_eq!(roles, expected, "for input {input}");
+        }
+    }
+
+    /// suQ for a variable with no dependents yields only its own update.
+    #[test]
+    fn suq_minimal() {
+        let mut tags = TagInterner::new();
+        let q = parse("<r>{ for $x in /a return <hit/> }</r>", &mut tags).unwrap();
+        let analysis = analyze(&q).unwrap();
+        let mut catalog = RoleCatalog::new();
+        let deps = collect_deps(&q, &tags, &mut catalog);
+        let x = q.vars.ids().find(|&v| q.vars.name(v) == "x").unwrap();
+        let sos = su_q(x, &analysis, &deps);
+        assert_eq!(sos.len(), 1);
+        assert!(matches!(&sos[0], Expr::SignOff { path, .. } if path.is_empty()));
+    }
+}

@@ -1,0 +1,347 @@
+//! Variable trees, straight variables and first straight ancestors
+//! (paper §3, Definitions 3 and 4).
+//!
+//! * `parVarQ($x) = $y` when the query contains `for $x in $y/axis::ν`.
+//! * The *variable tree* has edge relation `parVar`.
+//! * `$z` is **straight** when its whole chain of enclosing for-loops binds
+//!   only ancestor variables of `$z` (Def. 3). Straightness decides *where*
+//!   signOff statements may be placed: roles of non-straight variables can
+//!   only be released at the first straight ancestor (`fsa`, Def. 4),
+//!   because their bindings are revisited across iterations of unrelated
+//!   loops (the join case, paper Fig. 9 / Example 6/8).
+
+use crate::ast::{Expr, Query, Step, VarId};
+use gcx_projection::{PStep, RelPath};
+use std::fmt;
+
+/// Errors from variable analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalysisError {
+    /// Internal: a `for` reuses a VarId (parser bug).
+    DuplicateBinding(u32),
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::DuplicateBinding(v) => {
+                write!(f, "variable {v} is bound by two for-loops")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+/// Result of variable analysis; indexes are [`VarId`]s.
+#[derive(Debug, Clone)]
+pub struct VarAnalysis {
+    /// `parVar` — the source variable of each for-loop (None for `$root`).
+    pub source: Vec<Option<VarId>>,
+    /// The step of each variable's for-loop (None for `$root`).
+    pub step: Vec<Option<Step>>,
+    /// Variables of the for-loops lexically enclosing each variable's
+    /// defining loop, outermost first.
+    pub enclosing: Vec<Vec<VarId>>,
+    /// Def. 3 verdict.
+    pub straight: Vec<bool>,
+    /// Def. 4: first straight ancestor.
+    pub fsa: Vec<VarId>,
+    /// Variable-tree children (by `parVar`), in VarId order.
+    pub children: Vec<Vec<VarId>>,
+}
+
+impl VarAnalysis {
+    /// True when `a` is an ancestor variable of `d` (`d <Q a`), or equal
+    /// when `or_self`.
+    pub fn is_ancestor(&self, a: VarId, d: VarId, or_self: bool) -> bool {
+        if or_self && a == d {
+            return true;
+        }
+        let mut at = self.source[d.index()];
+        while let Some(x) = at {
+            if x == a {
+                return true;
+            }
+            at = self.source[x.index()];
+        }
+        false
+    }
+
+    /// `varpathQ($x, $z)`: the relative path along the variable tree from
+    /// `$x` down to `$z` (empty when equal).
+    ///
+    /// # Panics
+    /// Panics when `$x` is not an ancestor-or-self of `$z`.
+    pub fn varpath(&self, x: VarId, z: VarId) -> RelPath {
+        let mut chain = Vec::new();
+        let mut at = z;
+        while at != x {
+            let step = self.step[at.index()].expect("non-root variable has a step");
+            chain.push(step);
+            at = self.source[at.index()]
+                .unwrap_or_else(|| panic!("varpath: {x:?} is not an ancestor of {z:?}"));
+        }
+        chain.reverse();
+        RelPath::from_steps(chain.into_iter().map(step_to_pstep).collect())
+    }
+
+    /// All variables `$z` with `fsa($z) = $x`, in VarId order with `$x`
+    /// itself first (the paper's suQ emits the own-scope update first).
+    pub fn scoped_to(&self, x: VarId) -> Vec<VarId> {
+        let mut out = Vec::new();
+        if self.fsa[x.index()] == x {
+            out.push(x);
+        }
+        for i in 0..self.fsa.len() {
+            let z = VarId(i as u32);
+            if z != x && self.fsa[i] == x {
+                out.push(z);
+            }
+        }
+        out
+    }
+
+    /// Number of variables (including `$root`).
+    pub fn len(&self) -> usize {
+        self.source.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Converts an XQ step into a projection path step (no predicate).
+pub fn step_to_pstep(s: Step) -> PStep {
+    use crate::ast::{Axis, NodeTest};
+    use gcx_projection::{PAxis, PTest};
+    let axis = match s.axis {
+        Axis::Child => PAxis::Child,
+        Axis::Descendant => PAxis::Descendant,
+    };
+    let test = match s.test {
+        NodeTest::Tag(t) => PTest::Tag(t),
+        NodeTest::Star => PTest::Star,
+        NodeTest::Text => PTest::Text,
+    };
+    PStep::new(axis, test)
+}
+
+/// Runs variable analysis over a query.
+pub fn analyze(q: &Query) -> Result<VarAnalysis, AnalysisError> {
+    let n = q.vars.len();
+    let mut a = VarAnalysis {
+        source: vec![None; n],
+        step: vec![None; n],
+        enclosing: vec![Vec::new(); n],
+        straight: vec![false; n],
+        fsa: vec![VarId::ROOT; n],
+        children: vec![Vec::new(); n],
+    };
+    let mut seen = vec![false; n];
+    seen[VarId::ROOT.index()] = true;
+    let mut stack: Vec<VarId> = Vec::new();
+    collect(&q.body, &mut stack, &mut a, &mut seen)?;
+    // Variable-tree children in id order.
+    for i in 1..n {
+        if let Some(p) = a.source[i] {
+            a.children[p.index()].push(VarId(i as u32));
+        }
+    }
+    // Straightness (Def. 3), computed in id order: sources are always
+    // introduced before their dependents, so one pass suffices.
+    a.straight[VarId::ROOT.index()] = true;
+    for i in 1..n {
+        let z = VarId(i as u32);
+        let Some(y) = a.source[i] else {
+            continue; // never bound (unused slot) — treated as non-straight
+        };
+        let enclosing_ok = a.enclosing[i].iter().all(|&u| a.is_ancestor(u, z, false));
+        a.straight[i] = a.straight[y.index()] && enclosing_ok;
+    }
+    // fsa (Def. 4).
+    for i in 1..n {
+        let mut at = VarId(i as u32);
+        while !a.straight[at.index()] {
+            at = a.source[at.index()].expect("chain reaches $root, which is straight");
+        }
+        a.fsa[i] = at;
+    }
+    Ok(a)
+}
+
+fn collect(
+    e: &Expr,
+    stack: &mut Vec<VarId>,
+    a: &mut VarAnalysis,
+    seen: &mut [bool],
+) -> Result<(), AnalysisError> {
+    match e {
+        Expr::For {
+            var,
+            source,
+            step,
+            body,
+        } => {
+            if seen[var.index()] {
+                return Err(AnalysisError::DuplicateBinding(var.0));
+            }
+            seen[var.index()] = true;
+            a.source[var.index()] = Some(*source);
+            a.step[var.index()] = Some(*step);
+            a.enclosing[var.index()] = stack.clone();
+            stack.push(*var);
+            collect(body, stack, a, seen)?;
+            stack.pop();
+            Ok(())
+        }
+        Expr::Element { content, .. } => collect(content, stack, a, seen),
+        Expr::Sequence(items) => {
+            for i in items {
+                collect(i, stack, a, seen)?;
+            }
+            Ok(())
+        }
+        Expr::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            collect(then_branch, stack, a, seen)?;
+            collect(else_branch, stack, a, seen)
+        }
+        _ => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use gcx_xml::TagInterner;
+
+    fn analyzed(input: &str) -> (Query, VarAnalysis) {
+        let mut tags = TagInterner::new();
+        let q = parse(input, &mut tags).expect("parse");
+        let a = analyze(&q).expect("analyze");
+        (q, a)
+    }
+
+    fn var_by_name(q: &Query, name: &str) -> VarId {
+        q.vars
+            .ids()
+            .find(|&v| q.vars.name(v) == name)
+            .unwrap_or_else(|| panic!("no variable {name}"))
+    }
+
+    /// Paper Example 6, first half: $a and $b in Example 4's query are
+    /// straight.
+    #[test]
+    fn example6_straight_vars() {
+        let (q, a) = analyzed(
+            "<q>{ for $a in //a return <a>{ for $b in $a//b return <b/> }</a> }</q>",
+        );
+        let va = var_by_name(&q, "a");
+        let vb = var_by_name(&q, "b");
+        assert!(a.straight[va.index()]);
+        assert!(a.straight[vb.index()]);
+        assert_eq!(a.fsa[va.index()], va);
+        assert_eq!(a.fsa[vb.index()], vb);
+    }
+
+    /// Paper Example 6, second half: in the Fig. 9 query, $b is not
+    /// straight and fsa($b) = $root.
+    #[test]
+    fn example6_fig9_not_straight() {
+        let (q, a) = analyzed(
+            "<q>{ for $a in //a return <a>{ for $b in //b return <b/> }</a> }</q>",
+        );
+        let va = var_by_name(&q, "a");
+        let vb = var_by_name(&q, "b");
+        assert!(a.straight[va.index()]);
+        assert!(!a.straight[vb.index()], "$b's enclosing loop binds $a, not an ancestor");
+        assert_eq!(a.fsa[vb.index()], VarId::ROOT);
+        assert_eq!(a.source[vb.index()], Some(VarId::ROOT), "parVar($b) = $root");
+    }
+
+    /// The intro query: $bib, $x, $b are all straight.
+    #[test]
+    fn intro_query_vars() {
+        let (q, a) = analyzed(
+            r#"<r>{ for $bib in /bib return
+              ((for $x in $bib/* return if (not(exists($x/price))) then $x else ()),
+               for $b in $bib/book return $b/title) }</r>"#,
+        );
+        for name in ["bib", "x", "b"] {
+            let v = var_by_name(&q, name);
+            assert!(a.straight[v.index()], "${name} is straight");
+        }
+        let vbib = var_by_name(&q, "bib");
+        let vx = var_by_name(&q, "x");
+        assert_eq!(a.source[vx.index()], Some(vbib));
+        assert_eq!(a.children[vbib.index()].len(), 2);
+    }
+
+    #[test]
+    fn varpath_concatenates_steps() {
+        let mut tags = TagInterner::new();
+        let q = parse(
+            "<r>{ for $x in /a return for $y in $x//b return for $z in $y/c return $z }</r>",
+            &mut tags,
+        )
+        .expect("parse");
+        let a = analyze(&q).expect("analyze");
+        let vx = var_by_name(&q, "x");
+        let vz = var_by_name(&q, "z");
+        let b = tags.get("b").unwrap();
+        let c = tags.get("c").unwrap();
+        let p = a.varpath(vx, vz);
+        assert_eq!(p.steps.len(), 2);
+        assert_eq!(p.steps[0].test, gcx_projection::PTest::Tag(b));
+        assert_eq!(p.steps[0].axis, gcx_projection::PAxis::Descendant);
+        assert_eq!(p.steps[1].test, gcx_projection::PTest::Tag(c));
+        assert!(a.varpath(vx, vx).is_empty());
+    }
+
+    #[test]
+    fn scoped_to_lists_own_var_first() {
+        let (q, a) = analyzed(
+            "<q>{ for $a in //a return <a>{ for $b in //b return <b/> }</a> }</q>",
+        );
+        let va = var_by_name(&q, "a");
+        let vb = var_by_name(&q, "b");
+        let root_scope = a.scoped_to(VarId::ROOT);
+        assert_eq!(root_scope, vec![VarId::ROOT, vb]);
+        assert_eq!(a.scoped_to(va), vec![va]);
+    }
+
+    /// Nested non-straightness: a chain through a non-straight variable is
+    /// itself non-straight.
+    #[test]
+    fn non_straight_propagates() {
+        let (q, a) = analyzed(
+            "<q>{ for $a in //a return for $b in //b return for $c in $b/c return $c }</q>",
+        );
+        let vb = var_by_name(&q, "b");
+        let vc = var_by_name(&q, "c");
+        assert!(!a.straight[vb.index()]);
+        assert!(
+            !a.straight[vc.index()],
+            "$c's source $b is not straight (Def. 3 condition 1)"
+        );
+        assert_eq!(a.fsa[vc.index()], VarId::ROOT);
+    }
+
+    /// Deep straight chains stay straight.
+    #[test]
+    fn deep_straight_chain() {
+        let (q, a) = analyzed(
+            "<q>{ for $a in /a return for $b in $a/b return for $c in $b/c return $c }</q>",
+        );
+        for name in ["a", "b", "c"] {
+            let v = var_by_name(&q, name);
+            assert!(a.straight[v.index()]);
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Static (compile-time) invariants over a corpus of realistic queries,
+//! including all five benchmark queries: the rewriting must reference
+//! every allocated role in exactly one signOff statement, never under an
+//! if, and the projection tree must carry exactly the non-eliminated
+//! roles.
+
+use gcx_query::signoff::{no_signoff_under_if, signoff_roles};
+use gcx_query::{compile, CompileOptions, Expr};
+use gcx_xml::TagInterner;
+
+const XMARK_QUERIES: &[&str] = &[
+    // Q1
+    r#"<q1>{ for $p in /site/people/person return
+        if ($p/id = "person0") then $p/name/text() else () }</q1>"#,
+    // Q6
+    r#"<q6>{ for $b in /site/regions return for $i in $b//item return $i/name }</q6>"#,
+    // Q8
+    r#"<q8>{ for $p in /site/people/person return
+        <item>{ ($p/name,
+          for $t in /site/closed_auctions/closed_auction return
+            for $b in $t/buyer return
+              if ($b/person = $p/id) then $t/price else ()) }</item> }</q8>"#,
+    // Q13
+    r#"<q13>{ for $i in /site/regions/australia/item return
+        <item2>{ ($i/name, $i/description) }</item2> }</q13>"#,
+    // Q20
+    r#"<q20>{ for $p in /site/people/person return
+        ((for $f in $p/profile return
+           (if ($f/income >= 100000) then <preferred>{ $f/income }</preferred> else (),
+            if ($f/income < 100000 and $f/income >= 30000) then <standard>{ $f/income }</standard> else (),
+            if ($f/income < 30000) then <challenge>{ $f/income }</challenge> else ())),
+         if (not(exists($p/profile))) then <na>{ $p/name }</na> else ()) }</q20>"#,
+    // The paper's running examples.
+    r#"<r>{ for $bib in /bib return
+        ((for $x in $bib/* return if (not(exists($x/price))) then $x else ()),
+         for $b in $bib/book return $b/title) }</r>"#,
+    "<q>{ for $a in //a return <a>{ for $b in //b return <b/> }</a> }</q>",
+    "<q>{ for $a in //a return <a>{ for $b in $a//b return <b/> }</a> }</q>",
+];
+
+fn check(query: &str, opts: CompileOptions) {
+    let mut tags = TagInterner::new();
+    let c = compile(query, &mut tags, opts).unwrap_or_else(|e| panic!("{query}: {e}"));
+    // 1. Every allocated role is signed off exactly once (statically).
+    let mut in_signoffs = signoff_roles(&c.rewritten.body);
+    in_signoffs.sort();
+    in_signoffs.dedup();
+    let mut allocated: Vec<_> = c.roles.roles().collect();
+    // Eliminated variable roles are allocated but cleared; they must not
+    // appear in signOffs nor in the projection tree.
+    let live: Vec<_> = c
+        .projection
+        .tree
+        .ids()
+        .filter_map(|i| c.projection.tree.role(i))
+        .collect();
+    for r in &in_signoffs {
+        assert!(live.contains(r), "signOff for a role not in the tree");
+    }
+    allocated.retain(|r| live.contains(r));
+    allocated.sort();
+    assert_eq!(
+        in_signoffs, allocated,
+        "signOff coverage mismatch for {query}"
+    );
+    // 2. No signOff under an if.
+    assert!(no_signoff_under_if(&c.rewritten.body), "{query}");
+    // 3. Projection-tree roles are unique.
+    let mut uniq = live.clone();
+    uniq.sort();
+    uniq.dedup();
+    assert_eq!(uniq.len(), live.len(), "duplicate rπ in {query}");
+    // 4. Aggregates are a subset of tree roles.
+    for a in &c.projection.aggregates {
+        assert!(live.contains(a));
+    }
+}
+
+#[test]
+fn corpus_default_options() {
+    for q in XMARK_QUERIES {
+        check(q, CompileOptions::default());
+    }
+}
+
+#[test]
+fn corpus_plain_options() {
+    for q in XMARK_QUERIES {
+        check(q, CompileOptions::plain());
+    }
+}
+
+#[test]
+fn corpus_single_toggles() {
+    for q in XMARK_QUERIES {
+        for opts in [
+            CompileOptions {
+                early_updates: false,
+                ..CompileOptions::default()
+            },
+            CompileOptions {
+                redundant_role_elimination: false,
+                ..CompileOptions::default()
+            },
+            CompileOptions {
+                aggregate_roles: false,
+                ..CompileOptions::default()
+            },
+            CompileOptions {
+                practical_ifpush: false,
+                ..CompileOptions::default()
+            },
+        ] {
+            check(q, opts);
+        }
+    }
+}
+
+/// The rewritten benchmark queries contain no for-loop under an if
+/// (if-pushdown postcondition) even in full (non-practical) mode.
+#[test]
+fn ifpush_postcondition_on_corpus() {
+    for q in XMARK_QUERIES {
+        let mut tags = TagInterner::new();
+        let c = compile(
+            q,
+            &mut tags,
+            CompileOptions {
+                practical_ifpush: false,
+                ..CompileOptions::default()
+            },
+        )
+        .unwrap();
+        fn no_for_under_if(e: &Expr, under: bool) -> bool {
+            match e {
+                Expr::For { body, .. } => !under && no_for_under_if(body, false),
+                Expr::If {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => no_for_under_if(then_branch, true) && no_for_under_if(else_branch, true),
+                Expr::Element { content, .. } => no_for_under_if(content, under),
+                Expr::Sequence(items) => items.iter().all(|i| no_for_under_if(i, under)),
+                _ => true,
+            }
+        }
+        assert!(no_for_under_if(&c.rewritten.body, false), "{q}");
+    }
+}

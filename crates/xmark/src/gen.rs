@@ -1,0 +1,549 @@
+//! Seeded, size-targeted XMark-like document generator.
+//!
+//! The paper evaluates on XMark \[21\] documents of 10–200 MB, generated
+//! with the original `xmlgen` and adapted by converting attributes into
+//! subelements (§7). `xmlgen` is not available offline, so this module
+//! generates documents with the same element structure (regions/items,
+//! categories, people, open and closed auctions), already attribute-free,
+//! deterministic per seed, and sized to a byte target.
+//!
+//! The generator streams directly to a writer: arbitrarily large documents
+//! cost O(1) memory to produce.
+
+use crate::vocab::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::io::{self, Write};
+
+/// Generator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct XmarkConfig {
+    /// RNG seed; identical seeds produce identical documents.
+    pub seed: u64,
+    /// Size scale: 1.0 ≈ 1 MiB of XML.
+    pub scale: f64,
+}
+
+/// Empirical bytes per unit of scale (calibrated by tests to ±25%).
+pub const BYTES_PER_SCALE: f64 = 1024.0 * 1024.0;
+
+impl Default for XmarkConfig {
+    fn default() -> Self {
+        XmarkConfig {
+            seed: 42,
+            scale: 1.0,
+        }
+    }
+}
+
+impl XmarkConfig {
+    /// Configuration aiming at roughly `bytes` of output.
+    pub fn with_target_bytes(bytes: usize, seed: u64) -> Self {
+        XmarkConfig {
+            seed,
+            scale: bytes as f64 / BYTES_PER_SCALE,
+        }
+    }
+}
+
+/// Byte-counting writer wrapper.
+struct Counting<W: Write> {
+    inner: W,
+    bytes: u64,
+}
+
+impl<W: Write> Write for Counting<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.bytes += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Generates a document into `out`; returns the number of bytes written.
+pub fn generate<W: Write>(cfg: XmarkConfig, out: W) -> io::Result<u64> {
+    let mut g = Gen {
+        rng: StdRng::seed_from_u64(cfg.seed),
+        w: Counting {
+            inner: io::BufWriter::new(out),
+            bytes: 0,
+        },
+        persons: scaled(cfg.scale, 640.0),
+        items: scaled(cfg.scale, 540.0),
+        open_auctions: scaled(cfg.scale, 290.0),
+        closed_auctions: scaled(cfg.scale, 235.0),
+        categories: scaled(cfg.scale, 25.0),
+    };
+    g.site()?;
+    g.w.flush()?;
+    Ok(g.w.bytes)
+}
+
+/// Generates a document as a `String` (tests, small benchmarks).
+pub fn generate_string(cfg: XmarkConfig) -> String {
+    let mut buf = Vec::new();
+    generate(cfg, &mut buf).expect("vec write");
+    String::from_utf8(buf).expect("generator emits UTF-8")
+}
+
+fn scaled(scale: f64, base: f64) -> usize {
+    ((base * scale).round() as usize).max(1)
+}
+
+struct Gen<W: Write> {
+    rng: StdRng,
+    w: Counting<W>,
+    persons: usize,
+    items: usize,
+    open_auctions: usize,
+    closed_auctions: usize,
+    categories: usize,
+}
+
+impl<W: Write> Gen<W> {
+    fn open(&mut self, tag: &str) -> io::Result<()> {
+        write!(self.w, "<{tag}>")
+    }
+
+    fn close(&mut self, tag: &str) -> io::Result<()> {
+        write!(self.w, "</{tag}>")
+    }
+
+    fn leaf(&mut self, tag: &str, value: &str) -> io::Result<()> {
+        write!(self.w, "<{tag}>{value}</{tag}>")
+    }
+
+    fn pick<'a>(&mut self, list: &[&'a str]) -> &'a str {
+        list[self.rng.random_range(0..list.len())]
+    }
+
+    fn words(&mut self, n: usize) -> String {
+        let mut s = String::new();
+        for i in 0..n {
+            if i > 0 {
+                s.push(' ');
+            }
+            s.push_str(self.pick(WORDS));
+        }
+        s
+    }
+
+    fn date(&mut self) -> String {
+        format!(
+            "{:02}/{:02}/{}",
+            self.rng.random_range(1..=12),
+            self.rng.random_range(1..=28),
+            self.rng.random_range(1998..=2006)
+        )
+    }
+
+    fn site(&mut self) -> io::Result<()> {
+        self.open("site")?;
+        self.regions()?;
+        self.categories()?;
+        self.people()?;
+        self.open_auctions()?;
+        self.closed_auctions()?;
+        self.close("site")
+    }
+
+    fn regions(&mut self) -> io::Result<()> {
+        self.open("regions")?;
+        // Items are distributed over the six continents with XMark-like
+        // skew (europe and namerica hold most of them).
+        let weights = [0.10, 0.18, 0.08, 0.30, 0.26, 0.08];
+        let mut next_id = 0usize;
+        for (region, w) in REGIONS.iter().zip(weights) {
+            self.open(region)?;
+            let count = ((self.items as f64) * w).round() as usize;
+            for _ in 0..count {
+                self.item(next_id)?;
+                next_id += 1;
+            }
+            self.close(region)?;
+        }
+        self.close("regions")
+    }
+
+    fn item(&mut self, id: usize) -> io::Result<()> {
+        self.open("item")?;
+        self.leaf("id", &format!("item{id}"))?;
+        let loc = self.pick(COUNTRIES).to_string();
+        self.leaf("location", &loc)?;
+        let q = self.rng.random_range(1..=5).to_string();
+        self.leaf("quantity", &q)?;
+        let name = self.words(2);
+        self.leaf("name", &name)?;
+        self.leaf("payment", "Creditcard")?;
+        self.open("description")?;
+        if self.rng.random_bool(0.3) {
+            self.open("parlist")?;
+            for _ in 0..self.rng.random_range(1..=3) {
+                self.open("listitem")?;
+                self.open("text")?;
+                let before = self.words(4);
+                write!(self.w, "{before} ")?;
+                let kw = self.pick(WORDS).to_string();
+                self.leaf("keyword", &kw)?;
+                let after = self.words(3);
+                write!(self.w, " {after}")?;
+                self.close("text")?;
+                self.close("listitem")?;
+            }
+            self.close("parlist")?;
+        } else {
+            let n = self.rng.random_range(5..=14);
+            let t = self.words(n);
+            self.leaf("text", &t)?;
+        }
+        self.close("description")?;
+        self.leaf("shipping", "Will ship internationally")?;
+        for _ in 0..self.rng.random_range(1..=3) {
+            let c = self.rng.random_range(0..self.categories);
+            self.leaf("incategory", &format!("category{c}"))?;
+        }
+        if self.rng.random_bool(0.4) {
+            self.open("mailbox")?;
+            for _ in 0..self.rng.random_range(1..=2) {
+                self.open("mail")?;
+                let from = self.person_name();
+                self.leaf("from", &from)?;
+                let to = self.person_name();
+                self.leaf("to", &to)?;
+                let d = self.date();
+                self.leaf("date", &d)?;
+                let n = self.rng.random_range(4..=10);
+                let t = self.words(n);
+                self.leaf("text", &t)?;
+                self.close("mail")?;
+            }
+            self.close("mailbox")?;
+        }
+        self.close("item")
+    }
+
+    fn person_name(&mut self) -> String {
+        format!("{} {}", self.pick(FIRST_NAMES), self.pick(LAST_NAMES))
+    }
+
+    fn categories(&mut self) -> io::Result<()> {
+        self.open("categories")?;
+        for i in 0..self.categories {
+            self.open("category")?;
+            self.leaf("id", &format!("category{i}"))?;
+            let theme = self.pick(CATEGORY_THEMES).to_string();
+            self.leaf("name", &theme)?;
+            let d = self.words(6);
+            self.leaf("description", &d)?;
+            self.close("category")?;
+        }
+        self.close("categories")
+    }
+
+    fn people(&mut self) -> io::Result<()> {
+        self.open("people")?;
+        for i in 0..self.persons {
+            self.person(i)?;
+        }
+        self.close("people")
+    }
+
+    fn person(&mut self, i: usize) -> io::Result<()> {
+        self.open("person")?;
+        self.leaf("id", &format!("person{i}"))?;
+        let name = self.person_name();
+        self.leaf("name", &name)?;
+        let email = format!(
+            "mailto:{}@{}.example",
+            name.to_lowercase().replace(' ', "."),
+            self.pick(CITIES).to_lowercase()
+        );
+        self.leaf("emailaddress", &email)?;
+        if self.rng.random_bool(0.6) {
+            let phone = format!(
+                "+{} ({}) {}",
+                self.rng.random_range(1..100),
+                self.rng.random_range(100..1000),
+                self.rng.random_range(1_000_000..10_000_000)
+            );
+            self.leaf("phone", &phone)?;
+        }
+        if self.rng.random_bool(0.7) {
+            self.open("address")?;
+            let street = format!("{} {} St", self.rng.random_range(1..100), self.pick(WORDS));
+            self.leaf("street", &street)?;
+            let city = self.pick(CITIES).to_string();
+            self.leaf("city", &city)?;
+            let country = self.pick(COUNTRIES).to_string();
+            self.leaf("country", &country)?;
+            let zip = self.rng.random_range(10000..99999).to_string();
+            self.leaf("zipcode", &zip)?;
+            self.close("address")?;
+        }
+        if self.rng.random_bool(0.75) {
+            let cc = format!(
+                "{} {} {} {}",
+                self.rng.random_range(1000..10000),
+                self.rng.random_range(1000..10000),
+                self.rng.random_range(1000..10000),
+                self.rng.random_range(1000..10000)
+            );
+            self.leaf("creditcard", &cc)?;
+        }
+        if self.rng.random_bool(0.7) {
+            self.open("profile")?;
+            for _ in 0..self.rng.random_range(0..=3) {
+                let c = self.rng.random_range(0..self.categories);
+                self.leaf("interest", &format!("category{c}"))?;
+            }
+            if self.rng.random_bool(0.5) {
+                self.leaf("education", "Graduate School")?;
+            }
+            if self.rng.random_bool(0.5) {
+                let g = if self.rng.random_bool(0.5) { "male" } else { "female" };
+                self.leaf("gender", g)?;
+            }
+            let b = if self.rng.random_bool(0.5) { "Yes" } else { "No" };
+            self.leaf("business", b)?;
+            if self.rng.random_bool(0.6) {
+                let age = self.rng.random_range(18..80).to_string();
+                self.leaf("age", &age)?;
+            }
+            if self.rng.random_bool(0.8) {
+                let income = format!("{:.2}", self.rng.random_range(9000..150000) as f64 / 1.0);
+                self.leaf("income", &income)?;
+            }
+            self.close("profile")?;
+        }
+        if self.rng.random_bool(0.3) {
+            self.open("watches")?;
+            for _ in 0..self.rng.random_range(1..=3) {
+                let a = self.rng.random_range(0..self.open_auctions.max(1));
+                self.leaf("watch", &format!("open_auction{a}"))?;
+            }
+            self.close("watches")?;
+        }
+        self.close("person")
+    }
+
+    fn open_auctions(&mut self) -> io::Result<()> {
+        self.open("open_auctions")?;
+        for i in 0..self.open_auctions {
+            self.open("open_auction")?;
+            self.leaf("id", &format!("open_auction{i}"))?;
+            let initial = format!("{:.2}", self.rng.random_range(100..30000) as f64 / 100.0);
+            self.leaf("initial", &initial)?;
+            if self.rng.random_bool(0.4) {
+                let r = format!("{:.2}", self.rng.random_range(100..60000) as f64 / 100.0);
+                self.leaf("reserve", &r)?;
+            }
+            for _ in 0..self.rng.random_range(0..=4) {
+                self.open("bidder")?;
+                let d = self.date();
+                self.leaf("date", &d)?;
+                let t = format!(
+                    "{:02}:{:02}:{:02}",
+                    self.rng.random_range(0..24),
+                    self.rng.random_range(0..60),
+                    self.rng.random_range(0..60)
+                );
+                self.leaf("time", &t)?;
+                let p = self.rng.random_range(0..self.persons);
+                self.leaf("personref", &format!("person{p}"))?;
+                let inc = format!("{:.2}", self.rng.random_range(150..3000) as f64 / 100.0);
+                self.leaf("increase", &inc)?;
+                self.close("bidder")?;
+            }
+            let cur = format!("{:.2}", self.rng.random_range(100..90000) as f64 / 100.0);
+            self.leaf("current", &cur)?;
+            let it = self.rng.random_range(0..self.items);
+            self.leaf("itemref", &format!("item{it}"))?;
+            let s = self.rng.random_range(0..self.persons);
+            self.leaf("seller", &format!("person{s}"))?;
+            self.open("annotation")?;
+            let a = self.rng.random_range(0..self.persons);
+            self.leaf("author", &format!("person{a}"))?;
+            let d = self.words(8);
+            self.leaf("description", &d)?;
+            self.close("annotation")?;
+            let q = self.rng.random_range(1..=5).to_string();
+            self.leaf("quantity", &q)?;
+            let ty = if self.rng.random_bool(0.5) { "Regular" } else { "Featured" };
+            self.leaf("type", ty)?;
+            self.open("interval")?;
+            let st = self.date();
+            self.leaf("start", &st)?;
+            let en = self.date();
+            self.leaf("end", &en)?;
+            self.close("interval")?;
+            self.close("open_auction")?;
+        }
+        self.close("open_auctions")
+    }
+
+    fn closed_auctions(&mut self) -> io::Result<()> {
+        self.open("closed_auctions")?;
+        for _ in 0..self.closed_auctions {
+            self.open("closed_auction")?;
+            self.open("seller")?;
+            let s = self.rng.random_range(0..self.persons);
+            self.leaf("person", &format!("person{s}"))?;
+            self.close("seller")?;
+            self.open("buyer")?;
+            let b = self.rng.random_range(0..self.persons);
+            self.leaf("person", &format!("person{b}"))?;
+            self.close("buyer")?;
+            self.open("itemref")?;
+            let it = self.rng.random_range(0..self.items);
+            self.leaf("item", &format!("item{it}"))?;
+            self.close("itemref")?;
+            let price = format!("{:.2}", self.rng.random_range(100..90000) as f64 / 100.0);
+            self.leaf("price", &price)?;
+            let d = self.date();
+            self.leaf("date", &d)?;
+            let q = self.rng.random_range(1..=5).to_string();
+            self.leaf("quantity", &q)?;
+            let ty = if self.rng.random_bool(0.5) { "Regular" } else { "Featured" };
+            self.leaf("type", ty)?;
+            self.open("annotation")?;
+            let a = self.rng.random_range(0..self.persons);
+            self.leaf("author", &format!("person{a}"))?;
+            self.open("description")?;
+            let n = self.rng.random_range(4..=12);
+            let t = self.words(n);
+            self.leaf("text", &t)?;
+            self.close("description")?;
+            self.close("annotation")?;
+            self.close("closed_auction")?;
+        }
+        self.close("closed_auctions")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcx_xml::{Document, TagInterner};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = XmarkConfig {
+            seed: 7,
+            scale: 0.02,
+        };
+        assert_eq!(generate_string(cfg), generate_string(cfg));
+        let other = XmarkConfig {
+            seed: 8,
+            scale: 0.02,
+        };
+        assert_ne!(generate_string(cfg), generate_string(other));
+    }
+
+    #[test]
+    fn wellformed_and_parsable() {
+        let xml = generate_string(XmarkConfig {
+            seed: 1,
+            scale: 0.05,
+        });
+        let mut tags = TagInterner::new();
+        let doc = Document::parse_str(&xml, &mut tags).expect("well-formed");
+        let site = doc.document_element().unwrap();
+        assert_eq!(tags.name(doc.tag(site).unwrap()), "site");
+        let sections: Vec<&str> = doc
+            .children(site)
+            .iter()
+            .map(|&c| tags.name(doc.tag(c).unwrap()))
+            .collect();
+        assert_eq!(
+            sections,
+            vec!["regions", "categories", "people", "open_auctions", "closed_auctions"]
+        );
+    }
+
+    #[test]
+    fn size_targeting_within_tolerance() {
+        for target in [64 * 1024, 512 * 1024] {
+            let cfg = XmarkConfig::with_target_bytes(target, 3);
+            let mut sink = Vec::new();
+            let written = generate(cfg, &mut sink).unwrap() as f64;
+            let ratio = written / target as f64;
+            assert!(
+                (0.5..2.0).contains(&ratio),
+                "target {target}, got {written} (ratio {ratio:.2})"
+            );
+        }
+    }
+
+    #[test]
+    fn person0_exists_for_q1() {
+        let xml = generate_string(XmarkConfig {
+            seed: 5,
+            scale: 0.02,
+        });
+        assert!(xml.contains("<id>person0</id>"));
+    }
+
+    #[test]
+    fn australia_has_items_for_q13() {
+        let xml = generate_string(XmarkConfig {
+            seed: 5,
+            scale: 0.1,
+        });
+        let aus_start = xml.find("<australia>").unwrap();
+        let aus_end = xml.find("</australia>").unwrap();
+        assert!(xml[aus_start..aus_end].contains("<item>"));
+    }
+
+    #[test]
+    fn incomes_cover_q20_brackets() {
+        let xml = generate_string(XmarkConfig {
+            seed: 5,
+            scale: 0.3,
+        });
+        let incomes: Vec<f64> = xml
+            .match_indices("<income>")
+            .map(|(i, _)| {
+                let rest = &xml[i + 8..];
+                let end = rest.find('<').unwrap();
+                rest[..end].parse::<f64>().unwrap()
+            })
+            .collect();
+        assert!(incomes.iter().any(|&v| v >= 100_000.0), "preferred bracket");
+        assert!(
+            incomes.iter().any(|&v| (30_000.0..100_000.0).contains(&v)),
+            "standard bracket"
+        );
+        assert!(incomes.iter().any(|&v| v < 30_000.0), "challenge bracket");
+    }
+
+    #[test]
+    fn no_attributes_anywhere() {
+        let xml = generate_string(XmarkConfig {
+            seed: 2,
+            scale: 0.05,
+        });
+        assert!(!xml.contains('='), "attribute-free output (paper adaptation)");
+    }
+
+    #[test]
+    fn streaming_generation_to_sink() {
+        use std::io::Write;
+        struct NullSink(u64);
+        impl Write for NullSink {
+            fn write(&mut self, b: &[u8]) -> io::Result<usize> {
+                self.0 += b.len() as u64;
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = NullSink(0);
+        let n = generate(XmarkConfig::with_target_bytes(256 * 1024, 9), &mut sink).unwrap();
+        assert_eq!(n, sink.0);
+    }
+}

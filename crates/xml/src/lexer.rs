@@ -1,0 +1,839 @@
+//! Pull-based streaming XML tokenizer.
+//!
+//! The GCX stream preprojector consumes the input one token at a time
+//! (paper Fig. 11: the buffer manager issues `nextNode()` requests). This
+//! lexer delivers exactly that interface: [`XmlLexer::next_token`] returns
+//! the next [`XmlToken`] without ever materializing the document.
+//!
+//! Supported input constructs: elements, character data, entity references
+//! (`&lt; &gt; &amp; &apos; &quot; &#10; &#x0A;`), CDATA sections, comments,
+//! processing instructions, XML declarations and DOCTYPE declarations
+//! (the latter four are skipped). Attributes are handled according to
+//! [`AttributeMode`]; the paper converted attributes into subelements for
+//! all of its benchmarks, which is this lexer's default.
+
+use crate::error::XmlError;
+use crate::tags::{TagId, TagInterner};
+use crate::token::XmlToken;
+use crate::Result;
+use std::collections::VecDeque;
+use std::io::Read;
+
+/// What to do with attributes in the input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AttributeMode {
+    /// Convert each attribute `a="v"` of `<e>` into a leading subelement
+    /// `<a>v</a>` of `e`, in attribute order. This is the adaptation the
+    /// paper applied to the XMark data ("we converted XML attributes into
+    /// subelements", §7).
+    #[default]
+    AsSubelements,
+    /// Silently drop attributes.
+    Ignore,
+    /// Reject documents containing attributes.
+    Error,
+}
+
+/// What to do with whitespace-only character data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WhitespaceMode {
+    /// Deliver whitespace-only text tokens (faithful to the stream).
+    Keep,
+    /// Drop text tokens that consist solely of XML whitespace. Useful when
+    /// evaluating queries over pretty-printed documents, where indentation
+    /// would otherwise be buffered by `dos::node()` projections.
+    #[default]
+    DropWhitespaceOnly,
+}
+
+/// Lexer configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LexerOptions {
+    pub attributes: AttributeMode,
+    pub whitespace: WhitespaceMode,
+}
+
+/// Streaming tokenizer over any [`Read`].
+///
+/// The lexer performs its own buffering (do not wrap the reader in a
+/// `BufReader`). Well-formedness is enforced: tags must balance, and
+/// exactly one document element is allowed.
+pub struct XmlLexer<'t, R: Read> {
+    reader: R,
+    buf: Vec<u8>,
+    /// Valid bytes are `buf[pos..len]`.
+    pos: usize,
+    len: usize,
+    /// Total bytes consumed from the reader before `buf\[0\]`.
+    base: u64,
+    tags: &'t mut TagInterner,
+    opts: LexerOptions,
+    /// Stack of open element tags, for balance checking.
+    open: Vec<TagId>,
+    /// Queued tokens (from bachelor tags / attribute expansion).
+    pending: VecDeque<XmlToken>,
+    /// True once the single document element has closed.
+    document_done: bool,
+    /// Scratch for character data accumulation (raw UTF-8 bytes).
+    text: Vec<u8>,
+    eof: bool,
+}
+
+const BUF_SIZE: usize = 64 * 1024;
+
+impl<'t, R: Read> XmlLexer<'t, R> {
+    /// Creates a lexer with default options.
+    pub fn new(reader: R, tags: &'t mut TagInterner) -> Self {
+        Self::with_options(reader, tags, LexerOptions::default())
+    }
+
+    /// Creates a lexer with explicit options.
+    pub fn with_options(reader: R, tags: &'t mut TagInterner, opts: LexerOptions) -> Self {
+        XmlLexer {
+            reader,
+            buf: vec![0; BUF_SIZE],
+            pos: 0,
+            len: 0,
+            base: 0,
+            tags,
+            opts,
+            open: Vec::with_capacity(16),
+            pending: VecDeque::new(),
+            document_done: false,
+            text: Vec::new(),
+            eof: false,
+        }
+    }
+
+    /// Byte offset of the next unread byte.
+    pub fn offset(&self) -> u64 {
+        self.base + self.pos as u64
+    }
+
+    /// Current element nesting depth.
+    pub fn depth(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Access to the shared tag interner.
+    pub fn tags(&self) -> &TagInterner {
+        self.tags
+    }
+
+    /// True once the document element has been completely read.
+    pub fn document_done(&self) -> bool {
+        self.document_done && self.pending.is_empty()
+    }
+
+    #[inline]
+    fn fill(&mut self) -> Result<bool> {
+        if self.pos < self.len {
+            return Ok(true);
+        }
+        if self.eof {
+            return Ok(false);
+        }
+        self.base += self.len as u64;
+        self.pos = 0;
+        self.len = 0;
+        loop {
+            match self.reader.read(&mut self.buf) {
+                Ok(0) => {
+                    self.eof = true;
+                    return Ok(false);
+                }
+                Ok(n) => {
+                    self.len = n;
+                    return Ok(true);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    #[inline]
+    fn peek(&mut self) -> Result<Option<u8>> {
+        if self.fill()? {
+            Ok(Some(self.buf[self.pos]))
+        } else {
+            Ok(None)
+        }
+    }
+
+    #[inline]
+    fn bump(&mut self, context: &'static str) -> Result<u8> {
+        match self.peek()? {
+            Some(b) => {
+                self.pos += 1;
+                Ok(b)
+            }
+            None => Err(XmlError::UnexpectedEof {
+                offset: self.offset(),
+                context,
+            }),
+        }
+    }
+
+    fn expect(&mut self, b: u8, context: &'static str) -> Result<()> {
+        let got = self.bump(context)?;
+        if got != b {
+            return Err(XmlError::Malformed {
+                offset: self.offset() - 1,
+                detail: format!(
+                    "expected '{}' in {context}, found '{}'",
+                    b as char, got as char
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    fn skip_until(&mut self, suffix: &[u8], context: &'static str) -> Result<()> {
+        let mut matched = 0;
+        loop {
+            let b = self.bump(context)?;
+            if b == suffix[matched] {
+                matched += 1;
+                if matched == suffix.len() {
+                    return Ok(());
+                }
+            } else {
+                matched = usize::from(b == suffix[0]);
+            }
+        }
+    }
+
+    fn read_name(&mut self, context: &'static str) -> Result<String> {
+        let mut name = String::new();
+        loop {
+            match self.peek()? {
+                Some(b)
+                    if b.is_ascii_alphanumeric()
+                        || b == b'_'
+                        || b == b'-'
+                        || b == b'.'
+                        || b == b':' =>
+                {
+                    name.push(b as char);
+                    self.pos += 1;
+                }
+                Some(_) => break,
+                None => {
+                    return Err(XmlError::UnexpectedEof {
+                        offset: self.offset(),
+                        context,
+                    })
+                }
+            }
+        }
+        if name.is_empty() {
+            return Err(XmlError::Malformed {
+                offset: self.offset(),
+                detail: format!("empty name in {context}"),
+            });
+        }
+        Ok(name)
+    }
+
+    fn skip_ws(&mut self) -> Result<()> {
+        while let Some(b) = self.peek()? {
+            if b.is_ascii_whitespace() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Decodes one entity reference; the leading `&` is already consumed.
+    fn read_entity(&mut self) -> Result<char> {
+        let mut name = String::new();
+        loop {
+            let b = self.bump("entity reference")?;
+            if b == b';' {
+                break;
+            }
+            if name.len() > 10 {
+                return Err(XmlError::Malformed {
+                    offset: self.offset(),
+                    detail: "entity reference too long".into(),
+                });
+            }
+            name.push(b as char);
+        }
+        let bad = |detail: String, offset: u64| XmlError::Malformed { offset, detail };
+        let off = self.offset();
+        Ok(match name.as_str() {
+            "lt" => '<',
+            "gt" => '>',
+            "amp" => '&',
+            "apos" => '\'',
+            "quot" => '"',
+            _ if name.starts_with("#x") || name.starts_with("#X") => {
+                let cp = u32::from_str_radix(&name[2..], 16)
+                    .map_err(|_| bad(format!("bad hex character reference &{name};"), off))?;
+                char::from_u32(cp)
+                    .ok_or_else(|| bad(format!("invalid code point in &{name};"), off))?
+            }
+            _ if name.starts_with('#') => {
+                let cp: u32 = name[1..]
+                    .parse()
+                    .map_err(|_| bad(format!("bad character reference &{name};"), off))?;
+                char::from_u32(cp)
+                    .ok_or_else(|| bad(format!("invalid code point in &{name};"), off))?
+            }
+            _ => return Err(bad(format!("unknown entity &{name};"), off)),
+        })
+    }
+
+    /// Reads a quoted attribute value (opening quote already consumed).
+    fn read_attr_value(&mut self, quote: u8) -> Result<String> {
+        let mut v: Vec<u8> = Vec::new();
+        loop {
+            let b = self.bump("attribute value")?;
+            if b == quote {
+                return String::from_utf8(v).map_err(|_| XmlError::Malformed {
+                    offset: self.offset(),
+                    detail: "attribute value is not valid UTF-8".into(),
+                });
+            }
+            if b == b'&' {
+                let c = self.read_entity()?;
+                let mut enc = [0u8; 4];
+                v.extend_from_slice(c.encode_utf8(&mut enc).as_bytes());
+            } else {
+                v.push(b);
+            }
+        }
+    }
+
+    /// Parses the inside of an opening tag after the name. Returns `true`
+    /// when the tag is self-closing. Attribute tokens are queued according
+    /// to the configured [`AttributeMode`].
+    fn read_tag_rest(&mut self) -> Result<bool> {
+        loop {
+            self.skip_ws()?;
+            match self.peek()? {
+                Some(b'>') => {
+                    self.pos += 1;
+                    return Ok(false);
+                }
+                Some(b'/') => {
+                    self.pos += 1;
+                    self.expect(b'>', "self-closing tag")?;
+                    return Ok(true);
+                }
+                Some(_) => {
+                    let at = self.offset();
+                    let name = self.read_name("attribute name")?;
+                    self.skip_ws()?;
+                    self.expect(b'=', "attribute")?;
+                    self.skip_ws()?;
+                    let q = self.bump("attribute value")?;
+                    if q != b'"' && q != b'\'' {
+                        return Err(XmlError::Malformed {
+                            offset: self.offset() - 1,
+                            detail: "attribute value must be quoted".into(),
+                        });
+                    }
+                    let value = self.read_attr_value(q)?;
+                    match self.opts.attributes {
+                        AttributeMode::AsSubelements => {
+                            let id = self.tags.intern(&name);
+                            self.pending.push_back(XmlToken::Open(id));
+                            if !value.is_empty() {
+                                self.pending.push_back(XmlToken::Text(value));
+                            }
+                            self.pending.push_back(XmlToken::Close(id));
+                        }
+                        AttributeMode::Ignore => {}
+                        AttributeMode::Error => {
+                            return Err(XmlError::UnexpectedAttribute { offset: at, name });
+                        }
+                    }
+                }
+                None => {
+                    return Err(XmlError::UnexpectedEof {
+                        offset: self.offset(),
+                        context: "opening tag",
+                    })
+                }
+            }
+        }
+    }
+
+    /// Consumes a CDATA section (after `<![`) into the text buffer.
+    fn read_cdata(&mut self) -> Result<()> {
+        for &b in b"CDATA[" {
+            self.expect(b, "CDATA section")?;
+        }
+        // Scan for ]]> while copying bytes.
+        let mut tail = 0usize; // how many trailing ']' seen
+        loop {
+            let b = self.bump("CDATA section")?;
+            match (b, tail) {
+                (b']', _) => tail += 1,
+                (b'>', t) if t >= 2 => {
+                    for _ in 0..t - 2 {
+                        self.text.push(b']');
+                    }
+                    return Ok(());
+                }
+                (_, t) => {
+                    for _ in 0..t {
+                        self.text.push(b']');
+                    }
+                    tail = 0;
+                    self.text.push(b);
+                }
+            }
+        }
+    }
+
+    /// Flushes accumulated text as a token if non-empty and allowed by the
+    /// whitespace mode.
+    fn take_text(&mut self) -> Result<Option<XmlToken>> {
+        if self.text.is_empty() {
+            return Ok(None);
+        }
+        let keep = match self.opts.whitespace {
+            WhitespaceMode::Keep => true,
+            WhitespaceMode::DropWhitespaceOnly => {
+                self.text.iter().any(|b| !b.is_ascii_whitespace())
+            }
+        };
+        let bytes = std::mem::take(&mut self.text);
+        if !keep {
+            return Ok(None);
+        }
+        let s = String::from_utf8(bytes).map_err(|_| XmlError::Malformed {
+            offset: self.offset(),
+            detail: "character data is not valid UTF-8".into(),
+        })?;
+        Ok(Some(XmlToken::Text(s)))
+    }
+
+    fn close_tag(&mut self, name: &str) -> Result<TagId> {
+        let id = self.tags.intern(name);
+        match self.open.pop() {
+            Some(top) if top == id => {
+                if self.open.is_empty() {
+                    self.document_done = true;
+                }
+                Ok(id)
+            }
+            Some(top) => Err(XmlError::MismatchedClose {
+                offset: self.offset(),
+                expected: self.tags.name(top).to_string(),
+                found: name.to_string(),
+            }),
+            None => Err(XmlError::UnbalancedClose {
+                offset: self.offset(),
+                tag: name.to_string(),
+            }),
+        }
+    }
+
+    /// Returns the next token, or `None` at the end of the document.
+    pub fn next_token(&mut self) -> Result<Option<XmlToken>> {
+        if let Some(t) = self.pending.pop_front() {
+            return Ok(Some(t));
+        }
+        loop {
+            let b = match self.peek()? {
+                Some(b) => b,
+                None => {
+                    if !self.open.is_empty() {
+                        return Err(XmlError::UnclosedElements {
+                            offset: self.offset(),
+                            open: self.open.len(),
+                        });
+                    }
+                    return Ok(None);
+                }
+            };
+            if b != b'<' {
+                self.pos += 1;
+                if self.open.is_empty() {
+                    if !b.is_ascii_whitespace() {
+                        return Err(if self.document_done {
+                            XmlError::TrailingContent {
+                                offset: self.offset() - 1,
+                            }
+                        } else {
+                            XmlError::Malformed {
+                                offset: self.offset() - 1,
+                                detail: "character data outside document element".into(),
+                            }
+                        });
+                    }
+                    continue;
+                }
+                if b == b'&' {
+                    let c = self.read_entity()?;
+                    let mut enc = [0u8; 4];
+                    self.text.extend_from_slice(c.encode_utf8(&mut enc).as_bytes());
+                } else {
+                    self.text.push(b);
+                }
+                continue;
+            }
+            // A markup construct begins; flush any accumulated text first,
+            // then process the markup on the next call(s).
+            self.pos += 1;
+            let b2 = self.bump("markup")?;
+            match b2 {
+                b'?' => {
+                    self.skip_until(b"?>", "processing instruction")?;
+                }
+                b'!' => {
+                    let b3 = self.bump("markup declaration")?;
+                    if b3 == b'-' {
+                        self.expect(b'-', "comment")?;
+                        self.skip_until(b"-->", "comment")?;
+                    } else if b3 == b'[' {
+                        if self.open.is_empty() {
+                            return Err(XmlError::Malformed {
+                                offset: self.offset(),
+                                detail: "CDATA outside document element".into(),
+                            });
+                        }
+                        self.read_cdata()?;
+                    } else if b3 == b'D' {
+                        let mut depth = 0usize;
+                        loop {
+                            let c = self.bump("DOCTYPE")?;
+                            match c {
+                                b'[' => depth += 1,
+                                b']' => depth = depth.saturating_sub(1),
+                                b'>' if depth == 0 => break,
+                                _ => {}
+                            }
+                        }
+                    } else {
+                        return Err(XmlError::Malformed {
+                            offset: self.offset(),
+                            detail: "unsupported '<!' construct".into(),
+                        });
+                    }
+                }
+                b'/' => {
+                    let text = self.take_text()?;
+                    let name = self.read_name("closing tag")?;
+                    self.skip_ws()?;
+                    self.expect(b'>', "closing tag")?;
+                    let id = self.close_tag(&name)?;
+                    if let Some(t) = text {
+                        self.pending.push_back(XmlToken::Close(id));
+                        return Ok(Some(t));
+                    }
+                    return Ok(Some(XmlToken::Close(id)));
+                }
+                _ => {
+                    if self.document_done {
+                        return Err(XmlError::TrailingContent {
+                            offset: self.offset(),
+                        });
+                    }
+                    let text = self.take_text()?;
+                    self.pos -= 1; // un-consume the first name byte
+                    let name = self.read_name("opening tag")?;
+                    let id = self.tags.intern(&name);
+                    // Attribute tokens are queued by read_tag_rest; they must
+                    // appear *after* the Open token, so remember where the
+                    // queue started.
+                    let queue_start = self.pending.len();
+                    let self_closing = self.read_tag_rest()?;
+                    debug_assert_eq!(queue_start, 0, "pending drained before markup");
+                    if self_closing {
+                        self.pending.push_back(XmlToken::Close(id));
+                        if self.open.is_empty() {
+                            self.document_done = true;
+                        }
+                    } else {
+                        self.open.push(id);
+                    }
+                    if let Some(t) = text {
+                        self.pending.push_front(XmlToken::Open(id));
+                        return Ok(Some(t));
+                    }
+                    return Ok(Some(XmlToken::Open(id)));
+                }
+            }
+        }
+    }
+
+    /// Drains the remaining stream into a vector (convenience for tests).
+    pub fn tokenize_all(&mut self) -> Result<Vec<XmlToken>> {
+        let mut v = Vec::new();
+        while let Some(t) = self.next_token()? {
+            v.push(t);
+        }
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex(input: &str) -> Vec<String> {
+        let mut tags = TagInterner::new();
+        let mut lexer = XmlLexer::new(input.as_bytes(), &mut tags);
+        let tokens = lexer.tokenize_all().expect("lex ok");
+        tokens
+            .iter()
+            .map(|t| t.display(lexer.tags()).to_string())
+            .collect()
+    }
+
+    #[test]
+    fn simple_document() {
+        assert_eq!(
+            lex("<a><b>hi</b></a>"),
+            vec!["<a>", "<b>", "\"hi\"", "</b>", "</a>"]
+        );
+    }
+
+    #[test]
+    fn bachelor_tag_expands() {
+        assert_eq!(
+            lex("<a><title/></a>"),
+            vec!["<a>", "<title>", "</title>", "</a>"]
+        );
+    }
+
+    #[test]
+    fn bachelor_root() {
+        assert_eq!(lex("<a/>"), vec!["<a>", "</a>"]);
+    }
+
+    #[test]
+    fn entities_resolve() {
+        let t = lex("<a>&lt;x&gt; &amp; &#65;&#x42;</a>");
+        assert_eq!(t[1], "\"<x> & AB\"");
+    }
+
+    #[test]
+    fn entity_in_attribute() {
+        let t = lex("<a v=\"x&amp;y\"/>");
+        assert_eq!(t, vec!["<a>", "<v>", "\"x&y\"", "</v>", "</a>"]);
+    }
+
+    #[test]
+    fn comments_and_pis_skipped() {
+        assert_eq!(
+            lex("<?xml version=\"1.0\"?><!-- c --><a><!-- inner -->x</a>"),
+            vec!["<a>", "\"x\"", "</a>"]
+        );
+    }
+
+    #[test]
+    fn cdata_is_text() {
+        assert_eq!(
+            lex("<a><![CDATA[1 < 2 & 3]]></a>"),
+            vec!["<a>", "\"1 < 2 & 3\"", "</a>"]
+        );
+    }
+
+    #[test]
+    fn cdata_with_trailing_bracket() {
+        assert_eq!(lex("<a><![CDATA[x]]]></a>"), vec!["<a>", "\"x]\"", "</a>"]);
+    }
+
+    #[test]
+    fn cdata_with_inner_brackets() {
+        assert_eq!(
+            lex("<a><![CDATA[a]]b]]></a>"),
+            vec!["<a>", "\"a]]b\"", "</a>"]
+        );
+    }
+
+    #[test]
+    fn attributes_become_subelements() {
+        assert_eq!(
+            lex("<item id=\"i1\" featured=\"yes\">text</item>"),
+            vec![
+                "<item>", "<id>", "\"i1\"", "</id>", "<featured>", "\"yes\"", "</featured>",
+                "\"text\"", "</item>"
+            ]
+        );
+    }
+
+    #[test]
+    fn attributes_ignored_when_configured() {
+        let mut tags = TagInterner::new();
+        let opts = LexerOptions {
+            attributes: AttributeMode::Ignore,
+            ..Default::default()
+        };
+        let mut lexer = XmlLexer::with_options("<a x=\"1\">t</a>".as_bytes(), &mut tags, opts);
+        let tokens = lexer.tokenize_all().unwrap();
+        assert_eq!(tokens.len(), 3);
+    }
+
+    #[test]
+    fn attributes_error_when_configured() {
+        let mut tags = TagInterner::new();
+        let opts = LexerOptions {
+            attributes: AttributeMode::Error,
+            ..Default::default()
+        };
+        let mut lexer = XmlLexer::with_options("<a x=\"1\"/>".as_bytes(), &mut tags, opts);
+        assert!(matches!(
+            lexer.tokenize_all(),
+            Err(XmlError::UnexpectedAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn whitespace_only_dropped_by_default() {
+        assert_eq!(
+            lex("<a>\n  <b/>\n</a>"),
+            vec!["<a>", "<b>", "</b>", "</a>"]
+        );
+    }
+
+    #[test]
+    fn whitespace_kept_when_configured() {
+        let mut tags = TagInterner::new();
+        let opts = LexerOptions {
+            whitespace: WhitespaceMode::Keep,
+            ..Default::default()
+        };
+        let mut lexer = XmlLexer::with_options("<a> <b/> </a>".as_bytes(), &mut tags, opts);
+        let tokens = lexer.tokenize_all().unwrap();
+        assert_eq!(tokens.len(), 6);
+    }
+
+    #[test]
+    fn mismatched_close_rejected() {
+        let mut tags = TagInterner::new();
+        let mut lexer = XmlLexer::new("<a><b></a></b>".as_bytes(), &mut tags);
+        assert!(matches!(
+            lexer.tokenize_all(),
+            Err(XmlError::MismatchedClose { .. })
+        ));
+    }
+
+    #[test]
+    fn unclosed_rejected() {
+        let mut tags = TagInterner::new();
+        let mut lexer = XmlLexer::new("<a><b>".as_bytes(), &mut tags);
+        assert!(matches!(
+            lexer.tokenize_all(),
+            Err(XmlError::UnclosedElements { .. })
+        ));
+    }
+
+    #[test]
+    fn stray_close_rejected() {
+        let mut tags = TagInterner::new();
+        let mut lexer = XmlLexer::new("</a>".as_bytes(), &mut tags);
+        assert!(matches!(
+            lexer.tokenize_all(),
+            Err(XmlError::UnbalancedClose { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_element_rejected() {
+        let mut tags = TagInterner::new();
+        let mut lexer = XmlLexer::new("<a/><b/>".as_bytes(), &mut tags);
+        assert!(matches!(
+            lexer.tokenize_all(),
+            Err(XmlError::TrailingContent { .. })
+        ));
+    }
+
+    #[test]
+    fn doctype_skipped() {
+        assert_eq!(
+            lex("<!DOCTYPE site SYSTEM \"x.dtd\" [<!ENTITY e \"v\">]><a/>"),
+            vec!["<a>", "</a>"]
+        );
+    }
+
+    #[test]
+    fn utf8_text_passthrough() {
+        let t = lex("<a>héllo wörld — ünïcode</a>");
+        assert_eq!(t[1], "\"héllo wörld — ünïcode\"");
+    }
+
+    #[test]
+    fn text_split_around_children() {
+        assert_eq!(
+            lex("<a>x<b>y</b>z</a>"),
+            vec!["<a>", "\"x\"", "<b>", "\"y\"", "</b>", "\"z\"", "</a>"]
+        );
+    }
+
+    #[test]
+    fn text_before_open_with_attributes() {
+        assert_eq!(
+            lex("<a>x<b id=\"1\"/></a>"),
+            vec!["<a>", "\"x\"", "<b>", "<id>", "\"1\"", "</id>", "</b>", "</a>"]
+        );
+    }
+
+    #[test]
+    fn depth_reporting() {
+        let mut tags = TagInterner::new();
+        let mut lexer = XmlLexer::new("<a><b></b></a>".as_bytes(), &mut tags);
+        assert_eq!(lexer.depth(), 0);
+        lexer.next_token().unwrap();
+        assert_eq!(lexer.depth(), 1);
+        lexer.next_token().unwrap();
+        assert_eq!(lexer.depth(), 2);
+    }
+
+    #[test]
+    fn offsets_advance() {
+        let mut tags = TagInterner::new();
+        let mut lexer = XmlLexer::new("<a></a>".as_bytes(), &mut tags);
+        assert_eq!(lexer.offset(), 0);
+        lexer.tokenize_all().unwrap();
+        assert_eq!(lexer.offset(), 7);
+    }
+
+    #[test]
+    fn document_done_flag() {
+        let mut tags = TagInterner::new();
+        let mut lexer = XmlLexer::new("<a><b/></a>".as_bytes(), &mut tags);
+        assert!(!lexer.document_done());
+        lexer.tokenize_all().unwrap();
+        assert!(lexer.document_done());
+    }
+
+    #[test]
+    fn small_reads_from_chunked_reader() {
+        // A reader that yields one byte at a time stresses buffer refills.
+        struct OneByte<'a>(&'a [u8]);
+        impl Read for OneByte<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.0.is_empty() {
+                    return Ok(0);
+                }
+                buf[0] = self.0[0];
+                self.0 = &self.0[1..];
+                Ok(1)
+            }
+        }
+        let mut tags = TagInterner::new();
+        let input = b"<a a1=\"v\">text<b/>more</a>";
+        let mut lexer = XmlLexer::new(OneByte(input), &mut tags);
+        let tokens = lexer.tokenize_all().unwrap();
+        let shown: Vec<String> = tokens
+            .iter()
+            .map(|t| t.display(lexer.tags()).to_string())
+            .collect();
+        assert_eq!(
+            shown,
+            vec![
+                "<a>", "<a1>", "\"v\"", "</a1>", "\"text\"", "<b>", "</b>", "\"more\"", "</a>"
+            ]
+        );
+    }
+}

@@ -1,0 +1,146 @@
+//! Tag interning: the "symbol table to replace tagnames by integers"
+//! from §6 of the paper.
+//!
+//! Every distinct element name is mapped to a dense [`TagId`] so that the
+//! buffer, the projection matcher and the evaluator compare `u32`s instead
+//! of strings on the hot path.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Interned tag name. Dense, starts at 0, stable for the life of the
+/// [`TagInterner`] that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TagId(pub u32);
+
+impl TagId {
+    /// The dense index of this tag.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TagId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Bidirectional map between tag names and [`TagId`]s.
+///
+/// Interners are cheap to create; a single interner must be shared between
+/// the query compiler and the stream lexer of one evaluation run so that
+/// tag comparisons are meaningful.
+#[derive(Debug, Default, Clone)]
+pub struct TagInterner {
+    names: Vec<Box<str>>,
+    ids: HashMap<Box<str>, TagId>,
+}
+
+impl TagInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning the existing id when already present.
+    pub fn intern(&mut self, name: &str) -> TagId {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = TagId(self.names.len() as u32);
+        let boxed: Box<str> = name.into();
+        self.names.push(boxed.clone());
+        self.ids.insert(boxed, id);
+        id
+    }
+
+    /// Looks up a tag without interning it.
+    pub fn get(&self, name: &str) -> Option<TagId> {
+        self.ids.get(name).copied()
+    }
+
+    /// Resolves an id back to the tag name.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this interner.
+    pub fn name(&self, id: TagId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of distinct interned tags.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when no tag has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TagId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (TagId(i as u32), n.as_ref()))
+    }
+
+    /// Approximate heap footprint of the interner in bytes (used by the
+    /// buffer statistics so that "memory" numbers include the symbol table).
+    pub fn approx_bytes(&self) -> usize {
+        self.names.iter().map(|n| n.len() + 16).sum::<usize>() * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut t = TagInterner::new();
+        let a = t.intern("bib");
+        let b = t.intern("book");
+        let a2 = t.intern("bib");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn ids_are_dense_and_resolvable() {
+        let mut t = TagInterner::new();
+        for (i, name) in ["a", "b", "c", "d"].iter().enumerate() {
+            let id = t.intern(name);
+            assert_eq!(id.index(), i);
+            assert_eq!(t.name(id), *name);
+        }
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut t = TagInterner::new();
+        assert!(t.get("x").is_none());
+        t.intern("x");
+        assert!(t.get("x").is_some());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn iter_in_id_order() {
+        let mut t = TagInterner::new();
+        t.intern("one");
+        t.intern("two");
+        let collected: Vec<_> = t.iter().map(|(_, n)| n.to_string()).collect();
+        assert_eq!(collected, vec!["one", "two"]);
+    }
+
+    #[test]
+    fn empty_interner() {
+        let t = TagInterner::new();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+}

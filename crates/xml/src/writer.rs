@@ -1,0 +1,208 @@
+//! Escaping, streaming XML output.
+//!
+//! The GCX evaluator produces its result as a stream of tokens written
+//! directly to a sink (paper Fig. 2, "output stream" column). [`XmlWriter`]
+//! performs the escaping; [`CountingSink`] is a sink that only counts bytes,
+//! used by the benchmark harness so that output I/O does not dominate the
+//! measurements.
+
+use crate::tags::{TagId, TagInterner};
+use crate::token::XmlToken;
+use std::io::{self, Write};
+
+/// Writes XML tokens to an [`io::Write`], escaping character data.
+///
+/// The writer does not buffer; wrap the sink in a `BufWriter` (or use
+/// [`XmlWriter::into_inner`] with a `Vec<u8>`) for performance.
+pub struct XmlWriter<W: Write> {
+    sink: W,
+    bytes_written: u64,
+    depth: usize,
+}
+
+impl<W: Write> XmlWriter<W> {
+    /// Creates a writer over `sink`.
+    pub fn new(sink: W) -> Self {
+        XmlWriter {
+            sink,
+            bytes_written: 0,
+            depth: 0,
+        }
+    }
+
+    /// Total bytes written so far.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Current open-element depth of the written stream.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Writes one token, resolving tag names through `tags`.
+    pub fn write_token(&mut self, token: &XmlToken, tags: &TagInterner) -> io::Result<()> {
+        match token {
+            XmlToken::Open(t) => self.open(*t, tags),
+            XmlToken::Close(t) => self.close(*t, tags),
+            XmlToken::Text(s) => self.text(s),
+        }
+    }
+
+    /// Writes `<name>`.
+    pub fn open(&mut self, tag: TagId, tags: &TagInterner) -> io::Result<()> {
+        let name = tags.name(tag);
+        self.sink.write_all(b"<")?;
+        self.sink.write_all(name.as_bytes())?;
+        self.sink.write_all(b">")?;
+        self.bytes_written += name.len() as u64 + 2;
+        self.depth += 1;
+        Ok(())
+    }
+
+    /// Writes `</name>`.
+    pub fn close(&mut self, tag: TagId, tags: &TagInterner) -> io::Result<()> {
+        let name = tags.name(tag);
+        self.sink.write_all(b"</")?;
+        self.sink.write_all(name.as_bytes())?;
+        self.sink.write_all(b">")?;
+        self.bytes_written += name.len() as u64 + 3;
+        self.depth = self.depth.saturating_sub(1);
+        Ok(())
+    }
+
+    /// Writes escaped character data.
+    pub fn text(&mut self, s: &str) -> io::Result<()> {
+        let mut start = 0;
+        let bytes = s.as_bytes();
+        for (i, &b) in bytes.iter().enumerate() {
+            let repl: &[u8] = match b {
+                b'<' => b"&lt;",
+                b'>' => b"&gt;",
+                b'&' => b"&amp;",
+                _ => continue,
+            };
+            if start < i {
+                self.sink.write_all(&bytes[start..i])?;
+                self.bytes_written += (i - start) as u64;
+            }
+            self.sink.write_all(repl)?;
+            self.bytes_written += repl.len() as u64;
+            start = i + 1;
+        }
+        if start < bytes.len() {
+            self.sink.write_all(&bytes[start..])?;
+            self.bytes_written += (bytes.len() - start) as u64;
+        }
+        Ok(())
+    }
+
+    /// Flushes the underlying sink.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.sink.flush()
+    }
+
+    /// Consumes the writer, returning the sink.
+    pub fn into_inner(self) -> W {
+        self.sink
+    }
+}
+
+/// A sink that discards data and counts bytes. Implements [`Write`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CountingSink {
+    bytes: u64,
+}
+
+impl CountingSink {
+    /// New zeroed sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes "written" so far.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+impl Write for CountingSink {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.bytes += buf.len() as u64;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Serializes a token slice to a `String` (tests and examples).
+pub fn tokens_to_string(tokens: &[XmlToken], tags: &TagInterner) -> String {
+    let mut out = Vec::new();
+    let mut w = XmlWriter::new(&mut out);
+    for t in tokens {
+        w.write_token(t, tags).expect("vec write");
+    }
+    String::from_utf8(out).expect("writer output is UTF-8")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{LexerOptions, WhitespaceMode, XmlLexer};
+
+    #[test]
+    fn writes_tokens() {
+        let mut tags = TagInterner::new();
+        let a = tags.intern("a");
+        let toks = vec![
+            XmlToken::Open(a),
+            XmlToken::Text("x<y&z".into()),
+            XmlToken::Close(a),
+        ];
+        assert_eq!(tokens_to_string(&toks, &tags), "<a>x&lt;y&amp;z</a>");
+    }
+
+    #[test]
+    fn counting_sink_counts() {
+        let mut sink = CountingSink::new();
+        let mut tags = TagInterner::new();
+        let a = tags.intern("ab");
+        {
+            let mut w = XmlWriter::new(&mut sink);
+            w.open(a, &tags).unwrap();
+            w.close(a, &tags).unwrap();
+            assert_eq!(w.bytes_written(), 9);
+        }
+        assert_eq!(sink.bytes(), 9);
+    }
+
+    #[test]
+    fn depth_tracks() {
+        let mut tags = TagInterner::new();
+        let a = tags.intern("a");
+        let mut w = XmlWriter::new(Vec::new());
+        w.open(a, &tags).unwrap();
+        assert_eq!(w.depth(), 1);
+        w.close(a, &tags).unwrap();
+        assert_eq!(w.depth(), 0);
+    }
+
+    /// Lex → write → lex must be the identity on token streams.
+    #[test]
+    fn roundtrip_preserves_tokens() {
+        let input = "<a><b attr=\"1\">x &amp; y</b><c/>tail</a>";
+        let mut tags = TagInterner::new();
+        let opts = LexerOptions {
+            whitespace: WhitespaceMode::Keep,
+            ..Default::default()
+        };
+        let mut lexer = XmlLexer::with_options(input.as_bytes(), &mut tags, opts);
+        let toks = lexer.tokenize_all().unwrap();
+        let text = tokens_to_string(&toks, &tags);
+        let mut lexer2 = XmlLexer::with_options(text.as_bytes(), &mut tags, opts);
+        let toks2 = lexer2.tokenize_all().unwrap();
+        assert_eq!(toks, toks2);
+    }
+}

@@ -1,0 +1,190 @@
+//! `gcx` — command-line streaming XQuery processor.
+//!
+//! ```text
+//! gcx <QUERY-FILE | -q 'inline query'> [XML-FILE] [options]
+//!
+//! Options:
+//!   -q, --query <TEXT>     inline query text instead of a query file
+//!   -e, --engine <NAME>    gcx (default) | nogc | static | dom
+//!   -o, --output <FILE>    write result to FILE (default stdout)
+//!       --stats            print buffer/GC statistics to stderr
+//!       --plan             print the rewritten query and projection tree
+//!       --no-optimize      disable the §6 optimizations
+//!       --compile-only     stop after compilation (implies --plan)
+//!   -h, --help             this help
+//! ```
+//!
+//! The input document is read from XML-FILE, or from stdin when omitted —
+//! `gcx` streams it either way: memory stays bounded by the query's
+//! buffering needs, not the document size.
+
+use gcx::query::{compile, pretty_query, CompileOptions};
+use gcx::xml::TagInterner;
+use std::io::{BufWriter, Read, Write};
+use std::process::ExitCode;
+
+struct Cli {
+    query: Option<String>,
+    query_file: Option<String>,
+    xml_file: Option<String>,
+    engine: String,
+    output: Option<String>,
+    stats: bool,
+    plan: bool,
+    optimize: bool,
+    compile_only: bool,
+}
+
+const HELP: &str = "gcx — streaming XQuery with combined static/dynamic buffer minimization
+
+USAGE:
+    gcx <QUERY-FILE> [XML-FILE] [options]
+    gcx -q '<r>{ for $x in /a return $x }</r>' [XML-FILE] [options]
+
+When XML-FILE is omitted, the document is read from stdin (streaming).
+
+OPTIONS:
+    -q, --query <TEXT>     inline query text instead of a query file
+    -e, --engine <NAME>    gcx (default) | nogc | static | dom
+    -o, --output <FILE>    write the result to FILE (default stdout)
+        --stats            print buffer/GC statistics to stderr
+        --plan             print the rewritten query and projection tree
+        --no-optimize      disable the paper's §6 optimizations
+        --compile-only     stop after compilation (implies --plan)
+    -h, --help             show this help
+";
+
+fn parse_args() -> Result<Cli, String> {
+    let mut cli = Cli {
+        query: None,
+        query_file: None,
+        xml_file: None,
+        engine: "gcx".into(),
+        output: None,
+        stats: false,
+        plan: false,
+        optimize: true,
+        compile_only: false,
+    };
+    let mut args = std::env::args().skip(1);
+    let mut positional: Vec<String> = Vec::new();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "-h" | "--help" => {
+                print!("{HELP}");
+                std::process::exit(0);
+            }
+            "-q" | "--query" => {
+                cli.query = Some(args.next().ok_or("missing value for --query")?);
+            }
+            "-e" | "--engine" => {
+                cli.engine = args.next().ok_or("missing value for --engine")?;
+            }
+            "-o" | "--output" => {
+                cli.output = Some(args.next().ok_or("missing value for --output")?);
+            }
+            "--stats" => cli.stats = true,
+            "--plan" => cli.plan = true,
+            "--no-optimize" => cli.optimize = false,
+            "--compile-only" => {
+                cli.compile_only = true;
+                cli.plan = true;
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option '{other}' (try --help)"));
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    let mut positional = positional.into_iter();
+    if cli.query.is_none() {
+        cli.query_file = Some(positional.next().ok_or("missing query (file or --query)")?);
+    }
+    cli.xml_file = positional.next();
+    if let Some(extra) = positional.next() {
+        return Err(format!("unexpected argument '{extra}'"));
+    }
+    Ok(cli)
+}
+
+fn run() -> Result<(), String> {
+    let cli = parse_args()?;
+    let query_text = match (&cli.query, &cli.query_file) {
+        (Some(q), _) => q.clone(),
+        (None, Some(f)) => {
+            std::fs::read_to_string(f).map_err(|e| format!("cannot read query file {f}: {e}"))?
+        }
+        _ => unreachable!("parse_args guarantees a query"),
+    };
+
+    let mut tags = TagInterner::new();
+    let opts = if cli.optimize {
+        CompileOptions::default()
+    } else {
+        CompileOptions::plain()
+    };
+    let compiled = compile(&query_text, &mut tags, opts).map_err(|e| e.to_string())?;
+
+    if cli.plan {
+        eprintln!("── rewritten query ──");
+        eprintln!("{}", pretty_query(&compiled.rewritten, &tags));
+        eprintln!("── projection tree ──");
+        eprintln!("{}", compiled.projection.tree.pretty(&tags));
+    }
+    if cli.compile_only {
+        return Ok(());
+    }
+
+    let input: Box<dyn Read> = match &cli.xml_file {
+        Some(f) => Box::new(
+            std::fs::File::open(f).map_err(|e| format!("cannot open input {f}: {e}"))?,
+        ),
+        None => Box::new(std::io::stdin()),
+    };
+    let output: Box<dyn Write> = match &cli.output {
+        Some(f) => Box::new(BufWriter::new(
+            std::fs::File::create(f).map_err(|e| format!("cannot create output {f}: {e}"))?,
+        )),
+        None => Box::new(BufWriter::new(std::io::stdout())),
+    };
+
+    let report = match cli.engine.as_str() {
+        "gcx" => gcx::run_gcx(&compiled, &mut tags, input, output),
+        "nogc" => gcx::run_no_gc_streaming(&compiled, &mut tags, input, output),
+        "static" => gcx::run_static_projection(&compiled, &mut tags, input, output),
+        "dom" => gcx::run_dom(&compiled, &mut tags, input, output),
+        other => return Err(format!("unknown engine '{other}' (gcx|nogc|static|dom)")),
+    }
+    .map_err(|e| e.to_string())?;
+
+    if cli.stats {
+        eprintln!("engine          : {}", report.engine);
+        eprintln!("time            : {:.3}s", report.elapsed.as_secs_f64());
+        eprintln!("output bytes    : {}", report.output_bytes);
+        eprintln!("peak buffer     : {}", report.stats.peak_human());
+        eprintln!("peak nodes      : {}", report.stats.peak_nodes);
+        eprintln!("nodes created   : {}", report.stats.nodes_created);
+        eprintln!("nodes purged    : {}", report.stats.nodes_purged);
+        eprintln!("roles ±         : {} / {}", report.stats.roles_assigned, report.stats.roles_removed);
+        eprintln!("gc visits       : {}", report.stats.gc_visits);
+        eprintln!("tokens read     : {}", report.tokens_read);
+        eprintln!("tokens skipped  : {}", report.tokens_skipped);
+        if let Some(ok) = report.safety {
+            eprintln!("role accounting : {}", if ok { "balanced" } else { "VIOLATED" });
+        }
+    }
+    if report.safety == Some(false) {
+        return Err("internal error: role accounting violated".into());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("gcx: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

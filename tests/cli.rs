@@ -1,0 +1,137 @@
+//! End-to-end tests of the `gcx` command-line binary.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn gcx_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_gcx"))
+}
+
+#[test]
+fn inline_query_over_stdin() {
+    let mut child = gcx_bin()
+        .args(["-q", "<r>{ for $b in /bib/book return $b/title }</r>"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn gcx");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"<bib><book><title>T</title></book></bib>")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(String::from_utf8_lossy(&out.stdout), "<r><title>T</title></r>");
+}
+
+#[test]
+fn query_and_input_files_with_stats() {
+    let dir = std::env::temp_dir().join(format!("gcx-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let qfile = dir.join("q.xq");
+    let xfile = dir.join("in.xml");
+    let ofile = dir.join("out.xml");
+    std::fs::write(&qfile, "<r>{ for $x in //k return $x }</r>").unwrap();
+    std::fs::write(&xfile, "<a><k>1</k><junk/><k>2</k></a>").unwrap();
+    let out = gcx_bin()
+        .args([
+            qfile.to_str().unwrap(),
+            xfile.to_str().unwrap(),
+            "--stats",
+            "-o",
+            ofile.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run gcx");
+    assert!(out.status.success());
+    let result = std::fs::read_to_string(&ofile).unwrap();
+    assert_eq!(result, "<r><k>1</k><k>2</k></r>");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("peak buffer"), "stats on stderr: {stderr}");
+    assert!(stderr.contains("balanced"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn engine_selection() {
+    for engine in ["gcx", "nogc", "static", "dom"] {
+        let mut child = gcx_bin()
+            .args([
+                "-q",
+                "<r>{ for $b in /a/b return $b }</r>",
+                "-e",
+                engine,
+            ])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+            .unwrap();
+        child
+            .stdin
+            .as_mut()
+            .unwrap()
+            .write_all(b"<a><b>x</b></a>")
+            .unwrap();
+        let out = child.wait_with_output().unwrap();
+        assert!(out.status.success(), "engine {engine}");
+        assert_eq!(String::from_utf8_lossy(&out.stdout), "<r><b>x</b></r>");
+    }
+}
+
+#[test]
+fn plan_and_compile_only() {
+    let out = gcx_bin()
+        .args([
+            "-q",
+            "<r>{ for $b in /a/b return $b/c }</r>",
+            "--compile-only",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("rewritten query"), "{stderr}");
+    assert!(stderr.contains("signOff"), "{stderr}");
+    assert!(stderr.contains("projection tree"), "{stderr}");
+}
+
+#[test]
+fn bad_query_fails_cleanly() {
+    let out = gcx_bin()
+        .args(["-q", "<r>{ $unbound }</r>", "--compile-only"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unbound"), "{stderr}");
+}
+
+#[test]
+fn bad_engine_fails_cleanly() {
+    let mut child = gcx_bin()
+        .args(["-q", "<r/>", "-e", "warp-drive"])
+        .stdin(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child.stdin.as_mut().unwrap().write_all(b"<a/>").unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown engine"));
+}
+
+#[test]
+fn malformed_input_fails_cleanly() {
+    let mut child = gcx_bin()
+        .args(["-q", "<r>{ for $x in //k return $x }</r>"])
+        .stdin(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child.stdin.as_mut().unwrap().write_all(b"<a><b></a>").unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(!out.status.success());
+}

@@ -1,0 +1,146 @@
+const TAGS: &[&str] = &["a", "b", "c", "d", "t"];
+
+fn render_doc(seed: u64, fanout: usize, depth: usize) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut s = String::from("<root>");
+    build_elems(&mut rng, &mut s, fanout, depth);
+    s.push_str("</root>");
+    s
+}
+
+fn build_elems(rng: &mut StdRng, s: &mut String, fanout: usize, depth: usize) {
+    let n = rng.random_range(0..=fanout);
+    for _ in 0..n {
+        if depth == 0 || rng.random_bool(0.3) {
+            // Text or empty leaf.
+            if rng.random_bool(0.5) {
+                let v = rng.random_range(0..30).to_string();
+                let tag = TAGS[rng.random_range(0..TAGS.len())];
+                s.push_str(&format!("<{tag}>{v}</{tag}>"));
+            } else {
+                let tag = TAGS[rng.random_range(0..TAGS.len())];
+                s.push_str(&format!("<{tag}/>"));
+            }
+        } else {
+            let tag = TAGS[rng.random_range(0..TAGS.len())];
+            s.push_str(&format!("<{tag}>"));
+            build_elems(rng, s, fanout, depth - 1);
+            s.push_str(&format!("</{tag}>"));
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Random queries
+// ----------------------------------------------------------------------
+
+struct QGen {
+    rng: StdRng,
+    next_var: usize,
+}
+
+impl QGen {
+    fn step(&mut self) -> String {
+        let axis = if self.rng.random_bool(0.3) { "//" } else { "/" };
+        let test = match self.rng.random_range(0..6) {
+            0 => "*",
+            1 => "text()",
+            i => TAGS[i - 2],
+        };
+        // `//text()` is legal; `/*` too.
+        format!("{axis}{test}")
+    }
+
+    fn elem_step(&mut self) -> String {
+        let axis = if self.rng.random_bool(0.3) { "//" } else { "/" };
+        let test = match self.rng.random_range(0..5) {
+            0 => "*",
+            i => TAGS[i - 1],
+        };
+        format!("{axis}{test}")
+    }
+
+    fn cond(&mut self, vars: &[String], depth: usize) -> String {
+        let v = &vars[self.rng.random_range(0..vars.len())];
+        match self.rng.random_range(0..if depth == 0 { 4 } else { 6 }) {
+            0 => format!("exists(${v}{})", self.step()),
+            1 => "true()".to_string(),
+            2 => {
+                let op = ["=", "<", ">=", "<=", ">"][self.rng.random_range(0..5)];
+                let lit = self.rng.random_range(0..30);
+                format!("${v}{} {op} \"{lit}\"", self.step())
+            }
+            3 => {
+                let w = &vars[self.rng.random_range(0..vars.len())];
+                format!("${v}{} = ${w}{}", self.step(), self.step())
+            }
+            4 => format!("not({})", self.cond(vars, depth - 1)),
+            _ => {
+                let con = if self.rng.random_bool(0.5) { "and" } else { "or" };
+                format!(
+                    "({} {con} {})",
+                    self.cond(vars, depth - 1),
+                    self.cond(vars, depth - 1)
+                )
+            }
+        }
+    }
+
+    fn expr(&mut self, vars: &[String], depth: usize) -> String {
+        if depth == 0 {
+            let v = &vars[self.rng.random_range(0..vars.len())];
+            return if self.rng.random_bool(0.4) && v != "root" {
+                format!("${v}")
+            } else {
+                format!("${v}{}", self.step())
+            };
+        }
+        match self.rng.random_range(0..8) {
+            0..=2 => {
+                // for-loop over a fresh variable.
+                let name = format!("v{}", self.next_var);
+                self.next_var += 1;
+                let src = &vars[self.rng.random_range(0..vars.len())];
+                let source = if src == "root" {
+                    String::new()
+                } else {
+                    format!("${src}")
+                };
+                let step = self.elem_step();
+                let mut inner: Vec<String> = vars.to_vec();
+                inner.push(name.clone());
+                format!(
+                    "for ${name} in {source}{step} return ({})",
+                    self.expr(&inner, depth - 1)
+                )
+            }
+            3 => format!(
+                "if ({}) then ({}) else ({})",
+                self.cond(vars, 1),
+                self.expr(vars, depth - 1),
+                self.expr(vars, depth - 1)
+            ),
+            4 => format!("<w>{{ {} }}</w>", self.expr(vars, depth - 1)),
+            5 => format!(
+                "({}, {})",
+                self.expr(vars, depth - 1),
+                self.expr(vars, depth - 1)
+            ),
+            6 => "()".to_string(),
+            _ => {
+                let v = &vars[self.rng.random_range(0..vars.len())];
+                format!("${v}{}", self.step())
+            }
+        }
+    }
+}
+
+fn random_query(seed: u64) -> String {
+    let mut g = QGen {
+        rng: StdRng::seed_from_u64(seed),
+        next_var: 0,
+    };
+    let body = g.expr(&["root".to_string()], 3);
+    format!("<q>{{ {body} }}</q>")
+}
+

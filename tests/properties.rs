@@ -1,0 +1,137 @@
+//! Property-based tests (proptest): randomized documents and queries.
+//!
+//! * **Theorem 1**: GCX output equals the DOM oracle on every random
+//!   (query, document) pair, under both compile-option sets.
+//! * **Safety**: every GCX run returns all assigned role instances.
+//! * **Lexer/writer roundtrip** on random documents.
+//! * **Memory dominance**: GCX's peak never exceeds the no-GC engine's.
+
+use gcx::query::{compile, CompileOptions};
+use gcx::xml::{LexerOptions, TagInterner, WhitespaceMode, XmlLexer};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+// ----------------------------------------------------------------------
+// Random documents
+// ----------------------------------------------------------------------
+
+include!("common/prop_gen.rs");
+
+// ----------------------------------------------------------------------
+// The properties
+// ----------------------------------------------------------------------
+
+fn differential_case(qseed: u64, dseed: u64, opts: CompileOptions) {
+    let query = random_query(qseed);
+    let doc = render_doc(dseed, 3, 3);
+    let mut tags = TagInterner::new();
+    let compiled = match compile(&query, &mut tags, opts) {
+        Ok(c) => c,
+        Err(e) => panic!("generated query failed to compile: {e}\n{query}"),
+    };
+    let mut dom_out = Vec::new();
+    gcx::run_dom(&compiled, &mut tags, doc.as_bytes(), &mut dom_out)
+        .unwrap_or_else(|e| panic!("dom failed: {e}\n{query}\n{doc}"));
+    let mut gcx_out = Vec::new();
+    let report = gcx::run_gcx(&compiled, &mut tags, doc.as_bytes(), &mut gcx_out)
+        .unwrap_or_else(|e| panic!("gcx failed: {e}\n{query}\n{doc}"));
+    assert_eq!(
+        String::from_utf8(dom_out).unwrap(),
+        String::from_utf8(gcx_out).unwrap(),
+        "Theorem 1 violated for\n{query}\nover\n{doc}"
+    );
+    assert_eq!(
+        report.safety,
+        Some(true),
+        "role accounting violated for\n{query}\nover\n{doc}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn theorem1_random_queries_default_opts(qseed in 0u64..20_000, dseed in 0u64..20_000) {
+        differential_case(qseed, dseed, CompileOptions::default());
+    }
+
+    #[test]
+    fn theorem1_random_queries_plain_opts(qseed in 0u64..20_000, dseed in 0u64..20_000) {
+        differential_case(qseed, dseed, CompileOptions::plain());
+    }
+
+    #[test]
+    fn gcx_memory_never_exceeds_no_gc(qseed in 0u64..10_000, dseed in 0u64..10_000) {
+        let query = random_query(qseed);
+        let doc = render_doc(dseed, 3, 3);
+        let mut tags = TagInterner::new();
+        let compiled = compile(&query, &mut tags, CompileOptions::default()).unwrap();
+        let mut o1 = Vec::new();
+        let g = gcx::run_gcx(&compiled, &mut tags, doc.as_bytes(), &mut o1).unwrap();
+        let mut tags2 = TagInterner::new();
+        let compiled2 = compile(&query, &mut tags2, CompileOptions::default()).unwrap();
+        let mut o2 = Vec::new();
+        let n = gcx::run_no_gc_streaming(&compiled2, &mut tags2, doc.as_bytes(), &mut o2).unwrap();
+        prop_assert!(
+            g.stats.peak_nodes <= n.stats.peak_nodes,
+            "GCX peak {} > no-GC peak {} for\n{}\nover\n{}",
+            g.stats.peak_nodes, n.stats.peak_nodes, query, doc
+        );
+        prop_assert_eq!(o1, o2);
+    }
+
+    #[test]
+    fn lexer_writer_roundtrip(dseed in 0u64..50_000) {
+        let doc = render_doc(dseed, 4, 4);
+        let mut tags = TagInterner::new();
+        let opts = LexerOptions {
+            whitespace: WhitespaceMode::Keep,
+            ..Default::default()
+        };
+        let mut lexer = XmlLexer::with_options(doc.as_bytes(), &mut tags, opts);
+        let tokens = lexer.tokenize_all().unwrap();
+        let rendered = gcx::xml::writer::tokens_to_string(&tokens, &tags);
+        let mut lexer2 = XmlLexer::with_options(rendered.as_bytes(), &mut tags, opts);
+        let tokens2 = lexer2.tokenize_all().unwrap();
+        prop_assert_eq!(tokens, tokens2);
+    }
+
+    #[test]
+    fn parser_pretty_fixpoint_on_random_queries(qseed in 0u64..100_000) {
+        let query = random_query(qseed);
+        let mut tags = TagInterner::new();
+        let q1 = gcx::query::parse(&query, &mut tags).expect("generated query parses");
+        let printed = gcx::query::pretty_query(&q1, &tags);
+        let mut tags2 = TagInterner::new();
+        let q2 = gcx::query::parse(&printed, &mut tags2)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        let printed2 = gcx::query::pretty_query(&q2, &tags2);
+        prop_assert_eq!(printed, printed2, "pretty output is a fixpoint");
+    }
+
+    #[test]
+    fn compile_is_deterministic(qseed in 0u64..50_000) {
+        let query = random_query(qseed);
+        let mut t1 = TagInterner::new();
+        let c1 = compile(&query, &mut t1, CompileOptions::default()).unwrap();
+        let mut t2 = TagInterner::new();
+        let c2 = compile(&query, &mut t2, CompileOptions::default()).unwrap();
+        prop_assert_eq!(
+            gcx::query::pretty_query(&c1.rewritten, &t1),
+            gcx::query::pretty_query(&c2.rewritten, &t2)
+        );
+        prop_assert_eq!(c1.projection.tree.len(), c2.projection.tree.len());
+    }
+
+    #[test]
+    fn random_docs_parse_to_dom_and_back(dseed in 0u64..50_000) {
+        let doc = render_doc(dseed, 3, 3);
+        let mut tags = TagInterner::new();
+        let parsed = gcx::xml::Document::parse_str(&doc, &mut tags).unwrap();
+        let rendered = parsed.to_xml(&tags);
+        let mut tags2 = TagInterner::new();
+        let parsed2 = gcx::xml::Document::parse_str(&rendered, &mut tags2).unwrap();
+        prop_assert_eq!(parsed.len(), parsed2.len());
+    }
+}
