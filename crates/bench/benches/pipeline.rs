@@ -111,7 +111,8 @@ fn buffer_gc_churn(c: &mut Criterion) {
             for &n in chain.iter().rev() {
                 buf.finish(n);
             }
-            buf.sign_off(*chain.last().unwrap(), Role(0), 1).expect("signoff");
+            buf.sign_off(*chain.last().unwrap(), Role(0), 1)
+                .expect("signoff");
             buf.stats().live_nodes
         })
     });
@@ -126,7 +127,11 @@ fn dfa_laziness(c: &mut Criterion) {
     let id = tags.intern("id");
     let mut tree = ProjTree::new();
     use gcx_projection::{PStep, PTest};
-    let v1 = tree.add_child(ProjTree::ROOT, PStep::child(PTest::Tag(site)), Some(Role(0)));
+    let v1 = tree.add_child(
+        ProjTree::ROOT,
+        PStep::child(PTest::Tag(site)),
+        Some(Role(0)),
+    );
     let v2 = tree.add_child(v1, PStep::child(PTest::Tag(people)), Some(Role(1)));
     let v3 = tree.add_child(v2, PStep::descendant(PTest::Tag(person)), Some(Role(2)));
     tree.add_child(v3, PStep::child(PTest::Tag(id)), Some(Role(3)));

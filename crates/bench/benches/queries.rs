@@ -46,18 +46,14 @@ fn q8_join(c: &mut Criterion) {
     let mut group = c.benchmark_group("q8-join");
     group.sample_size(10);
     for engine in Engine::ALL {
-        group.bench_with_input(
-            BenchmarkId::new("0.1MB", engine.label()),
-            &doc,
-            |b, doc| {
-                b.iter(|| {
-                    run_engine(engine, gcx_xmark::Q8, doc, CompileOptions::default())
-                        .expect("run")
-                        .report
-                        .output_bytes
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("0.1MB", engine.label()), &doc, |b, doc| {
+            b.iter(|| {
+                run_engine(engine, gcx_xmark::Q8, doc, CompileOptions::default())
+                    .expect("run")
+                    .report
+                    .output_bytes
+            })
+        });
     }
     group.finish();
 }

@@ -44,7 +44,14 @@ fn main() {
         .expect("q8 cap in MB");
 
     println!("GCX-RS Table 1 reproduction (paper: Schmidt/Scherzinger/Koch, ICDE 2007)");
-    println!("Engines: {}", engines.iter().map(|e| e.label()).collect::<Vec<_>>().join(", "));
+    println!(
+        "Engines: {}",
+        engines
+            .iter()
+            .map(|e| e.label())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
     println!("Cells: evaluation time / buffer high watermark\n");
 
     // Header.

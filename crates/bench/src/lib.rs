@@ -70,10 +70,7 @@ impl Write for NullSink {
 
 /// Generates (or returns cached) XMark data of roughly `mb` mebibytes.
 pub fn xmark_doc(mb: f64, seed: u64) -> Vec<u8> {
-    let cfg = XmarkConfig {
-        seed,
-        scale: mb,
-    };
+    let cfg = XmarkConfig { seed, scale: mb };
     let mut buf = Vec::with_capacity((mb * 1024.0 * 1024.0) as usize);
     gcx_xmark::generate(cfg, &mut buf).expect("generation");
     buf

@@ -150,10 +150,7 @@ impl BufferTree {
     /// True when every assigned role instance has been removed — safety
     /// requirement (2) of the paper after complete evaluation.
     pub fn all_roles_returned(&self) -> bool {
-        self.assigned
-            .iter()
-            .zip(&self.removed)
-            .all(|(a, r)| a == r)
+        self.assigned.iter().zip(&self.removed).all(|(a, r)| a == r)
     }
 
     fn alloc(&mut self, kind: BufKind, parent: Option<BufNodeId>) -> BufNodeId {
@@ -625,8 +622,15 @@ impl BufferTree {
         let _ = writeln!(
             out,
             "#{} {} {} sr={} sp={} pins={} agg={} fin={} marked={}",
-            id.0, label, n.roles, n.subtree_roles, n.subtree_pins, n.pins, n.own_agg,
-            n.finished, n.marked
+            id.0,
+            label,
+            n.roles,
+            n.subtree_roles,
+            n.subtree_pins,
+            n.pins,
+            n.own_agg,
+            n.finished,
+            n.marked
         );
         let mut c = n.first_child;
         while let Some(x) = c {

@@ -147,7 +147,10 @@ fn pins_during_teardown() {
         let mut rng = StdRng::seed_from_u64(seed ^ 0xF00D);
         let alive: Vec<usize> = (0..w.nodes.len()).filter(|&i| b.is_alive(ids[i])).collect();
         let pinned = alive
-            .get(rng.random_range(0..alive.len().max(1)).min(alive.len().saturating_sub(1)))
+            .get(
+                rng.random_range(0..alive.len().max(1))
+                    .min(alive.len().saturating_sub(1)),
+            )
             .copied();
         if let Some(p) = pinned {
             b.pin(ids[p]);

@@ -1,0 +1,156 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports exactly the macro surface this workspace uses:
+//!
+//! ```ignore
+//! proptest! {
+//!     #![proptest_config(ProptestConfig::with_cases(96))]
+//!
+//!     #[test]
+//!     fn my_property(a in 0u64..1000, b in 0u64..1000) { ... }
+//! }
+//! ```
+//!
+//! Each property becomes an ordinary `#[test]` that runs `cases`
+//! iterations with inputs sampled uniformly from the given ranges, using
+//! a generator seeded deterministically from the test's name (stable
+//! across runs, so failures are reproducible). There is no shrinking: on
+//! failure the assertion message carries the concrete inputs, which the
+//! properties in this repository already format into their panics.
+
+use rand::rngs::StdRng;
+use rand::{SampleRange, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Run configuration (`with_cases` is the only knob used).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Something inputs can be drawn from (integer ranges, here).
+pub trait Strategy {
+    type Value;
+    fn pick(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn pick(&self, rng: &mut StdRng) -> $t {
+                SampleRange::sample_from(self.clone(), rng)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn pick(&self, rng: &mut StdRng) -> $t {
+                SampleRange::sample_from(self.clone(), rng)
+            }
+        }
+    )*};
+}
+
+impl_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Deterministic per-test seed: FNV-1a over the test name.
+pub fn rng_for(test_name: &str) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_body {
+    (($cfg:expr); $($(#[$attr:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut __proptest_rng = $crate::rng_for(concat!(module_path!(), "::", stringify!($name)));
+                for __proptest_case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::pick(&($strat), &mut __proptest_rng);)*
+                    let _ = __proptest_case;
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// `prop_assert!` — plain `assert!` (no shrinking machinery to feed).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `prop_assert_eq!` — plain `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+// Re-export so `use rand::...` keeps working inside property bodies that
+// only depend on proptest (none currently, but cheap).
+pub use rand as rand_shim;
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_sampled_in_bounds(a in 0u64..100, b in 5u64..10) {
+            prop_assert!(a < 100);
+            prop_assert!((5..10).contains(&b));
+            prop_assert_eq!(a + b, b + a);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_used(x in 0u64..7) {
+            prop_assert!(x < 7);
+        }
+    }
+
+    #[test]
+    fn per_test_seed_is_stable() {
+        use rand::RngCore;
+        let mut a = super::rng_for("x::y");
+        let mut b = super::rng_for("x::y");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -13,7 +13,7 @@ use crate::engine::RunReport;
 use crate::error::EngineError;
 use crate::value::compare_values;
 use gcx_buffer::BufferStats;
-use gcx_query::{Axis, Cond, CompiledQuery, Expr, NodeTest, Step, VarId};
+use gcx_query::{Axis, CompiledQuery, Cond, Expr, NodeTest, Step, VarId};
 use gcx_xml::{Document, LexerOptions, NodeId, TagInterner, XmlWriter};
 use std::io::{Read, Write};
 use std::time::Instant;
@@ -237,8 +237,7 @@ mod tests {
     #[test]
     fn reports_document_footprint() {
         let mut tags = TagInterner::new();
-        let compiled =
-            compile_default("<r>{ for $x in /a/b return $x }</r>", &mut tags).unwrap();
+        let compiled = compile_default("<r>{ for $x in /a/b return $x }</r>", &mut tags).unwrap();
         let mut out = Vec::new();
         let report = run_dom(
             &compiled,

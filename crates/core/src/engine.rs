@@ -19,10 +19,39 @@ use crate::preproject::{Preprojector, PumpEvent};
 use crate::value::compare_values;
 use gcx_buffer::{BufNodeId, BufferStats, BufferTree};
 use gcx_projection::{PStep, PTest, Pred, Role};
-use gcx_query::{Axis, Cond, CompiledQuery, Expr, NodeTest, Step, VarId};
+use gcx_query::{Axis, CompiledQuery, Cond, Expr, NodeTest, Step, VarId};
 use gcx_xml::{LexerOptions, TagInterner, XmlLexer, XmlWriter};
 use std::io::{Read, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Shared cooperative-cancellation handle.
+///
+/// Clone the flag, hand one clone to [`GcxEngine::set_cancel_flag`] and
+/// keep the other; calling [`CancelFlag::cancel`] from any thread makes
+/// the running engine return [`EngineError::Cancelled`] at its next pump
+/// step or loop iteration. The check is a relaxed atomic load — cheap
+/// enough for the hot path.
+#[derive(Debug, Clone, Default)]
+pub struct CancelFlag(Arc<AtomicBool>);
+
+impl CancelFlag {
+    /// A fresh, un-cancelled flag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation; idempotent.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// True once [`cancel`](Self::cancel) has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
 
 /// Engine configuration (the evaluation strategies of Table 1).
 #[derive(Debug, Clone, Copy)]
@@ -114,6 +143,7 @@ pub struct GcxEngine<'t, 'q, R: Read, W: Write> {
     gc: bool,
     preload: bool,
     tracer: Option<Tracer>,
+    cancel: Option<CancelFlag>,
 }
 
 impl<'t, 'q, R: Read, W: Write> GcxEngine<'t, 'q, R, W> {
@@ -139,6 +169,7 @@ impl<'t, 'q, R: Read, W: Write> GcxEngine<'t, 'q, R, W> {
             gc: options.gc,
             preload: options.preload,
             tracer: None,
+            cancel: None,
         }
     }
 
@@ -146,6 +177,22 @@ impl<'t, 'q, R: Read, W: Write> GcxEngine<'t, 'q, R, W> {
     /// buffer is rendered on every event.
     pub fn set_tracer(&mut self, t: Tracer) {
         self.tracer = Some(t);
+    }
+
+    /// Installs a cooperative-cancellation flag. When the flag is
+    /// cancelled from another thread, the run aborts with
+    /// [`EngineError::Cancelled`] at the next pump step or for-loop
+    /// iteration.
+    pub fn set_cancel_flag(&mut self, flag: CancelFlag) {
+        self.cancel = Some(flag);
+    }
+
+    #[inline]
+    fn check_cancelled(&self) -> Result<(), EngineError> {
+        match &self.cancel {
+            Some(c) if c.is_cancelled() => Err(EngineError::Cancelled),
+            _ => Ok(()),
+        }
     }
 
     /// Runs the query to completion.
@@ -203,6 +250,7 @@ impl<'t, 'q, R: Read, W: Write> GcxEngine<'t, 'q, R, W> {
     // ------------------------------------------------------------------
 
     fn pump_step(&mut self) -> Result<PumpEvent, EngineError> {
+        self.check_cancelled()?;
         let ev = self.projector.pump(&mut self.buffer)?;
         if self.tracer.is_some() {
             let label = match ev {
@@ -351,6 +399,7 @@ impl<'t, 'q, R: Read, W: Write> GcxEngine<'t, 'q, R, W> {
                 let base = self.binding(*source);
                 let mut cur = Cursor::new(base, *step);
                 while let Some(n) = self.cursor_next(&mut cur)? {
+                    self.check_cancelled()?;
                     if std::env::var_os("GCX_DEBUG").is_some() {
                         let name = self
                             .buffer
@@ -359,7 +408,9 @@ impl<'t, 'q, R: Read, W: Write> GcxEngine<'t, 'q, R, W> {
                             .unwrap_or_else(|| "#text".into());
                         eprintln!(
                             "bind var{} -> node {} <{}>   buffer: {}",
-                            var.0, n.0, name,
+                            var.0,
+                            n.0,
+                            name,
                             self.buffer.render_debug(self.projector.tags())
                         );
                     }
@@ -512,8 +563,12 @@ impl<'t, 'q, R: Read, W: Write> GcxEngine<'t, 'q, R, W> {
         };
         let targets = self.eval_relpath(base, steps);
         if std::env::var_os("GCX_DEBUG").is_some() {
-            eprintln!("signOff path base={} role=r{} targets={:?}", base.0, role.0,
-                targets.iter().map(|&(n, c)| (n.0, c)).collect::<Vec<_>>());
+            eprintln!(
+                "signOff path base={} role=r{} targets={:?}",
+                base.0,
+                role.0,
+                targets.iter().map(|&(n, c)| (n.0, c)).collect::<Vec<_>>()
+            );
         }
         for (node, count) in targets {
             self.buffer.sign_off(node, role, count)?;
@@ -760,10 +815,7 @@ mod tests {
 
     #[test]
     fn empty_result() {
-        let (out, report) = gcx_output(
-            "<r>{ for $x in /a/zzz return $x }</r>",
-            "<a><b/><c/></a>",
-        );
+        let (out, report) = gcx_output("<r>{ for $x in /a/zzz return $x }</r>", "<a><b/><c/></a>");
         assert_eq!(out, "<r></r>");
         assert_eq!(report.safety, Some(true));
     }
@@ -835,10 +887,7 @@ mod tests {
         // "now" is not valid content — constructors contain queries; use a
         // bachelor tag instead.
         let query = query.replace("<when>now</when>", "<when/>");
-        let (out, _) = gcx_output(
-            &query,
-            "<bib><book><title>X</title></book></bib>",
-        );
+        let (out, _) = gcx_output(&query, "<bib><book><title>X</title></book></bib>");
         assert_eq!(
             out,
             "<out><entry><t><title>X</title></t><when></when></entry></out>"
@@ -870,6 +919,43 @@ mod tests {
     }
 
     #[test]
+    fn cancel_flag_aborts_run() {
+        let query = "<r>{ for $b in /bib/book return $b/title }</r>";
+        let doc = "<bib><book><title>A</title></book></bib>";
+        let mut tags = TagInterner::new();
+        let compiled = compile_default(query, &mut tags).unwrap();
+        let flag = CancelFlag::new();
+        flag.cancel();
+        assert!(flag.is_cancelled());
+        let mut engine = GcxEngine::new(
+            &compiled,
+            &mut tags,
+            doc.as_bytes(),
+            Vec::new(),
+            EngineOptions::default(),
+        );
+        engine.set_cancel_flag(flag);
+        assert!(matches!(engine.run(), Err(EngineError::Cancelled)));
+    }
+
+    #[test]
+    fn uncancelled_flag_is_harmless() {
+        let query = "<r>{ for $b in /bib/book return $b/title }</r>";
+        let doc = "<bib><book><title>A</title></book></bib>";
+        let mut tags = TagInterner::new();
+        let compiled = compile_default(query, &mut tags).unwrap();
+        let mut engine = GcxEngine::new(
+            &compiled,
+            &mut tags,
+            doc.as_bytes(),
+            Vec::new(),
+            EngineOptions::default(),
+        );
+        engine.set_cancel_flag(CancelFlag::new());
+        assert!(engine.run().is_ok());
+    }
+
+    #[test]
     fn tracer_sees_buffer_states() {
         use std::cell::RefCell;
         use std::rc::Rc;
@@ -887,7 +973,8 @@ mod tests {
             EngineOptions::default(),
         );
         engine.set_tracer(Box::new(move |ev| {
-            sink.borrow_mut().push(format!("{}: {}", ev.label, ev.buffer));
+            sink.borrow_mut()
+                .push(format!("{}: {}", ev.label, ev.buffer));
         }));
         engine.run().unwrap();
         let log = events.borrow();

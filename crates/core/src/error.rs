@@ -17,6 +17,10 @@ pub enum EngineError {
     /// Evaluation needed data that the input stream can no longer provide
     /// (internal bug: the projection should have buffered it).
     MissingData(String),
+    /// The run was cancelled via a [`crate::engine::CancelFlag`]
+    /// (cooperative cancellation; used by session runtimes to abort
+    /// long-running evaluations).
+    Cancelled,
 }
 
 impl fmt::Display for EngineError {
@@ -26,6 +30,7 @@ impl fmt::Display for EngineError {
             EngineError::Buffer(e) => write!(f, "buffer error: {e}"),
             EngineError::Io(e) => write!(f, "output error: {e}"),
             EngineError::MissingData(s) => write!(f, "missing data: {s}"),
+            EngineError::Cancelled => write!(f, "evaluation cancelled"),
         }
     }
 }
@@ -37,6 +42,7 @@ impl std::error::Error for EngineError {
             EngineError::Buffer(e) => Some(e),
             EngineError::Io(e) => Some(e),
             EngineError::MissingData(_) => None,
+            EngineError::Cancelled => None,
         }
     }
 }

@@ -34,8 +34,8 @@ pub mod value;
 
 pub use baseline::{run_dom, run_dom_with_options};
 pub use engine::{
-    run_gcx, run_no_gc_streaming, run_static_projection, EngineOptions, GcxEngine, RunReport,
-    TraceEvent,
+    run_gcx, run_no_gc_streaming, run_static_projection, CancelFlag, EngineOptions, GcxEngine,
+    RunReport, TraceEvent,
 };
 pub use error::EngineError;
 pub use preproject::{Preprojector, PumpEvent};

@@ -229,7 +229,11 @@ mod tests {
         let mut tags = TagInterner::new();
         let b = tags.intern("b");
         let mut tree = ProjTree::new();
-        tree.add_child(ProjTree::ROOT, PStep::descendant(PTest::Tag(b)), Some(Role(0)));
+        tree.add_child(
+            ProjTree::ROOT,
+            PStep::descendant(PTest::Tag(b)),
+            Some(Role(0)),
+        );
         let doc = "<a><x><y><b/></y></x><b/></a>";
         let mut buffer = BufferTree::new(1, &[]);
         let lexer = XmlLexer::new(doc.as_bytes(), &mut tags);
@@ -292,7 +296,10 @@ mod tests {
         let mut proj = Preprojector::new(lexer, &tree, &mut buffer);
         proj.pump_to_eof(&mut buffer).unwrap();
         let rendered = buffer.render(proj.tags());
-        assert!(rendered.contains("mid{}"), "structural mid kept: {rendered}");
+        assert!(
+            rendered.contains("mid{}"),
+            "structural mid kept: {rendered}"
+        );
         assert!(rendered.contains("b{r2}"), "only //b matches: {rendered}");
     }
 }

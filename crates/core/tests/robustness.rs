@@ -16,7 +16,10 @@ struct FailingReader {
 impl Read for FailingReader {
     fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
         if self.pos >= self.data.len() {
-            return Err(io::Error::new(io::ErrorKind::ConnectionReset, "stream died"));
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "stream died",
+            ));
         }
         let n = buf.len().min(self.data.len() - self.pos).min(7);
         buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
@@ -68,8 +71,7 @@ fn malformed_xml_surfaces() {
         "<a/><b/>",
     ] {
         let mut tags = TagInterner::new();
-        let compiled =
-            compile_default("<r>{ for $b in //b return $b }</r>", &mut tags).unwrap();
+        let compiled = compile_default("<r>{ for $b in //b return $b }</r>", &mut tags).unwrap();
         let res = run_gcx(&compiled, &mut tags, bad.as_bytes(), Vec::new());
         assert!(res.is_err(), "malformed input {bad:?} must error");
     }
@@ -109,7 +111,11 @@ fn deep_nesting() {
     assert_eq!(report.safety, Some(true));
     // Only the k is buffered (promoted to the root): the d-chain is
     // projected away.
-    assert!(report.stats.peak_nodes < 8, "peak {}", report.stats.peak_nodes);
+    assert!(
+        report.stats.peak_nodes < 8,
+        "peak {}",
+        report.stats.peak_nodes
+    );
 }
 
 #[test]
@@ -143,7 +149,8 @@ fn wide_fanout() {
     }
     doc.push_str("</a>");
     let mut tags = TagInterner::new();
-    let compiled = compile_default("<r>{ for $b in /a/b return $b/text() }</r>", &mut tags).unwrap();
+    let compiled =
+        compile_default("<r>{ for $b in /a/b return $b/text() }</r>", &mut tags).unwrap();
     let mut sink = std::io::sink();
     let report = run_gcx(&compiled, &mut tags, doc.as_bytes(), &mut sink).unwrap();
     assert_eq!(report.safety, Some(true));
@@ -180,8 +187,7 @@ fn early_termination_skips_input_tail() {
     }
     doc.push_str("</a>");
     let mut tags = TagInterner::new();
-    let compiled =
-        compile_default("<r>{ for $f in /a/first return $f }</r>", &mut tags).unwrap();
+    let compiled = compile_default("<r>{ for $f in /a/first return $f }</r>", &mut tags).unwrap();
     let mut out = Vec::new();
     let report = run_gcx(&compiled, &mut tags, doc.as_bytes(), &mut out).unwrap();
     assert_eq!(
@@ -201,8 +207,7 @@ fn unused_variable_scopes() {
     // Loops whose bodies never touch their variable still drive iteration
     // counts (XQuery semantics): 3 b's → 3 hits.
     let mut tags = TagInterner::new();
-    let compiled =
-        compile_default("<r>{ for $b in /a/b return <hit/> }</r>", &mut tags).unwrap();
+    let compiled = compile_default("<r>{ for $b in /a/b return <hit/> }</r>", &mut tags).unwrap();
     let mut out = Vec::new();
     let report = run_gcx(
         &compiled,

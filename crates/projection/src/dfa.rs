@@ -340,7 +340,11 @@ mod tests {
         let a = tags.intern("a");
         let b = tags.intern("b");
         let mut tree = ProjTree::new();
-        let v2 = tree.add_child(ProjTree::ROOT, PStep::descendant(PTest::Tag(a)), Some(Role(2)));
+        let v2 = tree.add_child(
+            ProjTree::ROOT,
+            PStep::descendant(PTest::Tag(a)),
+            Some(Role(2)),
+        );
         let v3 = tree.add_child(v2, PStep::descendant(PTest::Tag(b)), Some(Role(3)));
         let mut dfa = LazyDfa::new(&tree, &[(ProjTree::ROOT, false)]);
         let q1 = dfa.transition(&tree, LazyDfa::INITIAL, a);

@@ -125,10 +125,8 @@ impl<'t> StreamMatcher<'t> {
                 frames: vec![frame],
             }
         } else {
-            let tuples: Vec<(ProjNodeId, bool)> = root_matches
-                .iter()
-                .map(|m| (m.node, m.via_self))
-                .collect();
+            let tuples: Vec<(ProjNodeId, bool)> =
+                root_matches.iter().map(|m| (m.node, m.via_self)).collect();
             let dfa = LazyDfa::new(tree, &tuples);
             let stack = vec![LazyDfa::INITIAL];
             Mode::Dfa { dfa, stack }
@@ -482,7 +480,11 @@ mod tests {
         let a = tags.intern("a");
         let b = tags.intern("b");
         let mut t = ProjTree::new();
-        let v2 = t.add_child(ProjTree::ROOT, PStep::descendant(PTest::Tag(a)), Some(Role(2)));
+        let v2 = t.add_child(
+            ProjTree::ROOT,
+            PStep::descendant(PTest::Tag(a)),
+            Some(Role(2)),
+        );
         let _v3 = t.add_child(v2, PStep::descendant(PTest::Tag(b)), Some(Role(3)));
         t
     }
@@ -517,8 +519,16 @@ mod tests {
         let a = tags.intern("a");
         let b = tags.intern("b");
         let mut tree = ProjTree::new();
-        tree.add_child(ProjTree::ROOT, PStep::descendant(PTest::Tag(a)), Some(Role(2)));
-        tree.add_child(ProjTree::ROOT, PStep::descendant(PTest::Tag(b)), Some(Role(3)));
+        tree.add_child(
+            ProjTree::ROOT,
+            PStep::descendant(PTest::Tag(a)),
+            Some(Role(2)),
+        );
+        tree.add_child(
+            ProjTree::ROOT,
+            PStep::descendant(PTest::Tag(b)),
+            Some(Role(3)),
+        );
         let out = run(&tree, &mut tags, FIG4_DOC);
         assert_eq!(
             out,
@@ -570,7 +580,11 @@ mod tests {
         let b = tags.intern("b");
         tags.intern("a");
         let mut tree = ProjTree::new();
-        tree.add_child(ProjTree::ROOT, PStep::descendant(PTest::Tag(b)), Some(Role(1)));
+        tree.add_child(
+            ProjTree::ROOT,
+            PStep::descendant(PTest::Tag(b)),
+            Some(Role(1)),
+        );
         let out = run(&tree, &mut tags, FIG4_DOC);
         assert_eq!(out[0], ("/a".to_string(), false, "{}".to_string()));
         assert_eq!(out[1], ("/a/a".to_string(), false, "{}".to_string()));
@@ -585,7 +599,11 @@ mod tests {
         let x = tags.intern("x");
         let price = tags.intern("price");
         let mut tree = ProjTree::new();
-        let vx = tree.add_child(ProjTree::ROOT, PStep::descendant(PTest::Tag(x)), Some(Role(1)));
+        let vx = tree.add_child(
+            ProjTree::ROOT,
+            PStep::descendant(PTest::Tag(x)),
+            Some(Role(1)),
+        );
         tree.add_child(
             vx,
             PStep::with_pred(PAxis::Child, PTest::Tag(price), Pred::First),
@@ -607,7 +625,11 @@ mod tests {
         let x = tags.intern("x");
         let price = tags.intern("price");
         let mut tree = ProjTree::new();
-        let vx = tree.add_child(ProjTree::ROOT, PStep::descendant(PTest::Tag(x)), Some(Role(1)));
+        let vx = tree.add_child(
+            ProjTree::ROOT,
+            PStep::descendant(PTest::Tag(x)),
+            Some(Role(1)),
+        );
         tree.add_child(
             vx,
             PStep::with_pred(PAxis::Child, PTest::Tag(price), Pred::First),
@@ -784,7 +806,11 @@ mod tests {
         let b = tags.intern("b");
         let c = tags.intern("c");
         let mut tree = ProjTree::new();
-        let va = tree.add_child(ProjTree::ROOT, PStep::descendant(PTest::Tag(a)), Some(Role(0)));
+        let va = tree.add_child(
+            ProjTree::ROOT,
+            PStep::descendant(PTest::Tag(a)),
+            Some(Role(0)),
+        );
         let vb = tree.add_child(va, PStep::descendant(PTest::Tag(b)), Some(Role(1)));
         tree.add_child(
             vb,
@@ -822,7 +848,11 @@ mod tests {
         let book = tags.intern("book");
         let title = tags.intern("title");
         let mut tree = ProjTree::new();
-        let vb = tree.add_child(ProjTree::ROOT, PStep::descendant(PTest::Tag(book)), Some(Role(6)));
+        let vb = tree.add_child(
+            ProjTree::ROOT,
+            PStep::descendant(PTest::Tag(book)),
+            Some(Role(6)),
+        );
         let p = RelPath::single(PStep::child(PTest::Tag(title))).then(PStep::dos_node());
         tree.add_path(vb, &p.steps, Some(Role(7)));
         let out = run(
@@ -834,6 +864,9 @@ mod tests {
         assert_eq!(out[1].2, "{r7}", "title matched via dos self-closure");
         assert_eq!(out[2].2, "{r7}", "title text via dos descent");
         assert_eq!(out[3].2, "{r7}", "b via dos descent");
-        assert_eq!(out[5], ("/book/author".to_string(), false, "{}".to_string()));
+        assert_eq!(
+            out[5],
+            ("/book/author".to_string(), false, "{}".to_string())
+        );
     }
 }

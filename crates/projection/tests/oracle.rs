@@ -130,11 +130,8 @@ fn random_tree(seed: u64, tags: &mut TagInterner) -> ProjTree {
                 } else {
                     Pred::True
                 };
-                let node = tree.add_child(
-                    parent,
-                    PStep::with_pred(axis, test, pred),
-                    Some(Role(role)),
-                );
+                let node =
+                    tree.add_child(parent, PStep::with_pred(axis, test, pred), Some(Role(role)));
                 role += 1;
                 // dos nodes stay leaves (as in derived trees).
                 if axis != PAxis::DescendantOrSelf {
@@ -208,7 +205,14 @@ fn check_case(tree_seed: u64, doc_seed: u64) {
                     matches!(doc.node(node).kind, NodeKind::Element(t) if t == tag),
                     "event/node pairing broke"
                 );
-                compare(&expected, node, &outcome.roles, outcome.buffer, tree_seed, doc_seed);
+                compare(
+                    &expected,
+                    node,
+                    &outcome.roles,
+                    outcome.buffer,
+                    tree_seed,
+                    doc_seed,
+                );
             }
             XmlToken::Close(_) => matcher.close(),
             XmlToken::Text(_) => {
@@ -216,7 +220,14 @@ fn check_case(tree_seed: u64, doc_seed: u64) {
                 let node = dom_nodes[idx];
                 idx += 1;
                 assert!(doc.is_text(node), "event/node pairing broke (text)");
-                compare(&expected, node, &outcome.roles, outcome.buffer, tree_seed, doc_seed);
+                compare(
+                    &expected,
+                    node,
+                    &outcome.roles,
+                    outcome.buffer,
+                    tree_seed,
+                    doc_seed,
+                );
             }
         }
     }

@@ -258,7 +258,10 @@ pub enum Cond {
     /// `true()`
     True,
     /// `exists($x/axis::ν)`
-    Exists { var: VarId, step: Step },
+    Exists {
+        var: VarId,
+        step: Step,
+    },
     /// `$x/axis::ν RelOp "string"` (string side normalized to the right).
     CmpStr {
         var: VarId,

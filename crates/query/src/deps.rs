@@ -113,9 +113,7 @@ fn walk(e: &Expr, q: &Query, tags: &TagInterner, catalog: &mut RoleCatalog, t: &
                 kind: DepKind::Output,
             });
         }
-        Expr::For {
-            var, body, ..
-        } => {
+        Expr::For { var, body, .. } => {
             let role = catalog.fresh(format!("for ${}", q.vars.name(*var)));
             t.var_role[var.index()] = Some(role);
             walk(body, q, tags, catalog, t);
@@ -265,9 +263,8 @@ mod tests {
 
     #[test]
     fn string_compare_single_dep() {
-        let (q, tags, t, _) = setup(
-            r#"<r>{ for $p in /a return if ($p/id = "x7") then $p/name else () }</r>"#,
-        );
+        let (q, tags, t, _) =
+            setup(r#"<r>{ for $p in /a return if ($p/id = "x7") then $p/name else () }</r>"#);
         let vp = var_by_name(&q, "p");
         let d = t.deps(vp);
         assert_eq!(d.len(), 2);

@@ -31,9 +31,7 @@ fn rewrite(e: Expr, q: &mut Query) -> Expr {
             tag,
             content: Box::new(rewrite(*content, q)),
         },
-        Expr::Sequence(items) => {
-            Expr::Sequence(items.into_iter().map(|i| rewrite(i, q)).collect())
-        }
+        Expr::Sequence(items) => Expr::Sequence(items.into_iter().map(|i| rewrite(i, q)).collect()),
         Expr::For {
             var,
             source,
@@ -148,10 +146,7 @@ mod tests {
         let mut q = parse("<r>{ for $b in /bib return $b/title }</r>", &mut tags).unwrap();
         early_updates(&mut q);
         let s = pretty_query(&q, &tags);
-        assert!(
-            s.contains("for $out in $b/title return $out"),
-            "got: {s}"
-        );
+        assert!(s.contains("for $out in $b/title return $out"), "got: {s}");
     }
 
     #[test]

@@ -519,7 +519,9 @@ impl<'t> Parser<'t> {
             1 => Ok(steps[0]),
             0 => Err(ParseError {
                 pos: self.pos(),
-                detail: format!("{ctx} requires a path with exactly one step (got a bare variable)"),
+                detail: format!(
+                    "{ctx} requires a path with exactly one step (got a bare variable)"
+                ),
             }),
             _ => Err(ParseError {
                 pos: self.pos(),
@@ -565,11 +567,7 @@ impl<'t> Parser<'t> {
             Tok::Lt => RelOp::Lt,
             Tok::Ge => RelOp::Ge,
             Tok::RAngle => RelOp::Gt,
-            other => {
-                return self.err(format!(
-                    "expected a comparison operator, found '{other}'"
-                ))
-            }
+            other => return self.err(format!("expected a comparison operator, found '{other}'")),
         };
         let right = operand(self)?;
         match (left, right) {
@@ -622,7 +620,10 @@ mod tests {
              for $b in $bib/book return $b/title)
         } </r>"#);
         // Structure: For($bib) { Sequence [ For($x){If..}, For($b){PathOutput} ] }
-        let Expr::For { var, source, body, .. } = &q.body else {
+        let Expr::For {
+            var, source, body, ..
+        } = &q.body
+        else {
             panic!("expected for, got {:?}", q.body);
         };
         assert_eq!(*source, VarId::ROOT);
@@ -676,7 +677,10 @@ mod tests {
         let Expr::For { body, .. } = &q.body else {
             panic!()
         };
-        let Expr::For { step, body: inner, .. } = body.as_ref() else {
+        let Expr::For {
+            step, body: inner, ..
+        } = body.as_ref()
+        else {
             panic!("expected inner for, got {body:?}")
         };
         assert!(matches!(step.test, NodeTest::Tag(_)));
@@ -689,7 +693,10 @@ mod tests {
         let Expr::For { body, .. } = &q.body else {
             panic!()
         };
-        let Expr::If { cond, else_branch, .. } = body.as_ref() else {
+        let Expr::If {
+            cond, else_branch, ..
+        } = body.as_ref()
+        else {
             panic!("expected if, got {body:?}")
         };
         assert!(matches!(cond, Cond::CmpStr { .. }));
@@ -834,10 +841,19 @@ mod tests {
     #[test]
     fn shadowing_freshens() {
         let q = p("<r>{ for $x in /a return for $x in $x/b return $x }</r>");
-        let Expr::For { var: outer, body, .. } = &q.body else {
+        let Expr::For {
+            var: outer, body, ..
+        } = &q.body
+        else {
             panic!()
         };
-        let Expr::For { var: inner, source, body: b2, .. } = body.as_ref() else {
+        let Expr::For {
+            var: inner,
+            source,
+            body: b2,
+            ..
+        } = body.as_ref()
+        else {
             panic!()
         };
         assert_eq!(source, outer, "inner source is the outer $x");

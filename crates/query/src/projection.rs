@@ -52,7 +52,10 @@ pub fn build_projection(
     for i in 0..n {
         for dep in deps.deps(VarId(i as u32)) {
             let terminal = tree.add_path(var_node[i], &dep.path.steps, Some(dep.role));
-            let is_dos_terminal = matches!(dep.kind, DepKind::Output | DepKind::Compare | DepKind::SelfOutput);
+            let is_dos_terminal = matches!(
+                dep.kind,
+                DepKind::Output | DepKind::Compare | DepKind::SelfOutput
+            );
             if aggregate_roles && is_dos_terminal {
                 tree.set_aggregate(terminal);
                 aggregates.push(dep.role);
@@ -177,16 +180,14 @@ mod tests {
 
     #[test]
     fn aggregates_flag_dos_terminals() {
-        let (_, _, p) = project(
-            "<r>{ for $b in /bib return ($b/title, $b) }</r>",
-            true,
+        let (_, _, p) = project("<r>{ for $b in /bib return ($b/title, $b) }</r>", true);
+        assert_eq!(
+            p.aggregates.len(),
+            2,
+            "output dep and self dep both aggregate"
         );
-        assert_eq!(p.aggregates.len(), 2, "output dep and self dep both aggregate");
         let t = &p.tree;
-        let agg_nodes = t
-            .ids()
-            .filter(|&i| t.node(i).aggregate)
-            .count();
+        let agg_nodes = t.ids().filter(|&i| t.node(i).aggregate).count();
         assert_eq!(agg_nodes, 2);
     }
 

@@ -181,9 +181,8 @@ mod tests {
     /// Paper Example 4: both variables straight; signOffs at each loop end.
     #[test]
     fn example4_straight_signoffs() {
-        let (q, tags) = rewritten(
-            "<q>{ for $a in //a return <a>{ for $b in $a//b return <b/> }</a> }</q>",
-        );
+        let (q, tags) =
+            rewritten("<q>{ for $a in //a return <a>{ for $b in $a//b return <b/> }</a> }</q>");
         let s = pretty_query(&q, &tags);
         assert!(s.contains("signOff($b, r1)"), "got: {s}");
         assert!(s.contains("signOff($a, r0)"), "got: {s}");
@@ -194,9 +193,8 @@ mod tests {
     /// signOff($root//b, r).
     #[test]
     fn fig9_non_straight_signoff_at_root() {
-        let (q, tags) = rewritten(
-            "<q>{ for $a in //a return <a>{ for $b in //b return <b/> }</a> }</q>",
-        );
+        let (q, tags) =
+            rewritten("<q>{ for $a in //a return <a>{ for $b in //b return <b/> }</a> }</q>");
         let s = pretty_query(&q, &tags);
         // $a's own update inside its loop:
         assert!(s.contains("signOff($a, r0)"), "got: {s}");

@@ -239,9 +239,8 @@ mod tests {
     /// straight.
     #[test]
     fn example6_straight_vars() {
-        let (q, a) = analyzed(
-            "<q>{ for $a in //a return <a>{ for $b in $a//b return <b/> }</a> }</q>",
-        );
+        let (q, a) =
+            analyzed("<q>{ for $a in //a return <a>{ for $b in $a//b return <b/> }</a> }</q>");
         let va = var_by_name(&q, "a");
         let vb = var_by_name(&q, "b");
         assert!(a.straight[va.index()]);
@@ -254,15 +253,21 @@ mod tests {
     /// straight and fsa($b) = $root.
     #[test]
     fn example6_fig9_not_straight() {
-        let (q, a) = analyzed(
-            "<q>{ for $a in //a return <a>{ for $b in //b return <b/> }</a> }</q>",
-        );
+        let (q, a) =
+            analyzed("<q>{ for $a in //a return <a>{ for $b in //b return <b/> }</a> }</q>");
         let va = var_by_name(&q, "a");
         let vb = var_by_name(&q, "b");
         assert!(a.straight[va.index()]);
-        assert!(!a.straight[vb.index()], "$b's enclosing loop binds $a, not an ancestor");
+        assert!(
+            !a.straight[vb.index()],
+            "$b's enclosing loop binds $a, not an ancestor"
+        );
         assert_eq!(a.fsa[vb.index()], VarId::ROOT);
-        assert_eq!(a.source[vb.index()], Some(VarId::ROOT), "parVar($b) = $root");
+        assert_eq!(
+            a.source[vb.index()],
+            Some(VarId::ROOT),
+            "parVar($b) = $root"
+        );
     }
 
     /// The intro query: $bib, $x, $b are all straight.
@@ -306,9 +311,8 @@ mod tests {
 
     #[test]
     fn scoped_to_lists_own_var_first() {
-        let (q, a) = analyzed(
-            "<q>{ for $a in //a return <a>{ for $b in //b return <b/> }</a> }</q>",
-        );
+        let (q, a) =
+            analyzed("<q>{ for $a in //a return <a>{ for $b in //b return <b/> }</a> }</q>");
         let va = var_by_name(&q, "a");
         let vb = var_by_name(&q, "b");
         let root_scope = a.scoped_to(VarId::ROOT);

@@ -1,0 +1,131 @@
+//! Global memory budgeting for concurrent sessions.
+//!
+//! A [`MemoryBudget`] bounds the *service-owned* bytes across all
+//! sessions: queued input chunks plus produced-but-undrained output. The
+//! GCX buffer tree itself is already minimized by the engine (that is the
+//! point of the paper); the budget guards the part the service adds on
+//! top. Input reservations are **hard** — [`MemoryBudget::try_reserve`]
+//! fails and `feed` surfaces [`crate::ServiceError::BudgetExceeded`] —
+//! while output accounting is **soft** ([`MemoryBudget::force_reserve`]):
+//! an evaluator thread mid-write cannot fail cleanly, so output may
+//! transiently overshoot the limit until the caller drains it.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Byte budget shared by every session of one service.
+#[derive(Debug)]
+pub struct MemoryBudget {
+    limit: usize,
+    used: AtomicUsize,
+}
+
+impl MemoryBudget {
+    /// A budget of `limit` bytes.
+    pub fn new(limit: usize) -> Self {
+        MemoryBudget {
+            limit,
+            used: AtomicUsize::new(0),
+        }
+    }
+
+    /// The configured limit.
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// Bytes currently accounted for.
+    pub fn used(&self) -> usize {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    /// Attempts to reserve `n` bytes; `false` when that would exceed the
+    /// limit (nothing is reserved in that case).
+    pub fn try_reserve(&self, n: usize) -> bool {
+        let mut current = self.used.load(Ordering::Relaxed);
+        loop {
+            let Some(next) = current.checked_add(n) else {
+                return false;
+            };
+            if next > self.limit {
+                return false;
+            }
+            match self.used.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Reserves `n` bytes unconditionally (output accounting; may push
+    /// usage past the limit until the caller drains).
+    pub fn force_reserve(&self, n: usize) {
+        self.used.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Returns `n` bytes to the budget.
+    pub fn release(&self, n: usize) {
+        let prev = self.used.fetch_sub(n, Ordering::Relaxed);
+        debug_assert!(prev >= n, "budget release underflow: {prev} - {n}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_and_release_roundtrip() {
+        let b = MemoryBudget::new(100);
+        assert!(b.try_reserve(60));
+        assert!(b.try_reserve(40));
+        assert!(!b.try_reserve(1), "limit reached");
+        b.release(50);
+        assert!(b.try_reserve(50));
+        assert_eq!(b.used(), 100);
+        b.release(100);
+        assert_eq!(b.used(), 0);
+    }
+
+    #[test]
+    fn force_reserve_overshoots() {
+        let b = MemoryBudget::new(10);
+        b.force_reserve(25);
+        assert_eq!(b.used(), 25);
+        assert!(!b.try_reserve(1));
+        b.release(25);
+        assert!(b.try_reserve(10));
+    }
+
+    #[test]
+    fn concurrent_reservations_never_exceed_limit() {
+        use std::sync::Arc;
+        let b = Arc::new(MemoryBudget::new(1000));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let b = b.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut held = 0usize;
+                for _ in 0..1000 {
+                    if b.try_reserve(7) {
+                        held += 7;
+                        assert!(b.used() <= 1000);
+                    }
+                    if held >= 70 {
+                        b.release(held);
+                        held = 0;
+                    }
+                }
+                b.release(held);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(b.used(), 0);
+    }
+}

@@ -1,0 +1,483 @@
+//! Concurrent serving: a compiled-query cache in front of session
+//! spawning.
+//!
+//! Compilation (parse → rewriting → signOff insertion → projection
+//! derivation) is pure per query text, so a service handling repeated
+//! queries amortizes it through an LRU cache keyed by *normalized* query
+//! text. All cached queries are compiled against one master
+//! [`TagInterner`]; interners only ever append, so a snapshot taken at
+//! session-open time is a superset of every id any cached query refers
+//! to — sessions then intern document-side tags into their private clone
+//! without synchronization. One [`MemoryBudget`] is shared by every
+//! session the service opens.
+
+use crate::budget::MemoryBudget;
+use crate::session::{SessionConfig, SessionOutcome, StreamSession};
+use crate::ServiceError;
+use gcx_core::EngineOptions;
+use gcx_query::{compile, CompileOptions, CompiledQuery};
+use gcx_xml::TagInterner;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Maximum number of compiled queries kept in the cache.
+    pub cache_capacity: usize,
+    /// Compile options applied to every query.
+    pub compile: CompileOptions,
+    /// Global cap on service-owned bytes (queued input + undrained
+    /// output) summed over all sessions; `None` = unlimited.
+    pub memory_budget: Option<usize>,
+    /// Per-session input-queue bound (backpressure threshold).
+    pub input_queue_bytes: usize,
+    /// Engine strategy for sessions, including the lexer options for
+    /// session input streams (`engine.lexer`).
+    pub engine: EngineOptions,
+    /// Maximum sessions evaluated concurrently by [`QueryService::run_batch`].
+    pub max_concurrency: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            cache_capacity: 64,
+            compile: CompileOptions::default(),
+            memory_budget: None,
+            input_queue_bytes: 256 * 1024,
+            engine: EngineOptions::default(),
+            max_concurrency: 8,
+        }
+    }
+}
+
+/// Counters exposed by [`QueryService::stats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Cache hits (compilation skipped).
+    pub cache_hits: u64,
+    /// Cache misses (query compiled).
+    pub cache_misses: u64,
+    /// Entries evicted to respect the capacity.
+    pub cache_evictions: u64,
+    /// Sessions opened over the service's lifetime.
+    pub sessions_opened: u64,
+    /// Bytes currently held against the memory budget (0 when unbudgeted).
+    pub budget_used: usize,
+}
+
+struct CacheEntry {
+    compiled: Arc<CompiledQuery>,
+    last_used: u64,
+}
+
+struct Inner {
+    /// Master interner: every cached query's tag ids live here.
+    tags: TagInterner,
+    cache: HashMap<String, CacheEntry>,
+    /// Logical clock for LRU ordering.
+    tick: u64,
+}
+
+/// A shared, thread-safe query-serving runtime. See module docs.
+pub struct QueryService {
+    inner: Mutex<Inner>,
+    config: ServiceConfig,
+    budget: Option<Arc<MemoryBudget>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    sessions: AtomicU64,
+}
+
+impl QueryService {
+    /// Creates a service with the given configuration.
+    pub fn new(config: ServiceConfig) -> Self {
+        let budget = config
+            .memory_budget
+            .map(|limit| Arc::new(MemoryBudget::new(limit)));
+        QueryService {
+            inner: Mutex::new(Inner {
+                tags: TagInterner::new(),
+                cache: HashMap::new(),
+                tick: 0,
+            }),
+            config,
+            budget,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            sessions: AtomicU64::new(0),
+        }
+    }
+
+    /// Creates a service with default configuration.
+    pub fn with_defaults() -> Self {
+        Self::new(ServiceConfig::default())
+    }
+
+    /// Returns the compiled form of `query`, compiling at most once per
+    /// normalized query text (whitespace outside string literals is
+    /// insignificant in XQ).
+    pub fn get_or_compile(&self, query: &str) -> Result<Arc<CompiledQuery>, ServiceError> {
+        let key = normalize_query(query);
+        let mut inner = self.inner.lock().expect("service lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(entry) = inner.cache.get_mut(&key) {
+            entry.last_used = tick;
+            let compiled = entry.compiled.clone();
+            drop(inner);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(compiled);
+        }
+        let compiled = Arc::new(
+            compile(query, &mut inner.tags, self.config.compile).map_err(ServiceError::Compile)?,
+        );
+        inner.cache.insert(
+            key,
+            CacheEntry {
+                compiled: compiled.clone(),
+                last_used: tick,
+            },
+        );
+        while inner.cache.len() > self.config.cache_capacity.max(1) {
+            let victim = inner
+                .cache
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("nonempty cache");
+            inner.cache.remove(&victim);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        drop(inner);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        Ok(compiled)
+    }
+
+    /// Opens a push-based session evaluating `query` (compiled or cached)
+    /// over input the caller will feed incrementally.
+    pub fn open_session(&self, query: &str) -> Result<StreamSession, ServiceError> {
+        let compiled = self.get_or_compile(query)?;
+        let tags_snapshot = self.inner.lock().expect("service lock").tags.clone();
+        self.sessions.fetch_add(1, Ordering::Relaxed);
+        Ok(StreamSession::new(
+            compiled,
+            tags_snapshot,
+            SessionConfig {
+                input_queue_bytes: self.config.input_queue_bytes,
+                engine: self.config.engine,
+                budget: self.budget.clone(),
+            },
+        ))
+    }
+
+    /// Evaluates many (query, document) jobs concurrently — at most
+    /// `max_concurrency` sessions at a time — feeding each document in
+    /// `chunk_size`-byte chunks. Results come back in job order; failures
+    /// are isolated per job.
+    ///
+    /// Under a [`MemoryBudget`] the budget acts as *backpressure*, not a
+    /// failure mode: `chunk_size` is clamped so one chunk always fits the
+    /// whole budget, and a worker whose chunk is rejected drains its own
+    /// output and retries until sibling sessions release bytes.
+    pub fn run_batch(
+        &self,
+        jobs: &[BatchJob],
+        chunk_size: usize,
+    ) -> Vec<Result<SessionOutcome, ServiceError>> {
+        let mut chunk_size = chunk_size.max(1);
+        if let Some(b) = &self.budget {
+            // Never ask for a reservation that could not fit even into an
+            // idle budget; workers would fail instead of waiting.
+            chunk_size = chunk_size.min(b.limit().max(1));
+        }
+        let next = AtomicUsize::new(0);
+        let results: Vec<Mutex<Option<Result<SessionOutcome, ServiceError>>>> =
+            jobs.iter().map(|_| Mutex::new(None)).collect();
+        let workers = self.config.max_concurrency.max(1).min(jobs.len().max(1));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = jobs.get(i) else { break };
+                    let result = self.run_one(job, chunk_size);
+                    *results[i].lock().expect("result slot") = Some(result);
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot")
+                    .expect("worker filled every claimed slot")
+            })
+            .collect()
+    }
+
+    fn run_one(&self, job: &BatchJob, chunk_size: usize) -> Result<SessionOutcome, ServiceError> {
+        let mut session = self.open_session(&job.query)?;
+        let mut output = Vec::new();
+        for chunk in job.input.chunks(chunk_size) {
+            output.extend_from_slice(&session.feed_blocking(chunk)?);
+        }
+        let mut outcome = session.finish()?;
+        output.extend_from_slice(&outcome.output);
+        outcome.output = output;
+        Ok(outcome)
+    }
+
+    /// Current counter snapshot.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            cache_hits: self.hits.load(Ordering::Relaxed),
+            cache_misses: self.misses.load(Ordering::Relaxed),
+            cache_evictions: self.evictions.load(Ordering::Relaxed),
+            sessions_opened: self.sessions.load(Ordering::Relaxed),
+            budget_used: self.budget.as_ref().map_or(0, |b| b.used()),
+        }
+    }
+
+    /// Number of compiled queries currently cached.
+    pub fn cached_queries(&self) -> usize {
+        self.inner.lock().expect("service lock").cache.len()
+    }
+}
+
+/// One unit of work for [`QueryService::run_batch`].
+#[derive(Debug, Clone)]
+pub struct BatchJob {
+    /// XQ query text.
+    pub query: String,
+    /// Full input document bytes, fed to the session in chunks. Shared
+    /// (`Arc`) so the same document can back many jobs without copies.
+    pub input: Arc<[u8]>,
+    /// Label carried through to reports (file name, client id, …).
+    pub label: String,
+}
+
+/// Collapses insignificant whitespace so that reformatted copies of one
+/// query share a cache entry. Whitespace inside string literals is
+/// significant and preserved.
+pub fn normalize_query(query: &str) -> String {
+    let mut out = String::with_capacity(query.len());
+    let mut in_string: Option<char> = None;
+    let mut pending_space = false;
+    for c in query.chars() {
+        match in_string {
+            Some(q) => {
+                out.push(c);
+                if c == q {
+                    in_string = None;
+                }
+            }
+            None => {
+                if c == '"' || c == '\'' {
+                    if pending_space && !out.is_empty() {
+                        out.push(' ');
+                    }
+                    pending_space = false;
+                    out.push(c);
+                    in_string = Some(c);
+                } else if c.is_whitespace() {
+                    pending_space = true;
+                } else {
+                    if pending_space && !out.is_empty() {
+                        out.push(' ');
+                    }
+                    pending_space = false;
+                    out.push(c);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const QUERY: &str = "<r>{ for $b in /bib/book return $b/title }</r>";
+    const DOC: &str = "<bib><book><title>A</title></book><book><title>B</title></book></bib>";
+    const EXPECTED: &str = "<r><title>A</title><title>B</title></r>";
+
+    #[test]
+    fn normalization_collapses_outside_strings_only() {
+        assert_eq!(
+            normalize_query("  <r>{   for $x in /a\n  return $x }</r> "),
+            "<r>{ for $x in /a return $x }</r>"
+        );
+        let with_lit = r#"<r>{ for $x in /a return if ($x/k = "a  b") then $x else () }</r>"#;
+        assert!(normalize_query(with_lit).contains(r#""a  b""#));
+        assert_ne!(
+            normalize_query(r#"<r>{ if (/a/k = "x y") then <t/> else () }</r>"#),
+            normalize_query(r#"<r>{ if (/a/k = "x  y") then <t/> else () }</r>"#),
+        );
+    }
+
+    #[test]
+    fn cache_hit_skips_recompilation() {
+        let service = QueryService::with_defaults();
+        service.get_or_compile(QUERY).unwrap();
+        assert_eq!(service.stats().cache_misses, 1);
+        assert_eq!(service.stats().cache_hits, 0);
+        // Same query, different surface whitespace: hit.
+        service
+            .get_or_compile("<r>{ for $b in /bib/book\n   return $b/title }</r>")
+            .unwrap();
+        let stats = service.stats();
+        assert_eq!(stats.cache_misses, 1, "no recompilation");
+        assert_eq!(stats.cache_hits, 1);
+    }
+
+    #[test]
+    fn eviction_respects_capacity() {
+        let service = QueryService::new(ServiceConfig {
+            cache_capacity: 2,
+            ..Default::default()
+        });
+        let q = |tag: &str| format!("<r>{{ for $x in /{tag} return $x }}</r>");
+        service.get_or_compile(&q("a")).unwrap();
+        service.get_or_compile(&q("b")).unwrap();
+        service.get_or_compile(&q("a")).unwrap(); // refresh a
+        service.get_or_compile(&q("c")).unwrap(); // evicts b (LRU)
+        assert_eq!(service.cached_queries(), 2);
+        assert_eq!(service.stats().cache_evictions, 1);
+        service.get_or_compile(&q("a")).unwrap();
+        assert_eq!(service.stats().cache_misses, 3, "a still cached");
+        service.get_or_compile(&q("b")).unwrap();
+        assert_eq!(service.stats().cache_misses, 4, "b was evicted");
+    }
+
+    #[test]
+    fn concurrent_sessions_share_one_cached_query() {
+        let service = QueryService::with_defaults();
+        let jobs: Vec<BatchJob> = (0..2)
+            .map(|i| BatchJob {
+                query: QUERY.to_string(),
+                input: DOC.as_bytes().into(),
+                label: format!("job{i}"),
+            })
+            .collect();
+        let results = service.run_batch(&jobs, 7);
+        for r in results {
+            let outcome = r.unwrap();
+            assert_eq!(String::from_utf8(outcome.output).unwrap(), EXPECTED);
+        }
+        let stats = service.stats();
+        assert_eq!(stats.cache_misses, 1);
+        assert!(stats.cache_hits >= 1, "second session hits the cache");
+        assert_eq!(stats.sessions_opened, 2);
+    }
+
+    #[test]
+    fn compile_errors_surface_and_do_not_poison() {
+        let service = QueryService::with_defaults();
+        assert!(matches!(
+            service.get_or_compile("<r>{ $undefined }</r>"),
+            Err(ServiceError::Compile(_))
+        ));
+        // The service still works afterwards.
+        let ok = service.get_or_compile(QUERY);
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn batch_isolates_failures() {
+        let service = QueryService::with_defaults();
+        let jobs = vec![
+            BatchJob {
+                query: QUERY.to_string(),
+                input: DOC.as_bytes().into(),
+                label: "good".into(),
+            },
+            BatchJob {
+                query: QUERY.to_string(),
+                input: b"<bib><book></bib>"[..].into(), // malformed
+                label: "bad".into(),
+            },
+            BatchJob {
+                query: QUERY.to_string(),
+                input: DOC.as_bytes().into(),
+                label: "also-good".into(),
+            },
+        ];
+        let results = service.run_batch(&jobs, 5);
+        assert_eq!(
+            String::from_utf8(results[0].as_ref().unwrap().output.clone()).unwrap(),
+            EXPECTED
+        );
+        assert!(results[1].is_err(), "malformed stream fails its own job");
+        assert_eq!(
+            String::from_utf8(results[2].as_ref().unwrap().output.clone()).unwrap(),
+            EXPECTED
+        );
+    }
+
+    #[test]
+    fn tiny_budget_is_backpressure_not_failure() {
+        // A budget far smaller than the combined inputs (and smaller than
+        // the requested chunk size) must slow the batch down, not fail it.
+        let service = QueryService::new(ServiceConfig {
+            memory_budget: Some(48),
+            max_concurrency: 8,
+            ..Default::default()
+        });
+        let jobs: Vec<BatchJob> = (0..6)
+            .map(|i| BatchJob {
+                query: QUERY.to_string(),
+                input: DOC.as_bytes().into(),
+                label: format!("j{i}"),
+            })
+            .collect();
+        for r in service.run_batch(&jobs, 64) {
+            let outcome = r.expect("budget waits instead of failing");
+            assert_eq!(String::from_utf8(outcome.output).unwrap(), EXPECTED);
+        }
+        assert_eq!(service.stats().budget_used, 0);
+    }
+
+    #[test]
+    fn zero_budget_fails_fast_instead_of_hanging() {
+        // A budget that can never admit a byte must error, not livelock.
+        let service = QueryService::new(ServiceConfig {
+            memory_budget: Some(0),
+            ..Default::default()
+        });
+        let jobs = vec![BatchJob {
+            query: QUERY.to_string(),
+            input: DOC.as_bytes().into(),
+            label: "doomed".into(),
+        }];
+        let results = service.run_batch(&jobs, 64);
+        assert!(
+            matches!(results[0], Err(ServiceError::BudgetExceeded { .. })),
+            "got {:?}",
+            results[0].as_ref().err().map(|e| e.to_string())
+        );
+    }
+
+    #[test]
+    fn budgeted_service_returns_all_bytes() {
+        let service = QueryService::new(ServiceConfig {
+            memory_budget: Some(1 << 20),
+            ..Default::default()
+        });
+        let jobs: Vec<BatchJob> = (0..4)
+            .map(|i| BatchJob {
+                query: QUERY.to_string(),
+                input: DOC.as_bytes().into(),
+                label: format!("j{i}"),
+            })
+            .collect();
+        for r in service.run_batch(&jobs, 3) {
+            r.unwrap();
+        }
+        assert_eq!(service.stats().budget_used, 0, "budget fully reclaimed");
+    }
+}

@@ -1,0 +1,585 @@
+//! Push-based streaming sessions over the pull-based GCX engine.
+//!
+//! The engine ([`GcxEngine`]) is a *pull* evaluator: it blocks on a
+//! [`std::io::Read`] whenever query evaluation needs more input. A
+//! network service sees the opposite shape — bytes arrive in arbitrary
+//! chunks, and callers cannot be blocked while the evaluator thinks. A
+//! [`StreamSession`] inverts the control flow:
+//!
+//! ```text
+//!   caller thread                        evaluator thread
+//!   ─────────────                        ────────────────
+//!   feed(chunk) ──► bounded chunk queue ──► ChunkReader::read
+//!                                            │ (GcxEngine pulls)
+//!   feed/drain ◄── shared output buffer ◄── SessionWriter::write
+//!   finish()   ──► close + join         ──► RunReport (BufferStats)
+//! ```
+//!
+//! The evaluator runs on a dedicated thread; the chunk queue applies
+//! backpressure (`feed` blocks once `input_queue_bytes` are pending), and
+//! output bytes are handed back incrementally — each `feed`/`drain`
+//! returns everything the engine has emitted so far, which the engine
+//! produces as early as the stream permits (the GCX property). Errors are
+//! isolated per session: a malformed stream kills this session's
+//! evaluator and surfaces on the next call, nothing else.
+//!
+//! ## Session state machine
+//!
+//! `feed* → (drain | feed)* → finish` — or `cancel` at any point.
+//! Dropping an unfinished session cancels it implicitly.
+
+use crate::budget::MemoryBudget;
+use crate::ServiceError;
+use gcx_core::{CancelFlag, EngineOptions, GcxEngine, RunReport};
+use gcx_query::CompiledQuery;
+use gcx_xml::TagInterner;
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+/// Session tuning knobs.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Maximum bytes of fed-but-unconsumed input queued per session;
+    /// `feed` blocks (backpressure) once the queue is full. A single
+    /// chunk larger than the bound is admitted alone rather than
+    /// deadlocking.
+    pub input_queue_bytes: usize,
+    /// Engine strategy (GC on by default), including the lexer options
+    /// for the input stream (`engine.lexer`).
+    pub engine: EngineOptions,
+    /// Optional global budget shared with sibling sessions; `feed` fails
+    /// with [`ServiceError::BudgetExceeded`] instead of queueing past it.
+    pub budget: Option<Arc<MemoryBudget>>,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            input_queue_bytes: 256 * 1024,
+            engine: EngineOptions::default(),
+            budget: None,
+        }
+    }
+}
+
+/// Everything a finished session hands back.
+#[derive(Debug, Clone)]
+pub struct SessionOutcome {
+    /// Output bytes not yet drained by earlier `feed`/`drain` calls.
+    pub output: Vec<u8>,
+    /// The engine's run report: per-session [`gcx_buffer::BufferStats`],
+    /// timing, token counts, role accounting.
+    pub report: RunReport,
+}
+
+struct State {
+    /// Fed chunks not yet consumed by the evaluator; the front chunk may
+    /// be partially consumed (`head_offset` bytes already read).
+    input: VecDeque<Vec<u8>>,
+    head_offset: usize,
+    /// Total unconsumed input bytes (budget-accounted).
+    input_bytes: usize,
+    /// No more input will arrive (`finish` called).
+    closed: bool,
+    /// Abort requested.
+    cancelled: bool,
+    /// Engine output not yet handed to the caller (budget-accounted).
+    output: Vec<u8>,
+    /// Set exactly once when the evaluator ends.
+    done: Option<Result<RunReport, String>>,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signaled when input arrives or the session closes/cancels.
+    data_available: Condvar,
+    /// Signaled when the evaluator consumes input or terminates.
+    space_available: Condvar,
+}
+
+impl Shared {
+    fn lock(&self) -> MutexGuard<'_, State> {
+        // A poisoned mutex means the evaluator panicked mid-update; the
+        // session is already being torn down (DoneGuard), so keep serving
+        // the caller rather than propagating the panic.
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn set_done(&self, result: Result<RunReport, String>) {
+        let mut st = self.lock();
+        if st.done.is_none() {
+            st.done = Some(result);
+        }
+        self.data_available.notify_all();
+        self.space_available.notify_all();
+    }
+}
+
+/// Marks the session done even if the evaluator thread panics.
+struct DoneGuard(Arc<Shared>);
+
+impl Drop for DoneGuard {
+    fn drop(&mut self) {
+        self.0
+            .set_done(Err("evaluator thread panicked".to_string()));
+    }
+}
+
+/// The evaluator-side `Read`: pops fed chunks, blocking until data,
+/// close, or cancellation.
+struct ChunkReader {
+    shared: Arc<Shared>,
+    budget: Option<Arc<MemoryBudget>>,
+}
+
+impl Read for ChunkReader {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let mut st = self.shared.lock();
+        loop {
+            if st.cancelled {
+                return Err(io::Error::other("session cancelled"));
+            }
+            if let Some(chunk) = st.input.front() {
+                let chunk_len = chunk.len();
+                let avail = &chunk[st.head_offset..];
+                let n = avail.len().min(buf.len());
+                buf[..n].copy_from_slice(&avail[..n]);
+                st.head_offset += n;
+                if st.head_offset == chunk_len {
+                    st.input.pop_front();
+                    st.head_offset = 0;
+                }
+                st.input_bytes -= n;
+                if let Some(b) = &self.budget {
+                    b.release(n);
+                }
+                self.shared.space_available.notify_all();
+                return Ok(n);
+            }
+            if st.closed {
+                return Ok(0);
+            }
+            st = self
+                .shared
+                .data_available
+                .wait(st)
+                .unwrap_or_else(|p| p.into_inner());
+        }
+    }
+}
+
+/// The evaluator-side `Write`: appends to the shared output buffer the
+/// moment the engine emits, so callers see results incrementally.
+struct SessionWriter {
+    shared: Arc<Shared>,
+    budget: Option<Arc<MemoryBudget>>,
+}
+
+impl Write for SessionWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let mut st = self.shared.lock();
+        st.output.extend_from_slice(buf);
+        if let Some(b) = &self.budget {
+            // Soft accounting: an engine mid-emit cannot fail cleanly, so
+            // output may transiently overshoot until the caller drains.
+            b.force_reserve(buf.len());
+        }
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// A push-driven evaluation of one compiled query over one input stream.
+/// See the module docs for the control-flow picture.
+pub struct StreamSession {
+    shared: Arc<Shared>,
+    cancel: CancelFlag,
+    handle: Option<JoinHandle<()>>,
+    input_queue_bytes: usize,
+    budget: Option<Arc<MemoryBudget>>,
+}
+
+impl StreamSession {
+    /// Spawns the evaluator thread for `compiled` over a fresh chunk
+    /// queue. `tags` must be (a clone of) the interner the query was
+    /// compiled against — [`crate::QueryService`] hands out matching
+    /// snapshots; tags the document adds on top stay session-local.
+    pub fn new(compiled: Arc<CompiledQuery>, tags: TagInterner, config: SessionConfig) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                input: VecDeque::new(),
+                head_offset: 0,
+                input_bytes: 0,
+                closed: false,
+                cancelled: false,
+                output: Vec::new(),
+                done: None,
+            }),
+            data_available: Condvar::new(),
+            space_available: Condvar::new(),
+        });
+        let cancel = CancelFlag::new();
+        let budget = config.budget.clone();
+        let handle = {
+            let shared = shared.clone();
+            let budget = budget.clone();
+            let cancel = cancel.clone();
+            let engine_opts = config.engine;
+            std::thread::spawn(move || {
+                let guard = DoneGuard(shared.clone());
+                let mut tags = tags;
+                let reader = ChunkReader {
+                    shared: shared.clone(),
+                    budget: budget.clone(),
+                };
+                let writer = SessionWriter {
+                    shared: shared.clone(),
+                    budget,
+                };
+                let mut engine = GcxEngine::new(&compiled, &mut tags, reader, writer, engine_opts);
+                engine.set_cancel_flag(cancel);
+                let result = engine.run().map_err(|e| e.to_string());
+                shared.set_done(result);
+                drop(guard);
+            })
+        };
+        StreamSession {
+            shared,
+            cancel,
+            handle: Some(handle),
+            input_queue_bytes: config.input_queue_bytes,
+            budget,
+        }
+    }
+
+    /// Pushes one input chunk and returns every output byte produced so
+    /// far. Blocks while the input queue is full (backpressure). Chunks
+    /// fed after the evaluator already completed are discarded, matching
+    /// one-shot semantics (the pull engine never reads past the data it
+    /// needs). Returns the session's error if evaluation has failed.
+    pub fn feed(&mut self, chunk: &[u8]) -> Result<Vec<u8>, ServiceError> {
+        let mut st = self.shared.lock();
+        loop {
+            if let Some(done) = &st.done {
+                if let Err(msg) = done {
+                    return Err(ServiceError::Session(msg.clone()));
+                }
+                break; // completed: drop the chunk, hand back output
+            }
+            if chunk.is_empty() {
+                break;
+            }
+            // Admit when there is room — or the queue is empty (a single
+            // oversized chunk must not deadlock).
+            if st.input_bytes == 0 || st.input_bytes + chunk.len() <= self.input_queue_bytes {
+                if let Some(b) = &self.budget {
+                    if !b.try_reserve(chunk.len()) {
+                        let out = Self::take_output(&mut st, &self.budget);
+                        drop(st);
+                        return Err(ServiceError::BudgetExceeded {
+                            requested: chunk.len(),
+                            used: b.used(),
+                            limit: b.limit(),
+                            drained: out,
+                        });
+                    }
+                }
+                st.input_bytes += chunk.len();
+                st.input.push_back(chunk.to_vec());
+                self.shared.data_available.notify_all();
+                break;
+            }
+            st = self
+                .shared
+                .space_available
+                .wait(st)
+                .unwrap_or_else(|p| p.into_inner());
+        }
+        Ok(Self::take_output(&mut st, &self.budget))
+    }
+
+    /// As [`feed`](Self::feed), but treats a budget rejection as
+    /// *backpressure*: the budget drains as sibling evaluators consume
+    /// queued input and callers drain output, so this waits and retries
+    /// until the chunk fits. A chunk that can **never** fit (larger than
+    /// the entire budget) fails immediately instead of livelocking;
+    /// callers who want bounded waits should size their chunks at or
+    /// below the budget limit.
+    pub fn feed_blocking(&mut self, chunk: &[u8]) -> Result<Vec<u8>, ServiceError> {
+        let mut output = Vec::new();
+        loop {
+            match self.feed(chunk) {
+                Ok(out) => {
+                    output.extend_from_slice(&out);
+                    return Ok(output);
+                }
+                Err(ServiceError::BudgetExceeded {
+                    requested,
+                    used,
+                    limit,
+                    drained,
+                }) => {
+                    output.extend_from_slice(&drained);
+                    if requested > limit {
+                        return Err(ServiceError::BudgetExceeded {
+                            requested,
+                            used,
+                            limit,
+                            drained: output,
+                        });
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Takes the output produced so far without feeding anything.
+    pub fn drain(&mut self) -> Vec<u8> {
+        let mut st = self.shared.lock();
+        Self::take_output(&mut st, &self.budget)
+    }
+
+    /// True once the evaluator has terminated (successfully or not).
+    pub fn is_finished(&self) -> bool {
+        self.shared.lock().done.is_some()
+    }
+
+    /// Signals end of input, waits for the evaluator to complete, and
+    /// returns the remaining output together with the run report (which
+    /// carries this session's `BufferStats`).
+    pub fn finish(mut self) -> Result<SessionOutcome, ServiceError> {
+        {
+            let mut st = self.shared.lock();
+            st.closed = true;
+            self.shared.data_available.notify_all();
+        }
+        self.join_evaluator();
+        let mut st = self.shared.lock();
+        let output = Self::take_output(&mut st, &self.budget);
+        Self::release_input(&mut st, &self.budget);
+        let done = st
+            .done
+            .take()
+            .unwrap_or_else(|| Err("evaluator terminated without a result (bug)".to_string()));
+        drop(st);
+        match done {
+            Ok(report) => Ok(SessionOutcome { output, report }),
+            Err(msg) => Err(ServiceError::Session(msg)),
+        }
+    }
+
+    /// Aborts the session: cancels the engine cooperatively, unblocks the
+    /// evaluator, and reclaims all budgeted bytes.
+    pub fn cancel(mut self) {
+        self.cancel_inner();
+    }
+
+    fn cancel_inner(&mut self) {
+        self.cancel.cancel();
+        {
+            let mut st = self.shared.lock();
+            st.cancelled = true;
+            st.closed = true;
+            self.shared.data_available.notify_all();
+            self.shared.space_available.notify_all();
+        }
+        self.join_evaluator();
+        let mut st = self.shared.lock();
+        let _ = Self::take_output(&mut st, &self.budget);
+        Self::release_input(&mut st, &self.budget);
+    }
+
+    fn join_evaluator(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            // A panicking evaluator already set `done` via DoneGuard.
+            let _ = handle.join();
+        }
+    }
+
+    fn take_output(st: &mut State, budget: &Option<Arc<MemoryBudget>>) -> Vec<u8> {
+        let out = std::mem::take(&mut st.output);
+        if let Some(b) = budget {
+            b.release(out.len());
+        }
+        out
+    }
+
+    fn release_input(st: &mut State, budget: &Option<Arc<MemoryBudget>>) {
+        if let Some(b) = budget {
+            b.release(st.input_bytes);
+        }
+        st.input.clear();
+        st.head_offset = 0;
+        st.input_bytes = 0;
+    }
+}
+
+impl Drop for StreamSession {
+    fn drop(&mut self) {
+        if self.handle.is_some() {
+            self.cancel_inner();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcx_query::compile_default;
+
+    fn compile(query: &str) -> (Arc<CompiledQuery>, TagInterner) {
+        let mut tags = TagInterner::new();
+        let compiled = compile_default(query, &mut tags).expect("compile");
+        (Arc::new(compiled), tags)
+    }
+
+    const QUERY: &str = "<r>{ for $b in /bib/book return $b/title }</r>";
+    const DOC: &str = "<bib><book><title>A</title></book><book><title>B</title></book></bib>";
+
+    #[test]
+    fn one_chunk_session_matches_one_shot() {
+        let (compiled, tags) = compile(QUERY);
+        let mut session = StreamSession::new(compiled, tags, SessionConfig::default());
+        let mut out = session.feed(DOC.as_bytes()).unwrap();
+        let outcome = session.finish().unwrap();
+        out.extend_from_slice(&outcome.output);
+        assert_eq!(
+            String::from_utf8(out).unwrap(),
+            "<r><title>A</title><title>B</title></r>"
+        );
+        assert_eq!(outcome.report.safety, Some(true));
+        assert!(outcome.report.stats.peak_nodes > 0);
+    }
+
+    #[test]
+    fn byte_at_a_time_feeding() {
+        let (compiled, tags) = compile(QUERY);
+        let mut session = StreamSession::new(compiled, tags, SessionConfig::default());
+        let mut out = Vec::new();
+        for b in DOC.as_bytes() {
+            out.extend_from_slice(&session.feed(std::slice::from_ref(b)).unwrap());
+        }
+        let outcome = session.finish().unwrap();
+        out.extend_from_slice(&outcome.output);
+        assert_eq!(
+            String::from_utf8(out).unwrap(),
+            "<r><title>A</title><title>B</title></r>"
+        );
+    }
+
+    #[test]
+    fn output_arrives_incrementally() {
+        // After the first book's subtree closes, its title is safely
+        // emittable; the session must not sit on it until finish().
+        let (compiled, tags) = compile(QUERY);
+        let mut session = StreamSession::new(compiled, tags, SessionConfig::default());
+        let early = "<bib><book><title>A</title></book>";
+        let mut got = session.feed(early.as_bytes()).unwrap();
+        // The evaluator runs asynchronously; poll briefly for the bytes.
+        for _ in 0..200 {
+            if String::from_utf8_lossy(&got).contains("<title>A</title>") {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            got.extend_from_slice(&session.drain());
+        }
+        assert!(
+            String::from_utf8_lossy(&got).contains("<title>A</title>"),
+            "first result should be emitted before end of input, got {:?}",
+            String::from_utf8_lossy(&got)
+        );
+        let rest = "<book><title>B</title></book></bib>";
+        let mut out = got;
+        out.extend_from_slice(&session.feed(rest.as_bytes()).unwrap());
+        out.extend_from_slice(&session.finish().unwrap().output);
+        assert_eq!(
+            String::from_utf8(out).unwrap(),
+            "<r><title>A</title><title>B</title></r>"
+        );
+    }
+
+    #[test]
+    fn malformed_stream_errors_cleanly() {
+        let (compiled, tags) = compile(QUERY);
+        let mut session = StreamSession::new(compiled, tags, SessionConfig::default());
+        let _ = session.feed(b"<bib><book></bib>").unwrap();
+        let err = session.finish().unwrap_err();
+        assert!(matches!(err, ServiceError::Session(_)), "got {err}");
+    }
+
+    #[test]
+    fn error_is_sticky_on_feed() {
+        let (compiled, tags) = compile(QUERY);
+        let mut session = StreamSession::new(compiled, tags, SessionConfig::default());
+        let _ = session.feed(b"</nope>").unwrap();
+        // Wait for the evaluator to hit the error.
+        for _ in 0..200 {
+            if session.is_finished() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert!(session.feed(b"<more/>").is_err());
+    }
+
+    #[test]
+    fn cancel_unblocks_and_reclaims_budget() {
+        let budget = Arc::new(MemoryBudget::new(1 << 20));
+        let (compiled, tags) = compile(QUERY);
+        let config = SessionConfig {
+            budget: Some(budget.clone()),
+            ..Default::default()
+        };
+        let mut session = StreamSession::new(compiled, tags, config);
+        let _ = session.feed(b"<bib><book>").unwrap();
+        session.cancel();
+        assert_eq!(budget.used(), 0, "all bytes returned to the budget");
+    }
+
+    #[test]
+    fn drop_without_finish_does_not_hang() {
+        let (compiled, tags) = compile(QUERY);
+        let mut session = StreamSession::new(compiled, tags, SessionConfig::default());
+        let _ = session.feed(b"<bib>").unwrap();
+        drop(session); // must join the evaluator, not leak it blocked
+    }
+
+    #[test]
+    fn budget_exceeded_surfaces() {
+        let budget = Arc::new(MemoryBudget::new(4));
+        let (compiled, tags) = compile(QUERY);
+        let config = SessionConfig {
+            budget: Some(budget.clone()),
+            ..Default::default()
+        };
+        let mut session = StreamSession::new(compiled, tags, config);
+        let err = session.feed(b"<bib><book><title>A</title>").unwrap_err();
+        assert!(matches!(err, ServiceError::BudgetExceeded { .. }), "{err}");
+    }
+
+    #[test]
+    fn oversized_single_chunk_admitted_alone() {
+        let (compiled, tags) = compile(QUERY);
+        let config = SessionConfig {
+            input_queue_bytes: 4, // far smaller than the document
+            ..Default::default()
+        };
+        let mut session = StreamSession::new(compiled, tags, config);
+        let mut out = session.feed(DOC.as_bytes()).unwrap();
+        out.extend_from_slice(&session.finish().unwrap().output);
+        assert_eq!(
+            String::from_utf8(out).unwrap(),
+            "<r><title>A</title><title>B</title></r>"
+        );
+    }
+}

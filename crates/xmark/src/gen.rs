@@ -304,10 +304,18 @@ impl<W: Write> Gen<W> {
                 self.leaf("education", "Graduate School")?;
             }
             if self.rng.random_bool(0.5) {
-                let g = if self.rng.random_bool(0.5) { "male" } else { "female" };
+                let g = if self.rng.random_bool(0.5) {
+                    "male"
+                } else {
+                    "female"
+                };
                 self.leaf("gender", g)?;
             }
-            let b = if self.rng.random_bool(0.5) { "Yes" } else { "No" };
+            let b = if self.rng.random_bool(0.5) {
+                "Yes"
+            } else {
+                "No"
+            };
             self.leaf("business", b)?;
             if self.rng.random_bool(0.6) {
                 let age = self.rng.random_range(18..80).to_string();
@@ -372,7 +380,11 @@ impl<W: Write> Gen<W> {
             self.close("annotation")?;
             let q = self.rng.random_range(1..=5).to_string();
             self.leaf("quantity", &q)?;
-            let ty = if self.rng.random_bool(0.5) { "Regular" } else { "Featured" };
+            let ty = if self.rng.random_bool(0.5) {
+                "Regular"
+            } else {
+                "Featured"
+            };
             self.leaf("type", ty)?;
             self.open("interval")?;
             let st = self.date();
@@ -407,7 +419,11 @@ impl<W: Write> Gen<W> {
             self.leaf("date", &d)?;
             let q = self.rng.random_range(1..=5).to_string();
             self.leaf("quantity", &q)?;
-            let ty = if self.rng.random_bool(0.5) { "Regular" } else { "Featured" };
+            let ty = if self.rng.random_bool(0.5) {
+                "Regular"
+            } else {
+                "Featured"
+            };
             self.leaf("type", ty)?;
             self.open("annotation")?;
             let a = self.rng.random_range(0..self.persons);
@@ -460,7 +476,13 @@ mod tests {
             .collect();
         assert_eq!(
             sections,
-            vec!["regions", "categories", "people", "open_auctions", "closed_auctions"]
+            vec![
+                "regions",
+                "categories",
+                "people",
+                "open_auctions",
+                "closed_auctions"
+            ]
         );
     }
 
@@ -526,7 +548,10 @@ mod tests {
             seed: 2,
             scale: 0.05,
         });
-        assert!(!xml.contains('='), "attribute-free output (paper adaptation)");
+        assert!(
+            !xml.contains('='),
+            "attribute-free output (paper adaptation)"
+        );
     }
 
     #[test]

@@ -4,49 +4,216 @@
 /// Filler words for text content (a Shakespeare-flavored sample, as in the
 /// original XMark generator).
 pub const WORDS: &[&str] = &[
-    "officer", "embrace", "such", "fears", "distinction", "proud", "nest", "flatter", "hour",
-    "holds", "speak", "petty", "honour", "souls", "purse", "slave", "perjury", "sovereign",
-    "deceit", "sword", "present", "majesty", "haste", "protest", "crown", "remorse", "entreat",
-    "gentle", "whisper", "traitor", "virtue", "gracious", "banish", "sorrow", "tyrant", "council",
-    "herald", "garden", "exile", "fortune", "quarrel", "mirth", "pledge", "scorn", "lament",
-    "plague", "summon", "throne", "vassal", "yield", "zeal", "ambush", "beacon", "candle",
-    "dagger", "ember", "falcon", "gallant", "harbor", "ivory", "jester", "kindle", "lantern",
-    "meadow", "noble", "oath", "parley", "quill", "rampart", "sentry", "tempest", "usurp",
-    "valor", "wager", "crest", "shield", "banner", "march", "siege", "treaty",
+    "officer",
+    "embrace",
+    "such",
+    "fears",
+    "distinction",
+    "proud",
+    "nest",
+    "flatter",
+    "hour",
+    "holds",
+    "speak",
+    "petty",
+    "honour",
+    "souls",
+    "purse",
+    "slave",
+    "perjury",
+    "sovereign",
+    "deceit",
+    "sword",
+    "present",
+    "majesty",
+    "haste",
+    "protest",
+    "crown",
+    "remorse",
+    "entreat",
+    "gentle",
+    "whisper",
+    "traitor",
+    "virtue",
+    "gracious",
+    "banish",
+    "sorrow",
+    "tyrant",
+    "council",
+    "herald",
+    "garden",
+    "exile",
+    "fortune",
+    "quarrel",
+    "mirth",
+    "pledge",
+    "scorn",
+    "lament",
+    "plague",
+    "summon",
+    "throne",
+    "vassal",
+    "yield",
+    "zeal",
+    "ambush",
+    "beacon",
+    "candle",
+    "dagger",
+    "ember",
+    "falcon",
+    "gallant",
+    "harbor",
+    "ivory",
+    "jester",
+    "kindle",
+    "lantern",
+    "meadow",
+    "noble",
+    "oath",
+    "parley",
+    "quill",
+    "rampart",
+    "sentry",
+    "tempest",
+    "usurp",
+    "valor",
+    "wager",
+    "crest",
+    "shield",
+    "banner",
+    "march",
+    "siege",
+    "treaty",
 ];
 
 /// First names for persons.
 pub const FIRST_NAMES: &[&str] = &[
-    "Magdalena", "Reinhold", "Yukiko", "Amit", "Benedikt", "Carla", "Dmitri", "Eileen", "Farid",
-    "Greta", "Hiro", "Ingrid", "Jorge", "Katrin", "Luis", "Mira", "Nils", "Olga", "Pavel",
-    "Quentin", "Rosa", "Stefan", "Tamar", "Umberto", "Vera", "Wolfgang", "Xenia", "Yann", "Zoe",
-    "Anand", "Bettina", "Cosimo",
+    "Magdalena",
+    "Reinhold",
+    "Yukiko",
+    "Amit",
+    "Benedikt",
+    "Carla",
+    "Dmitri",
+    "Eileen",
+    "Farid",
+    "Greta",
+    "Hiro",
+    "Ingrid",
+    "Jorge",
+    "Katrin",
+    "Luis",
+    "Mira",
+    "Nils",
+    "Olga",
+    "Pavel",
+    "Quentin",
+    "Rosa",
+    "Stefan",
+    "Tamar",
+    "Umberto",
+    "Vera",
+    "Wolfgang",
+    "Xenia",
+    "Yann",
+    "Zoe",
+    "Anand",
+    "Bettina",
+    "Cosimo",
 ];
 
 /// Last names for persons.
 pub const LAST_NAMES: &[&str] = &[
-    "Schmidt", "Scherzinger", "Koch", "Okafor", "Tanaka", "Novak", "Rossi", "Dubois", "Kovacs",
-    "Silva", "Jensen", "Petrov", "Garcia", "Muller", "Lindgren", "Moreau", "Haddad", "Olsen",
-    "Weber", "Costa", "Bauer", "Fischer", "Keller", "Vogel", "Brandt", "Sato", "Yamada",
-    "Johansson", "Andersen", "Virtanen",
+    "Schmidt",
+    "Scherzinger",
+    "Koch",
+    "Okafor",
+    "Tanaka",
+    "Novak",
+    "Rossi",
+    "Dubois",
+    "Kovacs",
+    "Silva",
+    "Jensen",
+    "Petrov",
+    "Garcia",
+    "Muller",
+    "Lindgren",
+    "Moreau",
+    "Haddad",
+    "Olsen",
+    "Weber",
+    "Costa",
+    "Bauer",
+    "Fischer",
+    "Keller",
+    "Vogel",
+    "Brandt",
+    "Sato",
+    "Yamada",
+    "Johansson",
+    "Andersen",
+    "Virtanen",
 ];
 
 /// Countries for addresses.
 pub const COUNTRIES: &[&str] = &[
-    "Germany", "Japan", "Brazil", "Canada", "Kenya", "Norway", "India", "France", "Chile",
-    "Austria", "Finland", "Portugal", "Vietnam", "Morocco", "Iceland", "United States",
+    "Germany",
+    "Japan",
+    "Brazil",
+    "Canada",
+    "Kenya",
+    "Norway",
+    "India",
+    "France",
+    "Chile",
+    "Austria",
+    "Finland",
+    "Portugal",
+    "Vietnam",
+    "Morocco",
+    "Iceland",
+    "United States",
 ];
 
 /// Cities for addresses.
 pub const CITIES: &[&str] = &[
-    "Saarbruecken", "Kyoto", "Porto", "Helsinki", "Nairobi", "Montreal", "Valparaiso", "Graz",
-    "Bergen", "Pune", "Lyon", "Rabat", "Hanoi", "Reykjavik", "Dresden", "Tampere",
+    "Saarbruecken",
+    "Kyoto",
+    "Porto",
+    "Helsinki",
+    "Nairobi",
+    "Montreal",
+    "Valparaiso",
+    "Graz",
+    "Bergen",
+    "Pune",
+    "Lyon",
+    "Rabat",
+    "Hanoi",
+    "Reykjavik",
+    "Dresden",
+    "Tampere",
 ];
 
 /// Category name fragments.
 pub const CATEGORY_THEMES: &[&str] = &[
-    "antiques", "books", "cameras", "coins", "computers", "dolls", "garden", "instruments",
-    "jewelry", "maps", "pottery", "stamps", "tools", "toys", "watches", "wines",
+    "antiques",
+    "books",
+    "cameras",
+    "coins",
+    "computers",
+    "dolls",
+    "garden",
+    "instruments",
+    "jewelry",
+    "maps",
+    "pottery",
+    "stamps",
+    "tools",
+    "toys",
+    "watches",
+    "wines",
 ];
 
 /// The six XMark continents, in document order.
@@ -65,7 +232,15 @@ mod tests {
 
     #[test]
     fn vocab_nonempty_and_unique() {
-        for list in [WORDS, FIRST_NAMES, LAST_NAMES, COUNTRIES, CITIES, CATEGORY_THEMES, REGIONS] {
+        for list in [
+            WORDS,
+            FIRST_NAMES,
+            LAST_NAMES,
+            COUNTRIES,
+            CITIES,
+            CATEGORY_THEMES,
+            REGIONS,
+        ] {
             assert!(!list.is_empty());
             let mut sorted: Vec<_> = list.to_vec();
             sorted.sort_unstable();

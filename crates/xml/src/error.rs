@@ -35,7 +35,10 @@ impl fmt::Display for XmlError {
         match self {
             XmlError::Io(e) => write!(f, "I/O error: {e}"),
             XmlError::UnexpectedEof { offset, context } => {
-                write!(f, "unexpected end of input at byte {offset} while reading {context}")
+                write!(
+                    f,
+                    "unexpected end of input at byte {offset} while reading {context}"
+                )
             }
             XmlError::MismatchedClose {
                 offset,
@@ -46,10 +49,16 @@ impl fmt::Display for XmlError {
                 "mismatched closing tag </{found}> at byte {offset}, expected </{expected}>"
             ),
             XmlError::UnbalancedClose { offset, tag } => {
-                write!(f, "closing tag </{tag}> at byte {offset} with no open element")
+                write!(
+                    f,
+                    "closing tag </{tag}> at byte {offset} with no open element"
+                )
             }
             XmlError::UnclosedElements { offset, open } => {
-                write!(f, "input ended at byte {offset} with {open} unclosed element(s)")
+                write!(
+                    f,
+                    "input ended at byte {offset} with {open} unclosed element(s)"
+                )
             }
             XmlError::Malformed { offset, detail } => {
                 write!(f, "malformed XML at byte {offset}: {detail}")

@@ -474,7 +474,8 @@ impl<'t, R: Read> XmlLexer<'t, R> {
                 if b == b'&' {
                     let c = self.read_entity()?;
                     let mut enc = [0u8; 4];
-                    self.text.extend_from_slice(c.encode_utf8(&mut enc).as_bytes());
+                    self.text
+                        .extend_from_slice(c.encode_utf8(&mut enc).as_bytes());
                 } else {
                     self.text.push(b);
                 }
@@ -656,8 +657,15 @@ mod tests {
         assert_eq!(
             lex("<item id=\"i1\" featured=\"yes\">text</item>"),
             vec![
-                "<item>", "<id>", "\"i1\"", "</id>", "<featured>", "\"yes\"", "</featured>",
-                "\"text\"", "</item>"
+                "<item>",
+                "<id>",
+                "\"i1\"",
+                "</id>",
+                "<featured>",
+                "\"yes\"",
+                "</featured>",
+                "\"text\"",
+                "</item>"
             ]
         );
     }
@@ -690,10 +698,7 @@ mod tests {
 
     #[test]
     fn whitespace_only_dropped_by_default() {
-        assert_eq!(
-            lex("<a>\n  <b/>\n</a>"),
-            vec!["<a>", "<b>", "</b>", "</a>"]
-        );
+        assert_eq!(lex("<a>\n  <b/>\n</a>"), vec!["<a>", "<b>", "</b>", "</a>"]);
     }
 
     #[test]
@@ -807,6 +812,85 @@ mod tests {
         assert!(lexer.document_done());
     }
 
+    /// A reader that yields at most `chunk` bytes per `read` call,
+    /// simulating network arrival with splits at arbitrary points —
+    /// including mid-tag, mid-entity, mid-CDATA and inside multi-byte
+    /// UTF-8 sequences.
+    struct ChunkedReader<'a> {
+        data: &'a [u8],
+        chunk: usize,
+    }
+
+    impl Read for ChunkedReader<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            let n = self.data.len().min(self.chunk).min(buf.len());
+            buf[..n].copy_from_slice(&self.data[..n]);
+            self.data = &self.data[n..];
+            Ok(n)
+        }
+    }
+
+    fn lex_chunked(input: &str, chunk: usize) -> Vec<String> {
+        let mut tags = TagInterner::new();
+        let reader = ChunkedReader {
+            data: input.as_bytes(),
+            chunk,
+        };
+        let mut lexer = XmlLexer::new(reader, &mut tags);
+        let tokens = lexer.tokenize_all().expect("lex ok");
+        tokens
+            .iter()
+            .map(|t| t.display(lexer.tags()).to_string())
+            .collect()
+    }
+
+    /// Chunk boundaries anywhere — even inside tokens — never change the
+    /// token stream. This is the property the push-based session runtime
+    /// (gcx-service) relies on.
+    #[test]
+    fn chunk_boundaries_mid_token_are_invisible() {
+        let doc = "<a id=\"x&amp;y\"><![CDATA[1 < 2]]>h\u{e9}llo \u{2014} w\u{f6}rld\
+                   <!-- c --><b/>&#65;&lt;tail</a>";
+        let reference = lex(doc);
+        assert!(!reference.is_empty());
+        for chunk in 1..=16 {
+            assert_eq!(
+                lex_chunked(doc, chunk),
+                reference,
+                "token stream changed at chunk size {chunk}"
+            );
+        }
+    }
+
+    /// Splits inside a closing tag, an entity reference and a DOCTYPE.
+    #[test]
+    fn chunk_boundaries_in_every_construct() {
+        let doc = "<!DOCTYPE site SYSTEM \"x.dtd\"><root><item k=\"v\">a&quot;b</item></root>";
+        let reference = lex(doc);
+        for chunk in 1..=7 {
+            assert_eq!(lex_chunked(doc, chunk), reference, "chunk size {chunk}");
+        }
+    }
+
+    /// Errors are also chunking-independent: malformed input fails the
+    /// same way regardless of how it arrives.
+    #[test]
+    fn malformed_input_fails_identically_under_chunking() {
+        let doc = "<a><b></a>";
+        for chunk in [1usize, 2, 3, 1024] {
+            let mut tags = TagInterner::new();
+            let reader = ChunkedReader {
+                data: doc.as_bytes(),
+                chunk,
+            };
+            let mut lexer = XmlLexer::new(reader, &mut tags);
+            assert!(
+                matches!(lexer.tokenize_all(), Err(XmlError::MismatchedClose { .. })),
+                "chunk size {chunk}"
+            );
+        }
+    }
+
     #[test]
     fn small_reads_from_chunked_reader() {
         // A reader that yields one byte at a time stresses buffer refills.
@@ -831,9 +915,7 @@ mod tests {
             .collect();
         assert_eq!(
             shown,
-            vec![
-                "<a>", "<a1>", "\"v\"", "</a1>", "\"text\"", "<b>", "</b>", "\"more\"", "</a>"
-            ]
+            vec!["<a>", "<a1>", "\"v\"", "</a1>", "\"text\"", "<b>", "</b>", "\"more\"", "</a>"]
         );
     }
 }

@@ -22,13 +22,22 @@ fn main() {
     println!("QUERY:\n{query}\n\nDOC:\n{doc}\n");
     let mut tags = TagInterner::new();
     let compiled = compile(&query, &mut tags, CompileOptions::default()).unwrap();
-    println!("REWRITTEN:\n{}\n", gcx::query::pretty_query(&compiled.rewritten, &tags));
+    println!(
+        "REWRITTEN:\n{}\n",
+        gcx::query::pretty_query(&compiled.rewritten, &tags)
+    );
     println!("PROJECTION:\n{}", compiled.projection.tree.pretty(&tags));
     let mut out = Vec::new();
     let report = gcx::run_gcx(&compiled, &mut tags, doc.as_bytes(), &mut out).unwrap();
     println!("safety: {:?}", report.safety);
     for (i, (a, r)) in report.role_balance.iter().enumerate() {
-        println!("  r{i}: assigned={a} removed={r}   ({})", compiled.roles.origin(gcx::projection::Role(i as u32)));
+        println!(
+            "  r{i}: assigned={a} removed={r}   ({})",
+            compiled.roles.origin(gcx::projection::Role(i as u32))
+        );
     }
-    println!("assigned={} removed={}", report.stats.roles_assigned, report.stats.roles_removed);
+    println!(
+        "assigned={} removed={}",
+        report.stats.roles_assigned, report.stats.roles_removed
+    );
 }

@@ -58,10 +58,8 @@ fn main() {
     let out_for_trace = out.clone();
     engine.set_tracer(Box::new(move |ev| {
         let output = String::from_utf8_lossy(&out_for_trace.borrow()).into_owned();
-        sink.borrow_mut().push((
-            format!("{:<24} out: {output}", ev.label),
-            ev.buffer.clone(),
-        ));
+        sink.borrow_mut()
+            .push((format!("{:<24} out: {output}", ev.label), ev.buffer.clone()));
     }));
     let report = engine.run().expect("run");
 

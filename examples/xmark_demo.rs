@@ -33,8 +33,7 @@ fn main() {
         let compiled = gcx::compile_default(query, &mut tags).expect("compile");
         let mut sink = std::io::sink();
         let start = std::time::Instant::now();
-        let report =
-            gcx::run_gcx(&compiled, &mut tags, &doc[..], &mut sink).expect("run");
+        let report = gcx::run_gcx(&compiled, &mut tags, &doc[..], &mut sink).expect("run");
         let elapsed = start.elapsed();
         println!(
             "{:<6} {:>9.3}s {:>14} {:>12} {:>12} {:>12}",

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! gcx <QUERY-FILE | -q 'inline query'> [XML-FILE] [options]
+//! gcx serve --queries <DIR> [XML-FILE...] [serve options]
 //!
 //! Options:
 //!   -q, --query <TEXT>     inline query text instead of a query file
@@ -17,9 +18,15 @@
 //! The input document is read from XML-FILE, or from stdin when omitted —
 //! `gcx` streams it either way: memory stays bounded by the query's
 //! buffering needs, not the document size.
+//!
+//! The `serve` subcommand exercises the concurrent session runtime
+//! (`gcx-service`): every query in the directory runs against every
+//! input file, through one `QueryService` with a shared compiled-query
+//! cache, with per-session statistics on stderr.
 
 use gcx::query::{compile, pretty_query, CompileOptions};
 use gcx::xml::TagInterner;
+use gcx::{QueryService, ServiceConfig};
 use std::io::{BufWriter, Read, Write};
 use std::process::ExitCode;
 
@@ -40,6 +47,7 @@ const HELP: &str = "gcx — streaming XQuery with combined static/dynamic buffer
 USAGE:
     gcx <QUERY-FILE> [XML-FILE] [options]
     gcx -q '<r>{ for $x in /a return $x }</r>' [XML-FILE] [options]
+    gcx serve --queries <DIR> [XML-FILE...] [serve options]
 
 When XML-FILE is omitted, the document is read from stdin (streaming).
 
@@ -52,6 +60,18 @@ OPTIONS:
         --no-optimize      disable the paper's §6 optimizations
         --compile-only     stop after compilation (implies --plan)
     -h, --help             show this help
+
+SERVE OPTIONS (gcx serve):
+        --queries <DIR>    directory of .xq query files (required)
+        --jobs <N>         max concurrent sessions (default 8)
+        --chunk <BYTES>    feed chunk size in bytes (default 65536)
+        --cache <N>        compiled-query cache capacity (default 64)
+        --budget <BYTES>   global memory budget over session queues
+        --output-dir <DIR> write each result to DIR/<query>__<input>.xml
+
+Every query runs against every XML input (stdin as the single input when
+no files are given), concurrently through one QueryService; per-session
+statistics and the cache summary are printed to stderr.
 ";
 
 fn parse_args() -> Result<Cli, String> {
@@ -79,6 +99,12 @@ fn parse_args() -> Result<Cli, String> {
             }
             "-e" | "--engine" => {
                 cli.engine = args.next().ok_or("missing value for --engine")?;
+                if !matches!(cli.engine.as_str(), "gcx" | "nogc" | "static" | "dom") {
+                    return Err(format!(
+                        "unknown engine '{}' (gcx|nogc|static|dom)",
+                        cli.engine
+                    ));
+                }
             }
             "-o" | "--output" => {
                 cli.output = Some(args.next().ok_or("missing value for --output")?);
@@ -105,6 +131,276 @@ fn parse_args() -> Result<Cli, String> {
         return Err(format!("unexpected argument '{extra}'"));
     }
     Ok(cli)
+}
+
+struct ServeCli {
+    queries_dir: String,
+    xml_files: Vec<String>,
+    jobs: usize,
+    chunk: usize,
+    cache: usize,
+    budget: Option<usize>,
+    output_dir: Option<String>,
+}
+
+fn parse_serve_args(args: impl Iterator<Item = String>) -> Result<ServeCli, String> {
+    let mut cli = ServeCli {
+        queries_dir: String::new(),
+        xml_files: Vec::new(),
+        jobs: 8,
+        chunk: 64 * 1024,
+        cache: 64,
+        budget: None,
+        output_dir: None,
+    };
+    let mut args = args.peekable();
+    let parse_num = |v: Option<String>, what: &str| -> Result<usize, String> {
+        v.ok_or_else(|| format!("missing value for {what}"))?
+            .parse()
+            .map_err(|_| format!("invalid value for {what}"))
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "-h" | "--help" => {
+                print!("{HELP}");
+                std::process::exit(0);
+            }
+            "--queries" => {
+                cli.queries_dir = args.next().ok_or("missing value for --queries")?;
+            }
+            "--jobs" => cli.jobs = parse_num(args.next(), "--jobs")?.max(1),
+            "--chunk" => cli.chunk = parse_num(args.next(), "--chunk")?.max(1),
+            "--cache" => cli.cache = parse_num(args.next(), "--cache")?.max(1),
+            "--budget" => cli.budget = Some(parse_num(args.next(), "--budget")?),
+            "--output-dir" => {
+                cli.output_dir = Some(args.next().ok_or("missing value for --output-dir")?);
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown serve option '{other}' (try --help)"));
+            }
+            other => cli.xml_files.push(other.to_string()),
+        }
+    }
+    if cli.queries_dir.is_empty() {
+        return Err("serve requires --queries <DIR>".into());
+    }
+    Ok(cli)
+}
+
+fn file_stem(path: &str) -> String {
+    std::path::Path::new(path)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.to_string())
+}
+
+fn run_serve(args: impl Iterator<Item = String>) -> Result<(), String> {
+    let cli = parse_serve_args(args)?;
+
+    let mut query_files: Vec<std::path::PathBuf> = std::fs::read_dir(&cli.queries_dir)
+        .map_err(|e| format!("cannot read query directory {}: {e}", cli.queries_dir))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "xq"))
+        .collect();
+    query_files.sort();
+    if query_files.is_empty() {
+        return Err(format!("no .xq query files in {}", cli.queries_dir));
+    }
+
+    // Inputs: each file (streamed chunk by chunk — never loaded whole,
+    // preserving the engine's bounded-memory property even for huge
+    // documents), or stdin buffered as the single input when no files
+    // are given (stdin cannot be re-read per query).
+    enum InputSrc {
+        File(String),
+        Mem(std::sync::Arc<[u8]>),
+    }
+    let mut used_names = std::collections::HashSet::new();
+    let mut unique = move |base: String| -> String {
+        let mut name = base.clone();
+        let mut i = 1;
+        while !used_names.insert(name.clone()) {
+            i += 1;
+            name = format!("{base}-{i}");
+        }
+        name
+    };
+    let mut inputs: Vec<(String, InputSrc)> = Vec::new();
+    if cli.xml_files.is_empty() {
+        let mut data = Vec::new();
+        std::io::stdin()
+            .read_to_end(&mut data)
+            .map_err(|e| format!("cannot read stdin: {e}"))?;
+        inputs.push(("stdin".to_string(), InputSrc::Mem(data.into())));
+    } else {
+        for f in &cli.xml_files {
+            // Fail early on unreadable files, but stream the bytes later.
+            std::fs::metadata(f).map_err(|e| format!("cannot read input {f}: {e}"))?;
+            inputs.push((unique(file_stem(f)), InputSrc::File(f.clone())));
+        }
+    }
+
+    struct ServeJob {
+        query: String,
+        input: InputSrc,
+        label: String,
+        out_path: Option<String>,
+    }
+    let mut used_paths = std::collections::HashSet::new();
+    let mut unique_path = move |base: String| -> String {
+        let mut path = format!("{base}.xml");
+        let mut i = 1;
+        while !used_paths.insert(path.clone()) {
+            i += 1;
+            path = format!("{base}-{i}.xml");
+        }
+        path
+    };
+    let mut jobs = Vec::new();
+    for qpath in &query_files {
+        let qtext = std::fs::read_to_string(qpath)
+            .map_err(|e| format!("cannot read query file {}: {e}", qpath.display()))?;
+        let qname = file_stem(&qpath.to_string_lossy());
+        for (iname, src) in &inputs {
+            let input = match src {
+                InputSrc::File(f) => InputSrc::File(f.clone()),
+                InputSrc::Mem(data) => InputSrc::Mem(data.clone()),
+            };
+            jobs.push(ServeJob {
+                query: qtext.clone(),
+                input,
+                label: format!("{qname}×{iname}"),
+                out_path: cli
+                    .output_dir
+                    .as_ref()
+                    .map(|dir| unique_path(format!("{dir}/{qname}__{iname}"))),
+            });
+        }
+    }
+
+    let service = QueryService::new(ServiceConfig {
+        cache_capacity: cli.cache,
+        memory_budget: cli.budget,
+        max_concurrency: cli.jobs,
+        ..Default::default()
+    });
+    if let Some(dir) = &cli.output_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+    }
+
+    // Clamp the chunk so one reservation always fits the whole budget;
+    // rejected chunks then wait (feed_blocking backpressure) instead of
+    // failing.
+    let chunk_size = cli.budget.map_or(cli.chunk, |b| cli.chunk.min(b.max(1)));
+
+    // One streaming session per job: feed chunks as they are read,
+    // write output bytes as they are produced.
+    let run_job = |job: &ServeJob| -> Result<(u64, gcx::RunReport), String> {
+        let mut session = service
+            .open_session(&job.query)
+            .map_err(|e| e.to_string())?;
+        let mut sink: Box<dyn Write> = match &job.out_path {
+            Some(path) => Box::new(BufWriter::new(
+                std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?,
+            )),
+            None => Box::new(std::io::sink()),
+        };
+        let mut written = 0u64;
+        let mut push = |sink: &mut Box<dyn Write>, bytes: &[u8]| -> Result<(), String> {
+            written += bytes.len() as u64;
+            sink.write_all(bytes).map_err(|e| e.to_string())
+        };
+        match &job.input {
+            InputSrc::File(f) => {
+                let mut file =
+                    std::fs::File::open(f).map_err(|e| format!("cannot open input {f}: {e}"))?;
+                let mut buf = vec![0u8; chunk_size];
+                loop {
+                    let n = file.read(&mut buf).map_err(|e| e.to_string())?;
+                    if n == 0 {
+                        break;
+                    }
+                    let out = session
+                        .feed_blocking(&buf[..n])
+                        .map_err(|e| e.to_string())?;
+                    push(&mut sink, &out)?;
+                }
+            }
+            InputSrc::Mem(data) => {
+                for chunk in data.chunks(chunk_size) {
+                    let out = session.feed_blocking(chunk).map_err(|e| e.to_string())?;
+                    push(&mut sink, &out)?;
+                }
+            }
+        }
+        let outcome = session.finish().map_err(|e| e.to_string())?;
+        push(&mut sink, &outcome.output)?;
+        sink.flush().map_err(|e| e.to_string())?;
+        Ok((written, outcome.report))
+    };
+
+    type JobResult = Result<(u64, gcx::RunReport), String>;
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: Vec<std::sync::Mutex<Option<JobResult>>> =
+        jobs.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    let workers = cli.jobs.min(jobs.len()).max(1);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(job) = jobs.get(i) else { break };
+                *results[i].lock().expect("result slot") = Some(run_job(job));
+            });
+        }
+    });
+
+    let mut failures = 0usize;
+    for (job, slot) in jobs.iter().zip(results) {
+        let result = slot
+            .into_inner()
+            .expect("result slot")
+            .expect("worker filled every claimed slot");
+        match result {
+            Ok((output_bytes, r)) => {
+                eprintln!(
+                    "[{}] ok: output {}B, peak {} nodes / {}, {:.3}s, tokens {}+{} skipped, roles {}",
+                    job.label,
+                    output_bytes,
+                    r.stats.peak_nodes,
+                    r.stats.peak_human(),
+                    r.elapsed.as_secs_f64(),
+                    r.tokens_read,
+                    r.tokens_skipped,
+                    match r.safety {
+                        Some(true) => "balanced",
+                        Some(false) => "VIOLATED",
+                        None => "n/a",
+                    },
+                );
+            }
+            Err(e) => {
+                failures += 1;
+                eprintln!("[{}] FAILED: {e}", job.label);
+                if let Some(path) = &job.out_path {
+                    // Do not leave a partial result behind.
+                    std::fs::remove_file(path).ok();
+                }
+            }
+        }
+    }
+    let stats = service.stats();
+    eprintln!(
+        "serve: {} sessions ({} failed), cache {} hits / {} misses / {} evictions",
+        stats.sessions_opened,
+        failures,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.cache_evictions,
+    );
+    if failures > 0 {
+        return Err(format!("{failures} of {} sessions failed", jobs.len()));
+    }
+    Ok(())
 }
 
 fn run() -> Result<(), String> {
@@ -136,9 +432,9 @@ fn run() -> Result<(), String> {
     }
 
     let input: Box<dyn Read> = match &cli.xml_file {
-        Some(f) => Box::new(
-            std::fs::File::open(f).map_err(|e| format!("cannot open input {f}: {e}"))?,
-        ),
+        Some(f) => {
+            Box::new(std::fs::File::open(f).map_err(|e| format!("cannot open input {f}: {e}"))?)
+        }
         None => Box::new(std::io::stdin()),
     };
     let output: Box<dyn Write> = match &cli.output {
@@ -153,7 +449,7 @@ fn run() -> Result<(), String> {
         "nogc" => gcx::run_no_gc_streaming(&compiled, &mut tags, input, output),
         "static" => gcx::run_static_projection(&compiled, &mut tags, input, output),
         "dom" => gcx::run_dom(&compiled, &mut tags, input, output),
-        other => return Err(format!("unknown engine '{other}' (gcx|nogc|static|dom)")),
+        other => unreachable!("engine '{other}' rejected by parse_args"),
     }
     .map_err(|e| e.to_string())?;
 
@@ -165,12 +461,18 @@ fn run() -> Result<(), String> {
         eprintln!("peak nodes      : {}", report.stats.peak_nodes);
         eprintln!("nodes created   : {}", report.stats.nodes_created);
         eprintln!("nodes purged    : {}", report.stats.nodes_purged);
-        eprintln!("roles ±         : {} / {}", report.stats.roles_assigned, report.stats.roles_removed);
+        eprintln!(
+            "roles ±         : {} / {}",
+            report.stats.roles_assigned, report.stats.roles_removed
+        );
         eprintln!("gc visits       : {}", report.stats.gc_visits);
         eprintln!("tokens read     : {}", report.tokens_read);
         eprintln!("tokens skipped  : {}", report.tokens_skipped);
         if let Some(ok) = report.safety {
-            eprintln!("role accounting : {}", if ok { "balanced" } else { "VIOLATED" });
+            eprintln!(
+                "role accounting : {}",
+                if ok { "balanced" } else { "VIOLATED" }
+            );
         }
     }
     if report.safety == Some(false) {
@@ -180,7 +482,14 @@ fn run() -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
-    match run() {
+    let mut args = std::env::args().skip(1).peekable();
+    let result = if args.peek().map(String::as_str) == Some("serve") {
+        args.next();
+        run_serve(args)
+    } else {
+        run()
+    };
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("gcx: {e}");

@@ -34,28 +34,35 @@
 //! | [`query`] (gcx-query) | XQ parser, rewriting, static analysis |
 //! | [`core`] (gcx-core) | the GCX engine + baseline engines |
 //! | [`xmark`] (gcx-xmark) | XMark-like generator + benchmark queries |
+//! | [`service`] (gcx-service) | push-based sessions, query cache, concurrent serving |
 
 pub use gcx_buffer as buffer;
 pub use gcx_core as core;
 pub use gcx_projection as projection;
 pub use gcx_query as query;
+pub use gcx_service as service;
 pub use gcx_xmark as xmark;
 pub use gcx_xml as xml;
 
 pub use gcx_core::{
-    run_dom, run_gcx, run_no_gc_streaming, run_static_projection, EngineError, EngineOptions,
-    GcxEngine, RunReport,
+    run_dom, run_gcx, run_no_gc_streaming, run_static_projection, CancelFlag, EngineError,
+    EngineOptions, GcxEngine, RunReport,
 };
 pub use gcx_query::{compile, compile_default, CompileOptions, CompiledQuery};
+pub use gcx_service::{
+    BatchJob, QueryService, ServiceConfig, ServiceError, SessionOutcome, StreamSession,
+};
 pub use gcx_xml::TagInterner;
 
 use std::fmt;
 
-/// Everything that can go wrong in [`evaluate_to_string`].
+/// Everything that can go wrong in [`evaluate_to_string`] and
+/// [`evaluate_chunked`].
 #[derive(Debug)]
 pub enum Error {
     Compile(gcx_query::CompileError),
     Engine(EngineError),
+    Service(ServiceError),
 }
 
 impl fmt::Display for Error {
@@ -63,6 +70,7 @@ impl fmt::Display for Error {
         match self {
             Error::Compile(e) => write!(f, "{e}"),
             Error::Engine(e) => write!(f, "{e}"),
+            Error::Service(e) => write!(f, "{e}"),
         }
     }
 }
@@ -87,6 +95,35 @@ pub fn evaluate_with_report(query: &str, xml: &str) -> Result<(String, RunReport
     let mut out = Vec::new();
     let report = run_gcx(&compiled, &mut tags, xml.as_bytes(), &mut out).map_err(Error::Engine)?;
     Ok((String::from_utf8(out).expect("utf8"), report))
+}
+
+/// Push-based convenience: compiles `query` and feeds `chunks` through a
+/// [`StreamSession`] as they come, exactly as a network server would.
+/// Output and [`RunReport`] are byte-for-byte what [`run_gcx`] produces
+/// on the concatenated input, for *any* chunking — including splits in
+/// the middle of tags, entities or multi-byte characters.
+pub fn evaluate_chunked<'a, I>(query: &str, chunks: I) -> Result<(String, RunReport), Error>
+where
+    I: IntoIterator<Item = &'a [u8]>,
+{
+    use std::sync::Arc;
+    let mut tags = TagInterner::new();
+    let compiled = compile_default(query, &mut tags).map_err(Error::Compile)?;
+    let mut session = StreamSession::new(
+        Arc::new(compiled),
+        tags,
+        gcx_service::SessionConfig::default(),
+    );
+    let mut out = Vec::new();
+    for chunk in chunks {
+        out.extend_from_slice(&session.feed(chunk).map_err(Error::Service)?);
+    }
+    let outcome = session.finish().map_err(Error::Service)?;
+    out.extend_from_slice(&outcome.output);
+    Ok((
+        String::from_utf8(out).expect("writer emits UTF-8"),
+        outcome.report,
+    ))
 }
 
 #[cfg(test)]
@@ -127,6 +164,31 @@ mod tests {
         assert!(matches!(
             evaluate_to_string("<out>{ for $x in /a return $x }</out>", "<a><b></a>"),
             Err(Error::Engine(_))
+        ));
+    }
+
+    #[test]
+    fn chunked_matches_one_shot() {
+        let query = "<out>{ for $b in /bib/book return $b/title }</out>";
+        let xml = "<bib><book><title>Streams</title></book></bib>";
+        let (whole, report_whole) = evaluate_with_report(query, xml).unwrap();
+        let chunks: Vec<&[u8]> = xml.as_bytes().chunks(5).collect();
+        let (chunked, report_chunked) = evaluate_chunked(query, chunks).unwrap();
+        assert_eq!(whole, chunked);
+        assert_eq!(
+            report_whole.stats.peak_nodes,
+            report_chunked.stats.peak_nodes
+        );
+    }
+
+    #[test]
+    fn chunked_surfaces_stream_errors() {
+        assert!(matches!(
+            evaluate_chunked(
+                "<out>{ for $x in /a return $x }</out>",
+                [&b"<a><b></a>"[..]]
+            ),
+            Err(Error::Service(_))
         ));
     }
 }

@@ -23,8 +23,15 @@ fn inline_query_over_stdin() {
         .write_all(b"<bib><book><title>T</title></book></bib>")
         .unwrap();
     let out = child.wait_with_output().unwrap();
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
-    assert_eq!(String::from_utf8_lossy(&out.stdout), "<r><title>T</title></r>");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        "<r><title>T</title></r>"
+    );
 }
 
 #[test]
@@ -59,12 +66,7 @@ fn query_and_input_files_with_stats() {
 fn engine_selection() {
     for engine in ["gcx", "nogc", "static", "dom"] {
         let mut child = gcx_bin()
-            .args([
-                "-q",
-                "<r>{ for $b in /a/b return $b }</r>",
-                "-e",
-                engine,
-            ])
+            .args(["-q", "<r>{ for $b in /a/b return $b }</r>", "-e", engine])
             .stdin(Stdio::piped())
             .stdout(Stdio::piped())
             .spawn()
@@ -117,10 +119,103 @@ fn bad_engine_fails_cleanly() {
         .stderr(Stdio::piped())
         .spawn()
         .unwrap();
-    child.stdin.as_mut().unwrap().write_all(b"<a/>").unwrap();
+    // The child rejects the engine name without reading stdin, so this
+    // write may hit a closed pipe — that is the expected behaviour.
+    let _ = child.stdin.as_mut().unwrap().write_all(b"<a/>");
     let out = child.wait_with_output().unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown engine"));
+}
+
+#[test]
+fn serve_runs_queries_times_inputs_concurrently() {
+    let dir = std::env::temp_dir().join(format!("gcx-serve-test-{}", std::process::id()));
+    let qdir = dir.join("queries");
+    let odir = dir.join("out");
+    std::fs::create_dir_all(&qdir).unwrap();
+    std::fs::write(
+        qdir.join("titles.xq"),
+        "<r>{ for $b in /bib/book return $b/title }</r>",
+    )
+    .unwrap();
+    std::fs::write(qdir.join("all.xq"), "<r>{ for $x in /bib/* return $x }</r>").unwrap();
+    let x1 = dir.join("one.xml");
+    let x2 = dir.join("two.xml");
+    std::fs::write(&x1, "<bib><book><title>A</title></book></bib>").unwrap();
+    std::fs::write(&x2, "<bib><book><title>B</title></book><cd/></bib>").unwrap();
+    let out = gcx_bin()
+        .args([
+            "serve",
+            "--queries",
+            qdir.to_str().unwrap(),
+            x1.to_str().unwrap(),
+            x2.to_str().unwrap(),
+            "--chunk",
+            "7",
+            "--output-dir",
+            odir.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run gcx serve");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "stderr: {stderr}");
+    // 2 queries × 2 inputs = 4 sessions; each query compiled once.
+    assert!(stderr.contains("4 sessions"), "{stderr}");
+    assert!(stderr.contains("2 misses"), "{stderr}");
+    assert!(stderr.contains("2 hits"), "{stderr}");
+    assert!(
+        stderr.contains("peak"),
+        "per-session stats printed: {stderr}"
+    );
+    let titles_one = std::fs::read_to_string(odir.join("titles__one.xml")).unwrap();
+    assert_eq!(titles_one, "<r><title>A</title></r>");
+    let all_two = std::fs::read_to_string(odir.join("all__two.xml")).unwrap();
+    assert_eq!(all_two, "<r><book><title>B</title></book><cd></cd></r>");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_isolates_failing_inputs() {
+    let dir = std::env::temp_dir().join(format!("gcx-serve-bad-{}", std::process::id()));
+    let qdir = dir.join("queries");
+    std::fs::create_dir_all(&qdir).unwrap();
+    std::fs::write(
+        qdir.join("q.xq"),
+        "<r>{ for $b in /bib/book return $b/title }</r>",
+    )
+    .unwrap();
+    let good = dir.join("good.xml");
+    let bad = dir.join("bad.xml");
+    std::fs::write(&good, "<bib><book><title>A</title></book></bib>").unwrap();
+    std::fs::write(&bad, "<bib><book></bib>").unwrap();
+    let out = gcx_bin()
+        .args([
+            "serve",
+            "--queries",
+            qdir.to_str().unwrap(),
+            good.to_str().unwrap(),
+            bad.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run gcx serve");
+    assert!(!out.status.success(), "a failing session fails the batch");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("q×good] ok"),
+        "good session succeeds: {stderr}"
+    );
+    assert!(
+        stderr.contains("q×bad] FAILED"),
+        "bad session isolated: {stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_requires_queries_dir() {
+    let out = gcx_bin().args(["serve"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--queries"));
 }
 
 #[test]
@@ -131,7 +226,12 @@ fn malformed_input_fails_cleanly() {
         .stderr(Stdio::piped())
         .spawn()
         .unwrap();
-    child.stdin.as_mut().unwrap().write_all(b"<a><b></a>").unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"<a><b></a>")
+        .unwrap();
     let out = child.wait_with_output().unwrap();
     assert!(!out.status.success());
 }

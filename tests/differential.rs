@@ -72,7 +72,8 @@ const DOC_BIB: &str = "<bib>\
     <book><title>T4</title><price>7</price><price>9</price></book>\
 </bib>";
 
-const DOC_NESTED: &str = "<a><a><b><b>x</b></b><c><b>y</b></c></a><b>z</b><d><e><b>w</b></e></d></a>";
+const DOC_NESTED: &str =
+    "<a><a><b><b>x</b></b><c><b>y</b></c></a><b>z</b><d><e><b>w</b></e></d></a>";
 
 const DOC_PEOPLE: &str = "<db>\
     <person><id>1</id><name>Ann</name><age>34</age></person>\
@@ -92,7 +93,10 @@ fn child_axis_outputs() {
 #[test]
 fn descendant_axis_outputs() {
     check_all("<r>{ for $b in //b return $b }</r>", DOC_NESTED);
-    check_all("<r>{ for $a in //a return for $b in $a//b return <hit/> }</r>", DOC_NESTED);
+    check_all(
+        "<r>{ for $a in //a return for $b in $a//b return <hit/> }</r>",
+        DOC_NESTED,
+    );
     check_all("<r>{ for $t in /bib//title return $t/text() }</r>", DOC_BIB);
 }
 
@@ -147,7 +151,10 @@ fn constructors_and_sequences() {
 
 #[test]
 fn star_and_text_tests() {
-    check_all("<r>{ for $x in /bib/* return <k>{ $x/text() }</k> }</r>", DOC_BIB);
+    check_all(
+        "<r>{ for $x in /bib/* return <k>{ $x/text() }</k> }</r>",
+        DOC_BIB,
+    );
     check_all("<r>{ for $t in //title return $t/text() }</r>", DOC_BIB);
 }
 
@@ -231,6 +238,9 @@ fn recursive_document_shapes() {
     // //a//b over self-similar nesting: multiplicities stress role
     // accounting (paper Example 1/3).
     let doc = "<a><a><a><b><b/></b></a></a><b/></a>";
-    check_all("<r>{ for $a in //a return for $b in $a//b return <x/> }</r>", doc);
+    check_all(
+        "<r>{ for $a in //a return for $b in $a//b return <x/> }</r>",
+        doc,
+    );
     check_all("<r>{ for $b in //a return $b }</r>", doc);
 }

@@ -143,7 +143,10 @@ fn example7_safety_on_matching_tree() {
     gcx::run_dom(&compiled, &mut tags, doc.as_bytes(), &mut dom_out).unwrap();
     assert_eq!(gcx_out, String::from_utf8(dom_out).unwrap());
     // The outer a sees both b's; the inner a sees one.
-    assert_eq!(gcx_out, "<q><a2><b2></b2><b2></b2></a2><a2><b2></b2></a2></q>");
+    assert_eq!(
+        gcx_out,
+        "<q><a2><b2></b2><b2></b2></a2><a2><b2></b2></a2></q>"
+    );
 }
 
 /// Paper Fig. 12: the optimized pipeline eliminates the redundant roles
@@ -192,6 +195,9 @@ fn early_updates_release_per_title() {
         ..CompileOptions::default()
     });
     assert_eq!(o1, o2);
-    assert_eq!(o1, "<r><title>1</title><title>2</title><title>3</title></r>");
+    assert_eq!(
+        o1,
+        "<r><title>1</title><title>2</title><title>3</title></r>"
+    );
     assert!(with.safety == Some(true) && without.safety == Some(true));
 }

@@ -1,0 +1,251 @@
+//! Chunk-boundary robustness of the push-based session runtime.
+//!
+//! For every (query, document) pair of the differential corpus, a
+//! [`gcx::StreamSession`] must produce output **byte-identical** to the
+//! one-shot [`gcx::run_gcx`] — with the same reported peak buffer size —
+//! under *any* chunking of the input: one byte at a time, random split
+//! points (which land mid-tag, mid-entity and mid-text), and the whole
+//! document as a single chunk. Also exercises a concurrent run of ≥ 8
+//! sessions through one `QueryService` with measured cache hits.
+
+use gcx::query::CompileOptions;
+use gcx::xml::TagInterner;
+use gcx::{BatchJob, QueryService, ServiceConfig};
+
+/// The differential corpus (kept in sync with `tests/differential.rs`).
+const DOC_BIB: &str = "<bib>\
+    <book><title>T1</title><author>A</author><price>12</price></book>\
+    <book><title>T2</title><author>B</author></book>\
+    <cd><title>T3</title><label>L</label></cd>\
+    <book><title>T4</title><price>7</price><price>9</price></book>\
+</bib>";
+
+const DOC_NESTED: &str =
+    "<a><a><b><b>x</b></b><c><b>y</b></c></a><b>z</b><d><e><b>w</b></e></d></a>";
+
+const DOC_PEOPLE: &str = "<db>\
+    <person><id>1</id><name>Ann</name><age>34</age></person>\
+    <person><id>2</id><name>Bob</name></person>\
+    <sale><buyer>2</buyer><sum>10</sum></sale>\
+    <sale><buyer>1</buyer><sum>20</sum></sale>\
+    <sale><buyer>2</buyer><sum>30</sum></sale>\
+</db>";
+
+const DOC_MIXED: &str = "<a>\n  <b> x </b>\n  <b>y<c/>z</b>\n</a>";
+
+const DOC_VALUES: &str = "<l><v>9</v><v>10</v><v>x10</v><v>02</v></l>";
+
+fn corpus() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("<r>{ for $b in /bib/book return $b/title }</r>", DOC_BIB),
+        ("<r>{ for $b in /bib/book return $b }</r>", DOC_BIB),
+        ("<r>{ for $x in /bib/* return $x/title }</r>", DOC_BIB),
+        ("<r>{ for $b in //b return $b }</r>", DOC_NESTED),
+        (
+            "<r>{ for $a in //a return for $b in $a//b return <hit/> }</r>",
+            DOC_NESTED,
+        ),
+        ("<r>{ for $t in /bib//title return $t/text() }</r>", DOC_BIB),
+        (
+            r#"<r>{ for $b in /bib/book return
+                if (exists($b/price)) then $b/title else () }</r>"#,
+            DOC_BIB,
+        ),
+        (
+            r#"<r>{ for $b in /bib/book return
+                if (not(exists($b/price))) then $b else () }</r>"#,
+            DOC_BIB,
+        ),
+        (
+            r#"<r>{ for $b in /bib/book return
+                if ($b/price >= 9 and exists($b/author)) then $b/title else <cheap/> }</r>"#,
+            DOC_BIB,
+        ),
+        (
+            r#"<r>{ for $b in /bib/book return
+                if ($b/title = "T2" or $b/price < 8) then $b/author else () }</r>"#,
+            DOC_BIB,
+        ),
+        (
+            r#"<r>{ for $p in /db/person return
+                <row>{ ($p/name, for $s in /db/sale return
+                    if ($s/buyer = $p/id) then $s/sum else ()) }</row> }</r>"#,
+            DOC_PEOPLE,
+        ),
+        (
+            r#"<r>{ for $s in /db/sale return for $p in /db/person return
+                if ($p/id = $s/buyer) then <pair>{ $p/name }</pair> else () }</r>"#,
+            DOC_PEOPLE,
+        ),
+        (
+            r#"<r>{ for $b in /bib/book return
+                <entry><head>{ $b/title }</head><tail>{ ($b/author, $b/price) }</tail></entry> }</r>"#,
+            DOC_BIB,
+        ),
+        ("<r><empty/>{ () }<also/></r>", DOC_BIB),
+        (
+            "<r>{ for $x in /bib/* return <k>{ $x/text() }</k> }</r>",
+            DOC_BIB,
+        ),
+        (
+            r#"<r>{ (for $b in /bib/book return $b/title,
+                    for $b in /bib/book return $b/author,
+                    for $c in /bib/cd return $c/label) }</r>"#,
+            DOC_BIB,
+        ),
+        (
+            r#"<r>{ for $a in /a/a return
+                     for $x in $a/* return
+                       for $b in $x/b return <leaf>{ $b/text() }</leaf> }</r>"#,
+            DOC_NESTED,
+        ),
+        ("<r>{ for $z in /bib/zzz return $z }</r>", DOC_BIB),
+        ("<r>{ for $b in //nothing return $b }</r>", "<a/>"),
+        ("<r>{ for $b in /a/b return $b }</r>", DOC_MIXED),
+        ("<r>{ for $b in /a/b return $b/text() }</r>", DOC_MIXED),
+        (
+            r#"<r>{ for $v in /l/v return if ($v/text() < 10) then $v else () }</r>"#,
+            DOC_VALUES,
+        ),
+        ("<r>{ for $b in $root/bib return $b/cd }</r>", DOC_BIB),
+        (
+            "<r>{ let $books := /bib/book return for $b in $books/title return $b }</r>",
+            DOC_BIB,
+        ),
+        (
+            "<r>{ for $a in //a return for $b in $a//b return <x/> }</r>",
+            "<a><a><a><b><b/></b></a></a><b/></a>",
+        ),
+    ]
+}
+
+fn one_shot(query: &str, doc: &str) -> (String, usize) {
+    let mut tags = TagInterner::new();
+    let compiled = gcx::compile(query, &mut tags, CompileOptions::default()).expect("compile");
+    let mut out = Vec::new();
+    let report = gcx::run_gcx(&compiled, &mut tags, doc.as_bytes(), &mut out).expect("run");
+    (String::from_utf8(out).unwrap(), report.stats.peak_nodes)
+}
+
+fn chunked(query: &str, chunks: Vec<&[u8]>) -> (String, usize) {
+    let (out, report) = gcx::evaluate_chunked(query, chunks).expect("chunked run");
+    (out, report.stats.peak_nodes)
+}
+
+/// Tiny deterministic LCG for split points (no external deps needed).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self, bound: usize) -> usize {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((self.0 >> 33) as usize) % bound.max(1)
+    }
+}
+
+fn random_chunking<'a>(doc: &'a [u8], rng: &mut Lcg) -> Vec<&'a [u8]> {
+    let mut chunks = Vec::new();
+    let mut pos = 0;
+    while pos < doc.len() {
+        let len = 1 + rng.next(9); // 1..=9 byte chunks: splits land mid-token
+        let end = (pos + len).min(doc.len());
+        chunks.push(&doc[pos..end]);
+        pos = end;
+    }
+    chunks
+}
+
+#[test]
+fn single_chunk_matches_one_shot() {
+    for (query, doc) in corpus() {
+        let (want, want_peak) = one_shot(query, doc);
+        let (got, got_peak) = chunked(query, vec![doc.as_bytes()]);
+        assert_eq!(want, got, "output differs for {query}");
+        assert_eq!(want_peak, got_peak, "peak_nodes differs for {query}");
+    }
+}
+
+#[test]
+fn one_byte_chunks_match_one_shot() {
+    for (query, doc) in corpus() {
+        let (want, want_peak) = one_shot(query, doc);
+        let chunks: Vec<&[u8]> = doc.as_bytes().chunks(1).collect();
+        let (got, got_peak) = chunked(query, chunks);
+        assert_eq!(want, got, "1-byte feeding differs for {query}");
+        assert_eq!(want_peak, got_peak, "peak_nodes differs for {query}");
+    }
+}
+
+#[test]
+fn random_split_points_match_one_shot() {
+    for (ci, (query, doc)) in corpus().into_iter().enumerate() {
+        let (want, want_peak) = one_shot(query, doc);
+        for round in 0..5u64 {
+            let mut rng = Lcg(0x9E3779B97F4A7C15 ^ (ci as u64) << 8 ^ round);
+            let chunks = random_chunking(doc.as_bytes(), &mut rng);
+            let (got, got_peak) = chunked(query, chunks);
+            assert_eq!(
+                want, got,
+                "random chunking differs for {query} (round {round})"
+            );
+            assert_eq!(
+                want_peak, got_peak,
+                "peak_nodes differs for {query} (round {round})"
+            );
+        }
+    }
+}
+
+#[test]
+fn multibyte_utf8_split_across_chunks() {
+    let query = "<r>{ for $n in /a/name return $n/text() }</r>";
+    let doc = "<a><name>héllo — wörld</name><name>ünïcode</name></a>";
+    let (want, _) = one_shot(query, doc);
+    // Every 1-byte split necessarily cuts the multi-byte characters.
+    let chunks: Vec<&[u8]> = doc.as_bytes().chunks(1).collect();
+    let (got, _) = chunked(query, chunks);
+    assert_eq!(want, got);
+}
+
+#[test]
+fn eight_concurrent_sessions_share_cache() {
+    // ≥ 8 sessions through one service: correct isolated outputs and at
+    // least one measured cache hit (acceptance criterion).
+    let service = QueryService::new(ServiceConfig {
+        max_concurrency: 8,
+        ..Default::default()
+    });
+    let corpus = corpus();
+    let jobs: Vec<BatchJob> = corpus
+        .iter()
+        .take(6)
+        .cycle()
+        .take(12)
+        .enumerate()
+        .map(|(i, (query, doc))| BatchJob {
+            query: query.to_string(),
+            input: doc.as_bytes().into(),
+            label: format!("job{i}"),
+        })
+        .collect();
+    let results = service.run_batch(&jobs, 16);
+    assert_eq!(results.len(), 12);
+    for (job, result) in jobs.iter().zip(&results) {
+        let outcome = result.as_ref().expect("job succeeds");
+        let (want, want_peak) = one_shot(&job.query, std::str::from_utf8(&job.input).unwrap());
+        assert_eq!(
+            String::from_utf8(outcome.output.clone()).unwrap(),
+            want,
+            "wrong output for {}",
+            job.label
+        );
+        assert_eq!(outcome.report.stats.peak_nodes, want_peak);
+        assert_eq!(outcome.report.safety, Some(true));
+    }
+    let stats = service.stats();
+    assert_eq!(stats.sessions_opened, 12);
+    assert_eq!(stats.cache_misses, 6, "six distinct queries");
+    assert!(stats.cache_hits >= 6, "repeats hit the cache: {stats:?}");
+}
