@@ -1,0 +1,116 @@
+//! Emits the machine-readable streaming benchmark report
+//! (`BENCH_streaming.json`): per XMark query, throughput in MB/s and
+//! events/s, peak buffer nodes, and — when built with
+//! `--features count-allocs` — allocations-per-event, plus the
+//! steady-state lexer allocation probe.
+//!
+//! The reproducible command (documented in the README):
+//!
+//! ```text
+//! cargo run --release -p gcx-bench --features count-allocs \
+//!     --bin bench_report -- --out BENCH_streaming.json
+//! ```
+//!
+//! Options: `--sizes 8` (MB per document), `--queries Q1,Q6,Q13,Q20`,
+//! `--engines gcx`, `--repeat 3`, `--seed 42`, `--quick` (1 MB, one
+//! repeat — the CI smoke configuration).
+
+use gcx_bench::{
+    alloc_count, arg_value, lexer_steady_probe, measure_record, report, xmark_doc, Engine,
+};
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let sizes: Vec<f64> = arg_value(&args, "--sizes")
+        .unwrap_or_else(|| if quick { "1" } else { "8" }.into())
+        .split(',')
+        .map(|s| s.trim().parse::<f64>().expect("size in MB"))
+        .collect();
+    let queries: Vec<String> = arg_value(&args, "--queries")
+        .unwrap_or_else(|| "Q1,Q6,Q13,Q20".into())
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .collect();
+    let engines: Vec<Engine> = arg_value(&args, "--engines")
+        .unwrap_or_else(|| "gcx".into())
+        .split(',')
+        .map(|s| Engine::parse(s.trim()).expect("engine name"))
+        .collect();
+    let seed: u64 = arg_value(&args, "--seed")
+        .unwrap_or_else(|| "42".into())
+        .parse()
+        .expect("seed");
+    let repeat: usize = arg_value(&args, "--repeat")
+        .unwrap_or_else(|| if quick { "1" } else { "3" }.into())
+        .parse()
+        .expect("repeat count");
+    let out =
+        PathBuf::from(arg_value(&args, "--out").unwrap_or_else(|| "BENCH_streaming.json".into()));
+
+    if !alloc_count::enabled() {
+        eprintln!(
+            "note: built without --features count-allocs; \
+             allocation metrics will be null"
+        );
+    }
+
+    let mut records = Vec::new();
+    for &mb in &sizes {
+        let doc = xmark_doc(mb, seed);
+        for qname in &queries {
+            let Some(query) = gcx_xmark::by_name(qname) else {
+                eprintln!("unknown query {qname}; skipping");
+                continue;
+            };
+            for &engine in &engines {
+                match measure_record(engine, qname, query, &doc, mb, repeat) {
+                    Ok(r) => {
+                        eprintln!(
+                            "{qname} {mb}MB {}: {:.3}s  {:.1} MB/s  {:.2}M events/s  peak {} nodes{}",
+                            engine.label(),
+                            r.seconds,
+                            r.mb_per_sec(),
+                            r.events_per_sec() / 1e6,
+                            r.peak_nodes,
+                            match r.allocs_per_event() {
+                                Some(a) => format!("  {a:.4} allocs/event"),
+                                None => String::new(),
+                            }
+                        );
+                        records.push(r);
+                    }
+                    Err(e) => eprintln!("{qname} {mb}MB {}: error: {e}", engine.label()),
+                }
+            }
+        }
+    }
+
+    // Steady-state lexer probe over the largest configured document.
+    let probe_mb = sizes.iter().cloned().fold(0.0f64, f64::max).max(0.25);
+    let probe = if alloc_count::enabled() {
+        let doc = xmark_doc(probe_mb, seed);
+        match lexer_steady_probe(&doc) {
+            Ok(p) => {
+                eprintln!(
+                    "lexer steady state: {} events, {} allocations ({} allocs/event)",
+                    p.events,
+                    p.allocations,
+                    p.allocs_per_event()
+                );
+                Some(p)
+            }
+            Err(e) => {
+                eprintln!("lexer probe failed: {e}");
+                None
+            }
+        }
+    } else {
+        None
+    };
+
+    report::write_report(&out, seed, alloc_count::enabled(), &records, probe)
+        .expect("write report");
+    eprintln!("wrote {}", out.display());
+}

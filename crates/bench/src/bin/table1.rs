@@ -5,8 +5,14 @@
 //! ```text
 //! cargo run --release -p gcx-bench --bin table1 -- \
 //!     [--sizes 1,5,10,20] [--queries Q1,Q6,Q8,Q13,Q20] \
-//!     [--engines gcx,nogc,staticproj,dom] [--seed 42] [--q8-max-mb 5]
+//!     [--engines gcx,nogc,staticproj,dom] [--seed 42] [--q8-max-mb 5] \
+//!     [--json report.json]
 //! ```
+//!
+//! `--json PATH` additionally writes every measured cell as a
+//! machine-readable `gcx-bench-streaming/1` report (see
+//! `gcx_bench::report`); build with `--features count-allocs` to include
+//! allocation metrics.
 //!
 //! Defaults use 1–20 MB documents (the paper's 10–200 MB scaled down ×10
 //! with the same ×20 span; pass `--sizes 10,50,100,200` for paper scale).
@@ -14,7 +20,7 @@
 //! itself timed out at 200 MB — so it is capped at `--q8-max-mb` (larger
 //! runs print `skipped`, the analogue of the paper's `timeout`).
 
-use gcx_bench::{arg_value, run_engine, xmark_doc, Engine};
+use gcx_bench::{alloc_count, arg_value, report, run_engine, xmark_doc, Engine};
 use gcx_query::CompileOptions;
 
 fn main() {
@@ -42,6 +48,8 @@ fn main() {
         .unwrap_or_else(|| "5".into())
         .parse()
         .expect("q8 cap in MB");
+    let json_path = arg_value(&args, "--json");
+    let mut records: Vec<report::BenchRecord> = Vec::new();
 
     println!("GCX-RS Table 1 reproduction (paper: Schmidt/Scherzinger/Koch, ICDE 2007)");
     println!(
@@ -77,8 +85,32 @@ fn main() {
                     print!("{:>22}", "skipped");
                     continue;
                 }
-                match run_engine(engine, query, &doc, CompileOptions::default()) {
-                    Ok(cell) => print!("{:>22}", cell.render()),
+                let before = alloc_count::allocations();
+                let outcome = run_engine(engine, query, &doc, CompileOptions::default());
+                // Sample immediately, before any harness-side formatting
+                // allocates against the counter being reported.
+                let allocations =
+                    alloc_count::enabled().then(|| alloc_count::allocations() - before);
+                match outcome {
+                    Ok(cell) => {
+                        print!("{:>22}", cell.render());
+                        if json_path.is_some() {
+                            let r = &cell.report;
+                            records.push(report::BenchRecord {
+                                query: qname.clone(),
+                                engine: engine.label().to_string(),
+                                input_mb: mb,
+                                input_bytes: doc.len() as u64,
+                                seconds: r.elapsed.as_secs_f64(),
+                                events: r.tokens_read,
+                                peak_nodes: r.stats.peak_nodes as u64,
+                                peak_bytes: r.stats.peak_bytes as u64,
+                                dfa_states: r.dfa_states as u64,
+                                output_bytes: r.output_bytes,
+                                allocations,
+                            });
+                        }
+                    }
                     Err(e) => print!("{:>22}", format!("error: {e}")),
                 }
             }
@@ -88,4 +120,11 @@ fn main() {
     }
     println!("Note: memory is the buffer manager's own high watermark, measured");
     println!("identically across engines (see DESIGN.md / EXPERIMENTS.md).");
+
+    if let Some(path) = json_path {
+        let path = std::path::PathBuf::from(path);
+        report::write_report(&path, seed, alloc_count::enabled(), &records, None)
+            .expect("write json report");
+        eprintln!("wrote {}", path.display());
+    }
 }

@@ -8,8 +8,17 @@ use gcx_core::{run_dom, run_gcx, run_no_gc_streaming, run_static_projection, Run
 use gcx_query::{compile, CompileOptions};
 use gcx_xmark::XmarkConfig;
 use gcx_xml::TagInterner;
-use std::io::Write;
+use std::io::{Read, Write};
 use std::time::Duration;
+
+pub mod alloc_count;
+pub mod report;
+
+/// With `--features count-allocs`, every binary and test of this crate
+/// counts allocator round-trips (see [`alloc_count`]).
+#[cfg(feature = "count-allocs")]
+#[global_allocator]
+static GLOBAL_ALLOC: alloc_count::CountingAllocator = alloc_count::CountingAllocator;
 
 /// The engines of our Table 1 (see DESIGN.md for the mapping to the
 /// paper's comparison systems).
@@ -125,6 +134,84 @@ pub fn run_engine(
         return Err("safety violation: roles leaked".into());
     }
     Ok(Cell { report })
+}
+
+/// Runs (engine, query) `repeat` times over `doc`, keeping the best
+/// wall-clock time and (with the `count-allocs` feature) the allocator
+/// round-trips of one run. Produces a [`report::BenchRecord`] for the
+/// machine-readable report.
+pub fn measure_record(
+    engine: Engine,
+    qname: &str,
+    query: &str,
+    doc: &[u8],
+    mb: f64,
+    repeat: usize,
+) -> Result<report::BenchRecord, String> {
+    let mut best: Option<Cell> = None;
+    let mut allocations = None;
+    for _ in 0..repeat.max(1) {
+        let before = alloc_count::allocations();
+        let cell = run_engine(engine, query, doc, CompileOptions::default())?;
+        if alloc_count::enabled() {
+            allocations = Some(alloc_count::allocations() - before);
+        }
+        let improved = match &best {
+            Some(b) => cell.report.elapsed < b.report.elapsed,
+            None => true,
+        };
+        if improved {
+            best = Some(cell);
+        }
+    }
+    let cell = best.expect("repeat >= 1");
+    let r = &cell.report;
+    Ok(report::BenchRecord {
+        query: qname.to_string(),
+        engine: engine.label().to_string(),
+        input_mb: mb,
+        input_bytes: doc.len() as u64,
+        seconds: r.elapsed.as_secs_f64(),
+        events: r.tokens_read,
+        peak_nodes: r.stats.peak_nodes as u64,
+        peak_bytes: r.stats.peak_bytes as u64,
+        dfa_states: r.dfa_states as u64,
+        output_bytes: r.output_bytes,
+        allocations,
+    })
+}
+
+/// Measures the lexer's steady-state allocation behaviour: the document
+/// is lexed twice back-to-back under one synthetic root with one shared
+/// interner, and allocator round-trips are counted over the second copy
+/// only — by then the tag vocabulary is interned and every scratch
+/// buffer has reached its high-water capacity, so the expected count is
+/// exactly zero. Events are counted over the same stretch.
+pub fn lexer_steady_probe(doc: &[u8]) -> Result<report::LexerProbe, String> {
+    use gcx_xml::XmlLexer;
+    const OPEN: &[u8] = b"<gcx-probe>";
+    const CLOSE: &[u8] = b"</gcx-probe>";
+    let reader = OPEN.chain(doc).chain(doc).chain(CLOSE);
+    let boundary = (OPEN.len() + doc.len()) as u64;
+    let mut tags = TagInterner::new();
+    let mut lexer = XmlLexer::new(reader, &mut tags);
+    // Warm pass: the first copy of the document.
+    while lexer.offset() < boundary {
+        if lexer.next_event().map_err(|e| e.to_string())?.is_none() {
+            return Err("probe stream ended during warmup".into());
+        }
+    }
+    // Measured pass: identical input, warm everything.
+    let before = alloc_count::allocations();
+    let mut events = 0u64;
+    while lexer.next_event().map_err(|e| e.to_string())?.is_some() {
+        events += 1;
+    }
+    let allocations = alloc_count::allocations() - before;
+    Ok(report::LexerProbe {
+        events,
+        allocations,
+    })
 }
 
 /// Simple `--flag value` CLI parsing shared by the binaries.

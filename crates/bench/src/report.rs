@@ -1,0 +1,248 @@
+//! Machine-readable benchmark reports (`BENCH_streaming.json`).
+//!
+//! The JSON is hand-rolled (the workspace is offline, no serde) against a
+//! small stable schema, `gcx-bench-streaming/1`:
+//!
+//! ```json
+//! {
+//!   "schema": "gcx-bench-streaming/1",
+//!   "seed": 42,
+//!   "alloc_counting": true,
+//!   "results": [
+//!     { "query": "Q1", "engine": "gcx", "input_mb": 8.0,
+//!       "input_bytes": 8388608, "seconds": 0.031, "mb_per_sec": 258.0,
+//!       "events": 1203456, "events_per_sec": 38821161.0,
+//!       "peak_nodes": 7, "peak_bytes": 959, "dfa_states": 12,
+//!       "output_bytes": 123456,
+//!       "allocations": 812, "allocs_per_event": 0.00067 }
+//!   ],
+//!   "lexer_steady_state": { "events": 600000, "allocations": 0,
+//!                           "allocs_per_event": 0.0 }
+//! }
+//! ```
+//!
+//! `allocations`/`allocs_per_event` are `null` unless the harness was
+//! built with `--features count-allocs`. `lexer_steady_state` probes the
+//! lexer alone over a document whose tag vocabulary is already interned —
+//! the hard zero-allocation target of the hot-path work.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// One measured (query, engine, size) cell.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    pub query: String,
+    pub engine: String,
+    pub input_mb: f64,
+    pub input_bytes: u64,
+    /// Best-of-N wall-clock evaluation time.
+    pub seconds: f64,
+    pub events: u64,
+    pub peak_nodes: u64,
+    pub peak_bytes: u64,
+    pub dfa_states: u64,
+    pub output_bytes: u64,
+    /// Allocator round-trips during one run (`None` without counting).
+    pub allocations: Option<u64>,
+}
+
+impl BenchRecord {
+    pub fn mb_per_sec(&self) -> f64 {
+        (self.input_bytes as f64 / (1024.0 * 1024.0)) / self.seconds.max(1e-9)
+    }
+
+    pub fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.seconds.max(1e-9)
+    }
+
+    pub fn allocs_per_event(&self) -> Option<f64> {
+        self.allocations
+            .map(|a| a as f64 / (self.events.max(1) as f64))
+    }
+}
+
+/// The steady-state lexer probe: events and allocations over the second
+/// half of a document lexed with a fully warmed interner and scratch.
+#[derive(Debug, Clone, Copy)]
+pub struct LexerProbe {
+    pub events: u64,
+    pub allocations: u64,
+}
+
+impl LexerProbe {
+    pub fn allocs_per_event(&self) -> f64 {
+        self.allocations as f64 / (self.events.max(1) as f64)
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_opt_u64(v: Option<u64>) -> String {
+    v.map_or_else(|| "null".to_string(), |x| x.to_string())
+}
+
+/// Renders the full report document.
+pub fn render_report(
+    seed: u64,
+    alloc_counting: bool,
+    records: &[BenchRecord],
+    lexer: Option<LexerProbe>,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"gcx-bench-streaming/1\",\n");
+    let _ = writeln!(out, "  \"seed\": {seed},");
+    let _ = writeln!(out, "  \"alloc_counting\": {alloc_counting},");
+    let _ = writeln!(
+        out,
+        "  \"host\": {{ \"os\": \"{}\", \"arch\": \"{}\" }},",
+        std::env::consts::OS,
+        std::env::consts::ARCH
+    );
+    out.push_str("  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{ \"query\": \"{}\", \"engine\": \"{}\", \"input_mb\": {}, \
+             \"input_bytes\": {}, \"seconds\": {}, \"mb_per_sec\": {}, \
+             \"events\": {}, \"events_per_sec\": {}, \"peak_nodes\": {}, \
+             \"peak_bytes\": {}, \"dfa_states\": {}, \"output_bytes\": {}, \
+             \"allocations\": {}, \"allocs_per_event\": {} }}",
+            json_escape(&r.query),
+            json_escape(&r.engine),
+            json_f64(r.input_mb),
+            r.input_bytes,
+            json_f64(r.seconds),
+            json_f64(r.mb_per_sec()),
+            r.events,
+            json_f64(r.events_per_sec()),
+            r.peak_nodes,
+            r.peak_bytes,
+            r.dfa_states,
+            r.output_bytes,
+            json_opt_u64(r.allocations),
+            r.allocs_per_event()
+                .map_or_else(|| "null".to_string(), json_f64),
+        );
+        out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    match lexer {
+        Some(p) => {
+            let _ = writeln!(
+                out,
+                "  \"lexer_steady_state\": {{ \"events\": {}, \"allocations\": {}, \
+                 \"allocs_per_event\": {} }}",
+                p.events,
+                p.allocations,
+                json_f64(p.allocs_per_event())
+            );
+        }
+        None => out.push_str("  \"lexer_steady_state\": null\n"),
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Writes the report to `path`.
+pub fn write_report(
+    path: &Path,
+    seed: u64,
+    alloc_counting: bool,
+    records: &[BenchRecord],
+    lexer: Option<LexerProbe>,
+) -> io::Result<()> {
+    std::fs::write(path, render_report(seed, alloc_counting, records, lexer))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> BenchRecord {
+        BenchRecord {
+            query: "Q1".into(),
+            engine: "gcx".into(),
+            input_mb: 1.0,
+            input_bytes: 1 << 20,
+            seconds: 0.5,
+            events: 1000,
+            peak_nodes: 7,
+            peak_bytes: 900,
+            dfa_states: 3,
+            output_bytes: 42,
+            allocations: Some(10),
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let r = record();
+        assert!((r.mb_per_sec() - 2.0).abs() < 1e-9);
+        assert!((r.events_per_sec() - 2000.0).abs() < 1e-9);
+        assert!((r.allocs_per_event().unwrap() - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_shape_is_stable_json() {
+        let json = render_report(
+            7,
+            true,
+            &[record()],
+            Some(LexerProbe {
+                events: 10,
+                allocations: 0,
+            }),
+        );
+        assert!(json.contains("\"schema\": \"gcx-bench-streaming/1\""));
+        assert!(json.contains("\"query\": \"Q1\""));
+        assert!(json.contains("\"allocs_per_event\": 0 }"));
+        // Balanced braces/brackets (cheap well-formedness check).
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn null_fields_without_counting() {
+        let mut r = record();
+        r.allocations = None;
+        let json = render_report(7, false, &[r], None);
+        assert!(json.contains("\"allocations\": null"));
+        assert!(json.contains("\"lexer_steady_state\": null"));
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

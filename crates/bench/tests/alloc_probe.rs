@@ -1,0 +1,24 @@
+//! Acceptance check for the zero-allocation lexer hot path. Only
+//! meaningful (and only compiled) with the counting allocator installed:
+//!
+//! ```text
+//! cargo test -p gcx-bench --features count-allocs --test alloc_probe
+//! ```
+#![cfg(feature = "count-allocs")]
+
+use gcx_bench::{lexer_steady_probe, xmark_doc};
+
+/// Once a document's tag vocabulary is interned and the lexer's scratch
+/// buffers have reached their high-water capacity, lexing an identical
+/// stream performs zero heap allocations.
+#[test]
+fn lexer_steady_state_is_allocation_free() {
+    let doc = xmark_doc(0.5, 42);
+    let probe = lexer_steady_probe(&doc).expect("probe runs");
+    assert!(probe.events > 10_000, "probe too small: {}", probe.events);
+    assert_eq!(
+        probe.allocations, 0,
+        "steady-state lexing allocated {} times over {} events",
+        probe.allocations, probe.events
+    );
+}

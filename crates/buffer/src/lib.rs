@@ -27,5 +27,5 @@ pub mod node;
 pub mod serialize;
 pub mod stats;
 
-pub use node::{BufKind, BufNodeId, BufferError, BufferTree};
+pub use node::{BufKind, BufNodeId, BufferError, BufferTree, TextSpan};
 pub use stats::BufferStats;

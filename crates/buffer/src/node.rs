@@ -18,15 +18,35 @@ impl BufNodeId {
     }
 }
 
+/// Address of a text node's content within the buffer's shared text
+/// arena: an `(offset, len)` pair. Node churn no longer churns the
+/// allocator — text bytes live in one append-only arena per buffer,
+/// reclaimed wholesale by the garbage-collection sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TextSpan {
+    /// Byte offset into [`BufferTree`]'s text arena.
+    pub offset: u32,
+    /// Length in bytes.
+    pub len: u32,
+}
+
+impl TextSpan {
+    #[inline]
+    fn range(self) -> std::ops::Range<usize> {
+        let start = self.offset as usize;
+        start..start + self.len as usize
+    }
+}
+
 /// Payload of a buffered node.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BufKind {
     /// The virtual document root; never purged.
     Root,
     /// An element with an interned tag.
     Element(TagId),
-    /// Character data.
-    Text(Box<str>),
+    /// Character data, stored in the buffer's text arena.
+    Text(TextSpan),
 }
 
 /// Errors surfaced by buffer operations.
@@ -91,7 +111,7 @@ impl Node {
     fn bytes(&self) -> usize {
         std::mem::size_of::<Node>()
             + match &self.kind {
-                BufKind::Text(t) => t.len(),
+                BufKind::Text(sp) => sp.len as usize,
                 _ => 0,
             }
             + self.roles.approx_bytes()
@@ -109,6 +129,14 @@ pub struct BufferTree {
     /// Per-role assigned/removed instance counters (safety accounting).
     assigned: Vec<u64>,
     removed: Vec<u64>,
+    /// Append-only text arena addressed by [`TextSpan`]s. Freed spans at
+    /// the arena tail are truncated immediately; otherwise the arena is
+    /// cleared wholesale once no live text node references it, so the
+    /// steady-state streaming pattern (buffer a little, GC it away)
+    /// reuses one capacity forever.
+    text: Vec<u8>,
+    /// Bytes of the arena referenced by live text nodes.
+    live_text_bytes: usize,
 }
 
 impl BufferTree {
@@ -129,6 +157,8 @@ impl BufferTree {
             is_aggregate,
             assigned: vec![0; role_count],
             removed: vec![0; role_count],
+            text: Vec::new(),
+            live_text_bytes: 0,
         };
         let root = tree.alloc(BufKind::Root, None);
         debug_assert_eq!(root, Self::ROOT);
@@ -208,11 +238,34 @@ impl BufferTree {
     }
 
     /// Appends a text node under `parent`; text nodes are born finished.
+    /// The content is copied into the buffer's text arena — no per-node
+    /// allocation.
     pub fn add_text(&mut self, parent: BufNodeId, text: &str) -> BufNodeId {
-        let id = self.alloc(BufKind::Text(text.into()), Some(parent));
+        let span = TextSpan {
+            // Empty text pins offset 0 so its span stays valid across
+            // wholesale arena resets (it references no bytes).
+            offset: if text.is_empty() {
+                0
+            } else {
+                u32::try_from(self.text.len()).expect("text arena within u32 range")
+            },
+            len: u32::try_from(text.len()).expect("text node within u32 range"),
+        };
+        self.text.extend_from_slice(text.as_bytes());
+        self.live_text_bytes += text.len();
+        let id = self.alloc(BufKind::Text(span), Some(parent));
         self.n_mut(id).finished = true;
         self.link_last(parent, id);
         id
+    }
+
+    /// Resolves a span against the text arena.
+    #[inline]
+    pub(crate) fn span_str(&self, sp: TextSpan) -> &str {
+        if sp.len == 0 {
+            return "";
+        }
+        std::str::from_utf8(&self.text[sp.range()]).expect("arena holds validated UTF-8")
     }
 
     fn link_last(&mut self, parent: BufNodeId, id: BufNodeId) {
@@ -417,9 +470,22 @@ impl BufferTree {
                 child = self.nodes[c.index()].next_sibling;
             }
             let bytes = self.nodes[x.index()].bytes();
+            if let BufKind::Text(sp) = self.nodes[x.index()].kind {
+                self.live_text_bytes -= sp.len as usize;
+                // Tail spans are reclaimed in place; anything else waits
+                // for the wholesale reset below.
+                if sp.range().end == self.text.len() {
+                    self.text.truncate(sp.offset as usize);
+                }
+            }
             self.nodes[x.index()].alive = false;
             self.free.push(x.0);
             self.stats.free(bytes);
+        }
+        if self.live_text_bytes == 0 {
+            // No live text node references the arena: reclaim it
+            // wholesale (capacity is kept for reuse).
+            self.text.clear();
         }
     }
 
@@ -490,12 +556,17 @@ impl BufferTree {
         matches!(self.n(id).kind, BufKind::Text(_))
     }
 
-    /// Text content of a text node.
+    /// Text content of a text node (resolved against the text arena).
     pub fn text_content(&self, id: BufNodeId) -> Option<&str> {
-        match &self.n(id).kind {
-            BufKind::Text(t) => Some(t),
+        match self.n(id).kind {
+            BufKind::Text(sp) => Some(self.span_str(sp)),
             _ => None,
         }
+    }
+
+    /// Bytes currently held by the text arena (diagnostics/tests).
+    pub fn text_arena_len(&self) -> usize {
+        self.text.len()
     }
 
     pub fn parent(&self, id: BufNodeId) -> Option<BufNodeId> {
@@ -614,10 +685,10 @@ impl BufferTree {
             out.push_str("  ");
         }
         let n = self.n(id);
-        let label = match &n.kind {
+        let label = match n.kind {
             BufKind::Root => "/".to_string(),
-            BufKind::Element(t) => tags.name(*t).to_string(),
-            BufKind::Text(t) => format!("{t:?}"),
+            BufKind::Element(t) => tags.name(t).to_string(),
+            BufKind::Text(sp) => format!("{:?}", self.span_str(sp)),
         };
         let _ = writeln!(
             out,
@@ -642,12 +713,12 @@ impl BufferTree {
     fn render_rec(&self, id: BufNodeId, tags: &gcx_xml::TagInterner, out: &mut String) {
         use std::fmt::Write as _;
         if id != Self::ROOT && !self.n(id).marked {
-            match &self.n(id).kind {
+            match self.n(id).kind {
                 BufKind::Element(t) => {
-                    let _ = write!(out, "{}{} ", tags.name(*t), self.n(id).roles);
+                    let _ = write!(out, "{}{} ", tags.name(t), self.n(id).roles);
                 }
-                BufKind::Text(t) => {
-                    let _ = write!(out, "\"{}\"{} ", t, self.n(id).roles);
+                BufKind::Text(sp) => {
+                    let _ = write!(out, "\"{}\"{} ", self.span_str(sp), self.n(id).roles);
                 }
                 BufKind::Root => {}
             }
@@ -970,6 +1041,75 @@ mod tests {
         assert_eq!(s.nodes_purged, 10);
         assert_eq!(s.roles_assigned, 10);
         assert_eq!(s.roles_removed, 10);
+    }
+
+    #[test]
+    fn text_arena_reclaimed_by_gc() {
+        let mut b = setup(2);
+        let mut tags = gcx_xml::TagInterner::new();
+        let x = tags.intern("x");
+        // Streaming churn: buffer a text-carrying element, GC it away,
+        // repeat. The arena must not grow without bound.
+        for round in 0..50 {
+            let n = b.open_element(BufferTree::ROOT, x);
+            b.add_role(n, Role(0));
+            let t = b.add_text(n, "some text payload");
+            b.add_role(t, Role(1));
+            b.finish(n);
+            b.sign_off(t, Role(1), 1).unwrap();
+            b.sign_off(n, Role(0), 1).unwrap();
+            assert_eq!(
+                b.text_arena_len(),
+                0,
+                "arena reclaimed after GC round {round}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_text_survives_arena_reset() {
+        let mut b = setup(4);
+        let mut tags = gcx_xml::TagInterner::new();
+        let x = tags.intern("x");
+        let gone = b.open_element(BufferTree::ROOT, x);
+        b.add_role(gone, Role(0));
+        let t = b.add_text(gone, "payload");
+        b.add_role(t, Role(0));
+        let keep = b.open_element(BufferTree::ROOT, x);
+        b.add_role(keep, Role(1));
+        let empty = b.add_text(keep, "");
+        b.add_role(empty, Role(1));
+        b.finish(gone);
+        // Purge the only non-empty text: live_text_bytes hits 0 and the
+        // arena resets while the empty text node is still alive.
+        b.sign_off(t, Role(0), 1).unwrap();
+        b.sign_off(gone, Role(0), 1).unwrap();
+        assert_eq!(b.text_arena_len(), 0);
+        assert!(b.is_alive(empty));
+        assert_eq!(b.text_content(empty), Some(""));
+        assert_eq!(b.string_value(keep), "");
+    }
+
+    #[test]
+    fn text_arena_tail_truncation() {
+        let mut b = setup(4);
+        let mut tags = gcx_xml::TagInterner::new();
+        let x = tags.intern("x");
+        let keep = b.open_element(BufferTree::ROOT, x);
+        b.add_role(keep, Role(0));
+        let t1 = b.add_text(keep, "kept");
+        b.add_role(t1, Role(0));
+        let gone = b.open_element(BufferTree::ROOT, x);
+        b.add_role(gone, Role(1));
+        let t2 = b.add_text(gone, "tail-reclaimed");
+        b.add_role(t2, Role(1));
+        b.finish(gone);
+        assert_eq!(b.text_arena_len(), 4 + 14);
+        // Purging the tail text truncates the arena in place.
+        b.sign_off(t2, Role(1), 1).unwrap();
+        b.sign_off(gone, Role(1), 1).unwrap();
+        assert_eq!(b.text_arena_len(), 4);
+        assert_eq!(b.text_content(t1), Some("kept"));
     }
 
     #[test]

@@ -30,7 +30,7 @@ impl BufferTree {
                 }
                 Ok(())
             }
-            BufKind::Text(t) => w.text(t),
+            BufKind::Text(sp) => w.text(self.span_str(*sp)),
             BufKind::Element(tag) => {
                 let tag = *tag;
                 w.open(tag, tags)?;
@@ -57,7 +57,7 @@ impl BufferTree {
                     c = self.next_sibling(x);
                 }
             }
-            BufKind::Text(t) => out.push(XmlToken::Text(t.to_string())),
+            BufKind::Text(sp) => out.push(XmlToken::Text(self.span_str(*sp).to_string())),
             BufKind::Element(tag) => {
                 let tag = *tag;
                 out.push(XmlToken::Open(tag));
@@ -83,8 +83,8 @@ impl BufferTree {
         if self.is_marked(id) {
             return;
         }
-        if let BufKind::Text(t) = self.kind(id) {
-            out.push_str(t);
+        if let BufKind::Text(sp) = self.kind(id) {
+            out.push_str(self.span_str(*sp));
             return;
         }
         let mut c = self.first_child(id);

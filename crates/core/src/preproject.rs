@@ -16,7 +16,7 @@
 use crate::error::EngineError;
 use gcx_buffer::{BufNodeId, BufferTree};
 use gcx_projection::{ProjTree, StreamMatcher};
-use gcx_xml::{XmlLexer, XmlToken};
+use gcx_xml::{XmlEvent, XmlLexer};
 use std::io::Read;
 
 /// What one pump step did.
@@ -90,18 +90,22 @@ impl<'t, 'q, R: Read> Preprojector<'t, 'q, R> {
     }
 
     /// Processes one token (or one dead subtree). Returns what happened.
+    ///
+    /// Uses the lexer's borrowed-event API: buffered text is copied
+    /// exactly once, from the lexer's scratch straight into the buffer's
+    /// text arena, with no intermediate `String`.
     pub fn pump(&mut self, buffer: &mut BufferTree) -> Result<PumpEvent, EngineError> {
         if self.eof {
             return Ok(PumpEvent::Eof);
         }
-        let Some(token) = self.lexer.next_token()? else {
-            self.eof = true;
-            buffer.finish(BufferTree::ROOT);
-            return Ok(PumpEvent::Eof);
-        };
-        self.tokens_read += 1;
-        match token {
-            XmlToken::Open(tag) => {
+        match self.lexer.next_event()? {
+            None => {
+                self.eof = true;
+                buffer.finish(BufferTree::ROOT);
+                Ok(PumpEvent::Eof)
+            }
+            Some(XmlEvent::Open(tag)) => {
+                self.tokens_read += 1;
                 let outcome = self.matcher.open(tag);
                 let top_attach = self.stack.last().expect("stack nonempty").attach;
                 if outcome.buffer {
@@ -130,7 +134,8 @@ impl<'t, 'q, R: Read> Preprojector<'t, 'q, R> {
                     Ok(PumpEvent::Skipped)
                 }
             }
-            XmlToken::Close(_) => {
+            Some(XmlEvent::Close(_)) => {
+                self.tokens_read += 1;
                 self.matcher.close();
                 let entry = self.stack.pop().expect("balanced stream");
                 match entry.buf {
@@ -144,11 +149,12 @@ impl<'t, 'q, R: Read> Preprojector<'t, 'q, R> {
                     }
                 }
             }
-            XmlToken::Text(text) => {
+            Some(XmlEvent::Text(text)) => {
+                self.tokens_read += 1;
                 let outcome = self.matcher.text();
                 if outcome.buffer {
                     let parent = self.stack.last().expect("stack nonempty").attach;
-                    let node = buffer.add_text(parent, &text);
+                    let node = buffer.add_text(parent, text);
                     for &r in &outcome.roles {
                         buffer.add_role(node, r);
                     }
@@ -166,21 +172,21 @@ impl<'t, 'q, R: Read> Preprojector<'t, 'q, R> {
     fn skip_subtree(&mut self) -> Result<(), EngineError> {
         let mut depth = 0usize;
         loop {
-            let Some(token) = self.lexer.next_token()? else {
+            let Some(event) = self.lexer.next_event()? else {
                 // Unbalanced input is caught by the lexer itself.
                 return Ok(());
             };
             self.tokens_read += 1;
             self.tokens_skipped += 1;
-            match token {
-                XmlToken::Open(_) => depth += 1,
-                XmlToken::Close(_) => {
+            match event {
+                XmlEvent::Open(_) => depth += 1,
+                XmlEvent::Close(_) => {
                     if depth == 0 {
                         return Ok(());
                     }
                     depth -= 1;
                 }
-                XmlToken::Text(_) => {}
+                XmlEvent::Text(_) => {}
             }
         }
     }

@@ -8,9 +8,11 @@
 //!
 //! States are created on demand: the key of a state is the canonical pair
 //! (match multiset, pending-descendant-edge multiset). Transitions are
-//! memoized per `(state, tag)`, so repeated document shapes — the common
-//! case in data-centric XML like XMark — cost one hash lookup per opening
-//! tag.
+//! memoized in *dense per-state tables* — one `Vec<StateId>` per state,
+//! indexed by [`TagId`] and lazily grown with a sentinel for
+//! not-yet-built entries — so repeated document shapes (the common case
+//! in data-centric XML like XMark) cost one bounds-checked array load per
+//! opening tag instead of a hash probe.
 //!
 //! The DFA is only used when the projection tree carries no
 //! `[position()=1]` predicates; those need per-instance bookkeeping (see
@@ -44,12 +46,18 @@ struct DfaState {
 
 type StateKey = (Vec<(ProjNodeId, bool)>, Vec<ProjNodeId>);
 
+/// Sentinel for a transition that has not been constructed yet.
+const NO_STATE: StateId = StateId::MAX;
+
 /// The lazy DFA. See module docs.
 #[derive(Debug)]
 pub struct LazyDfa {
     states: Vec<DfaState>,
     index: HashMap<StateKey, StateId>,
-    trans: HashMap<(StateId, TagId), StateId>,
+    /// Dense transition tables: `trans[state][tag.index()]` is the target
+    /// state, [`NO_STATE`] when not yet built. Rows grow lazily to the
+    /// highest tag actually seen from that state.
+    trans: Vec<Vec<StateId>>,
 }
 
 impl LazyDfa {
@@ -63,7 +71,7 @@ impl LazyDfa {
         let mut dfa = LazyDfa {
             states: Vec::new(),
             index: HashMap::new(),
-            trans: HashMap::new(),
+            trans: Vec::new(),
         };
         let pending = collect_pending(tree, root_matches, Vec::new());
         let id = dfa.intern_state(tree, root_matches.to_vec(), pending);
@@ -84,14 +92,15 @@ impl LazyDfa {
 
     /// The paper's state mapping: the multiset of projection-tree nodes a
     /// state maps to, excluding `dos` self-closure entries (matching the
-    /// presentation in Example 1).
-    pub fn mapping(&self, s: StateId) -> Vec<ProjNodeId> {
+    /// presentation in Example 1). Returns a lazy iterator — no `Vec` is
+    /// allocated; collect at the call site when a materialized multiset
+    /// is needed.
+    pub fn mapping(&self, s: StateId) -> impl Iterator<Item = ProjNodeId> + '_ {
         self.states[s as usize]
             .matches
             .iter()
             .filter(|&&(_, via_self)| !via_self)
             .map(|&(n, _)| n)
-            .collect()
     }
 
     /// The full match multiset including self-closure entries.
@@ -120,10 +129,13 @@ impl LazyDfa {
     }
 
     /// Takes the transition `(from, tag)`, constructing the target state on
-    /// first use.
+    /// first use. Memoized transitions are one array load in the dense
+    /// per-state row.
     pub fn transition(&mut self, tree: &ProjTree, from: StateId, tag: TagId) -> StateId {
-        if let Some(&to) = self.trans.get(&(from, tag)) {
-            return to;
+        if let Some(&to) = self.trans[from as usize].get(tag.index()) {
+            if to != NO_STATE {
+                return to;
+            }
         }
         let state = &self.states[from as usize];
         let mut new: Vec<(ProjNodeId, bool)> = Vec::new();
@@ -155,45 +167,54 @@ impl LazyDfa {
         }
         let pending = collect_pending(tree, &new, state.pending.clone());
         let to = self.intern_state(tree, new, pending);
-        self.trans.insert((from, tag), to);
+        let row = &mut self.trans[from as usize];
+        if row.len() <= tag.index() {
+            row.resize(tag.index() + 1, NO_STATE);
+        }
+        row[tag.index()] = to;
         to
     }
 
     /// The verdict for a text child of a node in state `s`: whether to
-    /// buffer it and which roles to assign. Cached per state.
-    pub fn text_outcome(&mut self, tree: &ProjTree, s: StateId) -> (bool, Vec<Role>) {
-        if let Some(cached) = &self.states[s as usize].text {
-            return cached.clone();
-        }
-        let state = &self.states[s as usize];
-        let mut new: Vec<(ProjNodeId, bool)> = Vec::new();
-        for &(m, _) in &state.matches {
-            for &c in tree.children(m) {
-                let st = tree.step(c);
-                if st.axis == PAxis::Child && st.test.matches_text() {
-                    new.push((c, false));
+    /// buffer it and which roles to assign. Memoized per state; the
+    /// cached roles are returned by reference, so repeated text children
+    /// of the same document shape cost no allocation.
+    pub fn text_outcome(&mut self, tree: &ProjTree, s: StateId) -> (bool, &[Role]) {
+        if self.states[s as usize].text.is_none() {
+            let state = &self.states[s as usize];
+            let mut new: Vec<(ProjNodeId, bool)> = Vec::new();
+            for &(m, _) in &state.matches {
+                for &c in tree.children(m) {
+                    let st = tree.step(c);
+                    if st.axis == PAxis::Child && st.test.matches_text() {
+                        new.push((c, false));
+                    }
                 }
             }
-        }
-        for &p in &state.pending {
-            if tree.step(p).test.matches_text() {
-                new.push((p, false));
-            }
-        }
-        let mut i = 0;
-        while i < new.len() {
-            let v = new[i].0;
-            for &c in tree.children(v) {
-                let st = tree.step(c);
-                if st.axis == PAxis::DescendantOrSelf && st.test.matches_text() {
-                    new.push((c, true));
+            for &p in &state.pending {
+                if tree.step(p).test.matches_text() {
+                    new.push((p, false));
                 }
             }
-            i += 1;
+            let mut i = 0;
+            while i < new.len() {
+                let v = new[i].0;
+                for &c in tree.children(v) {
+                    let st = tree.step(c);
+                    if st.axis == PAxis::DescendantOrSelf && st.test.matches_text() {
+                        new.push((c, true));
+                    }
+                }
+                i += 1;
+            }
+            let result = (!new.is_empty(), entry_roles(tree, &new));
+            self.states[s as usize].text = Some(result);
         }
-        let result = (!new.is_empty(), entry_roles(tree, &new));
-        self.states[s as usize].text = Some(result.clone());
-        result
+        let cached = self.states[s as usize]
+            .text
+            .as_ref()
+            .expect("just computed");
+        (cached.0, &cached.1)
     }
 
     /// Canonicalizes and interns a state.
@@ -215,6 +236,7 @@ impl LazyDfa {
             && !preserve_children
             && matches.iter().all(|&(m, _)| tree.children(m).is_empty());
         let id = self.states.len() as StateId;
+        debug_assert!(id != NO_STATE, "state space exhausted");
         self.states.push(DfaState {
             matches,
             pending,
@@ -223,6 +245,7 @@ impl LazyDfa {
             dead_below,
             text: None,
         });
+        self.trans.push(Vec::new());
         self.index.insert(key, id);
         id
     }
@@ -317,19 +340,22 @@ mod tests {
         let mut dfa = LazyDfa::new(&tree, &[(ProjTree::ROOT, false)]);
 
         // q0 maps to {v1} (the root).
-        assert_eq!(dfa.mapping(LazyDfa::INITIAL), vec![ProjTree::ROOT]);
+        assert_eq!(
+            dfa.mapping(LazyDfa::INITIAL).collect::<Vec<_>>(),
+            vec![ProjTree::ROOT]
+        );
         // q1 = δ(q0, a) maps to {v2, v5}.
         let q1 = dfa.transition(&tree, LazyDfa::INITIAL, a);
-        assert_eq!(dfa.mapping(q1), vec![v[0], v[3]]);
+        assert_eq!(dfa.mapping(q1).collect::<Vec<_>>(), vec![v[0], v[3]]);
         // q2 = δ(q1, a) maps to ∅.
         let q2 = dfa.transition(&tree, q1, a);
-        assert!(dfa.mapping(q2).is_empty());
+        assert_eq!(dfa.mapping(q2).count(), 0);
         // q3 = δ(q2, b) maps to {v6}.
         let q3 = dfa.transition(&tree, q2, b);
-        assert_eq!(dfa.mapping(q3), vec![v[4]]);
+        assert_eq!(dfa.mapping(q3).collect::<Vec<_>>(), vec![v[4]]);
         // q4 = δ(q1, b) maps to {v3, v6}.
         let q4 = dfa.transition(&tree, q1, b);
-        assert_eq!(dfa.mapping(q4), vec![v[1], v[4]]);
+        assert_eq!(dfa.mapping(q4).collect::<Vec<_>>(), vec![v[1], v[4]]);
     }
 
     /// Paper Example 1, second part: over the Fig. 4(b) tree (//a//b),
@@ -350,11 +376,11 @@ mod tests {
         let q1 = dfa.transition(&tree, LazyDfa::INITIAL, a);
         let q2 = dfa.transition(&tree, q1, a);
         let q3 = dfa.transition(&tree, q2, b);
-        assert_eq!(dfa.mapping(q3), vec![v3, v3]);
+        assert_eq!(dfa.mapping(q3).collect::<Vec<_>>(), vec![v3, v3]);
         assert_eq!(dfa.entry_roles(q3), &[Role(3), Role(3)]);
         // And /a/b maps to {v3} only.
         let q4 = dfa.transition(&tree, q1, b);
-        assert_eq!(dfa.mapping(q4), vec![v3]);
+        assert_eq!(dfa.mapping(q4).collect::<Vec<_>>(), vec![v3]);
     }
 
     /// Paper Example 2: in state q1, reading another `a` yields a state
@@ -425,9 +451,10 @@ mod tests {
         let qx = dfa.transition(&tree, LazyDfa::INITIAL, x);
         let (buf, roles) = dfa.text_outcome(&tree, qx);
         assert!(buf);
+        let roles = roles.to_vec();
         assert_eq!(roles, vec![Role(5)]);
-        let again = dfa.text_outcome(&tree, qx);
-        assert_eq!(again, (buf, roles));
+        let (buf2, roles2) = dfa.text_outcome(&tree, qx);
+        assert_eq!((buf2, roles2.to_vec()), (buf, roles));
     }
 
     /// Dead-state detection.

@@ -264,7 +264,7 @@ impl<'t> StreamMatcher<'t> {
                 let (buffer, roles) = dfa.text_outcome(self.tree, s);
                 Outcome {
                     buffer,
-                    roles,
+                    roles: roles.to_vec(),
                     structural: false,
                 }
             }

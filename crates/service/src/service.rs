@@ -17,9 +17,9 @@ use crate::ServiceError;
 use gcx_core::EngineOptions;
 use gcx_query::{compile, CompileOptions, CompiledQuery};
 use gcx_xml::TagInterner;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Service configuration.
 #[derive(Debug, Clone)]
@@ -77,6 +77,10 @@ struct Inner {
     /// Master interner: every cached query's tag ids live here.
     tags: TagInterner,
     cache: HashMap<String, CacheEntry>,
+    /// Normalized keys currently being compiled outside the lock;
+    /// concurrent requests for the same key wait on `compile_done`
+    /// instead of compiling redundantly.
+    in_flight: HashSet<String>,
     /// Logical clock for LRU ordering.
     tick: u64,
 }
@@ -84,6 +88,8 @@ struct Inner {
 /// A shared, thread-safe query-serving runtime. See module docs.
 pub struct QueryService {
     inner: Mutex<Inner>,
+    /// Signaled whenever an in-flight compilation finishes (either way).
+    compile_done: Condvar,
     config: ServiceConfig,
     budget: Option<Arc<MemoryBudget>>,
     hits: AtomicU64,
@@ -102,8 +108,10 @@ impl QueryService {
             inner: Mutex::new(Inner {
                 tags: TagInterner::new(),
                 cache: HashMap::new(),
+                in_flight: HashSet::new(),
                 tick: 0,
             }),
+            compile_done: Condvar::new(),
             config,
             budget,
             hits: AtomicU64::new(0),
@@ -121,21 +129,73 @@ impl QueryService {
     /// Returns the compiled form of `query`, compiling at most once per
     /// normalized query text (whitespace outside string literals is
     /// insignificant in XQ).
+    ///
+    /// Compilation runs *outside* the service mutex against a snapshot of
+    /// the master interner, so a slow compile never stalls cache hits or
+    /// session traffic. Concurrent requests for the same key wait for the
+    /// winner instead of compiling redundantly; concurrent compiles of
+    /// *different* queries proceed in parallel (the loser of an interner
+    /// race recompiles under the lock — rare, and no worse than the old
+    /// always-locked behaviour).
     pub fn get_or_compile(&self, query: &str) -> Result<Arc<CompiledQuery>, ServiceError> {
         let key = normalize_query(query);
         let mut inner = self.inner.lock().expect("service lock");
+        loop {
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(entry) = inner.cache.get_mut(&key) {
+                entry.last_used = tick;
+                let compiled = entry.compiled.clone();
+                drop(inner);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(compiled);
+            }
+            if !inner.in_flight.contains(&key) {
+                break;
+            }
+            // Someone else is compiling this exact query: wait for the
+            // result and re-check the cache (a failed compile leaves the
+            // cache empty and this thread retries itself).
+            inner = self
+                .compile_done
+                .wait(inner)
+                .expect("service lock poisoned");
+        }
+        inner.in_flight.insert(key.clone());
+        let mut snapshot = inner.tags.clone();
+        let base_len = snapshot.len();
+        drop(inner);
+
+        // --- compile outside the lock ---
+        let result = compile(query, &mut snapshot, self.config.compile);
+
+        let mut inner = self.inner.lock().expect("service lock");
+        inner.in_flight.remove(&key);
+        self.compile_done.notify_all();
+        let compiled = match result {
+            Err(e) => return Err(ServiceError::Compile(e)),
+            Ok(compiled) => {
+                if inner.tags.len() == base_len {
+                    // Nobody interned concurrently: adopt the extended
+                    // snapshot — its ids are a strict superset of the
+                    // master's.
+                    inner.tags = snapshot;
+                    Arc::new(compiled)
+                } else {
+                    // The master interner advanced while we compiled (a
+                    // concurrent compile of a different query landed
+                    // first); the snapshot's new ids may clash. Recompile
+                    // against the master under the lock for id
+                    // consistency.
+                    Arc::new(
+                        compile(query, &mut inner.tags, self.config.compile)
+                            .map_err(ServiceError::Compile)?,
+                    )
+                }
+            }
+        };
         inner.tick += 1;
         let tick = inner.tick;
-        if let Some(entry) = inner.cache.get_mut(&key) {
-            entry.last_used = tick;
-            let compiled = entry.compiled.clone();
-            drop(inner);
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(compiled);
-        }
-        let compiled = Arc::new(
-            compile(query, &mut inner.tags, self.config.compile).map_err(ServiceError::Compile)?,
-        );
         inner.cache.insert(
             key,
             CacheEntry {
@@ -373,6 +433,52 @@ mod tests {
         assert_eq!(stats.cache_misses, 1);
         assert!(stats.cache_hits >= 1, "second session hits the cache");
         assert_eq!(stats.sessions_opened, 2);
+    }
+
+    #[test]
+    fn concurrent_compiles_of_same_query_are_deduped() {
+        let service = Arc::new(QueryService::with_defaults());
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let service = service.clone();
+                scope.spawn(move || {
+                    service.get_or_compile(QUERY).unwrap();
+                });
+            }
+        });
+        let stats = service.stats();
+        assert_eq!(stats.cache_misses, 1, "one compile for eight requests");
+        assert_eq!(stats.cache_hits, 7);
+    }
+
+    #[test]
+    fn concurrent_compiles_of_distinct_queries_yield_consistent_ids() {
+        // Different queries compiled in parallel must all end up with tag
+        // ids consistent with the master interner — exercised end-to-end
+        // by evaluating through sessions afterwards.
+        let service = Arc::new(QueryService::with_defaults());
+        let tags: Vec<&str> = vec!["alpha", "beta", "gamma", "delta", "epsilon", "zeta"];
+        std::thread::scope(|scope| {
+            for t in &tags {
+                let service = service.clone();
+                scope.spawn(move || {
+                    let q = format!("<r>{{ for $x in /{t}/item return $x }}</r>");
+                    service.get_or_compile(&q).unwrap();
+                });
+            }
+        });
+        for t in &tags {
+            let q = format!("<r>{{ for $x in /{t}/item return $x }}</r>");
+            let mut session = service.open_session(&q).unwrap();
+            let doc = format!("<{t}><item>v</item></{t}>");
+            let mut out = session.feed(doc.as_bytes()).unwrap();
+            out.extend_from_slice(&session.finish().unwrap().output);
+            assert_eq!(
+                String::from_utf8(out).unwrap(),
+                "<r><item>v</item></r>",
+                "query over /{t} evaluates correctly"
+            );
+        }
     }
 
     #[test]

@@ -173,27 +173,63 @@ impl Read for ChunkReader {
     }
 }
 
-/// The evaluator-side `Write`: appends to the shared output buffer the
-/// moment the engine emits, so callers see results incrementally.
+/// The evaluator-side `Write`: appends to the shared output buffer so
+/// callers see results incrementally.
+///
+/// `XmlWriter` emits several tiny writes per tag (`<`, name, `>`); taking
+/// the session mutex for each would triple lock traffic for no benefit.
+/// Writes are staged in a lock-free local micro-buffer and pushed to the
+/// shared buffer on *tag boundaries* — whenever the staged bytes end with
+/// `>`, which escaped character data never does — so the lock is taken
+/// once per tag while incremental delivery (every complete tag is
+/// immediately visible to `feed`/`drain`) is preserved.
 struct SessionWriter {
     shared: Arc<Shared>,
     budget: Option<Arc<MemoryBudget>>,
+    /// Locally staged bytes not yet pushed to the shared buffer.
+    staged: Vec<u8>,
+}
+
+/// Safety valve: push even mid-tag once this much is staged (a single
+/// enormous text node must not sit invisible in the micro-buffer).
+const STAGE_FLUSH_BYTES: usize = 8 * 1024;
+
+impl SessionWriter {
+    fn push_staged(&mut self) {
+        if self.staged.is_empty() {
+            return;
+        }
+        let mut st = self.shared.lock();
+        st.output.extend_from_slice(&self.staged);
+        if let Some(b) = &self.budget {
+            // Soft accounting: an engine mid-emit cannot fail cleanly, so
+            // output may transiently overshoot until the caller drains.
+            b.force_reserve(self.staged.len());
+        }
+        self.staged.clear();
+    }
 }
 
 impl Write for SessionWriter {
     fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
-        let mut st = self.shared.lock();
-        st.output.extend_from_slice(buf);
-        if let Some(b) = &self.budget {
-            // Soft accounting: an engine mid-emit cannot fail cleanly, so
-            // output may transiently overshoot until the caller drains.
-            b.force_reserve(buf.len());
+        self.staged.extend_from_slice(buf);
+        if self.staged.last() == Some(&b'>') || self.staged.len() >= STAGE_FLUSH_BYTES {
+            self.push_staged();
         }
         Ok(buf.len())
     }
 
     fn flush(&mut self) -> io::Result<()> {
+        self.push_staged();
         Ok(())
+    }
+}
+
+impl Drop for SessionWriter {
+    fn drop(&mut self) {
+        // An engine that errors out mid-emit never flushes; hand over
+        // whatever was staged so diagnostics see the partial output.
+        self.push_staged();
     }
 }
 
@@ -243,6 +279,7 @@ impl StreamSession {
                 let writer = SessionWriter {
                     shared: shared.clone(),
                     budget,
+                    staged: Vec::new(),
                 };
                 let mut engine = GcxEngine::new(&compiled, &mut tags, reader, writer, engine_opts);
                 engine.set_cancel_flag(cancel);

@@ -14,10 +14,25 @@
 
 use crate::error::XmlError;
 use crate::tags::{TagId, TagInterner};
-use crate::token::XmlToken;
+use crate::token::{XmlEvent, XmlToken};
 use crate::Result;
 use std::collections::VecDeque;
 use std::io::Read;
+
+/// Queued follow-up events (bachelor tags, attribute expansion). Attribute
+/// text is stored as a range into the lexer's `attr_buf` scratch arena so
+/// queueing never allocates in steady state.
+#[derive(Debug, Clone, Copy)]
+enum Pending {
+    Open(TagId),
+    Close(TagId),
+    AttrText { start: u32, end: u32 },
+}
+
+#[inline]
+fn is_name_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b == b'-' || b == b'.' || b == b':'
+}
 
 /// What to do with attributes in the input.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -70,12 +85,21 @@ pub struct XmlLexer<'t, R: Read> {
     opts: LexerOptions,
     /// Stack of open element tags, for balance checking.
     open: Vec<TagId>,
-    /// Queued tokens (from bachelor tags / attribute expansion).
-    pending: VecDeque<XmlToken>,
+    /// Queued events (from bachelor tags / attribute expansion).
+    pending: VecDeque<Pending>,
     /// True once the single document element has closed.
     document_done: bool,
-    /// Scratch for character data accumulation (raw UTF-8 bytes).
+    /// Scratch for character data accumulation (raw UTF-8 bytes). Reused
+    /// across tokens; cleared lazily after the borrowed text event has
+    /// been handed out.
     text: Vec<u8>,
+    /// The previous `next_event` call returned a borrow of `text`; clear
+    /// it on the next call.
+    text_emitted: bool,
+    /// Scratch arena for attribute values of the current tag.
+    attr_buf: Vec<u8>,
+    /// Scratch for names that span a buffer refill (rare).
+    name_buf: Vec<u8>,
     eof: bool,
 }
 
@@ -101,6 +125,9 @@ impl<'t, R: Read> XmlLexer<'t, R> {
             pending: VecDeque::new(),
             document_done: false,
             text: Vec::new(),
+            text_emitted: false,
+            attr_buf: Vec::new(),
+            name_buf: Vec::new(),
             eof: false,
         }
     }
@@ -204,18 +231,47 @@ impl<'t, R: Read> XmlLexer<'t, R> {
         }
     }
 
-    fn read_name(&mut self, context: &'static str) -> Result<String> {
-        let mut name = String::new();
+    /// Reads a name and interns it directly from the input buffer. The
+    /// fast path (name fully visible in the current buffer — virtually
+    /// always, with 64 KiB refills) performs zero allocations: the
+    /// borrowed byte slice goes straight into the interner's raw-bytes
+    /// hash lookup. Only names spanning a refill take the scratch-copy
+    /// slow path.
+    fn read_name_id(&mut self, context: &'static str) -> Result<TagId> {
+        if self.peek()?.is_none() {
+            return Err(XmlError::UnexpectedEof {
+                offset: self.offset(),
+                context,
+            });
+        }
+        let start = self.pos;
+        let mut i = self.pos;
+        while i < self.len && is_name_byte(self.buf[i]) {
+            i += 1;
+        }
+        if i < self.len {
+            if i == start {
+                return Err(XmlError::Malformed {
+                    offset: self.offset(),
+                    detail: format!("empty name in {context}"),
+                });
+            }
+            self.pos = i;
+            let id = self
+                .tags
+                .intern_bytes(&self.buf[start..i])
+                .expect("name bytes are an ASCII subset");
+            return Ok(id);
+        }
+        // The name touches the end of the buffer: continue through refills
+        // via the reusable scratch.
+        self.name_buf.clear();
+        self.name_buf.extend_from_slice(&self.buf[start..i]);
+        self.pos = i;
         loop {
             match self.peek()? {
-                Some(b)
-                    if b.is_ascii_alphanumeric()
-                        || b == b'_'
-                        || b == b'-'
-                        || b == b'.'
-                        || b == b':' =>
-                {
-                    name.push(b as char);
+                Some(b) if is_name_byte(b) => {
+                    self.name_buf.push(b);
                     self.pos += 1;
                 }
                 Some(_) => break,
@@ -227,13 +283,17 @@ impl<'t, R: Read> XmlLexer<'t, R> {
                 }
             }
         }
-        if name.is_empty() {
+        if self.name_buf.is_empty() {
             return Err(XmlError::Malformed {
                 offset: self.offset(),
                 detail: format!("empty name in {context}"),
             });
         }
-        Ok(name)
+        let id = self
+            .tags
+            .intern_bytes(&self.name_buf)
+            .expect("name bytes are an ASCII subset");
+        Ok(id)
     }
 
     fn skip_ws(&mut self) -> Result<()> {
@@ -248,64 +308,104 @@ impl<'t, R: Read> XmlLexer<'t, R> {
     }
 
     /// Decodes one entity reference; the leading `&` is already consumed.
+    /// Allocation-free on success: the entity name lives in a stack
+    /// buffer (names longer than 11 bytes are malformed anyway).
     fn read_entity(&mut self) -> Result<char> {
-        let mut name = String::new();
+        let mut name = [0u8; 12];
+        let mut n = 0usize;
         loop {
             let b = self.bump("entity reference")?;
             if b == b';' {
                 break;
             }
-            if name.len() > 10 {
+            if n >= 11 {
                 return Err(XmlError::Malformed {
                     offset: self.offset(),
                     detail: "entity reference too long".into(),
                 });
             }
-            name.push(b as char);
+            name[n] = b;
+            n += 1;
         }
+        let name = &name[..n];
+        let shown = |name: &[u8]| String::from_utf8_lossy(name).into_owned();
         let bad = |detail: String, offset: u64| XmlError::Malformed { offset, detail };
         let off = self.offset();
-        Ok(match name.as_str() {
-            "lt" => '<',
-            "gt" => '>',
-            "amp" => '&',
-            "apos" => '\'',
-            "quot" => '"',
-            _ if name.starts_with("#x") || name.starts_with("#X") => {
-                let cp = u32::from_str_radix(&name[2..], 16)
-                    .map_err(|_| bad(format!("bad hex character reference &{name};"), off))?;
+        Ok(match name {
+            b"lt" => '<',
+            b"gt" => '>',
+            b"amp" => '&',
+            b"apos" => '\'',
+            b"quot" => '"',
+            _ if name.starts_with(b"#x") || name.starts_with(b"#X") => {
+                let digits = std::str::from_utf8(&name[2..]).map_err(|_| {
+                    bad(
+                        format!("bad hex character reference &{};", shown(name)),
+                        off,
+                    )
+                })?;
+                let cp = u32::from_str_radix(digits, 16).map_err(|_| {
+                    bad(
+                        format!("bad hex character reference &{};", shown(name)),
+                        off,
+                    )
+                })?;
                 char::from_u32(cp)
-                    .ok_or_else(|| bad(format!("invalid code point in &{name};"), off))?
+                    .ok_or_else(|| bad(format!("invalid code point in &{};", shown(name)), off))?
             }
-            _ if name.starts_with('#') => {
-                let cp: u32 = name[1..]
+            _ if name.starts_with(b"#") => {
+                let digits = std::str::from_utf8(&name[1..])
+                    .map_err(|_| bad(format!("bad character reference &{};", shown(name)), off))?;
+                let cp: u32 = digits
                     .parse()
-                    .map_err(|_| bad(format!("bad character reference &{name};"), off))?;
+                    .map_err(|_| bad(format!("bad character reference &{};", shown(name)), off))?;
                 char::from_u32(cp)
-                    .ok_or_else(|| bad(format!("invalid code point in &{name};"), off))?
+                    .ok_or_else(|| bad(format!("invalid code point in &{};", shown(name)), off))?
             }
-            _ => return Err(bad(format!("unknown entity &{name};"), off)),
+            _ => return Err(bad(format!("unknown entity &{};", shown(name)), off)),
         })
     }
 
-    /// Reads a quoted attribute value (opening quote already consumed).
-    fn read_attr_value(&mut self, quote: u8) -> Result<String> {
-        let mut v: Vec<u8> = Vec::new();
+    /// Reads a quoted attribute value (opening quote already consumed)
+    /// into the `attr_buf` scratch arena, batching plain byte runs with a
+    /// single copy per buffered stretch. Returns the `(start, end)` range
+    /// of the (UTF-8 validated) value within the arena.
+    fn read_attr_value(&mut self, quote: u8) -> Result<(u32, u32)> {
+        let start = self.attr_buf.len();
         loop {
-            let b = self.bump("attribute value")?;
-            if b == quote {
-                return String::from_utf8(v).map_err(|_| XmlError::Malformed {
+            if !self.fill()? {
+                return Err(XmlError::UnexpectedEof {
                     offset: self.offset(),
-                    detail: "attribute value is not valid UTF-8".into(),
+                    context: "attribute value",
                 });
             }
-            if b == b'&' {
-                let c = self.read_entity()?;
-                let mut enc = [0u8; 4];
-                v.extend_from_slice(c.encode_utf8(&mut enc).as_bytes());
-            } else {
-                v.push(b);
+            let mut i = self.pos;
+            while i < self.len {
+                let b = self.buf[i];
+                if b == quote || b == b'&' {
+                    break;
+                }
+                i += 1;
             }
+            self.attr_buf.extend_from_slice(&self.buf[self.pos..i]);
+            self.pos = i;
+            if i == self.len {
+                continue;
+            }
+            let b = self.buf[i];
+            self.pos += 1;
+            if b == quote {
+                std::str::from_utf8(&self.attr_buf[start..]).map_err(|_| XmlError::Malformed {
+                    offset: self.offset(),
+                    detail: "attribute value is not valid UTF-8".into(),
+                })?;
+                return Ok((start as u32, self.attr_buf.len() as u32));
+            }
+            // b == '&'
+            let c = self.read_entity()?;
+            let mut enc = [0u8; 4];
+            self.attr_buf
+                .extend_from_slice(c.encode_utf8(&mut enc).as_bytes());
         }
     }
 
@@ -327,7 +427,7 @@ impl<'t, R: Read> XmlLexer<'t, R> {
                 }
                 Some(_) => {
                     let at = self.offset();
-                    let name = self.read_name("attribute name")?;
+                    let id = self.read_name_id("attribute name")?;
                     self.skip_ws()?;
                     self.expect(b'=', "attribute")?;
                     self.skip_ws()?;
@@ -338,19 +438,23 @@ impl<'t, R: Read> XmlLexer<'t, R> {
                             detail: "attribute value must be quoted".into(),
                         });
                     }
-                    let value = self.read_attr_value(q)?;
+                    let (start, end) = self.read_attr_value(q)?;
                     match self.opts.attributes {
                         AttributeMode::AsSubelements => {
-                            let id = self.tags.intern(&name);
-                            self.pending.push_back(XmlToken::Open(id));
-                            if !value.is_empty() {
-                                self.pending.push_back(XmlToken::Text(value));
+                            self.pending.push_back(Pending::Open(id));
+                            if end > start {
+                                self.pending.push_back(Pending::AttrText { start, end });
                             }
-                            self.pending.push_back(XmlToken::Close(id));
+                            self.pending.push_back(Pending::Close(id));
                         }
-                        AttributeMode::Ignore => {}
+                        AttributeMode::Ignore => {
+                            self.attr_buf.truncate(start as usize);
+                        }
                         AttributeMode::Error => {
-                            return Err(XmlError::UnexpectedAttribute { offset: at, name });
+                            return Err(XmlError::UnexpectedAttribute {
+                                offset: at,
+                                name: self.tags.name(id).to_string(),
+                            });
                         }
                     }
                 }
@@ -392,11 +496,13 @@ impl<'t, R: Read> XmlLexer<'t, R> {
         }
     }
 
-    /// Flushes accumulated text as a token if non-empty and allowed by the
-    /// whitespace mode.
-    fn take_text(&mut self) -> Result<Option<XmlToken>> {
+    /// Decides whether the accumulated text should be emitted (per the
+    /// whitespace mode), validating UTF-8 up front. A dropped run is
+    /// cleared immediately; a kept run stays in `text` for the borrowed
+    /// event (cleared lazily on the next call).
+    fn take_text_pending(&mut self) -> Result<bool> {
         if self.text.is_empty() {
-            return Ok(None);
+            return Ok(false);
         }
         let keep = match self.opts.whitespace {
             WhitespaceMode::Keep => true,
@@ -404,19 +510,26 @@ impl<'t, R: Read> XmlLexer<'t, R> {
                 self.text.iter().any(|b| !b.is_ascii_whitespace())
             }
         };
-        let bytes = std::mem::take(&mut self.text);
         if !keep {
-            return Ok(None);
+            self.text.clear();
+            return Ok(false);
         }
-        let s = String::from_utf8(bytes).map_err(|_| XmlError::Malformed {
+        std::str::from_utf8(&self.text).map_err(|_| XmlError::Malformed {
             offset: self.offset(),
             detail: "character data is not valid UTF-8".into(),
         })?;
-        Ok(Some(XmlToken::Text(s)))
+        Ok(true)
     }
 
-    fn close_tag(&mut self, name: &str) -> Result<TagId> {
-        let id = self.tags.intern(name);
+    /// The accumulated text, after [`Self::take_text_pending`] validated it.
+    #[inline]
+    fn text_str(&self) -> &str {
+        debug_assert!(std::str::from_utf8(&self.text).is_ok());
+        // Validated by take_text_pending just before every call.
+        std::str::from_utf8(&self.text).expect("validated UTF-8")
+    }
+
+    fn close_tag(&mut self, id: TagId) -> Result<TagId> {
         match self.open.pop() {
             Some(top) if top == id => {
                 if self.open.is_empty() {
@@ -427,20 +540,46 @@ impl<'t, R: Read> XmlLexer<'t, R> {
             Some(top) => Err(XmlError::MismatchedClose {
                 offset: self.offset(),
                 expected: self.tags.name(top).to_string(),
-                found: name.to_string(),
+                found: self.tags.name(id).to_string(),
             }),
             None => Err(XmlError::UnbalancedClose {
                 offset: self.offset(),
-                tag: name.to_string(),
+                tag: self.tags.name(id).to_string(),
             }),
         }
     }
 
-    /// Returns the next token, or `None` at the end of the document.
-    pub fn next_token(&mut self) -> Result<Option<XmlToken>> {
-        if let Some(t) = self.pending.pop_front() {
-            return Ok(Some(t));
+    /// Resolves a queued event against the scratch arenas.
+    #[inline]
+    fn resolve_pending(&self, p: Pending) -> XmlEvent<'_> {
+        match p {
+            Pending::Open(t) => XmlEvent::Open(t),
+            Pending::Close(t) => XmlEvent::Close(t),
+            Pending::AttrText { start, end } => XmlEvent::Text(
+                std::str::from_utf8(&self.attr_buf[start as usize..end as usize])
+                    .expect("validated at parse time"),
+            ),
         }
+    }
+
+    /// Returns the next event, or `None` at the end of the document.
+    ///
+    /// This is the zero-allocation hot path: tag names are interned from
+    /// borrowed byte slices and character data is handed out as a borrow
+    /// of the lexer's reusable scratch buffer. Once the document's tag
+    /// vocabulary is interned and the scratch buffers have reached their
+    /// high-water capacity, steady-state lexing performs no heap
+    /// allocations at all.
+    pub fn next_event(&mut self) -> Result<Option<XmlEvent<'_>>> {
+        if self.text_emitted {
+            self.text.clear();
+            self.text_emitted = false;
+        }
+        if let Some(p) = self.pending.pop_front() {
+            return Ok(Some(self.resolve_pending(p)));
+        }
+        // The attribute arena only backs queued events; the queue is empty.
+        self.attr_buf.clear();
         loop {
             let b = match self.peek()? {
                 Some(b) => b,
@@ -477,7 +616,19 @@ impl<'t, R: Read> XmlLexer<'t, R> {
                     self.text
                         .extend_from_slice(c.encode_utf8(&mut enc).as_bytes());
                 } else {
+                    // Batch the whole plain run visible in the buffer into
+                    // the text scratch with one copy.
                     self.text.push(b);
+                    let mut i = self.pos;
+                    while i < self.len {
+                        let c = self.buf[i];
+                        if c == b'<' || c == b'&' {
+                            break;
+                        }
+                        i += 1;
+                    }
+                    self.text.extend_from_slice(&self.buf[self.pos..i]);
+                    self.pos = i;
                 }
                 continue;
             }
@@ -521,16 +672,17 @@ impl<'t, R: Read> XmlLexer<'t, R> {
                     }
                 }
                 b'/' => {
-                    let text = self.take_text()?;
-                    let name = self.read_name("closing tag")?;
+                    let has_text = self.take_text_pending()?;
+                    let id = self.read_name_id("closing tag")?;
                     self.skip_ws()?;
                     self.expect(b'>', "closing tag")?;
-                    let id = self.close_tag(&name)?;
-                    if let Some(t) = text {
-                        self.pending.push_back(XmlToken::Close(id));
-                        return Ok(Some(t));
+                    let id = self.close_tag(id)?;
+                    if has_text {
+                        self.pending.push_back(Pending::Close(id));
+                        self.text_emitted = true;
+                        return Ok(Some(XmlEvent::Text(self.text_str())));
                     }
-                    return Ok(Some(XmlToken::Close(id)));
+                    return Ok(Some(XmlEvent::Close(id)));
                 }
                 _ => {
                     if self.document_done {
@@ -538,32 +690,38 @@ impl<'t, R: Read> XmlLexer<'t, R> {
                             offset: self.offset(),
                         });
                     }
-                    let text = self.take_text()?;
+                    let has_text = self.take_text_pending()?;
                     self.pos -= 1; // un-consume the first name byte
-                    let name = self.read_name("opening tag")?;
-                    let id = self.tags.intern(&name);
-                    // Attribute tokens are queued by read_tag_rest; they must
-                    // appear *after* the Open token, so remember where the
-                    // queue started.
-                    let queue_start = self.pending.len();
+                    let id = self.read_name_id("opening tag")?;
+                    // Attribute events are queued by read_tag_rest; they must
+                    // appear *after* the Open event — the queue is empty here
+                    // (drained before any markup is read).
+                    debug_assert!(self.pending.is_empty(), "pending drained before markup");
                     let self_closing = self.read_tag_rest()?;
-                    debug_assert_eq!(queue_start, 0, "pending drained before markup");
                     if self_closing {
-                        self.pending.push_back(XmlToken::Close(id));
+                        self.pending.push_back(Pending::Close(id));
                         if self.open.is_empty() {
                             self.document_done = true;
                         }
                     } else {
                         self.open.push(id);
                     }
-                    if let Some(t) = text {
-                        self.pending.push_front(XmlToken::Open(id));
-                        return Ok(Some(t));
+                    if has_text {
+                        self.pending.push_front(Pending::Open(id));
+                        self.text_emitted = true;
+                        return Ok(Some(XmlEvent::Text(self.text_str())));
                     }
-                    return Ok(Some(XmlToken::Open(id)));
+                    return Ok(Some(XmlEvent::Open(id)));
                 }
             }
         }
+    }
+
+    /// Returns the next token as an owned value, or `None` at the end of
+    /// the document. Allocating compatibility wrapper over
+    /// [`Self::next_event`]; hot paths should prefer the borrowed API.
+    pub fn next_token(&mut self) -> Result<Option<XmlToken>> {
+        Ok(self.next_event()?.map(XmlEvent::into_owned))
     }
 
     /// Drains the remaining stream into a vector (convenience for tests).

@@ -25,8 +25,8 @@ pub mod writer;
 
 pub use error::XmlError;
 pub use lexer::{AttributeMode, LexerOptions, WhitespaceMode, XmlLexer};
-pub use tags::{TagId, TagInterner};
-pub use token::XmlToken;
+pub use tags::{FxBuildHasher, FxHasher, TagId, TagInterner};
+pub use token::{XmlEvent, XmlToken};
 pub use tree::{Document, NodeId, NodeKind};
 pub use writer::{CountingSink, XmlWriter};
 

@@ -7,6 +7,45 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A fast multiply-xor hasher (FxHash-style) for the interner's raw-bytes
+/// lookup. Tag names are short, trusted identifiers, so a DoS-resistant
+/// hash (SipHash, the `HashMap` default) wastes most of its cycles here —
+/// this hasher is the difference between "one hash per opening tag" being
+/// free and being visible in profiles.
+#[derive(Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            let word = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+            self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+        }
+        let mut tail = 0u64;
+        for &b in chunks.remainder() {
+            tail = (tail << 8) | u64::from(b);
+        }
+        // Fold the length in so "ab" and "ab\0" cannot collide trivially.
+        tail = (tail << 8) | bytes.len() as u64;
+        self.hash = (self.hash.rotate_left(5) ^ tail).wrapping_mul(FX_SEED);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`]-keyed maps.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 
 /// Interned tag name. Dense, starts at 0, stable for the life of the
 /// [`TagInterner`] that produced it.
@@ -35,7 +74,10 @@ impl fmt::Display for TagId {
 #[derive(Debug, Default, Clone)]
 pub struct TagInterner {
     names: Vec<Box<str>>,
-    ids: HashMap<Box<str>, TagId>,
+    /// Raw-bytes lookup keyed by the UTF-8 of the name, so the streaming
+    /// lexer can intern borrowed byte slices without building a `String`
+    /// first. Keys are hashed with [`FxHasher`].
+    ids: HashMap<Box<[u8]>, TagId, FxBuildHasher>,
 }
 
 impl TagInterner {
@@ -46,19 +88,39 @@ impl TagInterner {
 
     /// Interns `name`, returning the existing id when already present.
     pub fn intern(&mut self, name: &str) -> TagId {
-        if let Some(&id) = self.ids.get(name) {
+        if let Some(&id) = self.ids.get(name.as_bytes()) {
             return id;
         }
+        self.insert_new(name)
+    }
+
+    /// Interns a name given as raw UTF-8 bytes. The hot-path entry point
+    /// of the streaming lexer: a known name costs one hash lookup and
+    /// zero allocations; only a genuinely new name is copied and
+    /// validated.
+    ///
+    /// # Errors
+    /// Returns `None` when `bytes` is not valid UTF-8 (never the case for
+    /// the lexer, whose name characters are an ASCII subset).
+    pub fn intern_bytes(&mut self, bytes: &[u8]) -> Option<TagId> {
+        if let Some(&id) = self.ids.get(bytes) {
+            return Some(id);
+        }
+        let name = std::str::from_utf8(bytes).ok()?;
+        Some(self.insert_new(name))
+    }
+
+    fn insert_new(&mut self, name: &str) -> TagId {
         let id = TagId(self.names.len() as u32);
         let boxed: Box<str> = name.into();
-        self.names.push(boxed.clone());
-        self.ids.insert(boxed, id);
+        self.ids.insert(boxed.clone().into_boxed_bytes(), id);
+        self.names.push(boxed);
         id
     }
 
     /// Looks up a tag without interning it.
     pub fn get(&self, name: &str) -> Option<TagId> {
-        self.ids.get(name).copied()
+        self.ids.get(name.as_bytes()).copied()
     }
 
     /// Resolves an id back to the tag name.
@@ -142,5 +204,37 @@ mod tests {
         let t = TagInterner::new();
         assert!(t.is_empty());
         assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn intern_bytes_matches_intern() {
+        let mut t = TagInterner::new();
+        let a = t.intern("item");
+        assert_eq!(t.intern_bytes(b"item"), Some(a));
+        let b = t.intern_bytes(b"listitem").unwrap();
+        assert_eq!(t.intern("listitem"), b);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.name(b), "listitem");
+    }
+
+    #[test]
+    fn intern_bytes_rejects_invalid_utf8() {
+        let mut t = TagInterner::new();
+        assert_eq!(t.intern_bytes(&[0xFF, 0xFE]), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn fx_hash_distinguishes_lengths_and_content() {
+        use std::hash::Hasher as _;
+        let h = |bytes: &[u8]| {
+            let mut hasher = FxHasher::default();
+            hasher.write(bytes);
+            hasher.finish()
+        };
+        assert_ne!(h(b"ab"), h(b"ab\0"));
+        assert_ne!(h(b"abcdefgh"), h(b"abcdefgi"));
+        assert_ne!(h(b""), h(b"\0"));
+        assert_eq!(h(b"person"), h(b"person"));
     }
 }

@@ -51,6 +51,34 @@ impl XmlToken {
     }
 }
 
+/// A borrowed stream event, the zero-allocation dual of [`XmlToken`].
+///
+/// [`crate::XmlLexer::next_event`] hands text out as a `&str` into the
+/// lexer's internal scratch buffer — valid until the next lexer call — so
+/// the per-event hot path (lexer → projector → buffer) never materializes
+/// an owned `String`. Convert with [`XmlEvent::into_owned`] when the event
+/// must outlive the lexer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum XmlEvent<'a> {
+    /// `<tag>` — the opening tag of an element.
+    Open(TagId),
+    /// `</tag>` — the closing tag of an element.
+    Close(TagId),
+    /// Character data borrowed from the lexer's scratch buffer.
+    Text(&'a str),
+}
+
+impl XmlEvent<'_> {
+    /// Copies the event into an owned [`XmlToken`].
+    pub fn into_owned(self) -> XmlToken {
+        match self {
+            XmlEvent::Open(t) => XmlToken::Open(t),
+            XmlEvent::Close(t) => XmlToken::Close(t),
+            XmlEvent::Text(s) => XmlToken::Text(s.to_string()),
+        }
+    }
+}
+
 /// Helper returned by [`XmlToken::display`].
 pub struct TokenDisplay<'a> {
     token: &'a XmlToken,
