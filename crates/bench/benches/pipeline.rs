@@ -89,7 +89,7 @@ fn buffer_gc_churn(c: &mut Criterion) {
         b.iter(|| {
             let mut buf = BufferTree::new(2, &[]);
             for _ in 0..10_000 {
-                let n = buf.open_element(BufferTree::ROOT, x);
+                let n = buf.open_element(BufferTree::ROOT, x).unwrap();
                 buf.add_role(n, Role(0));
                 buf.finish(n);
                 buf.sign_off(n, Role(0), 1).expect("signoff");
@@ -103,7 +103,7 @@ fn buffer_gc_churn(c: &mut Criterion) {
             let mut chain = Vec::new();
             let mut parent = BufferTree::ROOT;
             for _ in 0..500 {
-                let n = buf.open_element(parent, x);
+                let n = buf.open_element(parent, x).unwrap();
                 chain.push(n);
                 parent = n;
             }

@@ -13,7 +13,9 @@
 //!
 //! Options: `--sizes 8` (MB per document), `--queries Q1,Q6,Q13,Q20`,
 //! `--engines gcx`, `--repeat 3`, `--seed 42`, `--quick` (1 MB, one
-//! repeat — the CI smoke configuration).
+//! repeat — the CI smoke configuration), `--no-serve` (skip the loopback
+//! HTTP scenario: Q1/Q6 streamed through a gcx-net server with 1→8
+//! concurrent clients, reported as engine `http-cN`).
 
 use gcx_bench::{
     alloc_count, arg_value, lexer_steady_probe, measure_record, report, xmark_doc, Engine,
@@ -82,6 +84,33 @@ fn main() {
                         records.push(r);
                     }
                     Err(e) => eprintln!("{qname} {mb}MB {}: error: {e}", engine.label()),
+                }
+            }
+        }
+    }
+
+    // Loopback HTTP scenario: wire throughput and client scaling for the
+    // streaming front-end, appended under the same schema.
+    if !args.iter().any(|a| a == "--no-serve") {
+        let serve_mb = sizes.iter().cloned().fold(0.0f64, f64::max).max(0.25);
+        let doc = xmark_doc(serve_mb, seed);
+        for qname in ["Q1", "Q6"] {
+            let Some(query) = gcx_xmark::by_name(qname) else {
+                continue;
+            };
+            for clients in [1usize, 2, 4, 8] {
+                match gcx_bench::serve::measure_serve_record(qname, query, &doc, serve_mb, clients)
+                {
+                    Ok(r) => {
+                        eprintln!(
+                            "{qname} {serve_mb}MB {}: {:.3}s  {:.1} MB/s aggregate",
+                            r.engine,
+                            r.seconds,
+                            r.mb_per_sec(),
+                        );
+                        records.push(r);
+                    }
+                    Err(e) => eprintln!("{qname} serve c{clients}: error: {e}"),
                 }
             }
         }

@@ -1,0 +1,106 @@
+//! `net_client` — test client for the gcx-net front-end, used by the CI
+//! `net-smoke` job and for manual poking.
+//!
+//! ```text
+//! net_client gen   --mb 8 --seed 42 --out doc.xml     generate an XMark doc
+//! net_client query --name Q1                          print a benchmark query
+//! net_client post  --url http://127.0.0.1:8080/query?name=Q1 \
+//!                  --input doc.xml [--chunk 65536]    stream a document, print result
+//! ```
+//!
+//! `post` uploads chunked while concurrently reading the streamed
+//! response (a real streaming client), writes the result body to stdout
+//! and a summary to stderr, and exits non-zero unless the status is 200.
+
+use gcx_bench::{arg_value, xmark_doc};
+use gcx_net::client;
+use std::io::Write as _;
+use std::process::ExitCode;
+
+fn run() -> Result<(), String> {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mode = if args.is_empty() {
+        return Err("usage: net_client <gen|query|post> [options]".into());
+    } else {
+        args.remove(0)
+    };
+    match mode.as_str() {
+        "gen" => {
+            let mb: f64 = arg_value(&args, "--mb")
+                .unwrap_or_else(|| "8".into())
+                .parse()
+                .map_err(|_| "invalid --mb")?;
+            let seed: u64 = arg_value(&args, "--seed")
+                .unwrap_or_else(|| "42".into())
+                .parse()
+                .map_err(|_| "invalid --seed")?;
+            let out = arg_value(&args, "--out").ok_or("gen requires --out <FILE>")?;
+            let doc = xmark_doc(mb, seed);
+            std::fs::write(&out, &doc).map_err(|e| format!("cannot write {out}: {e}"))?;
+            eprintln!("wrote {} ({} bytes)", out, doc.len());
+            Ok(())
+        }
+        "query" => {
+            let name = arg_value(&args, "--name").ok_or("query requires --name <NAME>")?;
+            let text = gcx_xmark::by_name(&name).ok_or_else(|| format!("unknown query {name}"))?;
+            println!("{text}");
+            Ok(())
+        }
+        "post" => {
+            let url = arg_value(&args, "--url").ok_or("post requires --url <URL>")?;
+            let input = arg_value(&args, "--input").ok_or("post requires --input <FILE>")?;
+            let chunk: usize = arg_value(&args, "--chunk")
+                .unwrap_or_else(|| "65536".into())
+                .parse()
+                .map_err(|_| "invalid --chunk")?;
+            let (addr, path) = split_url(&url)?;
+            let doc = std::fs::read(&input).map_err(|e| format!("cannot read {input}: {e}"))?;
+            let input_len = doc.len();
+            let ps = client::PostStream::open(addr.as_str(), &path)
+                .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+            let chunks: Vec<Vec<u8>> = doc.chunks(chunk.max(1)).map(<[u8]>::to_vec).collect();
+            let start = std::time::Instant::now();
+            let resp = ps
+                .stream_and_finish(chunks)
+                .map_err(|e| format!("request failed: {e}"))?;
+            let elapsed = start.elapsed().as_secs_f64();
+            eprintln!(
+                "status {}: {} bytes in, {} bytes out, {:.3}s ({:.1} MB/s in)",
+                resp.status,
+                input_len,
+                resp.body.len(),
+                elapsed,
+                input_len as f64 / (1024.0 * 1024.0) / elapsed.max(1e-9),
+            );
+            std::io::stdout()
+                .write_all(&resp.body)
+                .map_err(|e| e.to_string())?;
+            if resp.status != 200 {
+                return Err(format!("server returned {}", resp.status));
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown mode {other:?} (gen|query|post)")),
+    }
+}
+
+/// Splits `http://host:port/path?query` into (`host:port`, `/path?query`).
+fn split_url(url: &str) -> Result<(String, String), String> {
+    let rest = url
+        .strip_prefix("http://")
+        .ok_or_else(|| format!("URL must start with http:// — got {url:?}"))?;
+    match rest.find('/') {
+        Some(i) => Ok((rest[..i].to_string(), rest[i..].to_string())),
+        None => Ok((rest.to_string(), "/".to_string())),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("net_client: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

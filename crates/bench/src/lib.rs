@@ -13,6 +13,7 @@ use std::time::Duration;
 
 pub mod alloc_count;
 pub mod report;
+pub mod serve;
 
 /// With `--features count-allocs`, every binary and test of this crate
 /// counts allocator round-trips (see [`alloc_count`]).

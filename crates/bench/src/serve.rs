@@ -1,0 +1,82 @@
+//! Loopback HTTP benchmark: MB/s through the gcx-net front-end and
+//! concurrent-client scaling, reported in the same
+//! `gcx-bench-streaming/1` records as the in-process engine numbers
+//! (`engine` is `http-cN` for N concurrent clients).
+
+use crate::report::BenchRecord;
+use gcx_net::{client, http, GcxServer, NetConfig};
+use std::sync::atomic::Ordering;
+use std::time::Instant;
+
+/// Streams `doc` through `query` over loopback HTTP with `clients`
+/// concurrent connections (each uploading the full document chunked) and
+/// returns one record for the aggregate throughput.
+pub fn measure_serve_record(
+    qname: &str,
+    query: &str,
+    doc: &[u8],
+    mb: f64,
+    clients: usize,
+) -> Result<BenchRecord, String> {
+    let clients = clients.max(1);
+    let server = GcxServer::bind(
+        "127.0.0.1:0",
+        NetConfig {
+            workers: clients.clamp(2, 8),
+            evaluators: clients.max(2),
+            ..Default::default()
+        },
+    )
+    .map_err(|e| format!("bind: {e}"))?;
+    let addr = server.local_addr();
+    let path = format!("/query?xq={}", http::percent_encode(query));
+
+    let start = Instant::now();
+    let outputs = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let path = &path;
+                scope.spawn(move || -> Result<u64, String> {
+                    let ps = client::PostStream::open(addr, path)
+                        .map_err(|e| format!("connect: {e}"))?;
+                    let chunks = doc
+                        .chunks(64 * 1024)
+                        .map(<[u8]>::to_vec)
+                        .collect::<Vec<_>>();
+                    let resp = ps
+                        .stream_and_finish(chunks)
+                        .map_err(|e| format!("stream: {e}"))?;
+                    if resp.status != 200 {
+                        return Err(format!("status {}: {}", resp.status, resp.text()));
+                    }
+                    Ok(resp.body.len() as u64)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect::<Result<Vec<u64>, String>>()
+    })?;
+    let seconds = start.elapsed().as_secs_f64();
+
+    let counters = server.counters();
+    let events = counters.tokens_read_total.load(Ordering::Relaxed);
+    let peak_nodes = counters.peak_nodes_max.load(Ordering::Relaxed);
+    let output_bytes: u64 = outputs.iter().sum();
+    server.shutdown();
+    Ok(BenchRecord {
+        query: qname.to_string(),
+        engine: format!("http-c{clients}"),
+        input_mb: mb * clients as f64,
+        input_bytes: (doc.len() * clients) as u64,
+        seconds,
+        events,
+        peak_nodes,
+        // Not sampled over the wire per run; live figures are on /stats.
+        peak_bytes: 0,
+        dfa_states: 0,
+        output_bytes,
+        allocations: None,
+    })
+}

@@ -28,4 +28,4 @@ pub mod serialize;
 pub mod stats;
 
 pub use node::{BufKind, BufNodeId, BufferError, BufferTree, TextSpan};
-pub use stats::BufferStats;
+pub use stats::{BufferAccounting, BufferStats, LiveBufferStats};

@@ -1,9 +1,10 @@
 //! The buffer tree and active garbage collection (paper §5, §6, Fig. 10).
 
-use crate::stats::BufferStats;
+use crate::stats::{BufferAccounting, BufferStats, LiveBufferStats};
 use gcx_projection::{Role, RoleSet};
 use gcx_xml::TagId;
 use std::fmt;
+use std::sync::Arc;
 
 /// Index of a node in the buffer arena. Slots are recycled after purging;
 /// the engine guarantees (via roles and pins) that it never dereferences a
@@ -62,6 +63,18 @@ pub enum BufferError {
     },
     /// Access to a node slot that is not alive (engine bug).
     DeadNode(u32),
+    /// Buffering one more node would exceed the installed
+    /// [`BufferAccounting`] budget. The document genuinely needs more
+    /// buffer than the session is allowed; the engine surfaces this as a
+    /// clean per-session error.
+    BudgetExceeded {
+        /// Bytes the refused allocation needed.
+        requested: usize,
+        /// Bytes accounted when the reservation was refused.
+        used: usize,
+        /// The accounting limit.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for BufferError {
@@ -78,6 +91,15 @@ impl fmt::Display for BufferError {
                  signOff removed {wanted} (safety requirement 1 violated)"
             ),
             BufferError::DeadNode(n) => write!(f, "access to purged buffer node {n}"),
+            BufferError::BudgetExceeded {
+                requested,
+                used,
+                limit,
+            } => write!(
+                f,
+                "memory budget exceeded: buffering {requested}B more engine data \
+                 does not fit ({used}B used of {limit}B)"
+            ),
         }
     }
 }
@@ -137,6 +159,16 @@ pub struct BufferTree {
     text: Vec<u8>,
     /// Bytes of the arena referenced by live text nodes.
     live_text_bytes: usize,
+    /// Optional atomic mirror of the live footprint, published after
+    /// every footprint-changing operation (live `/stats` sampling).
+    live: Option<Arc<LiveBufferStats>>,
+    /// Optional shared budget charged for the *stable* per-node cost
+    /// (fixed node size + text payload; role growth is excluded so every
+    /// reserve has an exactly matching release).
+    accounting: Option<Arc<dyn BufferAccounting>>,
+    /// Bytes currently reserved against `accounting` (released on purge
+    /// and wholesale on drop).
+    accounted_bytes: usize,
 }
 
 impl BufferTree {
@@ -159,8 +191,13 @@ impl BufferTree {
             removed: vec![0; role_count],
             text: Vec::new(),
             live_text_bytes: 0,
+            live: None,
+            accounting: None,
+            accounted_bytes: 0,
         };
-        let root = tree.alloc(BufKind::Root, None);
+        let root = tree
+            .alloc(BufKind::Root, None)
+            .expect("no accounting installed at construction");
         debug_assert_eq!(root, Self::ROOT);
         // The root is never purged; it is born finished once the stream
         // ends, but unfinished status is irrelevant for it.
@@ -170,6 +207,41 @@ impl BufferTree {
     /// Buffer statistics (live/peak nodes and bytes, GC counters).
     pub fn stats(&self) -> &BufferStats {
         &self.stats
+    }
+
+    /// Installs an atomic mirror of the live footprint; other threads can
+    /// sample it mid-run (see [`LiveBufferStats`]). Publishes the current
+    /// state immediately.
+    pub fn set_live_stats(&mut self, live: Arc<LiveBufferStats>) {
+        live.publish(&self.stats, self.text.len());
+        self.live = Some(live);
+    }
+
+    /// Installs a shared accounting hook charged for the engine buffer's
+    /// stable per-node cost. Once installed, node construction fails with
+    /// [`BufferError::BudgetExceeded`] when the hook refuses a
+    /// reservation. Nodes already buffered stay accounted until purged
+    /// (or until the tree drops).
+    pub fn set_accounting(&mut self, accounting: Arc<dyn BufferAccounting>) {
+        self.accounting = Some(accounting);
+    }
+
+    /// The stable, reserve/release-symmetric accounting cost of a node.
+    #[inline]
+    fn charge_for(kind: &BufKind) -> usize {
+        std::mem::size_of::<Node>()
+            + match kind {
+                BufKind::Text(sp) => sp.len as usize,
+                _ => 0,
+            }
+    }
+
+    /// Pushes the current footprint to the installed live mirror.
+    #[inline]
+    fn publish_live(&self) {
+        if let Some(live) = &self.live {
+            live.publish(&self.stats, self.text.len());
+        }
     }
 
     /// Per-role (assigned, removed) instance counters.
@@ -183,7 +255,22 @@ impl BufferTree {
         self.assigned.iter().zip(&self.removed).all(|(a, r)| a == r)
     }
 
-    fn alloc(&mut self, kind: BufKind, parent: Option<BufNodeId>) -> BufNodeId {
+    fn alloc(
+        &mut self,
+        kind: BufKind,
+        parent: Option<BufNodeId>,
+    ) -> Result<BufNodeId, BufferError> {
+        if let Some(acc) = &self.accounting {
+            let requested = Self::charge_for(&kind);
+            if !acc.reserve(requested) {
+                return Err(BufferError::BudgetExceeded {
+                    requested,
+                    used: acc.used(),
+                    limit: acc.limit(),
+                });
+            }
+            self.accounted_bytes += requested;
+        }
         let node = Node {
             kind,
             parent,
@@ -209,7 +296,8 @@ impl BufferTree {
             BufNodeId(self.nodes.len() as u32 - 1)
         };
         self.stats.alloc(bytes);
-        id
+        self.publish_live();
+        Ok(id)
     }
 
     #[inline]
@@ -231,16 +319,28 @@ impl BufferTree {
     // ------------------------------------------------------------------
 
     /// Appends a new element under `parent`; the node starts "unfinished".
-    pub fn open_element(&mut self, parent: BufNodeId, tag: TagId) -> BufNodeId {
-        let id = self.alloc(BufKind::Element(tag), Some(parent));
+    ///
+    /// # Errors
+    /// [`BufferError::BudgetExceeded`] when an installed accounting hook
+    /// refuses the reservation (nothing is allocated in that case).
+    pub fn open_element(
+        &mut self,
+        parent: BufNodeId,
+        tag: TagId,
+    ) -> Result<BufNodeId, BufferError> {
+        let id = self.alloc(BufKind::Element(tag), Some(parent))?;
         self.link_last(parent, id);
-        id
+        Ok(id)
     }
 
     /// Appends a text node under `parent`; text nodes are born finished.
     /// The content is copied into the buffer's text arena — no per-node
     /// allocation.
-    pub fn add_text(&mut self, parent: BufNodeId, text: &str) -> BufNodeId {
+    ///
+    /// # Errors
+    /// [`BufferError::BudgetExceeded`] when an installed accounting hook
+    /// refuses the reservation (the arena is rolled back in that case).
+    pub fn add_text(&mut self, parent: BufNodeId, text: &str) -> Result<BufNodeId, BufferError> {
         let span = TextSpan {
             // Empty text pins offset 0 so its span stays valid across
             // wholesale arena resets (it references no bytes).
@@ -253,10 +353,21 @@ impl BufferTree {
         };
         self.text.extend_from_slice(text.as_bytes());
         self.live_text_bytes += text.len();
-        let id = self.alloc(BufKind::Text(span), Some(parent));
+        let id = match self.alloc(BufKind::Text(span), Some(parent)) {
+            Ok(id) => id,
+            Err(e) => {
+                // Undo the speculative arena append (empty text appended
+                // nothing; its offset-0 span must not wipe the arena).
+                if !text.is_empty() {
+                    self.text.truncate(span.offset as usize);
+                    self.live_text_bytes -= text.len();
+                }
+                return Err(e);
+            }
+        };
         self.n_mut(id).finished = true;
         self.link_last(parent, id);
-        id
+        Ok(id)
     }
 
     /// Resolves a span against the text arena.
@@ -308,6 +419,7 @@ impl BufferTree {
         let after = self.n(id).roles.approx_bytes();
         if after > before {
             self.stats.grow(after - before);
+            self.publish_live();
         }
         self.assigned[role.index()] += 1;
         self.stats.roles_assigned += 1;
@@ -463,6 +575,7 @@ impl BufferTree {
         self.unlink(id);
         // Iterative post-order free.
         let mut stack = vec![id];
+        let mut released = 0usize;
         while let Some(x) = stack.pop() {
             let mut child = self.nodes[x.index()].first_child;
             while let Some(c) = child {
@@ -470,6 +583,7 @@ impl BufferTree {
                 child = self.nodes[c.index()].next_sibling;
             }
             let bytes = self.nodes[x.index()].bytes();
+            released += Self::charge_for(&self.nodes[x.index()].kind);
             if let BufKind::Text(sp) = self.nodes[x.index()].kind {
                 self.live_text_bytes -= sp.len as usize;
                 // Tail spans are reclaimed in place; anything else waits
@@ -487,6 +601,11 @@ impl BufferTree {
             // wholesale (capacity is kept for reuse).
             self.text.clear();
         }
+        if let Some(acc) = &self.accounting {
+            acc.release(released);
+            self.accounted_bytes -= released;
+        }
+        self.publish_live();
     }
 
     fn unlink(&mut self, id: BufNodeId) {
@@ -733,6 +852,17 @@ impl BufferTree {
     }
 }
 
+impl Drop for BufferTree {
+    fn drop(&mut self) {
+        // Nodes still alive at teardown (root, mid-stream aborts) hold
+        // reservations; hand every accounted byte back to the budget.
+        if let Some(acc) = &self.accounting {
+            acc.release(self.accounted_bytes);
+            self.accounted_bytes = 0;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -747,9 +877,9 @@ mod tests {
         let mut tags = gcx_xml::TagInterner::new();
         let bib = tags.intern("bib");
         let book = tags.intern("book");
-        let e1 = b.open_element(BufferTree::ROOT, bib);
-        let e2 = b.open_element(e1, book);
-        let t = b.add_text(e2, "hello");
+        let e1 = b.open_element(BufferTree::ROOT, bib).unwrap();
+        let e2 = b.open_element(e1, book).unwrap();
+        let t = b.add_text(e2, "hello").unwrap();
         assert_eq!(b.parent(e2), Some(e1));
         assert_eq!(b.first_child(e1), Some(e2));
         assert_eq!(b.first_child(e2), Some(t));
@@ -766,7 +896,7 @@ mod tests {
         let mut b = setup(4);
         let mut tags = gcx_xml::TagInterner::new();
         let x = tags.intern("x");
-        let n = b.open_element(BufferTree::ROOT, x);
+        let n = b.open_element(BufferTree::ROOT, x).unwrap();
         b.add_role(n, Role(1));
         b.finish(n);
         assert!(b.is_alive(n));
@@ -781,8 +911,8 @@ mod tests {
         let mut tags = gcx_xml::TagInterner::new();
         let x = tags.intern("x");
         let y = tags.intern("y");
-        let n1 = b.open_element(BufferTree::ROOT, x);
-        let n2 = b.open_element(n1, y);
+        let n1 = b.open_element(BufferTree::ROOT, x).unwrap();
+        let n2 = b.open_element(n1, y).unwrap();
         b.add_role(n2, Role(0));
         b.finish(n2);
         b.finish(n1);
@@ -797,7 +927,7 @@ mod tests {
         let mut b = setup(4);
         let mut tags = gcx_xml::TagInterner::new();
         let x = tags.intern("x");
-        let n = b.open_element(BufferTree::ROOT, x);
+        let n = b.open_element(BufferTree::ROOT, x).unwrap();
         b.add_role(n, Role(1));
         b.sign_off(n, Role(1), 1).unwrap();
         assert!(b.is_alive(n), "unfinished node survives as marked");
@@ -811,7 +941,7 @@ mod tests {
         let mut b = setup(4);
         let mut tags = gcx_xml::TagInterner::new();
         let x = tags.intern("x");
-        let n = b.open_element(BufferTree::ROOT, x);
+        let n = b.open_element(BufferTree::ROOT, x).unwrap();
         b.add_role(n, Role(1));
         let err = b.sign_off(n, Role(2), 1).unwrap_err();
         assert!(matches!(err, BufferError::UndefinedRoleRemoval { .. }));
@@ -822,7 +952,7 @@ mod tests {
         let mut b = setup(4);
         let mut tags = gcx_xml::TagInterner::new();
         let x = tags.intern("x");
-        let n = b.open_element(BufferTree::ROOT, x);
+        let n = b.open_element(BufferTree::ROOT, x).unwrap();
         b.add_role(n, Role(3));
         b.add_role(n, Role(3));
         b.finish(n);
@@ -838,7 +968,7 @@ mod tests {
         let mut b = setup(4);
         let mut tags = gcx_xml::TagInterner::new();
         let x = tags.intern("x");
-        let n = b.open_element(BufferTree::ROOT, x);
+        let n = b.open_element(BufferTree::ROOT, x).unwrap();
         b.add_role(n, Role(0));
         b.finish(n);
         b.pin(n);
@@ -853,8 +983,8 @@ mod tests {
         let mut b = setup(4);
         let mut tags = gcx_xml::TagInterner::new();
         let x = tags.intern("x");
-        let n1 = b.open_element(BufferTree::ROOT, x);
-        let n2 = b.open_element(n1, x);
+        let n1 = b.open_element(BufferTree::ROOT, x).unwrap();
+        let n2 = b.open_element(n1, x).unwrap();
         b.add_role(n2, Role(0));
         b.finish(n2);
         b.finish(n1);
@@ -871,11 +1001,11 @@ mod tests {
         let mut b = setup(4);
         let mut tags = gcx_xml::TagInterner::new();
         let x = tags.intern("x");
-        let p = b.open_element(BufferTree::ROOT, x);
+        let p = b.open_element(BufferTree::ROOT, x).unwrap();
         b.add_role(p, Role(1));
-        let a = b.open_element(p, x);
+        let a = b.open_element(p, x).unwrap();
         b.add_role(a, Role(0));
-        let c = b.open_element(p, x);
+        let c = b.open_element(p, x).unwrap();
         b.add_role(c, Role(0));
         b.finish(a);
         b.finish(c);
@@ -890,11 +1020,11 @@ mod tests {
         let mut b = setup(4);
         let mut tags = gcx_xml::TagInterner::new();
         let x = tags.intern("x");
-        let n1 = b.open_element(BufferTree::ROOT, x);
+        let n1 = b.open_element(BufferTree::ROOT, x).unwrap();
         b.add_role(n1, Role(0));
-        let n2 = b.open_element(n1, x);
-        let n3 = b.open_element(n2, x);
-        let t = b.add_text(n3, "abc");
+        let n2 = b.open_element(n1, x).unwrap();
+        let n3 = b.open_element(n2, x).unwrap();
+        let t = b.add_text(n3, "abc").unwrap();
         b.finish(n3);
         b.finish(n2);
         b.finish(n1);
@@ -917,11 +1047,11 @@ mod tests {
         let mut tags = gcx_xml::TagInterner::new();
         let x = tags.intern("x");
         let r5 = Role(5);
-        let n1 = b.open_element(BufferTree::ROOT, x);
+        let n1 = b.open_element(BufferTree::ROOT, x).unwrap();
         b.add_role(n1, r5);
-        let n2 = b.open_element(n1, x);
+        let n2 = b.open_element(n1, x).unwrap();
         b.add_role(n2, r5);
-        let t = b.add_text(n2, "v");
+        let t = b.add_text(n2, "v").unwrap();
         b.add_role(t, r5);
         b.finish(n2);
         b.finish(n1);
@@ -940,10 +1070,10 @@ mod tests {
         let mut b = BufferTree::new(8, &[Role(5)]);
         let mut tags = gcx_xml::TagInterner::new();
         let x = tags.intern("x");
-        let n1 = b.open_element(BufferTree::ROOT, x);
+        let n1 = b.open_element(BufferTree::ROOT, x).unwrap();
         b.add_role(n1, Role(5)); // aggregate
-        let n2 = b.open_element(n1, x);
-        let t = b.add_text(n2, "v");
+        let n2 = b.open_element(n1, x).unwrap();
+        let t = b.add_text(n2, "v").unwrap();
         b.finish(n2);
         assert!(
             b.is_alive(n2),
@@ -963,12 +1093,12 @@ mod tests {
         let mut b = BufferTree::new(8, &[Role(5)]);
         let mut tags = gcx_xml::TagInterner::new();
         let x = tags.intern("x");
-        let n1 = b.open_element(BufferTree::ROOT, x);
+        let n1 = b.open_element(BufferTree::ROOT, x).unwrap();
         b.add_role(n1, Role(5)); // aggregate on subtree root
-        let keep = b.open_element(n1, x);
+        let keep = b.open_element(n1, x).unwrap();
         b.add_role(keep, Role(1)); // plain role deeper down
-        let junk = b.open_element(keep, x);
-        let junk2 = b.open_element(n1, x);
+        let junk = b.open_element(keep, x).unwrap();
+        let junk2 = b.open_element(n1, x).unwrap();
         b.finish(junk);
         b.finish(keep);
         b.finish(junk2);
@@ -988,13 +1118,13 @@ mod tests {
         let mut b = setup(4);
         let mut tags = gcx_xml::TagInterner::new();
         let x = tags.intern("x");
-        let root = b.open_element(BufferTree::ROOT, x);
+        let root = b.open_element(BufferTree::ROOT, x).unwrap();
         b.add_role(root, Role(0));
-        let a = b.open_element(root, x);
+        let a = b.open_element(root, x).unwrap();
         b.add_role(a, Role(0));
-        let a1 = b.open_element(a, x);
+        let a1 = b.open_element(a, x).unwrap();
         b.add_role(a1, Role(0));
-        let c = b.open_element(root, x);
+        let c = b.open_element(root, x).unwrap();
         b.add_role(c, Role(0));
         let order = {
             let mut v = Vec::new();
@@ -1014,9 +1144,9 @@ mod tests {
         let mut tags = gcx_xml::TagInterner::new();
         let bib = tags.intern("bib");
         let book = tags.intern("book");
-        let n1 = b.open_element(BufferTree::ROOT, bib);
+        let n1 = b.open_element(BufferTree::ROOT, bib).unwrap();
         b.add_role(n1, Role(2));
-        let n2 = b.open_element(n1, book);
+        let n2 = b.open_element(n1, book).unwrap();
         b.add_role(n2, Role(3));
         b.add_role(n2, Role(5));
         b.add_role(n2, Role(6));
@@ -1029,7 +1159,7 @@ mod tests {
         let mut tags = gcx_xml::TagInterner::new();
         let x = tags.intern("x");
         for _ in 0..10 {
-            let n = b.open_element(BufferTree::ROOT, x);
+            let n = b.open_element(BufferTree::ROOT, x).unwrap();
             b.add_role(n, Role(0));
             b.finish(n);
             b.sign_off(n, Role(0), 1).unwrap();
@@ -1051,9 +1181,9 @@ mod tests {
         // Streaming churn: buffer a text-carrying element, GC it away,
         // repeat. The arena must not grow without bound.
         for round in 0..50 {
-            let n = b.open_element(BufferTree::ROOT, x);
+            let n = b.open_element(BufferTree::ROOT, x).unwrap();
             b.add_role(n, Role(0));
-            let t = b.add_text(n, "some text payload");
+            let t = b.add_text(n, "some text payload").unwrap();
             b.add_role(t, Role(1));
             b.finish(n);
             b.sign_off(t, Role(1), 1).unwrap();
@@ -1071,13 +1201,13 @@ mod tests {
         let mut b = setup(4);
         let mut tags = gcx_xml::TagInterner::new();
         let x = tags.intern("x");
-        let gone = b.open_element(BufferTree::ROOT, x);
+        let gone = b.open_element(BufferTree::ROOT, x).unwrap();
         b.add_role(gone, Role(0));
-        let t = b.add_text(gone, "payload");
+        let t = b.add_text(gone, "payload").unwrap();
         b.add_role(t, Role(0));
-        let keep = b.open_element(BufferTree::ROOT, x);
+        let keep = b.open_element(BufferTree::ROOT, x).unwrap();
         b.add_role(keep, Role(1));
-        let empty = b.add_text(keep, "");
+        let empty = b.add_text(keep, "").unwrap();
         b.add_role(empty, Role(1));
         b.finish(gone);
         // Purge the only non-empty text: live_text_bytes hits 0 and the
@@ -1095,13 +1225,13 @@ mod tests {
         let mut b = setup(4);
         let mut tags = gcx_xml::TagInterner::new();
         let x = tags.intern("x");
-        let keep = b.open_element(BufferTree::ROOT, x);
+        let keep = b.open_element(BufferTree::ROOT, x).unwrap();
         b.add_role(keep, Role(0));
-        let t1 = b.add_text(keep, "kept");
+        let t1 = b.add_text(keep, "kept").unwrap();
         b.add_role(t1, Role(0));
-        let gone = b.open_element(BufferTree::ROOT, x);
+        let gone = b.open_element(BufferTree::ROOT, x).unwrap();
         b.add_role(gone, Role(1));
-        let t2 = b.add_text(gone, "tail-reclaimed");
+        let t2 = b.add_text(gone, "tail-reclaimed").unwrap();
         b.add_role(t2, Role(1));
         b.finish(gone);
         assert_eq!(b.text_arena_len(), 4 + 14);
@@ -1117,9 +1247,9 @@ mod tests {
         let mut b = setup(2);
         let mut tags = gcx_xml::TagInterner::new();
         let x = tags.intern("x");
-        let n1 = b.open_element(BufferTree::ROOT, x);
+        let n1 = b.open_element(BufferTree::ROOT, x).unwrap();
         b.finish(n1); // purged immediately (no roles)
-        let n2 = b.open_element(BufferTree::ROOT, x);
+        let n2 = b.open_element(BufferTree::ROOT, x).unwrap();
         assert_eq!(n1, n2, "arena slot is recycled");
     }
 }

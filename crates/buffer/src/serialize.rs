@@ -106,11 +106,11 @@ mod tests {
         let book = tags.intern("book");
         let title = tags.intern("title");
         let mut b = BufferTree::new(4, &[]);
-        let n1 = b.open_element(BufferTree::ROOT, book);
+        let n1 = b.open_element(BufferTree::ROOT, book).unwrap();
         b.add_role(n1, Role(0));
-        let n2 = b.open_element(n1, title);
+        let n2 = b.open_element(n1, title).unwrap();
         b.add_role(n2, Role(0));
-        let t = b.add_text(n2, "T<&ext");
+        let t = b.add_text(n2, "T<&ext").unwrap();
         b.add_role(t, Role(0));
         b.finish(n2);
         b.finish(n1);
@@ -150,9 +150,9 @@ mod tests {
         let x = tags.intern("x");
         let y = tags.intern("y");
         let mut b = BufferTree::new(4, &[]);
-        let n1 = b.open_element(BufferTree::ROOT, x);
+        let n1 = b.open_element(BufferTree::ROOT, x).unwrap();
         b.add_role(n1, Role(0));
-        let dead = b.open_element(n1, y);
+        let dead = b.open_element(n1, y).unwrap();
         b.add_role(dead, Role(1));
         b.pin(dead); // keep it navigable
         b.finish(dead);

@@ -5,6 +5,8 @@
 //! manager's own footprint, identically for GCX and the baseline engines,
 //! because that is the quantity the buffer-minimization technique controls.
 
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
 /// Counters kept by a [`crate::BufferTree`]. All engines report through the
 /// same struct so Table 1 comparisons are apples-to-apples.
 #[derive(Debug, Default, Clone)]
@@ -65,6 +67,86 @@ impl BufferStats {
     pub fn peak_human(&self) -> String {
         human_bytes(self.peak_bytes)
     }
+}
+
+/// A shared, thread-safe mirror of the buffer's live footprint.
+///
+/// The engine evaluates on one thread; an observability plane (the
+/// `/stats` endpoint of gcx-net) samples from others *while the run is in
+/// flight* — [`BufferStats`] only surfaces at `finish()`. Installing a
+/// `LiveBufferStats` handle on a [`crate::BufferTree`] makes the tree
+/// publish its live/peak figures with relaxed atomic stores after every
+/// footprint-changing operation; readers get a consistent-enough snapshot
+/// for monitoring without any locking on the hot path. When no handle is
+/// installed the cost is a single branch per operation.
+#[derive(Debug, Default)]
+pub struct LiveBufferStats {
+    /// Currently live (allocated, not purged) nodes.
+    pub live_nodes: AtomicUsize,
+    /// High watermark of `live_nodes`.
+    pub peak_nodes: AtomicUsize,
+    /// Estimated live bytes (fixed node cost + text payload + role sets).
+    pub live_bytes: AtomicUsize,
+    /// High watermark of `live_bytes`.
+    pub peak_bytes: AtomicUsize,
+    /// Bytes currently held by the buffer's text arena.
+    pub text_arena_bytes: AtomicUsize,
+    /// Nodes ever created.
+    pub nodes_created: AtomicU64,
+    /// Nodes purged by garbage collection.
+    pub nodes_purged: AtomicU64,
+}
+
+impl LiveBufferStats {
+    /// Publishes a snapshot (called by the owning buffer after mutations).
+    pub fn publish(&self, stats: &BufferStats, text_arena_bytes: usize) {
+        self.live_nodes.store(stats.live_nodes, Ordering::Relaxed);
+        self.peak_nodes.store(stats.peak_nodes, Ordering::Relaxed);
+        self.live_bytes.store(stats.live_bytes, Ordering::Relaxed);
+        self.peak_bytes.store(stats.peak_bytes, Ordering::Relaxed);
+        self.text_arena_bytes
+            .store(text_arena_bytes, Ordering::Relaxed);
+        self.nodes_created
+            .store(stats.nodes_created, Ordering::Relaxed);
+        self.nodes_purged
+            .store(stats.nodes_purged, Ordering::Relaxed);
+    }
+
+    /// Reads a plain snapshot: `(live_nodes, peak_nodes, live_bytes,
+    /// peak_bytes, text_arena_bytes, nodes_created, nodes_purged)`.
+    #[allow(clippy::type_complexity)]
+    pub fn snapshot(&self) -> (usize, usize, usize, usize, usize, u64, u64) {
+        (
+            self.live_nodes.load(Ordering::Relaxed),
+            self.peak_nodes.load(Ordering::Relaxed),
+            self.live_bytes.load(Ordering::Relaxed),
+            self.peak_bytes.load(Ordering::Relaxed),
+            self.text_arena_bytes.load(Ordering::Relaxed),
+            self.nodes_created.load(Ordering::Relaxed),
+            self.nodes_purged.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Shared accounting hook charged for the engine buffer's own footprint.
+///
+/// The service-level `MemoryBudget` (gcx-service) historically bounded
+/// only queued I/O chunks; implementing this trait lets the same budget
+/// see *buffered nodes and text-arena bytes*. Reservations are **hard**:
+/// a failed [`BufferAccounting::reserve`] makes the buffer refuse the
+/// allocation with [`crate::BufferError::BudgetExceeded`], which the
+/// engine surfaces as a clean per-session error instead of growing
+/// without bound. Only the stable per-node cost (fixed node size + text
+/// payload) is charged, so every reserve has an exactly matching release.
+pub trait BufferAccounting: Send + Sync {
+    /// Attempts to reserve `bytes`; `false` refuses the allocation.
+    fn reserve(&self, bytes: usize) -> bool;
+    /// Returns `bytes` previously reserved.
+    fn release(&self, bytes: usize);
+    /// Bytes currently accounted (diagnostics for error messages).
+    fn used(&self) -> usize;
+    /// The configured limit (diagnostics for error messages).
+    fn limit(&self) -> usize;
 }
 
 /// Formats a byte count the way the paper's Table 1 does (`1.2MB`, `880MB`,

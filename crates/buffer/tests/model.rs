@@ -55,7 +55,7 @@ fn build(w: &Workload, b: &mut BufferTree, tags: &mut TagInterner) -> Vec<BufNod
     let mut ids: Vec<BufNodeId> = Vec::with_capacity(w.nodes.len());
     for (parent, roles) in &w.nodes {
         let p = parent.map(|i| ids[i]).unwrap_or(BufferTree::ROOT);
-        let id = b.open_element(p, tag);
+        let id = b.open_element(p, tag).unwrap();
         for &r in roles {
             b.add_role(id, r);
         }

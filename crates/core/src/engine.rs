@@ -187,6 +187,22 @@ impl<'t, 'q, R: Read, W: Write> GcxEngine<'t, 'q, R, W> {
         self.cancel = Some(flag);
     }
 
+    /// Installs a shared, atomically updated mirror of the buffer's live
+    /// footprint so other threads can sample [`gcx_buffer::BufferStats`]
+    /// figures *mid-run* (live observability; the `RunReport` only exists
+    /// once the run completes).
+    pub fn set_live_stats(&mut self, live: Arc<gcx_buffer::LiveBufferStats>) {
+        self.buffer.set_live_stats(live);
+    }
+
+    /// Installs a shared accounting hook charged for the engine buffer's
+    /// footprint (buffered nodes + text payload). When the hook refuses a
+    /// reservation the run fails with a budget-exceeded
+    /// [`EngineError::Buffer`] instead of growing without bound.
+    pub fn set_buffer_accounting(&mut self, accounting: Arc<dyn gcx_buffer::BufferAccounting>) {
+        self.buffer.set_accounting(accounting);
+    }
+
     #[inline]
     fn check_cancelled(&self) -> Result<(), EngineError> {
         match &self.cancel {

@@ -109,7 +109,7 @@ impl<'t, 'q, R: Read> Preprojector<'t, 'q, R> {
                 let outcome = self.matcher.open(tag);
                 let top_attach = self.stack.last().expect("stack nonempty").attach;
                 if outcome.buffer {
-                    let node = buffer.open_element(top_attach, tag);
+                    let node = buffer.open_element(top_attach, tag)?;
                     for &r in &outcome.roles {
                         buffer.add_role(node, r);
                     }
@@ -154,7 +154,7 @@ impl<'t, 'q, R: Read> Preprojector<'t, 'q, R> {
                 let outcome = self.matcher.text();
                 if outcome.buffer {
                     let parent = self.stack.last().expect("stack nonempty").attach;
-                    let node = buffer.add_text(parent, text);
+                    let node = buffer.add_text(parent, text)?;
                     for &r in &outcome.roles {
                         buffer.add_role(node, r);
                     }

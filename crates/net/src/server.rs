@@ -1,0 +1,956 @@
+//! The streaming HTTP front-end: acceptor, connection run-queue, bounded
+//! worker pool, session registry.
+//!
+//! ## Thread topology (fixed at bind time)
+//!
+//! ```text
+//!   acceptor ──► run-queue of connections ──► N connection workers
+//!                     ▲        │                  │ try_feed / drain
+//!                     └────────┘ (parked conns)   ▼
+//!                                         M evaluator-pool threads
+//!                                         (gcx-service EvaluatorPool)
+//! ```
+//!
+//! `1 + N + M` threads total, **independent of how many sessions are
+//! open**: connection workers never block — sockets are non-blocking and
+//! sessions are driven through [`StreamSession::try_feed`], so a
+//! backpressured or slow connection is parked back on the run-queue and
+//! the worker picks up another. Evaluators run on the shared
+//! [`EvaluatorPool`]; sessions beyond its size queue (their input simply
+//! buffers until a pool thread frees up). This replaces the
+//! one-thread-per-session model `StreamSession` started with.
+//!
+//! ## Endpoints
+//!
+//! * `POST /query?xq=<urlencoded XQ>` (or `?name=<registered query>`) —
+//!   the request body is the XML document, `Content-Length` or chunked;
+//!   the response streams the result as a chunked body while the
+//!   document is still being uploaded. Constant memory end to end.
+//! * `GET /stats` — JSON: server counters, service cache stats, memory
+//!   budget, and **live per-session buffer statistics** sampled from the
+//!   engines mid-run.
+//! * `GET /healthz` — liveness probe.
+
+use crate::http;
+use crate::stats_json;
+use gcx_buffer::LiveBufferStats;
+use gcx_service::{EvaluatorPool, QueryService, ServiceConfig, StreamSession, TryFeed};
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Front-end configuration.
+pub struct NetConfig {
+    /// Connection workers (socket I/O + session driving). Default 4.
+    pub workers: usize,
+    /// Evaluator-pool threads (concurrent evaluations). Default 8.
+    pub evaluators: usize,
+    /// The underlying query service (cache, budget, engine options).
+    pub service: ServiceConfig,
+    /// Named queries addressable as `POST /query?name=<name>`.
+    pub queries: Vec<(String, String)>,
+    /// Charge each session's engine buffer against the service's memory
+    /// budget (hard per-session failure instead of unbounded growth).
+    /// Only effective when `service.memory_budget` is set. Default true.
+    pub charge_engine_buffer: bool,
+    /// Maximum request-head size. Default 16 KiB.
+    pub max_head_bytes: usize,
+    /// Socket read size per step. Default 64 KiB.
+    pub io_chunk_bytes: usize,
+    /// Connections making no progress for this long are dropped (slow
+    /// clients must not pin evaluator threads forever). Default 30 s.
+    pub idle_timeout: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            workers: 4,
+            evaluators: 8,
+            service: ServiceConfig::default(),
+            queries: Vec::new(),
+            charge_engine_buffer: true,
+            max_head_bytes: 16 * 1024,
+            io_chunk_bytes: 64 * 1024,
+            idle_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Server-level counters (monotonic; `active_sessions` is derived from
+/// the registry instead).
+#[derive(Debug, Default)]
+pub struct ServerCounters {
+    pub requests: AtomicU64,
+    pub sessions_completed: AtomicU64,
+    pub sessions_failed: AtomicU64,
+    pub bytes_in: AtomicU64,
+    pub bytes_out: AtomicU64,
+    /// Sum of `tokens_read + tokens_skipped` over completed sessions.
+    pub tokens_read_total: AtomicU64,
+    /// Max `peak_nodes` over completed sessions.
+    pub peak_nodes_max: AtomicU64,
+}
+
+/// One live session as seen by `/stats`.
+pub struct SessionEntry {
+    pub query_label: String,
+    pub peer: String,
+    pub started: Instant,
+    pub live: Arc<LiveBufferStats>,
+}
+
+pub(crate) struct ServerShared {
+    pub(crate) service: QueryService,
+    pub(crate) queries: HashMap<String, String>,
+    run_queue: Mutex<VecDeque<Conn>>,
+    work: Condvar,
+    stop: AtomicBool,
+    pub(crate) counters: ServerCounters,
+    pub(crate) sessions: Mutex<HashMap<u64, SessionEntry>>,
+    next_session_id: AtomicU64,
+    pool: EvaluatorPool,
+    charge_engine_buffer: bool,
+    max_head_bytes: usize,
+    io_chunk_bytes: usize,
+    /// Largest slice offered to `try_feed` at once — `io_chunk_bytes`
+    /// clamped to the memory budget, so a single offer can never be
+    /// rejected as permanently unfittable.
+    feed_chunk_bytes: usize,
+    idle_timeout: Duration,
+    pub(crate) workers: usize,
+    pub(crate) evaluators: usize,
+}
+
+/// The running server. Bound threads live until [`GcxServer::shutdown`]
+/// (or drop).
+pub struct GcxServer {
+    shared: Arc<ServerShared>,
+    threads: Vec<JoinHandle<()>>,
+    addr: SocketAddr,
+}
+
+impl GcxServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and spawns
+    /// the fixed thread set: one acceptor, `workers` connection workers,
+    /// `evaluators` pool threads.
+    pub fn bind(addr: impl ToSocketAddrs, config: NetConfig) -> std::io::Result<GcxServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let workers = config.workers.max(1);
+        let evaluators = config.evaluators.max(1);
+        let io_chunk_bytes = config.io_chunk_bytes.max(512);
+        let feed_chunk_bytes = config
+            .service
+            .memory_budget
+            .map_or(io_chunk_bytes, |b| io_chunk_bytes.min(b.max(1)));
+        let shared = Arc::new(ServerShared {
+            service: QueryService::new(config.service),
+            queries: config.queries.into_iter().collect(),
+            run_queue: Mutex::new(VecDeque::new()),
+            work: Condvar::new(),
+            stop: AtomicBool::new(false),
+            counters: ServerCounters::default(),
+            sessions: Mutex::new(HashMap::new()),
+            next_session_id: AtomicU64::new(1),
+            pool: EvaluatorPool::new(evaluators),
+            charge_engine_buffer: config.charge_engine_buffer,
+            max_head_bytes: config.max_head_bytes.max(512),
+            io_chunk_bytes,
+            feed_chunk_bytes,
+            idle_timeout: config.idle_timeout,
+            workers,
+            evaluators,
+        });
+        let mut threads = Vec::with_capacity(workers + 1);
+        {
+            let shared = shared.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("gcx-net-accept".into())
+                    .spawn(move || accept_loop(&listener, &shared))
+                    .expect("spawn acceptor"),
+            );
+        }
+        for i in 0..workers {
+            let shared = shared.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("gcx-net-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn connection worker"),
+            );
+        }
+        Ok(GcxServer {
+            shared,
+            threads,
+            addr: local,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Fixed thread count: acceptor + connection workers + evaluators.
+    /// Does **not** grow with open sessions — that is the point.
+    pub fn thread_count(&self) -> usize {
+        1 + self.shared.workers + self.shared.evaluators
+    }
+
+    /// The underlying service (stats, cache introspection).
+    pub fn service(&self) -> &QueryService {
+        &self.shared.service
+    }
+
+    /// Server counters.
+    pub fn counters(&self) -> &ServerCounters {
+        &self.shared.counters
+    }
+
+    /// Sessions currently registered (mid-stream).
+    pub fn active_sessions(&self) -> usize {
+        self.shared.sessions.lock().expect("registry lock").len()
+    }
+
+    /// Renders the `/stats` JSON document (also served over HTTP).
+    pub fn stats_json(&self) -> String {
+        stats_json::render(&self.shared)
+    }
+
+    /// Blocks the calling thread until the server shuts down (CLI
+    /// foreground mode).
+    pub fn wait(mut self) {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    /// Stops accepting, drops queued connections (cancelling their
+    /// sessions), and joins every thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        if self.threads.is_empty() {
+            return;
+        }
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Unblock the acceptor with a dummy connection.
+        let _ = TcpStream::connect(self.addr);
+        self.shared.work.notify_all();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        // Connections (and their sessions) are gone; now the evaluator
+        // pool can drain and stop.
+        self.shared.pool.shutdown();
+    }
+}
+
+impl Drop for GcxServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                let conn = Conn::new(stream, peer.to_string());
+                let mut q = shared.run_queue.lock().expect("run queue lock");
+                q.push_back(conn);
+                drop(q);
+                shared.work.notify_one();
+            }
+            Err(_) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Persistent accept errors (EMFILE under fd exhaustion,
+                // ECONNABORTED storms) must not busy-spin a core.
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<ServerShared>) {
+    loop {
+        let mut conn = {
+            let mut q = shared.run_queue.lock().expect("run queue lock");
+            loop {
+                if shared.stop.load(Ordering::SeqCst) {
+                    // Dropping connections cancels their sessions; the
+                    // evaluator pool is still alive to observe it.
+                    q.clear();
+                    return;
+                }
+                if let Some(c) = q.pop_front() {
+                    break c;
+                }
+                let (guard, _) = shared
+                    .work
+                    .wait_timeout(q, Duration::from_millis(5))
+                    .expect("run queue lock poisoned");
+                q = guard;
+            }
+        };
+        let mut made_progress = false;
+        // Drive this connection as far as it goes without blocking.
+        let finished = loop {
+            match conn.step(shared) {
+                StepResult::Progress => made_progress = true,
+                StepResult::Blocked => break false,
+                StepResult::Finished => break true,
+            }
+        };
+        if finished {
+            conn.teardown(shared);
+            continue;
+        }
+        if made_progress {
+            conn.last_progress = Instant::now();
+        } else if conn.last_progress.elapsed() > shared.idle_timeout {
+            conn.fail_idle(shared);
+            conn.teardown(shared);
+            continue;
+        }
+        let mut q = shared.run_queue.lock().expect("run queue lock");
+        q.push_back(conn);
+        drop(q);
+        if made_progress {
+            shared.work.notify_one();
+        } else {
+            // Nothing moved anywhere on this connection: yield briefly so
+            // a fleet of parked connections doesn't busy-spin the pool.
+            std::thread::sleep(Duration::from_micros(500));
+        }
+    }
+}
+
+enum StepResult {
+    /// State advanced (bytes moved, session fed, response emitted …).
+    Progress,
+    /// Nothing can move right now (socket or session would block).
+    Blocked,
+    /// The connection is done (cleanly or not) and must be torn down.
+    Finished,
+}
+
+enum ConnState {
+    /// Accumulating the request head.
+    Head,
+    /// Streaming a request body through a session.
+    Body(Box<BodyState>),
+    /// Writing out the remaining `send` buffer, then closing.
+    Flush,
+    Closed,
+}
+
+enum BodyFraming {
+    /// `Content-Length`: remaining body bytes.
+    Length(u64),
+    /// `Transfer-Encoding: chunked`.
+    Chunked(http::ChunkedDecoder),
+    /// No framing given: body runs until EOF (HTTP/1.0 style).
+    Eof,
+}
+
+impl BodyFraming {
+    fn complete(&self) -> bool {
+        match self {
+            BodyFraming::Length(n) => *n == 0,
+            BodyFraming::Chunked(d) => d.is_done(),
+            BodyFraming::Eof => false, // completion signalled by EOF
+        }
+    }
+}
+
+struct BodyState {
+    session: StreamSession,
+    session_id: u64,
+    framing: BodyFraming,
+    /// Response head already sent. It goes out lazily, with the first
+    /// output byte, so pre-output failures can still return a clean 4xx.
+    sent_head: bool,
+    /// Decoded body bytes not yet accepted by `try_feed`.
+    pending: Vec<u8>,
+    pending_pos: usize,
+    /// All input fed and `close_input` called.
+    input_closed: bool,
+    /// Output produced after the upload completed, held back until the
+    /// session's verdict: emitting it would commit us to a 200, and with
+    /// the input already closed the verdict is at most one evaluation
+    /// away — so completed uploads that fail get a clean 4xx instead of
+    /// a racy truncated 200. (Mid-upload output streams immediately;
+    /// that is the whole point of the engine.)
+    held: Vec<u8>,
+    /// Socket saw EOF.
+    saw_eof: bool,
+}
+
+struct Conn {
+    stream: TcpStream,
+    peer: String,
+    recv: Vec<u8>,
+    send: Vec<u8>,
+    send_pos: usize,
+    /// Reusable socket-read scratch (sized lazily to `io_chunk_bytes`).
+    scratch: Vec<u8>,
+    state: ConnState,
+    last_progress: Instant,
+}
+
+/// Above this much un-flushed response data, stop pulling more output
+/// from the session: the socket's backpressure propagates to the engine
+/// by letting output sit in the session's buffer.
+const SEND_HIGH_WATER: usize = 256 * 1024;
+
+/// Above this much decoded-but-unfed body data, stop reading the socket:
+/// a client uploading faster than its session evaluates must not make
+/// the server buffer the document.
+const RECV_HIGH_WATER: usize = 256 * 1024;
+
+impl Conn {
+    fn new(stream: TcpStream, peer: String) -> Self {
+        Conn {
+            stream,
+            peer,
+            recv: Vec::new(),
+            send: Vec::new(),
+            send_pos: 0,
+            scratch: Vec::new(),
+            state: ConnState::Head,
+            last_progress: Instant::now(),
+        }
+    }
+
+    /// One non-blocking step of the connection state machine.
+    fn step(&mut self, shared: &Arc<ServerShared>) -> StepResult {
+        match self.state {
+            ConnState::Closed => StepResult::Finished,
+            ConnState::Flush => match self.write_some(shared) {
+                WriteOutcome::Progress => {
+                    if self.send_pos >= self.send.len() {
+                        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+                        self.state = ConnState::Closed;
+                        return StepResult::Finished;
+                    }
+                    StepResult::Progress
+                }
+                WriteOutcome::Idle => {
+                    // Nothing left to write at all: we are done.
+                    let _ = self.stream.shutdown(std::net::Shutdown::Both);
+                    self.state = ConnState::Closed;
+                    StepResult::Finished
+                }
+                WriteOutcome::WouldBlock => StepResult::Blocked,
+                WriteOutcome::Gone => StepResult::Finished,
+            },
+            ConnState::Head => self.step_head(shared),
+            ConnState::Body(_) => self.step_body(shared),
+        }
+    }
+
+    fn step_head(&mut self, shared: &Arc<ServerShared>) -> StepResult {
+        match self.read_some(shared) {
+            ReadOutcome::Data => {}
+            ReadOutcome::WouldBlock => return StepResult::Blocked,
+            ReadOutcome::Eof | ReadOutcome::Gone => return StepResult::Finished,
+        }
+        let Some(head_end) = http::find_head_end(&self.recv) else {
+            // Body bytes may already be piling in behind a complete head;
+            // only an actually-unterminated head this large is an error.
+            if self.recv.len() > shared.max_head_bytes {
+                self.respond_simple(431, "Request Header Fields Too Large", "head too large\n");
+            }
+            return StepResult::Progress; // keep reading
+        };
+        shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let head = match http::parse_head(&self.recv[..head_end]) {
+            Ok(h) => h,
+            Err(e) => {
+                self.respond_simple(400, "Bad Request", &format!("malformed request: {e}\n"));
+                return StepResult::Progress;
+            }
+        };
+        self.recv.drain(..head_end);
+        self.dispatch(shared, &head);
+        StepResult::Progress
+    }
+
+    fn dispatch(&mut self, shared: &Arc<ServerShared>, head: &http::RequestHead) {
+        match (head.method.as_str(), head.path.as_str()) {
+            ("GET", "/healthz") => self.respond_simple(200, "OK", "ok\n"),
+            ("GET", "/stats") => {
+                let json = stats_json::render(shared);
+                self.send.extend_from_slice(&http::simple_response(
+                    200,
+                    "OK",
+                    "application/json",
+                    json.as_bytes(),
+                ));
+                self.state = ConnState::Flush;
+            }
+            ("POST", "/query") => self.dispatch_query(shared, head),
+            _ => self.respond_simple(404, "Not Found", "unknown endpoint\n"),
+        }
+    }
+
+    fn dispatch_query(&mut self, shared: &Arc<ServerShared>, head: &http::RequestHead) {
+        let query_text = match (head.param("xq"), head.param("name")) {
+            (Some(xq), _) => xq.to_string(),
+            (None, Some(name)) => match shared.queries.get(name) {
+                Some(q) => q.clone(),
+                None => {
+                    self.respond_simple(
+                        404,
+                        "Not Found",
+                        &format!("no registered query named {name:?}\n"),
+                    );
+                    return;
+                }
+            },
+            (None, None) => {
+                self.respond_simple(
+                    400,
+                    "Bad Request",
+                    "POST /query needs ?xq=<urlencoded query> or ?name=<registered query>\n",
+                );
+                return;
+            }
+        };
+        let framing = if head.is_chunked() {
+            BodyFraming::Chunked(http::ChunkedDecoder::new())
+        } else {
+            match head.content_length() {
+                Err(e) => {
+                    self.respond_simple(400, "Bad Request", &format!("{e}\n"));
+                    return;
+                }
+                Ok(Some(n)) => BodyFraming::Length(n),
+                Ok(None) => BodyFraming::Eof,
+            }
+        };
+        let live = Arc::new(LiveBufferStats::default());
+        let session = {
+            let live = live.clone();
+            let pool = shared.pool.clone();
+            let charge = shared.charge_engine_buffer;
+            shared.service.open_session_with(&query_text, move |cfg| {
+                cfg.live_stats = Some(live);
+                cfg.pool = Some(pool);
+                cfg.charge_engine_buffer = charge;
+            })
+        };
+        let session = match session {
+            Ok(s) => s,
+            Err(e) => {
+                self.respond_simple(400, "Bad Request", &format!("{e}\n"));
+                return;
+            }
+        };
+        let session_id = shared.next_session_id.fetch_add(1, Ordering::Relaxed);
+        let label = head
+            .param("name")
+            .map_or_else(|| preview(&query_text), str::to_string);
+        shared.sessions.lock().expect("registry lock").insert(
+            session_id,
+            SessionEntry {
+                query_label: label,
+                peer: self.peer.clone(),
+                started: Instant::now(),
+                live,
+            },
+        );
+        if head.expects_continue() {
+            self.send
+                .extend_from_slice(b"HTTP/1.1 100 Continue\r\n\r\n");
+        }
+        self.state = ConnState::Body(Box::new(BodyState {
+            session,
+            session_id,
+            framing,
+            sent_head: false,
+            pending: Vec::new(),
+            pending_pos: 0,
+            input_closed: false,
+            held: Vec::new(),
+            saw_eof: false,
+        }));
+    }
+
+    fn step_body(&mut self, shared: &Arc<ServerShared>) -> StepResult {
+        let mut progress = false;
+
+        // 1. Flush the response buffer first — it bounds everything else.
+        match self.write_some(shared) {
+            WriteOutcome::Progress => progress = true,
+            WriteOutcome::WouldBlock | WriteOutcome::Idle => {}
+            WriteOutcome::Gone => return StepResult::Finished,
+        }
+
+        // Work on the body state outside `self.state` so socket methods
+        // on `self` stay callable.
+        let ConnState::Body(mut body) = std::mem::replace(&mut self.state, ConnState::Closed)
+        else {
+            unreachable!("step_body outside Body state");
+        };
+
+        // 2. Read more body bytes unless the upload already completed —
+        //    or the session is not keeping up (backlog cap: TCP pushes
+        //    back on the client instead of us buffering the document).
+        let backlog = body.pending.len() - body.pending_pos + self.recv.len();
+        if !body.saw_eof && !body.framing.complete() && backlog < RECV_HIGH_WATER {
+            match self.read_some(shared) {
+                ReadOutcome::Data => progress = true,
+                ReadOutcome::WouldBlock => {}
+                ReadOutcome::Eof => {
+                    body.saw_eof = true;
+                    progress = true;
+                }
+                ReadOutcome::Gone => {
+                    self.state = ConnState::Body(body);
+                    return StepResult::Finished;
+                }
+            }
+        }
+
+        // EOF before a framed body completed: the client went away;
+        // teardown cancels the session.
+        if body.saw_eof && !matches!(body.framing, BodyFraming::Eof) && !body.framing.complete() {
+            self.state = ConnState::Body(body);
+            return StepResult::Finished;
+        }
+
+        // 3. Decode raw socket bytes into body payload.
+        if !self.recv.is_empty() {
+            let consumed = match &mut body.framing {
+                BodyFraming::Length(remaining) => {
+                    let take = (*remaining).min(self.recv.len() as u64) as usize;
+                    body.pending.extend_from_slice(&self.recv[..take]);
+                    *remaining -= take as u64;
+                    take
+                }
+                BodyFraming::Chunked(dec) => match dec.decode(&self.recv, &mut body.pending) {
+                    Ok(n) => n,
+                    Err(e) => {
+                        finish_registry(shared, body.session_id, None);
+                        self.respond_simple(
+                            400,
+                            "Bad Request",
+                            &format!("malformed chunked body: {e}\n"),
+                        );
+                        return StepResult::Progress; // body (and session) dropped here
+                    }
+                },
+                BodyFraming::Eof => {
+                    let n = self.recv.len();
+                    body.pending.extend_from_slice(&self.recv);
+                    n
+                }
+            };
+            if consumed > 0 {
+                self.recv.drain(..consumed);
+                progress = true;
+            }
+        }
+
+        // 4. Feed decoded payload into the session. Non-blocking: a full
+        //    queue parks the connection, not the worker thread. Slices
+        //    are bounded so one offer can always fit the memory budget.
+        let mut output = Vec::new();
+        while body.pending_pos < body.pending.len() {
+            let chunk_end = (body.pending_pos + shared.feed_chunk_bytes).min(body.pending.len());
+            match body
+                .session
+                .try_feed(&body.pending[body.pending_pos..chunk_end])
+            {
+                Ok(TryFeed::Fed(out)) => {
+                    output.extend_from_slice(&out);
+                    body.pending_pos = chunk_end;
+                    progress = true;
+                }
+                Ok(TryFeed::Busy(out)) => {
+                    if !out.is_empty() {
+                        output.extend_from_slice(&out);
+                        progress = true;
+                    }
+                    break;
+                }
+                Err(e) => {
+                    self.session_failed(shared, &mut body, &e.to_string());
+                    return StepResult::Progress; // body (and session) dropped here
+                }
+            }
+        }
+        if body.pending_pos == body.pending.len() && !body.pending.is_empty() {
+            body.pending.clear();
+            body.pending_pos = 0;
+        }
+
+        // 5. Close the session's input once the whole body was fed.
+        let upload_done =
+            body.framing.complete() || (matches!(body.framing, BodyFraming::Eof) && body.saw_eof);
+        if upload_done && body.pending_pos >= body.pending.len() && !body.input_closed {
+            body.session.close_input();
+            body.input_closed = true;
+            progress = true;
+        }
+
+        // 6. Pull output the engine has produced meanwhile — unless our
+        //    own send buffer is already backed up.
+        if self.send.len() - self.send_pos < SEND_HIGH_WATER {
+            let drained = body.session.drain();
+            if !drained.is_empty() {
+                output.extend_from_slice(&drained);
+                progress = true;
+            }
+            // 7. Completed?
+            if body.input_closed {
+                if let Some(outcome) = body.session.take_outcome() {
+                    match outcome {
+                        Ok(ok) => {
+                            let mut full = std::mem::take(&mut body.held);
+                            full.extend_from_slice(&output);
+                            full.extend_from_slice(&ok.output);
+                            self.emit_output(&mut body, &full);
+                            self.send.extend_from_slice(http::FINAL_CHUNK);
+                            finish_registry(shared, body.session_id, Some(&ok.report));
+                            self.state = ConnState::Flush;
+                            return StepResult::Progress; // body dropped (already finished)
+                        }
+                        Err(e) => {
+                            self.session_failed(shared, &mut body, &e.to_string());
+                            return StepResult::Progress;
+                        }
+                    }
+                }
+            }
+        }
+        if !output.is_empty() {
+            if body.input_closed {
+                // Upload complete, verdict pending: hold (see `held`).
+                body.held.extend_from_slice(&output);
+            } else {
+                self.emit_output(&mut body, &output);
+            }
+            progress = true;
+        }
+
+        self.state = ConnState::Body(body);
+        if progress {
+            StepResult::Progress
+        } else {
+            StepResult::Blocked
+        }
+    }
+
+    /// Appends engine output to the response, sending the lazy 200 head
+    /// first when needed (always called at completion, even with empty
+    /// output, so the terminating chunk never goes out headless).
+    fn emit_output(&mut self, body: &mut BodyState, output: &[u8]) {
+        if !body.sent_head {
+            body.sent_head = true;
+            self.send.extend_from_slice(&http::response_head(
+                200,
+                "OK",
+                &[
+                    ("Content-Type", "application/xml"),
+                    ("Transfer-Encoding", "chunked"),
+                ],
+            ));
+        }
+        http::encode_chunk(output, &mut self.send);
+    }
+
+    /// Terminates a failed session: a clean 422 if the head is still
+    /// unsent, otherwise an aborted (truncated) chunked body — the only
+    /// honest signal once a 200 is on the wire.
+    fn session_failed(&mut self, shared: &Arc<ServerShared>, body: &mut BodyState, msg: &str) {
+        finish_registry(shared, body.session_id, None);
+        if body.sent_head {
+            self.state = ConnState::Flush;
+        } else {
+            self.respond_simple(
+                422,
+                "Unprocessable Entity",
+                &format!("query failed: {msg}\n"),
+            );
+        }
+    }
+
+    fn fail_idle(&mut self, shared: &Arc<ServerShared>) {
+        let info = match &self.state {
+            ConnState::Body(b) => Some((b.session_id, b.sent_head)),
+            _ => None,
+        };
+        if let Some((session_id, sent_head)) = info {
+            finish_registry(shared, session_id, None);
+            if !sent_head {
+                self.respond_simple(408, "Request Timeout", "connection idle too long\n");
+            }
+        }
+        // Best-effort farewell; teardown closes regardless.
+        if self.send_pos < self.send.len() {
+            let _ = self.stream.write_all(&self.send[self.send_pos..]);
+            self.send_pos = self.send.len();
+        }
+    }
+
+    /// Replaces the connection's future with a fixed response.
+    fn respond_simple(&mut self, status: u16, reason: &str, body: &str) {
+        self.send.extend_from_slice(&http::simple_response(
+            status,
+            reason,
+            "text/plain; charset=utf-8",
+            body.as_bytes(),
+        ));
+        self.state = ConnState::Flush;
+    }
+
+    fn read_some(&mut self, shared: &Arc<ServerShared>) -> ReadOutcome {
+        // Reuse one scratch buffer per connection — this runs on every
+        // step of every connection, and a fresh zeroed 64 KiB Vec per
+        // read would dominate the allocation profile.
+        if self.scratch.len() < shared.io_chunk_bytes {
+            self.scratch.resize(shared.io_chunk_bytes, 0);
+        }
+        match self.stream.read(&mut self.scratch) {
+            Ok(0) => ReadOutcome::Eof,
+            Ok(n) => {
+                shared
+                    .counters
+                    .bytes_in
+                    .fetch_add(n as u64, Ordering::Relaxed);
+                self.recv.extend_from_slice(&self.scratch[..n]);
+                ReadOutcome::Data
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => ReadOutcome::WouldBlock,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => ReadOutcome::WouldBlock,
+            Err(_) => ReadOutcome::Gone,
+        }
+    }
+
+    fn write_some(&mut self, shared: &Arc<ServerShared>) -> WriteOutcome {
+        if self.send_pos >= self.send.len() {
+            if self.send_pos > 0 {
+                self.send.clear();
+                self.send_pos = 0;
+            }
+            return WriteOutcome::Idle;
+        }
+        match self.stream.write(&self.send[self.send_pos..]) {
+            Ok(0) => WriteOutcome::Gone,
+            Ok(n) => {
+                shared
+                    .counters
+                    .bytes_out
+                    .fetch_add(n as u64, Ordering::Relaxed);
+                self.send_pos += n;
+                if self.send_pos >= self.send.len() {
+                    self.send.clear();
+                    self.send_pos = 0;
+                }
+                WriteOutcome::Progress
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => WriteOutcome::WouldBlock,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => WriteOutcome::WouldBlock,
+            Err(_) => WriteOutcome::Gone,
+        }
+    }
+
+    /// Unregisters any in-flight session and closes the connection. The
+    /// session itself is cancelled when the state drops.
+    fn teardown(&mut self, shared: &Arc<ServerShared>) {
+        if let ConnState::Body(body) = &self.state {
+            finish_registry(shared, body.session_id, None);
+        }
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+        self.state = ConnState::Closed;
+    }
+}
+
+enum ReadOutcome {
+    Data,
+    WouldBlock,
+    Eof,
+    Gone,
+}
+
+enum WriteOutcome {
+    Progress,
+    /// Send buffer empty — nothing to write (not progress, not an error).
+    Idle,
+    WouldBlock,
+    Gone,
+}
+
+/// Removes a session from the registry and records completion counters.
+/// Passing `Some(report)` marks success; `None` marks failure/abort.
+/// Idempotent per session id.
+fn finish_registry(
+    shared: &Arc<ServerShared>,
+    session_id: u64,
+    report: Option<&gcx_core::RunReport>,
+) {
+    let removed = shared
+        .sessions
+        .lock()
+        .expect("registry lock")
+        .remove(&session_id);
+    if removed.is_none() {
+        return;
+    }
+    match report {
+        Some(r) => {
+            shared
+                .counters
+                .sessions_completed
+                .fetch_add(1, Ordering::Relaxed);
+            shared
+                .counters
+                .tokens_read_total
+                .fetch_add(r.tokens_read + r.tokens_skipped, Ordering::Relaxed);
+            shared
+                .counters
+                .peak_nodes_max
+                .fetch_max(r.stats.peak_nodes as u64, Ordering::Relaxed);
+        }
+        None => {
+            shared
+                .counters
+                .sessions_failed
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// First ~40 chars of a query for registry labels.
+fn preview(query: &str) -> String {
+    let flat: String = query.split_whitespace().collect::<Vec<_>>().join(" ");
+    if flat.len() <= 40 {
+        flat
+    } else {
+        let mut cut = 40;
+        while !flat.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        format!("{}…", &flat[..cut])
+    }
+}

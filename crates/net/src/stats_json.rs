@@ -1,0 +1,123 @@
+//! `/stats` JSON rendering (schema `gcx-net-stats/1`).
+//!
+//! Hand-rolled like gcx-bench's report module — the workspace is offline,
+//! no serde. The document has four sections:
+//!
+//! * `server` — front-end counters and the (fixed) thread topology;
+//! * `service` — compiled-query cache statistics;
+//! * `budget` — the shared [`gcx_service::MemoryBudget`], or `null`;
+//! * `sessions` — **live** per-session buffer statistics sampled from the
+//!   running engines (current/peak buffered nodes and bytes, text-arena
+//!   bytes), the observability the paper's buffer-minimization claims
+//!   deserve: you can watch the buffer stay small mid-stream.
+
+use crate::server::ServerShared;
+use std::fmt::Write as _;
+use std::sync::atomic::Ordering;
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the full `/stats` document.
+pub(crate) fn render(shared: &ServerShared) -> String {
+    let c = &shared.counters;
+    let service_stats = shared.service.stats();
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\n  \"schema\": \"gcx-net-stats/1\",\n");
+
+    let sessions = shared.sessions.lock().expect("registry lock");
+    let _ = writeln!(
+        out,
+        "  \"server\": {{ \"workers\": {}, \"evaluators\": {}, \"threads\": {}, \
+         \"active_sessions\": {}, \"requests\": {}, \"sessions_completed\": {}, \
+         \"sessions_failed\": {}, \"bytes_in\": {}, \"bytes_out\": {}, \
+         \"tokens_read_total\": {}, \"peak_nodes_max\": {} }},",
+        shared.workers,
+        shared.evaluators,
+        1 + shared.workers + shared.evaluators,
+        sessions.len(),
+        c.requests.load(Ordering::Relaxed),
+        c.sessions_completed.load(Ordering::Relaxed),
+        c.sessions_failed.load(Ordering::Relaxed),
+        c.bytes_in.load(Ordering::Relaxed),
+        c.bytes_out.load(Ordering::Relaxed),
+        c.tokens_read_total.load(Ordering::Relaxed),
+        c.peak_nodes_max.load(Ordering::Relaxed),
+    );
+
+    let _ = writeln!(
+        out,
+        "  \"service\": {{ \"cache_hits\": {}, \"cache_misses\": {}, \
+         \"cache_evictions\": {}, \"sessions_opened\": {}, \"cached_queries\": {}, \
+         \"registered_queries\": {} }},",
+        service_stats.cache_hits,
+        service_stats.cache_misses,
+        service_stats.cache_evictions,
+        service_stats.sessions_opened,
+        shared.service.cached_queries(),
+        shared.queries.len(),
+    );
+
+    match shared.service.budget() {
+        Some(b) => {
+            let _ = writeln!(
+                out,
+                "  \"budget\": {{ \"limit\": {}, \"used\": {}, \"engine_used\": {} }},",
+                b.limit(),
+                b.used(),
+                b.engine_used()
+            );
+        }
+        None => out.push_str("  \"budget\": null,\n"),
+    }
+
+    out.push_str("  \"sessions\": [\n");
+    let mut ids: Vec<_> = sessions.keys().copied().collect();
+    ids.sort_unstable();
+    for (i, id) in ids.iter().enumerate() {
+        let entry = &sessions[id];
+        let (live_nodes, peak_nodes, live_bytes, peak_bytes, text_arena, created, purged) =
+            entry.live.snapshot();
+        let _ = write!(
+            out,
+            "    {{ \"id\": {id}, \"query\": \"{}\", \"peer\": \"{}\", \
+             \"age_ms\": {}, \"buffer\": {{ \"live_nodes\": {live_nodes}, \
+             \"peak_nodes\": {peak_nodes}, \"live_bytes\": {live_bytes}, \
+             \"peak_bytes\": {peak_bytes}, \"text_arena_bytes\": {text_arena}, \
+             \"nodes_created\": {created}, \"nodes_purged\": {purged} }} }}",
+            esc(&entry.query_label),
+            esc(&entry.peer),
+            entry.started.elapsed().as_millis(),
+        );
+        out.push_str(if i + 1 < ids.len() { ",\n" } else { "\n" });
+    }
+    drop(sessions);
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(esc("plain"), "plain");
+    }
+}

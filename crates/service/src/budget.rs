@@ -17,6 +17,13 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 pub struct MemoryBudget {
     limit: usize,
     used: AtomicUsize,
+    /// Engine-buffer bytes charged through the `BufferAccounting` hook —
+    /// an **independent** account with its own `≤ limit` bound. Kept
+    /// apart from `used` so queued I/O and undrained output only ever
+    /// *backpressure* sessions while engine buffering alone decides the
+    /// hard per-session failure (see the trait impl below for why
+    /// coupling them livelocks).
+    engine_used: AtomicUsize,
 }
 
 impl MemoryBudget {
@@ -25,7 +32,15 @@ impl MemoryBudget {
         MemoryBudget {
             limit,
             used: AtomicUsize::new(0),
+            engine_used: AtomicUsize::new(0),
         }
+    }
+
+    /// Engine-buffer bytes currently charged (independent of
+    /// [`MemoryBudget::used`], which covers queued I/O and undrained
+    /// output).
+    pub fn engine_used(&self) -> usize {
+        self.engine_used.load(Ordering::Relaxed)
     }
 
     /// The configured limit.
@@ -74,6 +89,59 @@ impl MemoryBudget {
     }
 }
 
+/// Lets the engine buffer itself charge against the same global budget
+/// that bounds queued I/O: with [`crate::SessionConfig::charge_engine_buffer`]
+/// enabled, buffered nodes and text-arena bytes are **hard** reservations —
+/// documents whose aggregate buffering genuinely needs more than the
+/// budget fail their sessions cleanly instead of growing without bound.
+///
+/// Engine reservations are judged against a dedicated sub-counter
+/// (`engine_used ≤ limit`) that is **independent of the main counter**.
+/// Charging the main counter too would couple the two the wrong way
+/// round: a session whose engine legitimately buffers near the limit
+/// would starve its own *input admission* (input can only drain the
+/// engine by being admitted, the engine can only release budget by
+/// consuming input — a livelock). The service therefore holds at most
+/// `limit` bytes of queued I/O **plus** `limit` bytes of engine buffer;
+/// both bounds are hard, and `/stats` reports the two counters
+/// side by side.
+impl gcx_buffer::BufferAccounting for MemoryBudget {
+    fn reserve(&self, bytes: usize) -> bool {
+        let mut current = self.engine_used.load(Ordering::Relaxed);
+        loop {
+            let Some(next) = current.checked_add(bytes) else {
+                return false;
+            };
+            if next > self.limit {
+                return false;
+            }
+            match self.engine_used.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => current = actual,
+            }
+        }
+        true
+    }
+
+    fn release(&self, bytes: usize) {
+        let prev = self.engine_used.fetch_sub(bytes, Ordering::Relaxed);
+        debug_assert!(prev >= bytes, "engine release underflow: {prev} - {bytes}");
+    }
+
+    fn used(&self) -> usize {
+        self.engine_used()
+    }
+
+    fn limit(&self) -> usize {
+        MemoryBudget::limit(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,6 +167,31 @@ mod tests {
         assert!(!b.try_reserve(1));
         b.release(25);
         assert!(b.try_reserve(10));
+    }
+
+    #[test]
+    fn engine_account_is_independent_of_main_counter() {
+        use gcx_buffer::BufferAccounting;
+        let b = MemoryBudget::new(100);
+        // I/O filling the whole budget must not block engine reservations.
+        assert!(b.try_reserve(100));
+        assert!(
+            BufferAccounting::reserve(&b, 60),
+            "engine judged on its own"
+        );
+        assert_eq!(b.engine_used(), 60);
+        assert_eq!(b.used(), 100, "main counter untouched by engine charges");
+        // The engine alone is capped at the limit.
+        assert!(!BufferAccounting::reserve(&b, 41));
+        assert!(BufferAccounting::reserve(&b, 40));
+        // And engine buffering must never starve I/O admission: once the
+        // I/O side drains, new input fits regardless of engine usage.
+        b.release(50);
+        assert!(b.try_reserve(50), "engine at limit, I/O still admits");
+        BufferAccounting::release(&b, 100);
+        b.release(100);
+        assert_eq!(b.engine_used(), 0);
+        assert_eq!(b.used(), 0);
     }
 
     #[test]

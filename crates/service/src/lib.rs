@@ -21,12 +21,14 @@
 //! session state machine and memory-budget semantics.
 
 pub mod budget;
+pub mod pool;
 pub mod service;
 pub mod session;
 
 pub use budget::MemoryBudget;
+pub use pool::EvaluatorPool;
 pub use service::{normalize_query, BatchJob, QueryService, ServiceConfig, ServiceStats};
-pub use session::{SessionConfig, SessionOutcome, StreamSession};
+pub use session::{SessionConfig, SessionOutcome, StreamSession, TryFeed};
 
 use gcx_query::CompileError;
 use std::fmt;

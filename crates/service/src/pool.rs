@@ -1,0 +1,232 @@
+//! A bounded pool of evaluator threads shared by many sessions.
+//!
+//! [`crate::StreamSession`] historically spawned one OS thread per
+//! session — fine for batch jobs, fatal for a network front-end serving
+//! thousands of concurrent streams. An [`EvaluatorPool`] caps evaluator
+//! parallelism at a fixed thread count: sessions submit their evaluation
+//! as a job; `N` long-lived workers pull jobs off a run-queue and run
+//! them to completion. Sessions beyond the pool size queue (their `feed`
+//! calls simply buffer input until a worker frees up), so the *thread
+//! count stays fixed no matter how many sessions are open* — the
+//! schema-based scheduling shape of Koch et al.'s event-processor work.
+//!
+//! A worker blocked on input (slow client) does occupy its thread — the
+//! evaluator is a pull-based interpreter, not a resumable state machine —
+//! so front-ends should size the pool for the number of *concurrently
+//! evaluating* sessions they want and cancel stalled ones (gcx-net
+//! enforces idle timeouts for exactly this reason).
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolState {
+    queue: VecDeque<Job>,
+    /// Jobs currently executing on a worker.
+    active: usize,
+    shutdown: bool,
+}
+
+struct PoolInner {
+    state: Mutex<PoolState>,
+    /// Signaled when a job arrives or shutdown is requested.
+    work: Condvar,
+    size: usize,
+}
+
+/// A fixed-size evaluator thread pool. Cheap to clone (shared handle).
+#[derive(Clone)]
+pub struct EvaluatorPool {
+    inner: Arc<PoolInner>,
+    /// Worker handles, joined by [`EvaluatorPool::shutdown`]. Shared so
+    /// clones agree on who joins.
+    handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl EvaluatorPool {
+    /// Spawns `size` (≥ 1) worker threads immediately.
+    pub fn new(size: usize) -> Self {
+        let size = size.max(1);
+        let inner = Arc::new(PoolInner {
+            state: Mutex::new(PoolState {
+                queue: VecDeque::new(),
+                active: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            size,
+        });
+        let handles = (0..size)
+            .map(|i| {
+                let inner = inner.clone();
+                std::thread::Builder::new()
+                    .name(format!("gcx-eval-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn evaluator worker")
+            })
+            .collect();
+        EvaluatorPool {
+            inner,
+            handles: Arc::new(Mutex::new(handles)),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn size(&self) -> usize {
+        self.inner.size
+    }
+
+    /// Jobs waiting for a free worker.
+    pub fn queued(&self) -> usize {
+        self.inner.state.lock().expect("pool lock").queue.len()
+    }
+
+    /// Jobs currently executing.
+    pub fn active(&self) -> usize {
+        self.inner.state.lock().expect("pool lock").active
+    }
+
+    /// Enqueues a job; some worker will run it. Jobs are never dropped —
+    /// sessions rely on their evaluator running to observe cancellation
+    /// and set `done`: queued jobs are drained even after `shutdown`
+    /// begins, and a job submitted *after* the workers have gone runs on
+    /// a fresh detached thread rather than sitting on a dead queue
+    /// forever.
+    pub fn submit(&self, job: Job) {
+        let mut st = self.inner.state.lock().expect("pool lock");
+        if st.shutdown {
+            drop(st);
+            std::thread::spawn(job);
+            return;
+        }
+        st.queue.push_back(job);
+        drop(st);
+        self.inner.work.notify_one();
+    }
+
+    /// Drains the queue, stops the workers and joins them. Callers must
+    /// cancel outstanding sessions first; a job blocked waiting for input
+    /// that will never arrive would block the join.
+    pub fn shutdown(&self) {
+        {
+            let mut st = self.inner.state.lock().expect("pool lock");
+            st.shutdown = true;
+        }
+        self.inner.work.notify_all();
+        let handles = std::mem::take(&mut *self.handles.lock().expect("pool handles"));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &PoolInner) {
+    loop {
+        let job = {
+            let mut st = inner.state.lock().expect("pool lock");
+            loop {
+                if let Some(job) = st.queue.pop_front() {
+                    st.active += 1;
+                    break job;
+                }
+                if st.shutdown {
+                    return;
+                }
+                st = inner.work.wait(st).expect("pool lock poisoned");
+            }
+        };
+        // Panics are the session's problem (its DoneGuard reports them);
+        // the worker itself must survive to serve the next job.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+        let mut st = inner.state.lock().expect("pool lock");
+        st.active -= 1;
+        drop(st);
+        drop(result);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_all_jobs_with_bounded_threads() {
+        let pool = EvaluatorPool::new(2);
+        let done = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let running = Arc::new(AtomicUsize::new(0));
+        for _ in 0..16 {
+            let done = done.clone();
+            let peak = peak.clone();
+            let running = running.clone();
+            pool.submit(Box::new(move || {
+                let now = running.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                running.fetch_sub(1, Ordering::SeqCst);
+                done.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        for _ in 0..1000 {
+            if done.load(Ordering::SeqCst) == 16 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(done.load(Ordering::SeqCst), 16);
+        assert!(peak.load(Ordering::SeqCst) <= 2, "pool bounds parallelism");
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_jobs() {
+        let pool = EvaluatorPool::new(1);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..8 {
+            let done = done.clone();
+            pool.submit(Box::new(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), 8, "no job dropped");
+    }
+
+    #[test]
+    fn submit_after_shutdown_still_runs_the_job() {
+        let pool = EvaluatorPool::new(1);
+        pool.shutdown();
+        let done = Arc::new(AtomicUsize::new(0));
+        {
+            let done = done.clone();
+            pool.submit(Box::new(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        for _ in 0..1000 {
+            if done.load(Ordering::SeqCst) == 1 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(done.load(Ordering::SeqCst), 1, "job must not be stranded");
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_worker() {
+        let pool = EvaluatorPool::new(1);
+        pool.submit(Box::new(|| panic!("boom")));
+        let done = Arc::new(AtomicUsize::new(0));
+        {
+            let done = done.clone();
+            pool.submit(Box::new(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), 1);
+    }
+}

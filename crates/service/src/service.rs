@@ -76,6 +76,12 @@ struct CacheEntry {
 struct Inner {
     /// Master interner: every cached query's tag ids live here.
     tags: TagInterner,
+    /// Lazily built immutable snapshot of `tags`, shared (`Arc`) by every
+    /// session opened until the master grows again. Invalidated whenever
+    /// `tags` mutates, so `open_session` is O(1) in the steady state
+    /// (cache hits) instead of cloning the whole symbol table per
+    /// session.
+    tags_snapshot: Option<Arc<TagInterner>>,
     cache: HashMap<String, CacheEntry>,
     /// Normalized keys currently being compiled outside the lock;
     /// concurrent requests for the same key wait on `compile_done`
@@ -107,6 +113,7 @@ impl QueryService {
         QueryService {
             inner: Mutex::new(Inner {
                 tags: TagInterner::new(),
+                tags_snapshot: None,
                 cache: HashMap::new(),
                 in_flight: HashSet::new(),
                 tick: 0,
@@ -179,6 +186,9 @@ impl QueryService {
                     // Nobody interned concurrently: adopt the extended
                     // snapshot — its ids are a strict superset of the
                     // master's.
+                    if inner.tags.len() != snapshot.len() {
+                        inner.tags_snapshot = None;
+                    }
                     inner.tags = snapshot;
                     Arc::new(compiled)
                 } else {
@@ -187,10 +197,13 @@ impl QueryService {
                     // first); the snapshot's new ids may clash. Recompile
                     // against the master under the lock for id
                     // consistency.
-                    Arc::new(
-                        compile(query, &mut inner.tags, self.config.compile)
-                            .map_err(ServiceError::Compile)?,
-                    )
+                    let before = inner.tags.len();
+                    let recompiled = compile(query, &mut inner.tags, self.config.compile)
+                        .map_err(ServiceError::Compile)?;
+                    if inner.tags.len() != before {
+                        inner.tags_snapshot = None;
+                    }
+                    Arc::new(recompiled)
                 }
             }
         };
@@ -218,21 +231,52 @@ impl QueryService {
         Ok(compiled)
     }
 
+    /// An immutable `Arc` snapshot of the master interner, rebuilt only
+    /// when the master has grown since the last call. Sessions layer a
+    /// cheap copy-on-write overlay on top ([`TagInterner::overlay`])
+    /// instead of cloning the whole symbol table.
+    pub fn tags_snapshot(&self) -> Arc<TagInterner> {
+        let mut inner = self.inner.lock().expect("service lock");
+        if inner.tags_snapshot.is_none() {
+            inner.tags_snapshot = Some(Arc::new(inner.tags.clone()));
+        }
+        inner.tags_snapshot.clone().expect("just installed")
+    }
+
     /// Opens a push-based session evaluating `query` (compiled or cached)
     /// over input the caller will feed incrementally.
     pub fn open_session(&self, query: &str) -> Result<StreamSession, ServiceError> {
+        self.open_session_with(query, |_| {})
+    }
+
+    /// As [`open_session`](Self::open_session), letting the caller adjust
+    /// the per-session configuration (live-stats mirror, evaluator pool,
+    /// engine-buffer charging, …) before the session starts. The service
+    /// fills in its own defaults first; `customize` sees the final
+    /// [`SessionConfig`].
+    pub fn open_session_with(
+        &self,
+        query: &str,
+        customize: impl FnOnce(&mut SessionConfig),
+    ) -> Result<StreamSession, ServiceError> {
         let compiled = self.get_or_compile(query)?;
-        let tags_snapshot = self.inner.lock().expect("service lock").tags.clone();
+        let tags = TagInterner::overlay(self.tags_snapshot());
         self.sessions.fetch_add(1, Ordering::Relaxed);
-        Ok(StreamSession::new(
-            compiled,
-            tags_snapshot,
-            SessionConfig {
-                input_queue_bytes: self.config.input_queue_bytes,
-                engine: self.config.engine,
-                budget: self.budget.clone(),
-            },
-        ))
+        let mut config = SessionConfig {
+            input_queue_bytes: self.config.input_queue_bytes,
+            engine: self.config.engine,
+            budget: self.budget.clone(),
+            ..Default::default()
+        };
+        customize(&mut config);
+        Ok(StreamSession::new(compiled, tags, config))
+    }
+
+    /// Number of tags in the master interner (diagnostics: sessions
+    /// intern document-side tags into private overlays, so this must not
+    /// grow with served documents — only with compiled queries).
+    pub fn master_interner_len(&self) -> usize {
+        self.inner.lock().expect("service lock").tags.len()
     }
 
     /// Evaluates many (query, document) jobs concurrently — at most
@@ -305,6 +349,11 @@ impl QueryService {
     /// Number of compiled queries currently cached.
     pub fn cached_queries(&self) -> usize {
         self.inner.lock().expect("service lock").cache.len()
+    }
+
+    /// The shared memory budget, when one is configured.
+    pub fn budget(&self) -> Option<&Arc<MemoryBudget>> {
+        self.budget.as_ref()
     }
 }
 
@@ -479,6 +528,38 @@ mod tests {
                 "query over /{t} evaluates correctly"
             );
         }
+    }
+
+    #[test]
+    fn sessions_share_interner_snapshot_without_polluting_master() {
+        let service = QueryService::with_defaults();
+        service.get_or_compile(QUERY).unwrap();
+        let master_len = service.master_interner_len();
+        let snap1 = service.tags_snapshot();
+        // Document-side tags unknown to the query land in the session's
+        // private overlay, never in the master.
+        let mut session = service.open_session(QUERY).unwrap();
+        let doc = "<bib><book><title>A</title><subtitle>s</subtitle>\
+                   <publisher>p</publisher></book></bib>";
+        let mut out = session.feed(doc.as_bytes()).unwrap();
+        out.extend_from_slice(&session.finish().unwrap().output);
+        assert_eq!(String::from_utf8(out).unwrap(), "<r><title>A</title></r>");
+        assert_eq!(
+            service.master_interner_len(),
+            master_len,
+            "document tags must not leak into the master interner"
+        );
+        // The snapshot is reused, not rebuilt, while the master is stable.
+        let snap2 = service.tags_snapshot();
+        assert!(Arc::ptr_eq(&snap1, &snap2), "O(1) steady-state snapshot");
+        // Compiling a new query grows the master and refreshes the
+        // snapshot.
+        service
+            .get_or_compile("<r>{ for $z in /warehouse return $z }</r>")
+            .unwrap();
+        let snap3 = service.tags_snapshot();
+        assert!(!Arc::ptr_eq(&snap2, &snap3), "snapshot refreshed on growth");
+        assert!(snap3.get("warehouse").is_some());
     }
 
     #[test]

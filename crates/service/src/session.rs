@@ -29,7 +29,9 @@
 //! Dropping an unfinished session cancels it implicitly.
 
 use crate::budget::MemoryBudget;
+use crate::pool::EvaluatorPool;
 use crate::ServiceError;
+use gcx_buffer::LiveBufferStats;
 use gcx_core::{CancelFlag, EngineOptions, GcxEngine, RunReport};
 use gcx_query::CompiledQuery;
 use gcx_xml::TagInterner;
@@ -39,7 +41,7 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
 /// Session tuning knobs.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct SessionConfig {
     /// Maximum bytes of fed-but-unconsumed input queued per session;
     /// `feed` blocks (backpressure) once the queue is full. A single
@@ -52,6 +54,21 @@ pub struct SessionConfig {
     /// Optional global budget shared with sibling sessions; `feed` fails
     /// with [`ServiceError::BudgetExceeded`] instead of queueing past it.
     pub budget: Option<Arc<MemoryBudget>>,
+    /// Charge the engine buffer (nodes + text-arena payload) against
+    /// `budget` as *hard* reservations: a document needing more buffer
+    /// than the budget allows fails its own session with a clean error
+    /// instead of growing without bound. Off by default — the I/O-queue
+    /// budget semantics (backpressure, not failure) are unchanged.
+    pub charge_engine_buffer: bool,
+    /// Optional shared mirror of the session's live buffer footprint,
+    /// published by the evaluator after every footprint change so
+    /// observability planes (`/stats`) can sample it mid-stream.
+    pub live_stats: Option<Arc<LiveBufferStats>>,
+    /// Run the evaluator on this shared bounded pool instead of spawning
+    /// a dedicated thread: the process thread count stays fixed no
+    /// matter how many sessions are open. `None` keeps the historical
+    /// one-thread-per-session behaviour.
+    pub pool: Option<EvaluatorPool>,
 }
 
 impl Default for SessionConfig {
@@ -60,7 +77,38 @@ impl Default for SessionConfig {
             input_queue_bytes: 256 * 1024,
             engine: EngineOptions::default(),
             budget: None,
+            charge_engine_buffer: false,
+            live_stats: None,
+            pool: None,
         }
+    }
+}
+
+/// Result of a [`StreamSession::try_feed`] attempt. Both variants carry
+/// every output byte the engine has produced so far (drained exactly
+/// once).
+#[derive(Debug)]
+pub enum TryFeed {
+    /// The chunk was admitted (or discarded because evaluation already
+    /// completed — one-shot semantics, matching [`StreamSession::feed`]).
+    Fed(Vec<u8>),
+    /// The input queue or budget is full; the chunk was **not** admitted.
+    /// Re-offer it after draining — parking the session meanwhile — or
+    /// fall back to the blocking [`StreamSession::feed`].
+    Busy(Vec<u8>),
+}
+
+impl TryFeed {
+    /// The drained output, whichever variant.
+    pub fn output(self) -> Vec<u8> {
+        match self {
+            TryFeed::Fed(out) | TryFeed::Busy(out) => out,
+        }
+    }
+
+    /// True when the chunk was admitted (or the session had completed).
+    pub fn accepted(&self) -> bool {
+        matches!(self, TryFeed::Fed(_))
     }
 }
 
@@ -85,6 +133,13 @@ struct State {
     closed: bool,
     /// Abort requested.
     cancelled: bool,
+    /// The evaluator job has begun executing (as opposed to still
+    /// sitting in an [`EvaluatorPool`] queue). Lets cancellation decide
+    /// whether waiting for `done` is bounded (a running engine observes
+    /// the cancel flag promptly) or potentially unbounded (a queued job
+    /// runs only when a pool thread frees up — the job reclaims the
+    /// session's accounting itself in that case).
+    started: bool,
     /// Engine output not yet handed to the caller (budget-accounted).
     output: Vec<u8>,
     /// Set exactly once when the evaluator ends.
@@ -238,16 +293,25 @@ impl Drop for SessionWriter {
 pub struct StreamSession {
     shared: Arc<Shared>,
     cancel: CancelFlag,
+    /// `Some` in one-thread-per-session mode; `None` when the evaluator
+    /// runs on a shared [`EvaluatorPool`].
     handle: Option<JoinHandle<()>>,
     input_queue_bytes: usize,
     budget: Option<Arc<MemoryBudget>>,
+    /// The session has been finished/cancelled and its resources
+    /// reclaimed; `Drop` has nothing left to do.
+    terminated: bool,
 }
 
 impl StreamSession {
-    /// Spawns the evaluator thread for `compiled` over a fresh chunk
-    /// queue. `tags` must be (a clone of) the interner the query was
-    /// compiled against — [`crate::QueryService`] hands out matching
-    /// snapshots; tags the document adds on top stay session-local.
+    /// Starts the evaluator for `compiled` over a fresh chunk queue — on
+    /// a dedicated thread, or on the shared [`EvaluatorPool`] when
+    /// `config.pool` is set (fixed process thread count; the evaluation
+    /// starts once a pool worker frees up, input fed meanwhile just
+    /// queues). `tags` must be (a snapshot/overlay of) the interner the
+    /// query was compiled against — [`crate::QueryService`] hands out
+    /// matching overlays; tags the document adds on top stay
+    /// session-local.
     pub fn new(compiled: Arc<CompiledQuery>, tags: TagInterner, config: SessionConfig) -> Self {
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
@@ -256,6 +320,7 @@ impl StreamSession {
                 input_bytes: 0,
                 closed: false,
                 cancelled: false,
+                started: false,
                 output: Vec::new(),
                 done: None,
             }),
@@ -264,13 +329,31 @@ impl StreamSession {
         });
         let cancel = CancelFlag::new();
         let budget = config.budget.clone();
-        let handle = {
+        let job = {
             let shared = shared.clone();
             let budget = budget.clone();
             let cancel = cancel.clone();
             let engine_opts = config.engine;
-            std::thread::spawn(move || {
+            let live_stats = config.live_stats.clone();
+            let charge_engine_buffer = config.charge_engine_buffer;
+            move || {
                 let guard = DoneGuard(shared.clone());
+                {
+                    let mut st = shared.lock();
+                    if st.cancelled {
+                        // Cancelled while queued for a pool worker: the
+                        // caller may be long gone (it does not wait for
+                        // queued jobs — that could deadlock a server
+                        // worker behind a saturated pool), so reclaim
+                        // the session's accounting here.
+                        Self::reclaim(&mut st, &budget);
+                        drop(st);
+                        shared.set_done(Err("session cancelled".to_string()));
+                        drop(guard);
+                        return;
+                    }
+                    st.started = true;
+                }
                 let mut tags = tags;
                 let reader = ChunkReader {
                     shared: shared.clone(),
@@ -278,22 +361,48 @@ impl StreamSession {
                 };
                 let writer = SessionWriter {
                     shared: shared.clone(),
-                    budget,
+                    budget: budget.clone(),
                     staged: Vec::new(),
                 };
                 let mut engine = GcxEngine::new(&compiled, &mut tags, reader, writer, engine_opts);
                 engine.set_cancel_flag(cancel);
+                if let Some(live) = live_stats {
+                    engine.set_live_stats(live);
+                }
+                if charge_engine_buffer {
+                    if let Some(b) = &budget {
+                        engine.set_buffer_accounting(b.clone());
+                    }
+                }
                 let result = engine.run().map_err(|e| e.to_string());
                 shared.set_done(result);
+                {
+                    // The engine (and its writer) are gone — nothing can
+                    // produce output or charge the budget anymore. If
+                    // the caller cancelled without waiting, the
+                    // reclamation duty is ours (idempotent otherwise).
+                    let mut st = shared.lock();
+                    if st.cancelled {
+                        Self::reclaim(&mut st, &budget);
+                    }
+                }
                 drop(guard);
-            })
+            }
+        };
+        let handle = match &config.pool {
+            Some(pool) => {
+                pool.submit(Box::new(job));
+                None
+            }
+            None => Some(std::thread::spawn(job)),
         };
         StreamSession {
             shared,
             cancel,
-            handle: Some(handle),
+            handle,
             input_queue_bytes: config.input_queue_bytes,
             budget,
+            terminated: false,
         }
     }
 
@@ -380,6 +489,49 @@ impl StreamSession {
         }
     }
 
+    /// Non-blocking [`feed`](Self::feed): never waits for queue space or
+    /// the budget. The session's output produced so far is always handed
+    /// back; [`TryFeed::Busy`] means the chunk was **not** admitted and
+    /// should be re-offered once siblings drain — the worker-pool shape
+    /// of gcx-net, where a connection worker parks a backpressured
+    /// session and picks up another instead of blocking a thread on it.
+    pub fn try_feed(&mut self, chunk: &[u8]) -> Result<TryFeed, ServiceError> {
+        let mut st = self.shared.lock();
+        if let Some(done) = &st.done {
+            if let Err(msg) = done {
+                return Err(ServiceError::Session(msg.clone()));
+            }
+            // Completed: drop the chunk (one-shot semantics), hand back
+            // whatever output is left.
+            return Ok(TryFeed::Fed(Self::take_output(&mut st, &self.budget)));
+        }
+        if chunk.is_empty() {
+            return Ok(TryFeed::Fed(Self::take_output(&mut st, &self.budget)));
+        }
+        if st.input_bytes != 0 && st.input_bytes + chunk.len() > self.input_queue_bytes {
+            return Ok(TryFeed::Busy(Self::take_output(&mut st, &self.budget)));
+        }
+        if let Some(b) = &self.budget {
+            if !b.try_reserve(chunk.len()) {
+                let out = Self::take_output(&mut st, &self.budget);
+                if chunk.len() > b.limit() {
+                    // Can never fit: retrying would livelock.
+                    return Err(ServiceError::BudgetExceeded {
+                        requested: chunk.len(),
+                        used: b.used(),
+                        limit: b.limit(),
+                        drained: out,
+                    });
+                }
+                return Ok(TryFeed::Busy(out));
+            }
+        }
+        st.input_bytes += chunk.len();
+        st.input.push_back(chunk.to_vec());
+        self.shared.data_available.notify_all();
+        Ok(TryFeed::Fed(Self::take_output(&mut st, &self.budget)))
+    }
+
     /// Takes the output produced so far without feeding anything.
     pub fn drain(&mut self) -> Vec<u8> {
         let mut st = self.shared.lock();
@@ -391,28 +543,46 @@ impl StreamSession {
         self.shared.lock().done.is_some()
     }
 
+    /// Signals end of input without waiting for the evaluator (the
+    /// non-blocking half of [`finish`](Self::finish)); poll
+    /// [`is_finished`](Self::is_finished) / [`take_outcome`](Self::take_outcome)
+    /// afterwards. Idempotent.
+    pub fn close_input(&mut self) {
+        let mut st = self.shared.lock();
+        st.closed = true;
+        self.shared.data_available.notify_all();
+    }
+
+    /// Non-blocking completion poll: `None` while the evaluator is still
+    /// running; once it has terminated, reclaims the session's queued
+    /// bytes and returns the outcome exactly once. After `Some`, the
+    /// session is spent — drop it.
+    pub fn take_outcome(&mut self) -> Option<Result<SessionOutcome, ServiceError>> {
+        let mut st = self.shared.lock();
+        st.done.as_ref()?;
+        let output = Self::take_output(&mut st, &self.budget);
+        Self::release_input(&mut st, &self.budget);
+        let done = st.done.take().expect("checked above");
+        drop(st);
+        self.reap_evaluator();
+        self.terminated = true;
+        Some(match done {
+            Ok(report) => Ok(SessionOutcome { output, report }),
+            Err(msg) => Err(ServiceError::Session(msg)),
+        })
+    }
+
     /// Signals end of input, waits for the evaluator to complete, and
     /// returns the remaining output together with the run report (which
     /// carries this session's `BufferStats`).
     pub fn finish(mut self) -> Result<SessionOutcome, ServiceError> {
-        {
-            let mut st = self.shared.lock();
-            st.closed = true;
-            self.shared.data_available.notify_all();
-        }
-        self.join_evaluator();
-        let mut st = self.shared.lock();
-        let output = Self::take_output(&mut st, &self.budget);
-        Self::release_input(&mut st, &self.budget);
-        let done = st
-            .done
-            .take()
-            .unwrap_or_else(|| Err("evaluator terminated without a result (bug)".to_string()));
-        drop(st);
-        match done {
-            Ok(report) => Ok(SessionOutcome { output, report }),
-            Err(msg) => Err(ServiceError::Session(msg)),
-        }
+        self.close_input();
+        self.wait_done();
+        self.take_outcome().unwrap_or_else(|| {
+            Err(ServiceError::Session(
+                "evaluator terminated without a result (bug)".to_string(),
+            ))
+        })
     }
 
     /// Aborts the session: cancels the engine cooperatively, unblocks the
@@ -423,24 +593,69 @@ impl StreamSession {
 
     fn cancel_inner(&mut self) {
         self.cancel.cancel();
-        {
+        let wait = {
             let mut st = self.shared.lock();
             st.cancelled = true;
             st.closed = true;
             self.shared.data_available.notify_all();
             self.shared.space_available.notify_all();
+            if st.done.is_some() {
+                // Evaluator already finished: nothing can charge the
+                // budget anymore, reclaim inline.
+                Self::reclaim(&mut st, &self.budget);
+                false
+            } else if self.handle.is_none() && !st.started {
+                // Pooled evaluator still queued: waiting for a pool
+                // thread could block indefinitely (and deadlock a server
+                // worker behind a saturated pool). The job observes
+                // `cancelled` when it eventually runs and reclaims the
+                // session's accounting itself.
+                false
+            } else {
+                // Running (or dedicated-thread) evaluator: it observes
+                // the cancel flag at its next read/pump, so this wait is
+                // bounded. Waiting before reclaiming matters — a writer
+                // mid-emit could otherwise re-charge the budget after we
+                // drained it.
+                true
+            }
+        };
+        if wait {
+            self.wait_done();
+            let mut st = self.shared.lock();
+            Self::reclaim(&mut st, &self.budget);
         }
-        self.join_evaluator();
-        let mut st = self.shared.lock();
-        let _ = Self::take_output(&mut st, &self.budget);
-        Self::release_input(&mut st, &self.budget);
+        self.reap_evaluator();
+        self.terminated = true;
     }
 
-    fn join_evaluator(&mut self) {
+    /// Blocks until the evaluator has set `done`.
+    fn wait_done(&self) {
+        let mut st = self.shared.lock();
+        while st.done.is_none() {
+            st = self
+                .shared
+                .space_available
+                .wait(st)
+                .unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Joins the dedicated evaluator thread, if any (pool workers are
+    /// never joined here — they outlive sessions by design).
+    fn reap_evaluator(&mut self) {
         if let Some(handle) = self.handle.take() {
             // A panicking evaluator already set `done` via DoneGuard.
             let _ = handle.join();
         }
+    }
+
+    /// Discards undrained output and queued input, returning their bytes
+    /// to the budget (cancellation path; idempotent — both helpers zero
+    /// the state they account for).
+    fn reclaim(st: &mut State, budget: &Option<Arc<MemoryBudget>>) {
+        let _ = Self::take_output(st, budget);
+        Self::release_input(st, budget);
     }
 
     fn take_output(st: &mut State, budget: &Option<Arc<MemoryBudget>>) -> Vec<u8> {
@@ -463,7 +678,7 @@ impl StreamSession {
 
 impl Drop for StreamSession {
     fn drop(&mut self) {
-        if self.handle.is_some() {
+        if !self.terminated {
             self.cancel_inner();
         }
     }
@@ -602,6 +817,199 @@ mod tests {
         let mut session = StreamSession::new(compiled, tags, config);
         let err = session.feed(b"<bib><book><title>A</title>").unwrap_err();
         assert!(matches!(err, ServiceError::BudgetExceeded { .. }), "{err}");
+    }
+
+    #[test]
+    fn pooled_sessions_complete_on_a_single_shared_thread() {
+        let pool = EvaluatorPool::new(1);
+        let (compiled, tags) = compile(QUERY);
+        let config = SessionConfig {
+            pool: Some(pool.clone()),
+            ..Default::default()
+        };
+        // More sessions than pool threads: all must complete correctly,
+        // one at a time, with no per-session thread spawned.
+        let mut sessions: Vec<StreamSession> = (0..3)
+            .map(|_| StreamSession::new(compiled.clone(), tags.clone(), config.clone()))
+            .collect();
+        let mut outputs: Vec<Vec<u8>> = Vec::new();
+        for s in &mut sessions {
+            outputs.push(s.feed(DOC.as_bytes()).unwrap());
+        }
+        for (s, mut out) in sessions.into_iter().zip(outputs) {
+            out.extend_from_slice(&s.finish().unwrap().output);
+            assert_eq!(
+                String::from_utf8(out).unwrap(),
+                "<r><title>A</title><title>B</title></r>"
+            );
+        }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn try_feed_parks_backpressured_session_and_recovers() {
+        let pool = EvaluatorPool::new(1);
+        let (compiled, tags) = compile(QUERY);
+        let config = SessionConfig {
+            pool: Some(pool.clone()),
+            input_queue_bytes: 8,
+            ..Default::default()
+        };
+        // Session A occupies the only evaluator thread, blocked waiting
+        // for more input.
+        let mut a = StreamSession::new(compiled.clone(), tags.clone(), config.clone());
+        let _ = a.feed(b"<bib><book>").unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        // Session B's evaluator is queued behind A: nothing consumes its
+        // input, so the tiny queue fills and try_feed reports Busy
+        // without blocking the caller.
+        let mut b = StreamSession::new(compiled, tags, config);
+        assert!(b.try_feed(b"<bib><bo").unwrap().accepted());
+        let busy = b.try_feed(b"ok><titl").unwrap();
+        assert!(!busy.accepted(), "full queue must not block, just report");
+        // Unblock A; its completion frees the evaluator for B.
+        let _ = a.feed(b"<title>A</title></book></bib>").unwrap();
+        a.finish().unwrap();
+        let mut out = Vec::new();
+        for chunk in [&b"ok><titl"[..], b"e>B</title></book></bib>"] {
+            loop {
+                match b.try_feed(chunk).unwrap() {
+                    TryFeed::Fed(o) => {
+                        out.extend_from_slice(&o);
+                        break;
+                    }
+                    TryFeed::Busy(o) => {
+                        out.extend_from_slice(&o);
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    }
+                }
+            }
+        }
+        b.close_input();
+        let outcome = loop {
+            if let Some(r) = b.take_outcome() {
+                break r.unwrap();
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        };
+        out.extend_from_slice(&outcome.output);
+        assert_eq!(String::from_utf8(out).unwrap(), "<r><title>B</title></r>");
+        pool.shutdown();
+    }
+
+    #[test]
+    fn dropping_queued_pooled_session_does_not_block() {
+        let budget = Arc::new(MemoryBudget::new(1 << 20));
+        let pool = EvaluatorPool::new(1);
+        let (compiled, tags) = compile(QUERY);
+        let config = SessionConfig {
+            pool: Some(pool.clone()),
+            budget: Some(budget.clone()),
+            ..Default::default()
+        };
+        // Session A occupies the only evaluator thread, blocked on input.
+        let mut a = StreamSession::new(compiled.clone(), tags.clone(), config.clone());
+        let _ = a.feed(b"<bib><book>").unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        // Session B's evaluator is queued behind A. Dropping B must NOT
+        // wait for a pool thread (none will free while A runs) — the
+        // old behaviour deadlocked a gcx-net connection worker here.
+        let mut b = StreamSession::new(compiled, tags, config);
+        let _ = b.feed(b"<bib><book><title>x</title>").unwrap();
+        let start = std::time::Instant::now();
+        drop(b);
+        assert!(
+            start.elapsed() < std::time::Duration::from_millis(500),
+            "dropping a queued session must not wait for the pool"
+        );
+        // B's job eventually runs (after A frees the thread) and returns
+        // B's queued bytes to the budget.
+        let _ = a.feed(b"<title>A</title></book></bib>").unwrap();
+        a.finish().unwrap();
+        pool.shutdown();
+        assert_eq!(budget.used(), 0, "deferred reclamation happened");
+    }
+
+    #[test]
+    fn live_stats_visible_mid_stream() {
+        let live = Arc::new(LiveBufferStats::default());
+        let (compiled, tags) = compile(QUERY);
+        let config = SessionConfig {
+            live_stats: Some(live.clone()),
+            ..Default::default()
+        };
+        let mut session = StreamSession::new(compiled, tags, config);
+        // Feed an unfinished document: the session is still running, yet
+        // the live mirror must already show buffered nodes.
+        let _ = session.feed(b"<bib><book><title>A</title>").unwrap();
+        let mut created = 0;
+        for _ in 0..500 {
+            created = live
+                .nodes_created
+                .load(std::sync::atomic::Ordering::Relaxed);
+            if created > 0 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert!(created > 0, "mid-stream sampling sees buffered nodes");
+        assert!(!session.is_finished(), "stream is still open");
+        let _ = session.feed(b"</book></bib>").unwrap();
+        let outcome = session.finish().unwrap();
+        let (_, peak_nodes, ..) = live.snapshot();
+        assert_eq!(
+            peak_nodes, outcome.report.stats.peak_nodes,
+            "final mirror agrees with the run report"
+        );
+    }
+
+    #[test]
+    fn engine_buffer_budget_fails_session_cleanly() {
+        // A no-GC engine buffers every projected node; with the engine
+        // buffer charged against a small budget the document must fail
+        // its own session with a clean budget error — not grow unbounded.
+        let budget = Arc::new(MemoryBudget::new(4 * 1024));
+        let (compiled, tags) = compile(QUERY);
+        let config = SessionConfig {
+            budget: Some(budget.clone()),
+            charge_engine_buffer: true,
+            engine: gcx_core::EngineOptions {
+                gc: false,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut session = StreamSession::new(compiled, tags, config);
+        let mut doc = String::from("<bib>");
+        for i in 0..500 {
+            doc.push_str(&format!("<book><title>Title number {i}</title></book>"));
+        }
+        doc.push_str("</bib>");
+        let mut failed = None;
+        for chunk in doc.as_bytes().chunks(256) {
+            match session.feed_blocking(chunk) {
+                Ok(_) => {}
+                Err(e) => {
+                    failed = Some(e);
+                    break;
+                }
+            }
+        }
+        let err = match failed {
+            Some(e) => {
+                // Queued input stays charged until the session is torn
+                // down; reclaim before checking the budget balance.
+                drop(session);
+                e
+            }
+            None => session.finish().expect_err("budget must trip"),
+        };
+        assert!(
+            err.to_string().contains("memory budget exceeded"),
+            "clean per-session budget error, got: {err}"
+        );
+        assert_eq!(budget.used(), 0, "I/O reservations reclaimed");
+        assert_eq!(budget.engine_used(), 0, "engine reservations reclaimed");
     }
 
     #[test]

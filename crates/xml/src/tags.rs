@@ -8,6 +8,7 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::Arc;
 
 /// A fast multiply-xor hasher (FxHash-style) for the interner's raw-bytes
 /// lookup. Tag names are short, trusted identifiers, so a DoS-resistant
@@ -71,12 +72,26 @@ impl fmt::Display for TagId {
 /// Interners are cheap to create; a single interner must be shared between
 /// the query compiler and the stream lexer of one evaluation run so that
 /// tag comparisons are meaningful.
+///
+/// ## Copy-on-write overlays
+///
+/// A serving runtime opens many concurrent sessions against one master
+/// interner. Cloning the whole symbol table per session is O(master) —
+/// instead, [`TagInterner::overlay`] builds a view over an immutable
+/// `Arc`-shared snapshot: lookups fall through to the frozen base, and
+/// only tags first seen in the session's own document are stored locally
+/// (their ids start at `base.len()`, so base ids remain valid verbatim).
 #[derive(Debug, Default, Clone)]
 pub struct TagInterner {
+    /// Frozen shared base; its ids occupy `0..base_len`.
+    base: Option<Arc<TagInterner>>,
+    base_len: u32,
+    /// Locally interned names, ids offset by `base_len`.
     names: Vec<Box<str>>,
     /// Raw-bytes lookup keyed by the UTF-8 of the name, so the streaming
     /// lexer can intern borrowed byte slices without building a `String`
-    /// first. Keys are hashed with [`FxHasher`].
+    /// first. Keys are hashed with [`FxHasher`]. Covers local names only;
+    /// base names resolve through `base`.
     ids: HashMap<Box<[u8]>, TagId, FxBuildHasher>,
 }
 
@@ -86,9 +101,27 @@ impl TagInterner {
         Self::default()
     }
 
+    /// Creates a copy-on-write overlay over a frozen snapshot: every id
+    /// of `base` resolves identically, and newly interned tags are stored
+    /// in the overlay only (ids from `base.len()` upward). O(1).
+    pub fn overlay(base: Arc<TagInterner>) -> Self {
+        let base_len = u32::try_from(base.len()).expect("interner within u32 range");
+        TagInterner {
+            base: Some(base),
+            base_len,
+            names: Vec::new(),
+            ids: HashMap::default(),
+        }
+    }
+
+    /// True when this interner is an overlay over a shared base.
+    pub fn is_overlay(&self) -> bool {
+        self.base.is_some()
+    }
+
     /// Interns `name`, returning the existing id when already present.
     pub fn intern(&mut self, name: &str) -> TagId {
-        if let Some(&id) = self.ids.get(name.as_bytes()) {
+        if let Some(id) = self.lookup(name.as_bytes()) {
             return id;
         }
         self.insert_new(name)
@@ -103,15 +136,23 @@ impl TagInterner {
     /// Returns `None` when `bytes` is not valid UTF-8 (never the case for
     /// the lexer, whose name characters are an ASCII subset).
     pub fn intern_bytes(&mut self, bytes: &[u8]) -> Option<TagId> {
-        if let Some(&id) = self.ids.get(bytes) {
+        if let Some(id) = self.lookup(bytes) {
             return Some(id);
         }
         let name = std::str::from_utf8(bytes).ok()?;
         Some(self.insert_new(name))
     }
 
+    #[inline]
+    fn lookup(&self, bytes: &[u8]) -> Option<TagId> {
+        if let Some(&id) = self.ids.get(bytes) {
+            return Some(id);
+        }
+        self.base.as_deref().and_then(|b| b.lookup(bytes))
+    }
+
     fn insert_new(&mut self, name: &str) -> TagId {
-        let id = TagId(self.names.len() as u32);
+        let id = TagId(self.base_len + self.names.len() as u32);
         let boxed: Box<str> = name.into();
         self.ids.insert(boxed.clone().into_boxed_bytes(), id);
         self.names.push(boxed);
@@ -120,39 +161,52 @@ impl TagInterner {
 
     /// Looks up a tag without interning it.
     pub fn get(&self, name: &str) -> Option<TagId> {
-        self.ids.get(name.as_bytes()).copied()
+        self.lookup(name.as_bytes())
     }
 
     /// Resolves an id back to the tag name.
     ///
     /// # Panics
-    /// Panics if `id` was not produced by this interner.
+    /// Panics if `id` was not produced by this interner (or its base).
     pub fn name(&self, id: TagId) -> &str {
-        &self.names[id.index()]
+        if id.0 < self.base_len {
+            return self
+                .base
+                .as_deref()
+                .expect("base ids imply a base")
+                .name(id);
+        }
+        &self.names[(id.0 - self.base_len) as usize]
     }
 
-    /// Number of distinct interned tags.
+    /// Number of distinct interned tags (base + overlay).
     pub fn len(&self) -> usize {
+        self.base_len as usize + self.names.len()
+    }
+
+    /// Number of tags interned locally, excluding any shared base
+    /// (diagnostics: "how many tags did this session's document add").
+    pub fn local_len(&self) -> usize {
         self.names.len()
     }
 
     /// True when no tag has been interned yet.
     pub fn is_empty(&self) -> bool {
-        self.names.is_empty()
+        self.len() == 0
     }
 
     /// Iterates over `(id, name)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (TagId, &str)> {
-        self.names
-            .iter()
-            .enumerate()
-            .map(|(i, n)| (TagId(i as u32), n.as_ref()))
+        (0..self.len() as u32).map(move |i| (TagId(i), self.name(TagId(i))))
     }
 
     /// Approximate heap footprint of the interner in bytes (used by the
-    /// buffer statistics so that "memory" numbers include the symbol table).
+    /// buffer statistics so that "memory" numbers include the symbol
+    /// table). For an overlay this counts the shared base once — the
+    /// point of sharing is that sessions do not replicate it.
     pub fn approx_bytes(&self) -> usize {
-        self.names.iter().map(|n| n.len() + 16).sum::<usize>() * 2
+        let own = self.names.iter().map(|n| n.len() + 16).sum::<usize>() * 2;
+        own + self.base.as_deref().map_or(0, |b| b.approx_bytes())
     }
 }
 
@@ -222,6 +276,57 @@ mod tests {
         let mut t = TagInterner::new();
         assert_eq!(t.intern_bytes(&[0xFF, 0xFE]), None);
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn overlay_shares_base_ids_and_offsets_new_ones() {
+        let mut master = TagInterner::new();
+        let bib = master.intern("bib");
+        let book = master.intern("book");
+        let base = Arc::new(master);
+        let mut session = TagInterner::overlay(base.clone());
+        assert!(session.is_overlay());
+        // Base names resolve to base ids without copying.
+        assert_eq!(session.intern("bib"), bib);
+        assert_eq!(session.get("book"), Some(book));
+        assert_eq!(session.name(bib), "bib");
+        assert_eq!(session.local_len(), 0, "no copy-on-write yet");
+        // Document-side tags land in the overlay, ids past the base.
+        let title = session.intern("title");
+        assert_eq!(title.index(), base.len());
+        assert_eq!(session.name(title), "title");
+        assert_eq!(session.intern_bytes(b"title"), Some(title));
+        assert_eq!(session.len(), 3);
+        assert_eq!(session.local_len(), 1);
+        // The shared base is untouched.
+        assert_eq!(base.len(), 2);
+        assert!(base.get("title").is_none());
+    }
+
+    #[test]
+    fn overlay_iter_walks_base_then_local() {
+        let mut master = TagInterner::new();
+        master.intern("a");
+        master.intern("b");
+        let mut session = TagInterner::overlay(Arc::new(master));
+        session.intern("c");
+        let names: Vec<_> = session.iter().map(|(_, n)| n.to_string()).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+        let ids: Vec<_> = session.iter().map(|(id, _)| id.index()).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn overlay_clone_is_independent() {
+        let mut master = TagInterner::new();
+        master.intern("a");
+        let mut s1 = TagInterner::overlay(Arc::new(master));
+        let mut s2 = s1.clone();
+        let x1 = s1.intern("x");
+        let y2 = s2.intern("y");
+        assert_eq!(x1, y2, "overlays allocate the same offset independently");
+        assert_eq!(s1.name(x1), "x");
+        assert_eq!(s2.name(y2), "y");
     }
 
     #[test]

@@ -62,16 +62,25 @@ OPTIONS:
     -h, --help             show this help
 
 SERVE OPTIONS (gcx serve):
-        --queries <DIR>    directory of .xq query files (required)
+        --queries <DIR>    directory of .xq query files (required unless --listen)
         --jobs <N>         max concurrent sessions (default 8)
         --chunk <BYTES>    feed chunk size in bytes (default 65536)
         --cache <N>        compiled-query cache capacity (default 64)
-        --budget <BYTES>   global memory budget over session queues
+        --budget <BYTES>   global memory budget (session queues + engine buffers)
         --output-dir <DIR> write each result to DIR/<query>__<input>.xml
+        --listen <ADDR>    serve over HTTP instead of files, e.g. 127.0.0.1:8080
+                           (port 0 picks an ephemeral port, printed on stdout)
+        --workers <N>      HTTP connection workers (default 4; --listen only)
+        --evaluators <N>   evaluator pool threads (default 8; --listen only)
 
-Every query runs against every XML input (stdin as the single input when
-no files are given), concurrently through one QueryService; per-session
-statistics and the cache summary are printed to stderr.
+File mode: every query runs against every XML input (stdin as the single
+input when no files are given), concurrently through one QueryService;
+per-session statistics and the cache summary are printed to stderr.
+
+HTTP mode (--listen): POST /query?xq=<urlencoded query> (or ?name=<query
+file stem from --queries>) with the XML document as the request body —
+chunked uploads stream at constant memory, results stream back chunked.
+GET /stats returns live per-session buffer statistics as JSON.
 ";
 
 fn parse_args() -> Result<Cli, String> {
@@ -141,6 +150,9 @@ struct ServeCli {
     cache: usize,
     budget: Option<usize>,
     output_dir: Option<String>,
+    listen: Option<String>,
+    workers: usize,
+    evaluators: usize,
 }
 
 fn parse_serve_args(args: impl Iterator<Item = String>) -> Result<ServeCli, String> {
@@ -152,6 +164,9 @@ fn parse_serve_args(args: impl Iterator<Item = String>) -> Result<ServeCli, Stri
         cache: 64,
         budget: None,
         output_dir: None,
+        listen: None,
+        workers: 4,
+        evaluators: 8,
     };
     let mut args = args.peekable();
     let parse_num = |v: Option<String>, what: &str| -> Result<usize, String> {
@@ -175,16 +190,74 @@ fn parse_serve_args(args: impl Iterator<Item = String>) -> Result<ServeCli, Stri
             "--output-dir" => {
                 cli.output_dir = Some(args.next().ok_or("missing value for --output-dir")?);
             }
+            "--listen" => {
+                cli.listen = Some(args.next().ok_or("missing value for --listen")?);
+            }
+            "--workers" => cli.workers = parse_num(args.next(), "--workers")?.max(1),
+            "--evaluators" => cli.evaluators = parse_num(args.next(), "--evaluators")?.max(1),
             other if other.starts_with('-') => {
                 return Err(format!("unknown serve option '{other}' (try --help)"));
             }
             other => cli.xml_files.push(other.to_string()),
         }
     }
-    if cli.queries_dir.is_empty() {
-        return Err("serve requires --queries <DIR>".into());
+    if cli.queries_dir.is_empty() && cli.listen.is_none() {
+        return Err("serve requires --queries <DIR> (or --listen <ADDR>)".into());
     }
     Ok(cli)
+}
+
+/// Loads every `.xq` file of `dir` as a `(stem, text)` pair, sorted by
+/// path (shared by the file-serving and HTTP-serving modes).
+fn load_queries(dir: &str) -> Result<Vec<(String, String)>, String> {
+    let mut query_files: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read query directory {dir}: {e}"))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "xq"))
+        .collect();
+    query_files.sort();
+    query_files
+        .into_iter()
+        .map(|qpath| {
+            let text = std::fs::read_to_string(&qpath)
+                .map_err(|e| format!("cannot read query file {}: {e}", qpath.display()))?;
+            Ok((file_stem(&qpath.to_string_lossy()), text))
+        })
+        .collect()
+}
+
+/// `gcx serve --listen`: the gcx-net HTTP front-end in the foreground.
+fn run_serve_http(cli: &ServeCli) -> Result<(), String> {
+    let queries = if cli.queries_dir.is_empty() {
+        Vec::new()
+    } else {
+        load_queries(&cli.queries_dir)?
+    };
+    let named = queries.len();
+    let addr = cli.listen.as_deref().expect("listen mode");
+    let config = gcx_net::NetConfig {
+        workers: cli.workers,
+        evaluators: cli.evaluators,
+        service: gcx::ServiceConfig {
+            cache_capacity: cli.cache,
+            memory_budget: cli.budget,
+            ..Default::default()
+        },
+        queries,
+        ..Default::default()
+    };
+    let server =
+        gcx_net::GcxServer::bind(addr, config).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    println!("gcx-net: listening on http://{}", server.local_addr());
+    println!(
+        "gcx-net: {} workers, {} evaluators, {named} named queries; \
+         POST /query, GET /stats, GET /healthz",
+        cli.workers, cli.evaluators,
+    );
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    server.wait();
+    Ok(())
 }
 
 fn file_stem(path: &str) -> String {
@@ -196,14 +269,12 @@ fn file_stem(path: &str) -> String {
 
 fn run_serve(args: impl Iterator<Item = String>) -> Result<(), String> {
     let cli = parse_serve_args(args)?;
+    if cli.listen.is_some() {
+        return run_serve_http(&cli);
+    }
 
-    let mut query_files: Vec<std::path::PathBuf> = std::fs::read_dir(&cli.queries_dir)
-        .map_err(|e| format!("cannot read query directory {}: {e}", cli.queries_dir))?
-        .filter_map(|entry| entry.ok().map(|e| e.path()))
-        .filter(|p| p.extension().is_some_and(|ext| ext == "xq"))
-        .collect();
-    query_files.sort();
-    if query_files.is_empty() {
+    let queries = load_queries(&cli.queries_dir)?;
+    if queries.is_empty() {
         return Err(format!("no .xq query files in {}", cli.queries_dir));
     }
 
@@ -257,10 +328,7 @@ fn run_serve(args: impl Iterator<Item = String>) -> Result<(), String> {
         path
     };
     let mut jobs = Vec::new();
-    for qpath in &query_files {
-        let qtext = std::fs::read_to_string(qpath)
-            .map_err(|e| format!("cannot read query file {}: {e}", qpath.display()))?;
-        let qname = file_stem(&qpath.to_string_lossy());
+    for (qname, qtext) in &queries {
         for (iname, src) in &inputs {
             let input = match src {
                 InputSrc::File(f) => InputSrc::File(f.clone()),

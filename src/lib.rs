@@ -34,10 +34,12 @@
 //! | [`query`] (gcx-query) | XQ parser, rewriting, static analysis |
 //! | [`core`] (gcx-core) | the GCX engine + baseline engines |
 //! | [`xmark`] (gcx-xmark) | XMark-like generator + benchmark queries |
-//! | [`service`] (gcx-service) | push-based sessions, query cache, concurrent serving |
+//! | [`service`] (gcx-service) | push-based sessions, query cache, evaluator pool |
+//! | [`net`] (gcx-net) | HTTP/1.1 streaming front-end + live `/stats` |
 
 pub use gcx_buffer as buffer;
 pub use gcx_core as core;
+pub use gcx_net as net;
 pub use gcx_projection as projection;
 pub use gcx_query as query;
 pub use gcx_service as service;
