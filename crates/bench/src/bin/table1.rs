@@ -20,7 +20,7 @@
 //! itself timed out at 200 MB — so it is capped at `--q8-max-mb` (larger
 //! runs print `skipped`, the analogue of the paper's `timeout`).
 
-use gcx_bench::{alloc_count, arg_value, report, run_engine, xmark_doc, Engine};
+use gcx_bench::{alloc_count, arg_value, report, run_engine_counted, xmark_doc, Engine};
 use gcx_query::CompileOptions;
 
 fn main() {
@@ -85,14 +85,11 @@ fn main() {
                     print!("{:>22}", "skipped");
                     continue;
                 }
-                let before = alloc_count::allocations();
-                let outcome = run_engine(engine, query, &doc, CompileOptions::default());
-                // Sample immediately, before any harness-side formatting
-                // allocates against the counter being reported.
-                let allocations =
-                    alloc_count::enabled().then(|| alloc_count::allocations() - before);
+                // Allocation counts cover the evaluation only (compile
+                // excluded) — the per-event figure budgets the hot path.
+                let outcome = run_engine_counted(engine, query, &doc, CompileOptions::default());
                 match outcome {
-                    Ok(cell) => {
+                    Ok((cell, allocations)) => {
                         print!("{:>22}", cell.render());
                         if json_path.is_some() {
                             let r = &cell.report;
@@ -107,6 +104,7 @@ fn main() {
                                 peak_bytes: r.stats.peak_bytes as u64,
                                 dfa_states: r.dfa_states as u64,
                                 output_bytes: r.output_bytes,
+                                bytes_skipped: r.bytes_skipped,
                                 allocations,
                             });
                         }

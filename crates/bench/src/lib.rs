@@ -121,9 +121,23 @@ pub fn run_engine(
     doc: &[u8],
     copts: CompileOptions,
 ) -> Result<Cell, String> {
+    run_engine_counted(engine, query, doc, copts).map(|(cell, _)| cell)
+}
+
+/// As [`run_engine`], additionally reporting allocator round-trips over
+/// the *evaluation only* — query compilation is excluded, so the count
+/// reflects the per-event hot path rather than one-time setup. `None`
+/// without the `count-allocs` feature.
+pub fn run_engine_counted(
+    engine: Engine,
+    query: &str,
+    doc: &[u8],
+    copts: CompileOptions,
+) -> Result<(Cell, Option<u64>), String> {
     let mut tags = TagInterner::new();
     let compiled = compile(query, &mut tags, copts).map_err(|e| e.to_string())?;
     let mut sink = NullSink::default();
+    let before = alloc_count::allocations();
     let report = match engine {
         Engine::Gcx => run_gcx(&compiled, &mut tags, doc, &mut sink),
         Engine::NoGc => run_no_gc_streaming(&compiled, &mut tags, doc, &mut sink),
@@ -131,10 +145,11 @@ pub fn run_engine(
         Engine::Dom => run_dom(&compiled, &mut tags, doc, &mut sink),
     }
     .map_err(|e| e.to_string())?;
+    let allocations = alloc_count::enabled().then(|| alloc_count::allocations() - before);
     if let Some(false) = report.safety {
         return Err("safety violation: roles leaked".into());
     }
-    Ok(Cell { report })
+    Ok((Cell { report }, allocations))
 }
 
 /// Runs (engine, query) `repeat` times over `doc`, keeping the best
@@ -152,10 +167,9 @@ pub fn measure_record(
     let mut best: Option<Cell> = None;
     let mut allocations = None;
     for _ in 0..repeat.max(1) {
-        let before = alloc_count::allocations();
-        let cell = run_engine(engine, query, doc, CompileOptions::default())?;
-        if alloc_count::enabled() {
-            allocations = Some(alloc_count::allocations() - before);
+        let (cell, allocs) = run_engine_counted(engine, query, doc, CompileOptions::default())?;
+        if allocs.is_some() {
+            allocations = allocs;
         }
         let improved = match &best {
             Some(b) => cell.report.elapsed < b.report.elapsed,
@@ -178,6 +192,7 @@ pub fn measure_record(
         peak_bytes: r.stats.peak_bytes as u64,
         dfa_states: r.dfa_states as u64,
         output_bytes: r.output_bytes,
+        bytes_skipped: r.bytes_skipped,
         allocations,
     })
 }

@@ -14,12 +14,22 @@
 //!       "events": 1203456, "events_per_sec": 38821161.0,
 //!       "peak_nodes": 7, "peak_bytes": 959, "dfa_states": 12,
 //!       "output_bytes": 123456,
+//!       "bytes_skipped": 6291456, "skip_ratio": 0.75,
 //!       "allocations": 812, "allocs_per_event": 0.00067 }
 //!   ],
 //!   "lexer_steady_state": { "events": 600000, "allocations": 0,
 //!                           "allocs_per_event": 0.0 }
 //! }
 //! ```
+//!
+//! Schema notes: the id stays `gcx-bench-streaming/1`; additions are
+//! strictly additive. **Additive since the first cut:** `bytes_skipped`
+//! (input bytes consumed by the lexer's dead-subtree raw scanner; 0 for
+//! engines/scenarios that cannot observe it, e.g. the wire-side
+//! `http-cN` records) and `skip_ratio` (`bytes_skipped / input_bytes`).
+//! With skip-mode lexing, `events` counts only *materialized* tokens —
+//! tokens inside raw-skipped subtrees appear exclusively in
+//! `bytes_skipped`.
 //!
 //! `allocations`/`allocs_per_event` are `null` unless the harness was
 //! built with `--features count-allocs`. `lexer_steady_state` probes the
@@ -44,6 +54,9 @@ pub struct BenchRecord {
     pub peak_bytes: u64,
     pub dfa_states: u64,
     pub output_bytes: u64,
+    /// Input bytes consumed by skip-mode lexing (dead subtrees scanned
+    /// raw, never tokenized). 0 where unobservable (wire-side records).
+    pub bytes_skipped: u64,
     /// Allocator round-trips during one run (`None` without counting).
     pub allocations: Option<u64>,
 }
@@ -60,6 +73,11 @@ impl BenchRecord {
     pub fn allocs_per_event(&self) -> Option<f64> {
         self.allocations
             .map(|a| a as f64 / (self.events.max(1) as f64))
+    }
+
+    /// Fraction of the input the lexer raw-skipped as dead subtrees.
+    pub fn skip_ratio(&self) -> f64 {
+        self.bytes_skipped as f64 / (self.input_bytes.max(1) as f64)
     }
 }
 
@@ -133,6 +151,7 @@ pub fn render_report(
              \"input_bytes\": {}, \"seconds\": {}, \"mb_per_sec\": {}, \
              \"events\": {}, \"events_per_sec\": {}, \"peak_nodes\": {}, \
              \"peak_bytes\": {}, \"dfa_states\": {}, \"output_bytes\": {}, \
+             \"bytes_skipped\": {}, \"skip_ratio\": {}, \
              \"allocations\": {}, \"allocs_per_event\": {} }}",
             json_escape(&r.query),
             json_escape(&r.engine),
@@ -146,6 +165,8 @@ pub fn render_report(
             r.peak_bytes,
             r.dfa_states,
             r.output_bytes,
+            r.bytes_skipped,
+            json_f64(r.skip_ratio()),
             json_opt_u64(r.allocations),
             r.allocs_per_event()
                 .map_or_else(|| "null".to_string(), json_f64),
@@ -197,6 +218,7 @@ mod tests {
             peak_bytes: 900,
             dfa_states: 3,
             output_bytes: 42,
+            bytes_skipped: 1 << 19,
             allocations: Some(10),
         }
     }
@@ -207,6 +229,7 @@ mod tests {
         assert!((r.mb_per_sec() - 2.0).abs() < 1e-9);
         assert!((r.events_per_sec() - 2000.0).abs() < 1e-9);
         assert!((r.allocs_per_event().unwrap() - 0.01).abs() < 1e-9);
+        assert!((r.skip_ratio() - 0.5).abs() < 1e-9);
     }
 
     #[test]
@@ -222,6 +245,8 @@ mod tests {
         );
         assert!(json.contains("\"schema\": \"gcx-bench-streaming/1\""));
         assert!(json.contains("\"query\": \"Q1\""));
+        assert!(json.contains("\"bytes_skipped\": 524288"));
+        assert!(json.contains("\"skip_ratio\": 0.5"));
         assert!(json.contains("\"allocs_per_event\": 0 }"));
         // Balanced braces/brackets (cheap well-formedness check).
         assert_eq!(

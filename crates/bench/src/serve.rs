@@ -77,6 +77,7 @@ pub fn measure_serve_record(
         peak_bytes: 0,
         dfa_states: 0,
         output_bytes,
+        bytes_skipped: 0,
         allocations: None,
     })
 }

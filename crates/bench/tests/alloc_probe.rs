@@ -6,7 +6,7 @@
 //! ```
 #![cfg(feature = "count-allocs")]
 
-use gcx_bench::{lexer_steady_probe, xmark_doc};
+use gcx_bench::{alloc_count, lexer_steady_probe, xmark_doc, NullSink};
 
 /// Once a document's tag vocabulary is interned and the lexer's scratch
 /// buffers have reached their high-water capacity, lexing an identical
@@ -20,5 +20,30 @@ fn lexer_steady_state_is_allocation_free() {
         probe.allocations, 0,
         "steady-state lexing allocated {} times over {} events",
         probe.allocations, probe.events
+    );
+}
+
+/// Q20 runs the matcher in NFA mode (positional predicate) — the pooled
+/// frames, matcher-resident scratch and evaluator scratch must keep the
+/// whole engine's amortized allocation rate under 0.05 allocations per
+/// materialized event. The per-run setup (lexer buffer, interner, frame
+/// pool growth to peak depth, scratch high-water marks) is amortized
+/// over the run, which is exactly what the bound budgets for.
+#[test]
+fn q20_allocs_per_event_bounded() {
+    let doc = xmark_doc(1.0, 42);
+    let query = gcx_xmark::by_name("Q20").expect("Q20 exists");
+    let mut tags = gcx_xml::TagInterner::new();
+    let compiled = gcx_query::compile_default(query, &mut tags).expect("compile");
+    let before = alloc_count::allocations();
+    let mut sink = NullSink::default();
+    let report = gcx_core::run_gcx(&compiled, &mut tags, &doc[..], &mut sink).expect("run");
+    let allocs = alloc_count::allocations() - before;
+    assert!(report.dfa_states == 0, "Q20 must exercise NFA mode");
+    let events = report.tokens_read.max(1);
+    let ratio = allocs as f64 / events as f64;
+    assert!(
+        ratio <= 0.05,
+        "Q20 allocated {allocs} times over {events} events ({ratio:.4}/event; budget 0.05)"
     );
 }

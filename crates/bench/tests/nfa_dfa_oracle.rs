@@ -1,0 +1,74 @@
+//! Forced-NFA vs DFA differential over the full XMark corpus.
+//!
+//! The two matcher modes implement the same paper semantics (§2); the
+//! pooled-frame NFA rework must not change a single verdict. Every XMark
+//! query's projection tree is driven over a generated document twice —
+//! once through `StreamMatcher::new` (lazy DFA where the tree permits
+//! it) and once through `StreamMatcher::new_forced_nfa` (the pooled
+//! frame simulation) — comparing the buffering verdict, the role
+//! multiset, the structural flag and the dead-subtree verdict at every
+//! event. For Q20 (positional) both sides run NFA mode; that leg still
+//! pins the pooled matcher against itself across pool reuse.
+
+use gcx_projection::{Role, StreamMatcher};
+use gcx_query::compile_default;
+use gcx_xml::{TagInterner, XmlLexer, XmlToken};
+
+fn sorted(roles: &[Role]) -> Vec<Role> {
+    let mut v = roles.to_vec();
+    v.sort();
+    v
+}
+
+#[test]
+fn forced_nfa_agrees_with_dfa_over_xmark_corpus() {
+    let doc = gcx_bench::xmark_doc(0.3, 42);
+    for (name, query) in gcx_xmark::ALL {
+        let mut tags = TagInterner::new();
+        let compiled = compile_default(query, &mut tags).expect("compile");
+        let tree = &compiled.projection.tree;
+        let mut dfa = StreamMatcher::new(tree);
+        let mut nfa = StreamMatcher::new_forced_nfa(tree);
+        assert!(nfa.dfa_states() == 0, "{name}: forced NFA has no DFA");
+        assert_eq!(
+            sorted(dfa.root_roles()),
+            sorted(nfa.root_roles()),
+            "{name}: root roles"
+        );
+        let mut lexer = XmlLexer::new(&doc[..], &mut tags);
+        let mut events = 0u64;
+        while let Some(tok) = lexer.next_token().expect("lex") {
+            events += 1;
+            match tok {
+                XmlToken::Open(tag) => {
+                    let a = dfa.open(tag);
+                    let (ab, ast, ar) = (a.buffer, a.structural, sorted(a.roles));
+                    let b = nfa.open(tag);
+                    assert_eq!(ab, b.buffer, "{name}: buffer verdict at event {events}");
+                    assert_eq!(ast, b.structural, "{name}: structural at event {events}");
+                    assert_eq!(ar, sorted(b.roles), "{name}: roles at event {events}");
+                    assert_eq!(
+                        dfa.is_dead(),
+                        nfa.is_dead(),
+                        "{name}: dead verdict at event {events}"
+                    );
+                }
+                XmlToken::Close(_) => {
+                    dfa.close();
+                    nfa.close();
+                }
+                XmlToken::Text(_) => {
+                    let a = dfa.text();
+                    let (ab, ar) = (a.buffer, sorted(a.roles));
+                    let b = nfa.text();
+                    assert_eq!(ab, b.buffer, "{name}: text verdict at event {events}");
+                    assert_eq!(ar, sorted(b.roles), "{name}: text roles at event {events}");
+                }
+            }
+        }
+        assert!(
+            events > 10_000,
+            "{name}: corpus too small ({events} events)"
+        );
+    }
+}

@@ -162,6 +162,9 @@ pub struct BufferTree {
     /// Optional atomic mirror of the live footprint, published after
     /// every footprint-changing operation (live `/stats` sampling).
     live: Option<Arc<LiveBufferStats>>,
+    /// Pooled traversal stack for subtree purges (taken/restored by
+    /// `delete_subtree`; capacity sticks across GC sweeps).
+    sweep: Vec<BufNodeId>,
     /// Optional shared budget charged for the *stable* per-node cost
     /// (fixed node size + text payload; role growth is excluded so every
     /// reserve has an exactly matching release).
@@ -192,6 +195,7 @@ impl BufferTree {
             text: Vec::new(),
             live_text_bytes: 0,
             live: None,
+            sweep: Vec::new(),
             accounting: None,
             accounted_bytes: 0,
         };
@@ -287,13 +291,26 @@ impl BufferTree {
             marked: false,
             alive: true,
         };
-        let bytes = node.bytes();
-        let id = if let Some(slot) = self.free.pop() {
+        let (id, bytes) = if let Some(slot) = self.free.pop() {
+            // Recycle the slot's role-set allocation: most buffered nodes
+            // carry roles, and replacing the whole node would drop the
+            // `RoleSet`'s vector just to reallocate it on the first
+            // `add_role` — a per-node allocation on the hot path. The
+            // node's byte charge is sampled *after* the swap so the
+            // recycled capacity is charged at birth — `delete_subtree`
+            // frees `bytes()` including that capacity, and `add_role`
+            // will not re-charge it (no growth happens).
+            let mut node = node;
+            let mut roles = std::mem::take(&mut self.nodes[slot as usize].roles);
+            roles.clear();
+            node.roles = roles;
+            let bytes = node.bytes();
             self.nodes[slot as usize] = node;
-            BufNodeId(slot)
+            (BufNodeId(slot), bytes)
         } else {
+            let bytes = node.bytes();
             self.nodes.push(node);
-            BufNodeId(self.nodes.len() as u32 - 1)
+            (BufNodeId(self.nodes.len() as u32 - 1), bytes)
         };
         self.stats.alloc(bytes);
         self.publish_live();
@@ -573,8 +590,11 @@ impl BufferTree {
         debug_assert_eq!(self.n(id).subtree_roles, 0);
         debug_assert_eq!(self.n(id).subtree_pins, 0);
         self.unlink(id);
-        // Iterative post-order free.
-        let mut stack = vec![id];
+        // Iterative post-order free; the traversal stack is pooled on the
+        // tree (one purge runs per garbage-collected subtree — hot).
+        let mut stack = std::mem::take(&mut self.sweep);
+        stack.clear();
+        stack.push(id);
         let mut released = 0usize;
         while let Some(x) = stack.pop() {
             let mut child = self.nodes[x.index()].first_child;
@@ -596,6 +616,7 @@ impl BufferTree {
             self.free.push(x.0);
             self.stats.free(bytes);
         }
+        self.sweep = stack;
         if self.live_text_bytes == 0 {
             // No live text node references the arena: reclaim it
             // wholesale (capacity is kept for reuse).

@@ -79,6 +79,13 @@ impl BufferTree {
         s
     }
 
+    /// [`Self::string_value`] appended into a caller-provided (reusable)
+    /// string — the comparison hot path evaluates one of these per
+    /// condition per binding and must not allocate in steady state.
+    pub fn string_value_into(&self, id: BufNodeId, out: &mut String) {
+        self.collect_text(id, out);
+    }
+
     fn collect_text(&self, id: BufNodeId, out: &mut String) {
         if self.is_marked(id) {
             return;

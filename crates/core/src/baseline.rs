@@ -68,6 +68,7 @@ pub fn run_dom_with_options<R: Read, W: Write>(
         dfa_states: 0,
         tokens_read: 0,
         tokens_skipped: 0,
+        bytes_skipped: 0,
         safety: None,
         role_balance: Vec::new(),
     })

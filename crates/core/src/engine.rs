@@ -62,6 +62,11 @@ pub struct EngineOptions {
     /// Materialize the full projected document before evaluating
     /// (Galax-style static projection \[13\]).
     pub preload: bool,
+    /// Skip dead subtrees with the lexer's raw byte scanner instead of
+    /// pumping them event by event (on by default; the per-event path is
+    /// kept for differential tests and ablations — both produce
+    /// identical output and buffer states).
+    pub skip_lexing: bool,
     /// Lexer options for the input stream.
     pub lexer: LexerOptions,
 }
@@ -71,6 +76,7 @@ impl Default for EngineOptions {
         EngineOptions {
             gc: true,
             preload: false,
+            skip_lexing: true,
             lexer: LexerOptions::default(),
         }
     }
@@ -100,9 +106,14 @@ pub struct RunReport {
     pub elapsed: Duration,
     /// Lazy-DFA states constructed (0 in NFA mode).
     pub dfa_states: usize,
-    /// Input tokens read / skipped by the preprojector.
+    /// Input tokens read / skipped by the preprojector. Tokens inside
+    /// raw-skipped dead subtrees are never materialized and appear only
+    /// in `bytes_skipped`.
     pub tokens_read: u64,
     pub tokens_skipped: u64,
+    /// Input bytes consumed by skip-mode lexing (dead subtrees scanned
+    /// as raw bytes; 0 when `skip_lexing` is off or nothing was dead).
+    pub bytes_skipped: u64,
     /// `Some(true)` when GC ran and every assigned role instance was
     /// removed (paper safety requirement 2 + Theorem 1 precondition).
     pub safety: Option<bool>,
@@ -144,6 +155,17 @@ pub struct GcxEngine<'t, 'q, R: Read, W: Write> {
     preload: bool,
     tracer: Option<Tracer>,
     cancel: Option<CancelFlag>,
+    /// `GCX_DEBUG` checked once at construction — `env::var_os` allocates
+    /// and the old per-binding check dominated tight for-loops.
+    debug: bool,
+    /// Reusable scratch (see "Evaluator allocation discipline" below):
+    /// nodes matched by a comparison step, a node's string value, and the
+    /// signOff path frontier/next sets. Taken/restored around use so the
+    /// borrow checker allows buffer access in between; capacities stick.
+    cmp_nodes: Vec<BufNodeId>,
+    cmp_text: String,
+    path_frontier: Vec<(BufNodeId, u32)>,
+    path_next: Vec<(BufNodeId, u32)>,
 }
 
 impl<'t, 'q, R: Read, W: Write> GcxEngine<'t, 'q, R, W> {
@@ -157,7 +179,8 @@ impl<'t, 'q, R: Read, W: Write> GcxEngine<'t, 'q, R, W> {
     ) -> Self {
         let mut buffer = BufferTree::new(compiled.roles.len(), &compiled.projection.aggregates);
         let lexer = XmlLexer::with_options(input, tags, options.lexer);
-        let projector = Preprojector::new(lexer, &compiled.projection.tree, &mut buffer);
+        let mut projector = Preprojector::new(lexer, &compiled.projection.tree, &mut buffer);
+        projector.set_skip_lexing(options.skip_lexing);
         let writer = XmlWriter::new(output);
         let bindings = vec![None; compiled.rewritten.vars.len()];
         GcxEngine {
@@ -170,6 +193,11 @@ impl<'t, 'q, R: Read, W: Write> GcxEngine<'t, 'q, R, W> {
             preload: options.preload,
             tracer: None,
             cancel: None,
+            debug: std::env::var_os("GCX_DEBUG").is_some(),
+            cmp_nodes: Vec::new(),
+            cmp_text: String::new(),
+            path_frontier: Vec::new(),
+            path_next: Vec::new(),
         }
     }
 
@@ -251,6 +279,7 @@ impl<'t, 'q, R: Read, W: Write> GcxEngine<'t, 'q, R, W> {
             dfa_states: self.projector.dfa_states(),
             tokens_read: self.projector.tokens_read,
             tokens_skipped: self.projector.tokens_skipped,
+            bytes_skipped: self.projector.bytes_skipped(),
             safety,
             role_balance,
         })
@@ -416,7 +445,7 @@ impl<'t, 'q, R: Read, W: Write> GcxEngine<'t, 'q, R, W> {
                 let mut cur = Cursor::new(base, *step);
                 while let Some(n) = self.cursor_next(&mut cur)? {
                     self.check_cancelled()?;
-                    if std::env::var_os("GCX_DEBUG").is_some() {
+                    if self.debug {
                         let name = self
                             .buffer
                             .tag(n)
@@ -476,12 +505,27 @@ impl<'t, 'q, R: Read, W: Write> GcxEngine<'t, 'q, R, W> {
                 op,
                 value,
             } => {
+                // Hot path (every binding of a conditioned for-loop runs
+                // this): match nodes and string values go through the
+                // engine's reusable scratch, not fresh allocations.
                 let base = self.binding(*var);
                 self.pump_until_finished(base)?;
-                let matches = self.collect_matches(base, *step);
-                Ok(matches
-                    .iter()
-                    .any(|&n| compare_values(&self.buffer.string_value(n), value, *op)))
+                let mut matches = std::mem::take(&mut self.cmp_nodes);
+                matches.clear();
+                self.collect_matches_into(base, *step, &mut matches);
+                let mut text = std::mem::take(&mut self.cmp_text);
+                let mut found = false;
+                for &n in &matches {
+                    text.clear();
+                    self.buffer.string_value_into(n, &mut text);
+                    if compare_values(&text, value, *op) {
+                        found = true;
+                        break;
+                    }
+                }
+                self.cmp_text = text;
+                self.cmp_nodes = matches;
+                Ok(found)
             }
             Cond::CmpVar {
                 left_var,
@@ -494,15 +538,17 @@ impl<'t, 'q, R: Read, W: Write> GcxEngine<'t, 'q, R, W> {
                 let rbase = self.binding(*right_var);
                 self.pump_until_finished(lbase)?;
                 self.pump_until_finished(rbase)?;
-                let left: Vec<String> = self
-                    .collect_matches(lbase, *left_step)
+                let mut lnodes = Vec::new();
+                self.collect_matches_into(lbase, *left_step, &mut lnodes);
+                let left: Vec<String> = lnodes
                     .iter()
                     .map(|&n| self.buffer.string_value(n))
                     .collect();
                 if left.is_empty() {
                     return Ok(false);
                 }
-                let right = self.collect_matches(rbase, *right_step);
+                let mut right = Vec::new();
+                self.collect_matches_into(rbase, *right_step, &mut right);
                 for &rn in &right {
                     let rv = self.buffer.string_value(rn);
                     if left.iter().any(|lv| compare_values(lv, &rv, *op)) {
@@ -518,9 +564,8 @@ impl<'t, 'q, R: Read, W: Write> GcxEngine<'t, 'q, R, W> {
     }
 
     /// Collects all buffered matches of `step` under a *finished* base (no
-    /// pumping; used by comparisons).
-    fn collect_matches(&self, base: BufNodeId, step: Step) -> Vec<BufNodeId> {
-        let mut out = Vec::new();
+    /// pumping; used by comparisons) into a caller-provided vector.
+    fn collect_matches_into(&self, base: BufNodeId, step: Step, out: &mut Vec<BufNodeId>) {
         match step.axis {
             Axis::Child => {
                 let mut c = self.buffer.first_child(base);
@@ -541,7 +586,6 @@ impl<'t, 'q, R: Read, W: Write> GcxEngine<'t, 'q, R, W> {
                 }
             }
         }
-        out
     }
 
     // ------------------------------------------------------------------
@@ -577,32 +621,49 @@ impl<'t, 'q, R: Read, W: Write> GcxEngine<'t, 'q, R, W> {
         } else {
             &path.steps
         };
-        let targets = self.eval_relpath(base, steps);
-        if std::env::var_os("GCX_DEBUG").is_some() {
+        // Path evaluation runs per signOff per binding: the frontier sets
+        // live in engine scratch (taken/restored so the buffer stays
+        // accessible), not in per-call vectors.
+        let mut frontier = std::mem::take(&mut self.path_frontier);
+        let mut next = std::mem::take(&mut self.path_next);
+        self.eval_relpath_into(base, steps, &mut frontier, &mut next);
+        if self.debug {
             eprintln!(
                 "signOff path base={} role=r{} targets={:?}",
                 base.0,
                 role.0,
-                targets.iter().map(|&(n, c)| (n.0, c)).collect::<Vec<_>>()
+                frontier.iter().map(|&(n, c)| (n.0, c)).collect::<Vec<_>>()
             );
         }
-        for (node, count) in targets {
+        for &(node, count) in &frontier {
             self.buffer.sign_off(node, role, count)?;
         }
+        frontier.clear();
+        next.clear();
+        self.path_frontier = frontier;
+        self.path_next = next;
         self.trace("signOff(path)");
         Ok(())
     }
 
     /// Evaluates a projection path over the buffer with *multiplicity*
-    /// semantics: each target is returned with the number of distinct
-    /// step-binding assignments reaching it, mirroring role-assignment
-    /// multiplicities (paper Example 1; DESIGN.md "signOff path
-    /// semantics").
-    fn eval_relpath(&self, base: BufNodeId, steps: &[PStep]) -> Vec<(BufNodeId, u32)> {
-        let mut frontier: Vec<(BufNodeId, u32)> = vec![(base, 1)];
+    /// semantics: each target is returned (in `frontier`) with the number
+    /// of distinct step-binding assignments reaching it, mirroring
+    /// role-assignment multiplicities (paper Example 1; DESIGN.md
+    /// "signOff path semantics"). `frontier`/`next` are caller-provided
+    /// working sets; the result is left in `frontier`.
+    fn eval_relpath_into(
+        &self,
+        base: BufNodeId,
+        steps: &[PStep],
+        frontier: &mut Vec<(BufNodeId, u32)>,
+        next: &mut Vec<(BufNodeId, u32)>,
+    ) {
+        frontier.clear();
+        frontier.push((base, 1));
         for step in steps {
-            let mut next: Vec<(BufNodeId, u32)> = Vec::new();
-            for &(n, count) in &frontier {
+            next.clear();
+            for &(n, count) in frontier.iter() {
                 match step.axis {
                     gcx_projection::PAxis::Child => {
                         let mut c = self.buffer.first_child(n);
@@ -653,9 +714,8 @@ impl<'t, 'q, R: Read, W: Write> GcxEngine<'t, 'q, R, W> {
                     false
                 }
             });
-            frontier = next;
+            std::mem::swap(frontier, next);
         }
-        frontier
     }
 }
 

@@ -10,8 +10,13 @@
 //! with its roles when preserved, and maintains the open-element stack so
 //! that promoted descendants attach to the nearest *buffered* ancestor
 //! (document projection, paper Def. 1). Dead subtrees — where the matcher
-//! proves nothing below can match — are fast-skipped without per-token
-//! matching.
+//! proves nothing below can match — are handed wholesale to the lexer's
+//! raw skip scanner ([`XmlLexer::skip_subtree`]): the bytes are consumed
+//! without copying text, decoding entities, interning attribute names or
+//! materializing events, and are reported by
+//! [`Preprojector::bytes_skipped`]. The per-event skip loop is kept
+//! behind [`Preprojector::set_skip_lexing`] so differential tests (and
+//! ablations) can prove the two paths equivalent.
 
 use crate::error::EngineError;
 use gcx_buffer::{BufNodeId, BufferTree};
@@ -47,10 +52,15 @@ pub struct Preprojector<'t, 'q, R: Read> {
     matcher: StreamMatcher<'q>,
     stack: Vec<OpenEntry>,
     eof: bool,
-    /// Tokens read from the input (statistics).
+    /// Tokens read from the input (statistics). Tokens inside raw-skipped
+    /// dead subtrees are never materialized and are *not* counted here;
+    /// see [`Self::bytes_skipped`] for their byte volume.
     pub tokens_read: u64,
     /// Tokens skipped without buffering (statistics).
     pub tokens_skipped: u64,
+    /// Use skip-mode lexing for dead subtrees (default). Off = pump the
+    /// lexer per event, matching the historical behaviour exactly.
+    skip_lexing: bool,
 }
 
 impl<'t, 'q, R: Read> Preprojector<'t, 'q, R> {
@@ -71,7 +81,21 @@ impl<'t, 'q, R: Read> Preprojector<'t, 'q, R> {
             eof: false,
             tokens_read: 0,
             tokens_skipped: 0,
+            skip_lexing: true,
         }
+    }
+
+    /// Bytes consumed by the lexer's raw dead-subtree scanner (the
+    /// lexer owns the counter; this is its only skip-driving caller).
+    pub fn bytes_skipped(&self) -> u64 {
+        self.lexer.bytes_skipped()
+    }
+
+    /// Toggles skip-mode lexing for dead subtrees (on by default). The
+    /// per-event fallback exists for differential tests and ablation
+    /// runs; both paths produce identical buffers and output.
+    pub fn set_skip_lexing(&mut self, on: bool) {
+        self.skip_lexing = on;
     }
 
     /// Access to the tag interner (for output rendering).
@@ -110,7 +134,7 @@ impl<'t, 'q, R: Read> Preprojector<'t, 'q, R> {
                 let top_attach = self.stack.last().expect("stack nonempty").attach;
                 if outcome.buffer {
                     let node = buffer.open_element(top_attach, tag)?;
-                    for &r in &outcome.roles {
+                    for &r in outcome.roles {
                         buffer.add_role(node, r);
                     }
                     self.stack.push(OpenEntry {
@@ -119,9 +143,14 @@ impl<'t, 'q, R: Read> Preprojector<'t, 'q, R> {
                     });
                     Ok(PumpEvent::Buffered(node))
                 } else if self.matcher.is_dead() {
-                    // Nothing inside this subtree can match: fast-skip to
-                    // the matching close without per-token matching.
-                    self.skip_subtree()?;
+                    // Nothing inside this subtree can match: skip to the
+                    // matching close without per-token matching — as a
+                    // raw byte scan when skip-mode lexing is on.
+                    if self.skip_lexing {
+                        self.lexer.skip_subtree()?;
+                    } else {
+                        self.skip_subtree_events()?;
+                    }
                     self.matcher.close();
                     self.tokens_skipped += 1;
                     Ok(PumpEvent::Skipped)
@@ -155,7 +184,7 @@ impl<'t, 'q, R: Read> Preprojector<'t, 'q, R> {
                 if outcome.buffer {
                     let parent = self.stack.last().expect("stack nonempty").attach;
                     let node = buffer.add_text(parent, text)?;
-                    for &r in &outcome.roles {
+                    for &r in outcome.roles {
                         buffer.add_role(node, r);
                     }
                     Ok(PumpEvent::Buffered(node))
@@ -168,8 +197,10 @@ impl<'t, 'q, R: Read> Preprojector<'t, 'q, R> {
     }
 
     /// Consumes tokens until the current element's closing tag, without
-    /// matching (the matcher has proven the subtree dead).
-    fn skip_subtree(&mut self) -> Result<(), EngineError> {
+    /// matching (the matcher has proven the subtree dead). Per-event
+    /// fallback for [`XmlLexer::skip_subtree`]; see
+    /// [`Self::set_skip_lexing`].
+    fn skip_subtree_events(&mut self) -> Result<(), EngineError> {
         let mut depth = 0usize;
         loop {
             let Some(event) = self.lexer.next_event()? else {

@@ -2,7 +2,7 @@
 //! engine must return errors (never panic, never corrupt accounting) on
 //! bad I/O, and handle extreme document shapes within reasonable cost.
 
-use gcx_core::{run_gcx, EngineError};
+use gcx_core::{run_gcx, EngineError, EngineOptions, GcxEngine};
 use gcx_query::compile_default;
 use gcx_xml::TagInterner;
 use std::io::{self, Read, Write};
@@ -179,8 +179,9 @@ fn huge_text_node() {
 fn early_termination_skips_input_tail() {
     // The query only touches /a/first — GCX must not read beyond what it
     // needs… except for root-scope signOffs, which for this query do not
-    // reference the tail either. Verify the tail is *skipped* (matched
-    // cheaply), even though it is read.
+    // reference the tail either. Verify the tail is *skipped*: each junk
+    // subtree costs one materialized open event, and its body is consumed
+    // by the lexer's raw scanner (bytes_skipped), never tokenized.
     let mut doc = String::from("<a><first><x>1</x></first>");
     for _ in 0..1000 {
         doc.push_str("<junk><deep><deeper>zzz</deeper></deep></junk>");
@@ -191,15 +192,36 @@ fn early_termination_skips_input_tail() {
     let mut out = Vec::new();
     let report = run_gcx(&compiled, &mut tags, doc.as_bytes(), &mut out).unwrap();
     assert_eq!(
-        String::from_utf8(out).unwrap(),
+        String::from_utf8(out.clone()).unwrap(),
         "<r><first><x>1</x></first></r>"
     );
     assert!(
-        report.tokens_skipped > 3000,
-        "the junk tail is fast-skipped: {}",
+        report.tokens_skipped >= 1000,
+        "every junk subtree is fast-skipped: {}",
         report.tokens_skipped
     );
+    assert!(
+        report.bytes_skipped > 30_000,
+        "the junk bodies are raw-scanned, not tokenized: {}",
+        report.bytes_skipped
+    );
     assert!(report.stats.peak_nodes < 8);
+
+    // Differential: the per-event skip path (skip-mode lexing off) is
+    // byte-identical, with identical buffer peaks.
+    let mut tags2 = TagInterner::new();
+    let compiled2 = compile_default("<r>{ for $f in /a/first return $f }</r>", &mut tags2).unwrap();
+    let mut out2 = Vec::new();
+    let opts = EngineOptions {
+        skip_lexing: false,
+        ..Default::default()
+    };
+    let report2 = GcxEngine::new(&compiled2, &mut tags2, doc.as_bytes(), &mut out2, opts)
+        .run()
+        .unwrap();
+    assert_eq!(out, out2, "skip-mode output identical to per-event skip");
+    assert_eq!(report.stats.peak_nodes, report2.stats.peak_nodes);
+    assert_eq!(report2.bytes_skipped, 0, "per-event path raw-skips nothing");
 }
 
 #[test]

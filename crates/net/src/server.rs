@@ -38,10 +38,86 @@ use gcx_service::{EvaluatorPool, QueryService, ServiceConfig, StreamSession, Try
 use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Eventcount for session-progress wakeups. Connection workers that find
+/// a connection unable to move (socket and session both blocked) used to
+/// sleep a flat 500 µs before re-polling; now each session's evaluator
+/// bumps this signal whenever it consumes input, produces output or
+/// terminates (via [`gcx_service::SessionConfig::progress_waker`]), and a
+/// worker waits on it instead — waking immediately on evaluator progress
+/// while keeping the same bounded timeout as a poll fallback for socket
+/// readability (which has no notification source without epoll).
+///
+/// `bump` is wait-free when nobody is parked: one atomic increment plus
+/// one atomic load. The lock is only taken to publish the notify when a
+/// waiter is registered — evaluator hot paths (one bump per output tag
+/// batch) stay cheap.
+pub(crate) struct ProgressSignal {
+    seq: AtomicU64,
+    waiters: AtomicUsize,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl ProgressSignal {
+    fn new() -> Self {
+        ProgressSignal {
+            seq: AtomicU64::new(0),
+            waiters: AtomicUsize::new(0),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Records progress and wakes parked workers, if any.
+    ///
+    /// Orderings are `SeqCst` on both the seq bump and the waiters
+    /// check: with anything weaker the store→load pairs here and in
+    /// [`Self::wait_past`] may reorder (store buffering), letting a bump
+    /// see `waiters == 0` while the racing parker still sees the old
+    /// seq — a lost wakeup, the one failure mode this type exists to
+    /// prevent. The single total order makes one side always observe
+    /// the other.
+    pub(crate) fn bump(&self) {
+        self.seq.fetch_add(1, Ordering::SeqCst);
+        if self.waiters.load(Ordering::SeqCst) > 0 {
+            // Taking the lock orders the notify after a racing waiter's
+            // seq check: the waiter holds it between checking and waiting.
+            let _g = self.lock.lock().unwrap_or_else(|p| p.into_inner());
+            // One waiter per bump: workers share one run-queue, so any
+            // woken worker can drive the progressed connection; waking
+            // the whole park ring on every output batch of one fast
+            // session would burn idle-path CPU re-polling unrelated
+            // blocked sockets. Concurrent bumps wake additional workers,
+            // and the poll timeout still bounds worst-case staleness.
+            self.cv.notify_one();
+        }
+    }
+
+    /// The current sequence number; read before driving a connection so
+    /// progress made during the attempt is never missed by `wait_past`.
+    fn current(&self) -> u64 {
+        self.seq.load(Ordering::SeqCst)
+    }
+
+    /// Parks until the sequence moves past `observed` or `timeout`
+    /// elapses, whichever is first.
+    fn wait_past(&self, observed: u64, timeout: Duration) {
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+        let guard = self.lock.lock().unwrap_or_else(|p| p.into_inner());
+        if self.seq.load(Ordering::SeqCst) == observed {
+            let _ = self
+                .cv
+                .wait_timeout(guard, timeout)
+                .unwrap_or_else(|p| p.into_inner());
+        }
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
+    }
+}
 
 /// Front-end configuration.
 pub struct NetConfig {
@@ -109,6 +185,9 @@ pub(crate) struct ServerShared {
     pub(crate) queries: HashMap<String, String>,
     run_queue: Mutex<VecDeque<Conn>>,
     work: Condvar,
+    /// Session-progress wakeups for parked connections (own `Arc` so the
+    /// per-session waker closures hold no cycle back to `ServerShared`).
+    progress: Arc<ProgressSignal>,
     stop: AtomicBool,
     pub(crate) counters: ServerCounters,
     pub(crate) sessions: Mutex<HashMap<u64, SessionEntry>>,
@@ -153,6 +232,7 @@ impl GcxServer {
             queries: config.queries.into_iter().collect(),
             run_queue: Mutex::new(VecDeque::new()),
             work: Condvar::new(),
+            progress: Arc::new(ProgressSignal::new()),
             stop: AtomicBool::new(false),
             counters: ServerCounters::default(),
             sessions: Mutex::new(HashMap::new()),
@@ -310,6 +390,10 @@ fn worker_loop(shared: &Arc<ServerShared>) {
                 q = guard;
             }
         };
+        // Observe the progress sequence *before* driving: progress made
+        // by an evaluator during the attempt bumps it, so a subsequent
+        // `wait_past` returns immediately instead of losing the wakeup.
+        let observed = shared.progress.current();
         let mut made_progress = false;
         // Drive this connection as far as it goes without blocking.
         let finished = loop {
@@ -336,9 +420,13 @@ fn worker_loop(shared: &Arc<ServerShared>) {
         if made_progress {
             shared.work.notify_one();
         } else {
-            // Nothing moved anywhere on this connection: yield briefly so
-            // a fleet of parked connections doesn't busy-spin the pool.
-            std::thread::sleep(Duration::from_micros(500));
+            // Nothing moved anywhere on this connection. Park on the
+            // progress signal: an evaluator draining input, producing
+            // output or finishing wakes us immediately; the timeout is
+            // only the poll fallback for socket readability.
+            shared
+                .progress
+                .wait_past(observed, Duration::from_micros(500));
         }
     }
 }
@@ -552,10 +640,12 @@ impl Conn {
             let live = live.clone();
             let pool = shared.pool.clone();
             let charge = shared.charge_engine_buffer;
+            let signal = shared.progress.clone();
             shared.service.open_session_with(&query_text, move |cfg| {
                 cfg.live_stats = Some(live);
                 cfg.pool = Some(pool);
                 cfg.charge_engine_buffer = charge;
+                cfg.progress_waker = Some(Arc::new(move || signal.bump()));
             })
         };
         let session = match session {
@@ -952,5 +1042,54 @@ fn preview(query: &str) -> String {
             cut -= 1;
         }
         format!("{}…", &flat[..cut])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A bump lands a parked waiter well before the poll timeout.
+    #[test]
+    fn progress_signal_wakes_early() {
+        let signal = Arc::new(ProgressSignal::new());
+        let observed = signal.current();
+        let bumper = {
+            let signal = signal.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(5));
+                signal.bump();
+            })
+        };
+        let start = Instant::now();
+        signal.wait_past(observed, Duration::from_secs(5));
+        assert!(
+            start.elapsed() < Duration::from_secs(1),
+            "bump must cut the wait short, waited {:?}",
+            start.elapsed()
+        );
+        bumper.join().unwrap();
+    }
+
+    /// Progress recorded before the wait starts is never slept on.
+    #[test]
+    fn progress_signal_no_lost_wakeup() {
+        let signal = ProgressSignal::new();
+        let observed = signal.current();
+        signal.bump(); // progress between observing and waiting
+        let start = Instant::now();
+        signal.wait_past(observed, Duration::from_secs(5));
+        assert!(start.elapsed() < Duration::from_millis(500));
+    }
+
+    /// Without progress the wait falls back to the poll timeout.
+    #[test]
+    fn progress_signal_times_out() {
+        let signal = ProgressSignal::new();
+        let observed = signal.current();
+        let start = Instant::now();
+        signal.wait_past(observed, Duration::from_millis(10));
+        let waited = start.elapsed();
+        assert!(waited >= Duration::from_millis(5), "waited {waited:?}");
     }
 }

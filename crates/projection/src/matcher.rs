@@ -23,6 +23,25 @@
 //!   when `[position() = 1]` predicates are present, because "first
 //!   witness" is relative to a concrete ancestor instance and cannot be
 //!   captured by a finite state.
+//!
+//! ## Allocation discipline (NFA mode)
+//!
+//! The NFA hot path is allocation-free in steady state, by three
+//! invariants:
+//!
+//! 1. **Frame pooling** — a frame popped on `close` keeps the capacity of
+//!    its `matches`/`pending`/`fired` vectors and is recycled by the next
+//!    `open`. The pool never exceeds the maximum element depth seen.
+//! 2. **Matcher-resident scratch** — the per-event temporaries (candidate
+//!    edges, fired-this-event records, the outcome's role list) live on
+//!    the matcher and are cleared, not reallocated, per event. This is
+//!    also why [`Outcome`] borrows its roles instead of owning a `Vec`.
+//! 3. **Edge memoization** — candidate child edges and pending-edge name
+//!    tests are memoized per (projection node, tag); rows are built on
+//!    first sight of a (node, tag) pair and read-only afterwards.
+//!
+//! Pending edges are inherited by slice copy into the pooled frame
+//! (`PendingEdge` is `Copy`), never by cloning a fresh vector.
 
 use crate::dfa::LazyDfa;
 use crate::path::{PAxis, Pred};
@@ -31,20 +50,28 @@ use crate::tree::{ProjNodeId, ProjTree};
 use gcx_xml::TagId;
 
 /// The matcher's verdict for one input node.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
-pub struct Outcome {
+///
+/// `roles` borrows from the matcher's internal storage (the DFA's state
+/// table or the NFA scratch), so producing an outcome allocates nothing
+/// in either mode; copy the roles out before the next matcher call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Outcome<'m> {
     /// Copy this input node into the buffer?
     pub buffer: bool,
     /// Role instances to assign (repeats encode multiplicity).
-    pub roles: Vec<Role>,
+    pub roles: &'m [Role],
     /// True when the node is preserved only by condition (2) — it matches
     /// nothing but must not be discarded to protect `child::` semantics.
     pub structural: bool,
 }
 
-impl Outcome {
-    fn skip() -> Self {
-        Outcome::default()
+impl Outcome<'_> {
+    fn skip() -> Outcome<'static> {
+        Outcome {
+            buffer: false,
+            roles: &[],
+            structural: false,
+        }
     }
 }
 
@@ -84,17 +111,110 @@ enum Mode {
     Nfa { frames: Vec<Frame> },
 }
 
+/// Reusable NFA-mode storage (module docs, "Allocation discipline"):
+/// pooled frames, per-event temporaries, and the per-(node, tag) edge
+/// memo. Unused (and empty) in DFA mode.
+#[derive(Default)]
+struct NfaScratch {
+    /// Frames popped on `close`, recycled on `open` with their vector
+    /// capacities intact.
+    pool: Vec<Frame>,
+    /// Candidate (edge, origin frame) pairs for the current event.
+    cands: Vec<(ProjNodeId, u32)>,
+    /// Positional edges fired by the current event.
+    fired_now: Vec<(ProjNodeId, u32)>,
+    /// Roles of the current event's matches (backs [`Outcome::roles`]).
+    roles: Vec<Role>,
+    /// Match instances of the current text event (text pushes no frame,
+    /// so these cannot live in a pooled frame).
+    text_matches: Vec<MatchInst>,
+    memo: EdgeMemo,
+}
+
+/// Lazily built memo of the projection tree's edge tests, keyed by
+/// (projection node, tag): which child-axis edges of a node accept a
+/// given element tag, and whether a node's own step test does. Rows are
+/// computed on first sight and immutable afterwards — pure functions of
+/// the (immutable) tree.
+#[derive(Default)]
+struct EdgeMemo {
+    /// `child_rows[v][tag]`: the child-axis edges of `v` accepting
+    /// element `tag` (`None` = not built yet).
+    child_rows: Vec<Vec<Option<Box<[ProjNodeId]>>>>,
+    /// `test_rows[v][tag]`: does `v`'s own step test accept element
+    /// `tag`? 0 unknown, 1 no, 2 yes. Used for pending descendant edges.
+    test_rows: Vec<Vec<u8>>,
+}
+
+impl EdgeMemo {
+    fn child_edges(&mut self, tree: &ProjTree, v: ProjNodeId, tag: TagId) -> &[ProjNodeId] {
+        let (vi, ti) = (v.index(), tag.index());
+        if self.child_rows.len() <= vi {
+            self.child_rows.resize_with(vi + 1, Vec::new);
+        }
+        let row = &mut self.child_rows[vi];
+        if row.len() <= ti {
+            row.resize(ti + 1, None);
+        }
+        if row[ti].is_none() {
+            let mut edges = Vec::new();
+            for &c in tree.children(v) {
+                let s = tree.step(c);
+                if s.axis == PAxis::Child && s.test.matches_element(tag) {
+                    edges.push(c);
+                }
+            }
+            row[ti] = Some(edges.into_boxed_slice());
+        }
+        row[ti].as_deref().expect("just built")
+    }
+
+    fn edge_accepts(&mut self, tree: &ProjTree, v: ProjNodeId, tag: TagId) -> bool {
+        let (vi, ti) = (v.index(), tag.index());
+        if self.test_rows.len() <= vi {
+            self.test_rows.resize_with(vi + 1, Vec::new);
+        }
+        let row = &mut self.test_rows[vi];
+        if row.len() <= ti {
+            row.resize(ti + 1, 0);
+        }
+        if row[ti] == 0 {
+            row[ti] = if tree.step(v).test.matches_element(tag) {
+                2
+            } else {
+                1
+            };
+        }
+        row[ti] == 2
+    }
+}
+
 /// Streaming projection matcher (see module docs).
 pub struct StreamMatcher<'t> {
     tree: &'t ProjTree,
     mode: Mode,
     root_roles: Vec<Role>,
     depth: usize,
+    nfa: NfaScratch,
 }
 
 impl<'t> StreamMatcher<'t> {
-    /// Creates a matcher positioned at the virtual document root.
+    /// Creates a matcher positioned at the virtual document root, in DFA
+    /// mode when the projection tree permits it.
     pub fn new(tree: &'t ProjTree) -> Self {
+        Self::with_mode(tree, tree.has_positional())
+    }
+
+    /// Creates a matcher that runs the frame-based NFA simulation even
+    /// when the tree has no positional predicates (which would normally
+    /// select DFA mode). Both modes implement identical semantics; this
+    /// constructor lets differential tests and benches drive the pooled
+    /// NFA path over arbitrary trees.
+    pub fn new_forced_nfa(tree: &'t ProjTree) -> Self {
+        Self::with_mode(tree, true)
+    }
+
+    fn with_mode(tree: &'t ProjTree, use_nfa: bool) -> Self {
         let mut root_matches = vec![MatchInst {
             node: ProjTree::ROOT,
             via_self: false,
@@ -119,7 +239,7 @@ impl<'t> StreamMatcher<'t> {
             i += 1;
         }
         let root_roles = roles_of(tree, &root_matches);
-        let mode = if tree.has_positional() {
+        let mode = if use_nfa {
             let frame = make_frame(tree, root_matches, Vec::new(), 0);
             Mode::Nfa {
                 frames: vec![frame],
@@ -136,6 +256,7 @@ impl<'t> StreamMatcher<'t> {
             mode,
             root_roles,
             depth: 0,
+            nfa: NfaScratch::default(),
         }
     }
 
@@ -164,7 +285,7 @@ impl<'t> StreamMatcher<'t> {
     }
 
     /// Processes an opening tag; returns the buffering verdict.
-    pub fn open(&mut self, tag: TagId) -> Outcome {
+    pub fn open(&mut self, tag: TagId) -> Outcome<'_> {
         self.depth += 1;
         match &mut self.mode {
             Mode::Dfa { dfa, stack } => {
@@ -175,39 +296,46 @@ impl<'t> StreamMatcher<'t> {
                 let structural = !matched && dfa.preserve_children(from);
                 Outcome {
                     buffer: matched || structural,
-                    roles: dfa.entry_roles(to).to_vec(),
+                    roles: dfa.entry_roles(to),
                     structural,
                 }
             }
             Mode::Nfa { frames } => {
                 let pi = frames.len() - 1;
+                let tree = self.tree;
+                let NfaScratch {
+                    pool,
+                    cands,
+                    fired_now,
+                    roles,
+                    memo,
+                    ..
+                } = &mut self.nfa;
                 // Collect candidate edges first (child edges from the
                 // parent's matches, then pending descendant-like edges),
-                // then apply positional firing in order.
-                let tree = self.tree;
-                let mut cands: Vec<(ProjNodeId, u32)> = Vec::new();
+                // then apply positional firing in order. Both lookups go
+                // through the per-(node, tag) memo.
+                cands.clear();
                 for m in &frames[pi].matches {
-                    for &c in tree.children(m.node) {
-                        let s = tree.step(c);
-                        if s.axis == PAxis::Child && s.test.matches_element(tag) {
-                            cands.push((c, pi as u32));
-                        }
+                    for &c in memo.child_edges(tree, m.node, tag) {
+                        cands.push((c, pi as u32));
                     }
                 }
                 for pe in &frames[pi].pending {
-                    let s = tree.step(pe.node);
-                    if s.test.matches_element(tag) {
+                    if memo.edge_accepts(tree, pe.node, tag) {
                         cands.push((pe.node, pe.origin));
                     }
                 }
-                let mut new: Vec<MatchInst> = Vec::new();
+                // The new frame comes from the pool; its vectors are
+                // empty but keep their high-water capacity.
+                let mut frame = pool.pop().unwrap_or_default();
                 // `[position()=1]` fires once per origin instance, but an
                 // origin with match multiplicity m contributes m candidate
                 // entries for the *same* element — all of them are part of
                 // this first witness (the role lands with multiplicity m,
                 // mirroring the chain-assignment count; see Example 1).
-                let mut fired_now: Vec<(ProjNodeId, u32)> = Vec::new();
-                for (c, o) in cands {
+                fired_now.clear();
+                for &(c, o) in cands.iter() {
                     if tree.step(c).pred == Pred::First {
                         let fired = &mut frames[o as usize].fired;
                         if fired.contains(&c) {
@@ -219,17 +347,42 @@ impl<'t> StreamMatcher<'t> {
                             fired_now.push((c, o));
                         }
                     }
-                    new.push(MatchInst {
+                    frame.matches.push(MatchInst {
                         node: c,
                         via_self: false,
                     });
                 }
-                close_self(tree, &mut new, |t| t.matches_element(tag));
-                let structural = new.is_empty() && frames[pi].preserve_children;
-                let roles = roles_of(tree, &new);
-                let buffer = !new.is_empty() || structural;
-                let inherited = frames[pi].pending.clone();
-                let frame = make_frame(tree, new, inherited, frames.len() as u32);
+                close_self(tree, &mut frame.matches, |t| t.matches_element(tag));
+                let structural = frame.matches.is_empty() && frames[pi].preserve_children;
+                roles.clear();
+                roles_of_into(tree, &frame.matches, roles);
+                let buffer = !frame.matches.is_empty() || structural;
+                // Inherit the parent's pending edges by slice copy, then
+                // append the new matches' descendant-like edges.
+                frame.pending.extend_from_slice(&frames[pi].pending);
+                let own_index = frames.len() as u32;
+                {
+                    let Frame {
+                        matches, pending, ..
+                    } = &mut frame;
+                    for m in matches.iter() {
+                        for &c in tree.children(m.node) {
+                            if tree.step(c).axis.is_descendant_like() {
+                                pending.push(PendingEdge {
+                                    node: c,
+                                    origin: own_index,
+                                });
+                            }
+                        }
+                    }
+                }
+                frame.preserve_children = preserve_condition(tree, &frame.matches, &frame.pending);
+                frame.dead_below = frame.pending.is_empty()
+                    && !frame.preserve_children
+                    && frame
+                        .matches
+                        .iter()
+                        .all(|m| tree.children(m.node).is_empty());
                 frames.push(frame);
                 Outcome {
                     buffer,
@@ -240,7 +393,8 @@ impl<'t> StreamMatcher<'t> {
         }
     }
 
-    /// Processes a closing tag.
+    /// Processes a closing tag. In NFA mode the popped frame is returned
+    /// to the pool with its vector capacities intact.
     pub fn close(&mut self) {
         debug_assert!(self.depth > 0, "close below the document root");
         self.depth -= 1;
@@ -250,28 +404,39 @@ impl<'t> StreamMatcher<'t> {
                 debug_assert!(!stack.is_empty());
             }
             Mode::Nfa { frames } => {
-                frames.pop();
+                let mut f = frames.pop().expect("frames never empty");
                 debug_assert!(!frames.is_empty());
+                f.matches.clear();
+                f.pending.clear();
+                f.fired.clear();
+                self.nfa.pool.push(f);
             }
         }
     }
 
     /// Processes a text node (no frame is pushed; text has no children).
-    pub fn text(&mut self) -> Outcome {
+    pub fn text(&mut self) -> Outcome<'_> {
         match &mut self.mode {
             Mode::Dfa { dfa, stack } => {
                 let s = *stack.last().expect("stack never empty");
                 let (buffer, roles) = dfa.text_outcome(self.tree, s);
                 Outcome {
                     buffer,
-                    roles: roles.to_vec(),
+                    roles,
                     structural: false,
                 }
             }
             Mode::Nfa { frames } => {
                 let tree = self.tree;
                 let pi = frames.len() - 1;
-                let mut cands: Vec<(ProjNodeId, u32)> = Vec::new();
+                let NfaScratch {
+                    cands,
+                    fired_now,
+                    roles,
+                    text_matches,
+                    ..
+                } = &mut self.nfa;
+                cands.clear();
                 for m in &frames[pi].matches {
                     for &c in tree.children(m.node) {
                         let s = tree.step(c);
@@ -285,9 +450,9 @@ impl<'t> StreamMatcher<'t> {
                         cands.push((pe.node, pe.origin));
                     }
                 }
-                let mut new: Vec<MatchInst> = Vec::new();
-                let mut fired_now: Vec<(ProjNodeId, u32)> = Vec::new();
-                for (c, o) in cands {
+                text_matches.clear();
+                fired_now.clear();
+                for &(c, o) in cands.iter() {
                     if tree.step(c).pred == Pred::First {
                         let fired = &mut frames[o as usize].fired;
                         if fired.contains(&c) {
@@ -299,18 +464,20 @@ impl<'t> StreamMatcher<'t> {
                             fired_now.push((c, o));
                         }
                     }
-                    new.push(MatchInst {
+                    text_matches.push(MatchInst {
                         node: c,
                         via_self: false,
                     });
                 }
-                close_self(tree, &mut new, |t| t.matches_text());
-                if new.is_empty() {
+                close_self(tree, text_matches, |t| t.matches_text());
+                if text_matches.is_empty() {
                     return Outcome::skip();
                 }
+                roles.clear();
+                roles_of_into(tree, text_matches, roles);
                 Outcome {
                     buffer: true,
-                    roles: roles_of(tree, &new),
+                    roles,
                     structural: false,
                 }
             }
@@ -365,6 +532,12 @@ fn close_self<F: Fn(crate::path::PTest) -> bool>(
 /// roles are assigned only when matched as self (the subtree root).
 fn roles_of(tree: &ProjTree, matches: &[MatchInst]) -> Vec<Role> {
     let mut roles = Vec::new();
+    roles_of_into(tree, matches, &mut roles);
+    roles
+}
+
+/// [`roles_of`] into a caller-provided (reusable) vector.
+fn roles_of_into(tree: &ProjTree, matches: &[MatchInst], roles: &mut Vec<Role>) {
     for m in matches {
         let n = tree.node(m.node);
         if let Some(r) = n.role {
@@ -373,7 +546,6 @@ fn roles_of(tree: &ProjTree, matches: &[MatchInst]) -> Vec<Role> {
             }
         }
     }
-    roles
 }
 
 /// Builds a frame for freshly matched instances: computes the new pending
@@ -736,15 +908,7 @@ mod tests {
     ) -> Vec<(String, bool, String)> {
         let mut lexer = XmlLexer::new(doc.as_bytes(), tags);
         let tokens = lexer.tokenize_all().unwrap();
-        let mut m = StreamMatcher::new(tree);
-        // Swap in NFA mode regardless of predicates.
-        let root_matches = vec![MatchInst {
-            node: ProjTree::ROOT,
-            via_self: false,
-        }];
-        m.mode = Mode::Nfa {
-            frames: vec![make_frame(tree, root_matches, Vec::new(), 0)],
-        };
+        let mut m = StreamMatcher::new_forced_nfa(tree);
         let mut out = Vec::new();
         let mut path: Vec<String> = Vec::new();
         for t in &tokens {

@@ -83,6 +83,12 @@ impl RoleSet {
         }
     }
 
+    /// Removes every entry, keeping the allocation for reuse (buffer
+    /// node slots recycle their role-sets on the hot path).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
     /// `remρ(r, n)` from the paper: decrements the multiplicity of `role`.
     ///
     /// Removal of a role with multiplicity zero is *undefined* in the paper

@@ -190,40 +190,64 @@ fn check_case(tree_seed: u64, doc_seed: u64) {
     let expected = naive_roles(&doc, &tree);
 
     // Stream the same document through the matcher, pairing stream events
-    // with DOM nodes by construction order (document order).
+    // with DOM nodes by construction order (document order). Both the
+    // mode-selecting matcher and the forced pooled-frame NFA must agree
+    // with the naive semantics (and hence with each other).
     let dom_nodes: Vec<NodeId> = doc.descendants(Document::ROOT);
     let mut lexer = XmlLexer::new(doc_text.as_bytes(), &mut tags);
     let mut matcher = StreamMatcher::new(&tree);
+    let mut forced = StreamMatcher::new_forced_nfa(&tree);
     let mut idx = 0usize;
     while let Some(tok) = lexer.next_token().expect("lex") {
         match tok {
             XmlToken::Open(tag) => {
-                let outcome = matcher.open(tag);
                 let node = dom_nodes[idx];
                 idx += 1;
                 assert!(
                     matches!(doc.node(node).kind, NodeKind::Element(t) if t == tag),
                     "event/node pairing broke"
                 );
+                let outcome = matcher.open(tag);
                 compare(
                     &expected,
                     node,
-                    &outcome.roles,
+                    outcome.roles,
+                    outcome.buffer,
+                    tree_seed,
+                    doc_seed,
+                );
+                let outcome = forced.open(tag);
+                compare(
+                    &expected,
+                    node,
+                    outcome.roles,
                     outcome.buffer,
                     tree_seed,
                     doc_seed,
                 );
             }
-            XmlToken::Close(_) => matcher.close(),
+            XmlToken::Close(_) => {
+                matcher.close();
+                forced.close();
+            }
             XmlToken::Text(_) => {
-                let outcome = matcher.text();
                 let node = dom_nodes[idx];
                 idx += 1;
                 assert!(doc.is_text(node), "event/node pairing broke (text)");
+                let outcome = matcher.text();
                 compare(
                     &expected,
                     node,
-                    &outcome.roles,
+                    outcome.roles,
+                    outcome.buffer,
+                    tree_seed,
+                    doc_seed,
+                );
+                let outcome = forced.text();
+                compare(
+                    &expected,
+                    node,
+                    outcome.roles,
                     outcome.buffer,
                     tree_seed,
                     doc_seed,

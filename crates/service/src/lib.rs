@@ -28,7 +28,7 @@ pub mod session;
 pub use budget::MemoryBudget;
 pub use pool::EvaluatorPool;
 pub use service::{normalize_query, BatchJob, QueryService, ServiceConfig, ServiceStats};
-pub use session::{SessionConfig, SessionOutcome, StreamSession, TryFeed};
+pub use session::{ProgressWaker, SessionConfig, SessionOutcome, StreamSession, TryFeed};
 
 use gcx_query::CompileError;
 use std::fmt;

@@ -69,7 +69,18 @@ pub struct SessionConfig {
     /// matter how many sessions are open. `None` keeps the historical
     /// one-thread-per-session behaviour.
     pub pool: Option<EvaluatorPool>,
+    /// Called from the evaluator side whenever the session makes
+    /// progress a parked caller could act on: input consumed (queue
+    /// space freed), output produced, or the evaluator terminating.
+    /// Drivers that park backpressured sessions (gcx-net's connection
+    /// workers) hang a condvar wakeup here instead of sleep-polling.
+    /// Must be cheap and must not call back into the session.
+    pub progress_waker: Option<ProgressWaker>,
 }
+
+/// Shared wakeup hook for session progress; see
+/// [`SessionConfig::progress_waker`].
+pub type ProgressWaker = Arc<dyn Fn() + Send + Sync>;
 
 impl Default for SessionConfig {
     fn default() -> Self {
@@ -80,6 +91,7 @@ impl Default for SessionConfig {
             charge_engine_buffer: false,
             live_stats: None,
             pool: None,
+            progress_waker: None,
         }
     }
 }
@@ -152,6 +164,9 @@ struct Shared {
     data_available: Condvar,
     /// Signaled when the evaluator consumes input or terminates.
     space_available: Condvar,
+    /// External wakeup for parked drivers (see
+    /// [`SessionConfig::progress_waker`]).
+    progress_waker: Option<ProgressWaker>,
 }
 
 impl Shared {
@@ -169,6 +184,16 @@ impl Shared {
         }
         self.data_available.notify_all();
         self.space_available.notify_all();
+        drop(st);
+        self.wake_progress();
+    }
+
+    /// Notifies an external parked driver, if one registered. Called
+    /// outside the state lock (the waker may take its own locks).
+    fn wake_progress(&self) {
+        if let Some(w) = &self.progress_waker {
+            w();
+        }
     }
 }
 
@@ -214,6 +239,10 @@ impl Read for ChunkReader {
                     b.release(n);
                 }
                 self.shared.space_available.notify_all();
+                drop(st);
+                // Queue space freed: a parked driver can re-offer its
+                // pending chunk.
+                self.shared.wake_progress();
                 return Ok(n);
             }
             if st.closed {
@@ -262,6 +291,9 @@ impl SessionWriter {
             b.force_reserve(self.staged.len());
         }
         self.staged.clear();
+        drop(st);
+        // Fresh output: a parked driver can drain it.
+        self.shared.wake_progress();
     }
 }
 
@@ -326,6 +358,7 @@ impl StreamSession {
             }),
             data_available: Condvar::new(),
             space_available: Condvar::new(),
+            progress_waker: config.progress_waker.clone(),
         });
         let cancel = CancelFlag::new();
         let budget = config.budget.clone();

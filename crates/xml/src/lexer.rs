@@ -11,6 +11,22 @@
 //! (the latter four are skipped). Attributes are handled according to
 //! [`AttributeMode`]; the paper converted attributes into subelements for
 //! all of its benchmarks, which is this lexer's default.
+//!
+//! ## Skip mode
+//!
+//! When a consumer has proven a subtree irrelevant (the projection
+//! matcher's dead-subtree verdict), [`XmlLexer::skip_subtree`] consumes
+//! the rest of it as raw bytes: no text is copied into scratch, no
+//! entities are decoded, no attribute names or values are interned, and
+//! no events are materialized. The scanner tracks only element nesting
+//! depth, stepping over comments, CDATA sections (which may contain
+//! `</`), processing instructions and quoted attribute values (which may
+//! contain `>`). Structural well-formedness (balanced nesting, the
+//! subtree root's close-tag name, EOF) is still enforced; *content*
+//! validation that the per-event path performs — close-tag name matching
+//! strictly inside the skipped subtree, entity names, UTF-8 in character
+//! data — is intentionally not, because the bytes are discarded anyway.
+//! Skipped byte counts accumulate in [`XmlLexer::bytes_skipped`].
 
 use crate::error::XmlError;
 use crate::tags::{TagId, TagInterner};
@@ -100,6 +116,8 @@ pub struct XmlLexer<'t, R: Read> {
     attr_buf: Vec<u8>,
     /// Scratch for names that span a buffer refill (rare).
     name_buf: Vec<u8>,
+    /// Total bytes consumed by [`Self::skip_subtree`] raw scans.
+    bytes_skipped: u64,
     eof: bool,
 }
 
@@ -128,6 +146,7 @@ impl<'t, R: Read> XmlLexer<'t, R> {
             text_emitted: false,
             attr_buf: Vec::new(),
             name_buf: Vec::new(),
+            bytes_skipped: 0,
             eof: false,
         }
     }
@@ -150,6 +169,12 @@ impl<'t, R: Read> XmlLexer<'t, R> {
     /// True once the document element has been completely read.
     pub fn document_done(&self) -> bool {
         self.document_done && self.pending.is_empty()
+    }
+
+    /// Total bytes consumed by [`Self::skip_subtree`] raw scans (for
+    /// throughput statistics: these bytes never became events).
+    pub fn bytes_skipped(&self) -> u64 {
+        self.bytes_skipped
     }
 
     #[inline]
@@ -216,17 +241,34 @@ impl<'t, R: Read> XmlLexer<'t, R> {
         Ok(())
     }
 
+    /// Consumes input up to and including `suffix`, with proper overlap
+    /// fallback on mismatch (KMP-style): after matching `]]` of `]]>`,
+    /// another `]` must keep two bytes matched, not reset to one —
+    /// otherwise `x]]]>` style terminators are scanned past.
     fn skip_until(&mut self, suffix: &[u8], context: &'static str) -> Result<()> {
-        let mut matched = 0;
+        // Longest proper prefix of suffix[..matched] that is also a
+        // suffix of it (then the current byte is retried at that length).
+        fn fallback(suffix: &[u8], matched: usize) -> usize {
+            (1..matched)
+                .rev()
+                .find(|&k| suffix[..k] == suffix[matched - k..matched])
+                .unwrap_or(0)
+        }
+        let mut matched = 0usize;
         loop {
             let b = self.bump(context)?;
-            if b == suffix[matched] {
-                matched += 1;
-                if matched == suffix.len() {
-                    return Ok(());
+            loop {
+                if b == suffix[matched] {
+                    matched += 1;
+                    break;
                 }
-            } else {
-                matched = usize::from(b == suffix[0]);
+                if matched == 0 {
+                    break;
+                }
+                matched = fallback(suffix, matched);
+            }
+            if matched == suffix.len() {
+                return Ok(());
             }
         }
     }
@@ -717,6 +759,138 @@ impl<'t, R: Read> XmlLexer<'t, R> {
         }
     }
 
+    /// Consumes the rest of the current element's subtree — the element
+    /// whose [`XmlEvent::Open`] the previous [`Self::next_event`] call
+    /// returned — up to and including its matching close tag, as raw
+    /// bytes. Returns the number of bytes scanned past.
+    ///
+    /// This is the dead-subtree fast path (see the module docs): nothing
+    /// is copied, decoded, interned or materialized; the scanner only
+    /// tracks nesting depth and steps over comments, CDATA sections,
+    /// processing instructions, DOCTYPE declarations and quoted attribute
+    /// values. The element's queued events (attribute expansion, a
+    /// bachelor tag's own close) are discarded as part of the subtree; if
+    /// the element was self-closing the queue already terminates it and
+    /// no input bytes are consumed at all.
+    ///
+    /// Contract: call only immediately after an `Open` event, before any
+    /// other lexer call. Relaxations versus per-event skipping are listed
+    /// in the module docs; structural errors (unbalanced nesting at EOF,
+    /// a mismatched close of the subtree root itself) still surface.
+    pub fn skip_subtree(&mut self) -> Result<u64> {
+        debug_assert!(!self.text_emitted, "skip_subtree must follow an Open event");
+        // Depth relative to the element being skipped: 0 means the next
+        // close at this level is the element's own.
+        let mut depth = 0usize;
+        while let Some(p) = self.pending.pop_front() {
+            match p {
+                Pending::Open(_) => depth += 1,
+                Pending::Close(_) => {
+                    if depth == 0 {
+                        // Self-closing element: the queue terminated the
+                        // subtree before any raw bytes belonged to it.
+                        return Ok(0);
+                    }
+                    depth -= 1;
+                }
+                Pending::AttrText { .. } => {}
+            }
+        }
+        let start = self.offset();
+        loop {
+            // Advance to the next markup start. Raw character data cannot
+            // contain an unescaped '<' (entities carry no raw '<'), so a
+            // plain byte scan is exact — and it is the whole point: the
+            // per-event path would copy these bytes into scratch and
+            // decode entities just to throw the text away.
+            loop {
+                if !self.fill()? {
+                    return Err(XmlError::UnclosedElements {
+                        offset: self.offset(),
+                        open: self.open.len() + depth,
+                    });
+                }
+                match self.buf[self.pos..self.len].iter().position(|&b| b == b'<') {
+                    Some(i) => {
+                        self.pos += i + 1;
+                        break;
+                    }
+                    None => self.pos = self.len,
+                }
+            }
+            match self.bump("skipped subtree")? {
+                b'/' => {
+                    if depth == 0 {
+                        // The subtree root's own close tag: validate it
+                        // like the per-event path (the name is already
+                        // interned from its open tag, so this allocates
+                        // nothing in steady state).
+                        let id = self.read_name_id("closing tag")?;
+                        self.skip_ws()?;
+                        self.expect(b'>', "closing tag")?;
+                        self.close_tag(id)?;
+                        let skipped = self.offset() - start;
+                        self.bytes_skipped += skipped;
+                        return Ok(skipped);
+                    }
+                    depth -= 1;
+                    // Close-tag names cannot contain '>'.
+                    while self.bump("closing tag")? != b'>' {}
+                }
+                b'!' => {
+                    let b3 = self.bump("markup declaration")?;
+                    if b3 == b'-' {
+                        self.expect(b'-', "comment")?;
+                        self.skip_until(b"-->", "comment")?;
+                    } else if b3 == b'[' {
+                        for &c in b"CDATA[" {
+                            self.expect(c, "CDATA section")?;
+                        }
+                        self.skip_until(b"]]>", "CDATA section")?;
+                    } else if b3 == b'D' {
+                        let mut brackets = 0usize;
+                        loop {
+                            match self.bump("DOCTYPE")? {
+                                b'[' => brackets += 1,
+                                b']' => brackets = brackets.saturating_sub(1),
+                                b'>' if brackets == 0 => break,
+                                _ => {}
+                            }
+                        }
+                    } else {
+                        return Err(XmlError::Malformed {
+                            offset: self.offset(),
+                            detail: "unsupported '<!' construct".into(),
+                        });
+                    }
+                }
+                b'?' => self.skip_until(b"?>", "processing instruction")?,
+                _ => {
+                    // Opening tag. Scan to its '>' stepping over quoted
+                    // attribute values (which may legally contain '>');
+                    // '/' immediately before '>' makes it self-closing.
+                    let mut prev_slash = false;
+                    loop {
+                        match self.bump("opening tag")? {
+                            b'>' => {
+                                if !prev_slash {
+                                    depth += 1;
+                                }
+                                break;
+                            }
+                            q @ (b'"' | b'\'') => {
+                                prev_slash = false;
+                                while self.bump("attribute value")? != q {}
+                            }
+                            b'/' => prev_slash = true,
+                            _ => prev_slash = false,
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     /// Returns the next token as an owned value, or `None` at the end of
     /// the document. Allocating compatibility wrapper over
     /// [`Self::next_event`]; hot paths should prefer the borrowed API.
@@ -968,6 +1142,193 @@ mod tests {
         assert!(!lexer.document_done());
         lexer.tokenize_all().unwrap();
         assert!(lexer.document_done());
+    }
+
+    // ------------------------------------------------------------------
+    // Skip-mode lexing
+    // ------------------------------------------------------------------
+
+    /// Adversarial dead-subtree corpus: every construct the raw scanner
+    /// must step over without miscounting depth.
+    const SKIP_CORPUS: &[&str] = &[
+        // Nested same-name tags.
+        "<r><k><d><d><d>x</d></d></d></k><after>y</after></r>",
+        // CDATA containing a close-tag lookalike and ']]' teasers.
+        "<r><k><![CDATA[</k> ]] ]>&& <nope>]]></k><after/></r>",
+        // CDATA terminator preceded by a ']' run (overlap fallback), and
+        // a comment ending in an extra dash.
+        "<r><k><![CDATA[x]]]></k><after/></r>",
+        "<r><k><![CDATA[y]]]]></k><!--z---><after/></r>",
+        // Comments containing tags and dashes.
+        "<r><k><!-- </k> <x> -- almost --><e/></k><after/></r>",
+        // Entities (not decoded while skipping) and raw ampersands in CDATA.
+        "<r><k>&lt;&amp;&#65;<e>&quot;</e></k><after>&gt;</after></r>",
+        // Attribute values containing '>', '<' lookalikes and quotes.
+        "<r><k a=\"1>2\" b='</k>' c=\"x'y\"><e f='a\"b>c'/></k><after/></r>",
+        // Processing instructions and a self-closing skip root.
+        "<r><k><?pi </k> ?><e/></k><solo x=\"v>w\"/><after/></r>",
+        // Whitespace inside close tags, bachelor tags, mixed text.
+        "<r><k>t1<e>t2</e\t>t3<e />t4</k ><after/></r>",
+        // Deep nesting with text at every level.
+        "<r><k>a<d>b<d>c<d>d</d>e</d>f</d>g</k><after/></r>",
+    ];
+
+    /// Lexes `doc` twice — once plainly, once skipping the subtree of
+    /// every element named `k` via `skip_subtree` — and checks the
+    /// skipped stream equals the plain stream with those subtrees
+    /// removed, byte-position for byte-position.
+    fn check_skip_equivalence(doc: &str) {
+        // Reference: full token stream.
+        let mut tags = TagInterner::new();
+        let k = tags.intern("k");
+        let mut lexer = XmlLexer::new(doc.as_bytes(), &mut tags);
+        let mut reference: Vec<XmlToken> = Vec::new();
+        let mut depth_skip = 0usize; // >0 while inside a skipped subtree
+        while let Some(t) = lexer.next_token().expect("reference lex") {
+            if depth_skip > 0 {
+                match t {
+                    XmlToken::Open(_) => depth_skip += 1,
+                    XmlToken::Close(_) => depth_skip -= 1,
+                    XmlToken::Text(_) => {}
+                }
+                continue;
+            }
+            if matches!(t, XmlToken::Open(tag) if tag == k) {
+                depth_skip = 1;
+                continue;
+            }
+            reference.push(t);
+        }
+        let reference_offset = lexer.offset();
+
+        // Skip-mode: same traversal, subtree consumed by the raw scanner.
+        let mut tags2 = TagInterner::new();
+        let k2 = tags2.intern("k");
+        let mut lexer2 = XmlLexer::new(doc.as_bytes(), &mut tags2);
+        let mut got: Vec<XmlToken> = Vec::new();
+        let mut skipped_total = 0u64;
+        while let Some(t) = lexer2.next_token().expect("skip-mode lex") {
+            if matches!(t, XmlToken::Open(tag) if tag == k2) {
+                skipped_total += lexer2.skip_subtree().expect("skip ok");
+                continue;
+            }
+            got.push(t);
+        }
+        // TagIds may differ between the two interners; compare rendered.
+        let show = |ts: &[XmlToken], tags: &TagInterner| -> Vec<String> {
+            ts.iter().map(|t| t.display(tags).to_string()).collect()
+        };
+        assert_eq!(
+            show(&got, lexer2.tags()),
+            show(&reference, lexer.tags()),
+            "token streams diverge on {doc:?}"
+        );
+        assert_eq!(lexer2.offset(), reference_offset, "offsets diverge");
+        assert_eq!(lexer2.bytes_skipped(), skipped_total);
+        assert!(lexer2.document_done());
+    }
+
+    #[test]
+    fn skip_subtree_equivalent_to_per_token_skipping() {
+        for doc in SKIP_CORPUS {
+            check_skip_equivalence(doc);
+        }
+    }
+
+    /// The corpus under every chunking (mid-construct refills while the
+    /// raw scanner is in flight).
+    #[test]
+    fn skip_subtree_chunking_invariant() {
+        for doc in SKIP_CORPUS {
+            for chunk in 1..=7 {
+                let mut tags = TagInterner::new();
+                let k = tags.intern("k");
+                let reader = ChunkedReader {
+                    data: doc.as_bytes(),
+                    chunk,
+                };
+                let mut lexer = XmlLexer::new(reader, &mut tags);
+                let mut shown = Vec::new();
+                while let Some(t) = lexer.next_token().expect("lex ok") {
+                    if matches!(t, XmlToken::Open(tag) if tag == k) {
+                        lexer.skip_subtree().expect("skip ok");
+                        continue;
+                    }
+                    shown.push(format!("{}", t.display(lexer.tags())));
+                }
+                assert!(
+                    shown.iter().any(|s| s == "<after>"),
+                    "chunk {chunk} on {doc:?}: {shown:?}"
+                );
+                assert!(
+                    !shown
+                        .iter()
+                        .any(|s| s == "<e>" || s == "<d>" || s == "<nope>"),
+                    "skipped content leaked at chunk {chunk} on {doc:?}: {shown:?}"
+                );
+            }
+        }
+    }
+
+    /// Skipping a self-closing element (its close is already queued)
+    /// consumes no raw bytes.
+    #[test]
+    fn skip_subtree_self_closing() {
+        let mut tags = TagInterner::new();
+        let mut lexer = XmlLexer::new("<a><b x=\"v\"/><c/></a>".as_bytes(), &mut tags);
+        assert!(matches!(
+            lexer.next_token().unwrap(),
+            Some(XmlToken::Open(_))
+        )); // <a>
+        assert!(matches!(
+            lexer.next_token().unwrap(),
+            Some(XmlToken::Open(_))
+        )); // <b>
+        assert_eq!(lexer.skip_subtree().unwrap(), 0, "queue terminated it");
+        let rest = lexer.tokenize_all().unwrap();
+        let shown: Vec<String> = rest
+            .iter()
+            .map(|t| t.display(lexer.tags()).to_string())
+            .collect();
+        assert_eq!(shown, vec!["<c>", "</c>", "</a>"]);
+    }
+
+    /// EOF inside a skipped subtree is an error, as in per-token mode.
+    #[test]
+    fn skip_subtree_eof_rejected() {
+        let mut tags = TagInterner::new();
+        let mut lexer = XmlLexer::new("<a><k><deep>".as_bytes(), &mut tags);
+        lexer.next_token().unwrap(); // <a>
+        lexer.next_token().unwrap(); // <k>
+        assert!(matches!(
+            lexer.skip_subtree(),
+            Err(XmlError::UnclosedElements { .. })
+        ));
+    }
+
+    /// A mismatched close of the skipped element itself is still caught.
+    #[test]
+    fn skip_subtree_mismatched_root_close_rejected() {
+        let mut tags = TagInterner::new();
+        let mut lexer = XmlLexer::new("<a><k><d>x</d></wrong></a>".as_bytes(), &mut tags);
+        lexer.next_token().unwrap(); // <a>
+        lexer.next_token().unwrap(); // <k>
+        assert!(matches!(
+            lexer.skip_subtree(),
+            Err(XmlError::MismatchedClose { .. })
+        ));
+    }
+
+    /// Skipping the document element finishes the document.
+    #[test]
+    fn skip_subtree_of_root_finishes_document() {
+        let mut tags = TagInterner::new();
+        let mut lexer = XmlLexer::new("<a><b>x</b></a>".as_bytes(), &mut tags);
+        lexer.next_token().unwrap(); // <a>
+        let skipped = lexer.skip_subtree().unwrap();
+        assert!(skipped > 0);
+        assert!(lexer.document_done());
+        assert!(lexer.next_token().unwrap().is_none());
     }
 
     /// A reader that yields at most `chunk` bytes per `read` call,

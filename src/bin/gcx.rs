@@ -536,6 +536,7 @@ fn run() -> Result<(), String> {
         eprintln!("gc visits       : {}", report.stats.gc_visits);
         eprintln!("tokens read     : {}", report.tokens_read);
         eprintln!("tokens skipped  : {}", report.tokens_skipped);
+        eprintln!("bytes skipped   : {}", report.bytes_skipped);
         if let Some(ok) = report.safety {
             eprintln!(
                 "role accounting : {}",
