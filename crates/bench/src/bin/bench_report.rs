@@ -114,6 +114,39 @@ fn main() {
                 }
             }
         }
+        // Small-request scenario: many short queries per client, with
+        // and without connection reuse — the keep-alive payoff in one
+        // back-to-back pair per client count. The document is truly
+        // small (single-digit KB) so per-request connection overhead is
+        // the measured quantity, not evaluation.
+        let small_doc = xmark_doc(0.001, seed);
+        let small_requests = if quick { 50 } else { 200 };
+        if let Some(query) = gcx_xmark::by_name("Q1") {
+            for clients in [1usize, 8] {
+                for reuse in [false, true] {
+                    match gcx_bench::serve::measure_keepalive_record(
+                        "Q1",
+                        query,
+                        &small_doc,
+                        clients,
+                        small_requests,
+                        reuse,
+                    ) {
+                        Ok(r) => {
+                            eprintln!(
+                                "Q1 {} B x{small_requests} {}: {:.3}s  {:.1} req/s aggregate",
+                                small_doc.len(),
+                                r.engine,
+                                r.seconds,
+                                (clients * small_requests) as f64 / r.seconds.max(1e-9),
+                            );
+                            records.push(r);
+                        }
+                        Err(e) => eprintln!("Q1 keepalive c{clients} reuse={reuse}: error: {e}"),
+                    }
+                }
+            }
+        }
     }
 
     // Steady-state lexer probe over the largest configured document.

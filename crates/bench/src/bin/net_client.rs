@@ -6,11 +6,15 @@
 //! net_client query --name Q1                          print a benchmark query
 //! net_client post  --url http://127.0.0.1:8080/query?name=Q1 \
 //!                  --input doc.xml [--chunk 65536]    stream a document, print result
+//!                  [--repeat N --keepalive]           N requests over one connection
 //! ```
 //!
 //! `post` uploads chunked while concurrently reading the streamed
 //! response (a real streaming client), writes the result body to stdout
 //! and a summary to stderr, and exits non-zero unless the status is 200.
+//! With `--keepalive --repeat N` it instead sends N `Content-Length`
+//! requests over **one persistent connection** (the CI keep-alive smoke
+//! path), verifies all responses are identical, and prints one body.
 
 use gcx_bench::{arg_value, xmark_doc};
 use gcx_net::client;
@@ -56,6 +60,45 @@ fn run() -> Result<(), String> {
             let (addr, path) = split_url(&url)?;
             let doc = std::fs::read(&input).map_err(|e| format!("cannot read {input}: {e}"))?;
             let input_len = doc.len();
+            if args.iter().any(|a| a == "--keepalive") {
+                let repeat: usize = arg_value(&args, "--repeat")
+                    .unwrap_or_else(|| "1".into())
+                    .parse()
+                    .map_err(|_| "invalid --repeat")?;
+                let repeat = repeat.max(1);
+                let mut conn = client::HttpClient::connect(addr.as_str())
+                    .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+                let start = std::time::Instant::now();
+                let mut first_body: Option<Vec<u8>> = None;
+                for i in 0..repeat {
+                    let resp = conn
+                        .post(&path, &doc)
+                        .map_err(|e| format!("request {i} failed: {e}"))?;
+                    if resp.status != 200 {
+                        return Err(format!("request {i}: server returned {}", resp.status));
+                    }
+                    match &first_body {
+                        None => first_body = Some(resp.body),
+                        Some(first) => {
+                            if *first != resp.body {
+                                return Err(format!("request {i}: response differs from first"));
+                            }
+                        }
+                    }
+                }
+                let elapsed = start.elapsed().as_secs_f64();
+                eprintln!(
+                    "{repeat} keep-alive requests on one connection, {} bytes in each, \
+                     {:.3}s ({:.1} req/s)",
+                    input_len,
+                    elapsed,
+                    repeat as f64 / elapsed.max(1e-9),
+                );
+                std::io::stdout()
+                    .write_all(&first_body.expect("repeat >= 1"))
+                    .map_err(|e| e.to_string())?;
+                return Ok(());
+            }
             let ps = client::PostStream::open(addr.as_str(), &path)
                 .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
             let chunks: Vec<Vec<u8>> = doc.chunks(chunk.max(1)).map(<[u8]>::to_vec).collect();

@@ -81,3 +81,97 @@ pub fn measure_serve_record(
         allocations: None,
     })
 }
+
+/// Small-request scenario: `clients` concurrent connections each issue
+/// `requests` sequential queries over `doc` (a *small* document, so
+/// per-request overhead dominates). With `reuse` every client keeps one
+/// connection for all its requests (`engine` `http-keepalive-cN`);
+/// without, every request opens a fresh connection (`http-close-cN`) —
+/// the back-to-back pair measures what keep-alive buys.
+pub fn measure_keepalive_record(
+    qname: &str,
+    query: &str,
+    doc: &[u8],
+    clients: usize,
+    requests: usize,
+    reuse: bool,
+) -> Result<BenchRecord, String> {
+    let clients = clients.max(1);
+    let requests = requests.max(1);
+    let server = GcxServer::bind(
+        "127.0.0.1:0",
+        NetConfig {
+            workers: 2,
+            evaluators: 2,
+            max_requests_per_conn: (requests as u64).max(1),
+            ..Default::default()
+        },
+    )
+    .map_err(|e| format!("bind: {e}"))?;
+    let addr = server.local_addr();
+    let path = format!("/query?xq={}", http::percent_encode(query));
+
+    let start = Instant::now();
+    let outputs = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let path = &path;
+                scope.spawn(move || -> Result<u64, String> {
+                    let mut total = 0u64;
+                    if reuse {
+                        let mut conn = client::HttpClient::connect(addr)
+                            .map_err(|e| format!("connect: {e}"))?;
+                        for i in 0..requests {
+                            let resp = conn
+                                .post(path, doc)
+                                .map_err(|e| format!("request {i}: {e}"))?;
+                            if resp.status != 200 {
+                                return Err(format!("status {}: {}", resp.status, resp.text()));
+                            }
+                            total += resp.body.len() as u64;
+                        }
+                    } else {
+                        for i in 0..requests {
+                            let resp = client::post(addr, path, doc)
+                                .map_err(|e| format!("request {i}: {e}"))?;
+                            if resp.status != 200 {
+                                return Err(format!("status {}: {}", resp.status, resp.text()));
+                            }
+                            total += resp.body.len() as u64;
+                        }
+                    }
+                    Ok(total)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect::<Result<Vec<u64>, String>>()
+    })?;
+    let seconds = start.elapsed().as_secs_f64();
+
+    let counters = server.counters();
+    let events = counters.tokens_read_total.load(Ordering::Relaxed);
+    let peak_nodes = counters.peak_nodes_max.load(Ordering::Relaxed);
+    let output_bytes: u64 = outputs.iter().sum();
+    let total_requests = (clients * requests) as u64;
+    server.shutdown();
+    Ok(BenchRecord {
+        query: qname.to_string(),
+        engine: format!(
+            "http-{}-c{clients}",
+            if reuse { "keepalive" } else { "close" }
+        ),
+        input_mb: doc.len() as f64 * total_requests as f64 / (1024.0 * 1024.0),
+        input_bytes: doc.len() as u64 * total_requests,
+        seconds,
+        events,
+        peak_nodes,
+        peak_bytes: 0,
+        dfa_states: 0,
+        output_bytes,
+        bytes_skipped: 0,
+        allocations: None,
+    })
+}

@@ -23,6 +23,31 @@ fn lexer_steady_state_is_allocation_free() {
     );
 }
 
+/// Q13 buffers whole description subtrees (dos::node() projection) — the
+/// last known allocation pocket. After arena-backed DFA states, the
+/// inline role-set storage, the borrowed (not cloned) query body and the
+/// arena-backed tag interner, a cold Q13 run performs only a few dozen
+/// allocator round-trips total; the 0.005/event budget at a 16 MB
+/// document (≈ 15k materialized events — skip-mode lexing consumes the
+/// rest as raw bytes) allows ~77, roughly 2× the measured figure.
+#[test]
+fn q13_allocs_per_event_bounded() {
+    let doc = xmark_doc(16.0, 42);
+    let query = gcx_xmark::by_name("Q13").expect("Q13 exists");
+    let mut tags = gcx_xml::TagInterner::new();
+    let compiled = gcx_query::compile_default(query, &mut tags).expect("compile");
+    let before = alloc_count::allocations();
+    let mut sink = NullSink::default();
+    let report = gcx_core::run_gcx(&compiled, &mut tags, &doc[..], &mut sink).expect("run");
+    let allocs = alloc_count::allocations() - before;
+    let events = report.tokens_read.max(1);
+    let ratio = allocs as f64 / events as f64;
+    assert!(
+        ratio <= 0.005,
+        "Q13 allocated {allocs} times over {events} events ({ratio:.5}/event; budget 0.005)"
+    );
+}
+
 /// Q20 runs the matcher in NFA mode (positional predicate) — the pooled
 /// frames, matcher-resident scratch and evaluator scratch must keep the
 /// whole engine's amortized allocation rate under 0.05 allocations per

@@ -187,7 +187,10 @@ impl BufferTree {
         }
         let mut tree = BufferTree {
             nodes: Vec::with_capacity(1024),
-            free: Vec::new(),
+            // Pre-sized: the free list and sweep stack grow with GC churn
+            // from the very first purge — reserving here keeps the
+            // steady-state purge loop off the allocator.
+            free: Vec::with_capacity(256),
             stats: BufferStats::default(),
             is_aggregate,
             assigned: vec![0; role_count],
@@ -195,7 +198,7 @@ impl BufferTree {
             text: Vec::new(),
             live_text_bytes: 0,
             live: None,
-            sweep: Vec::new(),
+            sweep: Vec::with_capacity(64),
             accounting: None,
             accounted_bytes: 0,
         };

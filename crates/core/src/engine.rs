@@ -249,8 +249,10 @@ impl<'t, 'q, R: Read, W: Write> GcxEngine<'t, 'q, R, W> {
         let root_tag = self.compiled.rewritten.root_tag;
         self.writer.open(root_tag, self.projector.tags())?;
         self.trace("output root open");
-        let body = self.compiled.rewritten.body.clone();
-        self.eval(&body)?;
+        // `compiled` outlives the engine ('q): borrow the body instead
+        // of deep-cloning the whole expression tree per run.
+        let body: &'q Expr = &self.compiled.rewritten.body;
+        self.eval(body)?;
         self.writer.close(root_tag, self.projector.tags())?;
         self.writer.flush()?;
         let elapsed = start.elapsed();

@@ -71,13 +71,15 @@ impl<'t, 'q, R: Read> Preprojector<'t, 'q, R> {
         for &r in matcher.root_roles() {
             buffer.add_role(BufferTree::ROOT, r);
         }
+        let mut stack = Vec::with_capacity(64); // typical XML depth ≪ 64
+        stack.push(OpenEntry {
+            buf: Some(BufferTree::ROOT),
+            attach: BufferTree::ROOT,
+        });
         Preprojector {
             lexer,
             matcher,
-            stack: vec![OpenEntry {
-                buf: Some(BufferTree::ROOT),
-                attach: BufferTree::ROOT,
-            }],
+            stack,
             eof: false,
             tokens_read: 0,
             tokens_skipped: 0,

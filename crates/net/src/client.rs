@@ -1,8 +1,12 @@
 //! A minimal blocking HTTP/1.1 client over `std::net` — just enough to
 //! test and benchmark the server from the same dependency-free world:
-//! `GET`, `POST` with `Content-Length`, and **streamed chunked uploads**
+//! `GET`, `POST` with `Content-Length`, **streamed chunked uploads**
 //! ([`PostStream`]) where the response body arrives while the request
-//! body is still being written.
+//! body is still being written, and **keep-alive connection reuse**
+//! ([`HttpClient`]): responses are read to their framing boundary
+//! (`Content-Length` or the chunked terminator, never to EOF), bytes of
+//! a pipelined successor are carried over, and one TCP connection serves
+//! many requests.
 
 use crate::http::{self, ChunkedDecoder};
 use std::io::{self, Read, Write};
@@ -140,11 +144,23 @@ fn connect(addr: impl ToSocketAddrs) -> io::Result<TcpStream> {
 /// cut off before its terminator yields `UnexpectedEof` — that is how the
 /// server signals a mid-stream failure after the head went out.
 pub fn read_response(stream: &mut TcpStream) -> io::Result<HttpResponse> {
-    let mut buf = Vec::new();
+    let mut carry = Vec::new();
+    read_response_buffered(stream, &mut carry)
+}
+
+/// As [`read_response`], with an explicit carry-over buffer: leftover
+/// bytes beyond the response's framing boundary (the head of a pipelined
+/// successor) stay in `carry` for the next call — the keep-alive reader.
+/// The body of a response with neither `Content-Length` nor chunked
+/// framing runs to EOF (and the connection is spent).
+pub fn read_response_buffered(
+    stream: &mut TcpStream,
+    carry: &mut Vec<u8>,
+) -> io::Result<HttpResponse> {
     let mut scratch = [0u8; 16 * 1024];
     loop {
         let head_end = loop {
-            if let Some(end) = http::find_head_end(&buf) {
+            if let Some(end) = http::find_head_end(carry) {
                 break end;
             }
             let n = stream.read(&mut scratch)?;
@@ -154,16 +170,16 @@ pub fn read_response(stream: &mut TcpStream) -> io::Result<HttpResponse> {
                     "connection closed before response head",
                 ));
             }
-            buf.extend_from_slice(&scratch[..n]);
+            carry.extend_from_slice(&scratch[..n]);
         };
-        let (status, headers) = parse_response_head(&buf[..head_end])?;
-        buf.drain(..head_end);
+        let (status, headers) = parse_response_head(&carry[..head_end])?;
+        carry.drain(..head_end);
         if (100..200).contains(&status) {
             // Informational (e.g. `100 Continue`): drop it, keep any
             // bytes read past it, and read the real response.
             continue;
         }
-        return read_body(stream, status, headers, buf);
+        return read_body(stream, status, headers, carry);
     }
 }
 
@@ -171,7 +187,7 @@ fn read_body(
     stream: &mut TcpStream,
     status: u16,
     headers: Vec<(String, String)>,
-    mut buffered: Vec<u8>,
+    carry: &mut Vec<u8>,
 ) -> io::Result<HttpResponse> {
     let header = |name: &str| {
         headers
@@ -186,14 +202,14 @@ fn read_body(
     if chunked {
         let mut dec = ChunkedDecoder::new();
         loop {
-            if !buffered.is_empty() {
+            if !carry.is_empty() {
                 let used = dec
-                    .decode(&buffered, &mut body)
+                    .decode(carry, &mut body)
                     .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-                buffered.drain(..used);
+                carry.drain(..used);
             }
             if dec.is_done() {
-                break;
+                break; // leftover bytes in `carry` belong to the successor
             }
             let n = stream.read(&mut scratch)?;
             if n == 0 {
@@ -202,15 +218,14 @@ fn read_body(
                     "chunked response truncated (server aborted mid-stream)",
                 ));
             }
-            buffered.extend_from_slice(&scratch[..n]);
+            carry.extend_from_slice(&scratch[..n]);
         }
     } else if let Some(len) = header("content-length") {
         let len: usize = len
             .trim()
             .parse()
             .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad Content-Length"))?;
-        body = buffered;
-        while body.len() < len {
+        while carry.len() < len {
             let n = stream.read(&mut scratch)?;
             if n == 0 {
                 return Err(io::Error::new(
@@ -218,12 +233,13 @@ fn read_body(
                     "response body truncated",
                 ));
             }
-            body.extend_from_slice(&scratch[..n]);
+            carry.extend_from_slice(&scratch[..n]);
         }
-        body.truncate(len);
+        body.extend_from_slice(&carry[..len]);
+        carry.drain(..len);
     } else {
         // Read to EOF (Connection: close framing).
-        body = buffered;
+        body = std::mem::take(carry);
         loop {
             let n = stream.read(&mut scratch)?;
             if n == 0 {
@@ -237,6 +253,102 @@ fn read_body(
         headers,
         body,
     })
+}
+
+/// A persistent keep-alive connection: many requests over one socket,
+/// responses read to their framing boundary. Also speaks pipelining —
+/// queue several requests with [`HttpClient::send_get`]/
+/// [`HttpClient::send_post`], then collect the responses in order with
+/// [`HttpClient::read_response`].
+pub struct HttpClient {
+    stream: TcpStream,
+    /// Bytes read past the previous response's framing boundary.
+    carry: Vec<u8>,
+    /// A response carried `Connection: close` (or close-delimited
+    /// framing): the server is shutting the socket, further sends would
+    /// fail confusingly mid-write.
+    closed: bool,
+}
+
+impl HttpClient {
+    /// Opens the connection.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<HttpClient> {
+        Ok(HttpClient {
+            stream: connect(addr)?,
+            carry: Vec::new(),
+            closed: false,
+        })
+    }
+
+    /// True once the server has announced it is closing this connection
+    /// (e.g. its per-connection request cap was reached) — reconnect to
+    /// continue.
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    fn check_open(&self) -> io::Result<()> {
+        if self.closed {
+            return Err(io::Error::new(
+                io::ErrorKind::NotConnected,
+                "server closed this connection (Connection: close); reconnect to continue",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Queues a `GET` without reading the response (pipelining half).
+    pub fn send_get(&mut self, path: &str) -> io::Result<()> {
+        self.check_open()?;
+        let head = format!("GET {path} HTTP/1.1\r\nHost: gcx\r\n\r\n");
+        self.stream.write_all(head.as_bytes())
+    }
+
+    /// Queues a `POST` with a `Content-Length` body without reading the
+    /// response (pipelining half).
+    pub fn send_post(&mut self, path: &str, body: &[u8]) -> io::Result<()> {
+        self.check_open()?;
+        let head = format!(
+            "POST {path} HTTP/1.1\r\nHost: gcx\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body)
+    }
+
+    /// Reads the next queued response (in request order).
+    pub fn read_response(&mut self) -> io::Result<HttpResponse> {
+        let resp = read_response_buffered(&mut self.stream, &mut self.carry)?;
+        let close = resp
+            .header("connection")
+            .is_some_and(|v| v.to_ascii_lowercase().contains("close"));
+        let unframed = resp.header("content-length").is_none()
+            && !resp
+                .header("transfer-encoding")
+                .is_some_and(|v| v.to_ascii_lowercase().contains("chunked"));
+        if close || unframed {
+            self.closed = true;
+        }
+        Ok(resp)
+    }
+
+    /// `GET path` over the persistent connection.
+    pub fn get(&mut self, path: &str) -> io::Result<HttpResponse> {
+        self.send_get(path)?;
+        self.read_response()
+    }
+
+    /// `POST path` with a `Content-Length` body over the persistent
+    /// connection.
+    pub fn post(&mut self, path: &str, body: &[u8]) -> io::Result<HttpResponse> {
+        self.send_post(path, body)?;
+        self.read_response()
+    }
+
+    /// Raw stream access (tests that need half-close etc.).
+    pub fn stream(&mut self) -> &mut TcpStream {
+        &mut self.stream
+    }
 }
 
 fn parse_response_head(bytes: &[u8]) -> io::Result<(u16, Vec<(String, String)>)> {

@@ -21,6 +21,8 @@ pub struct RequestHead {
     pub params: Vec<(String, String)>,
     /// Headers with lowercased names, in order.
     pub headers: Vec<(String, String)>,
+    /// Minor HTTP version: `1` for HTTP/1.1, `0` for HTTP/1.0.
+    pub minor_version: u8,
 }
 
 impl RequestHead {
@@ -64,6 +66,24 @@ impl RequestHead {
         self.header("expect")
             .is_some_and(|v| v.to_ascii_lowercase().contains("100-continue"))
     }
+
+    /// True when this request was made with HTTP/1.0 (which cannot take
+    /// chunked responses and defaults to one request per connection).
+    pub fn is_http10(&self) -> bool {
+        self.minor_version == 0
+    }
+
+    /// Connection persistence the client asked for: HTTP/1.1 defaults to
+    /// keep-alive unless `Connection: close`; HTTP/1.0 defaults to close
+    /// unless `Connection: keep-alive`.
+    pub fn wants_keep_alive(&self) -> bool {
+        let conn = self.header("connection").map(str::to_ascii_lowercase);
+        match conn.as_deref() {
+            Some(v) if v.contains("close") => false,
+            Some(v) if v.contains("keep-alive") => true,
+            _ => !self.is_http10(),
+        }
+    }
 }
 
 /// Index just past the `\r\n\r\n` terminating the head, if complete.
@@ -80,9 +100,12 @@ pub fn parse_head(bytes: &[u8]) -> Result<RequestHead, String> {
     let method = parts.next().ok_or("missing method")?.to_ascii_uppercase();
     let target = parts.next().ok_or("missing request target")?;
     let version = parts.next().ok_or("missing HTTP version")?;
-    if !version.starts_with("HTTP/1.") {
+    let Some(minor) = version.strip_prefix("HTTP/1.") else {
         return Err(format!("unsupported version {version:?}"));
-    }
+    };
+    let minor_version: u8 = minor
+        .parse()
+        .map_err(|_| format!("unsupported version {version:?}"))?;
     let (raw_path, raw_query) = match target.split_once('?') {
         Some((p, q)) => (p, Some(q)),
         None => (target, None),
@@ -103,6 +126,7 @@ pub fn parse_head(bytes: &[u8]) -> Result<RequestHead, String> {
         path: percent_decode(raw_path),
         params,
         headers,
+        minor_version,
     })
 }
 
@@ -304,24 +328,43 @@ impl ChunkedDecoder {
 // Response building
 // ----------------------------------------------------------------------
 
-/// Renders a response head. `headers` come on top of the implied
-/// `Connection: close`.
-pub fn response_head(status: u16, reason: &str, headers: &[(&str, &str)]) -> Vec<u8> {
+/// Renders a response head. The connection disposition is explicit:
+/// `keep_alive` emits `Connection: keep-alive` (the response is framed
+/// per request — `Content-Length` or chunked — and the socket stays
+/// open), `false` emits `Connection: close`.
+pub fn response_head(
+    status: u16,
+    reason: &str,
+    headers: &[(&str, &str)],
+    keep_alive: bool,
+) -> Vec<u8> {
     let mut out = format!("HTTP/1.1 {status} {reason}\r\n");
     for (name, value) in headers {
         let _ = write!(out, "{name}: {value}\r\n");
     }
-    out.push_str("Connection: close\r\n\r\n");
+    out.push_str(if keep_alive {
+        "Connection: keep-alive\r\n\r\n"
+    } else {
+        "Connection: close\r\n\r\n"
+    });
     out.into_bytes()
 }
 
-/// A complete small response with a body (`Content-Length` framing).
-pub fn simple_response(status: u16, reason: &str, content_type: &str, body: &[u8]) -> Vec<u8> {
+/// A complete small response with a body (`Content-Length` framing, so it
+/// is keep-alive-safe whenever `keep_alive` is set).
+pub fn simple_response(
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> Vec<u8> {
     let len = body.len().to_string();
     let mut out = response_head(
         status,
         reason,
         &[("Content-Type", content_type), ("Content-Length", &len)],
+        keep_alive,
     );
     out.extend_from_slice(body);
     out
@@ -360,6 +403,20 @@ mod tests {
         assert_eq!(head.content_length().unwrap(), Some(42));
         assert!(head.is_chunked());
         assert!(!head.expects_continue());
+        assert!(!head.is_http10());
+        assert!(head.wants_keep_alive(), "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn keep_alive_negotiation() {
+        let parse = |raw: &[u8]| parse_head(&raw[..find_head_end(raw).unwrap()]).unwrap();
+        let h11_close = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(!h11_close.wants_keep_alive());
+        let h10 = parse(b"GET / HTTP/1.0\r\n\r\n");
+        assert!(h10.is_http10());
+        assert!(!h10.wants_keep_alive(), "HTTP/1.0 defaults to close");
+        let h10_ka = parse(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
+        assert!(h10_ka.wants_keep_alive(), "explicit 1.0 keep-alive honored");
     }
 
     #[test]
@@ -418,12 +475,16 @@ mod tests {
 
     #[test]
     fn response_builders() {
-        let head = response_head(200, "OK", &[("Content-Type", "application/xml")]);
+        let head = response_head(200, "OK", &[("Content-Type", "application/xml")], false);
         let text = String::from_utf8(head).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("Connection: close"));
         assert!(text.ends_with("\r\n\r\n"));
-        let full = simple_response(404, "Not Found", "text/plain", b"nope");
+        let keep = response_head(200, "OK", &[], true);
+        assert!(String::from_utf8(keep)
+            .unwrap()
+            .contains("Connection: keep-alive"));
+        let full = simple_response(404, "Not Found", "text/plain", b"nope", false);
         let text = String::from_utf8(full).unwrap();
         assert!(text.contains("Content-Length: 4"));
         assert!(text.ends_with("nope"));

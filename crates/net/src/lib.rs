@@ -44,4 +44,5 @@ pub mod http;
 pub mod server;
 mod stats_json;
 
+pub use client::HttpClient;
 pub use server::{GcxServer, NetConfig, ServerCounters, SessionEntry};

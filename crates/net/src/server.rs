@@ -137,9 +137,25 @@ pub struct NetConfig {
     pub max_head_bytes: usize,
     /// Socket read size per step. Default 64 KiB.
     pub io_chunk_bytes: usize,
-    /// Connections making no progress for this long are dropped (slow
-    /// clients must not pin evaluator threads forever). Default 30 s.
+    /// Connections making no progress for this long *mid-request* are
+    /// dropped (slow clients must not pin evaluator threads forever).
+    /// Default 30 s.
     pub idle_timeout: Duration,
+    /// How long a keep-alive connection may sit idle *between* requests
+    /// before the server closes it. Default 15 s.
+    pub keep_alive_timeout: Duration,
+    /// Requests served over one connection before the server answers
+    /// with `Connection: close` (bounds per-connection state lifetime).
+    /// Default 1000.
+    pub max_requests_per_conn: u64,
+    /// Per-session output high-water mark: above this many undrained
+    /// result bytes the evaluator parks (backpressure). Default 1 MiB.
+    pub output_high_water: usize,
+    /// Per-session output hard cap: a client that stops draining fails
+    /// its session cleanly (422 or aborted stream, counted in `/stats`
+    /// as `sessions_output_capped`) once undrained output creeps past
+    /// this. Default 4 MiB.
+    pub output_max_bytes: usize,
 }
 
 impl Default for NetConfig {
@@ -153,6 +169,10 @@ impl Default for NetConfig {
             max_head_bytes: 16 * 1024,
             io_chunk_bytes: 64 * 1024,
             idle_timeout: Duration::from_secs(30),
+            keep_alive_timeout: Duration::from_secs(15),
+            max_requests_per_conn: 1000,
+            output_high_water: 1024 * 1024,
+            output_max_bytes: 4 * 1024 * 1024,
         }
     }
 }
@@ -161,9 +181,15 @@ impl Default for NetConfig {
 /// the registry instead).
 #[derive(Debug, Default)]
 pub struct ServerCounters {
+    /// TCP connections accepted. With keep-alive, `requests` outgrows
+    /// this — the whole point of not tearing the world down per request.
+    pub connections: AtomicU64,
     pub requests: AtomicU64,
     pub sessions_completed: AtomicU64,
     pub sessions_failed: AtomicU64,
+    /// Sessions failed specifically because the client stopped draining
+    /// and the per-session output cap tripped.
+    pub sessions_output_capped: AtomicU64,
     pub bytes_in: AtomicU64,
     pub bytes_out: AtomicU64,
     /// Sum of `tokens_read + tokens_skipped` over completed sessions.
@@ -201,6 +227,10 @@ pub(crate) struct ServerShared {
     /// rejected as permanently unfittable.
     feed_chunk_bytes: usize,
     idle_timeout: Duration,
+    keep_alive_timeout: Duration,
+    max_requests_per_conn: u64,
+    output_high_water: usize,
+    output_max_bytes: usize,
     pub(crate) workers: usize,
     pub(crate) evaluators: usize,
 }
@@ -243,6 +273,10 @@ impl GcxServer {
             io_chunk_bytes,
             feed_chunk_bytes,
             idle_timeout: config.idle_timeout,
+            keep_alive_timeout: config.keep_alive_timeout,
+            max_requests_per_conn: config.max_requests_per_conn.max(1),
+            output_high_water: config.output_high_water,
+            output_max_bytes: config.output_max_bytes,
             workers,
             evaluators,
         });
@@ -351,6 +385,7 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
                     continue;
                 }
                 let _ = stream.set_nodelay(true);
+                shared.counters.connections.fetch_add(1, Ordering::Relaxed);
                 let conn = Conn::new(stream, peer.to_string());
                 let mut q = shared.run_queue.lock().expect("run queue lock");
                 q.push_back(conn);
@@ -370,6 +405,17 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
 }
 
 fn worker_loop(shared: &Arc<ServerShared>) {
+    // Consecutive blocked connections stepped without progress. A
+    // progress bump wakes *one* worker, but the connection that
+    // progressed can sit anywhere in the run queue — so a woken worker
+    // keeps popping (and re-queuing) blocked connections until it has
+    // covered a full queue's worth without progress, and only then
+    // parks. Without the sweep, a wrong-connection pop would consume
+    // the bump and park again, leaving the progressed connection to
+    // wait out the poll timeout — per-request latency, multiplied under
+    // keep-alive where every request crosses the worker↔evaluator
+    // boundary twice.
+    let mut idle_streak = 0usize;
     loop {
         let mut conn = {
             let mut q = shared.run_queue.lock().expect("run queue lock");
@@ -383,6 +429,7 @@ fn worker_loop(shared: &Arc<ServerShared>) {
                 if let Some(c) = q.pop_front() {
                     break c;
                 }
+                idle_streak = 0;
                 let (guard, _) = shared
                     .work
                     .wait_timeout(q, Duration::from_millis(5))
@@ -405,29 +452,41 @@ fn worker_loop(shared: &Arc<ServerShared>) {
         };
         if finished {
             conn.teardown(shared);
+            idle_streak = 0;
             continue;
         }
         if made_progress {
             conn.last_progress = Instant::now();
-        } else if conn.last_progress.elapsed() > shared.idle_timeout {
+            idle_streak = 0;
+        } else if conn.last_progress.elapsed() > conn.idle_budget(shared) {
             conn.fail_idle(shared);
             conn.teardown(shared);
+            // The queue shrank: a stale streak would end the sweep early
+            // and park past connections that still need a look.
+            idle_streak = 0;
             continue;
+        } else {
+            idle_streak += 1;
         }
+        let park = conn.park_timeout();
         let mut q = shared.run_queue.lock().expect("run queue lock");
         q.push_back(conn);
+        let queued = q.len();
         drop(q);
         if made_progress {
             shared.work.notify_one();
-        } else {
-            // Nothing moved anywhere on this connection. Park on the
-            // progress signal: an evaluator draining input, producing
-            // output or finishing wakes us immediately; the timeout is
-            // only the poll fallback for socket readability.
-            shared
-                .progress
-                .wait_past(observed, Duration::from_micros(500));
+        } else if idle_streak >= queued {
+            // A full unproductive sweep of the queue: nothing anywhere
+            // can move. Park on the progress signal: an evaluator
+            // draining input, producing output or finishing wakes us
+            // immediately; the timeout is only the poll fallback for
+            // socket readability (shortened right after a response,
+            // when the next keep-alive request is likely already on
+            // the wire).
+            shared.progress.wait_past(observed, park);
+            idle_streak = 0;
         }
+        // else: sweep on — try the next queued connection immediately.
     }
 }
 
@@ -441,12 +500,19 @@ enum StepResult {
 }
 
 enum ConnState {
-    /// Accumulating the request head.
+    /// Accumulating (or parsing buffered pipelined bytes of) the next
+    /// request head.
     Head,
     /// Streaming a request body through a session.
     Body(Box<BodyState>),
-    /// Writing out the remaining `send` buffer, then closing.
-    Flush,
+    /// Discarding the remainder of a framed request body after an early
+    /// error response, so the connection stays reusable.
+    Drain(Box<DrainState>),
+    /// Writing out the remaining `send` buffer, then looping back to
+    /// `Head` (keep-alive) or closing.
+    Flush {
+        close: bool,
+    },
     Closed,
 }
 
@@ -455,11 +521,32 @@ enum BodyFraming {
     Length(u64),
     /// `Transfer-Encoding: chunked`.
     Chunked(http::ChunkedDecoder),
-    /// No framing given: body runs until EOF (HTTP/1.0 style).
+    /// No framing given: body runs until EOF (HTTP/1.0 style). The
+    /// connection cannot be reused afterwards.
     Eof,
 }
 
 impl BodyFraming {
+    /// Decodes raw socket bytes per this framing, appending body payload
+    /// to `out`; returns the number of `recv` bytes consumed. The single
+    /// copy of the framing state machine, shared by the feed path
+    /// (`step_body`) and the discard path (`step_drain`).
+    fn decode_into(&mut self, recv: &[u8], out: &mut Vec<u8>) -> Result<usize, String> {
+        match self {
+            BodyFraming::Length(remaining) => {
+                let take = (*remaining).min(recv.len() as u64) as usize;
+                out.extend_from_slice(&recv[..take]);
+                *remaining -= take as u64;
+                Ok(take)
+            }
+            BodyFraming::Chunked(dec) => dec.decode(recv, out),
+            BodyFraming::Eof => {
+                out.extend_from_slice(recv);
+                Ok(recv.len())
+            }
+        }
+    }
+
     fn complete(&self) -> bool {
         match self {
             BodyFraming::Length(n) => *n == 0,
@@ -490,6 +577,42 @@ struct BodyState {
     held: Vec<u8>,
     /// Socket saw EOF.
     saw_eof: bool,
+    /// Reuse the connection for another request after this response.
+    keep: bool,
+    /// Frame the response body chunked (HTTP/1.1). HTTP/1.0 clients get
+    /// a close-delimited body instead, and `keep` is forced off.
+    chunked_response: bool,
+}
+
+/// Discard-the-body state after an early error response (bad query name,
+/// missing parameters, …): the request's remaining body bytes must be
+/// consumed before the next head can be parsed off the same socket.
+struct DrainState {
+    framing: BodyFraming,
+    /// Bytes discarded so far; bounded by [`DRAIN_MAX_BYTES`].
+    drained: u64,
+    saw_eof: bool,
+    /// Reusable decode sink (cleared per step; the payload is discarded).
+    sink: Vec<u8>,
+}
+
+/// Upper bound on request-body bytes discarded to keep a connection
+/// alive after an early error; a larger remainder closes instead (the
+/// teardown is cheaper than sinking megabytes).
+const DRAIN_MAX_BYTES: u64 = 256 * 1024;
+
+/// Content type of plain-text (error/health) responses.
+const TEXT_PLAIN: &str = "text/plain; charset=utf-8";
+
+/// Whether a body with this framing is worth discarding to keep the
+/// connection: bounded `Content-Length` or chunked (capped while
+/// draining); EOF-framed bodies only end with the connection.
+fn drainable(framing: &BodyFraming) -> bool {
+    match framing {
+        BodyFraming::Length(n) => *n <= DRAIN_MAX_BYTES,
+        BodyFraming::Chunked(_) => true,
+        BodyFraming::Eof => false,
+    }
 }
 
 struct Conn {
@@ -502,7 +625,21 @@ struct Conn {
     scratch: Vec<u8>,
     state: ConnState,
     last_progress: Instant,
+    /// Requests answered on this connection so far.
+    requests_served: u64,
+    /// Just finished a response: the client's next request is likely
+    /// already in flight, so parked workers poll this connection at
+    /// [`HOT_PARK_TIMEOUT`] instead of the regular poll fallback until
+    /// the window expires. Socket readability has no notification
+    /// source without epoll; this keeps sequential keep-alive requests
+    /// from paying the full poll interval as latency.
+    hot_until: Option<Instant>,
 }
+
+/// How long after a completed response the connection is polled hot.
+const HOT_WINDOW: Duration = Duration::from_millis(2);
+/// Poll interval inside the hot window.
+const HOT_PARK_TIMEOUT: Duration = Duration::from_micros(30);
 
 /// Above this much un-flushed response data, stop pulling more output
 /// from the session: the socket's backpressure propagates to the engine
@@ -525,6 +662,28 @@ impl Conn {
             scratch: Vec::new(),
             state: ConnState::Head,
             last_progress: Instant::now(),
+            requests_served: 0,
+            hot_until: None,
+        }
+    }
+
+    /// The park timeout for a worker holding this (blocked) connection.
+    fn park_timeout(&self) -> Duration {
+        match self.hot_until {
+            Some(t) if Instant::now() < t => HOT_PARK_TIMEOUT,
+            _ => Duration::from_micros(500),
+        }
+    }
+
+    /// The no-progress budget for the connection's current state: a
+    /// keep-alive connection parked *between* requests gets the (shorter)
+    /// keep-alive timeout; anything mid-request gets the idle timeout.
+    fn idle_budget(&self, shared: &Arc<ServerShared>) -> Duration {
+        match &self.state {
+            ConnState::Head if self.recv.is_empty() && self.requests_served > 0 => {
+                shared.keep_alive_timeout
+            }
+            _ => shared.idle_timeout,
         }
     }
 
@@ -532,71 +691,163 @@ impl Conn {
     fn step(&mut self, shared: &Arc<ServerShared>) -> StepResult {
         match self.state {
             ConnState::Closed => StepResult::Finished,
-            ConnState::Flush => match self.write_some(shared) {
+            ConnState::Flush { close } => match self.write_some(shared) {
                 WriteOutcome::Progress => {
                     if self.send_pos >= self.send.len() {
-                        let _ = self.stream.shutdown(std::net::Shutdown::Both);
-                        self.state = ConnState::Closed;
-                        return StepResult::Finished;
+                        return self.finish_response(close);
                     }
                     StepResult::Progress
                 }
-                WriteOutcome::Idle => {
-                    // Nothing left to write at all: we are done.
-                    let _ = self.stream.shutdown(std::net::Shutdown::Both);
-                    self.state = ConnState::Closed;
-                    StepResult::Finished
-                }
+                WriteOutcome::Idle => self.finish_response(close),
                 WriteOutcome::WouldBlock => StepResult::Blocked,
                 WriteOutcome::Gone => StepResult::Finished,
             },
             ConnState::Head => self.step_head(shared),
             ConnState::Body(_) => self.step_body(shared),
+            ConnState::Drain(_) => self.step_drain(shared),
         }
     }
 
+    /// The response is fully on the wire: close, or loop back to parse
+    /// the next request (whose bytes may already sit in `recv` —
+    /// pipelined requests must not be dropped with the response).
+    fn finish_response(&mut self, close: bool) -> StepResult {
+        if close {
+            let _ = self.stream.shutdown(std::net::Shutdown::Both);
+            self.state = ConnState::Closed;
+            return StepResult::Finished;
+        }
+        self.state = ConnState::Head;
+        self.hot_until = Some(Instant::now() + HOT_WINDOW);
+        StepResult::Progress
+    }
+
     fn step_head(&mut self, shared: &Arc<ServerShared>) -> StepResult {
+        // Parse before reading: a pipelined request (or one that arrived
+        // in the same segment as its predecessor) is already buffered,
+        // and reading first would block on an empty socket despite a
+        // complete head sitting in `recv`.
+        if let Some(head_end) = http::find_head_end(&self.recv) {
+            shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+            self.requests_served += 1;
+            let head = match http::parse_head(&self.recv[..head_end]) {
+                Ok(h) => h,
+                Err(e) => {
+                    // Framing is untrustworthy after a malformed head;
+                    // answer and close.
+                    self.respond_simple(
+                        400,
+                        "Bad Request",
+                        &format!("malformed request: {e}\n"),
+                        false,
+                    );
+                    return StepResult::Progress;
+                }
+            };
+            self.recv.drain(..head_end);
+            self.dispatch(shared, &head);
+            return StepResult::Progress;
+        }
         match self.read_some(shared) {
             ReadOutcome::Data => {}
             ReadOutcome::WouldBlock => return StepResult::Blocked,
             ReadOutcome::Eof | ReadOutcome::Gone => return StepResult::Finished,
         }
-        let Some(head_end) = http::find_head_end(&self.recv) else {
+        if http::find_head_end(&self.recv).is_none() && self.recv.len() > shared.max_head_bytes {
             // Body bytes may already be piling in behind a complete head;
             // only an actually-unterminated head this large is an error.
-            if self.recv.len() > shared.max_head_bytes {
-                self.respond_simple(431, "Request Header Fields Too Large", "head too large\n");
-            }
-            return StepResult::Progress; // keep reading
-        };
-        shared.counters.requests.fetch_add(1, Ordering::Relaxed);
-        let head = match http::parse_head(&self.recv[..head_end]) {
-            Ok(h) => h,
-            Err(e) => {
-                self.respond_simple(400, "Bad Request", &format!("malformed request: {e}\n"));
-                return StepResult::Progress;
-            }
-        };
-        self.recv.drain(..head_end);
-        self.dispatch(shared, &head);
-        StepResult::Progress
+            self.respond_simple(
+                431,
+                "Request Header Fields Too Large",
+                "head too large\n",
+                false,
+            );
+        }
+        StepResult::Progress // parse (or keep reading) on the next step
+    }
+
+    /// Whether the connection may serve another request after this one.
+    fn negotiate_keep_alive(&self, shared: &Arc<ServerShared>, head: &http::RequestHead) -> bool {
+        head.wants_keep_alive() && self.requests_served < shared.max_requests_per_conn
     }
 
     fn dispatch(&mut self, shared: &Arc<ServerShared>, head: &http::RequestHead) {
         match (head.method.as_str(), head.path.as_str()) {
-            ("GET", "/healthz") => self.respond_simple(200, "OK", "ok\n"),
+            ("GET", "/healthz") => self.respond_early(shared, head, 200, "OK", TEXT_PLAIN, "ok\n"),
             ("GET", "/stats") => {
                 let json = stats_json::render(shared);
-                self.send.extend_from_slice(&http::simple_response(
-                    200,
-                    "OK",
-                    "application/json",
-                    json.as_bytes(),
-                ));
-                self.state = ConnState::Flush;
+                self.respond_early(shared, head, 200, "OK", "application/json", &json);
             }
             ("POST", "/query") => self.dispatch_query(shared, head),
-            _ => self.respond_simple(404, "Not Found", "unknown endpoint\n"),
+            _ => self.respond_early(
+                shared,
+                head,
+                404,
+                "Not Found",
+                TEXT_PLAIN,
+                "unknown endpoint\n",
+            ),
+        }
+    }
+
+    /// Parses the request's body framing, if any.
+    fn body_framing(head: &http::RequestHead) -> Result<Option<BodyFraming>, String> {
+        if head.is_chunked() {
+            return Ok(Some(BodyFraming::Chunked(http::ChunkedDecoder::new())));
+        }
+        match head.content_length()? {
+            Some(0) | None => Ok(None),
+            Some(n) => Ok(Some(BodyFraming::Length(n))),
+        }
+    }
+
+    /// Answers a request *before* (or instead of) consuming its body —
+    /// health/stats endpoints and early errors. A body the client is
+    /// still sending must be discarded before the next head can be read
+    /// off the socket, so framed bodies of tolerable size enter the
+    /// drain state; anything else closes after the response.
+    fn respond_early(
+        &mut self,
+        shared: &Arc<ServerShared>,
+        head: &http::RequestHead,
+        status: u16,
+        reason: &str,
+        content_type: &str,
+        body: &str,
+    ) {
+        let keep = self.negotiate_keep_alive(shared, head);
+        let framing = match Self::body_framing(head) {
+            Ok(f) => f,
+            Err(_) => {
+                // Unparseable Content-Length: the body's extent is
+                // unknowable, so the connection cannot be reused —
+                // answer and close.
+                self.respond_simple_typed(status, reason, content_type, body, false);
+                return;
+            }
+        };
+        match framing {
+            None if keep => {
+                self.respond_simple_typed(status, reason, content_type, body, true);
+            }
+            // A client waiting for `100 Continue` never sends the body —
+            // draining would stall until the timeout; close instead.
+            Some(f) if keep && !head.expects_continue() && drainable(&f) => {
+                self.send.extend_from_slice(&http::simple_response(
+                    status,
+                    reason,
+                    content_type,
+                    body.as_bytes(),
+                    true,
+                ));
+                self.state = ConnState::Drain(Box::new(DrainState {
+                    framing: f,
+                    drained: 0,
+                    saw_eof: false,
+                    sink: Vec::new(),
+                }));
+            }
+            _ => self.respond_simple_typed(status, reason, content_type, body, false),
         }
     }
 
@@ -606,18 +857,24 @@ impl Conn {
             (None, Some(name)) => match shared.queries.get(name) {
                 Some(q) => q.clone(),
                 None => {
-                    self.respond_simple(
+                    self.respond_early(
+                        shared,
+                        head,
                         404,
                         "Not Found",
+                        TEXT_PLAIN,
                         &format!("no registered query named {name:?}\n"),
                     );
                     return;
                 }
             },
             (None, None) => {
-                self.respond_simple(
+                self.respond_early(
+                    shared,
+                    head,
                     400,
                     "Bad Request",
+                    TEXT_PLAIN,
                     "POST /query needs ?xq=<urlencoded query> or ?name=<registered query>\n",
                 );
                 return;
@@ -628,30 +885,48 @@ impl Conn {
         } else {
             match head.content_length() {
                 Err(e) => {
-                    self.respond_simple(400, "Bad Request", &format!("{e}\n"));
+                    self.respond_simple(400, "Bad Request", &format!("{e}\n"), false);
                     return;
                 }
                 Ok(Some(n)) => BodyFraming::Length(n),
                 Ok(None) => BodyFraming::Eof,
             }
         };
+        // An EOF-framed request body consumes the rest of the stream;
+        // the connection cannot carry another request, and the chunked
+        // response coding is unavailable to HTTP/1.0 clients.
+        let keep = self.negotiate_keep_alive(shared, head)
+            && !matches!(framing, BodyFraming::Eof)
+            && !head.is_http10();
+        let chunked_response = !head.is_http10();
         let live = Arc::new(LiveBufferStats::default());
         let session = {
             let live = live.clone();
             let pool = shared.pool.clone();
             let charge = shared.charge_engine_buffer;
             let signal = shared.progress.clone();
+            let output_high_water = shared.output_high_water;
+            let output_max_bytes = shared.output_max_bytes;
             shared.service.open_session_with(&query_text, move |cfg| {
                 cfg.live_stats = Some(live);
                 cfg.pool = Some(pool);
                 cfg.charge_engine_buffer = charge;
+                cfg.output_high_water = output_high_water;
+                cfg.output_max_bytes = output_max_bytes;
                 cfg.progress_waker = Some(Arc::new(move || signal.bump()));
             })
         };
         let session = match session {
             Ok(s) => s,
             Err(e) => {
-                self.respond_simple(400, "Bad Request", &format!("{e}\n"));
+                self.respond_early(
+                    shared,
+                    head,
+                    400,
+                    "Bad Request",
+                    TEXT_PLAIN,
+                    &format!("{e}\n"),
+                );
                 return;
             }
         };
@@ -682,7 +957,67 @@ impl Conn {
             input_closed: false,
             held: Vec::new(),
             saw_eof: false,
+            keep,
+            chunked_response,
         }));
+    }
+
+    /// Discards the remainder of an early-answered request's body; once
+    /// the framing completes, the buffered response flushes and the
+    /// connection loops back to the next request.
+    fn step_drain(&mut self, shared: &Arc<ServerShared>) -> StepResult {
+        let mut progress = false;
+        match self.write_some(shared) {
+            WriteOutcome::Progress => progress = true,
+            WriteOutcome::WouldBlock | WriteOutcome::Idle => {}
+            WriteOutcome::Gone => return StepResult::Finished,
+        }
+        let ConnState::Drain(mut drain) = std::mem::replace(&mut self.state, ConnState::Closed)
+        else {
+            unreachable!("step_drain outside Drain state");
+        };
+        if !drain.saw_eof && !drain.framing.complete() && self.recv.is_empty() {
+            match self.read_some(shared) {
+                ReadOutcome::Data => progress = true,
+                ReadOutcome::WouldBlock => {}
+                ReadOutcome::Eof => {
+                    drain.saw_eof = true;
+                    progress = true;
+                }
+                ReadOutcome::Gone => return StepResult::Finished,
+            }
+        }
+        if !self.recv.is_empty() {
+            drain.sink.clear();
+            let DrainState { framing, sink, .. } = &mut *drain;
+            let consumed = match framing.decode_into(&self.recv, sink) {
+                Ok(n) => n,
+                Err(_) => return StepResult::Finished, // framing lost
+            };
+            drain.drained += consumed as u64;
+            if consumed > 0 {
+                self.recv.drain(..consumed);
+                progress = true;
+            }
+            if drain.drained > DRAIN_MAX_BYTES {
+                // The client keeps pushing; closing is cheaper than
+                // sinking an unbounded body.
+                return StepResult::Finished;
+            }
+        }
+        if drain.framing.complete() {
+            self.state = ConnState::Flush { close: false };
+            return StepResult::Progress;
+        }
+        if drain.saw_eof {
+            return StepResult::Finished;
+        }
+        self.state = ConnState::Drain(drain);
+        if progress {
+            StepResult::Progress
+        } else {
+            StepResult::Blocked
+        }
     }
 
     fn step_body(&mut self, shared: &Arc<ServerShared>) -> StepResult {
@@ -730,29 +1065,23 @@ impl Conn {
 
         // 3. Decode raw socket bytes into body payload.
         if !self.recv.is_empty() {
-            let consumed = match &mut body.framing {
-                BodyFraming::Length(remaining) => {
-                    let take = (*remaining).min(self.recv.len() as u64) as usize;
-                    body.pending.extend_from_slice(&self.recv[..take]);
-                    *remaining -= take as u64;
-                    take
-                }
-                BodyFraming::Chunked(dec) => match dec.decode(&self.recv, &mut body.pending) {
-                    Ok(n) => n,
-                    Err(e) => {
-                        finish_registry(shared, body.session_id, None);
+            let consumed = match body.framing.decode_into(&self.recv, &mut body.pending) {
+                Ok(n) => n,
+                Err(e) => {
+                    finish_registry(shared, body.session_id, None);
+                    // Framing is lost mid-stream: answer (when the
+                    // head is still unsent) and close.
+                    if body.sent_head {
+                        self.state = ConnState::Flush { close: true };
+                    } else {
                         self.respond_simple(
                             400,
                             "Bad Request",
                             &format!("malformed chunked body: {e}\n"),
+                            false,
                         );
-                        return StepResult::Progress; // body (and session) dropped here
                     }
-                },
-                BodyFraming::Eof => {
-                    let n = self.recv.len();
-                    body.pending.extend_from_slice(&self.recv);
-                    n
+                    return StepResult::Progress; // body (and session) dropped here
                 }
             };
             if consumed > 0 {
@@ -764,24 +1093,38 @@ impl Conn {
         // 4. Feed decoded payload into the session. Non-blocking: a full
         //    queue parks the connection, not the worker thread. Slices
         //    are bounded so one offer can always fit the memory budget.
+        //    While our own send buffer is backed up (client not reading),
+        //    feeding continues but *undrained*: `try_feed` would move the
+        //    unread response into `send` without bound, whereas leaving
+        //    it in the session engages the per-session output
+        //    high-water/hard-cap machinery — the never-draining client
+        //    fails its session instead of growing the server.
         let mut output = Vec::new();
+        let send_ok = self.send.len() - self.send_pos < SEND_HIGH_WATER;
         while body.pending_pos < body.pending.len() {
             let chunk_end = (body.pending_pos + shared.feed_chunk_bytes).min(body.pending.len());
-            match body
-                .session
-                .try_feed(&body.pending[body.pending_pos..chunk_end])
-            {
-                Ok(TryFeed::Fed(out)) => {
-                    output.extend_from_slice(&out);
-                    body.pending_pos = chunk_end;
-                    progress = true;
-                }
-                Ok(TryFeed::Busy(out)) => {
+            let chunk = &body.pending[body.pending_pos..chunk_end];
+            let fed = if send_ok {
+                body.session.try_feed(chunk).map(|r| match r {
+                    TryFeed::Fed(out) => (true, out),
+                    TryFeed::Busy(out) => (false, out),
+                })
+            } else {
+                body.session
+                    .try_feed_undrained(chunk)
+                    .map(|a| (a, Vec::new()))
+            };
+            match fed {
+                Ok((admitted, out)) => {
                     if !out.is_empty() {
                         output.extend_from_slice(&out);
                         progress = true;
                     }
-                    break;
+                    if !admitted {
+                        break;
+                    }
+                    body.pending_pos = chunk_end;
+                    progress = true;
                 }
                 Err(e) => {
                     self.session_failed(shared, &mut body, &e.to_string());
@@ -811,18 +1154,39 @@ impl Conn {
                 output.extend_from_slice(&drained);
                 progress = true;
             }
-            // 7. Completed?
+            // 7. Completed? With the input freshly closed the verdict is
+            //    usually microseconds away (small requests evaluate in
+            //    one burst) — a bounded yield-spin saves the full
+            //    park/bump/wake round trip per request, which dominates
+            //    small-request keep-alive latency. Only spun when this
+            //    step made progress, so a genuinely slow evaluation
+            //    parks as before.
             if body.input_closed {
-                if let Some(outcome) = body.session.take_outcome() {
+                let mut outcome = body.session.take_outcome();
+                if outcome.is_none() && progress {
+                    for _ in 0..32 {
+                        std::thread::yield_now();
+                        outcome = body.session.take_outcome();
+                        if outcome.is_some() {
+                            break;
+                        }
+                    }
+                }
+                if let Some(outcome) = outcome {
                     match outcome {
                         Ok(ok) => {
                             let mut full = std::mem::take(&mut body.held);
                             full.extend_from_slice(&output);
                             full.extend_from_slice(&ok.output);
                             self.emit_output(&mut body, &full);
-                            self.send.extend_from_slice(http::FINAL_CHUNK);
+                            if body.chunked_response {
+                                self.send.extend_from_slice(http::FINAL_CHUNK);
+                            }
                             finish_registry(shared, body.session_id, Some(&ok.report));
-                            self.state = ConnState::Flush;
+                            // A close-delimited (HTTP/1.0) body is only
+                            // terminated by the close itself.
+                            let close = !body.keep || !body.chunked_response;
+                            self.state = ConnState::Flush { close };
                             return StepResult::Progress; // body dropped (already finished)
                         }
                         Err(e) => {
@@ -857,30 +1221,59 @@ impl Conn {
     fn emit_output(&mut self, body: &mut BodyState, output: &[u8]) {
         if !body.sent_head {
             body.sent_head = true;
-            self.send.extend_from_slice(&http::response_head(
-                200,
-                "OK",
-                &[
-                    ("Content-Type", "application/xml"),
-                    ("Transfer-Encoding", "chunked"),
-                ],
-            ));
+            if body.chunked_response {
+                self.send.extend_from_slice(&http::response_head(
+                    200,
+                    "OK",
+                    &[
+                        ("Content-Type", "application/xml"),
+                        ("Transfer-Encoding", "chunked"),
+                    ],
+                    body.keep,
+                ));
+            } else {
+                // HTTP/1.0: close-delimited body, no transfer coding.
+                self.send.extend_from_slice(&http::response_head(
+                    200,
+                    "OK",
+                    &[("Content-Type", "application/xml")],
+                    false,
+                ));
+            }
         }
-        http::encode_chunk(output, &mut self.send);
+        if body.chunked_response {
+            http::encode_chunk(output, &mut self.send);
+        } else {
+            self.send.extend_from_slice(output);
+        }
     }
 
     /// Terminates a failed session: a clean 422 if the head is still
     /// unsent, otherwise an aborted (truncated) chunked body — the only
-    /// honest signal once a 200 is on the wire.
+    /// honest signal once a 200 is on the wire (and the connection must
+    /// close; the next request would be indistinguishable from body
+    /// bytes otherwise).
     fn session_failed(&mut self, shared: &Arc<ServerShared>, body: &mut BodyState, msg: &str) {
         finish_registry(shared, body.session_id, None);
+        if msg.contains(gcx_service::OUTPUT_CAP_ERROR) {
+            shared
+                .counters
+                .sessions_output_capped
+                .fetch_add(1, Ordering::Relaxed);
+        }
         if body.sent_head {
-            self.state = ConnState::Flush;
+            self.state = ConnState::Flush { close: true };
         } else {
+            // Reuse is only sound when the request body was consumed in
+            // full; a session that died mid-upload leaves the rest of
+            // the body in the pipe.
+            let keep =
+                body.keep && body.framing.complete() && body.pending_pos >= body.pending.len();
             self.respond_simple(
                 422,
                 "Unprocessable Entity",
                 &format!("query failed: {msg}\n"),
+                keep,
             );
         }
     }
@@ -893,25 +1286,40 @@ impl Conn {
         if let Some((session_id, sent_head)) = info {
             finish_registry(shared, session_id, None);
             if !sent_head {
-                self.respond_simple(408, "Request Timeout", "connection idle too long\n");
+                self.respond_simple(408, "Request Timeout", "connection idle too long\n", false);
             }
         }
-        // Best-effort farewell; teardown closes regardless.
+        // Best-effort farewell; teardown closes regardless. (An idle
+        // keep-alive connection between requests has nothing buffered
+        // and closes silently — no request is in flight to answer.)
         if self.send_pos < self.send.len() {
             let _ = self.stream.write_all(&self.send[self.send_pos..]);
             self.send_pos = self.send.len();
         }
     }
 
-    /// Replaces the connection's future with a fixed response.
-    fn respond_simple(&mut self, status: u16, reason: &str, body: &str) {
+    /// Replaces the connection's future with a fixed response; `keep`
+    /// loops back to the next request after the flush.
+    fn respond_simple(&mut self, status: u16, reason: &str, body: &str, keep: bool) {
+        self.respond_simple_typed(status, reason, TEXT_PLAIN, body, keep);
+    }
+
+    fn respond_simple_typed(
+        &mut self,
+        status: u16,
+        reason: &str,
+        content_type: &str,
+        body: &str,
+        keep: bool,
+    ) {
         self.send.extend_from_slice(&http::simple_response(
             status,
             reason,
-            "text/plain; charset=utf-8",
+            content_type,
             body.as_bytes(),
+            keep,
         ));
-        self.state = ConnState::Flush;
+        self.state = ConnState::Flush { close: !keep };
     }
 
     fn read_some(&mut self, shared: &Arc<ServerShared>) -> ReadOutcome {

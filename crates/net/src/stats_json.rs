@@ -44,16 +44,19 @@ pub(crate) fn render(shared: &ServerShared) -> String {
     let _ = writeln!(
         out,
         "  \"server\": {{ \"workers\": {}, \"evaluators\": {}, \"threads\": {}, \
-         \"active_sessions\": {}, \"requests\": {}, \"sessions_completed\": {}, \
-         \"sessions_failed\": {}, \"bytes_in\": {}, \"bytes_out\": {}, \
+         \"active_sessions\": {}, \"connections\": {}, \"requests\": {}, \
+         \"sessions_completed\": {}, \"sessions_failed\": {}, \
+         \"sessions_output_capped\": {}, \"bytes_in\": {}, \"bytes_out\": {}, \
          \"tokens_read_total\": {}, \"peak_nodes_max\": {} }},",
         shared.workers,
         shared.evaluators,
         1 + shared.workers + shared.evaluators,
         sessions.len(),
+        c.connections.load(Ordering::Relaxed),
         c.requests.load(Ordering::Relaxed),
         c.sessions_completed.load(Ordering::Relaxed),
         c.sessions_failed.load(Ordering::Relaxed),
+        c.sessions_output_capped.load(Ordering::Relaxed),
         c.bytes_in.load(Ordering::Relaxed),
         c.bytes_out.load(Ordering::Relaxed),
         c.tokens_read_total.load(Ordering::Relaxed),
@@ -64,13 +67,16 @@ pub(crate) fn render(shared: &ServerShared) -> String {
         out,
         "  \"service\": {{ \"cache_hits\": {}, \"cache_misses\": {}, \
          \"cache_evictions\": {}, \"sessions_opened\": {}, \"cached_queries\": {}, \
-         \"registered_queries\": {} }},",
+         \"registered_queries\": {}, \"interner_rebuilds\": {}, \
+         \"master_interner_len\": {} }},",
         service_stats.cache_hits,
         service_stats.cache_misses,
         service_stats.cache_evictions,
         service_stats.sessions_opened,
         shared.service.cached_queries(),
         shared.queries.len(),
+        service_stats.interner_rebuilds,
+        shared.service.master_interner_len(),
     );
 
     match shared.service.budget() {

@@ -21,30 +21,51 @@
 use crate::path::{PAxis, Pred};
 use crate::role::Role;
 use crate::tree::{ProjNodeId, ProjTree};
-use gcx_xml::TagId;
+use gcx_xml::{FxBuildHasher, TagId};
 use std::collections::HashMap;
+use std::hash::{BuildHasher, Hash, Hasher};
+use std::ops::Range;
 
 /// A DFA state id.
 pub type StateId = u32;
 
+/// A `(start, end)` range into one of the DFA's shared arenas. States
+/// used to own three `Vec`s each; per-run DFA construction dominated the
+/// engine's residual allocation profile (Q13's "allocation pocket"), so
+/// state payloads now live in shared arenas and a state is three ranges.
+#[derive(Debug, Clone, Copy)]
+struct ArenaRange {
+    start: u32,
+    end: u32,
+}
+
+impl ArenaRange {
+    #[inline]
+    fn range(self) -> Range<usize> {
+        self.start as usize..self.end as usize
+    }
+}
+
 /// One DFA state: the canonical multisets plus precomputed verdicts.
 #[derive(Debug)]
 struct DfaState {
-    /// Matched projection nodes with their `via_self` flag, sorted.
-    matches: Vec<(ProjNodeId, bool)>,
-    /// Pending descendant-like edges (multiset, sorted).
-    pending: Vec<ProjNodeId>,
-    /// Roles assigned to a document node entering this state.
-    entry_roles: Vec<Role>,
+    /// Matched projection nodes with their `via_self` flag, sorted
+    /// (range into `matches_arena`).
+    matches: ArenaRange,
+    /// Pending descendant-like edges (multiset, sorted; range into
+    /// `pending_arena`).
+    pending: ArenaRange,
+    /// Roles assigned to a document node entering this state (range into
+    /// `roles_arena`).
+    entry_roles: ArenaRange,
     /// Condition (2): children of nodes in this state must be preserved.
     preserve_children: bool,
     /// Nothing below a node in this state can match.
     dead_below: bool,
-    /// Cached text verdict for text children of nodes in this state.
-    text: Option<(bool, Vec<Role>)>,
+    /// Cached text verdict for text children of nodes in this state
+    /// (buffer?, roles range into `roles_arena`).
+    text: Option<(bool, ArenaRange)>,
 }
-
-type StateKey = (Vec<(ProjNodeId, bool)>, Vec<ProjNodeId>);
 
 /// Sentinel for a transition that has not been constructed yet.
 const NO_STATE: StateId = StateId::MAX;
@@ -53,11 +74,29 @@ const NO_STATE: StateId = StateId::MAX;
 #[derive(Debug)]
 pub struct LazyDfa {
     states: Vec<DfaState>,
-    index: HashMap<StateKey, StateId>,
-    /// Dense transition tables: `trans[state][tag.index()]` is the target
-    /// state, [`NO_STATE`] when not yet built. Rows grow lazily to the
-    /// highest tag actually seen from that state.
-    trans: Vec<Vec<StateId>>,
+    /// Content hash → state id. Lookups hash the canonical multisets and
+    /// verify by content against the candidate — no key allocation. A
+    /// genuine 64-bit collision between *different* contents merely
+    /// loses the earlier entry's discoverability (a behaviorally
+    /// identical duplicate state would be built); correctness never
+    /// depends on the hash.
+    index: HashMap<u64, StateId, FxBuildHasher>,
+    /// Dense transition matrix: `trans[state * stride + tag.index()]` is
+    /// the target state, [`NO_STATE`] when not yet built. One flat
+    /// allocation growing amortized with states (and re-laid-out on the
+    /// rare stride growth) instead of one row `Vec` per state.
+    trans: Vec<StateId>,
+    /// Row width of `trans` (power of two > the highest tag index seen).
+    stride: usize,
+    /// Shared payload arenas (see [`DfaState`]).
+    matches_arena: Vec<(ProjNodeId, bool)>,
+    pending_arena: Vec<ProjNodeId>,
+    roles_arena: Vec<Role>,
+    /// Reused construction scratch: the candidate match/pending multisets
+    /// of the state being built. Only live inside
+    /// [`LazyDfa::transition`]/[`LazyDfa::text_outcome`].
+    scratch_matches: Vec<(ProjNodeId, bool)>,
+    scratch_pending: Vec<ProjNodeId>,
 }
 
 impl LazyDfa {
@@ -68,13 +107,27 @@ impl LazyDfa {
     /// (which already includes the root dos self-closure).
     pub fn new(tree: &ProjTree, root_matches: &[(ProjNodeId, bool)]) -> Self {
         debug_assert!(!tree.has_positional(), "DFA mode requires no predicates");
+        // Pre-sized for the common case (a handful of states over a
+        // double-digit tag vocabulary): lazy DFA construction used to be
+        // the engine's dominant residual allocation source per run.
         let mut dfa = LazyDfa {
-            states: Vec::new(),
-            index: HashMap::new(),
-            trans: Vec::new(),
+            states: Vec::with_capacity(16),
+            index: HashMap::with_capacity_and_hasher(16, FxBuildHasher::default()),
+            trans: Vec::with_capacity(16 * 64),
+            stride: 64,
+            matches_arena: Vec::with_capacity(64),
+            pending_arena: Vec::with_capacity(64),
+            roles_arena: Vec::with_capacity(32),
+            scratch_matches: Vec::with_capacity(16),
+            scratch_pending: Vec::with_capacity(16),
         };
-        let pending = collect_pending(tree, root_matches, Vec::new());
-        let id = dfa.intern_state(tree, root_matches.to_vec(), pending);
+        let mut matches = std::mem::take(&mut dfa.scratch_matches);
+        matches.extend_from_slice(root_matches);
+        let mut pending = std::mem::take(&mut dfa.scratch_pending);
+        collect_pending_into(tree, &matches, &mut pending);
+        let id = dfa.intern_scratch(tree, &mut matches, &mut pending);
+        dfa.scratch_matches = matches;
+        dfa.scratch_pending = pending;
         debug_assert_eq!(id, Self::INITIAL);
         dfa
     }
@@ -90,14 +143,23 @@ impl LazyDfa {
         self.states.is_empty()
     }
 
+    #[inline]
+    fn matches_of(&self, s: StateId) -> &[(ProjNodeId, bool)] {
+        &self.matches_arena[self.states[s as usize].matches.range()]
+    }
+
+    #[inline]
+    fn pending_of(&self, s: StateId) -> &[ProjNodeId] {
+        &self.pending_arena[self.states[s as usize].pending.range()]
+    }
+
     /// The paper's state mapping: the multiset of projection-tree nodes a
     /// state maps to, excluding `dos` self-closure entries (matching the
     /// presentation in Example 1). Returns a lazy iterator — no `Vec` is
     /// allocated; collect at the call site when a materialized multiset
     /// is needed.
     pub fn mapping(&self, s: StateId) -> impl Iterator<Item = ProjNodeId> + '_ {
-        self.states[s as usize]
-            .matches
+        self.matches_of(s)
             .iter()
             .filter(|&&(_, via_self)| !via_self)
             .map(|&(n, _)| n)
@@ -105,17 +167,17 @@ impl LazyDfa {
 
     /// The full match multiset including self-closure entries.
     pub fn full_matches(&self, s: StateId) -> &[(ProjNodeId, bool)] {
-        &self.states[s as usize].matches
+        self.matches_of(s)
     }
 
     /// Roles assigned on entering `s`.
     pub fn entry_roles(&self, s: StateId) -> &[Role] {
-        &self.states[s as usize].entry_roles
+        &self.roles_arena[self.states[s as usize].entry_roles.range()]
     }
 
     /// True when `s` maps to at least one projection node.
     pub fn has_matches(&self, s: StateId) -> bool {
-        !self.states[s as usize].matches.is_empty()
+        !self.matches_of(s).is_empty()
     }
 
     /// Condition (2) verdict for children of nodes in `s`.
@@ -130,16 +192,18 @@ impl LazyDfa {
 
     /// Takes the transition `(from, tag)`, constructing the target state on
     /// first use. Memoized transitions are one array load in the dense
-    /// per-state row.
+    /// per-state row; construction itself reuses the DFA's scratch
+    /// buffers and allocates only for genuinely new states.
     pub fn transition(&mut self, tree: &ProjTree, from: StateId, tag: TagId) -> StateId {
-        if let Some(&to) = self.trans[from as usize].get(tag.index()) {
+        if tag.index() < self.stride {
+            let to = self.trans[from as usize * self.stride + tag.index()];
             if to != NO_STATE {
                 return to;
             }
         }
-        let state = &self.states[from as usize];
-        let mut new: Vec<(ProjNodeId, bool)> = Vec::new();
-        for &(m, _) in &state.matches {
+        let mut new = std::mem::take(&mut self.scratch_matches);
+        new.clear();
+        for &(m, _) in self.matches_of(from) {
             for &c in tree.children(m) {
                 let s = tree.step(c);
                 if s.axis == PAxis::Child && s.test.matches_element(tag) {
@@ -147,7 +211,7 @@ impl LazyDfa {
                 }
             }
         }
-        for &p in &state.pending {
+        for &p in self.pending_of(from) {
             if tree.step(p).test.matches_element(tag) {
                 new.push((p, false));
             }
@@ -165,14 +229,33 @@ impl LazyDfa {
             }
             i += 1;
         }
-        let pending = collect_pending(tree, &new, state.pending.clone());
-        let to = self.intern_state(tree, new, pending);
-        let row = &mut self.trans[from as usize];
-        if row.len() <= tag.index() {
-            row.resize(tag.index() + 1, NO_STATE);
+        let mut pending = std::mem::take(&mut self.scratch_pending);
+        pending.clear();
+        pending.extend_from_slice(self.pending_of(from)); // inherited
+        collect_pending_into(tree, &new, &mut pending);
+        let to = self.intern_scratch(tree, &mut new, &mut pending);
+        self.scratch_matches = new;
+        self.scratch_pending = pending;
+        if tag.index() >= self.stride {
+            self.grow_stride(tag.index() + 1);
         }
-        row[tag.index()] = to;
+        self.trans[from as usize * self.stride + tag.index()] = to;
         to
+    }
+
+    /// Widens the transition matrix to cover tag indices up to at least
+    /// `need`, re-laying the rows out at the new stride. Rare: strides
+    /// are powers of two, so a run over a `t`-tag vocabulary re-lays out
+    /// at most `log2(t) - 5` times.
+    fn grow_stride(&mut self, need: usize) {
+        let new_stride = need.next_power_of_two().max(self.stride * 2);
+        let mut new_trans = vec![NO_STATE; self.states.len() * new_stride];
+        for s in 0..self.states.len() {
+            new_trans[s * new_stride..s * new_stride + self.stride]
+                .copy_from_slice(&self.trans[s * self.stride..(s + 1) * self.stride]);
+        }
+        self.trans = new_trans;
+        self.stride = new_stride;
     }
 
     /// The verdict for a text child of a node in state `s`: whether to
@@ -181,9 +264,9 @@ impl LazyDfa {
     /// of the same document shape cost no allocation.
     pub fn text_outcome(&mut self, tree: &ProjTree, s: StateId) -> (bool, &[Role]) {
         if self.states[s as usize].text.is_none() {
-            let state = &self.states[s as usize];
-            let mut new: Vec<(ProjNodeId, bool)> = Vec::new();
-            for &(m, _) in &state.matches {
+            let mut new = std::mem::take(&mut self.scratch_matches);
+            new.clear();
+            for &(m, _) in self.matches_of(s) {
                 for &c in tree.children(m) {
                     let st = tree.step(c);
                     if st.axis == PAxis::Child && st.test.matches_text() {
@@ -191,7 +274,7 @@ impl LazyDfa {
                     }
                 }
             }
-            for &p in &state.pending {
+            for &p in self.pending_of(s) {
                 if tree.step(p).test.matches_text() {
                     new.push((p, false));
                 }
@@ -207,71 +290,105 @@ impl LazyDfa {
                 }
                 i += 1;
             }
-            let result = (!new.is_empty(), entry_roles(tree, &new));
-            self.states[s as usize].text = Some(result);
+            let start = self.roles_arena.len() as u32;
+            entry_roles_into(tree, &new, &mut self.roles_arena);
+            let range = ArenaRange {
+                start,
+                end: self.roles_arena.len() as u32,
+            };
+            self.states[s as usize].text = Some((!new.is_empty(), range));
+            self.scratch_matches = new;
         }
-        let cached = self.states[s as usize]
-            .text
-            .as_ref()
-            .expect("just computed");
-        (cached.0, &cached.1)
+        let cached = self.states[s as usize].text.expect("just computed");
+        (cached.0, &self.roles_arena[cached.1.range()])
     }
 
-    /// Canonicalizes and interns a state.
-    fn intern_state(
+    /// Content hash of a canonical (matches, pending) pair.
+    fn content_hash(&self, matches: &[(ProjNodeId, bool)], pending: &[ProjNodeId]) -> u64 {
+        let mut h = self.index.hasher().build_hasher();
+        matches.hash(&mut h);
+        pending.hash(&mut h);
+        h.finish()
+    }
+
+    /// Canonicalizes (sorts) the scratch multisets and interns the state
+    /// they describe: an existing state is found by content hash plus
+    /// verification (no allocation); a new state copies the scratch into
+    /// the shared arenas.
+    fn intern_scratch(
         &mut self,
         tree: &ProjTree,
-        mut matches: Vec<(ProjNodeId, bool)>,
-        mut pending: Vec<ProjNodeId>,
+        matches: &mut Vec<(ProjNodeId, bool)>,
+        pending: &mut Vec<ProjNodeId>,
     ) -> StateId {
         matches.sort_unstable();
         pending.sort_unstable();
-        let key = (matches.clone(), pending.clone());
-        if let Some(&id) = self.index.get(&key) {
-            return id;
+        let hash = self.content_hash(matches, pending);
+        if let Some(&id) = self.index.get(&hash) {
+            if self.matches_of(id) == matches.as_slice()
+                && self.pending_of(id) == pending.as_slice()
+            {
+                return id;
+            }
+            // A 64-bit content collision: fall through and build a
+            // duplicate state (behaviorally identical; see `index` docs).
         }
-        let entry_roles = entry_roles(tree, &matches);
-        let preserve_children = preserve_condition(tree, &matches, &pending);
+        let m_start = self.matches_arena.len() as u32;
+        self.matches_arena.extend_from_slice(matches);
+        let p_start = self.pending_arena.len() as u32;
+        self.pending_arena.extend_from_slice(pending);
+        let r_start = self.roles_arena.len() as u32;
+        entry_roles_into(tree, matches, &mut self.roles_arena);
+        let preserve_children = preserve_condition(tree, matches, pending);
         let dead_below = pending.is_empty()
             && !preserve_children
             && matches.iter().all(|&(m, _)| tree.children(m).is_empty());
         let id = self.states.len() as StateId;
         debug_assert!(id != NO_STATE, "state space exhausted");
         self.states.push(DfaState {
-            matches,
-            pending,
-            entry_roles,
+            matches: ArenaRange {
+                start: m_start,
+                end: self.matches_arena.len() as u32,
+            },
+            pending: ArenaRange {
+                start: p_start,
+                end: self.pending_arena.len() as u32,
+            },
+            entry_roles: ArenaRange {
+                start: r_start,
+                end: self.roles_arena.len() as u32,
+            },
             preserve_children,
             dead_below,
             text: None,
         });
-        self.trans.push(Vec::new());
-        self.index.insert(key, id);
+        // One fresh (unbuilt) row in the transition matrix.
+        self.trans.resize(self.states.len() * self.stride, NO_STATE);
+        self.index.insert(hash, id);
         id
     }
 }
 
-/// Pending edges of a new state: the inherited multiset plus the
-/// descendant-like child edges of the fresh matches.
-fn collect_pending(
+/// Appends the descendant-like child edges of `matches` to `pending`
+/// (the caller seeds `pending` with the inherited multiset).
+fn collect_pending_into(
     tree: &ProjTree,
     matches: &[(ProjNodeId, bool)],
-    mut inherited: Vec<ProjNodeId>,
-) -> Vec<ProjNodeId> {
+    pending: &mut Vec<ProjNodeId>,
+) {
     for &(m, _) in matches {
         for &c in tree.children(m) {
             if tree.step(c).axis.is_descendant_like() {
-                inherited.push(c);
+                pending.push(c);
             }
         }
     }
-    inherited
 }
 
 /// Role instances assigned when entering a state with these matches;
-/// aggregate roles only on self matches (paper §6).
-fn entry_roles(tree: &ProjTree, matches: &[(ProjNodeId, bool)]) -> Vec<Role> {
-    let mut roles = Vec::new();
+/// aggregate roles only on self matches (paper §6). Appended to the
+/// caller's buffer (the DFA's shared role arena).
+fn entry_roles_into(tree: &ProjTree, matches: &[(ProjNodeId, bool)], roles: &mut Vec<Role>) {
     for &(m, via_self) in matches {
         let n = tree.node(m);
         if let Some(r) = n.role {
@@ -280,7 +397,6 @@ fn entry_roles(tree: &ProjTree, matches: &[(ProjNodeId, bool)]) -> Vec<Role> {
             }
         }
     }
-    roles
 }
 
 /// Condition (2), same logic as the NFA path (see `matcher`).

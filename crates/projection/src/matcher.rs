@@ -107,7 +107,7 @@ struct Frame {
 }
 
 enum Mode {
-    Dfa { dfa: LazyDfa, stack: Vec<u32> },
+    Dfa { dfa: Box<LazyDfa>, stack: Vec<u32> },
     Nfa { frames: Vec<Frame> },
 }
 
@@ -247,7 +247,7 @@ impl<'t> StreamMatcher<'t> {
         } else {
             let tuples: Vec<(ProjNodeId, bool)> =
                 root_matches.iter().map(|m| (m.node, m.via_self)).collect();
-            let dfa = LazyDfa::new(tree, &tuples);
+            let dfa = Box::new(LazyDfa::new(tree, &tuples));
             let stack = vec![LazyDfa::INITIAL];
             Mode::Dfa { dfa, stack }
         };

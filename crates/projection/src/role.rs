@@ -27,15 +27,41 @@ impl fmt::Display for Role {
     }
 }
 
+/// Inline capacity of a [`RoleSet`]: distinct roles beyond this spill to
+/// a heap vector. Two covers the overwhelming majority of buffered nodes
+/// (a variable role plus a dos/aggregate role), making role bookkeeping
+/// heap-free on the hot path.
+const ROLESET_INLINE: usize = 2;
+
+/// Sentinel for `inline_len` marking a spilled set (entries live in the
+/// heap vector instead of the inline array).
+const SPILLED: u8 = u8::MAX;
+
 /// A multiset of roles, optimized for the common cases of zero, one or two
 /// instances.
 ///
-/// Stored as a sorted small vector of `(role, multiplicity)` pairs; the
-/// paper notes that "the memory overhead is small" is a key advantage of
-/// reference-counting-style schemes, so the representation matters.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// Stored as a sorted sequence of `(role, multiplicity)` pairs — inline
+/// (no heap) up to [`ROLESET_INLINE`] distinct roles, spilled wholesale
+/// to a `Vec` beyond that. The paper notes that "the memory overhead is
+/// small" is a key advantage of reference-counting-style schemes, so the
+/// representation matters: most buffered nodes never touch the allocator
+/// for their roles at all.
+#[derive(Clone)]
 pub struct RoleSet {
-    entries: Vec<(Role, u32)>,
+    inline: [(Role, u32); ROLESET_INLINE],
+    /// `0..=ROLESET_INLINE` when inline; [`SPILLED`] when in `spill`.
+    inline_len: u8,
+    spill: Vec<(Role, u32)>,
+}
+
+impl Default for RoleSet {
+    fn default() -> Self {
+        RoleSet {
+            inline: [(Role(0), 0); ROLESET_INLINE],
+            inline_len: 0,
+            spill: Vec::new(),
+        }
+    }
 }
 
 impl RoleSet {
@@ -44,25 +70,35 @@ impl RoleSet {
         Self::default()
     }
 
+    /// The sorted entries, wherever they live.
+    #[inline]
+    fn entries(&self) -> &[(Role, u32)] {
+        if self.inline_len == SPILLED {
+            &self.spill
+        } else {
+            &self.inline[..self.inline_len as usize]
+        }
+    }
+
     /// True when every multiplicity is zero.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.entries().is_empty()
     }
 
     /// Total number of role *instances* (sum of multiplicities).
     pub fn total(&self) -> u32 {
-        self.entries.iter().map(|&(_, c)| c).sum()
+        self.entries().iter().map(|&(_, c)| c).sum()
     }
 
     /// Number of distinct roles present.
     pub fn distinct(&self) -> usize {
-        self.entries.len()
+        self.entries().len()
     }
 
     /// Multiplicity of `role` in this set.
     pub fn count(&self, role: Role) -> u32 {
-        match self.entries.binary_search_by_key(&role, |&(r, _)| r) {
-            Ok(i) => self.entries[i].1,
+        match self.entries().binary_search_by_key(&role, |&(r, _)| r) {
+            Ok(i) => self.entries()[i].1,
             Err(_) => 0,
         }
     }
@@ -77,16 +113,50 @@ impl RoleSet {
         if n == 0 {
             return;
         }
-        match self.entries.binary_search_by_key(&role, |&(r, _)| r) {
-            Ok(i) => self.entries[i].1 += n,
-            Err(i) => self.entries.insert(i, (role, n)),
+        match self.entries().binary_search_by_key(&role, |&(r, _)| r) {
+            Ok(i) => {
+                if self.inline_len == SPILLED {
+                    self.spill[i].1 += n;
+                } else {
+                    self.inline[i].1 += n;
+                }
+            }
+            Err(i) => self.insert_at(i, (role, n)),
         }
     }
 
-    /// Removes every entry, keeping the allocation for reuse (buffer
-    /// node slots recycle their role-sets on the hot path).
+    fn insert_at(&mut self, i: usize, entry: (Role, u32)) {
+        if self.inline_len == SPILLED {
+            self.spill.insert(i, entry);
+            return;
+        }
+        let len = self.inline_len as usize;
+        if len < ROLESET_INLINE {
+            // Shift the tail right within the array.
+            let mut j = len;
+            while j > i {
+                self.inline[j] = self.inline[j - 1];
+                j -= 1;
+            }
+            self.inline[i] = entry;
+            self.inline_len += 1;
+            return;
+        }
+        // Inline full: spill everything (the cleared spill vector keeps
+        // its capacity across slot recycling, so steady-state churn of
+        // role-heavy nodes re-spills without allocating).
+        self.spill.clear();
+        self.spill.reserve(ROLESET_INLINE + 1);
+        self.spill.extend_from_slice(&self.inline[..len]);
+        self.spill.insert(i, entry);
+        self.inline_len = SPILLED;
+    }
+
+    /// Removes every entry, keeping any spill allocation for reuse
+    /// (buffer node slots recycle their role-sets on the hot path).
     pub fn clear(&mut self) {
-        self.entries.clear();
+        self.spill.clear();
+        self.inline_len = 0;
     }
 
     /// `remρ(r, n)` from the paper: decrements the multiplicity of `role`.
@@ -101,14 +171,29 @@ impl RoleSet {
 
     /// Removes up to `n` instances; returns how many were actually removed.
     pub fn remove_n(&mut self, role: Role, n: u32) -> u32 {
-        match self.entries.binary_search_by_key(&role, |&(r, _)| r) {
+        match self.entries().binary_search_by_key(&role, |&(r, _)| r) {
             Ok(i) => {
-                let have = self.entries[i].1;
+                let spilled = self.inline_len == SPILLED;
+                let slot = if spilled {
+                    &mut self.spill[i]
+                } else {
+                    &mut self.inline[i]
+                };
+                let have = slot.1;
                 let removed = have.min(n);
                 if removed == have {
-                    self.entries.remove(i);
+                    if spilled {
+                        self.spill.remove(i);
+                    } else {
+                        // Shift the tail left within the array.
+                        let len = self.inline_len as usize;
+                        for j in i..len - 1 {
+                            self.inline[j] = self.inline[j + 1];
+                        }
+                        self.inline_len -= 1;
+                    }
                 } else {
-                    self.entries[i].1 -= removed;
+                    slot.1 -= removed;
                 }
                 removed
             }
@@ -118,14 +203,31 @@ impl RoleSet {
 
     /// Iterates `(role, multiplicity)` pairs in role order.
     pub fn iter(&self) -> impl Iterator<Item = (Role, u32)> + '_ {
-        self.entries.iter().copied()
+        self.entries().iter().copied()
     }
 
-    /// Approximate heap footprint in bytes.
+    /// Approximate *heap* footprint in bytes (the inline storage is part
+    /// of the containing struct and charged there).
     pub fn approx_bytes(&self) -> usize {
-        self.entries.capacity() * std::mem::size_of::<(Role, u32)>()
+        self.spill.capacity() * std::mem::size_of::<(Role, u32)>()
     }
 }
+
+impl fmt::Debug for RoleSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.entries()).finish()
+    }
+}
+
+impl PartialEq for RoleSet {
+    fn eq(&self, other: &Self) -> bool {
+        // Compare logical content: stale inline slots and spill state
+        // must not matter.
+        self.entries() == other.entries()
+    }
+}
+
+impl Eq for RoleSet {}
 
 impl fmt::Display for RoleSet {
     /// Renders like the paper's figures: `{r2,r3,r3}`.
@@ -263,5 +365,51 @@ mod tests {
         let mut s = RoleSet::new();
         s.add_n(Role(0), 0);
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn spill_and_unspill_roundtrip() {
+        // More distinct roles than the inline capacity: spill, stay
+        // sorted, survive removals and a clear/reuse cycle.
+        let mut s = RoleSet::new();
+        for r in [5u32, 1, 9, 3, 7] {
+            s.add(Role(r));
+        }
+        assert_eq!(s.distinct(), 5);
+        assert_eq!(
+            s.iter().map(|(r, _)| r.0).collect::<Vec<_>>(),
+            vec![1, 3, 5, 7, 9],
+            "sorted across the spill boundary"
+        );
+        for r in [1u32, 3, 5, 7, 9] {
+            assert!(s.remove(Role(r)));
+        }
+        assert!(s.is_empty());
+        assert_eq!(s, RoleSet::new(), "empty spilled set equals fresh set");
+        // Recycled: clear + refill goes inline again, then re-spills
+        // without growing past the kept capacity.
+        s.clear();
+        let cap = s.approx_bytes();
+        for r in 0..5u32 {
+            s.add(Role(r));
+        }
+        assert_eq!(s.distinct(), 5);
+        assert!(s.approx_bytes() >= cap);
+    }
+
+    #[test]
+    fn inline_sets_are_heap_free() {
+        let mut s = RoleSet::new();
+        s.add(Role(4));
+        s.add_n(Role(2), 3);
+        assert_eq!(s.approx_bytes(), 0, "two distinct roles stay inline");
+        assert_eq!(s.count(Role(2)), 3);
+        assert_eq!(s.total(), 4);
+        s.add(Role(6)); // third distinct role spills
+        assert!(s.approx_bytes() > 0);
+        assert_eq!(
+            s.iter().map(|(r, c)| (r.0, c)).collect::<Vec<_>>(),
+            vec![(2, 3), (4, 1), (6, 1)]
+        );
     }
 }

@@ -33,6 +33,12 @@ pub use session::{ProgressWaker, SessionConfig, SessionOutcome, StreamSession, T
 use gcx_query::CompileError;
 use std::fmt;
 
+/// Marker substring of the session error produced when a session's
+/// undrained output exceeds its hard cap ([`SessionConfig::output_max_bytes`]).
+/// Session errors travel as strings (they cross the evaluator thread via
+/// `io::Error`), so drivers attribute cap failures by matching this.
+pub const OUTPUT_CAP_ERROR: &str = "session output hard cap exceeded";
+
 /// Everything the service layer can fail with.
 #[derive(Debug)]
 pub enum ServiceError {

@@ -38,6 +38,13 @@ pub struct ServiceConfig {
     pub engine: EngineOptions,
     /// Maximum sessions evaluated concurrently by [`QueryService::run_batch`].
     pub max_concurrency: usize,
+    /// Dead-tag ratio (estimated tags stranded by evicted cache entries
+    /// over the master interner's size) past which the master interner
+    /// is rebuilt from the live cached queries. Long-lived servers with
+    /// churning query sets otherwise leak the symbol table ("interners
+    /// only ever append"). `1.0` (or above) disables rebuilds. Default
+    /// 0.5.
+    pub interner_rebuild_dead_ratio: f64,
 }
 
 impl Default for ServiceConfig {
@@ -49,6 +56,7 @@ impl Default for ServiceConfig {
             input_queue_bytes: 256 * 1024,
             engine: EngineOptions::default(),
             max_concurrency: 8,
+            interner_rebuild_dead_ratio: 0.5,
         }
     }
 }
@@ -64,6 +72,9 @@ pub struct ServiceStats {
     pub cache_evictions: u64,
     /// Sessions opened over the service's lifetime.
     pub sessions_opened: u64,
+    /// Times the master interner was rebuilt from the live cached
+    /// queries to reclaim tags stranded by evicted entries.
+    pub interner_rebuilds: u64,
     /// Bytes currently held against the memory budget (0 when unbudgeted).
     pub budget_used: usize,
 }
@@ -71,11 +82,19 @@ pub struct ServiceStats {
 struct CacheEntry {
     compiled: Arc<CompiledQuery>,
     last_used: u64,
+    /// Tags this entry's compilation added to the master interner — the
+    /// upper bound on what eviction strands (another live query may
+    /// still reference some of them; the rebuild computes the truth).
+    tags_added: usize,
 }
 
 struct Inner {
     /// Master interner: every cached query's tag ids live here.
     tags: TagInterner,
+    /// Bumped on every epoch rebuild: compilations racing a rebuild must
+    /// not adopt their (pre-rebuild) extended snapshot even when the
+    /// lengths happen to match.
+    epoch: u64,
     /// Lazily built immutable snapshot of `tags`, shared (`Arc`) by every
     /// session opened until the master grows again. Invalidated whenever
     /// `tags` mutates, so `open_session` is O(1) in the steady state
@@ -87,6 +106,9 @@ struct Inner {
     /// concurrent requests for the same key wait on `compile_done`
     /// instead of compiling redundantly.
     in_flight: HashSet<String>,
+    /// Upper bound on master-interner tags stranded by evictions since
+    /// the last rebuild (sum of evicted entries' `tags_added`).
+    dead_tag_estimate: usize,
     /// Logical clock for LRU ordering.
     tick: u64,
 }
@@ -102,6 +124,7 @@ pub struct QueryService {
     misses: AtomicU64,
     evictions: AtomicU64,
     sessions: AtomicU64,
+    rebuilds: AtomicU64,
 }
 
 impl QueryService {
@@ -113,9 +136,11 @@ impl QueryService {
         QueryService {
             inner: Mutex::new(Inner {
                 tags: TagInterner::new(),
+                epoch: 0,
                 tags_snapshot: None,
                 cache: HashMap::new(),
                 in_flight: HashSet::new(),
+                dead_tag_estimate: 0,
                 tick: 0,
             }),
             compile_done: Condvar::new(),
@@ -125,6 +150,7 @@ impl QueryService {
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             sessions: AtomicU64::new(0),
+            rebuilds: AtomicU64::new(0),
         }
     }
 
@@ -145,6 +171,30 @@ impl QueryService {
     /// race recompiles under the lock — rare, and no worse than the old
     /// always-locked behaviour).
     pub fn get_or_compile(&self, query: &str) -> Result<Arc<CompiledQuery>, ServiceError> {
+        self.get_or_compile_paired(query)
+            .map(|(compiled, _)| compiled)
+    }
+
+    /// Installs (if needed) and returns the immutable snapshot of the
+    /// master interner, under the caller's lock hold.
+    fn snapshot_locked(inner: &mut Inner) -> Arc<TagInterner> {
+        if inner.tags_snapshot.is_none() {
+            inner.tags_snapshot = Some(Arc::new(inner.tags.clone()));
+        }
+        inner.tags_snapshot.clone().expect("just installed")
+    }
+
+    /// As [`get_or_compile`](Self::get_or_compile), additionally
+    /// returning the master-interner snapshot fetched **under the same
+    /// lock hold** that produced the compiled query. Sessions must pair
+    /// the two from here: fetching the snapshot in a separate lock
+    /// acquisition races an epoch rebuild, which would hand out a
+    /// compiled query from the old id space with a snapshot from the
+    /// new one — silently wrong matches.
+    fn get_or_compile_paired(
+        &self,
+        query: &str,
+    ) -> Result<(Arc<CompiledQuery>, Arc<TagInterner>), ServiceError> {
         let key = normalize_query(query);
         let mut inner = self.inner.lock().expect("service lock");
         loop {
@@ -153,9 +203,10 @@ impl QueryService {
             if let Some(entry) = inner.cache.get_mut(&key) {
                 entry.last_used = tick;
                 let compiled = entry.compiled.clone();
+                let snapshot = Self::snapshot_locked(&mut inner);
                 drop(inner);
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(compiled);
+                return Ok((compiled, snapshot));
             }
             if !inner.in_flight.contains(&key) {
                 break;
@@ -171,6 +222,7 @@ impl QueryService {
         inner.in_flight.insert(key.clone());
         let mut snapshot = inner.tags.clone();
         let base_len = snapshot.len();
+        let base_epoch = inner.epoch;
         drop(inner);
 
         // --- compile outside the lock ---
@@ -179,41 +231,44 @@ impl QueryService {
         let mut inner = self.inner.lock().expect("service lock");
         inner.in_flight.remove(&key);
         self.compile_done.notify_all();
-        let compiled = match result {
+        let (compiled, tags_added) = match result {
             Err(e) => return Err(ServiceError::Compile(e)),
             Ok(compiled) => {
-                if inner.tags.len() == base_len {
-                    // Nobody interned concurrently: adopt the extended
+                if inner.tags.len() == base_len && inner.epoch == base_epoch {
+                    // Nobody interned concurrently (and no epoch rebuild
+                    // replaced the ids under us): adopt the extended
                     // snapshot — its ids are a strict superset of the
                     // master's.
                     if inner.tags.len() != snapshot.len() {
                         inner.tags_snapshot = None;
                     }
+                    let added = snapshot.len() - base_len;
                     inner.tags = snapshot;
-                    Arc::new(compiled)
+                    (Arc::new(compiled), added)
                 } else {
                     // The master interner advanced while we compiled (a
                     // concurrent compile of a different query landed
-                    // first); the snapshot's new ids may clash. Recompile
-                    // against the master under the lock for id
-                    // consistency.
+                    // first, or a rebuild reassigned ids); the snapshot's
+                    // new ids may clash. Recompile against the master
+                    // under the lock for id consistency.
                     let before = inner.tags.len();
                     let recompiled = compile(query, &mut inner.tags, self.config.compile)
                         .map_err(ServiceError::Compile)?;
                     if inner.tags.len() != before {
                         inner.tags_snapshot = None;
                     }
-                    Arc::new(recompiled)
+                    (Arc::new(recompiled), inner.tags.len() - before)
                 }
             }
         };
         inner.tick += 1;
         let tick = inner.tick;
         inner.cache.insert(
-            key,
+            key.clone(),
             CacheEntry {
                 compiled: compiled.clone(),
                 last_used: tick,
+                tags_added,
             },
         );
         while inner.cache.len() > self.config.cache_capacity.max(1) {
@@ -223,12 +278,75 @@ impl QueryService {
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(k, _)| k.clone())
                 .expect("nonempty cache");
-            inner.cache.remove(&victim);
+            if let Some(evicted) = inner.cache.remove(&victim) {
+                inner.dead_tag_estimate += evicted.tags_added;
+            }
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
+        self.maybe_rebuild_interner(&mut inner);
+        // A rebuild triggered by this very insertion replaced the cached
+        // entry with a recompiled (new-id-space) version; return that
+        // one so it pairs with the snapshot below.
+        let compiled = inner
+            .cache
+            .get(&key)
+            .map_or(compiled, |e| e.compiled.clone());
+        let snapshot = Self::snapshot_locked(&mut inner);
         drop(inner);
         self.misses.fetch_add(1, Ordering::Relaxed);
-        Ok(compiled)
+        Ok((compiled, snapshot))
+    }
+
+    /// Epoch-based master-interner reclamation: when the tags stranded by
+    /// evicted cache entries (an upper-bound estimate) cross the
+    /// configured ratio of the master's size, rebuild the master by
+    /// recompiling every *live* cached query into a fresh interner.
+    ///
+    /// Runs under the service lock — a rebuild is `O(live queries)`
+    /// compilations, rare by construction (it needs `ratio × master`
+    /// evicted tags to arm again). Sessions already open keep their old
+    /// `Arc` snapshot and compiled query (both reference the old id
+    /// space consistently); new sessions see the rebuilt master via a
+    /// fresh snapshot. In-flight compilations racing the rebuild detect
+    /// the epoch bump and recompile against the new master.
+    fn maybe_rebuild_interner(&self, inner: &mut Inner) {
+        let ratio = self.config.interner_rebuild_dead_ratio;
+        if ratio >= 1.0 || inner.dead_tag_estimate == 0 {
+            return;
+        }
+        let master = inner.tags.len();
+        if master == 0 || (inner.dead_tag_estimate as f64) < ratio * master as f64 {
+            return;
+        }
+        let mut fresh = TagInterner::new();
+        let mut rebuilt: Vec<(String, CacheEntry)> = Vec::with_capacity(inner.cache.len());
+        for (key, entry) in &inner.cache {
+            let before = fresh.len();
+            // The normalized key is itself the (whitespace-collapsed)
+            // query text; recompiling from it reproduces the entry.
+            match compile(key, &mut fresh, self.config.compile) {
+                Ok(compiled) => rebuilt.push((
+                    key.clone(),
+                    CacheEntry {
+                        compiled: Arc::new(compiled),
+                        last_used: entry.last_used,
+                        tags_added: fresh.len() - before,
+                    },
+                )),
+                Err(_) => {
+                    // A query that compiled once must compile again; if
+                    // not (pathological), keep the old master — leaking
+                    // is safer than dropping a live entry.
+                    return;
+                }
+            }
+        }
+        inner.tags = fresh;
+        inner.cache = rebuilt.into_iter().collect();
+        inner.tags_snapshot = None;
+        inner.dead_tag_estimate = 0;
+        inner.epoch += 1;
+        self.rebuilds.fetch_add(1, Ordering::Relaxed);
     }
 
     /// An immutable `Arc` snapshot of the master interner, rebuilt only
@@ -237,10 +355,7 @@ impl QueryService {
     /// instead of cloning the whole symbol table.
     pub fn tags_snapshot(&self) -> Arc<TagInterner> {
         let mut inner = self.inner.lock().expect("service lock");
-        if inner.tags_snapshot.is_none() {
-            inner.tags_snapshot = Some(Arc::new(inner.tags.clone()));
-        }
-        inner.tags_snapshot.clone().expect("just installed")
+        Self::snapshot_locked(&mut inner)
     }
 
     /// Opens a push-based session evaluating `query` (compiled or cached)
@@ -259,8 +374,10 @@ impl QueryService {
         query: &str,
         customize: impl FnOnce(&mut SessionConfig),
     ) -> Result<StreamSession, ServiceError> {
-        let compiled = self.get_or_compile(query)?;
-        let tags = TagInterner::overlay(self.tags_snapshot());
+        // Compiled query and interner snapshot must come from one lock
+        // hold — an epoch rebuild between the two would mix id spaces.
+        let (compiled, snapshot) = self.get_or_compile_paired(query)?;
+        let tags = TagInterner::overlay(snapshot);
         self.sessions.fetch_add(1, Ordering::Relaxed);
         let mut config = SessionConfig {
             input_queue_bytes: self.config.input_queue_bytes,
@@ -342,6 +459,7 @@ impl QueryService {
             cache_misses: self.misses.load(Ordering::Relaxed),
             cache_evictions: self.evictions.load(Ordering::Relaxed),
             sessions_opened: self.sessions.load(Ordering::Relaxed),
+            interner_rebuilds: self.rebuilds.load(Ordering::Relaxed),
             budget_used: self.budget.as_ref().map_or(0, |b| b.used()),
         }
     }
@@ -560,6 +678,139 @@ mod tests {
         let snap3 = service.tags_snapshot();
         assert!(!Arc::ptr_eq(&snap2, &snap3), "snapshot refreshed on growth");
         assert!(snap3.get("warehouse").is_some());
+    }
+
+    #[test]
+    fn interner_rebuild_reclaims_dead_tags_after_eviction_churn() {
+        // A tiny cache churned with single-use queries over disjoint tag
+        // vocabularies: without reclamation the master interner grows
+        // with every query ever compiled; with epoch rebuilds it tracks
+        // the *live* queries.
+        let service = QueryService::new(ServiceConfig {
+            cache_capacity: 2,
+            ..Default::default()
+        });
+        let q = |tag: &str| format!("<r>{{ for $x in /{tag}/sub{tag} return $x }}</r>");
+        let mut peak = 0usize;
+        for i in 0..40 {
+            service
+                .get_or_compile(&q(&format!("uniquetag{i}")))
+                .unwrap();
+            peak = peak.max(service.master_interner_len());
+        }
+        let final_len = service.master_interner_len();
+        assert!(
+            service.stats().interner_rebuilds > 0,
+            "eviction churn must trigger rebuilds"
+        );
+        assert!(
+            final_len < peak,
+            "master interner shrank after churn: peak {peak}, now {final_len}"
+        );
+        // The live set is 2 queries × (r + 2 tags each, r shared):
+        // bounded by a small constant, not by the 40 queries compiled.
+        assert!(
+            final_len <= 3 * 2 + 1,
+            "master tracks live queries only, got {final_len}"
+        );
+        // Cached queries still evaluate correctly after the rebuild
+        // (their ids are consistent with the rebuilt master).
+        let tag = "uniquetag39";
+        let mut session = service.open_session(&q(tag)).unwrap();
+        let doc = format!("<{tag}><sub{tag}>v</sub{tag}></{tag}>");
+        let mut out = session.feed(doc.as_bytes()).unwrap();
+        out.extend_from_slice(&session.finish().unwrap().output);
+        assert_eq!(
+            String::from_utf8(out).unwrap(),
+            format!("<r><sub{tag}>v</sub{tag}></r>")
+        );
+    }
+
+    #[test]
+    fn sessions_spanning_a_rebuild_keep_their_snapshot() {
+        let service = QueryService::new(ServiceConfig {
+            cache_capacity: 1,
+            ..Default::default()
+        });
+        // Open a session, then churn the cache until a rebuild happens
+        // while the session is still streaming.
+        let mut session = service.open_session(QUERY).unwrap();
+        let mut out = session.feed(b"<bib><book><title>A</title></book>").unwrap();
+        let rebuilds_before = service.stats().interner_rebuilds;
+        for i in 0..20 {
+            let q = format!("<r>{{ for $x in /churn{i}/x{i} return $x }}</r>");
+            service.get_or_compile(&q).unwrap();
+        }
+        assert!(
+            service.stats().interner_rebuilds > rebuilds_before,
+            "churn must have rebuilt the master mid-session"
+        );
+        out.extend_from_slice(
+            &session
+                .feed(b"<book><title>B</title></book></bib>")
+                .unwrap(),
+        );
+        out.extend_from_slice(&session.finish().unwrap().output);
+        assert_eq!(
+            String::from_utf8(out).unwrap(),
+            "<r><title>A</title><title>B</title></r>",
+            "old snapshot + old compiled query stay mutually consistent"
+        );
+    }
+
+    #[test]
+    fn sessions_opened_during_rebuild_churn_stay_consistent() {
+        // Regression: open_session used to fetch the compiled query and
+        // the interner snapshot under two separate lock acquisitions; a
+        // rebuild in between paired old-id queries with new-id
+        // snapshots. Hammer session opens against rebuild churn and
+        // check every result.
+        let service = Arc::new(QueryService::new(ServiceConfig {
+            cache_capacity: 2,
+            ..Default::default()
+        }));
+        let churner = {
+            let service = service.clone();
+            std::thread::spawn(move || {
+                for i in 0..60 {
+                    let q = format!("<r>{{ for $x in /churntag{i} return $x }}</r>");
+                    service.get_or_compile(&q).unwrap();
+                }
+            })
+        };
+        for round in 0..60 {
+            let tag = format!("stable{}", round % 3);
+            let q = format!("<r>{{ for $x in /{tag}/item return $x }}</r>");
+            let mut session = service.open_session(&q).unwrap();
+            let doc = format!("<{tag}><item>v{round}</item><junk>j</junk></{tag}>");
+            let mut out = session.feed(doc.as_bytes()).unwrap();
+            out.extend_from_slice(&session.finish().unwrap().output);
+            assert_eq!(
+                String::from_utf8(out).unwrap(),
+                format!("<r><item>v{round}</item></r>"),
+                "round {round}: query ids and snapshot ids must agree"
+            );
+        }
+        churner.join().unwrap();
+        assert!(service.stats().interner_rebuilds > 0, "churn rebuilt");
+    }
+
+    #[test]
+    fn rebuild_disabled_by_ratio_one() {
+        let service = QueryService::new(ServiceConfig {
+            cache_capacity: 1,
+            interner_rebuild_dead_ratio: 1.0,
+            ..Default::default()
+        });
+        for i in 0..10 {
+            let q = format!("<r>{{ for $x in /keep{i} return $x }}</r>");
+            service.get_or_compile(&q).unwrap();
+        }
+        assert_eq!(service.stats().interner_rebuilds, 0);
+        assert!(
+            service.master_interner_len() >= 10,
+            "append-only behaviour preserved when disabled"
+        );
     }
 
     #[test]

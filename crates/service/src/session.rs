@@ -64,6 +64,18 @@ pub struct SessionConfig {
     /// published by the evaluator after every footprint change so
     /// observability planes (`/stats`) can sample it mid-stream.
     pub live_stats: Option<Arc<LiveBufferStats>>,
+    /// Output-side high-water mark: once this many produced-but-undrained
+    /// output bytes are pending, the evaluator *parks* on each push
+    /// (bounded wait for the caller to drain) — backpressure that slows
+    /// the engine to the consumer's pace instead of buffering its result.
+    pub output_high_water: usize,
+    /// Output-side hard cap: a push that would leave more than this many
+    /// undrained bytes fails the session cleanly (error message contains
+    /// [`crate::OUTPUT_CAP_ERROR`]). The parked pushes above creep past
+    /// the high-water mark at a bounded rate, so a consumer that stops
+    /// draining entirely hits this cap instead of holding the session
+    /// (and its memory) forever. `usize::MAX` disables the cap.
+    pub output_max_bytes: usize,
     /// Run the evaluator on this shared bounded pool instead of spawning
     /// a dedicated thread: the process thread count stays fixed no
     /// matter how many sessions are open. `None` keeps the historical
@@ -90,6 +102,8 @@ impl Default for SessionConfig {
             budget: None,
             charge_engine_buffer: false,
             live_stats: None,
+            output_high_water: 4 * 1024 * 1024,
+            output_max_bytes: usize::MAX,
             pool: None,
             progress_waker: None,
         }
@@ -164,6 +178,13 @@ struct Shared {
     data_available: Condvar,
     /// Signaled when the evaluator consumes input or terminates.
     space_available: Condvar,
+    /// Signaled when the caller drains output (a parked [`SessionWriter`]
+    /// re-checks the high-water mark).
+    output_drained: Condvar,
+    /// See [`SessionConfig::output_high_water`].
+    output_high_water: usize,
+    /// See [`SessionConfig::output_max_bytes`].
+    output_max_bytes: usize,
     /// External wakeup for parked drivers (see
     /// [`SessionConfig::progress_waker`]).
     progress_waker: Option<ProgressWaker>,
@@ -184,8 +205,30 @@ impl Shared {
         }
         self.data_available.notify_all();
         self.space_available.notify_all();
+        self.output_drained.notify_all();
         drop(st);
         self.wake_progress();
+    }
+
+    /// Takes the undrained output, returning its bytes to the budget and
+    /// waking a writer parked on the output high-water mark.
+    fn take_output(&self, st: &mut State, budget: &Option<Arc<MemoryBudget>>) -> Vec<u8> {
+        let out = std::mem::take(&mut st.output);
+        if let Some(b) = budget {
+            b.release(out.len());
+        }
+        if !out.is_empty() {
+            self.output_drained.notify_all();
+        }
+        out
+    }
+
+    /// Discards undrained output and queued input, returning their bytes
+    /// to the budget (cancellation path; idempotent — both helpers zero
+    /// the state they account for).
+    fn reclaim(&self, st: &mut State, budget: &Option<Arc<MemoryBudget>>) {
+        let _ = self.take_output(st, budget);
+        StreamSession::release_input(st, budget);
     }
 
     /// Notifies an external parked driver, if one registered. Called
@@ -278,12 +321,58 @@ struct SessionWriter {
 /// enormous text node must not sit invisible in the micro-buffer).
 const STAGE_FLUSH_BYTES: usize = 8 * 1024;
 
+/// How long one parked push waits for the caller to drain before it
+/// proceeds anyway. The bounded wait makes the high-water mark true
+/// backpressure (the evaluator runs at the consumer's pace) while
+/// keeping the hard cap reachable: a consumer that *never* drains sees
+/// output creep past the high-water mark at `STAGE_FLUSH_BYTES` per
+/// slice until [`SessionConfig::output_max_bytes`] fails the session.
+const OUTPUT_PARK_SLICE: std::time::Duration = std::time::Duration::from_millis(20);
+
 impl SessionWriter {
-    fn push_staged(&mut self) {
+    /// Pushes staged bytes to the shared output buffer, enforcing the
+    /// output high-water mark (park) and the hard cap (fail). With
+    /// `force` false, a push above the high-water mark is deferred until
+    /// a full [`STAGE_FLUSH_BYTES`] batch is staged — incremental
+    /// delivery is pointless while nobody drains, and batching keeps the
+    /// parked creep rate independent of tag size.
+    fn push_staged(&mut self, force: bool) -> io::Result<()> {
         if self.staged.is_empty() {
-            return;
+            return Ok(());
         }
         let mut st = self.shared.lock();
+        // Set once a park slice elapsed without a drain: push anyway so
+        // the hard cap stays reachable.
+        let mut push_now = false;
+        loop {
+            if st.cancelled {
+                return Err(io::Error::other("session cancelled"));
+            }
+            let backlog = st.output.len();
+            if backlog.saturating_add(self.staged.len()) > self.shared.output_max_bytes {
+                return Err(io::Error::other(format!(
+                    "{}: {} B undrained + {} B staged exceed the {} B cap \
+                     (client not draining)",
+                    crate::OUTPUT_CAP_ERROR,
+                    backlog,
+                    self.staged.len(),
+                    self.shared.output_max_bytes,
+                )));
+            }
+            if push_now || backlog < self.shared.output_high_water {
+                break;
+            }
+            if !force && self.staged.len() < STAGE_FLUSH_BYTES {
+                return Ok(()); // stay staged until a full batch is due
+            }
+            let (guard, timeout) = self
+                .shared
+                .output_drained
+                .wait_timeout(st, OUTPUT_PARK_SLICE)
+                .unwrap_or_else(|p| p.into_inner());
+            st = guard;
+            push_now = timeout.timed_out();
+        }
         st.output.extend_from_slice(&self.staged);
         if let Some(b) = &self.budget {
             // Soft accounting: an engine mid-emit cannot fail cleanly, so
@@ -294,6 +383,7 @@ impl SessionWriter {
         drop(st);
         // Fresh output: a parked driver can drain it.
         self.shared.wake_progress();
+        Ok(())
     }
 }
 
@@ -301,22 +391,22 @@ impl Write for SessionWriter {
     fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
         self.staged.extend_from_slice(buf);
         if self.staged.last() == Some(&b'>') || self.staged.len() >= STAGE_FLUSH_BYTES {
-            self.push_staged();
+            self.push_staged(false)?;
         }
         Ok(buf.len())
     }
 
     fn flush(&mut self) -> io::Result<()> {
-        self.push_staged();
-        Ok(())
+        self.push_staged(true)
     }
 }
 
 impl Drop for SessionWriter {
     fn drop(&mut self) {
         // An engine that errors out mid-emit never flushes; hand over
-        // whatever was staged so diagnostics see the partial output.
-        self.push_staged();
+        // whatever was staged so diagnostics see the partial output. A
+        // cap/cancel error here is already being reported elsewhere.
+        let _ = self.push_staged(true);
     }
 }
 
@@ -358,6 +448,9 @@ impl StreamSession {
             }),
             data_available: Condvar::new(),
             space_available: Condvar::new(),
+            output_drained: Condvar::new(),
+            output_high_water: config.output_high_water.max(STAGE_FLUSH_BYTES),
+            output_max_bytes: config.output_max_bytes.max(STAGE_FLUSH_BYTES),
             progress_waker: config.progress_waker.clone(),
         });
         let cancel = CancelFlag::new();
@@ -379,7 +472,7 @@ impl StreamSession {
                         // queued jobs — that could deadlock a server
                         // worker behind a saturated pool), so reclaim
                         // the session's accounting here.
-                        Self::reclaim(&mut st, &budget);
+                        shared.reclaim(&mut st, &budget);
                         drop(st);
                         shared.set_done(Err("session cancelled".to_string()));
                         drop(guard);
@@ -416,7 +509,7 @@ impl StreamSession {
                     // reclamation duty is ours (idempotent otherwise).
                     let mut st = shared.lock();
                     if st.cancelled {
-                        Self::reclaim(&mut st, &budget);
+                        shared.reclaim(&mut st, &budget);
                     }
                 }
                 drop(guard);
@@ -461,7 +554,7 @@ impl StreamSession {
             if st.input_bytes == 0 || st.input_bytes + chunk.len() <= self.input_queue_bytes {
                 if let Some(b) = &self.budget {
                     if !b.try_reserve(chunk.len()) {
-                        let out = Self::take_output(&mut st, &self.budget);
+                        let out = self.shared.take_output(&mut st, &self.budget);
                         drop(st);
                         return Err(ServiceError::BudgetExceeded {
                             requested: chunk.len(),
@@ -482,7 +575,7 @@ impl StreamSession {
                 .wait(st)
                 .unwrap_or_else(|p| p.into_inner());
         }
-        Ok(Self::take_output(&mut st, &self.budget))
+        Ok(self.shared.take_output(&mut st, &self.budget))
     }
 
     /// As [`feed`](Self::feed), but treats a budget rejection as
@@ -529,24 +622,49 @@ impl StreamSession {
     /// of gcx-net, where a connection worker parks a backpressured
     /// session and picks up another instead of blocking a thread on it.
     pub fn try_feed(&mut self, chunk: &[u8]) -> Result<TryFeed, ServiceError> {
+        self.try_feed_inner(chunk, true)
+    }
+
+    /// As [`try_feed`](Self::try_feed), but **leaves produced output in
+    /// the session**: `true` means the chunk was admitted, `false` means
+    /// the queue/budget is full. For drivers whose own downstream is
+    /// backed up (a client that stopped reading): feeding must continue
+    /// so the evaluator keeps running, but draining would just move the
+    /// unread response into the driver's buffers — undrained, the
+    /// session's output high-water/hard-cap machinery applies instead.
+    pub fn try_feed_undrained(&mut self, chunk: &[u8]) -> Result<bool, ServiceError> {
+        Ok(self.try_feed_inner(chunk, false)?.accepted())
+    }
+
+    fn try_feed_inner(&mut self, chunk: &[u8], drain: bool) -> Result<TryFeed, ServiceError> {
         let mut st = self.shared.lock();
+        let take = |st: &mut State| {
+            if drain {
+                self.shared.take_output(st, &self.budget)
+            } else {
+                Vec::new()
+            }
+        };
         if let Some(done) = &st.done {
             if let Err(msg) = done {
                 return Err(ServiceError::Session(msg.clone()));
             }
             // Completed: drop the chunk (one-shot semantics), hand back
             // whatever output is left.
-            return Ok(TryFeed::Fed(Self::take_output(&mut st, &self.budget)));
+            let out = take(&mut st);
+            return Ok(TryFeed::Fed(out));
         }
         if chunk.is_empty() {
-            return Ok(TryFeed::Fed(Self::take_output(&mut st, &self.budget)));
+            let out = take(&mut st);
+            return Ok(TryFeed::Fed(out));
         }
         if st.input_bytes != 0 && st.input_bytes + chunk.len() > self.input_queue_bytes {
-            return Ok(TryFeed::Busy(Self::take_output(&mut st, &self.budget)));
+            let out = take(&mut st);
+            return Ok(TryFeed::Busy(out));
         }
         if let Some(b) = &self.budget {
             if !b.try_reserve(chunk.len()) {
-                let out = Self::take_output(&mut st, &self.budget);
+                let out = take(&mut st);
                 if chunk.len() > b.limit() {
                     // Can never fit: retrying would livelock.
                     return Err(ServiceError::BudgetExceeded {
@@ -562,13 +680,14 @@ impl StreamSession {
         st.input_bytes += chunk.len();
         st.input.push_back(chunk.to_vec());
         self.shared.data_available.notify_all();
-        Ok(TryFeed::Fed(Self::take_output(&mut st, &self.budget)))
+        let out = take(&mut st);
+        Ok(TryFeed::Fed(out))
     }
 
     /// Takes the output produced so far without feeding anything.
     pub fn drain(&mut self) -> Vec<u8> {
         let mut st = self.shared.lock();
-        Self::take_output(&mut st, &self.budget)
+        self.shared.take_output(&mut st, &self.budget)
     }
 
     /// True once the evaluator has terminated (successfully or not).
@@ -593,7 +712,7 @@ impl StreamSession {
     pub fn take_outcome(&mut self) -> Option<Result<SessionOutcome, ServiceError>> {
         let mut st = self.shared.lock();
         st.done.as_ref()?;
-        let output = Self::take_output(&mut st, &self.budget);
+        let output = self.shared.take_output(&mut st, &self.budget);
         Self::release_input(&mut st, &self.budget);
         let done = st.done.take().expect("checked above");
         drop(st);
@@ -632,10 +751,13 @@ impl StreamSession {
             st.closed = true;
             self.shared.data_available.notify_all();
             self.shared.space_available.notify_all();
+            // A writer parked on the output high-water mark must observe
+            // the cancellation promptly.
+            self.shared.output_drained.notify_all();
             if st.done.is_some() {
                 // Evaluator already finished: nothing can charge the
                 // budget anymore, reclaim inline.
-                Self::reclaim(&mut st, &self.budget);
+                self.shared.reclaim(&mut st, &self.budget);
                 false
             } else if self.handle.is_none() && !st.started {
                 // Pooled evaluator still queued: waiting for a pool
@@ -656,7 +778,7 @@ impl StreamSession {
         if wait {
             self.wait_done();
             let mut st = self.shared.lock();
-            Self::reclaim(&mut st, &self.budget);
+            self.shared.reclaim(&mut st, &self.budget);
         }
         self.reap_evaluator();
         self.terminated = true;
@@ -681,22 +803,6 @@ impl StreamSession {
             // A panicking evaluator already set `done` via DoneGuard.
             let _ = handle.join();
         }
-    }
-
-    /// Discards undrained output and queued input, returning their bytes
-    /// to the budget (cancellation path; idempotent — both helpers zero
-    /// the state they account for).
-    fn reclaim(st: &mut State, budget: &Option<Arc<MemoryBudget>>) {
-        let _ = Self::take_output(st, budget);
-        Self::release_input(st, budget);
-    }
-
-    fn take_output(st: &mut State, budget: &Option<Arc<MemoryBudget>>) -> Vec<u8> {
-        let out = std::mem::take(&mut st.output);
-        if let Some(b) = budget {
-            b.release(out.len());
-        }
-        out
     }
 
     fn release_input(st: &mut State, budget: &Option<Arc<MemoryBudget>>) {
@@ -1043,6 +1149,72 @@ mod tests {
         );
         assert_eq!(budget.used(), 0, "I/O reservations reclaimed");
         assert_eq!(budget.engine_used(), 0, "engine reservations reclaimed");
+    }
+
+    #[test]
+    fn output_cap_fails_never_draining_session() {
+        // A consumer that never drains must not grow the session's
+        // output without bound: the high-water mark parks the writer,
+        // the bounded park slices creep to the hard cap, and the session
+        // fails with a clean, attributable error.
+        let (compiled, tags) = compile("<r>{ for $b in /bib/book return $b }</r>");
+        let config = SessionConfig {
+            output_high_water: 16 * 1024,
+            output_max_bytes: 32 * 1024,
+            ..Default::default()
+        };
+        let mut session = StreamSession::new(compiled, tags, config);
+        let mut doc = String::from("<bib>");
+        for i in 0..4000 {
+            doc.push_str(&format!("<book><title>Padding title {i}</title></book>"));
+        }
+        doc.push_str("</bib>");
+        // One oversized feed (admitted alone, drains nothing of note),
+        // then never drain again: every `feed`/`drain` call empties the
+        // output buffer, so the never-draining consumer is modeled by
+        // simply not calling them while the evaluator produces ~170 KB
+        // against a 32 KB cap.
+        let _ = session.feed(doc.as_bytes()).expect("admitted alone");
+        session.close_input();
+        // Stop draining entirely; the evaluator must fail the session.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+        let outcome = loop {
+            if let Some(r) = session.take_outcome() {
+                break r;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "session did not hit the output cap in time"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+        let err = outcome.expect_err("never-draining session must fail");
+        assert!(
+            err.to_string().contains(crate::OUTPUT_CAP_ERROR),
+            "got: {err}"
+        );
+    }
+
+    #[test]
+    fn output_high_water_backpressures_but_draining_consumer_completes() {
+        // A consumer that drains (slower than the engine) sees correct,
+        // complete output — the high-water mark only paces the engine.
+        let (compiled, tags) = compile(QUERY);
+        let config = SessionConfig {
+            output_high_water: 64, // absurdly small: park constantly
+            output_max_bytes: usize::MAX,
+            ..Default::default()
+        };
+        let mut session = StreamSession::new(compiled, tags, config);
+        let mut out = Vec::new();
+        for chunk in DOC.as_bytes().chunks(16) {
+            out.extend_from_slice(&session.feed(chunk).unwrap());
+        }
+        out.extend_from_slice(&session.finish().unwrap().output);
+        assert_eq!(
+            String::from_utf8(out).unwrap(),
+            "<r><title>A</title><title>B</title></r>"
+        );
     }
 
     #[test]
