@@ -86,13 +86,21 @@ pub struct TagInterner {
     /// Frozen shared base; its ids occupy `0..base_len`.
     base: Option<Arc<TagInterner>>,
     base_len: u32,
-    /// Locally interned names, ids offset by `base_len`.
-    names: Vec<Box<str>>,
-    /// Raw-bytes lookup keyed by the UTF-8 of the name, so the streaming
-    /// lexer can intern borrowed byte slices without building a `String`
-    /// first. Keys are hashed with [`FxHasher`]. Covers local names only;
-    /// base names resolve through `base`.
-    ids: HashMap<Box<[u8]>, TagId, FxBuildHasher>,
+    /// UTF-8 bytes of every locally interned name, concatenated — one
+    /// growing arena instead of one heap `Box<str>` per name (interning
+    /// a document's vocabulary used to dominate the engine's residual
+    /// per-run allocation count).
+    names_data: String,
+    /// `(offset, len)` of each local name in `names_data`, by local id.
+    names: Vec<(u32, u32)>,
+    /// Raw-bytes lookup: [`FxHasher`] of the name's UTF-8 → local id,
+    /// verified by content on every hit (no owned key). The rare true
+    /// 64-bit collision falls back to [`Self::collisions`]. Covers local
+    /// names only; base names resolve through `base`.
+    ids: HashMap<u64, TagId, FxBuildHasher>,
+    /// Local ids whose hash slot was taken by a different name; scanned
+    /// linearly (in practice empty).
+    collisions: Vec<TagId>,
 }
 
 impl TagInterner {
@@ -109,8 +117,7 @@ impl TagInterner {
         TagInterner {
             base: Some(base),
             base_len,
-            names: Vec::new(),
-            ids: HashMap::default(),
+            ..Default::default()
         }
     }
 
@@ -144,18 +151,54 @@ impl TagInterner {
     }
 
     #[inline]
+    fn hash_bytes(bytes: &[u8]) -> u64 {
+        use std::hash::Hasher as _;
+        let mut h = FxHasher::default();
+        h.write(bytes);
+        h.finish()
+    }
+
+    /// The UTF-8 of a *locally* interned name.
+    #[inline]
+    fn local_name_bytes(&self, id: TagId) -> &[u8] {
+        let (off, len) = self.names[(id.0 - self.base_len) as usize];
+        &self.names_data.as_bytes()[off as usize..(off + len) as usize]
+    }
+
+    #[inline]
     fn lookup(&self, bytes: &[u8]) -> Option<TagId> {
-        if let Some(&id) = self.ids.get(bytes) {
-            return Some(id);
+        if let Some(&id) = self.ids.get(&Self::hash_bytes(bytes)) {
+            if self.local_name_bytes(id) == bytes {
+                return Some(id);
+            }
+            // Hash hit, content mismatch: a true collision — the other
+            // name (if interned) lives in the fallback list.
+            if let Some(&id) = self
+                .collisions
+                .iter()
+                .find(|&&c| self.local_name_bytes(c) == bytes)
+            {
+                return Some(id);
+            }
         }
         self.base.as_deref().and_then(|b| b.lookup(bytes))
     }
 
     fn insert_new(&mut self, name: &str) -> TagId {
         let id = TagId(self.base_len + self.names.len() as u32);
-        let boxed: Box<str> = name.into();
-        self.ids.insert(boxed.clone().into_boxed_bytes(), id);
-        self.names.push(boxed);
+        let offset = u32::try_from(self.names_data.len()).expect("name arena within u32 range");
+        self.names_data.push_str(name);
+        self.names
+            .push((offset, u32::try_from(name.len()).expect("name within u32")));
+        match self.ids.entry(Self::hash_bytes(name.as_bytes())) {
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(id);
+            }
+            // The slot belongs to a different name (the caller already
+            // established `name` is absent): remember this id in the
+            // linear-scan fallback.
+            std::collections::hash_map::Entry::Occupied(_) => self.collisions.push(id),
+        }
         id
     }
 
@@ -176,7 +219,8 @@ impl TagInterner {
                 .expect("base ids imply a base")
                 .name(id);
         }
-        &self.names[(id.0 - self.base_len) as usize]
+        let (off, len) = self.names[(id.0 - self.base_len) as usize];
+        &self.names_data[off as usize..(off + len) as usize]
     }
 
     /// Number of distinct interned tags (base + overlay).
@@ -205,7 +249,9 @@ impl TagInterner {
     /// table). For an overlay this counts the shared base once — the
     /// point of sharing is that sessions do not replicate it.
     pub fn approx_bytes(&self) -> usize {
-        let own = self.names.iter().map(|n| n.len() + 16).sum::<usize>() * 2;
+        let own = self.names_data.capacity()
+            + self.names.capacity() * std::mem::size_of::<(u32, u32)>()
+            + self.ids.capacity() * 16;
         own + self.base.as_deref().map_or(0, |b| b.approx_bytes())
     }
 }
