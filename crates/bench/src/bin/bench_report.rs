@@ -134,11 +134,18 @@ fn main() {
                     ) {
                         Ok(r) => {
                             eprintln!(
-                                "Q1 {} B x{small_requests} {}: {:.3}s  {:.1} req/s aggregate",
+                                "Q1 {} B x{small_requests} {}: {:.3}s  {:.1} req/s aggregate{}",
                                 small_doc.len(),
                                 r.engine,
                                 r.seconds,
                                 (clients * small_requests) as f64 / r.seconds.max(1e-9),
+                                match r.latency {
+                                    Some(l) => format!(
+                                        "  p50 {:.3}ms p99 {:.3}ms ttfb-p50 {:.3}ms",
+                                        l.p50_ms, l.p99_ms, l.ttfb_p50_ms
+                                    ),
+                                    None => String::new(),
+                                },
                             );
                             records.push(r);
                         }

@@ -7,6 +7,7 @@
 //! net_client post  --url http://127.0.0.1:8080/query?name=Q1 \
 //!                  --input doc.xml [--chunk 65536]    stream a document, print result
 //!                  [--repeat N --keepalive]           N requests over one connection
+//!                  [--latency]                        per-request latency summary
 //! ```
 //!
 //! `post` uploads chunked while concurrently reading the streamed
@@ -14,8 +15,11 @@
 //! and a summary to stderr, and exits non-zero unless the status is 200.
 //! With `--keepalive --repeat N` it instead sends N `Content-Length`
 //! requests over **one persistent connection** (the CI keep-alive smoke
-//! path), verifies all responses are identical, and prints one body.
+//! path), verifies all responses are identical, and prints one body;
+//! `--latency` adds per-request `min/p50/p99/max` total-latency and TTFB
+//! lines (milliseconds) to the stderr summary.
 
+use gcx_bench::report::percentile;
 use gcx_bench::{arg_value, xmark_doc};
 use gcx_net::client;
 use std::io::Write as _;
@@ -66,17 +70,22 @@ fn run() -> Result<(), String> {
                     .parse()
                     .map_err(|_| "invalid --repeat")?;
                 let repeat = repeat.max(1);
+                let latency = args.iter().any(|a| a == "--latency");
                 let mut conn = client::HttpClient::connect(addr.as_str())
                     .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
                 let start = std::time::Instant::now();
                 let mut first_body: Option<Vec<u8>> = None;
+                let mut lat_ms = Vec::with_capacity(repeat);
+                let mut ttfb_ms = Vec::with_capacity(repeat);
                 for i in 0..repeat {
-                    let resp = conn
-                        .post(&path, &doc)
+                    let (resp, timing) = conn
+                        .post_timed(&path, &doc)
                         .map_err(|e| format!("request {i} failed: {e}"))?;
                     if resp.status != 200 {
                         return Err(format!("request {i}: server returned {}", resp.status));
                     }
+                    lat_ms.push(timing.total.as_secs_f64() * 1e3);
+                    ttfb_ms.push(timing.ttfb.as_secs_f64() * 1e3);
                     match &first_body {
                         None => first_body = Some(resp.body),
                         Some(first) => {
@@ -94,6 +103,21 @@ fn run() -> Result<(), String> {
                     elapsed,
                     repeat as f64 / elapsed.max(1e-9),
                 );
+                if latency {
+                    lat_ms.sort_unstable_by(f64::total_cmp);
+                    ttfb_ms.sort_unstable_by(f64::total_cmp);
+                    let line = |name: &str, s: &[f64]| {
+                        eprintln!(
+                            "{name}_ms min {:.3} p50 {:.3} p99 {:.3} max {:.3}",
+                            s[0],
+                            percentile(s, 0.50),
+                            percentile(s, 0.99),
+                            s[s.len() - 1],
+                        );
+                    };
+                    line("latency", &lat_ms);
+                    line("ttfb", &ttfb_ms);
+                }
                 std::io::stdout()
                     .write_all(&first_body.expect("repeat >= 1"))
                     .map_err(|e| e.to_string())?;

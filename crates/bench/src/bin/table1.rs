@@ -106,6 +106,7 @@ fn main() {
                                 output_bytes: r.output_bytes,
                                 bytes_skipped: r.bytes_skipped,
                                 allocations,
+                                latency: None,
                             });
                         }
                     }

@@ -194,6 +194,7 @@ pub fn measure_record(
         output_bytes: r.output_bytes,
         bytes_skipped: r.bytes_skipped,
         allocations,
+        latency: None,
     })
 }
 

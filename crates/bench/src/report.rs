@@ -26,7 +26,10 @@
 //! strictly additive. **Additive since the first cut:** `bytes_skipped`
 //! (input bytes consumed by the lexer's dead-subtree raw scanner; 0 for
 //! engines/scenarios that cannot observe it, e.g. the wire-side
-//! `http-cN` records) and `skip_ratio` (`bytes_skipped / input_bytes`).
+//! `http-cN` records), `skip_ratio` (`bytes_skipped / input_bytes`), and
+//! `latency` (client-observed per-request quantiles — `p50_ms`, `p99_ms`,
+//! `ttfb_p50_ms`, `ttfb_p99_ms` — sampled by the small-request keep-alive
+//! scenarios; `null` for throughput records that issue one big request).
 //! With skip-mode lexing, `events` counts only *materialized* tokens —
 //! tokens inside raw-skipped subtrees appear exclusively in
 //! `bytes_skipped`.
@@ -59,6 +62,52 @@ pub struct BenchRecord {
     pub bytes_skipped: u64,
     /// Allocator round-trips during one run (`None` without counting).
     pub allocations: Option<u64>,
+    /// Client-observed per-request latency quantiles (`None` for
+    /// scenarios that do not sample individual requests).
+    pub latency: Option<LatencyStats>,
+}
+
+/// Client-side per-request latency quantiles in milliseconds, measured
+/// over every request of a small-request wire scenario (the server-side
+/// view of the same distributions is on `GET /metrics`).
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyStats {
+    /// Median request latency (send → response fully read).
+    pub p50_ms: f64,
+    /// 99th-percentile request latency.
+    pub p99_ms: f64,
+    /// Median time to first response byte.
+    pub ttfb_p50_ms: f64,
+    /// 99th-percentile time to first response byte.
+    pub ttfb_p99_ms: f64,
+}
+
+impl LatencyStats {
+    /// Builds the quantile summary from raw samples (sorted in place).
+    /// `None` when either sample set is empty.
+    pub fn from_samples(lat_ms: &mut [f64], ttfb_ms: &mut [f64]) -> Option<LatencyStats> {
+        if lat_ms.is_empty() || ttfb_ms.is_empty() {
+            return None;
+        }
+        lat_ms.sort_unstable_by(f64::total_cmp);
+        ttfb_ms.sort_unstable_by(f64::total_cmp);
+        Some(LatencyStats {
+            p50_ms: percentile(lat_ms, 0.50),
+            p99_ms: percentile(lat_ms, 0.99),
+            ttfb_p50_ms: percentile(ttfb_ms, 0.50),
+            ttfb_p99_ms: percentile(ttfb_ms, 0.99),
+        })
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted sample set
+/// (`q` in `0.0..=1.0`); `0.0` for an empty slice.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 impl BenchRecord {
@@ -152,7 +201,8 @@ pub fn render_report(
              \"events\": {}, \"events_per_sec\": {}, \"peak_nodes\": {}, \
              \"peak_bytes\": {}, \"dfa_states\": {}, \"output_bytes\": {}, \
              \"bytes_skipped\": {}, \"skip_ratio\": {}, \
-             \"allocations\": {}, \"allocs_per_event\": {} }}",
+             \"allocations\": {}, \"allocs_per_event\": {}, \
+             \"latency\": {} }}",
             json_escape(&r.query),
             json_escape(&r.engine),
             json_f64(r.input_mb),
@@ -170,6 +220,17 @@ pub fn render_report(
             json_opt_u64(r.allocations),
             r.allocs_per_event()
                 .map_or_else(|| "null".to_string(), json_f64),
+            r.latency.map_or_else(
+                || "null".to_string(),
+                |l| format!(
+                    "{{ \"p50_ms\": {}, \"p99_ms\": {}, \
+                     \"ttfb_p50_ms\": {}, \"ttfb_p99_ms\": {} }}",
+                    json_f64(l.p50_ms),
+                    json_f64(l.p99_ms),
+                    json_f64(l.ttfb_p50_ms),
+                    json_f64(l.ttfb_p99_ms),
+                )
+            ),
         );
         out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
     }
@@ -220,6 +281,7 @@ mod tests {
             output_bytes: 42,
             bytes_skipped: 1 << 19,
             allocations: Some(10),
+            latency: None,
         }
     }
 
@@ -263,7 +325,40 @@ mod tests {
         r.allocations = None;
         let json = render_report(7, false, &[r], None);
         assert!(json.contains("\"allocations\": null"));
+        assert!(json.contains("\"latency\": null"));
         assert!(json.contains("\"lexer_steady_state\": null"));
+    }
+
+    #[test]
+    fn latency_stats_render_and_quantiles() {
+        // 100 samples 1..=100 ms: nearest-rank p50 = 50, p99 = 99.
+        let mut lat: Vec<f64> = (1..=100).rev().map(|i| i as f64).collect();
+        let mut ttfb: Vec<f64> = (1..=100).map(|i| i as f64 / 10.0).collect();
+        let stats = LatencyStats::from_samples(&mut lat, &mut ttfb).unwrap();
+        assert_eq!(stats.p50_ms, 50.0);
+        assert_eq!(stats.p99_ms, 99.0);
+        assert_eq!(stats.ttfb_p50_ms, 5.0);
+        assert_eq!(stats.ttfb_p99_ms, 9.9);
+
+        let mut r = record();
+        r.latency = Some(stats);
+        let json = render_report(7, false, &[r], None);
+        assert!(
+            json.contains("\"latency\": { \"p50_ms\": 50, \"p99_ms\": 99,"),
+            "{json}"
+        );
+        assert!(json.contains("\"ttfb_p50_ms\": 5,"), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn percentile_edges() {
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[3.0], 0.0), 3.0);
+        assert_eq!(percentile(&[3.0], 1.0), 3.0);
+        assert_eq!(percentile(&[1.0, 2.0], 0.5), 1.0);
+        assert_eq!(percentile(&[1.0, 2.0], 1.0), 2.0);
+        assert!(LatencyStats::from_samples(&mut [], &mut [1.0]).is_none());
     }
 
     #[test]

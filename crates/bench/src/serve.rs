@@ -3,7 +3,7 @@
 //! `gcx-bench-streaming/1` records as the in-process engine numbers
 //! (`engine` is `http-cN` for N concurrent clients).
 
-use crate::report::BenchRecord;
+use crate::report::{BenchRecord, LatencyStats};
 use gcx_net::{client, http, GcxServer, NetConfig};
 use std::sync::atomic::Ordering;
 use std::time::Instant;
@@ -79,7 +79,18 @@ pub fn measure_serve_record(
         output_bytes,
         bytes_skipped: 0,
         allocations: None,
+        // One big streamed request per client; individual-request
+        // latency quantiles are meaningless here.
+        latency: None,
     })
+}
+
+/// What one keep-alive client thread brings home: response bytes and
+/// per-request (total, TTFB) latency samples in milliseconds.
+struct ClientRun {
+    output_bytes: u64,
+    lat_ms: Vec<f64>,
+    ttfb_ms: Vec<f64>,
 }
 
 /// Small-request scenario: `clients` concurrent connections each issue
@@ -87,7 +98,9 @@ pub fn measure_serve_record(
 /// per-request overhead dominates). With `reuse` every client keeps one
 /// connection for all its requests (`engine` `http-keepalive-cN`);
 /// without, every request opens a fresh connection (`http-close-cN`) —
-/// the back-to-back pair measures what keep-alive buys.
+/// the back-to-back pair measures what keep-alive buys. Every request is
+/// individually timed; the record carries client-observed p50/p99 total
+/// latency and TTFB.
 pub fn measure_keepalive_record(
     qname: &str,
     query: &str,
@@ -112,49 +125,60 @@ pub fn measure_keepalive_record(
     let path = format!("/query?xq={}", http::percent_encode(query));
 
     let start = Instant::now();
-    let outputs = std::thread::scope(|scope| {
+    let runs = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients)
             .map(|_| {
                 let path = &path;
-                scope.spawn(move || -> Result<u64, String> {
-                    let mut total = 0u64;
-                    if reuse {
-                        let mut conn = client::HttpClient::connect(addr)
-                            .map_err(|e| format!("connect: {e}"))?;
-                        for i in 0..requests {
-                            let resp = conn
-                                .post(path, doc)
-                                .map_err(|e| format!("request {i}: {e}"))?;
-                            if resp.status != 200 {
-                                return Err(format!("status {}: {}", resp.status, resp.text()));
-                            }
-                            total += resp.body.len() as u64;
-                        }
+                scope.spawn(move || -> Result<ClientRun, String> {
+                    let mut run = ClientRun {
+                        output_bytes: 0,
+                        lat_ms: Vec::with_capacity(requests),
+                        ttfb_ms: Vec::with_capacity(requests),
+                    };
+                    let mut conn = if reuse {
+                        Some(
+                            client::HttpClient::connect(addr)
+                                .map_err(|e| format!("connect: {e}"))?,
+                        )
                     } else {
-                        for i in 0..requests {
-                            let resp = client::post(addr, path, doc)
-                                .map_err(|e| format!("request {i}: {e}"))?;
-                            if resp.status != 200 {
-                                return Err(format!("status {}: {}", resp.status, resp.text()));
-                            }
-                            total += resp.body.len() as u64;
+                        None
+                    };
+                    for i in 0..requests {
+                        let (resp, timing) = match &mut conn {
+                            Some(c) => c.post_timed(path, doc),
+                            None => client::post_timed(addr, path, doc),
                         }
+                        .map_err(|e| format!("request {i}: {e}"))?;
+                        if resp.status != 200 {
+                            return Err(format!("status {}: {}", resp.status, resp.text()));
+                        }
+                        run.output_bytes += resp.body.len() as u64;
+                        run.lat_ms.push(timing.total.as_secs_f64() * 1e3);
+                        run.ttfb_ms.push(timing.ttfb.as_secs_f64() * 1e3);
                     }
-                    Ok(total)
+                    Ok(run)
                 })
             })
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("client thread"))
-            .collect::<Result<Vec<u64>, String>>()
+            .collect::<Result<Vec<ClientRun>, String>>()
     })?;
     let seconds = start.elapsed().as_secs_f64();
+
+    let mut lat_ms = Vec::with_capacity(clients * requests);
+    let mut ttfb_ms = Vec::with_capacity(clients * requests);
+    for run in &runs {
+        lat_ms.extend_from_slice(&run.lat_ms);
+        ttfb_ms.extend_from_slice(&run.ttfb_ms);
+    }
+    let latency = LatencyStats::from_samples(&mut lat_ms, &mut ttfb_ms);
 
     let counters = server.counters();
     let events = counters.tokens_read_total.load(Ordering::Relaxed);
     let peak_nodes = counters.peak_nodes_max.load(Ordering::Relaxed);
-    let output_bytes: u64 = outputs.iter().sum();
+    let output_bytes: u64 = runs.iter().map(|r| r.output_bytes).sum();
     let total_requests = (clients * requests) as u64;
     server.shutdown();
     Ok(BenchRecord {
@@ -173,5 +197,6 @@ pub fn measure_keepalive_record(
         output_bytes,
         bytes_skipped: 0,
         allocations: None,
+        latency,
     })
 }

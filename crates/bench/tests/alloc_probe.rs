@@ -48,6 +48,32 @@ fn q13_allocs_per_event_bounded() {
     );
 }
 
+/// Recording into the observability primitives must be allocation-free:
+/// they sit on the engine hot path (sampled stage timers) and the
+/// request path, where the 0.005 allocs/event budget leaves no room.
+/// Snapshotting is also alloc-free (fixed-size arrays on the stack).
+#[test]
+fn histogram_recording_is_allocation_free() {
+    use std::time::Duration;
+    let hist = gcx_obs::LatencyHistogram::new();
+    let counter = gcx_obs::Counter::new();
+    // Warm up any lazy allocator state.
+    hist.record(Duration::from_micros(3));
+    let before = alloc_count::allocations();
+    for i in 0..10_000u64 {
+        hist.record_nanos(i * 37 + 1);
+        counter.inc();
+    }
+    let snap = hist.snapshot();
+    let allocs = alloc_count::allocations() - before;
+    assert_eq!(
+        allocs, 0,
+        "recording 10k histogram samples allocated {allocs} times"
+    );
+    assert_eq!(snap.count, 10_001);
+    assert!(snap.p50() > 0);
+}
+
 /// Q20 runs the matcher in NFA mode (positional predicate) — the pooled
 /// frames, matcher-resident scratch and evaluator scratch must keep the
 /// whole engine's amortized allocation rate under 0.05 allocations per

@@ -15,9 +15,11 @@
 //! evaluation (Galax-style projection \[13\]).
 
 use crate::error::EngineError;
+use crate::metrics::EngineStageMetrics;
 use crate::preproject::{Preprojector, PumpEvent};
 use crate::value::compare_values;
 use gcx_buffer::{BufNodeId, BufferStats, BufferTree};
+use gcx_obs::log_debug;
 use gcx_projection::{PStep, PTest, Pred, Role};
 use gcx_query::{Axis, CompiledQuery, Cond, Expr, NodeTest, Step, VarId};
 use gcx_xml::{LexerOptions, TagInterner, XmlLexer, XmlWriter};
@@ -93,6 +95,13 @@ pub struct TraceEvent {
 
 type Tracer = Box<dyn FnMut(&TraceEvent)>;
 
+/// Log target for the evaluator (`GCX_LOG=gcx_core::engine=debug`).
+const LOG_TARGET: &str = "gcx_core::engine";
+
+/// Output (`emit`) stage sampling interval: one timed `write_subtree`
+/// per N. Emits are far rarer than pump events, so they sample denser.
+const EMIT_SAMPLE_EVERY: u32 = 16;
+
 /// Result of one engine run.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -155,9 +164,14 @@ pub struct GcxEngine<'t, 'q, R: Read, W: Write> {
     preload: bool,
     tracer: Option<Tracer>,
     cancel: Option<CancelFlag>,
-    /// `GCX_DEBUG` checked once at construction — `env::var_os` allocates
-    /// and the old per-binding check dominated tight for-loops.
+    /// Debug-level logging for this engine's target, hoisted once at
+    /// construction — even the logger's filter lookup is too much for a
+    /// tight for-loop body.
     debug: bool,
+    /// Sampled per-stage timing sink; the pump stages live in the
+    /// projector, the engine itself times `emit` (output subtrees).
+    stage_metrics: Option<Arc<EngineStageMetrics>>,
+    emit_tick: u32,
     /// Reusable scratch (see "Evaluator allocation discipline" below):
     /// nodes matched by a comparison step, a node's string value, and the
     /// signOff path frontier/next sets. Taken/restored around use so the
@@ -193,7 +207,9 @@ impl<'t, 'q, R: Read, W: Write> GcxEngine<'t, 'q, R, W> {
             preload: options.preload,
             tracer: None,
             cancel: None,
-            debug: std::env::var_os("GCX_DEBUG").is_some(),
+            debug: gcx_obs::log::enabled(gcx_obs::Level::Debug, LOG_TARGET),
+            stage_metrics: None,
+            emit_tick: 0,
             cmp_nodes: Vec::new(),
             cmp_text: String::new(),
             path_frontier: Vec::new(),
@@ -229,6 +245,38 @@ impl<'t, 'q, R: Read, W: Write> GcxEngine<'t, 'q, R, W> {
     /// [`EngineError::Buffer`] instead of growing without bound.
     pub fn set_buffer_accounting(&mut self, accounting: Arc<dyn gcx_buffer::BufferAccounting>) {
         self.buffer.set_accounting(accounting);
+    }
+
+    /// Installs sampled per-stage timing (see [`crate::metrics`]): every
+    /// `sample_every`th pump step is timed into `metrics` stage by
+    /// stage, plus one in [`EMIT_SAMPLE_EVERY`] output subtrees. The
+    /// histograms are wait-free, so one shared `Arc` serves every
+    /// concurrent session of a server.
+    pub fn set_stage_metrics(&mut self, metrics: Arc<EngineStageMetrics>, sample_every: u32) {
+        self.projector
+            .set_stage_metrics(metrics.clone(), sample_every);
+        self.stage_metrics = Some(metrics);
+    }
+
+    /// Starts an emit-stage timer for one in [`EMIT_SAMPLE_EVERY`]
+    /// `write_subtree` calls (None when metrics are off or not sampled).
+    #[inline]
+    fn emit_timer(&mut self) -> Option<Instant> {
+        self.stage_metrics.as_ref()?;
+        self.emit_tick += 1;
+        if self.emit_tick >= EMIT_SAMPLE_EVERY {
+            self.emit_tick = 0;
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn record_emit(&self, t0: Option<Instant>) {
+        if let (Some(t0), Some(m)) = (t0, &self.stage_metrics) {
+            m.emit.record(t0.elapsed());
+        }
     }
 
     #[inline]
@@ -422,8 +470,10 @@ impl<'t, 'q, R: Read, W: Write> GcxEngine<'t, 'q, R, W> {
             Expr::VarRef(v) => {
                 let node = self.binding(*v);
                 self.pump_until_finished(node)?;
+                let t_emit = self.emit_timer();
                 self.buffer
                     .write_subtree(node, self.projector.tags(), &mut self.writer)?;
+                self.record_emit(t_emit);
                 self.trace("output binding subtree");
                 Ok(())
             }
@@ -432,8 +482,10 @@ impl<'t, 'q, R: Read, W: Write> GcxEngine<'t, 'q, R, W> {
                 let mut cur = Cursor::new(base, *step);
                 while let Some(n) = self.cursor_next(&mut cur)? {
                     self.pump_until_finished(n)?;
+                    let t_emit = self.emit_timer();
                     self.buffer
                         .write_subtree(n, self.projector.tags(), &mut self.writer)?;
+                    self.record_emit(t_emit);
                 }
                 Ok(())
             }
@@ -453,7 +505,8 @@ impl<'t, 'q, R: Read, W: Write> GcxEngine<'t, 'q, R, W> {
                             .tag(n)
                             .map(|t| self.projector.tags().name(t).to_string())
                             .unwrap_or_else(|| "#text".into());
-                        eprintln!(
+                        log_debug!(
+                            LOG_TARGET,
                             "bind var{} -> node {} <{}>   buffer: {}",
                             var.0,
                             n.0,
@@ -630,7 +683,8 @@ impl<'t, 'q, R: Read, W: Write> GcxEngine<'t, 'q, R, W> {
         let mut next = std::mem::take(&mut self.path_next);
         self.eval_relpath_into(base, steps, &mut frontier, &mut next);
         if self.debug {
-            eprintln!(
+            log_debug!(
+                LOG_TARGET,
                 "signOff path base={} role=r{} targets={:?}",
                 base.0,
                 role.0,
@@ -1031,6 +1085,57 @@ mod tests {
         );
         engine.set_cancel_flag(CancelFlag::new());
         assert!(engine.run().is_ok());
+    }
+
+    #[test]
+    fn stage_metrics_populate_when_sampling_every_step() {
+        let query = "<r>{ for $b in /bib/book return $b/title }</r>";
+        let doc = "<bib><book><title>A</title></book><junk><x/><y/></junk>\
+                   <book><title>B</title></book></bib>";
+        let mut tags = TagInterner::new();
+        let compiled = compile_default(query, &mut tags).unwrap();
+        let metrics = Arc::new(crate::metrics::EngineStageMetrics::new());
+        let mut engine = GcxEngine::new(
+            &compiled,
+            &mut tags,
+            doc.as_bytes(),
+            Vec::new(),
+            EngineOptions::default(),
+        );
+        engine.set_stage_metrics(metrics.clone(), 1);
+        engine.run().unwrap();
+        assert!(metrics.lex.count() > 0, "every pump step timed the lexer");
+        assert!(metrics.matching.count() > 0, "matcher verdicts timed");
+        assert!(metrics.buffer.count() > 0, "buffered nodes timed");
+        assert!(metrics.skip.count() > 0, "the dead <junk> subtree timed");
+        // Emits sample 1-in-16; this run has too few, so only check the
+        // histogram is readable.
+        let _ = metrics.emit.snapshot();
+    }
+
+    #[test]
+    fn stage_metrics_do_not_change_results() {
+        let query = "<r>{ for $b in /bib/book return $b/title }</r>";
+        let doc = "<bib><book><title>A</title></book><book><title>B</title></book></bib>";
+        let mut tags = TagInterner::new();
+        let compiled = compile_default(query, &mut tags).unwrap();
+        let mut plain_out = Vec::new();
+        let plain = run_gcx(&compiled, &mut tags, doc.as_bytes(), &mut plain_out).unwrap();
+        let mut tags2 = TagInterner::new();
+        let compiled2 = compile_default(query, &mut tags2).unwrap();
+        let mut timed_out = Vec::new();
+        let mut engine = GcxEngine::new(
+            &compiled2,
+            &mut tags2,
+            doc.as_bytes(),
+            &mut timed_out,
+            EngineOptions::default(),
+        );
+        engine.set_stage_metrics(Arc::new(crate::metrics::EngineStageMetrics::new()), 1);
+        let timed = engine.run().unwrap();
+        assert_eq!(plain_out, timed_out, "byte-identical output");
+        assert_eq!(plain.stats.peak_nodes, timed.stats.peak_nodes);
+        assert_eq!(plain.tokens_read, timed.tokens_read);
     }
 
     #[test]

@@ -29,6 +29,7 @@
 pub mod baseline;
 pub mod engine;
 pub mod error;
+pub mod metrics;
 pub mod preproject;
 pub mod value;
 
@@ -38,5 +39,6 @@ pub use engine::{
     RunReport, TraceEvent,
 };
 pub use error::EngineError;
+pub use metrics::{EngineStageMetrics, DEFAULT_STAGE_SAMPLE_EVERY};
 pub use preproject::{Preprojector, PumpEvent};
 pub use value::compare_values;

@@ -19,10 +19,14 @@
 //! ablations) can prove the two paths equivalent.
 
 use crate::error::EngineError;
+use crate::metrics::EngineStageMetrics;
 use gcx_buffer::{BufNodeId, BufferTree};
+use gcx_obs::LatencyHistogram;
 use gcx_projection::{ProjTree, StreamMatcher};
 use gcx_xml::{XmlEvent, XmlLexer};
 use std::io::Read;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// What one pump step did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,6 +65,26 @@ pub struct Preprojector<'t, 'q, R: Read> {
     /// Use skip-mode lexing for dead subtrees (default). Off = pump the
     /// lexer per event, matching the historical behaviour exactly.
     skip_lexing: bool,
+    /// Sampled per-stage timing sink (see [`crate::metrics`]). `None`
+    /// keeps the hot path free of any timing work.
+    stage_metrics: Option<Arc<EngineStageMetrics>>,
+    /// Pump steps between timed samples, and the running tick.
+    sample_every: u32,
+    sample_tick: u32,
+}
+
+/// Records `t0.elapsed()` into the stage picked by `pick` when this pump
+/// step is a timed sample. Free function over the field (not a `&self`
+/// method) so it composes with the matcher's outcome borrows.
+#[inline]
+fn record_stage(
+    metrics: &Option<Arc<EngineStageMetrics>>,
+    pick: fn(&EngineStageMetrics) -> &LatencyHistogram,
+    t0: Option<Instant>,
+) {
+    if let (Some(t0), Some(m)) = (t0, metrics) {
+        pick(m).record(t0.elapsed());
+    }
 }
 
 impl<'t, 'q, R: Read> Preprojector<'t, 'q, R> {
@@ -84,7 +108,19 @@ impl<'t, 'q, R: Read> Preprojector<'t, 'q, R> {
             tokens_read: 0,
             tokens_skipped: 0,
             skip_lexing: true,
+            stage_metrics: None,
+            sample_every: crate::metrics::DEFAULT_STAGE_SAMPLE_EVERY,
+            sample_tick: 0,
         }
+    }
+
+    /// Installs sampled per-stage timing: every `sample_every`th pump
+    /// step is timed stage by stage into `metrics` (shared, wait-free).
+    /// Untimed steps pay one counter increment.
+    pub fn set_stage_metrics(&mut self, metrics: Arc<EngineStageMetrics>, sample_every: u32) {
+        self.stage_metrics = Some(metrics);
+        self.sample_every = sample_every.max(1);
+        self.sample_tick = 0;
     }
 
     /// Bytes consumed by the lexer's raw dead-subtree scanner (the
@@ -124,7 +160,22 @@ impl<'t, 'q, R: Read> Preprojector<'t, 'q, R> {
         if self.eof {
             return Ok(PumpEvent::Eof);
         }
-        match self.lexer.next_event()? {
+        // Sampled stage timing: every `sample_every`th pump step is
+        // timed stage by stage; the rest pay one counter increment (and
+        // nothing at all when no metrics sink is installed).
+        let sampled = self.stage_metrics.is_some() && {
+            self.sample_tick += 1;
+            if self.sample_tick >= self.sample_every {
+                self.sample_tick = 0;
+                true
+            } else {
+                false
+            }
+        };
+        let t_lex = sampled.then(Instant::now);
+        let event = self.lexer.next_event()?;
+        record_stage(&self.stage_metrics, |m| &m.lex, t_lex);
+        match event {
             None => {
                 self.eof = true;
                 buffer.finish(BufferTree::ROOT);
@@ -132,13 +183,17 @@ impl<'t, 'q, R: Read> Preprojector<'t, 'q, R> {
             }
             Some(XmlEvent::Open(tag)) => {
                 self.tokens_read += 1;
+                let t_match = sampled.then(Instant::now);
                 let outcome = self.matcher.open(tag);
+                record_stage(&self.stage_metrics, |m| &m.matching, t_match);
                 let top_attach = self.stack.last().expect("stack nonempty").attach;
                 if outcome.buffer {
+                    let t_buf = sampled.then(Instant::now);
                     let node = buffer.open_element(top_attach, tag)?;
                     for &r in outcome.roles {
                         buffer.add_role(node, r);
                     }
+                    record_stage(&self.stage_metrics, |m| &m.buffer, t_buf);
                     self.stack.push(OpenEntry {
                         buf: Some(node),
                         attach: node,
@@ -149,7 +204,9 @@ impl<'t, 'q, R: Read> Preprojector<'t, 'q, R> {
                     // matching close without per-token matching — as a
                     // raw byte scan when skip-mode lexing is on.
                     if self.skip_lexing {
+                        let t_skip = sampled.then(Instant::now);
                         self.lexer.skip_subtree()?;
+                        record_stage(&self.stage_metrics, |m| &m.skip, t_skip);
                     } else {
                         self.skip_subtree_events()?;
                     }
@@ -167,11 +224,15 @@ impl<'t, 'q, R: Read> Preprojector<'t, 'q, R> {
             }
             Some(XmlEvent::Close(_)) => {
                 self.tokens_read += 1;
+                let t_match = sampled.then(Instant::now);
                 self.matcher.close();
+                record_stage(&self.stage_metrics, |m| &m.matching, t_match);
                 let entry = self.stack.pop().expect("balanced stream");
                 match entry.buf {
                     Some(node) => {
+                        let t_buf = sampled.then(Instant::now);
                         buffer.finish(node);
+                        record_stage(&self.stage_metrics, |m| &m.buffer, t_buf);
                         Ok(PumpEvent::Closed(node))
                     }
                     None => {
@@ -182,13 +243,17 @@ impl<'t, 'q, R: Read> Preprojector<'t, 'q, R> {
             }
             Some(XmlEvent::Text(text)) => {
                 self.tokens_read += 1;
+                let t_match = sampled.then(Instant::now);
                 let outcome = self.matcher.text();
+                record_stage(&self.stage_metrics, |m| &m.matching, t_match);
                 if outcome.buffer {
                     let parent = self.stack.last().expect("stack nonempty").attach;
+                    let t_buf = sampled.then(Instant::now);
                     let node = buffer.add_text(parent, text)?;
                     for &r in outcome.roles {
                         buffer.add_role(node, r);
                     }
+                    record_stage(&self.stage_metrics, |m| &m.buffer, t_buf);
                     Ok(PumpEvent::Buffered(node))
                 } else {
                     self.tokens_skipped += 1;

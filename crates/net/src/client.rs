@@ -11,7 +11,19 @@
 use crate::http::{self, ChunkedDecoder};
 use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Per-request wall-clock timings, as measured by the client (the other
+/// side of the server's own histograms — see `GET /metrics`).
+#[derive(Debug, Clone, Copy)]
+pub struct RequestTiming {
+    /// Request sent → first response bytes observed (time to first byte).
+    /// For pipelined keep-alive requests whose response head was already
+    /// carried over from a previous read, this is effectively zero.
+    pub ttfb: Duration,
+    /// Request sent → response fully read.
+    pub total: Duration,
+}
 
 /// A fully read response.
 #[derive(Debug)]
@@ -47,6 +59,18 @@ pub fn get(addr: impl ToSocketAddrs, path: &str) -> io::Result<HttpResponse> {
 
 /// `POST path` with a `Content-Length` body.
 pub fn post(addr: impl ToSocketAddrs, path: &str, body: &[u8]) -> io::Result<HttpResponse> {
+    post_timed(addr, path, body).map(|(resp, _)| resp)
+}
+
+/// As [`post`], also reporting [`RequestTiming`]. The clock starts
+/// before the connect: on a fresh (`Connection: close`) request the TCP
+/// handshake *is* part of the per-request latency.
+pub fn post_timed(
+    addr: impl ToSocketAddrs,
+    path: &str,
+    body: &[u8],
+) -> io::Result<(HttpResponse, RequestTiming)> {
+    let start = Instant::now();
     let mut stream = connect(addr)?;
     let head = format!(
         "POST {path} HTTP/1.1\r\nHost: gcx\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
@@ -54,7 +78,13 @@ pub fn post(addr: impl ToSocketAddrs, path: &str, body: &[u8]) -> io::Result<Htt
     );
     stream.write_all(head.as_bytes())?;
     stream.write_all(body)?;
-    read_response(&mut stream)
+    let mut carry = Vec::new();
+    let (resp, first_byte) = read_response_buffered_timed(&mut stream, &mut carry)?;
+    let timing = RequestTiming {
+        ttfb: first_byte.duration_since(start),
+        total: start.elapsed(),
+    };
+    Ok((resp, timing))
 }
 
 /// An in-flight chunked `POST`: send the body piecewise, then collect the
@@ -157,7 +187,23 @@ pub fn read_response_buffered(
     stream: &mut TcpStream,
     carry: &mut Vec<u8>,
 ) -> io::Result<HttpResponse> {
+    read_response_buffered_timed(stream, carry).map(|(resp, _)| resp)
+}
+
+/// As [`read_response_buffered`], also reporting the instant the first
+/// bytes of this response were observed (the TTFB mark). Bytes already
+/// sitting in `carry` from a previous read count as observed *now* — a
+/// pipelined response that has fully arrived has no first-byte wait left.
+pub fn read_response_buffered_timed(
+    stream: &mut TcpStream,
+    carry: &mut Vec<u8>,
+) -> io::Result<(HttpResponse, Instant)> {
     let mut scratch = [0u8; 16 * 1024];
+    let mut first_byte = if carry.is_empty() {
+        None
+    } else {
+        Some(Instant::now())
+    };
     loop {
         let head_end = loop {
             if let Some(end) = http::find_head_end(carry) {
@@ -170,16 +216,21 @@ pub fn read_response_buffered(
                     "connection closed before response head",
                 ));
             }
+            first_byte.get_or_insert_with(Instant::now);
             carry.extend_from_slice(&scratch[..n]);
         };
         let (status, headers) = parse_response_head(&carry[..head_end])?;
         carry.drain(..head_end);
         if (100..200).contains(&status) {
             // Informational (e.g. `100 Continue`): drop it, keep any
-            // bytes read past it, and read the real response.
+            // bytes read past it, and read the real response. The TTFB
+            // mark stands — an informational head is still the server's
+            // first byte (matching the server's own TTFB accounting).
             continue;
         }
-        return read_body(stream, status, headers, carry);
+        let resp = read_body(stream, status, headers, carry)?;
+        let first = first_byte.expect("head parsed implies bytes were observed");
+        return Ok((resp, first));
     }
 }
 
@@ -319,6 +370,13 @@ impl HttpClient {
     /// Reads the next queued response (in request order).
     pub fn read_response(&mut self) -> io::Result<HttpResponse> {
         let resp = read_response_buffered(&mut self.stream, &mut self.carry)?;
+        self.note_framing(&resp);
+        Ok(resp)
+    }
+
+    /// Records whether the response announced (or implied, by
+    /// close-delimited framing) that the server is closing the socket.
+    fn note_framing(&mut self, resp: &HttpResponse) {
         let close = resp
             .header("connection")
             .is_some_and(|v| v.to_ascii_lowercase().contains("close"));
@@ -329,7 +387,6 @@ impl HttpClient {
         if close || unframed {
             self.closed = true;
         }
-        Ok(resp)
     }
 
     /// `GET path` over the persistent connection.
@@ -343,6 +400,25 @@ impl HttpClient {
     pub fn post(&mut self, path: &str, body: &[u8]) -> io::Result<HttpResponse> {
         self.send_post(path, body)?;
         self.read_response()
+    }
+
+    /// As [`HttpClient::post`], also reporting [`RequestTiming`] for this
+    /// request (connection setup is *not* included — the socket already
+    /// exists, which is the point of keep-alive).
+    pub fn post_timed(
+        &mut self,
+        path: &str,
+        body: &[u8],
+    ) -> io::Result<(HttpResponse, RequestTiming)> {
+        let start = Instant::now();
+        self.send_post(path, body)?;
+        let (resp, first_byte) = read_response_buffered_timed(&mut self.stream, &mut self.carry)?;
+        self.note_framing(&resp);
+        let timing = RequestTiming {
+            ttfb: first_byte.duration_since(start),
+            total: start.elapsed(),
+        };
+        Ok((resp, timing))
     }
 
     /// Raw stream access (tests that need half-close etc.).

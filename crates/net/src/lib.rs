@@ -41,6 +41,7 @@
 
 pub mod client;
 pub mod http;
+mod metrics;
 pub mod server;
 mod stats_json;
 

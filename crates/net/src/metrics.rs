@@ -1,0 +1,347 @@
+//! Request-level metrics and the `GET /metrics` Prometheus exposition.
+//!
+//! One [`NetMetrics`] lives in the server's shared state; every layer
+//! below hangs its histograms off it:
+//!
+//! * **net** — per-request total latency by endpoint class
+//!   (`query`/`stats`/`other`), time-to-first-byte, and the
+//!   accept→first-drive queue wait of each connection;
+//! * **service** — session lifecycle phases
+//!   ([`gcx_service::SessionMetrics`]: pool queue wait, run, total);
+//! * **core** — sampled per-stage engine timers
+//!   ([`gcx_core::EngineStageMetrics`]: lex/skip/match/buffer/emit).
+//!
+//! Recording is wait-free (relaxed atomics on fixed log₂ buckets —
+//! `gcx-obs`), so the histograms are shared by every connection worker
+//! and evaluator thread without locks.
+//!
+//! [`render`] emits the classic Prometheus text format (v0.0.4):
+//! counters and gauges from the server's live state, histograms as
+//! cumulative `_bucket{le="…"}` series with `le` in seconds at the
+//! log₂-bucket upper bounds, truncated after the highest non-empty
+//! bucket (`+Inf` always closes the series).
+
+use crate::server::ServerShared;
+use crate::stats_json::esc_into;
+use gcx_core::EngineStageMetrics;
+use gcx_obs::{HistogramSnapshot, LatencyHistogram};
+use gcx_service::SessionMetrics;
+use std::fmt::Write as _;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Endpoint classes for request-latency attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ReqClass {
+    /// `POST /query` — streaming evaluation.
+    Query,
+    /// `GET /stats` and `GET /metrics` — observability planes.
+    Stats,
+    /// Everything else (healthz, 404s, malformed requests).
+    Other,
+}
+
+/// All metrics the front-end records or re-exports. See module docs.
+pub(crate) struct NetMetrics {
+    /// Total request latency (head parsed → response flushed), per class.
+    pub(crate) query: LatencyHistogram,
+    pub(crate) stats: LatencyHistogram,
+    pub(crate) other: LatencyHistogram,
+    /// Head parsed → first response byte on the wire (all classes).
+    pub(crate) ttfb: LatencyHistogram,
+    /// Connection accepted → first worker drive.
+    pub(crate) queue_wait: LatencyHistogram,
+    /// Sampled per-stage engine timing, installed into every session.
+    pub(crate) engine_stages: Arc<EngineStageMetrics>,
+    /// Session lifecycle phases, installed into every session.
+    pub(crate) sessions: Arc<SessionMetrics>,
+}
+
+impl NetMetrics {
+    pub(crate) fn new() -> Self {
+        NetMetrics {
+            query: LatencyHistogram::new(),
+            stats: LatencyHistogram::new(),
+            other: LatencyHistogram::new(),
+            ttfb: LatencyHistogram::new(),
+            queue_wait: LatencyHistogram::new(),
+            engine_stages: Arc::new(EngineStageMetrics::new()),
+            sessions: Arc::new(SessionMetrics::new()),
+        }
+    }
+
+    /// The total-latency histogram for one endpoint class.
+    pub(crate) fn request_class(&self, class: ReqClass) -> &LatencyHistogram {
+        match class {
+            ReqClass::Query => &self.query,
+            ReqClass::Stats => &self.stats,
+            ReqClass::Other => &self.other,
+        }
+    }
+
+    /// `(class label, histogram)` pairs for renderers.
+    pub(crate) fn request_classes(&self) -> [(&'static str, &LatencyHistogram); 3] {
+        [
+            ("query", &self.query),
+            ("stats", &self.stats),
+            ("other", &self.other),
+        ]
+    }
+}
+
+/// Appends one `name{label="value"}` (or bare `name`) series prefix.
+fn series(out: &mut String, name: &str, label: Option<(&str, &str)>) {
+    out.push_str(name);
+    if let Some((k, v)) = label {
+        out.push('{');
+        out.push_str(k);
+        out.push_str("=\"");
+        esc_into(out, v);
+        out.push_str("\"}");
+    }
+}
+
+fn counter(out: &mut String, name: &str, help: &str, value: u64) {
+    let _ = writeln!(out, "# HELP {name} {help}\n# TYPE {name} counter");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+fn gauge(out: &mut String, name: &str, help: &str, value: u64) {
+    let _ = writeln!(out, "# HELP {name} {help}\n# TYPE {name} gauge");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+/// The `le` bound of log₂ bucket `i`, in seconds. The last bucket is
+/// unbounded and rendered as `+Inf` by the caller instead.
+fn le_seconds(i: usize) -> f64 {
+    gcx_obs::hist::bucket_upper_nanos(i) as f64 / 1e9
+}
+
+/// Appends one histogram family member: cumulative buckets (truncated
+/// after the highest non-empty one), `+Inf`, `_sum` (seconds), `_count`.
+fn histogram(out: &mut String, name: &str, label: Option<(&str, &str)>, snap: &HistogramSnapshot) {
+    let last = snap
+        .buckets
+        .iter()
+        .rposition(|&c| c > 0)
+        .map_or(0, |i| i.min(snap.buckets.len() - 2));
+    let mut cum = 0u64;
+    for (i, &count) in snap.buckets.iter().enumerate().take(last + 1) {
+        cum += count;
+        out.push_str(name);
+        out.push_str("_bucket{");
+        if let Some((k, v)) = label {
+            out.push_str(k);
+            out.push_str("=\"");
+            esc_into(out, v);
+            out.push_str("\",");
+        }
+        let _ = writeln!(out, "le=\"{}\"}} {cum}", le_seconds(i));
+    }
+    out.push_str(name);
+    out.push_str("_bucket{");
+    if let Some((k, v)) = label {
+        out.push_str(k);
+        out.push_str("=\"");
+        esc_into(out, v);
+        out.push_str("\",");
+    }
+    let _ = writeln!(out, "le=\"+Inf\"}} {}", snap.count);
+    series(out, &format!("{name}_sum"), label);
+    let _ = writeln!(out, " {}", snap.sum_nanos as f64 / 1e9);
+    series(out, &format!("{name}_count"), label);
+    let _ = writeln!(out, " {}", snap.count);
+}
+
+fn histogram_family<'a>(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    label_key: &str,
+    members: impl IntoIterator<Item = (&'a str, &'a LatencyHistogram)>,
+) {
+    let _ = writeln!(out, "# HELP {name} {help}\n# TYPE {name} histogram");
+    for (value, hist) in members {
+        histogram(out, name, Some((label_key, value)), &hist.snapshot());
+    }
+}
+
+/// Renders the full `/metrics` document (Prometheus text format).
+pub(crate) fn render(shared: &ServerShared) -> String {
+    let c = &shared.counters;
+    let m = &shared.metrics;
+    let mut out = String::with_capacity(8 * 1024);
+
+    counter(
+        &mut out,
+        "gcx_connections_total",
+        "TCP connections accepted.",
+        c.connections.load(Ordering::Relaxed),
+    );
+    counter(
+        &mut out,
+        "gcx_requests_total",
+        "HTTP requests parsed.",
+        c.requests.load(Ordering::Relaxed),
+    );
+    counter(
+        &mut out,
+        "gcx_sessions_completed_total",
+        "Query sessions completed successfully.",
+        c.sessions_completed.load(Ordering::Relaxed),
+    );
+    counter(
+        &mut out,
+        "gcx_sessions_failed_total",
+        "Query sessions failed or aborted.",
+        c.sessions_failed.load(Ordering::Relaxed),
+    );
+    counter(
+        &mut out,
+        "gcx_sessions_output_capped_total",
+        "Sessions failed by the output-side hard cap (client not draining).",
+        c.sessions_output_capped.load(Ordering::Relaxed),
+    );
+    counter(
+        &mut out,
+        "gcx_bytes_in_total",
+        "Bytes read from client sockets.",
+        c.bytes_in.load(Ordering::Relaxed),
+    );
+    counter(
+        &mut out,
+        "gcx_bytes_out_total",
+        "Bytes written to client sockets.",
+        c.bytes_out.load(Ordering::Relaxed),
+    );
+
+    let active = shared.sessions.lock().expect("registry lock").len();
+    gauge(
+        &mut out,
+        "gcx_active_sessions",
+        "Sessions currently registered (mid-stream).",
+        active as u64,
+    );
+    gauge(
+        &mut out,
+        "gcx_evaluator_pool_size",
+        "Evaluator pool worker threads.",
+        shared.pool.size() as u64,
+    );
+    gauge(
+        &mut out,
+        "gcx_evaluator_pool_active",
+        "Evaluator jobs currently executing.",
+        shared.pool.active() as u64,
+    );
+    gauge(
+        &mut out,
+        "gcx_evaluator_pool_queued",
+        "Evaluator jobs waiting for a pool thread.",
+        shared.pool.queued() as u64,
+    );
+    if let Some(b) = shared.service.budget() {
+        gauge(
+            &mut out,
+            "gcx_budget_limit_bytes",
+            "Configured memory budget.",
+            b.limit() as u64,
+        );
+        gauge(
+            &mut out,
+            "gcx_budget_used_bytes",
+            "Memory budget bytes in use (queued input + undrained output).",
+            b.used() as u64,
+        );
+    }
+
+    histogram_family(
+        &mut out,
+        "gcx_request_duration_seconds",
+        "Request latency, head parsed to response flushed.",
+        "class",
+        m.request_classes(),
+    );
+    histogram_family(
+        &mut out,
+        "gcx_request_ttfb_seconds",
+        "Head parsed to first response byte on the wire.",
+        "class",
+        [("all", &m.ttfb)],
+    );
+    histogram_family(
+        &mut out,
+        "gcx_conn_queue_wait_seconds",
+        "Connection accepted to first worker drive.",
+        "class",
+        [("all", &m.queue_wait)],
+    );
+    histogram_family(
+        &mut out,
+        "gcx_engine_stage_duration_seconds",
+        "Sampled per-stage engine time (one pump step / skip / emit).",
+        "stage",
+        m.engine_stages.stages(),
+    );
+    histogram_family(
+        &mut out,
+        "gcx_session_phase_duration_seconds",
+        "Session lifecycle phases (pool queue wait, engine run, total).",
+        "phase",
+        m.sessions.phases(),
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn render_one(h: &LatencyHistogram, label: Option<(&str, &str)>) -> String {
+        let mut out = String::new();
+        histogram(&mut out, "t_seconds", label, &h.snapshot());
+        out
+    }
+
+    #[test]
+    fn empty_histogram_is_valid_exposition() {
+        let h = LatencyHistogram::new();
+        let text = render_one(&h, None);
+        assert!(text.contains("t_seconds_bucket{le=\"+Inf\"} 0"), "{text}");
+        assert!(text.contains("t_seconds_sum 0"), "{text}");
+        assert!(text.contains("t_seconds_count 0"), "{text}");
+    }
+
+    #[test]
+    fn buckets_are_cumulative_and_truncated() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_nanos(1)); // bucket 0 (le 1ns)
+        h.record(Duration::from_nanos(3)); // bucket 1 (le 3ns)
+        h.record(Duration::from_nanos(3));
+        let text = render_one(&h, Some(("class", "query")));
+        // Bucket 0 holds 1; bucket 1 is cumulative (3); nothing beyond
+        // the highest non-empty bucket except +Inf.
+        assert!(
+            text.contains("t_seconds_bucket{class=\"query\",le=\"0.000000001\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("t_seconds_bucket{class=\"query\",le=\"0.000000003\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("t_seconds_bucket{class=\"query\",le=\"+Inf\"} 3"),
+            "{text}"
+        );
+        assert_eq!(
+            text.matches("t_seconds_bucket").count(),
+            3,
+            "two real buckets + +Inf only: {text}"
+        );
+        assert!(
+            text.contains("t_seconds_count{class=\"query\"} 3"),
+            "{text}"
+        );
+    }
+}

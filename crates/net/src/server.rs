@@ -32,8 +32,10 @@
 //! * `GET /healthz` — liveness probe.
 
 use crate::http;
+use crate::metrics::{self, NetMetrics, ReqClass};
 use crate::stats_json;
 use gcx_buffer::LiveBufferStats;
+use gcx_obs::log_debug;
 use gcx_service::{EvaluatorPool, QueryService, ServiceConfig, StreamSession, TryFeed};
 use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
@@ -216,9 +218,10 @@ pub(crate) struct ServerShared {
     progress: Arc<ProgressSignal>,
     stop: AtomicBool,
     pub(crate) counters: ServerCounters,
+    pub(crate) metrics: NetMetrics,
     pub(crate) sessions: Mutex<HashMap<u64, SessionEntry>>,
     next_session_id: AtomicU64,
-    pool: EvaluatorPool,
+    pub(crate) pool: EvaluatorPool,
     charge_engine_buffer: bool,
     max_head_bytes: usize,
     io_chunk_bytes: usize,
@@ -265,6 +268,7 @@ impl GcxServer {
             progress: Arc::new(ProgressSignal::new()),
             stop: AtomicBool::new(false),
             counters: ServerCounters::default(),
+            metrics: NetMetrics::new(),
             sessions: Mutex::new(HashMap::new()),
             next_session_id: AtomicU64::new(1),
             pool: EvaluatorPool::new(evaluators),
@@ -337,6 +341,12 @@ impl GcxServer {
         stats_json::render(&self.shared)
     }
 
+    /// Renders the `/metrics` Prometheus text exposition (also served
+    /// over HTTP).
+    pub fn metrics_text(&self) -> String {
+        metrics::render(&self.shared)
+    }
+
     /// Blocks the calling thread until the server shuts down (CLI
     /// foreground mode).
     pub fn wait(mut self) {
@@ -392,10 +402,11 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
                 drop(q);
                 shared.work.notify_one();
             }
-            Err(_) => {
+            Err(e) => {
                 if shared.stop.load(Ordering::SeqCst) {
                     return;
                 }
+                log_debug!(LOG_TARGET, "accept error: {e}");
                 // Persistent accept errors (EMFILE under fd exhaustion,
                 // ECONNABORTED storms) must not busy-spin a core.
                 std::thread::sleep(Duration::from_millis(10));
@@ -437,6 +448,10 @@ fn worker_loop(shared: &Arc<ServerShared>) {
                 q = guard;
             }
         };
+        if !conn.queue_wait_recorded {
+            conn.queue_wait_recorded = true;
+            shared.metrics.queue_wait.record(conn.accepted.elapsed());
+        }
         // Observe the progress sequence *before* driving: progress made
         // by an evaluator during the attempt bumps it, so a subsequent
         // `wait_past` returns immediately instead of losing the wakeup.
@@ -604,6 +619,9 @@ const DRAIN_MAX_BYTES: u64 = 256 * 1024;
 /// Content type of plain-text (error/health) responses.
 const TEXT_PLAIN: &str = "text/plain; charset=utf-8";
 
+/// Log target for server events (`GCX_LOG=gcx_net=debug`).
+const LOG_TARGET: &str = "gcx_net::server";
+
 /// Whether a body with this framing is worth discarding to keep the
 /// connection: bounded `Content-Length` or chunked (capped while
 /// draining); EOF-framed bodies only end with the connection.
@@ -627,6 +645,19 @@ struct Conn {
     last_progress: Instant,
     /// Requests answered on this connection so far.
     requests_served: u64,
+    /// When the acceptor queued this connection; the accept→first-drive
+    /// delta is the connection's queue wait.
+    accepted: Instant,
+    /// Queue wait already recorded (first worker drive happened).
+    queue_wait_recorded: bool,
+    /// When the in-flight request's head was parsed; taken when the
+    /// response is fully flushed (total latency) — requests that die
+    /// mid-flight (teardown, timeouts) are not recorded.
+    req_start: Option<Instant>,
+    /// Endpoint class of the in-flight request.
+    req_class: ReqClass,
+    /// First response byte not yet on the wire (TTFB pending).
+    ttfb_pending: bool,
     /// Just finished a response: the client's next request is likely
     /// already in flight, so parked workers poll this connection at
     /// [`HOT_PARK_TIMEOUT`] instead of the regular poll fallback until
@@ -663,6 +694,11 @@ impl Conn {
             state: ConnState::Head,
             last_progress: Instant::now(),
             requests_served: 0,
+            accepted: Instant::now(),
+            queue_wait_recorded: false,
+            req_start: None,
+            req_class: ReqClass::Other,
+            ttfb_pending: false,
             hot_until: None,
         }
     }
@@ -694,11 +730,11 @@ impl Conn {
             ConnState::Flush { close } => match self.write_some(shared) {
                 WriteOutcome::Progress => {
                     if self.send_pos >= self.send.len() {
-                        return self.finish_response(close);
+                        return self.finish_response(shared, close);
                     }
                     StepResult::Progress
                 }
-                WriteOutcome::Idle => self.finish_response(close),
+                WriteOutcome::Idle => self.finish_response(shared, close),
                 WriteOutcome::WouldBlock => StepResult::Blocked,
                 WriteOutcome::Gone => StepResult::Finished,
             },
@@ -711,7 +747,14 @@ impl Conn {
     /// The response is fully on the wire: close, or loop back to parse
     /// the next request (whose bytes may already sit in `recv` —
     /// pipelined requests must not be dropped with the response).
-    fn finish_response(&mut self, close: bool) -> StepResult {
+    fn finish_response(&mut self, shared: &Arc<ServerShared>, close: bool) -> StepResult {
+        if let Some(t0) = self.req_start.take() {
+            shared
+                .metrics
+                .request_class(self.req_class)
+                .record(t0.elapsed());
+        }
+        self.ttfb_pending = false;
         if close {
             let _ = self.stream.shutdown(std::net::Shutdown::Both);
             self.state = ConnState::Closed;
@@ -730,6 +773,11 @@ impl Conn {
         if let Some(head_end) = http::find_head_end(&self.recv) {
             shared.counters.requests.fetch_add(1, Ordering::Relaxed);
             self.requests_served += 1;
+            // Request clock starts at head parse; `dispatch` refines the
+            // class, `finish_response` stops the clock.
+            self.req_start = Some(Instant::now());
+            self.req_class = ReqClass::Other;
+            self.ttfb_pending = true;
             let head = match http::parse_head(&self.recv[..head_end]) {
                 Ok(h) => h,
                 Err(e) => {
@@ -775,10 +823,26 @@ impl Conn {
         match (head.method.as_str(), head.path.as_str()) {
             ("GET", "/healthz") => self.respond_early(shared, head, 200, "OK", TEXT_PLAIN, "ok\n"),
             ("GET", "/stats") => {
+                self.req_class = ReqClass::Stats;
                 let json = stats_json::render(shared);
                 self.respond_early(shared, head, 200, "OK", "application/json", &json);
             }
-            ("POST", "/query") => self.dispatch_query(shared, head),
+            ("GET", "/metrics") => {
+                self.req_class = ReqClass::Stats;
+                let text = metrics::render(shared);
+                self.respond_early(
+                    shared,
+                    head,
+                    200,
+                    "OK",
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    &text,
+                );
+            }
+            ("POST", "/query") => {
+                self.req_class = ReqClass::Query;
+                self.dispatch_query(shared, head);
+            }
             _ => self.respond_early(
                 shared,
                 head,
@@ -907,6 +971,8 @@ impl Conn {
             let signal = shared.progress.clone();
             let output_high_water = shared.output_high_water;
             let output_max_bytes = shared.output_max_bytes;
+            let session_metrics = shared.metrics.sessions.clone();
+            let stage_metrics = shared.metrics.engine_stages.clone();
             shared.service.open_session_with(&query_text, move |cfg| {
                 cfg.live_stats = Some(live);
                 cfg.pool = Some(pool);
@@ -914,6 +980,8 @@ impl Conn {
                 cfg.output_high_water = output_high_water;
                 cfg.output_max_bytes = output_max_bytes;
                 cfg.progress_waker = Some(Arc::new(move || signal.bump()));
+                cfg.metrics = Some(session_metrics);
+                cfg.stage_metrics = Some(stage_metrics);
             })
         };
         let session = match session {
@@ -1254,6 +1322,12 @@ impl Conn {
     /// close; the next request would be indistinguishable from body
     /// bytes otherwise).
     fn session_failed(&mut self, shared: &Arc<ServerShared>, body: &mut BodyState, msg: &str) {
+        log_debug!(
+            LOG_TARGET,
+            "session {} ({}) failed: {msg}",
+            body.session_id,
+            self.peer
+        );
         finish_registry(shared, body.session_id, None);
         if msg.contains(gcx_service::OUTPUT_CAP_ERROR) {
             shared
@@ -1284,6 +1358,11 @@ impl Conn {
             _ => None,
         };
         if let Some((session_id, sent_head)) = info {
+            log_debug!(
+                LOG_TARGET,
+                "dropping idle connection from {} (session {session_id})",
+                self.peer
+            );
             finish_registry(shared, session_id, None);
             if !sent_head {
                 self.respond_simple(408, "Request Timeout", "connection idle too long\n", false);
@@ -1360,6 +1439,12 @@ impl Conn {
                     .counters
                     .bytes_out
                     .fetch_add(n as u64, Ordering::Relaxed);
+                if self.ttfb_pending {
+                    self.ttfb_pending = false;
+                    if let Some(t0) = self.req_start {
+                        shared.metrics.ttfb.record(t0.elapsed());
+                    }
+                }
                 self.send_pos += n;
                 if self.send_pos >= self.send.len() {
                     self.send.clear();

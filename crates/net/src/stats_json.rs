@@ -1,22 +1,35 @@
-//! `/stats` JSON rendering (schema `gcx-net-stats/1`).
+//! `/stats` JSON rendering (schema `gcx-net-stats/2`).
 //!
 //! Hand-rolled like gcx-bench's report module — the workspace is offline,
-//! no serde. The document has four sections:
+//! no serde. The document has five sections:
 //!
 //! * `server` — front-end counters and the (fixed) thread topology;
 //! * `service` — compiled-query cache statistics;
 //! * `budget` — the shared [`gcx_service::MemoryBudget`], or `null`;
+//! * `latency` — quantile summaries (count/mean/p50/p90/p99/max, µs) of
+//!   every histogram the server records: per-class request latency,
+//!   TTFB, connection queue wait, sampled engine stages, and session
+//!   lifecycle phases (added in `/2`; `GET /metrics` exposes the same
+//!   histograms with full buckets);
 //! * `sessions` — **live** per-session buffer statistics sampled from the
 //!   running engines (current/peak buffered nodes and bytes, text-arena
 //!   bytes), the observability the paper's buffer-minimization claims
 //!   deserve: you can watch the buffer stay small mid-stream.
+//!
+//! The session registry lock is held only long enough to *copy* each
+//! entry's scalars into a local vector; all string formatting happens
+//! unlocked, so a slow `/stats` render never stalls request dispatch
+//! (which takes the same lock to register/unregister sessions).
 
 use crate::server::ServerShared;
+use gcx_obs::LatencyHistogram;
 use std::fmt::Write as _;
 use std::sync::atomic::Ordering;
 
-fn esc(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
+/// Appends `s` to `out` with JSON string escaping, allocation-free.
+/// Also used for `/metrics` label values: the escapes Prometheus
+/// requires (`\\`, `\"`, `\n`) are exactly JSON's.
+pub(crate) fn esc_into(out: &mut String, s: &str) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -30,17 +43,75 @@ fn esc(s: &str) -> String {
             c => out.push(c),
         }
     }
-    out
+}
+
+/// Appends one `"name": { count, mean_us, p50_us, … }` summary object.
+fn latency_summary(out: &mut String, name: &str, h: &LatencyHistogram) {
+    let s = h.snapshot();
+    let _ = write!(
+        out,
+        "\"{name}\": {{ \"count\": {}, \"mean_us\": {}, \"p50_us\": {}, \
+         \"p90_us\": {}, \"p99_us\": {}, \"max_us\": {} }}",
+        s.count,
+        s.mean_nanos() / 1_000,
+        s.p50() / 1_000,
+        s.p90() / 1_000,
+        s.p99() / 1_000,
+        s.max_nanos / 1_000,
+    );
+}
+
+fn latency_group<'a>(
+    out: &mut String,
+    name: &str,
+    members: impl IntoIterator<Item = (&'a str, &'a LatencyHistogram)>,
+    trailing_comma: bool,
+) {
+    let _ = write!(out, "    \"{name}\": {{ ");
+    for (i, (member, h)) in members.into_iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        latency_summary(out, member, h);
+    }
+    out.push_str(if trailing_comma { " },\n" } else { " }\n" });
+}
+
+/// One session row copied out of the registry under its lock.
+struct SessionRow {
+    id: u64,
+    query_label: String,
+    peer: String,
+    age_ms: u128,
+    live: (usize, usize, usize, usize, usize, u64, u64),
 }
 
 /// Renders the full `/stats` document.
 pub(crate) fn render(shared: &ServerShared) -> String {
     let c = &shared.counters;
+    let m = &shared.metrics;
     let service_stats = shared.service.stats();
-    let mut out = String::with_capacity(1024);
-    out.push_str("{\n  \"schema\": \"gcx-net-stats/1\",\n");
 
-    let sessions = shared.sessions.lock().expect("registry lock");
+    // Snapshot the registry first: scalars only, no formatting under the
+    // lock shared with the request path.
+    let mut rows: Vec<SessionRow> = {
+        let sessions = shared.sessions.lock().expect("registry lock");
+        sessions
+            .iter()
+            .map(|(&id, entry)| SessionRow {
+                id,
+                query_label: entry.query_label.clone(),
+                peer: entry.peer.clone(),
+                age_ms: entry.started.elapsed().as_millis(),
+                live: entry.live.snapshot(),
+            })
+            .collect()
+    };
+    rows.sort_unstable_by_key(|r| r.id);
+
+    let mut out = String::with_capacity(2048);
+    out.push_str("{\n  \"schema\": \"gcx-net-stats/2\",\n");
+
     let _ = writeln!(
         out,
         "  \"server\": {{ \"workers\": {}, \"evaluators\": {}, \"threads\": {}, \
@@ -51,7 +122,7 @@ pub(crate) fn render(shared: &ServerShared) -> String {
         shared.workers,
         shared.evaluators,
         1 + shared.workers + shared.evaluators,
-        sessions.len(),
+        rows.len(),
         c.connections.load(Ordering::Relaxed),
         c.requests.load(Ordering::Relaxed),
         c.sessions_completed.load(Ordering::Relaxed),
@@ -92,27 +163,32 @@ pub(crate) fn render(shared: &ServerShared) -> String {
         None => out.push_str("  \"budget\": null,\n"),
     }
 
+    out.push_str("  \"latency\": {\n");
+    latency_group(&mut out, "requests", m.request_classes(), true);
+    latency_group(&mut out, "ttfb", [("all", &m.ttfb)], true);
+    latency_group(&mut out, "queue_wait", [("all", &m.queue_wait)], true);
+    latency_group(&mut out, "engine_stages", m.engine_stages.stages(), true);
+    latency_group(&mut out, "session", m.sessions.phases(), false);
+    out.push_str("  },\n");
+
     out.push_str("  \"sessions\": [\n");
-    let mut ids: Vec<_> = sessions.keys().copied().collect();
-    ids.sort_unstable();
-    for (i, id) in ids.iter().enumerate() {
-        let entry = &sessions[id];
+    for (i, row) in rows.iter().enumerate() {
         let (live_nodes, peak_nodes, live_bytes, peak_bytes, text_arena, created, purged) =
-            entry.live.snapshot();
+            row.live;
+        let _ = write!(out, "    {{ \"id\": {}, \"query\": \"", row.id);
+        esc_into(&mut out, &row.query_label);
+        out.push_str("\", \"peer\": \"");
+        esc_into(&mut out, &row.peer);
         let _ = write!(
             out,
-            "    {{ \"id\": {id}, \"query\": \"{}\", \"peer\": \"{}\", \
-             \"age_ms\": {}, \"buffer\": {{ \"live_nodes\": {live_nodes}, \
+            "\", \"age_ms\": {}, \"buffer\": {{ \"live_nodes\": {live_nodes}, \
              \"peak_nodes\": {peak_nodes}, \"live_bytes\": {live_bytes}, \
              \"peak_bytes\": {peak_bytes}, \"text_arena_bytes\": {text_arena}, \
              \"nodes_created\": {created}, \"nodes_purged\": {purged} }} }}",
-            esc(&entry.query_label),
-            esc(&entry.peer),
-            entry.started.elapsed().as_millis(),
+            row.age_ms,
         );
-        out.push_str(if i + 1 < ids.len() { ",\n" } else { "\n" });
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
-    drop(sessions);
     out.push_str("  ]\n}\n");
     out
 }
@@ -121,9 +197,27 @@ pub(crate) fn render(shared: &ServerShared) -> String {
 mod tests {
     use super::*;
 
+    fn esc(s: &str) -> String {
+        let mut out = String::new();
+        esc_into(&mut out, s);
+        out
+    }
+
     #[test]
     fn escaping() {
         assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(esc("plain"), "plain");
+        assert_eq!(esc("ctl\u{1}"), "ctl\\u0001");
+    }
+
+    #[test]
+    fn latency_summary_shape() {
+        let h = LatencyHistogram::new();
+        h.record_nanos(1_500_000); // 1.5 ms
+        let mut out = String::new();
+        latency_summary(&mut out, "total", &h);
+        assert!(out.starts_with("\"total\": { \"count\": 1,"), "{out}");
+        assert!(out.contains("\"p50_us\": 1500"), "{out}");
+        assert!(out.contains("\"max_us\": 1500"), "{out}");
     }
 }

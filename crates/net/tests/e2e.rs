@@ -226,7 +226,7 @@ fn stats_report_live_mid_stream_buffer_figures() {
         let stats = client::get(addr, "/stats").unwrap();
         assert_eq!(stats.status, 200);
         let json = stats.text();
-        assert!(json.contains("\"schema\": \"gcx-net-stats/1\""));
+        assert!(json.contains("\"schema\": \"gcx-net-stats/2\""));
         // A live (mid-stream!) session whose engine has already created
         // buffer nodes — the sampling the finish()-only reports could
         // never give us.
@@ -248,6 +248,84 @@ fn stats_report_live_mid_stream_buffer_figures() {
     assert!(stats.contains("\"active_sessions\": 0"), "{stats}");
     assert!(stats.contains("\"sessions_completed\": 1"), "{stats}");
     server.shutdown();
+}
+
+#[test]
+fn metrics_exposition_covers_requests_stages_and_sessions() {
+    let server = GcxServer::bind("127.0.0.1:0", NetConfig::default()).unwrap();
+    let addr = server.local_addr();
+    // Large enough that the sampled stage timers (1 in 512 pump steps)
+    // fire several times per request.
+    let doc = make_doc(200);
+    for _ in 0..3 {
+        let resp = client::post(addr, &query_path(QUERY), &doc).unwrap();
+        assert_eq!(resp.status, 200);
+    }
+    let metrics = client::get(addr, "/metrics").unwrap();
+    assert_eq!(metrics.status, 200);
+    let text = metrics.text();
+    // Exposition format: TYPE lines, counters, histogram series.
+    assert!(text.contains("# TYPE gcx_requests_total counter"), "{text}");
+    assert!(
+        text.contains("# TYPE gcx_request_duration_seconds histogram"),
+        "{text}"
+    );
+    assert!(text.contains("gcx_sessions_completed_total 3"), "{text}");
+    assert!(
+        metric_value(&text, "gcx_request_duration_seconds_count{class=\"query\"}") >= 1,
+        "query latency series non-empty after traffic: {text}"
+    );
+    assert!(
+        metric_value(&text, "gcx_request_ttfb_seconds_count{class=\"all\"}") >= 1,
+        "{text}"
+    );
+    assert!(
+        metric_value(&text, "gcx_conn_queue_wait_seconds_count{class=\"all\"}") >= 1,
+        "{text}"
+    );
+    assert!(
+        metric_value(
+            &text,
+            "gcx_engine_stage_duration_seconds_count{stage=\"lex\"}"
+        ) >= 1,
+        "sampled engine stages populated: {text}"
+    );
+    assert!(
+        metric_value(
+            &text,
+            "gcx_session_phase_duration_seconds_count{phase=\"run\"}"
+        ) >= 1,
+        "{text}"
+    );
+    assert!(
+        text.contains("gcx_request_duration_seconds_bucket{class=\"query\",le=\"+Inf\"}"),
+        "{text}"
+    );
+    // Every non-comment line is `name[{labels}] value`.
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').expect("series and value");
+        assert!(!series.is_empty(), "bad line: {line}");
+        assert!(value.parse::<f64>().is_ok(), "bad value in line: {line}");
+    }
+    // /stats serves the same quantiles in the schema-2 latency section.
+    let stats = client::get(addr, "/stats").unwrap().text();
+    assert!(stats.contains("\"schema\": \"gcx-net-stats/2\""), "{stats}");
+    assert!(stats.contains("\"latency\""), "{stats}");
+    assert!(stats.contains("\"engine_stages\""), "{stats}");
+    assert!(stats.contains("\"p99_us\""), "{stats}");
+    assert!(stats.contains("\"queue_wait\""), "{stats}");
+    server.shutdown();
+}
+
+/// The integer value of one exposition series, 0 when absent.
+fn metric_value(text: &str, series: &str) -> u64 {
+    text.lines()
+        .find_map(|l| l.strip_prefix(series))
+        .and_then(|rest| rest.trim().parse::<u64>().ok())
+        .unwrap_or(0)
 }
 
 /// True when the JSON text contains `"name": <positive integer>`.

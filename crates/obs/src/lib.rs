@@ -1,0 +1,132 @@
+//! # gcx-obs — allocation-free observability primitives
+//!
+//! Dependency-free building blocks for metrics and logging, shared by
+//! every gcx layer (the workspace is offline: no prometheus/tracing
+//! crates, and the engine hot path cannot afford them anyway):
+//!
+//! * [`Counter`] / [`Gauge`] — relaxed atomic scalars.
+//! * [`LatencyHistogram`] — a fixed array of log₂ buckets. Recording a
+//!   duration is two-three relaxed atomic RMWs and **never allocates or
+//!   locks**, so it is safe to call from the engine's per-event path,
+//!   from evaluator threads and from connection workers concurrently.
+//!   [`HistogramSnapshot`] extracts p50/p90/p99/max for `/stats`,
+//!   `/metrics` and bench reports.
+//! * [`log`] — a leveled structured logger configured once from
+//!   `GCX_LOG` (`error|warn|info|debug`, with `target=level` overrides),
+//!   writing complete lines to stderr. See the [`log_error!`],
+//!   [`log_warn!`], [`log_info!`] and [`log_debug!`] macros.
+//!
+//! All types are `const`-constructible so they can live in `static`s or
+//! inside `Arc`s shared across threads without initialization order
+//! concerns.
+
+pub mod hist;
+pub mod log;
+
+pub use hist::{HistogramSnapshot, LatencyHistogram, BUCKETS};
+pub use log::Level;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing event counter (relaxed atomics).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A zeroed counter (usable in `static`s).
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous value (pool occupancy, queue depth). Unlike
+/// [`Counter`] it can move both ways; readers see the last value set.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A zeroed gauge (usable in `static`s).
+    pub const fn new() -> Self {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n` (saturating in practice: callers pair add/sub).
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        let g = Gauge::new();
+        g.set(7);
+        g.add(3);
+        g.sub(4);
+        assert_eq!(g.get(), 6);
+    }
+
+    #[test]
+    fn counter_concurrent_sum() {
+        let c = Arc::new(Counter::new());
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.get(), 80_000);
+    }
+}

@@ -21,11 +21,13 @@
 //! session state machine and memory-budget semantics.
 
 pub mod budget;
+pub mod metrics;
 pub mod pool;
 pub mod service;
 pub mod session;
 
 pub use budget::MemoryBudget;
+pub use metrics::SessionMetrics;
 pub use pool::EvaluatorPool;
 pub use service::{normalize_query, BatchJob, QueryService, ServiceConfig, ServiceStats};
 pub use session::{ProgressWaker, SessionConfig, SessionOutcome, StreamSession, TryFeed};

@@ -1,0 +1,66 @@
+//! Session lifecycle metrics: queue wait, run time, outcome counters.
+//!
+//! One shared [`SessionMetrics`] is installed into every session a
+//! server opens (via [`crate::SessionConfig::metrics`]); recording is
+//! wait-free and allocation-free, so the evaluator's hot path pays a
+//! handful of relaxed atomic ops per *session*, not per event.
+//!
+//! The three phases of a session's life:
+//!
+//! ```text
+//!   StreamSession::new ──► pool queue ──► evaluator job runs ──► done
+//!   └──────── queue_wait ────────────┘└───────── run ─────────┘
+//!   └──────────────────────── total ──────────────────────────┘
+//! ```
+//!
+//! `queue_wait` is where pool saturation shows up: with a dedicated
+//! thread per session it is spawn latency (microseconds); with a
+//! saturated [`crate::EvaluatorPool`] it is how long sessions sit queued
+//! behind running evaluators. Pool *occupancy* itself is observable
+//! directly via [`crate::EvaluatorPool::queued`] / `active` — gauges,
+//! not histograms, so they live with the pool rather than here.
+
+use gcx_obs::{Counter, LatencyHistogram};
+
+/// Wait-free session lifecycle metrics; see module docs.
+#[derive(Debug, Default)]
+pub struct SessionMetrics {
+    /// Session creation → evaluator job start (pool queue time).
+    pub queue_wait: LatencyHistogram,
+    /// Evaluator job start → evaluator done (engine wall time).
+    pub run: LatencyHistogram,
+    /// Session creation → evaluator done.
+    pub total: LatencyHistogram,
+    /// Evaluator jobs that began executing.
+    pub started: Counter,
+    /// Sessions whose evaluation completed successfully.
+    pub completed: Counter,
+    /// Sessions whose evaluation failed (malformed stream, budget, cap).
+    pub failed: Counter,
+    /// Sessions cancelled before their evaluator ever ran.
+    pub cancelled_queued: Counter,
+}
+
+impl SessionMetrics {
+    /// Zeroed metrics (const, usable in statics).
+    pub const fn new() -> Self {
+        SessionMetrics {
+            queue_wait: LatencyHistogram::new(),
+            run: LatencyHistogram::new(),
+            total: LatencyHistogram::new(),
+            started: Counter::new(),
+            completed: Counter::new(),
+            failed: Counter::new(),
+            cancelled_queued: Counter::new(),
+        }
+    }
+
+    /// `(phase name, histogram)` pairs for renderers.
+    pub fn phases(&self) -> [(&'static str, &LatencyHistogram); 3] {
+        [
+            ("queue_wait", &self.queue_wait),
+            ("run", &self.run),
+            ("total", &self.total),
+        ]
+    }
+}

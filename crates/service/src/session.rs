@@ -29,16 +29,22 @@
 //! Dropping an unfinished session cancels it implicitly.
 
 use crate::budget::MemoryBudget;
+use crate::metrics::SessionMetrics;
 use crate::pool::EvaluatorPool;
 use crate::ServiceError;
 use gcx_buffer::LiveBufferStats;
-use gcx_core::{CancelFlag, EngineOptions, GcxEngine, RunReport};
+use gcx_core::{CancelFlag, EngineOptions, EngineStageMetrics, GcxEngine, RunReport};
+use gcx_obs::log_info;
 use gcx_query::CompiledQuery;
 use gcx_xml::TagInterner;
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Log target for session lifecycle events.
+const LOG_TARGET: &str = "gcx_service::session";
 
 /// Session tuning knobs.
 #[derive(Clone)]
@@ -88,6 +94,18 @@ pub struct SessionConfig {
     /// workers) hang a condvar wakeup here instead of sleep-polling.
     /// Must be cheap and must not call back into the session.
     pub progress_waker: Option<ProgressWaker>,
+    /// Optional shared session lifecycle metrics (queue wait, run time,
+    /// outcome counters); one instance is typically shared by every
+    /// session a server opens. Recording is wait-free — a handful of
+    /// relaxed atomic ops per session.
+    pub metrics: Option<Arc<SessionMetrics>>,
+    /// Optional shared per-stage engine timing, installed into the
+    /// session's engine ([`gcx_core::GcxEngine::set_stage_metrics`]).
+    /// Sampled every [`SessionConfig::stage_sample_every`] pump steps.
+    pub stage_metrics: Option<Arc<EngineStageMetrics>>,
+    /// Sampling interval for `stage_metrics` (clamped to ≥ 1); ignored
+    /// when `stage_metrics` is `None`.
+    pub stage_sample_every: u32,
 }
 
 /// Shared wakeup hook for session progress; see
@@ -106,6 +124,9 @@ impl Default for SessionConfig {
             output_max_bytes: usize::MAX,
             pool: None,
             progress_waker: None,
+            metrics: None,
+            stage_metrics: None,
+            stage_sample_every: gcx_core::DEFAULT_STAGE_SAMPLE_EVERY,
         }
     }
 }
@@ -462,6 +483,10 @@ impl StreamSession {
             let engine_opts = config.engine;
             let live_stats = config.live_stats.clone();
             let charge_engine_buffer = config.charge_engine_buffer;
+            let metrics = config.metrics.clone();
+            let stage_metrics = config.stage_metrics.clone();
+            let stage_sample_every = config.stage_sample_every;
+            let created = Instant::now();
             move || {
                 let guard = DoneGuard(shared.clone());
                 {
@@ -472,6 +497,9 @@ impl StreamSession {
                         // queued jobs — that could deadlock a server
                         // worker behind a saturated pool), so reclaim
                         // the session's accounting here.
+                        if let Some(m) = &metrics {
+                            m.cancelled_queued.inc();
+                        }
                         shared.reclaim(&mut st, &budget);
                         drop(st);
                         shared.set_done(Err("session cancelled".to_string()));
@@ -480,6 +508,11 @@ impl StreamSession {
                     }
                     st.started = true;
                 }
+                if let Some(m) = &metrics {
+                    m.queue_wait.record(created.elapsed());
+                    m.started.inc();
+                }
+                let run_start = Instant::now();
                 let mut tags = tags;
                 let reader = ChunkReader {
                     shared: shared.clone(),
@@ -495,12 +528,29 @@ impl StreamSession {
                 if let Some(live) = live_stats {
                     engine.set_live_stats(live);
                 }
+                if let Some(sm) = stage_metrics {
+                    engine.set_stage_metrics(sm, stage_sample_every);
+                }
                 if charge_engine_buffer {
                     if let Some(b) = &budget {
                         engine.set_buffer_accounting(b.clone());
                     }
                 }
                 let result = engine.run().map_err(|e| e.to_string());
+                if let Some(m) = &metrics {
+                    m.run.record(run_start.elapsed());
+                    m.total.record(created.elapsed());
+                    match &result {
+                        Ok(_) => m.completed.inc(),
+                        Err(_) => m.failed.inc(),
+                    }
+                }
+                if let Err(msg) = &result {
+                    // Per-client failures (malformed streams, budget/cap
+                    // trips) are expected under hostile input: info, not
+                    // warn, so a default-level server stays quiet.
+                    log_info!(LOG_TARGET, "session failed: {msg}");
+                }
                 shared.set_done(result);
                 {
                     // The engine (and its writer) are gone — nothing can
@@ -1215,6 +1265,51 @@ mod tests {
             String::from_utf8(out).unwrap(),
             "<r><title>A</title><title>B</title></r>"
         );
+    }
+
+    #[test]
+    fn session_metrics_record_lifecycle_and_stages() {
+        let metrics = Arc::new(SessionMetrics::new());
+        let stage_metrics = Arc::new(EngineStageMetrics::new());
+        let (compiled, tags) = compile(QUERY);
+        let config = SessionConfig {
+            metrics: Some(metrics.clone()),
+            stage_metrics: Some(stage_metrics.clone()),
+            stage_sample_every: 1, // time every pump step: deterministic
+            ..Default::default()
+        };
+        let mut session = StreamSession::new(compiled, tags, config);
+        let _ = session.feed(DOC.as_bytes()).unwrap();
+        session.finish().unwrap();
+        assert_eq!(metrics.started.get(), 1);
+        assert_eq!(metrics.completed.get(), 1);
+        assert_eq!(metrics.failed.get(), 0);
+        assert_eq!(metrics.queue_wait.count(), 1);
+        assert_eq!(metrics.run.count(), 1);
+        assert_eq!(metrics.total.count(), 1);
+        // total covers queue wait + run.
+        let total = metrics.total.snapshot();
+        let run = metrics.run.snapshot();
+        assert!(total.sum_nanos >= run.sum_nanos);
+        // The engine timed its stages through the same config.
+        assert!(stage_metrics.lex.count() > 0, "lex sampled");
+        assert!(stage_metrics.matching.count() > 0, "match sampled");
+    }
+
+    #[test]
+    fn failed_session_counts_as_failed() {
+        let metrics = Arc::new(SessionMetrics::new());
+        let (compiled, tags) = compile(QUERY);
+        let config = SessionConfig {
+            metrics: Some(metrics.clone()),
+            ..Default::default()
+        };
+        let mut session = StreamSession::new(compiled, tags, config);
+        let _ = session.feed(b"</nope>").unwrap();
+        session.finish().unwrap_err();
+        assert_eq!(metrics.failed.get(), 1);
+        assert_eq!(metrics.completed.get(), 0);
+        assert_eq!(metrics.run.count(), 1, "failed runs still measured");
     }
 
     #[test]

@@ -80,7 +80,10 @@ per-session statistics and the cache summary are printed to stderr.
 HTTP mode (--listen): POST /query?xq=<urlencoded query> (or ?name=<query
 file stem from --queries>) with the XML document as the request body —
 chunked uploads stream at constant memory, results stream back chunked.
-GET /stats returns live per-session buffer statistics as JSON.
+GET /stats returns live per-session buffer statistics and latency
+quantiles as JSON; GET /metrics serves the same counters and histograms
+in Prometheus text exposition format. Set GCX_LOG=error|warn|info|debug
+(optionally per target: \"info,gcx_net=debug\") for structured stderr logs.
 ";
 
 fn parse_args() -> Result<Cli, String> {
@@ -251,7 +254,7 @@ fn run_serve_http(cli: &ServeCli) -> Result<(), String> {
     println!("gcx-net: listening on http://{}", server.local_addr());
     println!(
         "gcx-net: {} workers, {} evaluators, {named} named queries; \
-         POST /query, GET /stats, GET /healthz",
+         POST /query, GET /stats, GET /metrics, GET /healthz",
         cli.workers, cli.evaluators,
     );
     use std::io::Write as _;
