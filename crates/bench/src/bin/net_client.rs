@@ -123,13 +123,30 @@ fn run() -> Result<(), String> {
                     .map_err(|e| e.to_string())?;
                 return Ok(());
             }
-            let ps = client::PostStream::open(addr.as_str(), &path)
-                .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
             let chunks: Vec<Vec<u8>> = doc.chunks(chunk.max(1)).map(<[u8]>::to_vec).collect();
             let start = std::time::Instant::now();
-            let resp = ps
-                .stream_and_finish(chunks)
-                .map_err(|e| format!("request failed: {e}"))?;
+            // An overloaded server sheds with 503 + Retry-After; honor it
+            // a few times before giving up so load tests degrade politely.
+            let mut resp = None;
+            for attempt in 0..3 {
+                let ps = client::PostStream::open(addr.as_str(), &path)
+                    .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+                let r = ps
+                    .stream_and_finish(chunks.iter().cloned())
+                    .map_err(|e| format!("request failed: {e}"))?;
+                if r.status == 503 && attempt < 2 {
+                    let wait: u64 = r
+                        .header("retry-after")
+                        .and_then(|v| v.trim().parse().ok())
+                        .unwrap_or(1);
+                    eprintln!("server overloaded (503), retrying in {wait}s");
+                    std::thread::sleep(std::time::Duration::from_secs(wait));
+                    continue;
+                }
+                resp = Some(r);
+                break;
+            }
+            let resp = resp.expect("loop always breaks with a response");
             let elapsed = start.elapsed().as_secs_f64();
             eprintln!(
                 "status {}: {} bytes in, {} bytes out, {:.3}s ({:.1} MB/s in)",

@@ -43,6 +43,7 @@ pub mod client;
 pub mod http;
 mod metrics;
 pub mod server;
+pub mod shutdown;
 mod stats_json;
 
 pub use client::HttpClient;

@@ -214,6 +214,24 @@ pub(crate) fn render(shared: &ServerShared) -> String {
         "Bytes written to client sockets.",
         c.bytes_out.load(Ordering::Relaxed),
     );
+    counter(
+        &mut out,
+        "gcx_requests_shed_total",
+        "Connections answered 503 by overload shedding (admission cap or queue-wait deadline).",
+        c.connections_shed.load(Ordering::Relaxed),
+    );
+    counter(
+        &mut out,
+        "gcx_accept_errors_total",
+        "accept(2) failures; the acceptor backs off exponentially while they persist.",
+        c.accept_errors.load(Ordering::Relaxed),
+    );
+    counter(
+        &mut out,
+        "gcx_evaluator_panics_total",
+        "Evaluator panics caught and converted into failed sessions.",
+        shared.pool.panics(),
+    );
 
     let active = shared.sessions.lock().expect("registry lock").len();
     gauge(
@@ -221,6 +239,12 @@ pub(crate) fn render(shared: &ServerShared) -> String {
         "gcx_active_sessions",
         "Sessions currently registered (mid-stream).",
         active as u64,
+    );
+    gauge(
+        &mut out,
+        "gcx_open_connections",
+        "Connections currently open (queued, driven, or parked).",
+        shared.open_connections() as u64,
     );
     gauge(
         &mut out,

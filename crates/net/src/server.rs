@@ -158,6 +158,15 @@ pub struct NetConfig {
     /// as `sessions_output_capped`) once undrained output creeps past
     /// this. Default 4 MiB.
     pub output_max_bytes: usize,
+    /// Admission cap: with this many connections already open, new ones
+    /// are answered `503 Service Unavailable` + `Retry-After` straight
+    /// from the acceptor instead of queueing behind a saturated server
+    /// (counted in `/stats` as `connections_shed`). Default 4096.
+    pub max_connections: usize,
+    /// Overload deadline for the accept→first-worker-drive queue wait: a
+    /// connection that waited longer is shed with a fast `503` +
+    /// `Retry-After` rather than served at collapsed latency. Default 2 s.
+    pub queue_wait_deadline: Duration,
 }
 
 impl Default for NetConfig {
@@ -175,6 +184,8 @@ impl Default for NetConfig {
             max_requests_per_conn: 1000,
             output_high_water: 1024 * 1024,
             output_max_bytes: 4 * 1024 * 1024,
+            max_connections: 4096,
+            queue_wait_deadline: Duration::from_secs(2),
         }
     }
 }
@@ -198,6 +209,12 @@ pub struct ServerCounters {
     pub tokens_read_total: AtomicU64,
     /// Max `peak_nodes` over completed sessions.
     pub peak_nodes_max: AtomicU64,
+    /// Connections answered `503` by overload shedding — the admission
+    /// cap (`max_connections`) or the queue-wait deadline.
+    pub connections_shed: AtomicU64,
+    /// `accept(2)` failures (fd exhaustion, aborted handshakes); the
+    /// acceptor backs off exponentially while these persist.
+    pub accept_errors: AtomicU64,
 }
 
 /// One live session as seen by `/stats`.
@@ -217,6 +234,13 @@ pub(crate) struct ServerShared {
     /// per-session waker closures hold no cycle back to `ServerShared`).
     progress: Arc<ProgressSignal>,
     stop: AtomicBool,
+    /// Graceful drain in progress: stop accepting, finish in-flight
+    /// requests, answer `Connection: close` at every response boundary.
+    /// Distinct from `stop`, which abandons queued connections outright.
+    draining: AtomicBool,
+    /// Connections currently alive anywhere (queued, driven, parked).
+    /// Maintained by [`OpenGuard`] so every disposal path decrements.
+    open_conns: Arc<AtomicUsize>,
     pub(crate) counters: ServerCounters,
     pub(crate) metrics: NetMetrics,
     pub(crate) sessions: Mutex<HashMap<u64, SessionEntry>>,
@@ -234,8 +258,34 @@ pub(crate) struct ServerShared {
     max_requests_per_conn: u64,
     output_high_water: usize,
     output_max_bytes: usize,
+    max_connections: usize,
+    queue_wait_deadline: Duration,
     pub(crate) workers: usize,
     pub(crate) evaluators: usize,
+}
+
+impl ServerShared {
+    pub(crate) fn open_connections(&self) -> usize {
+        self.open_conns.load(Ordering::SeqCst)
+    }
+}
+
+/// Holds one slot of `open_conns` for the lifetime of its [`Conn`]; the
+/// `Drop` decrement covers every disposal path — clean close, teardown,
+/// shed, or a queued connection dropped by shutdown's `q.clear()`.
+struct OpenGuard(Arc<AtomicUsize>);
+
+impl OpenGuard {
+    fn new(counter: Arc<AtomicUsize>) -> Self {
+        counter.fetch_add(1, Ordering::SeqCst);
+        OpenGuard(counter)
+    }
+}
+
+impl Drop for OpenGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 /// The running server. Bound threads live until [`GcxServer::shutdown`]
@@ -267,6 +317,8 @@ impl GcxServer {
             work: Condvar::new(),
             progress: Arc::new(ProgressSignal::new()),
             stop: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            open_conns: Arc::new(AtomicUsize::new(0)),
             counters: ServerCounters::default(),
             metrics: NetMetrics::new(),
             sessions: Mutex::new(HashMap::new()),
@@ -281,6 +333,8 @@ impl GcxServer {
             max_requests_per_conn: config.max_requests_per_conn.max(1),
             output_high_water: config.output_high_water,
             output_max_bytes: config.output_max_bytes,
+            max_connections: config.max_connections.max(1),
+            queue_wait_deadline: config.queue_wait_deadline,
             workers,
             evaluators,
         });
@@ -361,6 +415,40 @@ impl GcxServer {
         self.stop_and_join();
     }
 
+    /// Graceful drain: stops accepting immediately, lets in-flight
+    /// requests run to completion (keep-alive connections are told
+    /// `Connection: close` at their next response boundary, idle ones
+    /// are closed at once), and hard-cancels whatever is still open when
+    /// `deadline` expires — at which point this degenerates into
+    /// [`GcxServer::shutdown`].
+    pub fn shutdown_graceful(mut self, deadline: Duration) {
+        self.drain_then_stop(deadline);
+    }
+
+    /// Connections currently open (queued, driven, or parked).
+    pub fn open_connections(&self) -> usize {
+        self.shared.open_connections()
+    }
+
+    fn drain_then_stop(&mut self, deadline: Duration) {
+        if self.threads.is_empty() {
+            return;
+        }
+        self.shared.draining.store(true, Ordering::SeqCst);
+        // Unblock the acceptor so it observes the drain and exits.
+        let _ = TcpStream::connect(self.addr);
+        self.shared.work.notify_all();
+        let t0 = Instant::now();
+        while t0.elapsed() < deadline {
+            if self.shared.open_connections() == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Either drained clean or out of patience: hard-stop the rest.
+        self.stop_and_join();
+    }
+
     fn stop_and_join(&mut self) {
         if self.threads.is_empty() {
             return;
@@ -384,35 +472,99 @@ impl Drop for GcxServer {
     }
 }
 
+/// Accept-error backoff bounds: persistent failures (EMFILE under fd
+/// exhaustion, ECONNABORTED storms) must not busy-spin a core, but a
+/// long fixed sleep would throttle recovery — so exponential between
+/// these, reset on the next successful accept.
+const ACCEPT_BACKOFF_MIN: Duration = Duration::from_millis(10);
+const ACCEPT_BACKOFF_MAX: Duration = Duration::from_secs(1);
+
 fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
+    let mut backoff = ACCEPT_BACKOFF_MIN;
     loop {
         match listener.accept() {
             Ok((stream, peer)) => {
-                if shared.stop.load(Ordering::SeqCst) {
+                if shared.stop.load(Ordering::SeqCst) || shared.draining.load(Ordering::SeqCst) {
+                    // Returning drops the listener: a draining server
+                    // refuses new connections at the socket.
                     return;
                 }
+                if gcx_faults::fire("net.accept.err") {
+                    shared
+                        .counters
+                        .accept_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(ACCEPT_BACKOFF_MAX);
+                    continue;
+                }
+                backoff = ACCEPT_BACKOFF_MIN;
                 if stream.set_nonblocking(true).is_err() {
                     continue;
                 }
                 let _ = stream.set_nodelay(true);
+                if shared.open_connections() >= shared.max_connections {
+                    shed_overloaded_stream(shared, stream);
+                    continue;
+                }
                 shared.counters.connections.fetch_add(1, Ordering::Relaxed);
-                let conn = Conn::new(stream, peer.to_string());
+                let conn = Conn::new(
+                    stream,
+                    peer.to_string(),
+                    OpenGuard::new(shared.open_conns.clone()),
+                );
                 let mut q = shared.run_queue.lock().expect("run queue lock");
                 q.push_back(conn);
                 drop(q);
                 shared.work.notify_one();
             }
             Err(e) => {
-                if shared.stop.load(Ordering::SeqCst) {
+                if shared.stop.load(Ordering::SeqCst) || shared.draining.load(Ordering::SeqCst) {
                     return;
                 }
-                log_debug!(LOG_TARGET, "accept error: {e}");
-                // Persistent accept errors (EMFILE under fd exhaustion,
-                // ECONNABORTED storms) must not busy-spin a core.
-                std::thread::sleep(Duration::from_millis(10));
+                shared
+                    .counters
+                    .accept_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                log_debug!(LOG_TARGET, "accept error (backoff {backoff:?}): {e}");
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(ACCEPT_BACKOFF_MAX);
             }
         }
     }
+}
+
+/// The canned overload answer: `503` + `Retry-After`, `Connection:
+/// close`. Kept to one small write so the admission-cap fast path on
+/// the acceptor thread answers within milliseconds even when every
+/// worker is saturated.
+fn overload_response() -> Vec<u8> {
+    let body: &[u8] = b"server overloaded, retry later\n";
+    let len = body.len().to_string();
+    let mut out = http::response_head(
+        503,
+        "Service Unavailable",
+        &[
+            ("Content-Type", TEXT_PLAIN),
+            ("Retry-After", "1"),
+            ("Content-Length", &len),
+        ],
+        false,
+    );
+    out.extend_from_slice(body);
+    out
+}
+
+/// Sheds a connection the admission cap rejected: best-effort fast 503
+/// straight from the acceptor thread, then close (drop).
+fn shed_overloaded_stream(shared: &Arc<ServerShared>, mut stream: TcpStream) {
+    shared
+        .counters
+        .connections_shed
+        .fetch_add(1, Ordering::Relaxed);
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.write_all(&overload_response());
+    log_debug!(LOG_TARGET, "connection shed: admission cap reached");
 }
 
 fn worker_loop(shared: &Arc<ServerShared>) {
@@ -450,7 +602,23 @@ fn worker_loop(shared: &Arc<ServerShared>) {
         };
         if !conn.queue_wait_recorded {
             conn.queue_wait_recorded = true;
-            shared.metrics.queue_wait.record(conn.accepted.elapsed());
+            let waited = conn.accepted.elapsed();
+            shared.metrics.queue_wait.record(waited);
+            if waited > shared.queue_wait_deadline {
+                // Saturated past the deadline before the first drive:
+                // shedding this connection fast beats serving everyone
+                // at collapsed latency.
+                conn.shed_overloaded(shared);
+                idle_streak = 0;
+                continue;
+            }
+        }
+        if shared.draining.load(Ordering::SeqCst) && conn.is_idle_keep_alive() {
+            // Draining: close parked keep-alive connections immediately
+            // instead of letting them sit out the keep-alive timeout.
+            conn.teardown(shared);
+            idle_streak = 0;
+            continue;
         }
         // Observe the progress sequence *before* driving: progress made
         // by an evaluator during the attempt bumps it, so a subsequent
@@ -665,6 +833,8 @@ struct Conn {
     /// source without epoll; this keeps sequential keep-alive requests
     /// from paying the full poll interval as latency.
     hot_until: Option<Instant>,
+    /// Slot in the server's `open_conns` count (released on drop).
+    _open: OpenGuard,
 }
 
 /// How long after a completed response the connection is polled hot.
@@ -683,10 +853,11 @@ const SEND_HIGH_WATER: usize = 256 * 1024;
 const RECV_HIGH_WATER: usize = 256 * 1024;
 
 impl Conn {
-    fn new(stream: TcpStream, peer: String) -> Self {
+    fn new(stream: TcpStream, peer: String, open: OpenGuard) -> Self {
         Conn {
             stream,
             peer,
+            _open: open,
             recv: Vec::new(),
             send: Vec::new(),
             send_pos: 0,
@@ -701,6 +872,29 @@ impl Conn {
             ttfb_pending: false,
             hot_until: None,
         }
+    }
+
+    /// A keep-alive connection parked between requests with nothing
+    /// buffered in either direction — safe to close during a drain.
+    fn is_idle_keep_alive(&self) -> bool {
+        self.requests_served > 0
+            && self.recv.is_empty()
+            && self.send_pos >= self.send.len()
+            && matches!(self.state, ConnState::Head)
+    }
+
+    /// Sheds this connection (queue-wait deadline exceeded): a fast 503
+    /// + `Retry-After`, best-effort flushed, then close.
+    fn shed_overloaded(&mut self, shared: &Arc<ServerShared>) {
+        shared
+            .counters
+            .connections_shed
+            .fetch_add(1, Ordering::Relaxed);
+        self.send.extend_from_slice(&overload_response());
+        if self.send_pos < self.send.len() {
+            let _ = self.stream.write_all(&self.send[self.send_pos..]);
+        }
+        self.teardown(shared);
     }
 
     /// The park timeout for a worker holding this (blocked) connection.
@@ -755,7 +949,10 @@ impl Conn {
                 .record(t0.elapsed());
         }
         self.ttfb_pending = false;
-        if close {
+        // A drain that began mid-response still ends the connection at
+        // this boundary, even if the response itself negotiated
+        // keep-alive before the drain started.
+        if close || shared.draining.load(Ordering::SeqCst) {
             let _ = self.stream.shutdown(std::net::Shutdown::Both);
             self.state = ConnState::Closed;
             return StepResult::Finished;
@@ -815,8 +1012,12 @@ impl Conn {
     }
 
     /// Whether the connection may serve another request after this one.
+    /// A draining server answers `Connection: close` at every response
+    /// boundary so keep-alive clients let go promptly.
     fn negotiate_keep_alive(&self, shared: &Arc<ServerShared>, head: &http::RequestHead) -> bool {
-        head.wants_keep_alive() && self.requests_served < shared.max_requests_per_conn
+        head.wants_keep_alive()
+            && self.requests_served < shared.max_requests_per_conn
+            && !shared.draining.load(Ordering::SeqCst)
     }
 
     fn dispatch(&mut self, shared: &Arc<ServerShared>, head: &http::RequestHead) {
@@ -964,6 +1165,9 @@ impl Conn {
             && !head.is_http10();
         let chunked_response = !head.is_http10();
         let live = Arc::new(LiveBufferStats::default());
+        let label = head
+            .param("name")
+            .map_or_else(|| preview(&query_text), str::to_string);
         let session = {
             let live = live.clone();
             let pool = shared.pool.clone();
@@ -973,6 +1177,7 @@ impl Conn {
             let output_max_bytes = shared.output_max_bytes;
             let session_metrics = shared.metrics.sessions.clone();
             let stage_metrics = shared.metrics.engine_stages.clone();
+            let label = label.clone();
             shared.service.open_session_with(&query_text, move |cfg| {
                 cfg.live_stats = Some(live);
                 cfg.pool = Some(pool);
@@ -982,6 +1187,7 @@ impl Conn {
                 cfg.progress_waker = Some(Arc::new(move || signal.bump()));
                 cfg.metrics = Some(session_metrics);
                 cfg.stage_metrics = Some(stage_metrics);
+                cfg.label = Some(label);
             })
         };
         let session = match session {
@@ -999,9 +1205,6 @@ impl Conn {
             }
         };
         let session_id = shared.next_session_id.fetch_add(1, Ordering::Relaxed);
-        let label = head
-            .param("name")
-            .map_or_else(|| preview(&query_text), str::to_string);
         shared.sessions.lock().expect("registry lock").insert(
             session_id,
             SessionEntry {
@@ -1408,7 +1611,20 @@ impl Conn {
         if self.scratch.len() < shared.io_chunk_bytes {
             self.scratch.resize(shared.io_chunk_bytes, 0);
         }
-        match self.stream.read(&mut self.scratch) {
+        if gcx_faults::fire("net.read.err") {
+            return ReadOutcome::Gone;
+        }
+        if gcx_faults::fire("net.read.eof") {
+            return ReadOutcome::Eof;
+        }
+        // A short read truncates the *request*, never loses bytes: the
+        // cap is applied before asking the socket.
+        let cap = if gcx_faults::fire("net.read.short") {
+            1
+        } else {
+            self.scratch.len()
+        };
+        match self.stream.read(&mut self.scratch[..cap]) {
             Ok(0) => ReadOutcome::Eof,
             Ok(n) => {
                 shared
@@ -1432,7 +1648,18 @@ impl Conn {
             }
             return WriteOutcome::Idle;
         }
-        match self.stream.write(&self.send[self.send_pos..]) {
+        if gcx_faults::fire("net.write.err") {
+            return WriteOutcome::Gone;
+        }
+        let cap = if gcx_faults::fire("net.write.short") {
+            1
+        } else {
+            self.send.len() - self.send_pos
+        };
+        match self
+            .stream
+            .write(&self.send[self.send_pos..self.send_pos + cap])
+        {
             Ok(0) => WriteOutcome::Gone,
             Ok(n) => {
                 shared

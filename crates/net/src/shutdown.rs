@@ -1,0 +1,63 @@
+//! Process-signal wiring for graceful drain.
+//!
+//! `gcx serve` installs a handler for `SIGTERM`/`SIGINT` that sets a
+//! flag; the serve loop polls [`terminate_requested`] and calls
+//! [`crate::GcxServer::shutdown_graceful`] when it flips. The handler
+//! itself does nothing but an atomic store — the only thing that is
+//! async-signal-safe here.
+//!
+//! The workspace is dependency-free (no `libc` crate), so the two libc
+//! symbols needed are declared directly; `std` already links libc on
+//! every unix target.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TERMINATE: AtomicBool = AtomicBool::new(false);
+
+/// `true` once a termination signal (or [`request_terminate`]) arrived.
+pub fn terminate_requested() -> bool {
+    TERMINATE.load(Ordering::SeqCst)
+}
+
+/// Flips the flag by hand — what the signal handler does, callable from
+/// tests and non-unix fallbacks.
+pub fn request_terminate() {
+    TERMINATE.store(true, Ordering::SeqCst);
+}
+
+/// Installs the `SIGTERM`/`SIGINT` handler. Returns `false` on targets
+/// without unix signals (callers should fall back to blocking forever).
+#[cfg(unix)]
+pub fn install_terminate_handler() -> bool {
+    extern "C" fn on_terminate(_signum: i32) {
+        TERMINATE.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_terminate);
+        signal(SIGTERM, on_terminate);
+    }
+    true
+}
+
+/// Installs the `SIGTERM`/`SIGINT` handler. Returns `false` on targets
+/// without unix signals (callers should fall back to blocking forever).
+#[cfg(not(unix))]
+pub fn install_terminate_handler() -> bool {
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn manual_request_flips_the_flag() {
+        // Not asserting the initial state: another test (or a stray
+        // signal) may have flipped the process-global flag already.
+        super::request_terminate();
+        assert!(super::terminate_requested());
+    }
+}

@@ -1,4 +1,4 @@
-//! `/stats` JSON rendering (schema `gcx-net-stats/2`).
+//! `/stats` JSON rendering (schema `gcx-net-stats/3`).
 //!
 //! Hand-rolled like gcx-bench's report module — the workspace is offline,
 //! no serde. The document has five sections:
@@ -110,19 +110,22 @@ pub(crate) fn render(shared: &ServerShared) -> String {
     rows.sort_unstable_by_key(|r| r.id);
 
     let mut out = String::with_capacity(2048);
-    out.push_str("{\n  \"schema\": \"gcx-net-stats/2\",\n");
+    out.push_str("{\n  \"schema\": \"gcx-net-stats/3\",\n");
 
     let _ = writeln!(
         out,
         "  \"server\": {{ \"workers\": {}, \"evaluators\": {}, \"threads\": {}, \
-         \"active_sessions\": {}, \"connections\": {}, \"requests\": {}, \
-         \"sessions_completed\": {}, \"sessions_failed\": {}, \
+         \"active_sessions\": {}, \"open_connections\": {}, \"connections\": {}, \
+         \"requests\": {}, \"sessions_completed\": {}, \"sessions_failed\": {}, \
          \"sessions_output_capped\": {}, \"bytes_in\": {}, \"bytes_out\": {}, \
-         \"tokens_read_total\": {}, \"peak_nodes_max\": {} }},",
+         \"tokens_read_total\": {}, \"peak_nodes_max\": {}, \
+         \"connections_shed\": {}, \"accept_errors\": {}, \
+         \"evaluator_panics\": {} }},",
         shared.workers,
         shared.evaluators,
         1 + shared.workers + shared.evaluators,
         rows.len(),
+        shared.open_connections(),
         c.connections.load(Ordering::Relaxed),
         c.requests.load(Ordering::Relaxed),
         c.sessions_completed.load(Ordering::Relaxed),
@@ -132,6 +135,9 @@ pub(crate) fn render(shared: &ServerShared) -> String {
         c.bytes_out.load(Ordering::Relaxed),
         c.tokens_read_total.load(Ordering::Relaxed),
         c.peak_nodes_max.load(Ordering::Relaxed),
+        c.connections_shed.load(Ordering::Relaxed),
+        c.accept_errors.load(Ordering::Relaxed),
+        shared.pool.panics(),
     );
 
     let _ = writeln!(

@@ -56,6 +56,9 @@ impl MemoryBudget {
     /// Attempts to reserve `n` bytes; `false` when that would exceed the
     /// limit (nothing is reserved in that case).
     pub fn try_reserve(&self, n: usize) -> bool {
+        if gcx_faults::fire("budget.reject") {
+            return false;
+        }
         let mut current = self.used.load(Ordering::Relaxed);
         loop {
             let Some(next) = current.checked_add(n) else {

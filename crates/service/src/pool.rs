@@ -17,6 +17,7 @@
 //! enforces idle timeouts for exactly this reason).
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
@@ -34,6 +35,11 @@ struct PoolInner {
     /// Signaled when a job arrives or shutdown is requested.
     work: Condvar,
     size: usize,
+    /// Evaluator panics observed — either caught by a worker's
+    /// `catch_unwind` or reported by a session via
+    /// [`EvaluatorPool::note_panic`] (sessions catch around the engine
+    /// run themselves so they can fail the session with a message).
+    panics: AtomicU64,
 }
 
 /// A fixed-size evaluator thread pool. Cheap to clone (shared handle).
@@ -57,6 +63,7 @@ impl EvaluatorPool {
             }),
             work: Condvar::new(),
             size,
+            panics: AtomicU64::new(0),
         });
         let handles = (0..size)
             .map(|i| {
@@ -86,6 +93,18 @@ impl EvaluatorPool {
     /// Jobs currently executing.
     pub fn active(&self) -> usize {
         self.inner.state.lock().expect("pool lock").active
+    }
+
+    /// Evaluator panics observed so far (see `PoolInner::panics`).
+    pub fn panics(&self) -> u64 {
+        self.inner.panics.load(Ordering::Relaxed)
+    }
+
+    /// Records an evaluator panic that a session caught and converted
+    /// into a session error itself (the worker's own `catch_unwind`
+    /// never sees those).
+    pub fn note_panic(&self) {
+        self.inner.panics.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Enqueues a job; some worker will run it. Jobs are never dropped —
@@ -137,9 +156,16 @@ fn worker_loop(inner: &PoolInner) {
                 st = inner.work.wait(st).expect("pool lock poisoned");
             }
         };
+        if let Some(d) = gcx_faults::delay("pool.delay") {
+            std::thread::sleep(d);
+        }
         // Panics are the session's problem (its DoneGuard reports them);
-        // the worker itself must survive to serve the next job.
+        // the worker itself must survive to serve the next job — but they
+        // are counted, never silently swallowed.
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+        if result.is_err() {
+            inner.panics.fetch_add(1, Ordering::Relaxed);
+        }
         let mut st = inner.state.lock().expect("pool lock");
         st.active -= 1;
         drop(st);
@@ -228,5 +254,17 @@ mod tests {
         }
         pool.shutdown();
         assert_eq!(done.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn panics_are_counted() {
+        let pool = EvaluatorPool::new(1);
+        assert_eq!(pool.panics(), 0);
+        pool.submit(Box::new(|| panic!("boom")));
+        pool.submit(Box::new(|| {}));
+        pool.shutdown();
+        assert_eq!(pool.panics(), 1);
+        pool.note_panic();
+        assert_eq!(pool.panics(), 2);
     }
 }

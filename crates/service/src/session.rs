@@ -34,7 +34,7 @@ use crate::pool::EvaluatorPool;
 use crate::ServiceError;
 use gcx_buffer::LiveBufferStats;
 use gcx_core::{CancelFlag, EngineOptions, EngineStageMetrics, GcxEngine, RunReport};
-use gcx_obs::log_info;
+use gcx_obs::{log_error, log_info};
 use gcx_query::CompiledQuery;
 use gcx_xml::TagInterner;
 use std::collections::VecDeque;
@@ -106,6 +106,9 @@ pub struct SessionConfig {
     /// Sampling interval for `stage_metrics` (clamped to ≥ 1); ignored
     /// when `stage_metrics` is `None`.
     pub stage_sample_every: u32,
+    /// Human-readable session label (e.g. the query name) used in error
+    /// logs — most importantly the evaluator-panic report.
+    pub label: Option<String>,
 }
 
 /// Shared wakeup hook for session progress; see
@@ -127,6 +130,7 @@ impl Default for SessionConfig {
             metrics: None,
             stage_metrics: None,
             stage_sample_every: gcx_core::DEFAULT_STAGE_SAMPLE_EVERY,
+            label: None,
         }
     }
 }
@@ -269,6 +273,15 @@ impl Drop for DoneGuard {
         self.0
             .set_done(Err("evaluator thread panicked".to_string()));
     }
+}
+
+/// Best-effort text of a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("non-string panic payload")
 }
 
 /// The evaluator-side `Read`: pops fed chunks, blocking until data,
@@ -486,6 +499,8 @@ impl StreamSession {
             let metrics = config.metrics.clone();
             let stage_metrics = config.stage_metrics.clone();
             let stage_sample_every = config.stage_sample_every;
+            let pool = config.pool.clone();
+            let label = config.label.clone();
             let created = Instant::now();
             move || {
                 let guard = DoneGuard(shared.clone());
@@ -536,7 +551,31 @@ impl StreamSession {
                         engine.set_buffer_accounting(b.clone());
                     }
                 }
-                let result = engine.run().map_err(|e| e.to_string());
+                // A panicking evaluator must fail *this session*, not the
+                // pool worker carrying it: catch the unwind (the engine,
+                // its writer, and their budget charges drop during it)
+                // and convert it into a normal session error.
+                let result =
+                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                        if gcx_faults::fire("eval.panic") {
+                            panic!("injected evaluator panic (gcx-faults)");
+                        }
+                        engine.run()
+                    })) {
+                        Ok(run) => run.map_err(|e| e.to_string()),
+                        Err(payload) => {
+                            let msg = panic_message(payload.as_ref());
+                            if let Some(p) = &pool {
+                                p.note_panic();
+                            }
+                            log_error!(
+                                LOG_TARGET,
+                                "evaluator panicked (session {}): {msg}",
+                                label.as_deref().unwrap_or("unlabeled")
+                            );
+                            Err(format!("evaluator panicked: {msg}"))
+                        }
+                    };
                 if let Some(m) = &metrics {
                     m.run.record(run_start.elapsed());
                     m.total.record(created.elapsed());

@@ -72,6 +72,12 @@ SERVE OPTIONS (gcx serve):
                            (port 0 picks an ephemeral port, printed on stdout)
         --workers <N>      HTTP connection workers (default 4; --listen only)
         --evaluators <N>   evaluator pool threads (default 8; --listen only)
+        --max-connections <N>  admission cap: beyond this many open
+                           connections, new ones get a fast 503 +
+                           Retry-After (default 4096; --listen only)
+        --drain-timeout <SECS> graceful-drain deadline on SIGTERM/SIGINT:
+                           in-flight requests get this long to finish
+                           before hard cancel (default 30; --listen only)
 
 File mode: every query runs against every XML input (stdin as the single
 input when no files are given), concurrently through one QueryService;
@@ -84,6 +90,7 @@ GET /stats returns live per-session buffer statistics and latency
 quantiles as JSON; GET /metrics serves the same counters and histograms
 in Prometheus text exposition format. Set GCX_LOG=error|warn|info|debug
 (optionally per target: \"info,gcx_net=debug\") for structured stderr logs.
+SIGTERM/SIGINT drain gracefully (see --drain-timeout).
 ";
 
 fn parse_args() -> Result<Cli, String> {
@@ -156,6 +163,8 @@ struct ServeCli {
     listen: Option<String>,
     workers: usize,
     evaluators: usize,
+    max_connections: usize,
+    drain_timeout: u64,
 }
 
 fn parse_serve_args(args: impl Iterator<Item = String>) -> Result<ServeCli, String> {
@@ -170,6 +179,8 @@ fn parse_serve_args(args: impl Iterator<Item = String>) -> Result<ServeCli, Stri
         listen: None,
         workers: 4,
         evaluators: 8,
+        max_connections: 4096,
+        drain_timeout: 30,
     };
     let mut args = args.peekable();
     let parse_num = |v: Option<String>, what: &str| -> Result<usize, String> {
@@ -198,6 +209,12 @@ fn parse_serve_args(args: impl Iterator<Item = String>) -> Result<ServeCli, Stri
             }
             "--workers" => cli.workers = parse_num(args.next(), "--workers")?.max(1),
             "--evaluators" => cli.evaluators = parse_num(args.next(), "--evaluators")?.max(1),
+            "--max-connections" => {
+                cli.max_connections = parse_num(args.next(), "--max-connections")?.max(1);
+            }
+            "--drain-timeout" => {
+                cli.drain_timeout = parse_num(args.next(), "--drain-timeout")? as u64;
+            }
             other if other.starts_with('-') => {
                 return Err(format!("unknown serve option '{other}' (try --help)"));
             }
@@ -247,6 +264,7 @@ fn run_serve_http(cli: &ServeCli) -> Result<(), String> {
             ..Default::default()
         },
         queries,
+        max_connections: cli.max_connections,
         ..Default::default()
     };
     let server =
@@ -259,7 +277,23 @@ fn run_serve_http(cli: &ServeCli) -> Result<(), String> {
     );
     use std::io::Write as _;
     std::io::stdout().flush().ok();
-    server.wait();
+    if gcx_net::shutdown::install_terminate_handler() {
+        // Foreground loop: poll the signal flag, then drain — in-flight
+        // requests finish, keep-alive clients are told to close, and
+        // whatever remains past the deadline is hard-cancelled.
+        while !gcx_net::shutdown::terminate_requested() {
+            std::thread::sleep(std::time::Duration::from_millis(100));
+        }
+        let deadline = std::time::Duration::from_secs(cli.drain_timeout);
+        eprintln!(
+            "gcx-net: termination signal, draining (deadline {}s)",
+            cli.drain_timeout
+        );
+        server.shutdown_graceful(deadline);
+        eprintln!("gcx-net: drained");
+    } else {
+        server.wait();
+    }
     Ok(())
 }
 
