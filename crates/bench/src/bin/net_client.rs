@@ -8,7 +8,16 @@
 //!                  --input doc.xml [--chunk 65536]    stream a document, print result
 //!                  [--repeat N --keepalive]           N requests over one connection
 //!                  [--latency]                        per-request latency summary
+//! net_client trace --url http://127.0.0.1:8080/trace  fetch + validate a trace
+//!                  [--allow-empty]                    don't require spans
 //! ```
+//!
+//! `trace` fetches the server's flight-recorder export (Chrome
+//! trace-event JSON), checks every event carries `ph`/`pid`/`tid` (and
+//! `ts` for non-metadata events), and — unless `--allow-empty` — fails
+//! if the capture holds no engine-stage span or no buffer event with an
+//! input byte offset. The CI net-smoke job runs it after the query
+//! round to prove `GET /trace` is Perfetto-loadable and non-trivial.
 //!
 //! `post` uploads chunked while concurrently reading the streamed
 //! response (a real streaming client), writes the result body to stdout
@@ -164,8 +173,171 @@ fn run() -> Result<(), String> {
             }
             Ok(())
         }
-        other => Err(format!("unknown mode {other:?} (gen|query|post)")),
+        "trace" => {
+            let url =
+                arg_value(&args, "--url").unwrap_or_else(|| "http://127.0.0.1:8080/trace".into());
+            let (addr, path) = split_url(&url)?;
+            let resp = client::get(addr.as_str(), &path)
+                .map_err(|e| format!("cannot fetch {url}: {e}"))?;
+            if resp.status != 200 {
+                return Err(format!("server returned {}", resp.status));
+            }
+            let body = resp.text();
+            let report = validate_trace(&body)?;
+            eprintln!(
+                "trace: {} events ({} metadata, {} stage spans, {} buffer events, \
+                 {} with byte offsets)",
+                report.events,
+                report.metadata,
+                report.stage_spans,
+                report.buffer_events,
+                report.offset_args,
+            );
+            if !args.iter().any(|a| a == "--allow-empty") {
+                if report.stage_spans == 0 {
+                    return Err(
+                        "trace holds no engine-stage span (lex/skip/match/buffer/emit/queue-wait)"
+                            .into(),
+                    );
+                }
+                if report.buffer_events == 0 {
+                    return Err("trace holds no buffer event (node-buffered/sign-off/...)".into());
+                }
+                if report.offset_args == 0 {
+                    return Err("no buffer event carries an input byte offset".into());
+                }
+            }
+            std::io::stdout()
+                .write_all(body.as_bytes())
+                .map_err(|e| e.to_string())?;
+            Ok(())
+        }
+        other => Err(format!("unknown mode {other:?} (gen|query|post|trace)")),
     }
+}
+
+/// What [`validate_trace`] counted.
+struct TraceReport {
+    events: usize,
+    metadata: usize,
+    stage_spans: usize,
+    buffer_events: usize,
+    offset_args: usize,
+}
+
+/// Validates Chrome trace-event JSON shape without a JSON library: finds
+/// the `traceEvents` array, splits it into event objects (brace-depth
+/// scan that skips string contents), and requires `ph`/`pid`/`tid` on
+/// every event plus `ts` on non-metadata events.
+fn validate_trace(body: &str) -> Result<TraceReport, String> {
+    const STAGES: [&str; 6] = ["queue-wait", "lex", "skip", "match", "buffer", "emit"];
+    const BUFFER_EVENTS: [&str; 6] = [
+        "node-buffered",
+        "sign-off",
+        "subtree-delete",
+        "budget-reserve",
+        "budget-reject",
+        "high-water",
+    ];
+    let key = "\"traceEvents\":[";
+    let start = body
+        .find(key)
+        .ok_or("no \"traceEvents\" array in response")?
+        + key.len();
+    let bytes = body.as_bytes();
+    let mut report = TraceReport {
+        events: 0,
+        metadata: 0,
+        stage_spans: 0,
+        buffer_events: 0,
+        offset_args: 0,
+    };
+    // Walk the array: depth 0 is between events, braces open an event.
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut escaped = false;
+    let mut event_start = 0usize;
+    let mut i = start;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if b == b'\\' {
+                escaped = true;
+            } else if b == b'"' {
+                in_str = false;
+            }
+        } else {
+            match b {
+                b'"' => in_str = true,
+                b'{' => {
+                    if depth == 0 {
+                        event_start = i;
+                    }
+                    depth += 1;
+                }
+                b'}' => {
+                    depth = depth
+                        .checked_sub(1)
+                        .ok_or("unbalanced braces in traceEvents")?;
+                    if depth == 0 {
+                        check_event(&body[event_start..=i], &STAGES, &BUFFER_EVENTS, &mut report)?;
+                    }
+                }
+                b']' if depth == 0 => {
+                    return Ok(report);
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    Err("traceEvents array never closes".into())
+}
+
+/// Validates one event object's required fields and updates the counts.
+fn check_event(
+    ev: &str,
+    stages: &[&str],
+    buffer_events: &[&str],
+    report: &mut TraceReport,
+) -> Result<(), String> {
+    report.events += 1;
+    let field = |name: &str| -> Option<&str> {
+        let key = format!("\"{name}\":");
+        let at = ev.find(&key)? + key.len();
+        Some(ev[at..].trim_start_matches('"'))
+    };
+    let ph = field("ph").ok_or_else(|| format!("event without \"ph\": {ev}"))?;
+    for required in ["pid", "tid"] {
+        if field(required).is_none() {
+            return Err(format!("event without \"{required}\": {ev}"));
+        }
+    }
+    let ph = ph.chars().next().unwrap_or(' ');
+    if ph == 'M' {
+        report.metadata += 1;
+        return Ok(());
+    }
+    if field("ts").is_none() {
+        return Err(format!("non-metadata event without \"ts\": {ev}"));
+    }
+    let name_of = |candidates: &[&str]| {
+        candidates
+            .iter()
+            .any(|n| ev.contains(&format!("\"name\":\"{n}\"")))
+    };
+    if ph == 'X' && name_of(stages) {
+        report.stage_spans += 1;
+    }
+    if ph == 'i' && name_of(buffer_events) {
+        report.buffer_events += 1;
+        if ev.contains("\"offset\":") {
+            report.offset_args += 1;
+        }
+    }
+    Ok(())
 }
 
 /// Splits `http://host:port/path?query` into (`host:port`, `/path?query`).

@@ -1,10 +1,15 @@
 //! The buffer tree and active garbage collection (paper §5, §6, Fig. 10).
 
 use crate::stats::{BufferAccounting, BufferStats, LiveBufferStats};
+use gcx_obs::{FlightRecorder, SpanKind};
 use gcx_projection::{Role, RoleSet};
 use gcx_xml::TagId;
 use std::fmt;
 use std::sync::Arc;
+
+/// High-water trace events fire only when `peak_bytes` crosses a new
+/// multiple of this step — per-allocation peaks would drown the trace.
+const HIGH_WATER_STEP: usize = 64 * 1024;
 
 /// Index of a node in the buffer arena. Slots are recycled after purging;
 /// the engine guarantees (via roles and pins) that it never dereferences a
@@ -172,6 +177,13 @@ pub struct BufferTree {
     /// Bytes currently reserved against `accounting` (released on purge
     /// and wholesale on drop).
     accounted_bytes: usize,
+    /// Optional flight recorder + trace ID: buffer events (node buffered,
+    /// signOff, subtree delete, budget reserve/reject, high-water) are
+    /// recorded as instants stamped with `stream_offset`.
+    flight: Option<(Arc<FlightRecorder>, u64)>,
+    /// Byte offset in the input stream of the event currently being
+    /// applied (pushed by the preprojector before each buffer mutation).
+    stream_offset: u64,
 }
 
 impl BufferTree {
@@ -201,6 +213,8 @@ impl BufferTree {
             sweep: Vec::with_capacity(64),
             accounting: None,
             accounted_bytes: 0,
+            flight: None,
+            stream_offset: 0,
         };
         let root = tree
             .alloc(BufKind::Root, None)
@@ -231,6 +245,30 @@ impl BufferTree {
     /// (or until the tree drops).
     pub fn set_accounting(&mut self, accounting: Arc<dyn BufferAccounting>) {
         self.accounting = Some(accounting);
+    }
+
+    /// Installs a flight recorder: buffer events for this tree are
+    /// recorded under `trace_id` as instants stamped with the input
+    /// stream offset (see [`BufferTree::set_stream_offset`]).
+    pub fn set_flight_recorder(&mut self, recorder: Arc<FlightRecorder>, trace_id: u64) {
+        self.flight = Some((recorder, trace_id));
+    }
+
+    /// Updates the input-stream byte offset stamped onto subsequent
+    /// buffer events. The preprojector pushes the lexer offset here
+    /// before applying each stream event (only when a recorder is
+    /// installed).
+    #[inline]
+    pub fn set_stream_offset(&mut self, offset: u64) {
+        self.stream_offset = offset;
+    }
+
+    /// Records a buffer-event instant when a recorder is installed.
+    #[inline]
+    fn trace_event(&self, kind: SpanKind, value: u64) {
+        if let Some((rec, tid)) = &self.flight {
+            rec.record_instant(*tid, kind, self.stream_offset, value);
+        }
     }
 
     /// The stable, reserve/release-symmetric accounting cost of a node.
@@ -270,12 +308,14 @@ impl BufferTree {
         if let Some(acc) = &self.accounting {
             let requested = Self::charge_for(&kind);
             if !acc.reserve(requested) {
+                self.trace_event(SpanKind::BudgetReject, requested as u64);
                 return Err(BufferError::BudgetExceeded {
                     requested,
                     used: acc.used(),
                     limit: acc.limit(),
                 });
             }
+            self.trace_event(SpanKind::BudgetReserve, requested as u64);
             self.accounted_bytes += requested;
         }
         let node = Node {
@@ -315,7 +355,15 @@ impl BufferTree {
             self.nodes.push(node);
             (BufNodeId(self.nodes.len() as u32 - 1), bytes)
         };
+        let prev_peak = self.stats.peak_bytes;
         self.stats.alloc(bytes);
+        if self.flight.is_some() {
+            self.trace_event(SpanKind::NodeBuffered, bytes as u64);
+            let peak = self.stats.peak_bytes;
+            if peak / HIGH_WATER_STEP != prev_peak / HIGH_WATER_STEP {
+                self.trace_event(SpanKind::HighWater, peak as u64);
+            }
+        }
         self.publish_live();
         Ok(id)
     }
@@ -482,6 +530,7 @@ impl BufferTree {
             return Ok(());
         }
         self.stats.signoffs += 1;
+        self.trace_event(SpanKind::SignOff, u64::from(count));
         let had = self.n(id).roles.count(role);
         let removed = self.n_mut(id).roles.remove_n(role, count);
         if removed != count {
@@ -629,6 +678,7 @@ impl BufferTree {
             acc.release(released);
             self.accounted_bytes -= released;
         }
+        self.trace_event(SpanKind::SubtreeDelete, released as u64);
         self.publish_live();
     }
 

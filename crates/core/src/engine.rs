@@ -172,6 +172,9 @@ pub struct GcxEngine<'t, 'q, R: Read, W: Write> {
     /// projector, the engine itself times `emit` (output subtrees).
     stage_metrics: Option<Arc<EngineStageMetrics>>,
     emit_tick: u32,
+    /// Request-scoped flight recorder + trace ID (emit spans; the pump
+    /// stages record in the projector, buffer events in the buffer).
+    flight: Option<(Arc<gcx_obs::FlightRecorder>, u64)>,
     /// Reusable scratch (see "Evaluator allocation discipline" below):
     /// nodes matched by a comparison step, a node's string value, and the
     /// signOff path frontier/next sets. Taken/restored around use so the
@@ -210,6 +213,7 @@ impl<'t, 'q, R: Read, W: Write> GcxEngine<'t, 'q, R, W> {
             debug: gcx_obs::log::enabled(gcx_obs::Level::Debug, LOG_TARGET),
             stage_metrics: None,
             emit_tick: 0,
+            flight: None,
             cmp_nodes: Vec::new(),
             cmp_text: String::new(),
             path_frontier: Vec::new(),
@@ -258,11 +262,25 @@ impl<'t, 'q, R: Read, W: Write> GcxEngine<'t, 'q, R, W> {
         self.stage_metrics = Some(metrics);
     }
 
+    /// Installs a request-scoped flight recorder under `trace_id` across
+    /// the whole engine: pump-stage spans (projector), buffer events
+    /// stamped with the input byte offset (buffer tree), and emit spans
+    /// (here). Sampling cadence follows [`Self::set_stage_metrics`] for
+    /// the pump stages and [`EMIT_SAMPLE_EVERY`] for emits.
+    pub fn set_flight_recorder(&mut self, recorder: Arc<gcx_obs::FlightRecorder>, trace_id: u64) {
+        self.projector
+            .set_flight_recorder(recorder.clone(), trace_id);
+        self.buffer.set_flight_recorder(recorder.clone(), trace_id);
+        self.flight = Some((recorder, trace_id));
+    }
+
     /// Starts an emit-stage timer for one in [`EMIT_SAMPLE_EVERY`]
     /// `write_subtree` calls (None when metrics are off or not sampled).
     #[inline]
     fn emit_timer(&mut self) -> Option<Instant> {
-        self.stage_metrics.as_ref()?;
+        if self.stage_metrics.is_none() && self.flight.is_none() {
+            return None;
+        }
         self.emit_tick += 1;
         if self.emit_tick >= EMIT_SAMPLE_EVERY {
             self.emit_tick = 0;
@@ -274,8 +292,15 @@ impl<'t, 'q, R: Read, W: Write> GcxEngine<'t, 'q, R, W> {
 
     #[inline]
     fn record_emit(&self, t0: Option<Instant>) {
-        if let (Some(t0), Some(m)) = (t0, &self.stage_metrics) {
-            m.emit.record(t0.elapsed());
+        let Some(t0) = t0 else { return };
+        let dur = t0.elapsed();
+        if let Some(m) = &self.stage_metrics {
+            m.emit.record(dur);
+        }
+        if let Some((rec, tid)) = &self.flight {
+            let dur_ns = dur.as_nanos() as u64;
+            let start = rec.now_ns().saturating_sub(dur_ns);
+            rec.record_span(*tid, gcx_obs::SpanKind::Emit, start, dur_ns, 0);
         }
     }
 
@@ -1111,6 +1136,40 @@ mod tests {
         // Emits sample 1-in-16; this run has too few, so only check the
         // histogram is readable.
         let _ = metrics.emit.snapshot();
+    }
+
+    #[test]
+    fn flight_recorder_captures_stage_spans_and_buffer_events() {
+        use gcx_obs::{FlightRecorder, SpanKind};
+        let query = "<r>{ for $b in /bib/book return $b/title }</r>";
+        let doc = "<bib><book><title>A</title></book><junk><x/><y/></junk>\
+                   <book><title>B</title></book></bib>";
+        let mut tags = TagInterner::new();
+        let compiled = compile_default(query, &mut tags).unwrap();
+        let rec = Arc::new(FlightRecorder::new());
+        let mut engine = GcxEngine::new(
+            &compiled,
+            &mut tags,
+            doc.as_bytes(),
+            Vec::new(),
+            EngineOptions::default(),
+        );
+        engine.set_stage_metrics(Arc::new(crate::metrics::EngineStageMetrics::new()), 1);
+        engine.set_flight_recorder(rec.clone(), 42);
+        engine.run().unwrap();
+        let totals = rec.stage_totals(42);
+        let get = |k: SpanKind| totals.iter().find(|(x, _)| *x == k).unwrap().1;
+        assert!(get(SpanKind::Lex) > 0, "lex spans recorded");
+        assert!(get(SpanKind::Match) > 0, "match spans recorded");
+        assert!(get(SpanKind::Buffer) > 0, "buffer spans recorded");
+        assert!(get(SpanKind::Skip) > 0, "the dead <junk> subtree spanned");
+        // Buffer events: at least one node-buffered instant with a
+        // nonzero stream offset (only the first <bib> open sits at 0).
+        rec.keep(42, "test", 0, false);
+        let json = rec.export_chrome_json();
+        assert!(json.contains("\"name\":\"node-buffered\""), "{json}");
+        assert!(json.contains("\"name\":\"sign-off\""), "{json}");
+        assert!(json.contains("\"name\":\"subtree-delete\""), "{json}");
     }
 
     #[test]

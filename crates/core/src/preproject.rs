@@ -21,7 +21,7 @@
 use crate::error::EngineError;
 use crate::metrics::EngineStageMetrics;
 use gcx_buffer::{BufNodeId, BufferTree};
-use gcx_obs::LatencyHistogram;
+use gcx_obs::{FlightRecorder, LatencyHistogram, SpanKind};
 use gcx_projection::{ProjTree, StreamMatcher};
 use gcx_xml::{XmlEvent, XmlLexer};
 use std::io::Read;
@@ -68,22 +68,38 @@ pub struct Preprojector<'t, 'q, R: Read> {
     /// Sampled per-stage timing sink (see [`crate::metrics`]). `None`
     /// keeps the hot path free of any timing work.
     stage_metrics: Option<Arc<EngineStageMetrics>>,
+    /// Request-scoped flight recorder + trace ID: sampled pump steps also
+    /// record per-stage spans stamped with the input byte offset, and the
+    /// buffer is fed the lexer offset so its events carry it too.
+    flight: Option<(Arc<FlightRecorder>, u64)>,
     /// Pump steps between timed samples, and the running tick.
     sample_every: u32,
     sample_tick: u32,
 }
 
 /// Records `t0.elapsed()` into the stage picked by `pick` when this pump
-/// step is a timed sample. Free function over the field (not a `&self`
-/// method) so it composes with the matcher's outcome borrows.
+/// step is a timed sample, and — when a flight recorder is installed —
+/// as a trace span of `kind` stamped with the input byte `offset`. Free
+/// function over the fields (not a `&self` method) so it composes with
+/// the matcher's outcome borrows.
 #[inline]
 fn record_stage(
     metrics: &Option<Arc<EngineStageMetrics>>,
+    flight: &Option<(Arc<FlightRecorder>, u64)>,
     pick: fn(&EngineStageMetrics) -> &LatencyHistogram,
+    kind: SpanKind,
     t0: Option<Instant>,
+    offset: u64,
 ) {
-    if let (Some(t0), Some(m)) = (t0, metrics) {
-        pick(m).record(t0.elapsed());
+    let Some(t0) = t0 else { return };
+    let dur = t0.elapsed();
+    if let Some(m) = metrics {
+        pick(m).record(dur);
+    }
+    if let Some((rec, tid)) = flight {
+        let dur_ns = dur.as_nanos() as u64;
+        let start = rec.now_ns().saturating_sub(dur_ns);
+        rec.record_span(*tid, kind, start, dur_ns, offset);
     }
 }
 
@@ -109,6 +125,7 @@ impl<'t, 'q, R: Read> Preprojector<'t, 'q, R> {
             tokens_skipped: 0,
             skip_lexing: true,
             stage_metrics: None,
+            flight: None,
             sample_every: crate::metrics::DEFAULT_STAGE_SAMPLE_EVERY,
             sample_tick: 0,
         }
@@ -121,6 +138,14 @@ impl<'t, 'q, R: Read> Preprojector<'t, 'q, R> {
         self.stage_metrics = Some(metrics);
         self.sample_every = sample_every.max(1);
         self.sample_tick = 0;
+    }
+
+    /// Installs a request-scoped flight recorder: sampled pump steps
+    /// record lex/skip/match/buffer spans under `trace_id`, stamped with
+    /// the input byte offset. Shares the [`Self::set_stage_metrics`]
+    /// sampling cadence.
+    pub fn set_flight_recorder(&mut self, recorder: Arc<FlightRecorder>, trace_id: u64) {
+        self.flight = Some((recorder, trace_id));
     }
 
     /// Bytes consumed by the lexer's raw dead-subtree scanner (the
@@ -163,7 +188,7 @@ impl<'t, 'q, R: Read> Preprojector<'t, 'q, R> {
         // Sampled stage timing: every `sample_every`th pump step is
         // timed stage by stage; the rest pay one counter increment (and
         // nothing at all when no metrics sink is installed).
-        let sampled = self.stage_metrics.is_some() && {
+        let sampled = (self.stage_metrics.is_some() || self.flight.is_some()) && {
             self.sample_tick += 1;
             if self.sample_tick >= self.sample_every {
                 self.sample_tick = 0;
@@ -172,9 +197,23 @@ impl<'t, 'q, R: Read> Preprojector<'t, 'q, R> {
                 false
             }
         };
+        // Token-start offset, captured before lexing: borrowed events
+        // (`Text`) keep the lexer borrowed, so it cannot be read later.
+        let tok_offset = self.lexer.offset();
         let t_lex = sampled.then(Instant::now);
         let event = self.lexer.next_event()?;
-        record_stage(&self.stage_metrics, |m| &m.lex, t_lex);
+        if self.flight.is_some() {
+            // Stamp subsequent buffer events with where the stream is.
+            buffer.set_stream_offset(tok_offset);
+        }
+        record_stage(
+            &self.stage_metrics,
+            &self.flight,
+            |m| &m.lex,
+            SpanKind::Lex,
+            t_lex,
+            tok_offset,
+        );
         match event {
             None => {
                 self.eof = true;
@@ -185,7 +224,14 @@ impl<'t, 'q, R: Read> Preprojector<'t, 'q, R> {
                 self.tokens_read += 1;
                 let t_match = sampled.then(Instant::now);
                 let outcome = self.matcher.open(tag);
-                record_stage(&self.stage_metrics, |m| &m.matching, t_match);
+                record_stage(
+                    &self.stage_metrics,
+                    &self.flight,
+                    |m| &m.matching,
+                    SpanKind::Match,
+                    t_match,
+                    tok_offset,
+                );
                 let top_attach = self.stack.last().expect("stack nonempty").attach;
                 if outcome.buffer {
                     let t_buf = sampled.then(Instant::now);
@@ -193,7 +239,14 @@ impl<'t, 'q, R: Read> Preprojector<'t, 'q, R> {
                     for &r in outcome.roles {
                         buffer.add_role(node, r);
                     }
-                    record_stage(&self.stage_metrics, |m| &m.buffer, t_buf);
+                    record_stage(
+                        &self.stage_metrics,
+                        &self.flight,
+                        |m| &m.buffer,
+                        SpanKind::Buffer,
+                        t_buf,
+                        tok_offset,
+                    );
                     self.stack.push(OpenEntry {
                         buf: Some(node),
                         attach: node,
@@ -206,7 +259,14 @@ impl<'t, 'q, R: Read> Preprojector<'t, 'q, R> {
                     if self.skip_lexing {
                         let t_skip = sampled.then(Instant::now);
                         self.lexer.skip_subtree()?;
-                        record_stage(&self.stage_metrics, |m| &m.skip, t_skip);
+                        record_stage(
+                            &self.stage_metrics,
+                            &self.flight,
+                            |m| &m.skip,
+                            SpanKind::Skip,
+                            t_skip,
+                            tok_offset,
+                        );
                     } else {
                         self.skip_subtree_events()?;
                     }
@@ -226,13 +286,27 @@ impl<'t, 'q, R: Read> Preprojector<'t, 'q, R> {
                 self.tokens_read += 1;
                 let t_match = sampled.then(Instant::now);
                 self.matcher.close();
-                record_stage(&self.stage_metrics, |m| &m.matching, t_match);
+                record_stage(
+                    &self.stage_metrics,
+                    &self.flight,
+                    |m| &m.matching,
+                    SpanKind::Match,
+                    t_match,
+                    tok_offset,
+                );
                 let entry = self.stack.pop().expect("balanced stream");
                 match entry.buf {
                     Some(node) => {
                         let t_buf = sampled.then(Instant::now);
                         buffer.finish(node);
-                        record_stage(&self.stage_metrics, |m| &m.buffer, t_buf);
+                        record_stage(
+                            &self.stage_metrics,
+                            &self.flight,
+                            |m| &m.buffer,
+                            SpanKind::Buffer,
+                            t_buf,
+                            tok_offset,
+                        );
                         Ok(PumpEvent::Closed(node))
                     }
                     None => {
@@ -245,7 +319,14 @@ impl<'t, 'q, R: Read> Preprojector<'t, 'q, R> {
                 self.tokens_read += 1;
                 let t_match = sampled.then(Instant::now);
                 let outcome = self.matcher.text();
-                record_stage(&self.stage_metrics, |m| &m.matching, t_match);
+                record_stage(
+                    &self.stage_metrics,
+                    &self.flight,
+                    |m| &m.matching,
+                    SpanKind::Match,
+                    t_match,
+                    tok_offset,
+                );
                 if outcome.buffer {
                     let parent = self.stack.last().expect("stack nonempty").attach;
                     let t_buf = sampled.then(Instant::now);
@@ -253,7 +334,14 @@ impl<'t, 'q, R: Read> Preprojector<'t, 'q, R> {
                     for &r in outcome.roles {
                         buffer.add_role(node, r);
                     }
-                    record_stage(&self.stage_metrics, |m| &m.buffer, t_buf);
+                    record_stage(
+                        &self.stage_metrics,
+                        &self.flight,
+                        |m| &m.buffer,
+                        SpanKind::Buffer,
+                        t_buf,
+                        tok_offset,
+                    );
                     Ok(PumpEvent::Buffered(node))
                 } else {
                     self.tokens_skipped += 1;

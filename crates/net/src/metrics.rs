@@ -37,8 +37,23 @@ pub(crate) enum ReqClass {
     Query,
     /// `GET /stats` and `GET /metrics` — observability planes.
     Stats,
+    /// `GET /trace` — flight-recorder export.
+    Trace,
     /// Everything else (healthz, 404s, malformed requests).
     Other,
+}
+
+/// Maps a request head to its latency class. The single classification
+/// point: the dispatcher derives its class from the same `(method,
+/// path)` pair it routes on, so every endpoint lands in exactly one
+/// class (tested below).
+pub(crate) fn classify(method: &str, path: &str) -> ReqClass {
+    match (method, path) {
+        ("POST", "/query") => ReqClass::Query,
+        ("GET", "/stats") | ("GET", "/metrics") => ReqClass::Stats,
+        ("GET", "/trace") => ReqClass::Trace,
+        _ => ReqClass::Other,
+    }
 }
 
 /// All metrics the front-end records or re-exports. See module docs.
@@ -46,6 +61,7 @@ pub(crate) struct NetMetrics {
     /// Total request latency (head parsed → response flushed), per class.
     pub(crate) query: LatencyHistogram,
     pub(crate) stats: LatencyHistogram,
+    pub(crate) trace: LatencyHistogram,
     pub(crate) other: LatencyHistogram,
     /// Head parsed → first response byte on the wire (all classes).
     pub(crate) ttfb: LatencyHistogram,
@@ -62,6 +78,7 @@ impl NetMetrics {
         NetMetrics {
             query: LatencyHistogram::new(),
             stats: LatencyHistogram::new(),
+            trace: LatencyHistogram::new(),
             other: LatencyHistogram::new(),
             ttfb: LatencyHistogram::new(),
             queue_wait: LatencyHistogram::new(),
@@ -75,15 +92,17 @@ impl NetMetrics {
         match class {
             ReqClass::Query => &self.query,
             ReqClass::Stats => &self.stats,
+            ReqClass::Trace => &self.trace,
             ReqClass::Other => &self.other,
         }
     }
 
     /// `(class label, histogram)` pairs for renderers.
-    pub(crate) fn request_classes(&self) -> [(&'static str, &LatencyHistogram); 3] {
+    pub(crate) fn request_classes(&self) -> [(&'static str, &LatencyHistogram); 4] {
         [
             ("query", &self.query),
             ("stats", &self.stats),
+            ("trace", &self.trace),
             ("other", &self.other),
         ]
     }
@@ -172,6 +191,25 @@ pub(crate) fn render(shared: &ServerShared) -> String {
     let m = &shared.metrics;
     let mut out = String::with_capacity(8 * 1024);
 
+    // Build identity and process uptime: which build answers the scrape,
+    // and when it restarted.
+    let _ = writeln!(
+        out,
+        "# HELP gcx_build_info Build identity (always 1; read the labels).\n\
+         # TYPE gcx_build_info gauge"
+    );
+    out.push_str("gcx_build_info{version=\"");
+    esc_into(&mut out, env!("CARGO_PKG_VERSION"));
+    out.push_str("\",git=\"");
+    esc_into(&mut out, option_env!("GCX_GIT_HASH").unwrap_or("unknown"));
+    out.push_str("\"} 1\n");
+    gauge(
+        &mut out,
+        "gcx_process_uptime_seconds",
+        "Seconds since this server started.",
+        shared.started.elapsed().as_secs(),
+    );
+
     counter(
         &mut out,
         "gcx_connections_total",
@@ -231,6 +269,24 @@ pub(crate) fn render(shared: &ServerShared) -> String {
         "gcx_evaluator_panics_total",
         "Evaluator panics caught and converted into failed sessions.",
         shared.pool.panics(),
+    );
+    counter(
+        &mut out,
+        "gcx_traces_captured_total",
+        "Request traces kept by the flight recorder (sampled or slow).",
+        shared.recorder.traces_captured.get(),
+    );
+    counter(
+        &mut out,
+        "gcx_trace_spans_dropped_total",
+        "Flight-recorder ring overwrites (oldest spans evicted).",
+        shared.recorder.spans_dropped.get(),
+    );
+    counter(
+        &mut out,
+        "gcx_slow_requests_total",
+        "Requests that exceeded the slow-request threshold (GCX_SLOW_MS).",
+        shared.recorder.slow_requests.get(),
     );
 
     let active = shared.sessions.lock().expect("registry lock").len();
@@ -326,6 +382,36 @@ mod tests {
         let mut out = String::new();
         histogram(&mut out, "t_seconds", label, &h.snapshot());
         out
+    }
+
+    #[test]
+    fn every_endpoint_lands_in_exactly_one_class() {
+        // The served endpoints, as the dispatcher routes them.
+        assert_eq!(classify("POST", "/query"), ReqClass::Query);
+        assert_eq!(classify("GET", "/stats"), ReqClass::Stats);
+        assert_eq!(classify("GET", "/metrics"), ReqClass::Stats);
+        assert_eq!(classify("GET", "/trace"), ReqClass::Trace);
+        assert_eq!(classify("GET", "/healthz"), ReqClass::Other);
+        // Wrong-method and unknown paths fall through to Other.
+        assert_eq!(classify("GET", "/query"), ReqClass::Other);
+        assert_eq!(classify("POST", "/stats"), ReqClass::Other);
+        assert_eq!(classify("POST", "/trace"), ReqClass::Other);
+        assert_eq!(classify("GET", "/nope"), ReqClass::Other);
+        // Each class has a distinct histogram and label.
+        let m = NetMetrics::new();
+        let labels: Vec<&str> = m.request_classes().iter().map(|(l, _)| *l).collect();
+        assert_eq!(labels, ["query", "stats", "trace", "other"]);
+        for class in [
+            ReqClass::Query,
+            ReqClass::Stats,
+            ReqClass::Trace,
+            ReqClass::Other,
+        ] {
+            m.request_class(class).record(Duration::from_micros(1));
+        }
+        for (_, h) in m.request_classes() {
+            assert_eq!(h.snapshot().count, 1, "one record per class histogram");
+        }
     }
 
     #[test]

@@ -29,13 +29,16 @@
 //! * `GET /stats` — JSON: server counters, service cache stats, memory
 //!   budget, and **live per-session buffer statistics** sampled from the
 //!   engines mid-run.
+//! * `GET /metrics` — Prometheus text exposition of the same planes.
+//! * `GET /trace` — recent kept request traces as Chrome trace-event
+//!   JSON (Perfetto-loadable); see [`gcx_obs::FlightRecorder`].
 //! * `GET /healthz` — liveness probe.
 
 use crate::http;
 use crate::metrics::{self, NetMetrics, ReqClass};
 use crate::stats_json;
 use gcx_buffer::LiveBufferStats;
-use gcx_obs::log_debug;
+use gcx_obs::{log_debug, log_warn, FlightRecorder, SpanKind};
 use gcx_service::{EvaluatorPool, QueryService, ServiceConfig, StreamSession, TryFeed};
 use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
@@ -167,6 +170,16 @@ pub struct NetConfig {
     /// connection that waited longer is shed with a fast `503` +
     /// `Retry-After` rather than served at collapsed latency. Default 2 s.
     pub queue_wait_deadline: Duration,
+    /// Head-based trace sampling: every `trace_sample_every`th query
+    /// request is kept in the flight recorder (the first always is).
+    /// Slow requests are kept regardless (see `slow_request_threshold`).
+    /// 0 disables head sampling. Default 64.
+    pub trace_sample_every: u64,
+    /// Requests slower than this are kept in the flight recorder
+    /// retroactively and logged (one structured warn line with trace ID
+    /// and per-stage breakdown). `None` disables. Default `None`; the
+    /// `gcx serve` binary wires `GCX_SLOW_MS` / `--slow-ms` here.
+    pub slow_request_threshold: Option<Duration>,
 }
 
 impl Default for NetConfig {
@@ -186,6 +199,8 @@ impl Default for NetConfig {
             output_max_bytes: 4 * 1024 * 1024,
             max_connections: 4096,
             queue_wait_deadline: Duration::from_secs(2),
+            trace_sample_every: 64,
+            slow_request_threshold: None,
         }
     }
 }
@@ -262,6 +277,18 @@ pub(crate) struct ServerShared {
     queue_wait_deadline: Duration,
     pub(crate) workers: usize,
     pub(crate) evaluators: usize,
+    /// The flight recorder every request records into (see `gcx-obs`).
+    pub(crate) recorder: Arc<FlightRecorder>,
+    /// Server start time (`uptime_s` in `/stats`, uptime in `/metrics`).
+    pub(crate) started: Instant,
+    /// Trace IDs are minted sequentially from 1 (0 = no trace).
+    next_trace_id: AtomicU64,
+    /// Query-class requests seen, for the head-sampling keep decision —
+    /// counted separately from trace IDs so "keep every Nth *query*" is
+    /// deterministic no matter how many `/stats` scrapes interleave.
+    queries_seen: AtomicU64,
+    pub(crate) trace_sample_every: u64,
+    slow_threshold: Option<Duration>,
 }
 
 impl ServerShared {
@@ -337,6 +364,12 @@ impl GcxServer {
             queue_wait_deadline: config.queue_wait_deadline,
             workers,
             evaluators,
+            recorder: Arc::new(FlightRecorder::new()),
+            started: Instant::now(),
+            next_trace_id: AtomicU64::new(1),
+            queries_seen: AtomicU64::new(0),
+            trace_sample_every: config.trace_sample_every,
+            slow_threshold: config.slow_request_threshold,
         });
         let mut threads = Vec::with_capacity(workers + 1);
         {
@@ -826,6 +859,13 @@ struct Conn {
     req_class: ReqClass,
     /// First response byte not yet on the wire (TTFB pending).
     ttfb_pending: bool,
+    /// Trace ID of the in-flight request (minted at head parse; 0 when
+    /// no request is in flight).
+    trace_id: u64,
+    /// Head-sampling verdict: keep this request's trace at completion.
+    trace_keep: bool,
+    /// Label for the kept trace (query name / preview, else the path).
+    req_label: Option<String>,
     /// Just finished a response: the client's next request is likely
     /// already in flight, so parked workers poll this connection at
     /// [`HOT_PARK_TIMEOUT`] instead of the regular poll fallback until
@@ -870,6 +910,9 @@ impl Conn {
             req_start: None,
             req_class: ReqClass::Other,
             ttfb_pending: false,
+            trace_id: 0,
+            trace_keep: false,
+            req_label: None,
             hot_until: None,
         }
     }
@@ -943,11 +986,13 @@ impl Conn {
     /// pipelined requests must not be dropped with the response).
     fn finish_response(&mut self, shared: &Arc<ServerShared>, close: bool) -> StepResult {
         if let Some(t0) = self.req_start.take() {
-            shared
-                .metrics
-                .request_class(self.req_class)
-                .record(t0.elapsed());
+            let elapsed = t0.elapsed();
+            shared.metrics.request_class(self.req_class).record(elapsed);
+            if self.trace_id != 0 {
+                self.finish_trace(shared, elapsed);
+            }
         }
+        self.trace_id = 0;
         self.ttfb_pending = false;
         // A drain that began mid-response still ends the connection at
         // this boundary, even if the response itself negotiated
@@ -960,6 +1005,47 @@ impl Conn {
         self.state = ConnState::Head;
         self.hot_until = Some(Instant::now() + HOT_WINDOW);
         StepResult::Progress
+    }
+
+    /// Completes the in-flight request's trace: flush instant, the
+    /// whole-request span, the keep decision (head-sampled or slow), and
+    /// the slow-request log line with its per-stage breakdown.
+    fn finish_trace(&mut self, shared: &Arc<ServerShared>, elapsed: Duration) {
+        let rec = &shared.recorder;
+        rec.record_instant(self.trace_id, SpanKind::Flush, 0, 0);
+        let dur_ns = elapsed.as_nanos() as u64;
+        let start = rec.now_ns().saturating_sub(dur_ns);
+        rec.record_span(self.trace_id, SpanKind::Request, start, dur_ns, 0);
+        let slow = shared.slow_threshold.is_some_and(|t| elapsed >= t);
+        if self.trace_keep || slow {
+            let label = self.req_label.as_deref().unwrap_or("");
+            rec.keep(self.trace_id, label, dur_ns, slow);
+        }
+        if slow {
+            // One structured warn line: trace ID + per-stage breakdown
+            // (total recorded nanoseconds per stage, scanned from the
+            // rings — diagnostics-path cost, never the hot path).
+            let totals = rec.stage_totals(self.trace_id);
+            let mut stages = String::new();
+            for (kind, ns) in totals {
+                if kind == SpanKind::Request || ns == 0 {
+                    continue;
+                }
+                let _ = std::fmt::Write::write_fmt(
+                    &mut stages,
+                    format_args!(" {}_us={}", kind.name(), ns / 1000),
+                );
+            }
+            log_warn!(
+                LOG_TARGET,
+                "slow request: trace_id={} label={:?} class={:?} total_ms={}{}",
+                self.trace_id,
+                self.req_label.as_deref().unwrap_or(""),
+                self.req_class,
+                elapsed.as_millis(),
+                stages
+            );
+        }
     }
 
     fn step_head(&mut self, shared: &Arc<ServerShared>) -> StepResult {
@@ -975,6 +1061,15 @@ impl Conn {
             self.req_start = Some(Instant::now());
             self.req_class = ReqClass::Other;
             self.ttfb_pending = true;
+            // Every request gets a trace ID; whether the trace is *kept*
+            // (exported by /trace) is decided at completion — head
+            // sampling for queries, retroactive keep for slow requests.
+            self.trace_id = shared.next_trace_id.fetch_add(1, Ordering::Relaxed);
+            self.trace_keep = false;
+            self.req_label = None;
+            shared
+                .recorder
+                .record_instant(self.trace_id, SpanKind::HeadParse, 0, 0);
             let head = match http::parse_head(&self.recv[..head_end]) {
                 Ok(h) => h,
                 Err(e) => {
@@ -1021,15 +1116,17 @@ impl Conn {
     }
 
     fn dispatch(&mut self, shared: &Arc<ServerShared>, head: &http::RequestHead) {
+        // One classification point for the latency histograms: derived
+        // from the same (method, path) pair the routing below matches on.
+        self.req_class = metrics::classify(&head.method, &head.path);
+        self.req_label = Some(head.path.clone());
         match (head.method.as_str(), head.path.as_str()) {
             ("GET", "/healthz") => self.respond_early(shared, head, 200, "OK", TEXT_PLAIN, "ok\n"),
             ("GET", "/stats") => {
-                self.req_class = ReqClass::Stats;
                 let json = stats_json::render(shared);
                 self.respond_early(shared, head, 200, "OK", "application/json", &json);
             }
             ("GET", "/metrics") => {
-                self.req_class = ReqClass::Stats;
                 let text = metrics::render(shared);
                 self.respond_early(
                     shared,
@@ -1040,8 +1137,11 @@ impl Conn {
                     &text,
                 );
             }
+            ("GET", "/trace") => {
+                let json = shared.recorder.export_chrome_json();
+                self.respond_early(shared, head, 200, "OK", "application/json", &json);
+            }
             ("POST", "/query") => {
-                self.req_class = ReqClass::Query;
                 self.dispatch_query(shared, head);
             }
             _ => self.respond_early(
@@ -1168,6 +1268,14 @@ impl Conn {
         let label = head
             .param("name")
             .map_or_else(|| preview(&query_text), str::to_string);
+        // Head-based sampling over *query* requests (counted separately
+        // from trace IDs, which every request class mints): the first
+        // query is always kept, then every `trace_sample_every`th. Slow
+        // requests are kept retroactively in `finish_trace` regardless.
+        let queries_seen = shared.queries_seen.fetch_add(1, Ordering::Relaxed);
+        self.trace_keep =
+            shared.trace_sample_every > 0 && queries_seen.is_multiple_of(shared.trace_sample_every);
+        self.req_label = Some(label.clone());
         let session = {
             let live = live.clone();
             let pool = shared.pool.clone();
@@ -1177,6 +1285,8 @@ impl Conn {
             let output_max_bytes = shared.output_max_bytes;
             let session_metrics = shared.metrics.sessions.clone();
             let stage_metrics = shared.metrics.engine_stages.clone();
+            let recorder = shared.recorder.clone();
+            let trace_id = self.trace_id;
             let label = label.clone();
             shared.service.open_session_with(&query_text, move |cfg| {
                 cfg.live_stats = Some(live);
@@ -1188,6 +1298,8 @@ impl Conn {
                 cfg.metrics = Some(session_metrics);
                 cfg.stage_metrics = Some(stage_metrics);
                 cfg.label = Some(label);
+                cfg.flight_recorder = Some(recorder);
+                cfg.trace_id = trace_id;
             })
         };
         let session = match session {
@@ -1671,6 +1783,9 @@ impl Conn {
                     if let Some(t0) = self.req_start {
                         shared.metrics.ttfb.record(t0.elapsed());
                     }
+                    shared
+                        .recorder
+                        .record_instant(self.trace_id, SpanKind::FirstByte, 0, n as u64);
                 }
                 self.send_pos += n;
                 if self.send_pos >= self.send.len() {

@@ -110,11 +110,12 @@ pub(crate) fn render(shared: &ServerShared) -> String {
     rows.sort_unstable_by_key(|r| r.id);
 
     let mut out = String::with_capacity(2048);
-    out.push_str("{\n  \"schema\": \"gcx-net-stats/3\",\n");
+    out.push_str("{\n  \"schema\": \"gcx-net-stats/4\",\n");
 
     let _ = writeln!(
         out,
         "  \"server\": {{ \"workers\": {}, \"evaluators\": {}, \"threads\": {}, \
+         \"uptime_s\": {}, \
          \"active_sessions\": {}, \"open_connections\": {}, \"connections\": {}, \
          \"requests\": {}, \"sessions_completed\": {}, \"sessions_failed\": {}, \
          \"sessions_output_capped\": {}, \"bytes_in\": {}, \"bytes_out\": {}, \
@@ -124,6 +125,7 @@ pub(crate) fn render(shared: &ServerShared) -> String {
         shared.workers,
         shared.evaluators,
         1 + shared.workers + shared.evaluators,
+        shared.started.elapsed().as_secs(),
         rows.len(),
         shared.open_connections(),
         c.connections.load(Ordering::Relaxed),
@@ -168,6 +170,17 @@ pub(crate) fn render(shared: &ServerShared) -> String {
         }
         None => out.push_str("  \"budget\": null,\n"),
     }
+
+    let rec = &shared.recorder;
+    let _ = writeln!(
+        out,
+        "  \"tracing\": {{ \"traces_captured\": {}, \"spans_dropped\": {}, \
+         \"slow_requests\": {}, \"sample_every\": {} }},",
+        rec.traces_captured.get(),
+        rec.spans_dropped.get(),
+        rec.slow_requests.get(),
+        shared.trace_sample_every,
+    );
 
     out.push_str("  \"latency\": {\n");
     latency_group(&mut out, "requests", m.request_classes(), true);

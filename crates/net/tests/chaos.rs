@@ -17,6 +17,9 @@
 //! ```
 #![cfg(feature = "chaos")]
 
+mod support;
+use support::validate_json;
+
 use gcx_net::{client, http, GcxServer, NetConfig};
 use gcx_service::{EvaluatorPool, MemoryBudget, ServiceConfig, SessionConfig, StreamSession};
 use gcx_xml::TagInterner;
@@ -113,7 +116,9 @@ fn seeded_fault_storm_preserves_core_invariants() {
     let ok_requests = AtomicU64::new(0);
     let stats_polls_ok = AtomicU64::new(0);
     std::thread::scope(|scope| {
-        // A poller asserting /stats never emits broken JSON mid-storm.
+        // A poller asserting /stats and /trace never emit broken JSON
+        // mid-storm (the flight recorder is being written concurrently
+        // by every worker and evaluator while /trace reads it).
         let polls = &stats_polls_ok;
         scope.spawn(move || {
             for _ in 0..20 {
@@ -123,6 +128,13 @@ fn seeded_fault_storm_preserves_core_invariants() {
                         validate_json(&text)
                             .unwrap_or_else(|e| panic!("mid-storm /stats not JSON: {e}\n{text}"));
                         polls.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                if let Ok(resp) = client::get(addr, "/trace") {
+                    if resp.status == 200 {
+                        let text = resp.text();
+                        validate_json(&text)
+                            .unwrap_or_else(|e| panic!("mid-storm /trace not JSON: {e}\n{text}"));
                     }
                 }
                 std::thread::sleep(Duration::from_millis(25));
@@ -203,12 +215,12 @@ fn seeded_fault_storm_preserves_core_invariants() {
         "post-storm output differs (seed {seed})"
     );
 
-    // And /stats reports the storm in valid schema-3 JSON.
+    // And /stats reports the storm in valid schema-4 JSON.
     let stats = client::get(addr, "/stats").unwrap();
     assert_eq!(stats.status, 200);
     let text = stats.text();
     validate_json(&text).unwrap_or_else(|e| panic!("final /stats not JSON: {e}\n{text}"));
-    assert!(text.contains("\"schema\": \"gcx-net-stats/3\""), "{text}");
+    assert!(text.contains("\"schema\": \"gcx-net-stats/4\""), "{text}");
 
     // Joining every thread here is itself an assertion: a hung worker
     // or evaluator would hang the test instead of passing it.
@@ -314,161 +326,4 @@ fn budget_restitution_after_every_failure_mode() {
         budget.used(),
         budget.engine_used()
     );
-}
-
-// ---------------------------------------------------------------------
-// Minimal recursive-descent JSON validator (the workspace has no serde;
-// this checks structure, not meaning).
-// ---------------------------------------------------------------------
-
-fn validate_json(s: &str) -> Result<(), String> {
-    let b = s.as_bytes();
-    let mut i = 0usize;
-    skip_ws(b, &mut i);
-    value(b, &mut i)?;
-    skip_ws(b, &mut i);
-    if i != b.len() {
-        return Err(format!("trailing bytes at offset {i}"));
-    }
-    Ok(())
-}
-
-fn skip_ws(b: &[u8], i: &mut usize) {
-    while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
-        *i += 1;
-    }
-}
-
-fn value(b: &[u8], i: &mut usize) -> Result<(), String> {
-    skip_ws(b, i);
-    match b.get(*i) {
-        Some(b'{') => object(b, i),
-        Some(b'[') => array(b, i),
-        Some(b'"') => string(b, i),
-        Some(b't') => literal(b, i, "true"),
-        Some(b'f') => literal(b, i, "false"),
-        Some(b'n') => literal(b, i, "null"),
-        Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, i),
-        Some(c) => Err(format!("unexpected byte {c:?} at offset {i}", i = *i)),
-        None => Err("unexpected end of input".into()),
-    }
-}
-
-fn object(b: &[u8], i: &mut usize) -> Result<(), String> {
-    *i += 1; // '{'
-    skip_ws(b, i);
-    if b.get(*i) == Some(&b'}') {
-        *i += 1;
-        return Ok(());
-    }
-    loop {
-        skip_ws(b, i);
-        string(b, i)?;
-        skip_ws(b, i);
-        if b.get(*i) != Some(&b':') {
-            return Err(format!("expected ':' at offset {i}", i = *i));
-        }
-        *i += 1;
-        value(b, i)?;
-        skip_ws(b, i);
-        match b.get(*i) {
-            Some(b',') => *i += 1,
-            Some(b'}') => {
-                *i += 1;
-                return Ok(());
-            }
-            _ => return Err(format!("expected ',' or '}}' at offset {i}", i = *i)),
-        }
-    }
-}
-
-fn array(b: &[u8], i: &mut usize) -> Result<(), String> {
-    *i += 1; // '['
-    skip_ws(b, i);
-    if b.get(*i) == Some(&b']') {
-        *i += 1;
-        return Ok(());
-    }
-    loop {
-        value(b, i)?;
-        skip_ws(b, i);
-        match b.get(*i) {
-            Some(b',') => *i += 1,
-            Some(b']') => {
-                *i += 1;
-                return Ok(());
-            }
-            _ => return Err(format!("expected ',' or ']' at offset {i}", i = *i)),
-        }
-    }
-}
-
-fn string(b: &[u8], i: &mut usize) -> Result<(), String> {
-    if b.get(*i) != Some(&b'"') {
-        return Err(format!("expected '\"' at offset {i}", i = *i));
-    }
-    *i += 1;
-    while let Some(&c) = b.get(*i) {
-        match c {
-            b'"' => {
-                *i += 1;
-                return Ok(());
-            }
-            b'\\' => {
-                *i += 1;
-                match b.get(*i) {
-                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *i += 1,
-                    Some(b'u') => {
-                        if b.len() < *i + 5 || !b[*i + 1..*i + 5].iter().all(u8::is_ascii_hexdigit)
-                        {
-                            return Err(format!("bad \\u escape at offset {i}", i = *i));
-                        }
-                        *i += 5;
-                    }
-                    _ => return Err(format!("bad escape at offset {i}", i = *i)),
-                }
-            }
-            0x00..=0x1f => return Err(format!("raw control byte in string at offset {i}", i = *i)),
-            _ => *i += 1,
-        }
-    }
-    Err("unterminated string".into())
-}
-
-fn number(b: &[u8], i: &mut usize) -> Result<(), String> {
-    let start = *i;
-    if b.get(*i) == Some(&b'-') {
-        *i += 1;
-    }
-    while b.get(*i).is_some_and(u8::is_ascii_digit) {
-        *i += 1;
-    }
-    if b.get(*i) == Some(&b'.') {
-        *i += 1;
-        while b.get(*i).is_some_and(u8::is_ascii_digit) {
-            *i += 1;
-        }
-    }
-    if matches!(b.get(*i), Some(b'e' | b'E')) {
-        *i += 1;
-        if matches!(b.get(*i), Some(b'+' | b'-')) {
-            *i += 1;
-        }
-        while b.get(*i).is_some_and(u8::is_ascii_digit) {
-            *i += 1;
-        }
-    }
-    if *i == start || (*i == start + 1 && b[start] == b'-') {
-        return Err(format!("bad number at offset {start}"));
-    }
-    Ok(())
-}
-
-fn literal(b: &[u8], i: &mut usize, word: &str) -> Result<(), String> {
-    if b[*i..].starts_with(word.as_bytes()) {
-        *i += word.len();
-        Ok(())
-    } else {
-        Err(format!("bad literal at offset {i}", i = *i))
-    }
 }

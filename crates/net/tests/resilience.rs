@@ -378,7 +378,7 @@ fn stats_expose_resilience_counters() {
     assert_eq!(resp.status, 200);
     let text = resp.text();
     for key in [
-        "\"schema\": \"gcx-net-stats/3\"",
+        "\"schema\": \"gcx-net-stats/4\"",
         "\"open_connections\"",
         "\"connections_shed\"",
         "\"accept_errors\"",

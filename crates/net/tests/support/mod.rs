@@ -1,0 +1,160 @@
+//! Shared helpers for gcx-net integration tests.
+//!
+//! Holds the minimal recursive-descent JSON validator used by the
+//! chaos, e2e, and trace suites (the workspace has no serde; this
+//! checks structure, not meaning). Each test file pulls it in with
+//! `mod support;`.
+#![allow(dead_code)] // each test binary uses a subset
+
+/// Validates that `s` is one complete JSON value with nothing trailing.
+pub fn validate_json(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut i = 0usize;
+    skip_ws(b, &mut i);
+    value(b, &mut i)?;
+    skip_ws(b, &mut i);
+    if i != b.len() {
+        return Err(format!("trailing bytes at offset {i}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], i: &mut usize) {
+    while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+        *i += 1;
+    }
+}
+
+fn value(b: &[u8], i: &mut usize) -> Result<(), String> {
+    skip_ws(b, i);
+    match b.get(*i) {
+        Some(b'{') => object(b, i),
+        Some(b'[') => array(b, i),
+        Some(b'"') => string(b, i),
+        Some(b't') => literal(b, i, "true"),
+        Some(b'f') => literal(b, i, "false"),
+        Some(b'n') => literal(b, i, "null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, i),
+        Some(c) => Err(format!("unexpected byte {c:?} at offset {i}", i = *i)),
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn object(b: &[u8], i: &mut usize) -> Result<(), String> {
+    *i += 1; // '{'
+    skip_ws(b, i);
+    if b.get(*i) == Some(&b'}') {
+        *i += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, i);
+        string(b, i)?;
+        skip_ws(b, i);
+        if b.get(*i) != Some(&b':') {
+            return Err(format!("expected ':' at offset {i}", i = *i));
+        }
+        *i += 1;
+        value(b, i)?;
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b',') => *i += 1,
+            Some(b'}') => {
+                *i += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at offset {i}", i = *i)),
+        }
+    }
+}
+
+fn array(b: &[u8], i: &mut usize) -> Result<(), String> {
+    *i += 1; // '['
+    skip_ws(b, i);
+    if b.get(*i) == Some(&b']') {
+        *i += 1;
+        return Ok(());
+    }
+    loop {
+        value(b, i)?;
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b',') => *i += 1,
+            Some(b']') => {
+                *i += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at offset {i}", i = *i)),
+        }
+    }
+}
+
+fn string(b: &[u8], i: &mut usize) -> Result<(), String> {
+    if b.get(*i) != Some(&b'"') {
+        return Err(format!("expected '\"' at offset {i}", i = *i));
+    }
+    *i += 1;
+    while let Some(&c) = b.get(*i) {
+        match c {
+            b'"' => {
+                *i += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *i += 1;
+                match b.get(*i) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *i += 1,
+                    Some(b'u') => {
+                        if b.len() < *i + 5 || !b[*i + 1..*i + 5].iter().all(u8::is_ascii_hexdigit)
+                        {
+                            return Err(format!("bad \\u escape at offset {i}", i = *i));
+                        }
+                        *i += 5;
+                    }
+                    _ => return Err(format!("bad escape at offset {i}", i = *i)),
+                }
+            }
+            0x00..=0x1f => return Err(format!("raw control byte in string at offset {i}", i = *i)),
+            _ => *i += 1,
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn number(b: &[u8], i: &mut usize) -> Result<(), String> {
+    let start = *i;
+    if b.get(*i) == Some(&b'-') {
+        *i += 1;
+    }
+    while b.get(*i).is_some_and(u8::is_ascii_digit) {
+        *i += 1;
+    }
+    if b.get(*i) == Some(&b'.') {
+        *i += 1;
+        while b.get(*i).is_some_and(u8::is_ascii_digit) {
+            *i += 1;
+        }
+    }
+    if matches!(b.get(*i), Some(b'e' | b'E')) {
+        *i += 1;
+        if matches!(b.get(*i), Some(b'+' | b'-')) {
+            *i += 1;
+        }
+        while b.get(*i).is_some_and(u8::is_ascii_digit) {
+            *i += 1;
+        }
+    }
+    if *i == start || (*i == start + 1 && b[start] == b'-') {
+        return Err(format!("bad number at offset {start}"));
+    }
+    Ok(())
+}
+
+fn literal(b: &[u8], i: &mut usize, word: &str) -> Result<(), String> {
+    if b[*i..].starts_with(word.as_bytes()) {
+        *i += word.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at offset {i}", i = *i))
+    }
+}

@@ -15,6 +15,9 @@
 //!   `GCX_LOG` (`error|warn|info|debug`, with `target=level` overrides),
 //!   writing complete lines to stderr. See the [`log_error!`],
 //!   [`log_warn!`], [`log_info!`] and [`log_debug!`] macros.
+//! * [`trace`] — a request-scoped [`FlightRecorder`]: lock-free span
+//!   recording into fixed per-thread ring buffers, keyed by a 64-bit
+//!   trace ID, exported as Chrome trace-event JSON for Perfetto.
 //!
 //! All types are `const`-constructible so they can live in `static`s or
 //! inside `Arc`s shared across threads without initialization order
@@ -22,9 +25,11 @@
 
 pub mod hist;
 pub mod log;
+pub mod trace;
 
 pub use hist::{HistogramSnapshot, LatencyHistogram, BUCKETS};
 pub use log::Level;
+pub use trace::{FlightRecorder, SpanKind};
 
 use std::sync::atomic::{AtomicU64, Ordering};
 

@@ -109,6 +109,13 @@ pub struct SessionConfig {
     /// Human-readable session label (e.g. the query name) used in error
     /// logs — most importantly the evaluator-panic report.
     pub label: Option<String>,
+    /// Optional request-scoped flight recorder, installed into the
+    /// session's engine ([`gcx_core::GcxEngine::set_flight_recorder`])
+    /// together with `trace_id`: stage spans, emit spans and buffer
+    /// events for this session are recorded under that trace ID.
+    pub flight_recorder: Option<Arc<gcx_obs::FlightRecorder>>,
+    /// Trace ID for `flight_recorder` (0 = no trace; spans are dropped).
+    pub trace_id: u64,
 }
 
 /// Shared wakeup hook for session progress; see
@@ -131,6 +138,8 @@ impl Default for SessionConfig {
             stage_metrics: None,
             stage_sample_every: gcx_core::DEFAULT_STAGE_SAMPLE_EVERY,
             label: None,
+            flight_recorder: None,
+            trace_id: 0,
         }
     }
 }
@@ -499,6 +508,8 @@ impl StreamSession {
             let metrics = config.metrics.clone();
             let stage_metrics = config.stage_metrics.clone();
             let stage_sample_every = config.stage_sample_every;
+            let flight = config.flight_recorder.clone();
+            let trace_id = config.trace_id;
             let pool = config.pool.clone();
             let label = config.label.clone();
             let created = Instant::now();
@@ -527,6 +538,12 @@ impl StreamSession {
                     m.queue_wait.record(created.elapsed());
                     m.started.inc();
                 }
+                if let Some(rec) = &flight {
+                    // Queue-wait span: session creation → evaluator start.
+                    let dur_ns = created.elapsed().as_nanos() as u64;
+                    let start = rec.now_ns().saturating_sub(dur_ns);
+                    rec.record_span(trace_id, gcx_obs::SpanKind::QueueWait, start, dur_ns, 0);
+                }
                 let run_start = Instant::now();
                 let mut tags = tags;
                 let reader = ChunkReader {
@@ -545,6 +562,9 @@ impl StreamSession {
                 }
                 if let Some(sm) = stage_metrics {
                     engine.set_stage_metrics(sm, stage_sample_every);
+                }
+                if let Some(rec) = flight {
+                    engine.set_flight_recorder(rec, trace_id);
                 }
                 if charge_engine_buffer {
                     if let Some(b) = &budget {

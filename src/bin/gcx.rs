@@ -78,6 +78,12 @@ SERVE OPTIONS (gcx serve):
         --drain-timeout <SECS> graceful-drain deadline on SIGTERM/SIGINT:
                            in-flight requests get this long to finish
                            before hard cancel (default 30; --listen only)
+        --trace-sample <N> keep every Nth query request's trace in the
+                           flight recorder, served by GET /trace
+                           (default 64; 0 disables; --listen only)
+        --slow-ms <MS>     log + trace any request slower than MS
+                           milliseconds (default: GCX_SLOW_MS env, else
+                           off; --listen only)
 
 File mode: every query runs against every XML input (stdin as the single
 input when no files are given), concurrently through one QueryService;
@@ -88,9 +94,12 @@ file stem from --queries>) with the XML document as the request body —
 chunked uploads stream at constant memory, results stream back chunked.
 GET /stats returns live per-session buffer statistics and latency
 quantiles as JSON; GET /metrics serves the same counters and histograms
-in Prometheus text exposition format. Set GCX_LOG=error|warn|info|debug
-(optionally per target: \"info,gcx_net=debug\") for structured stderr logs.
-SIGTERM/SIGINT drain gracefully (see --drain-timeout).
+in Prometheus text exposition format; GET /trace returns recent sampled
+request traces as Chrome trace-event JSON (load in Perfetto or
+chrome://tracing; see --trace-sample and --slow-ms / GCX_SLOW_MS). Set
+GCX_LOG=error|warn|info|debug (optionally per target:
+\"info,gcx_net=debug\") for structured stderr logs. SIGTERM/SIGINT drain
+gracefully (see --drain-timeout).
 ";
 
 fn parse_args() -> Result<Cli, String> {
@@ -165,6 +174,8 @@ struct ServeCli {
     evaluators: usize,
     max_connections: usize,
     drain_timeout: u64,
+    trace_sample: u64,
+    slow_ms: Option<u64>,
 }
 
 fn parse_serve_args(args: impl Iterator<Item = String>) -> Result<ServeCli, String> {
@@ -181,6 +192,11 @@ fn parse_serve_args(args: impl Iterator<Item = String>) -> Result<ServeCli, Stri
         evaluators: 8,
         max_connections: 4096,
         drain_timeout: 30,
+        trace_sample: 64,
+        // GCX_SLOW_MS is the env-var default; --slow-ms overrides it.
+        slow_ms: std::env::var("GCX_SLOW_MS")
+            .ok()
+            .and_then(|v| v.parse().ok()),
     };
     let mut args = args.peekable();
     let parse_num = |v: Option<String>, what: &str| -> Result<usize, String> {
@@ -214,6 +230,12 @@ fn parse_serve_args(args: impl Iterator<Item = String>) -> Result<ServeCli, Stri
             }
             "--drain-timeout" => {
                 cli.drain_timeout = parse_num(args.next(), "--drain-timeout")? as u64;
+            }
+            "--trace-sample" => {
+                cli.trace_sample = parse_num(args.next(), "--trace-sample")? as u64;
+            }
+            "--slow-ms" => {
+                cli.slow_ms = Some(parse_num(args.next(), "--slow-ms")? as u64);
             }
             other if other.starts_with('-') => {
                 return Err(format!("unknown serve option '{other}' (try --help)"));
@@ -265,6 +287,8 @@ fn run_serve_http(cli: &ServeCli) -> Result<(), String> {
         },
         queries,
         max_connections: cli.max_connections,
+        trace_sample_every: cli.trace_sample,
+        slow_request_threshold: cli.slow_ms.map(std::time::Duration::from_millis),
         ..Default::default()
     };
     let server =
@@ -272,7 +296,7 @@ fn run_serve_http(cli: &ServeCli) -> Result<(), String> {
     println!("gcx-net: listening on http://{}", server.local_addr());
     println!(
         "gcx-net: {} workers, {} evaluators, {named} named queries; \
-         POST /query, GET /stats, GET /metrics, GET /healthz",
+         POST /query, GET /stats, GET /metrics, GET /trace, GET /healthz",
         cli.workers, cli.evaluators,
     );
     use std::io::Write as _;
