@@ -89,6 +89,34 @@ fn main() {
         }
     }
 
+    // Skip-heavy synthetic scenario: ~99 % of the document is statically
+    // dead, so the row measures the raw `skip_subtree` scan ceiling
+    // (tracked via the `skip_mb_per_sec` field).
+    {
+        let skip_mb = sizes.iter().cloned().fold(0.0f64, f64::max).max(0.25);
+        let doc = gcx_bench::skipheavy_doc(skip_mb);
+        match measure_record(
+            Engine::Gcx,
+            "SYNTH-SKIP",
+            gcx_bench::SKIPHEAVY_QUERY,
+            &doc,
+            skip_mb,
+            repeat,
+        ) {
+            Ok(r) => {
+                eprintln!(
+                    "SYNTH-SKIP {skip_mb}MB GCX: {:.3}s  {:.1} MB/s  skip {:.1} MB/s ({:.1}% skipped)",
+                    r.seconds,
+                    r.mb_per_sec(),
+                    r.skip_mb_per_sec(),
+                    r.skip_ratio() * 100.0,
+                );
+                records.push(r);
+            }
+            Err(e) => eprintln!("SYNTH-SKIP {skip_mb}MB GCX: error: {e}"),
+        }
+    }
+
     // Loopback HTTP scenario: wire throughput and client scaling for the
     // streaming front-end, appended under the same schema.
     if !args.iter().any(|a| a == "--no-serve") {

@@ -86,6 +86,42 @@ pub fn xmark_doc(mb: f64, seed: u64) -> Vec<u8> {
     buf
 }
 
+/// Query for the skip-heavy synthetic scenario: touches only the tiny
+/// `/root/live` subtree, so static projection proves the whole `<dead>`
+/// sibling (~99 % of the document) dead and the engine consumes it via
+/// `skip_subtree`'s raw byte scanner. The resulting `skip_mb_per_sec`
+/// is the raw-scan ceiling tracked in `BENCH_streaming.json`.
+pub const SKIPHEAVY_QUERY: &str = "<skip>{ for $x in /root/live return $x/name/text() }</skip>";
+
+/// Generates the skip-heavy synthetic document for [`SKIPHEAVY_QUERY`]:
+/// a tiny live `<live>` subtree followed by a `<dead>` sibling padded to
+/// roughly `mb` mebibytes with markup the skip scanner has to get right
+/// — nested tags, quoted attribute values containing `>`, comments,
+/// CDATA with overlapping `]]]>` runs, and ~130-byte text stretches.
+pub fn skipheavy_doc(mb: f64) -> Vec<u8> {
+    let target = (mb * 1024.0 * 1024.0) as usize;
+    let mut buf = Vec::with_capacity(target + 512);
+    buf.extend_from_slice(b"<root><live><name>hit</name></live><dead>");
+    let block: &[u8] = b"<item cat=\"a&gt;b\" note='x>y'>\
+        <sku>98431-17</sku>\
+        <desc>Lorem ipsum dolor sit amet, consectetur adipiscing elit, sed do \
+        eiusmod tempor incididunt ut labore et dolore magna aliqua praesent. \
+        Duis aute irure dolor in reprehenderit in voluptate velit esse cillum \
+        dolore eu fugiat nulla pariatur, excepteur sint occaecat cupidatat non \
+        proident sunt in culpa qui officia deserunt mollit anim id est laborum \
+        sed ut perspiciatis unde omnis iste natus error sit voluptatem rem.</desc>\
+        <!-- dead comment, with a > inside -->\
+        <blob><![CDATA[raw <bytes> & an overlapping tail x]]]></blob>\
+        <qty unit=\"kg\">042</qty>\
+        </item>";
+    let close: &[u8] = b"</dead></root>";
+    while buf.len() + block.len() + close.len() <= target {
+        buf.extend_from_slice(block);
+    }
+    buf.extend_from_slice(close);
+    buf
+}
+
 /// One measured cell of the table.
 #[derive(Debug, Clone)]
 pub struct Cell {
@@ -288,6 +324,44 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn skipheavy_doc_is_mostly_dead_and_engines_agree() {
+        let doc = skipheavy_doc(0.05);
+        let mut outputs = Vec::new();
+        for e in Engine::ALL {
+            let mut tags = TagInterner::new();
+            let compiled =
+                compile(SKIPHEAVY_QUERY, &mut tags, CompileOptions::default()).expect("compile");
+            let mut out = Vec::new();
+            let r = match e {
+                Engine::Gcx => run_gcx(&compiled, &mut tags, &doc[..], &mut out),
+                Engine::NoGc => run_no_gc_streaming(&compiled, &mut tags, &doc[..], &mut out),
+                Engine::StaticProj => {
+                    run_static_projection(&compiled, &mut tags, &doc[..], &mut out)
+                }
+                Engine::Dom => run_dom(&compiled, &mut tags, &doc[..], &mut out),
+            };
+            r.unwrap_or_else(|err| panic!("skip-heavy on {e:?}: {err}"));
+            outputs.push(out);
+        }
+        for o in &outputs[1..] {
+            assert_eq!(
+                String::from_utf8_lossy(&outputs[0]),
+                String::from_utf8_lossy(o),
+                "engines disagree on skip-heavy doc"
+            );
+        }
+        // The scenario only measures skip throughput if nearly everything
+        // is actually skipped.
+        let r = measure_record(Engine::Gcx, "SYNTH-SKIP", SKIPHEAVY_QUERY, &doc, 0.05, 1)
+            .expect("measure skip-heavy");
+        assert!(
+            r.skip_ratio() > 0.95,
+            "skip ratio too low: {}",
+            r.skip_ratio()
+        );
     }
 
     #[test]

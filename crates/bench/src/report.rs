@@ -29,7 +29,12 @@
 //! `http-cN` records), `skip_ratio` (`bytes_skipped / input_bytes`), and
 //! `latency` (client-observed per-request quantiles — `p50_ms`, `p99_ms`,
 //! `ttfb_p50_ms`, `ttfb_p99_ms` — sampled by the small-request keep-alive
-//! scenarios; `null` for throughput records that issue one big request).
+//! scenarios; `null` for throughput records that issue one big request),
+//! and `skip_mb_per_sec` (skipped mebibytes over the run's wall clock —
+//! the raw dead-subtree scan throughput, tracked by the `SYNTH-SKIP`
+//! skip-heavy synthetic row; 0 where `bytes_skipped` is 0), and the
+//! top-level `scan_kernel` (the byte-scanning kernel the lexer selected
+//! for this host: `scalar`, `swar`, `sse2` or `avx2`).
 //! With skip-mode lexing, `events` counts only *materialized* tokens —
 //! tokens inside raw-skipped subtrees appear exclusively in
 //! `bytes_skipped`.
@@ -128,6 +133,15 @@ impl BenchRecord {
     pub fn skip_ratio(&self) -> f64 {
         self.bytes_skipped as f64 / (self.input_bytes.max(1) as f64)
     }
+
+    /// Throughput of the raw dead-subtree scan alone: skipped mebibytes
+    /// over the whole run's wall clock. A lower bound on the scanner's
+    /// speed (the run also spends time on live events); meaningful on
+    /// skip-heavy rows like `SYNTH-SKIP` where it tracks the raw-scan
+    /// ceiling.
+    pub fn skip_mb_per_sec(&self) -> f64 {
+        (self.bytes_skipped as f64 / (1024.0 * 1024.0)) / self.seconds.max(1e-9)
+    }
 }
 
 /// The steady-state lexer probe: events and allocations over the second
@@ -192,6 +206,11 @@ pub fn render_report(
         std::env::consts::OS,
         std::env::consts::ARCH
     );
+    let _ = writeln!(
+        out,
+        "  \"scan_kernel\": \"{}\",",
+        gcx_xml::scan::kernel_name()
+    );
     out.push_str("  \"results\": [\n");
     for (i, r) in records.iter().enumerate() {
         let _ = write!(
@@ -201,6 +220,7 @@ pub fn render_report(
              \"events\": {}, \"events_per_sec\": {}, \"peak_nodes\": {}, \
              \"peak_bytes\": {}, \"dfa_states\": {}, \"output_bytes\": {}, \
              \"bytes_skipped\": {}, \"skip_ratio\": {}, \
+             \"skip_mb_per_sec\": {}, \
              \"allocations\": {}, \"allocs_per_event\": {}, \
              \"latency\": {} }}",
             json_escape(&r.query),
@@ -217,6 +237,7 @@ pub fn render_report(
             r.output_bytes,
             r.bytes_skipped,
             json_f64(r.skip_ratio()),
+            json_f64(r.skip_mb_per_sec()),
             json_opt_u64(r.allocations),
             r.allocs_per_event()
                 .map_or_else(|| "null".to_string(), json_f64),
@@ -292,6 +313,8 @@ mod tests {
         assert!((r.events_per_sec() - 2000.0).abs() < 1e-9);
         assert!((r.allocs_per_event().unwrap() - 0.01).abs() < 1e-9);
         assert!((r.skip_ratio() - 0.5).abs() < 1e-9);
+        // 0.5 MiB skipped in 0.5 s = 1 MiB/s.
+        assert!((r.skip_mb_per_sec() - 1.0).abs() < 1e-9);
     }
 
     #[test]
@@ -309,6 +332,8 @@ mod tests {
         assert!(json.contains("\"query\": \"Q1\""));
         assert!(json.contains("\"bytes_skipped\": 524288"));
         assert!(json.contains("\"skip_ratio\": 0.5"));
+        assert!(json.contains("\"skip_mb_per_sec\": 1,"));
+        assert!(json.contains("\"scan_kernel\": \""));
         assert!(json.contains("\"allocs_per_event\": 0 }"));
         // Balanced braces/brackets (cheap well-formedness check).
         assert_eq!(

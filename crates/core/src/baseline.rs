@@ -71,6 +71,7 @@ pub fn run_dom_with_options<R: Read, W: Write>(
         bytes_skipped: 0,
         safety: None,
         role_balance: Vec::new(),
+        scan_kernel: gcx_xml::scan::kernel_name(),
     })
 }
 

@@ -129,6 +129,9 @@ pub struct RunReport {
     /// Per-role (assigned, removed) instance counters, indexed by role id
     /// (diagnostics; empty for the DOM baseline).
     pub role_balance: Vec<(u64, u64)>,
+    /// Byte-scanning kernel the lexer ran with (`scalar`, `swar`,
+    /// `sse2` or `avx2`) — makes perf numbers attributable.
+    pub scan_kernel: &'static str,
 }
 
 /// Cursor over the matches of one step, relative to a base node. The
@@ -357,6 +360,7 @@ impl<'t, 'q, R: Read, W: Write> GcxEngine<'t, 'q, R, W> {
             bytes_skipped: self.projector.bytes_skipped(),
             safety,
             role_balance,
+            scan_kernel: gcx_xml::scan::kernel_name(),
         })
     }
 

@@ -29,6 +29,7 @@
 //! Skipped byte counts accumulate in [`XmlLexer::bytes_skipped`].
 
 use crate::error::XmlError;
+use crate::scan::{self, ScanKernel};
 use crate::tags::{TagId, TagInterner};
 use crate::token::{XmlEvent, XmlToken};
 use crate::Result;
@@ -43,11 +44,6 @@ enum Pending {
     Open(TagId),
     Close(TagId),
     AttrText { start: u32, end: u32 },
-}
-
-#[inline]
-fn is_name_byte(b: u8) -> bool {
-    b.is_ascii_alphanumeric() || b == b'_' || b == b'-' || b == b'.' || b == b':'
 }
 
 /// What to do with attributes in the input.
@@ -245,6 +241,14 @@ impl<'t, R: Read> XmlLexer<'t, R> {
     /// fallback on mismatch (KMP-style): after matching `]]` of `]]>`,
     /// another `]` must keep two bytes matched, not reset to one —
     /// otherwise `x]]]>` style terminators are scanned past.
+    ///
+    /// Fast path: a vectorized scan for the suffix's first byte (the
+    /// anchor), then a direct slice compare when the whole suffix is
+    /// visible in the buffer. A candidate too close to the buffer end —
+    /// the terminator may straddle a refill — drops to the byte-at-a-time
+    /// KMP loop, which is also where overlapping candidates (`]]]>`)
+    /// resolve; once the partial match dies back to zero the scan
+    /// returns to the vectorized anchor search.
     fn skip_until(&mut self, suffix: &[u8], context: &'static str) -> Result<()> {
         // Longest proper prefix of suffix[..matched] that is also a
         // suffix of it (then the current byte is retried at that length).
@@ -256,6 +260,38 @@ impl<'t, R: Read> XmlLexer<'t, R> {
         }
         let mut matched = 0usize;
         loop {
+            if matched == 0 {
+                // Vectorized anchor scan within the buffered bytes.
+                if !self.fill()? {
+                    return Err(XmlError::UnexpectedEof {
+                        offset: self.offset(),
+                        context,
+                    });
+                }
+                match scan::find_byte(&self.buf[self.pos..self.len], suffix[0]) {
+                    None => {
+                        self.pos = self.len;
+                        continue;
+                    }
+                    Some(i) => {
+                        let cand = self.pos + i;
+                        if cand + suffix.len() <= self.len {
+                            if &self.buf[cand..cand + suffix.len()] == suffix {
+                                self.pos = cand + suffix.len();
+                                return Ok(());
+                            }
+                            // Not the terminator: step past the anchor
+                            // byte only (a later candidate may start
+                            // inside this failed window, e.g. "]]]>").
+                            self.pos = cand + 1;
+                            continue;
+                        }
+                        // The window straddles the buffer end; resolve
+                        // it byte-at-a-time across the refill.
+                        self.pos = cand;
+                    }
+                }
+            }
             let b = self.bump(context)?;
             loop {
                 if b == suffix[matched] {
@@ -269,6 +305,45 @@ impl<'t, R: Read> XmlLexer<'t, R> {
             }
             if matched == suffix.len() {
                 return Ok(());
+            }
+        }
+    }
+
+    /// Consumes input up to and including the next `target` byte
+    /// (vectorized). Shared by the raw-skip quote/close-tag scans.
+    #[inline]
+    fn skip_to_byte(&mut self, target: u8, context: &'static str) -> Result<()> {
+        loop {
+            if !self.fill()? {
+                return Err(XmlError::UnexpectedEof {
+                    offset: self.offset(),
+                    context,
+                });
+            }
+            match scan::find_byte(&self.buf[self.pos..self.len], target) {
+                Some(i) => {
+                    self.pos += i + 1;
+                    return Ok(());
+                }
+                None => self.pos = self.len,
+            }
+        }
+    }
+
+    /// Consumes a DOCTYPE declaration after `<!D`, up to its closing
+    /// `>`. Steps over the `[...]` internal subset *and* quoted
+    /// system/public literals — a literal may legally contain `>`
+    /// (`<!DOCTYPE foo SYSTEM "a>b">`), which must not terminate the
+    /// declaration. Shared by the per-event and raw-skip paths.
+    fn skip_doctype(&mut self) -> Result<()> {
+        let mut brackets = 0usize;
+        loop {
+            match self.bump("DOCTYPE")? {
+                b'[' => brackets += 1,
+                b']' => brackets = brackets.saturating_sub(1),
+                q @ (b'"' | b'\'') => self.skip_to_byte(q, "DOCTYPE literal")?,
+                b'>' if brackets == 0 => return Ok(()),
+                _ => {}
             }
         }
     }
@@ -287,10 +362,7 @@ impl<'t, R: Read> XmlLexer<'t, R> {
             });
         }
         let start = self.pos;
-        let mut i = self.pos;
-        while i < self.len && is_name_byte(self.buf[i]) {
-            i += 1;
-        }
+        let i = start + scan::name_run_len(&self.buf[start..self.len]);
         if i < self.len {
             if i == start {
                 return Err(XmlError::Malformed {
@@ -311,18 +383,18 @@ impl<'t, R: Read> XmlLexer<'t, R> {
         self.name_buf.extend_from_slice(&self.buf[start..i]);
         self.pos = i;
         loop {
-            match self.peek()? {
-                Some(b) if is_name_byte(b) => {
-                    self.name_buf.push(b);
-                    self.pos += 1;
-                }
-                Some(_) => break,
-                None => {
-                    return Err(XmlError::UnexpectedEof {
-                        offset: self.offset(),
-                        context,
-                    })
-                }
+            if !self.fill()? {
+                return Err(XmlError::UnexpectedEof {
+                    offset: self.offset(),
+                    context,
+                });
+            }
+            let n = scan::name_run_len(&self.buf[self.pos..self.len]);
+            self.name_buf
+                .extend_from_slice(&self.buf[self.pos..self.pos + n]);
+            self.pos += n;
+            if self.pos < self.len {
+                break; // hit a non-name byte
             }
         }
         if self.name_buf.is_empty() {
@@ -339,14 +411,18 @@ impl<'t, R: Read> XmlLexer<'t, R> {
     }
 
     fn skip_ws(&mut self) -> Result<()> {
-        while let Some(b) = self.peek()? {
-            if b.is_ascii_whitespace() {
-                self.pos += 1;
-            } else {
-                break;
+        loop {
+            if !self.fill()? {
+                return Ok(());
+            }
+            match scan::find_non_ws(&self.buf[self.pos..self.len]) {
+                Some(i) => {
+                    self.pos += i;
+                    return Ok(());
+                }
+                None => self.pos = self.len,
             }
         }
-        Ok(())
     }
 
     /// Decodes one entity reference; the leading `&` is already consumed.
@@ -421,14 +497,10 @@ impl<'t, R: Read> XmlLexer<'t, R> {
                     context: "attribute value",
                 });
             }
-            let mut i = self.pos;
-            while i < self.len {
-                let b = self.buf[i];
-                if b == quote || b == b'&' {
-                    break;
-                }
-                i += 1;
-            }
+            let i = match scan::find_byte2(&self.buf[self.pos..self.len], quote, b'&') {
+                Some(k) => self.pos + k,
+                None => self.len,
+            };
             self.attr_buf.extend_from_slice(&self.buf[self.pos..i]);
             self.pos = i;
             if i == self.len {
@@ -511,28 +583,50 @@ impl<'t, R: Read> XmlLexer<'t, R> {
     }
 
     /// Consumes a CDATA section (after `<![`) into the text buffer.
+    /// Bracket-free stretches are located with the vectorized `]` scan
+    /// and copied wholesale; the `]]>` terminator (including `x]]]>`
+    /// style overlaps and refill straddles) resolves byte-at-a-time.
     fn read_cdata(&mut self) -> Result<()> {
         for &b in b"CDATA[" {
             self.expect(b, "CDATA section")?;
         }
-        // Scan for ]]> while copying bytes.
-        let mut tail = 0usize; // how many trailing ']' seen
         loop {
-            let b = self.bump("CDATA section")?;
-            match (b, tail) {
-                (b']', _) => tail += 1,
-                (b'>', t) if t >= 2 => {
-                    for _ in 0..t - 2 {
-                        self.text.push(b']');
-                    }
-                    return Ok(());
+            if !self.fill()? {
+                return Err(XmlError::UnexpectedEof {
+                    offset: self.offset(),
+                    context: "CDATA section",
+                });
+            }
+            match scan::find_byte(&self.buf[self.pos..self.len], b']') {
+                None => {
+                    self.text.extend_from_slice(&self.buf[self.pos..self.len]);
+                    self.pos = self.len;
                 }
-                (_, t) => {
-                    for _ in 0..t {
-                        self.text.push(b']');
+                Some(i) => {
+                    self.text
+                        .extend_from_slice(&self.buf[self.pos..self.pos + i]);
+                    self.pos += i;
+                    // At a ']': resolve a potential terminator.
+                    let mut tail = 0usize; // trailing ']' seen
+                    loop {
+                        let b = self.bump("CDATA section")?;
+                        match (b, tail) {
+                            (b']', _) => tail += 1,
+                            (b'>', t) if t >= 2 => {
+                                for _ in 0..t - 2 {
+                                    self.text.push(b']');
+                                }
+                                return Ok(());
+                            }
+                            (_, t) => {
+                                for _ in 0..t {
+                                    self.text.push(b']');
+                                }
+                                self.text.push(b);
+                                break; // back to the vectorized scan
+                            }
+                        }
                     }
-                    tail = 0;
-                    self.text.push(b);
                 }
             }
         }
@@ -659,16 +753,13 @@ impl<'t, R: Read> XmlLexer<'t, R> {
                         .extend_from_slice(c.encode_utf8(&mut enc).as_bytes());
                 } else {
                     // Batch the whole plain run visible in the buffer into
-                    // the text scratch with one copy.
+                    // the text scratch with one copy (vectorized scan for
+                    // the run's end: the next markup start or entity).
                     self.text.push(b);
-                    let mut i = self.pos;
-                    while i < self.len {
-                        let c = self.buf[i];
-                        if c == b'<' || c == b'&' {
-                            break;
-                        }
-                        i += 1;
-                    }
+                    let i = match scan::find_byte2(&self.buf[self.pos..self.len], b'<', b'&') {
+                        Some(k) => self.pos + k,
+                        None => self.len,
+                    };
                     self.text.extend_from_slice(&self.buf[self.pos..i]);
                     self.pos = i;
                 }
@@ -696,16 +787,7 @@ impl<'t, R: Read> XmlLexer<'t, R> {
                         }
                         self.read_cdata()?;
                     } else if b3 == b'D' {
-                        let mut depth = 0usize;
-                        loop {
-                            let c = self.bump("DOCTYPE")?;
-                            match c {
-                                b'[' => depth += 1,
-                                b']' => depth = depth.saturating_sub(1),
-                                b'>' if depth == 0 => break,
-                                _ => {}
-                            }
-                        }
+                        self.skip_doctype()?;
                     } else {
                         return Err(XmlError::Malformed {
                             offset: self.offset(),
@@ -798,11 +880,46 @@ impl<'t, R: Read> XmlLexer<'t, R> {
         }
         let start = self.offset();
         loop {
-            // Advance to the next markup start. Raw character data cannot
-            // contain an unescaped '<' (entities carry no raw '<'), so a
-            // plain byte scan is exact — and it is the whole point: the
-            // per-event path would copy these bytes into scratch and
-            // decode entities just to throw the text away.
+            // Fast path: drive the state machine over the buffered window
+            // with a register-resident cursor and no helper calls (see
+            // [`skip_fast`]). The kernel is selected once per window so
+            // dispatch and vector constants hoist out of the per-item
+            // loop; the Sse2 and Avx2 tiers share the inline-SSE2 impl
+            // (scan-level rationale on [`scan::SimdOps`]).
+            let outcome = match scan::active_kernel() {
+                ScanKernel::Scalar => {
+                    skip_fast::<scan::ScalarOps>(&self.buf, self.pos, self.len, &mut depth)
+                }
+                ScanKernel::Swar => {
+                    skip_fast::<scan::SwarOps>(&self.buf, self.pos, self.len, &mut depth)
+                }
+                #[cfg(target_arch = "x86_64")]
+                ScanKernel::Sse2 | ScanKernel::Avx2 => {
+                    skip_fast::<scan::SimdOps>(&self.buf, self.pos, self.len, &mut depth)
+                }
+                #[cfg(not(target_arch = "x86_64"))]
+                _ => skip_fast::<scan::SwarOps>(&self.buf, self.pos, self.len, &mut depth),
+            };
+            match outcome {
+                SkipFast::Drained => self.pos = self.len,
+                SkipFast::Rewind(lt) => self.pos = lt,
+                SkipFast::RootClose(i) => {
+                    // The subtree root's own close tag: validate it like
+                    // the per-event path (the name is already interned
+                    // from its open tag, so this allocates nothing in
+                    // steady state).
+                    self.pos = i;
+                    let id = self.read_name_id("closing tag")?;
+                    self.skip_ws()?;
+                    self.expect(b'>', "closing tag")?;
+                    self.close_tag(id)?;
+                    let skipped = self.offset() - start;
+                    self.bytes_skipped += skipped;
+                    return Ok(skipped);
+                }
+            }
+            // Generic path: refill and resolve one item with the
+            // cross-refill helpers, then return to the fast loop.
             loop {
                 if !self.fill()? {
                     return Err(XmlError::UnclosedElements {
@@ -810,7 +927,7 @@ impl<'t, R: Read> XmlLexer<'t, R> {
                         open: self.open.len() + depth,
                     });
                 }
-                match self.buf[self.pos..self.len].iter().position(|&b| b == b'<') {
+                match scan::find_byte(&self.buf[self.pos..self.len], b'<') {
                     Some(i) => {
                         self.pos += i + 1;
                         break;
@@ -835,7 +952,7 @@ impl<'t, R: Read> XmlLexer<'t, R> {
                     }
                     depth -= 1;
                     // Close-tag names cannot contain '>'.
-                    while self.bump("closing tag")? != b'>' {}
+                    self.skip_to_byte(b'>', "closing tag")?;
                 }
                 b'!' => {
                     let b3 = self.bump("markup declaration")?;
@@ -848,15 +965,7 @@ impl<'t, R: Read> XmlLexer<'t, R> {
                         }
                         self.skip_until(b"]]>", "CDATA section")?;
                     } else if b3 == b'D' {
-                        let mut brackets = 0usize;
-                        loop {
-                            match self.bump("DOCTYPE")? {
-                                b'[' => brackets += 1,
-                                b']' => brackets = brackets.saturating_sub(1),
-                                b'>' if brackets == 0 => break,
-                                _ => {}
-                            }
-                        }
+                        self.skip_doctype()?;
                     } else {
                         return Err(XmlError::Malformed {
                             offset: self.offset(),
@@ -869,21 +978,42 @@ impl<'t, R: Read> XmlLexer<'t, R> {
                     // Opening tag. Scan to its '>' stepping over quoted
                     // attribute values (which may legally contain '>');
                     // '/' immediately before '>' makes it self-closing.
-                    let mut prev_slash = false;
+                    // Vectorized: jump to the next of '>'/'"'/'\'',
+                    // tracking the last byte consumed before the jump
+                    // target so the self-closing check survives both
+                    // quote skips and buffer refills.
+                    let mut last = 0u8; // first name byte: never '/'
                     loop {
-                        match self.bump("opening tag")? {
-                            b'>' => {
-                                if !prev_slash {
-                                    depth += 1;
+                        if !self.fill()? {
+                            return Err(XmlError::UnexpectedEof {
+                                offset: self.offset(),
+                                context: "opening tag",
+                            });
+                        }
+                        match scan::find_byte3(&self.buf[self.pos..self.len], b'>', b'"', b'\'') {
+                            None => {
+                                last = self.buf[self.len - 1];
+                                self.pos = self.len;
+                            }
+                            Some(i) => {
+                                let c = self.buf[self.pos + i];
+                                let prev = if i == 0 {
+                                    last
+                                } else {
+                                    self.buf[self.pos + i - 1]
+                                };
+                                self.pos += i + 1;
+                                if c == b'>' {
+                                    if prev != b'/' {
+                                        depth += 1;
+                                    }
+                                    break;
                                 }
-                                break;
+                                // A quoted attribute value: step over it
+                                // wholesale ('>' inside is not a tag end).
+                                self.skip_to_byte(c, "attribute value")?;
+                                last = c;
                             }
-                            q @ (b'"' | b'\'') => {
-                                prev_slash = false;
-                                while self.bump("attribute value")? != q {}
-                            }
-                            b'/' => prev_slash = true,
-                            _ => prev_slash = false,
                         }
                     }
                 }
@@ -905,6 +1035,166 @@ impl<'t, R: Read> XmlLexer<'t, R> {
             v.push(t);
         }
         Ok(v)
+    }
+}
+
+/// Outcome of one [`skip_fast`] pass over the buffered window.
+enum SkipFast {
+    /// Window exhausted scanning character data: refill and continue.
+    Drained,
+    /// The markup item whose '<' is at the returned index straddles the
+    /// window end or needs cross-refill machinery (comment, CDATA, PI,
+    /// DOCTYPE): rewind there and resolve it with the generic helpers.
+    Rewind(usize),
+    /// The subtree root's own close tag: the index is just past `</`.
+    RootClose(usize),
+}
+
+/// The register-resident core of [`XmlLexer::skip_subtree`]: drives the
+/// dead-subtree state machine over `buf[pos..end]` with no refills and
+/// no lexer-state writes. Raw character data cannot contain an
+/// unescaped '<' (entities carry no raw '<'), so a plain byte scan
+/// between markup items is exact. Nothing — not even `depth` — is
+/// mutated until an item resolves entirely within the window, so the
+/// caller can rewind to an unresolved item's '<' without state repair.
+///
+/// Index bookkeeping uses unchecked slicing/reads: every index is
+/// bounded by `end` before use, and the caller guarantees
+/// `pos <= end <= buf.len()` (it passes `self.pos`/`self.len`, the
+/// lexer's buffered-window invariant). The `debug_assert!` pins that
+/// contract in debug builds.
+#[inline]
+fn skip_fast<K: scan::ScanOps>(buf: &[u8], pos: usize, end: usize, depth: &mut usize) -> SkipFast {
+    debug_assert!(pos <= end && end <= buf.len());
+    // SAFETY (for every use below): `lo <= hi <= end <= buf.len()` at
+    // each call site — `lo`/`hi` are only ever advanced to positions a
+    // bound check against `end` has admitted.
+    let tail = |lo: usize, hi: usize| unsafe { buf.get_unchecked(lo..hi) };
+    let byte = |at: usize| unsafe { *buf.get_unchecked(at) };
+    let mut i = pos;
+    loop {
+        // Adjacent markup ("</a><b>") is the common case in dense
+        // regions: a one-byte check there skips the whole find call.
+        let lt = if i < end && byte(i) == b'<' {
+            i
+        } else {
+            match K::find_byte(tail(i, end), b'<') {
+                Some(k) => i + k,
+                None => return SkipFast::Drained,
+            }
+        };
+        i = lt + 1;
+        if i >= end {
+            return SkipFast::Rewind(lt);
+        }
+        let b = byte(i);
+        i += 1;
+        match b {
+            b'/' => {
+                if *depth == 0 {
+                    return SkipFast::RootClose(i);
+                }
+                // Close-tag names cannot contain '>'.
+                match K::find_byte(tail(i, end), b'>') {
+                    Some(k) => {
+                        i += k + 1;
+                        *depth -= 1;
+                    }
+                    None => return SkipFast::Rewind(lt),
+                }
+            }
+            b'!' => {
+                // "<!--" comment or "<![CDATA[": resolve within the
+                // window, anchored on the terminator's first byte and
+                // stepping past the anchor only on a failed candidate so
+                // overlapping terminators ("x]]]>", "--->") resolve
+                // exactly like the generic `skip_until`. DOCTYPE, a
+                // malformed construct, or a terminator that may straddle
+                // the window end all rewind to the generic path.
+                if end - i >= 2 && byte(i) == b'-' && byte(i + 1) == b'-' {
+                    let mut j = i + 2;
+                    loop {
+                        match K::find_byte(tail(j, end), b'-') {
+                            Some(k) if j + k + 3 <= end => {
+                                let m = j + k;
+                                if byte(m + 1) == b'-' && byte(m + 2) == b'>' {
+                                    i = m + 3;
+                                    break;
+                                }
+                                j = m + 1;
+                            }
+                            _ => return SkipFast::Rewind(lt),
+                        }
+                    }
+                } else if end - i >= 7 && tail(i, i + 7) == b"[CDATA[" {
+                    let mut j = i + 7;
+                    loop {
+                        match K::find_byte(tail(j, end), b']') {
+                            Some(k) if j + k + 3 <= end => {
+                                let m = j + k;
+                                if byte(m + 1) == b']' && byte(m + 2) == b'>' {
+                                    i = m + 3;
+                                    break;
+                                }
+                                j = m + 1;
+                            }
+                            _ => return SkipFast::Rewind(lt),
+                        }
+                    }
+                } else {
+                    return SkipFast::Rewind(lt);
+                }
+            }
+            b'?' => {
+                // Processing instruction: terminator "?>".
+                let mut j = i;
+                loop {
+                    match K::find_byte(tail(j, end), b'?') {
+                        Some(k) if j + k + 2 <= end => {
+                            let m = j + k;
+                            if byte(m + 1) == b'>' {
+                                i = m + 2;
+                                break;
+                            }
+                            j = m + 1;
+                        }
+                        _ => return SkipFast::Rewind(lt),
+                    }
+                }
+            }
+            _ => {
+                // Opening tag: scan to its '>' stepping over quoted
+                // attribute values (which may legally contain '>'); '/'
+                // immediately before '>' makes it self-closing. The
+                // whole tag is inside the window, so the byte before any
+                // candidate is always addressable.
+                let done = loop {
+                    match K::find_byte3(tail(i, end), b'>', b'"', b'\'') {
+                        None => break false,
+                        Some(k) => {
+                            let c = byte(i + k);
+                            let prev = byte(i + k - 1);
+                            i += k + 1;
+                            if c == b'>' {
+                                if prev != b'/' {
+                                    *depth += 1;
+                                }
+                                break true;
+                            }
+                            // A quoted attribute value: step over it
+                            // wholesale.
+                            match K::find_byte(tail(i, end), c) {
+                                Some(k2) => i += k2 + 1,
+                                None => break false,
+                            }
+                        }
+                    }
+                };
+                if !done {
+                    return SkipFast::Rewind(lt);
+                }
+            }
+        }
     }
 }
 
@@ -1093,6 +1383,20 @@ mod tests {
         );
     }
 
+    /// Regression: '>' inside a quoted system/public literal must not
+    /// terminate the DOCTYPE declaration.
+    #[test]
+    fn doctype_literal_with_gt() {
+        assert_eq!(
+            lex("<!DOCTYPE foo SYSTEM \"a>b\"><a>x</a>"),
+            vec!["<a>", "\"x\"", "</a>"]
+        );
+        assert_eq!(
+            lex("<!DOCTYPE foo PUBLIC 'p>q' \"a>b\" [<!ENTITY e \"v>w\">]><a/>"),
+            vec!["<a>", "</a>"]
+        );
+    }
+
     #[test]
     fn utf8_text_passthrough() {
         let t = lex("<a>héllo wörld — ünïcode</a>");
@@ -1171,6 +1475,10 @@ mod tests {
         "<r><k>t1<e>t2</e\t>t3<e />t4</k ><after/></r>",
         // Deep nesting with text at every level.
         "<r><k>a<d>b<d>c<d>d</d>e</d>f</d>g</k><after/></r>",
+        // DOCTYPE-shaped declaration with '>' inside quoted literals
+        // (regression: the literal must be stepped over, not treated as
+        // the declaration terminator).
+        "<r><k><!DOCTYPE d SYSTEM \"a>b\" [<!ENTITY e 'v>w'>]><e/></k><after/></r>",
     ];
 
     /// Lexes `doc` twice — once plainly, once skipping the subtree of

@@ -18,6 +18,7 @@
 
 pub mod error;
 pub mod lexer;
+pub mod scan;
 pub mod tags;
 pub mod token;
 pub mod tree;
@@ -25,6 +26,7 @@ pub mod writer;
 
 pub use error::XmlError;
 pub use lexer::{AttributeMode, LexerOptions, WhitespaceMode, XmlLexer};
+pub use scan::ScanKernel;
 pub use tags::{FxBuildHasher, FxHasher, TagId, TagInterner};
 pub use token::{XmlEvent, XmlToken};
 pub use tree::{Document, NodeId, NodeKind};
