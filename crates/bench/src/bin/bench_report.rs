@@ -150,37 +150,57 @@ fn main() {
         let small_doc = xmark_doc(0.001, seed);
         let small_requests = if quick { 50 } else { 200 };
         if let Some(query) = gcx_xmark::by_name("Q1") {
+            let mut run_small = |clients: usize, requests: usize, reuse: bool| {
+                match gcx_bench::serve::measure_keepalive_record(
+                    "Q1", query, &small_doc, clients, requests, reuse,
+                ) {
+                    Ok(r) => {
+                        eprintln!(
+                            "Q1 {} B x{requests} {}: {:.3}s  {:.1} req/s aggregate{}",
+                            small_doc.len(),
+                            r.engine,
+                            r.seconds,
+                            (clients * requests) as f64 / r.seconds.max(1e-9),
+                            match r.latency {
+                                Some(l) => format!(
+                                    "  p50 {:.3}ms p99 {:.3}ms ttfb-p50 {:.3}ms",
+                                    l.p50_ms, l.p99_ms, l.ttfb_p50_ms
+                                ),
+                                None => String::new(),
+                            },
+                        );
+                        records.push(r);
+                    }
+                    Err(e) => eprintln!("Q1 keepalive c{clients} reuse={reuse}: error: {e}"),
+                }
+            };
             for clients in [1usize, 8] {
                 for reuse in [false, true] {
-                    match gcx_bench::serve::measure_keepalive_record(
-                        "Q1",
-                        query,
-                        &small_doc,
-                        clients,
-                        small_requests,
-                        reuse,
-                    ) {
-                        Ok(r) => {
-                            eprintln!(
-                                "Q1 {} B x{small_requests} {}: {:.3}s  {:.1} req/s aggregate{}",
-                                small_doc.len(),
-                                r.engine,
-                                r.seconds,
-                                (clients * small_requests) as f64 / r.seconds.max(1e-9),
-                                match r.latency {
-                                    Some(l) => format!(
-                                        "  p50 {:.3}ms p99 {:.3}ms ttfb-p50 {:.3}ms",
-                                        l.p50_ms, l.p99_ms, l.ttfb_p50_ms
-                                    ),
-                                    None => String::new(),
-                                },
-                            );
-                            records.push(r);
-                        }
-                        Err(e) => eprintln!("Q1 keepalive c{clients} reuse={reuse}: error: {e}"),
-                    }
+                    run_small(clients, small_requests, reuse);
                 }
             }
+            // Wide keep-alive rows: connection-count scaling of the
+            // epoll readiness loop (hundreds of parked connections, two
+            // workers, two evaluators). Keep-alive only — the close
+            // variant at this width would measure client connect()
+            // churn, not the server — and fewer requests per client so
+            // the rows stay smoke-sized.
+            run_small(64, if quick { 8 } else { 32 }, true);
+            run_small(512, if quick { 2 } else { 8 }, true);
+        }
+    }
+
+    // Idle-cost probe: with connections parked and no requests in
+    // flight, the epoll readiness loop should burn ~zero CPU (recorded
+    // as a report note rather than a throughput row).
+    let mut notes = Vec::new();
+    if !args.iter().any(|a| a == "--no-serve") {
+        match gcx_bench::serve::measure_idle_cpu_note(64, std::time::Duration::from_secs(1)) {
+            Ok(note) => {
+                eprintln!("{note}");
+                notes.push(note);
+            }
+            Err(e) => eprintln!("idle-cpu probe: error: {e}"),
         }
     }
 
@@ -207,7 +227,7 @@ fn main() {
         None
     };
 
-    report::write_report(&out, seed, alloc_count::enabled(), &records, probe)
+    report::write_report(&out, seed, alloc_count::enabled(), &records, probe, &notes)
         .expect("write report");
     eprintln!("wrote {}", out.display());
 }

@@ -122,7 +122,7 @@ fn main() {
 
     if let Some(path) = json_path {
         let path = std::path::PathBuf::from(path);
-        report::write_report(&path, seed, alloc_count::enabled(), &records, None)
+        report::write_report(&path, seed, alloc_count::enabled(), &records, None, &[])
             .expect("write json report");
         eprintln!("wrote {}", path.display());
     }

@@ -32,9 +32,11 @@
 //! scenarios; `null` for throughput records that issue one big request),
 //! and `skip_mb_per_sec` (skipped mebibytes over the run's wall clock —
 //! the raw dead-subtree scan throughput, tracked by the `SYNTH-SKIP`
-//! skip-heavy synthetic row; 0 where `bytes_skipped` is 0), and the
+//! skip-heavy synthetic row; 0 where `bytes_skipped` is 0), the
 //! top-level `scan_kernel` (the byte-scanning kernel the lexer selected
-//! for this host: `scalar`, `swar`, `sse2` or `avx2`).
+//! for this host: `scalar`, `swar`, `sse2` or `avx2`), and the
+//! top-level `notes` array (free-form run observations measured outside
+//! any one record, e.g. the serving path's idle-CPU probe).
 //! With skip-mode lexing, `events` counts only *materialized* tokens —
 //! tokens inside raw-skipped subtrees appear exclusively in
 //! `bytes_skipped`.
@@ -188,12 +190,15 @@ fn json_opt_u64(v: Option<u64>) -> String {
     v.map_or_else(|| "null".to_string(), |x| x.to_string())
 }
 
-/// Renders the full report document.
+/// Renders the full report document. `notes` is an additive free-form
+/// list for run observations that are measured but not per-record —
+/// e.g. the idle-CPU probe of the serving path (empty slice → `[]`).
 pub fn render_report(
     seed: u64,
     alloc_counting: bool,
     records: &[BenchRecord],
     lexer: Option<LexerProbe>,
+    notes: &[String],
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -256,6 +261,16 @@ pub fn render_report(
         out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
     }
     out.push_str("  ],\n");
+    out.push_str("  \"notes\": [");
+    for (i, note) in notes.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push('"');
+        out.push_str(&json_escape(note));
+        out.push('"');
+    }
+    out.push_str("],\n");
     match lexer {
         Some(p) => {
             let _ = writeln!(
@@ -280,8 +295,12 @@ pub fn write_report(
     alloc_counting: bool,
     records: &[BenchRecord],
     lexer: Option<LexerProbe>,
+    notes: &[String],
 ) -> io::Result<()> {
-    std::fs::write(path, render_report(seed, alloc_counting, records, lexer))
+    std::fs::write(
+        path,
+        render_report(seed, alloc_counting, records, lexer, notes),
+    )
 }
 
 #[cfg(test)]
@@ -327,8 +346,10 @@ mod tests {
                 events: 10,
                 allocations: 0,
             }),
+            &[],
         );
         assert!(json.contains("\"schema\": \"gcx-bench-streaming/1\""));
+        assert!(json.contains("\"notes\": [],"), "{json}");
         assert!(json.contains("\"query\": \"Q1\""));
         assert!(json.contains("\"bytes_skipped\": 524288"));
         assert!(json.contains("\"skip_ratio\": 0.5"));
@@ -348,10 +369,22 @@ mod tests {
     fn null_fields_without_counting() {
         let mut r = record();
         r.allocations = None;
-        let json = render_report(7, false, &[r], None);
+        let json = render_report(7, false, &[r], None, &[]);
         assert!(json.contains("\"allocations\": null"));
         assert!(json.contains("\"latency\": null"));
         assert!(json.contains("\"lexer_steady_state\": null"));
+    }
+
+    #[test]
+    fn notes_render_escaped_and_in_order() {
+        let notes = vec!["idle-cpu: 0 ticks".to_string(), "b \"quoted\"".to_string()];
+        let json = render_report(7, false, &[record()], None, &notes);
+        assert!(
+            json.contains("\"notes\": [\"idle-cpu: 0 ticks\", \"b \\\"quoted\\\"\"],"),
+            "{json}"
+        );
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 
     #[test]
@@ -367,7 +400,7 @@ mod tests {
 
         let mut r = record();
         r.latency = Some(stats);
-        let json = render_report(7, false, &[r], None);
+        let json = render_report(7, false, &[r], None, &[]);
         assert!(
             json.contains("\"latency\": { \"p50_ms\": 50, \"p99_ms\": 99,"),
             "{json}"

@@ -85,6 +85,64 @@ pub fn measure_serve_record(
     })
 }
 
+/// Process CPU time (utime + stime) in clock ticks from
+/// `/proc/self/stat`, or `None` off Linux / on a parse failure.
+fn process_cpu_ticks() -> Option<u64> {
+    let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
+    // Field 2 (comm) may contain spaces; everything after the closing
+    // paren is space-separated, with utime/stime at fields 14/15
+    // (1-based), i.e. offsets 11/12 past the paren.
+    let rest = stat.rsplit_once(')')?.1;
+    let mut fields = rest.split_ascii_whitespace();
+    let utime: u64 = fields.nth(11)?.parse().ok()?;
+    let stime: u64 = fields.next()?.parse().ok()?;
+    Some(utime + stime)
+}
+
+/// Measures the serving path's idle cost: parks `conns` keep-alive
+/// connections against a fresh server, then samples process CPU time
+/// over `idle` of enforced silence. With the epoll readiness loop every
+/// worker sleeps in `epoll_wait` and every evaluator in its pool — the
+/// expected tick delta is zero (a time-based poll loop shows up
+/// immediately here). Returns a human-readable note for the report.
+pub fn measure_idle_cpu_note(conns: usize, idle: std::time::Duration) -> Result<String, String> {
+    let server = GcxServer::bind(
+        "127.0.0.1:0",
+        NetConfig {
+            workers: 2,
+            evaluators: 2,
+            ..Default::default()
+        },
+    )
+    .map_err(|e| format!("bind: {e}"))?;
+    let addr = server.local_addr();
+    let mut parked = Vec::with_capacity(conns);
+    for i in 0..conns {
+        let mut c = client::HttpClient::connect(addr).map_err(|e| format!("connect {i}: {e}"))?;
+        // One round-trip each so the connection is a parked keep-alive,
+        // not a half-open socket the server has never seen.
+        let resp = c.get("/healthz").map_err(|e| format!("warm {i}: {e}"))?;
+        if resp.status != 200 {
+            return Err(format!("warm {i}: status {}", resp.status));
+        }
+        parked.push(c);
+    }
+    // Let in-flight bookkeeping settle before opening the window.
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    let before = process_cpu_ticks().ok_or("no /proc/self/stat")?;
+    std::thread::sleep(idle);
+    let after = process_cpu_ticks().ok_or("no /proc/self/stat")?;
+    drop(parked);
+    server.shutdown();
+    Ok(format!(
+        "idle-cpu: {} clock tick(s) of process CPU over {:.1}s with {} parked \
+         keep-alive connections (epoll readiness loop; a polling loop would burn here)",
+        after.saturating_sub(before),
+        idle.as_secs_f64(),
+        conns,
+    ))
+}
+
 /// What one keep-alive client thread brings home: response bytes and
 /// per-request (total, TTFB) latency samples in milliseconds.
 struct ClientRun {

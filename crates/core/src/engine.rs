@@ -4,10 +4,26 @@
 //! The engine evaluates the *rewritten* query strictly sequentially. When
 //! evaluation needs data that is not buffered yet — the next binding of a
 //! for-loop, the subtree of a node being output, a condition witness — it
-//! blocks and pumps the [`Preprojector`] token by token until the data is
-//! available (or provably absent). Every `signOff($x/π, r)` encountered is
+//! pumps the [`Preprojector`] token by token until the data is available
+//! (or provably absent). Every `signOff($x/π, r)` encountered is
 //! forwarded to the buffer manager, which performs the role update and the
 //! localized garbage collection of Fig. 10.
+//!
+//! ## The step machine
+//!
+//! Evaluation is a **resumable step machine**, not a recursive descent:
+//! the would-be call stack is an explicit [`Frame`] stack held in the
+//! engine struct, and [`GcxEngine::step`] runs a bounded number of frame
+//! executions / pump events before returning a [`StepOutcome`]. Nothing
+//! ever blocks inside evaluation: a non-blocking input that runs dry
+//! surfaces as [`StepOutcome::NeedInput`] (the lexer has rewound to a
+//! construct boundary — see `gcx_xml`'s non-blocking reader contract),
+//! a full output sink as [`StepOutcome::OutputBackpressure`] (via the
+//! [`GcxEngine::set_output_gate`] probe), and an exhausted budget as
+//! [`StepOutcome::Yielded`]. A scheduler can therefore multiplex
+//! thousands of engines over a handful of threads, each suspended
+//! engine holding only its frames + buffer — a few KB. The classic
+//! blocking [`GcxEngine::run`] is a thin loop over `step`.
 //!
 //! The same evaluator also powers two baselines (paper §7 comparisons):
 //! with `gc: false` signOffs are ignored (static analysis only), and with
@@ -20,9 +36,9 @@ use crate::preproject::{Preprojector, PumpEvent};
 use crate::value::compare_values;
 use gcx_buffer::{BufNodeId, BufferStats, BufferTree};
 use gcx_obs::log_debug;
-use gcx_projection::{PStep, PTest, Pred, Role};
+use gcx_projection::{PStep, PTest, Pred, RelPath, Role};
 use gcx_query::{Axis, CompiledQuery, Cond, Expr, NodeTest, Step, VarId};
-use gcx_xml::{LexerOptions, TagInterner, XmlLexer, XmlWriter};
+use gcx_xml::{LexerOptions, TagId, TagInterner, XmlLexer, XmlWriter};
 use std::io::{Read, Write};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -93,7 +109,7 @@ pub struct TraceEvent {
     pub buffer: String,
 }
 
-type Tracer = Box<dyn FnMut(&TraceEvent)>;
+type Tracer = Box<dyn FnMut(&TraceEvent) + Send>;
 
 /// Log target for the evaluator (`GCX_LOG=gcx_core::engine=debug`).
 const LOG_TARGET: &str = "gcx_core::engine";
@@ -155,6 +171,97 @@ impl Cursor {
     }
 }
 
+/// What one [`GcxEngine::step`] slice ended with.
+///
+/// Everything except `Finished`/`Err` means "call `step` again later":
+/// after feeding input (`NeedInput`), after draining output
+/// (`OutputBackpressure`), or whenever the scheduler next gets to this
+/// engine (`Yielded` — the budget ran out mid-evaluation).
+#[derive(Debug)]
+pub enum StepOutcome {
+    /// The (non-blocking) input has no bytes available. All state is
+    /// parked in the engine; retry once more input arrives and
+    /// evaluation resumes exactly where it left off.
+    NeedInput,
+    /// The output gate ([`GcxEngine::set_output_gate`]) refused: the
+    /// sink needs draining before evaluation continues. No work ran.
+    OutputBackpressure,
+    /// The step budget was exhausted mid-evaluation (fairness yield).
+    Yielded,
+    /// The run completed; the report is final.
+    Finished(RunReport),
+    /// The run failed; further `step` calls are a contract error.
+    Err(EngineError),
+}
+
+/// One fueled cursor advance (see [`GcxEngine::cursor_next_fuel`]).
+enum CursorStep {
+    Found(BufNodeId),
+    End,
+    OutOfFuel,
+}
+
+/// One suspended activation of the evaluator — the explicit-stack
+/// replacement for what recursive `eval`/`eval_cond` held on the call
+/// stack. Frames are pushed in reverse execution order (top of
+/// `GcxEngine::frames` runs first); a frame that runs out of fuel or
+/// hits `NeedInput` pushes itself back (with its mutated state) before
+/// returning, which is what makes every suspension point resumable.
+enum Frame<'q> {
+    /// Materialize the whole projected document (static-projection
+    /// baseline) before evaluation starts.
+    Preload,
+    /// Open the output root element.
+    Begin,
+    /// Close the output root and flush the sink.
+    End,
+    /// Evaluate an expression (dispatches to the frames below).
+    Eval(&'q Expr),
+    /// A sequence, about to evaluate `items[idx]`.
+    Seq { items: &'q [Expr], idx: usize },
+    /// Emit a closing tag after an element's content frame finished.
+    CloseTag(TagId),
+    /// Emit a variable binding's subtree once it is finished.
+    VarEmit { node: BufNodeId },
+    /// Emit every match of a path step (`$x/π` in output position);
+    /// `emit` holds a found-but-not-yet-finished match.
+    PathOut {
+        cur: Cursor,
+        emit: Option<BufNodeId>,
+    },
+    /// A for-loop between iterations: advance the cursor, bind, and
+    /// evaluate the body once per match.
+    ForLoop {
+        var: VarId,
+        body: &'q Expr,
+        cur: Cursor,
+    },
+    /// Pick the branch once the condition frames left their verdict in
+    /// `cond_reg`.
+    IfBranch {
+        then_branch: &'q Expr,
+        else_branch: &'q Expr,
+    },
+    /// Evaluate a condition into `cond_reg`.
+    Cond(&'q Cond),
+    /// Short-circuit `and`: run the right side only if `cond_reg`.
+    CondAnd(&'q Cond),
+    /// Short-circuit `or`: run the right side only if `!cond_reg`.
+    CondOr(&'q Cond),
+    /// Negate `cond_reg`.
+    CondNot,
+    /// An exists-check mid-scan.
+    CondExists { cur: Cursor },
+    /// A comparison condition waiting for its base subtree(s) to finish.
+    CondPump(&'q Cond),
+    /// A `signOff($x/π, r)` waiting for the base subtree to finish.
+    SignOff {
+        base: BufNodeId,
+        path: &'q RelPath,
+        role: Role,
+    },
+}
+
 /// The streaming engine. Construct via [`run_gcx`] and friends (module
 /// functions below) unless you need custom wiring.
 pub struct GcxEngine<'t, 'q, R: Read, W: Write> {
@@ -186,6 +293,22 @@ pub struct GcxEngine<'t, 'q, R: Read, W: Write> {
     cmp_text: String,
     path_frontier: Vec<(BufNodeId, u32)>,
     path_next: Vec<(BufNodeId, u32)>,
+    /// The explicit evaluation stack (see [`Frame`]): empty before the
+    /// first step and after the run ends.
+    frames: Vec<Frame<'q>>,
+    /// Condition result register: `Cond*` frames leave their verdict
+    /// here for the consuming frame ([`Frame::IfBranch`] etc.).
+    cond_reg: bool,
+    /// The first step ran (root bound, initial frames pushed).
+    started: bool,
+    /// The run finished or failed; further `step` calls are an error.
+    complete: bool,
+    /// Evaluation wall-clock accumulated across step slices. Time
+    /// parked *between* steps belongs to the scheduler, not the query.
+    run_elapsed: Duration,
+    /// Output readiness probe: when installed and returning `false`,
+    /// `step` returns [`StepOutcome::OutputBackpressure`] immediately.
+    output_gate: Option<Box<dyn Fn() -> bool + Send>>,
 }
 
 impl<'t, 'q, R: Read, W: Write> GcxEngine<'t, 'q, R, W> {
@@ -221,6 +344,12 @@ impl<'t, 'q, R: Read, W: Write> GcxEngine<'t, 'q, R, W> {
             cmp_text: String::new(),
             path_frontier: Vec::new(),
             path_next: Vec::new(),
+            frames: Vec::new(),
+            cond_reg: false,
+            started: false,
+            complete: false,
+            run_elapsed: Duration::ZERO,
+            output_gate: None,
         }
     }
 
@@ -315,23 +444,116 @@ impl<'t, 'q, R: Read, W: Write> GcxEngine<'t, 'q, R, W> {
         }
     }
 
-    /// Runs the query to completion.
-    pub fn run(mut self) -> Result<RunReport, EngineError> {
-        let start = Instant::now();
-        if self.preload {
-            while self.pump_step()? != PumpEvent::Eof {}
+    /// Installs an output readiness probe. While the probe returns
+    /// `false`, [`Self::step`] returns
+    /// [`StepOutcome::OutputBackpressure`] without running — the
+    /// scheduler parks the session until the net layer drains the sink.
+    /// The probe is checked only at step boundaries, so a step that was
+    /// already running can overshoot by at most one budget's worth of
+    /// output. Do not combine with the blocking [`Self::run`] (which
+    /// would spin on a closed gate).
+    pub fn set_output_gate(&mut self, gate: Box<dyn Fn() -> bool + Send>) {
+        self.output_gate = Some(gate);
+    }
+
+    /// Runs at most `budget` frame executions / pump events and returns
+    /// what stopped the slice. All evaluation state lives in the engine
+    /// struct between calls — no thread ever parks inside. `budget` is
+    /// clamped to ≥ 1 so every step makes progress.
+    pub fn step(&mut self, budget: u32) -> StepOutcome {
+        if self.complete {
+            return StepOutcome::Err(EngineError::MissingData(
+                "step() called after the run already completed".into(),
+            ));
         }
-        self.bindings[VarId::ROOT.index()] = Some(BufferTree::ROOT);
-        let root_tag = self.compiled.rewritten.root_tag;
-        self.writer.open(root_tag, self.projector.tags())?;
-        self.trace("output root open");
-        // `compiled` outlives the engine ('q): borrow the body instead
-        // of deep-cloning the whole expression tree per run.
-        let body: &'q Expr = &self.compiled.rewritten.body;
-        self.eval(body)?;
-        self.writer.close(root_tag, self.projector.tags())?;
-        self.writer.flush()?;
-        let elapsed = start.elapsed();
+        if let Some(gate) = &self.output_gate {
+            if !gate() {
+                return StepOutcome::OutputBackpressure;
+            }
+        }
+        let budget = budget.max(1);
+        let t0 = Instant::now();
+        let result = self.drive(budget);
+        let slice = t0.elapsed();
+        self.run_elapsed += slice;
+        match result {
+            Ok(Some(mut report)) => {
+                self.complete = true;
+                // `build_report` ran inside `drive`, before this slice
+                // was added to the total — patch the final figure in.
+                report.elapsed = self.run_elapsed;
+                StepOutcome::Finished(report)
+            }
+            Ok(None) => {
+                // A yield always means the fuel ran dry, so the slice
+                // consumed exactly `budget` events.
+                if let Some((rec, tid)) = &self.flight {
+                    let dur_ns = slice.as_nanos() as u64;
+                    let start = rec.now_ns().saturating_sub(dur_ns);
+                    rec.record_span(*tid, gcx_obs::SpanKind::Yield, start, dur_ns, budget as u64);
+                }
+                StepOutcome::Yielded
+            }
+            Err(e) if e.is_need_input() => StepOutcome::NeedInput,
+            Err(e) => {
+                self.complete = true;
+                StepOutcome::Err(e)
+            }
+        }
+    }
+
+    /// Runs the query to completion over blocking input/output: a thin
+    /// loop over [`Self::step`]. A blocking reader never yields
+    /// `WouldBlock`, so `NeedInput` here means the caller wired a
+    /// non-blocking source into the blocking entry point.
+    pub fn run(mut self) -> Result<RunReport, EngineError> {
+        loop {
+            match self.step(u32::MAX) {
+                StepOutcome::Finished(r) => return Ok(r),
+                StepOutcome::Yielded | StepOutcome::OutputBackpressure => {}
+                StepOutcome::NeedInput => {
+                    return Err(EngineError::MissingData(
+                        "non-blocking input ran dry inside a blocking run".into(),
+                    ))
+                }
+                StepOutcome::Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// The step-machine driver: pops and executes frames until the
+    /// stack empties (`Ok(Some(report))`), the fuel runs out
+    /// (`Ok(None)` — the interrupted frame has pushed itself back), or
+    /// evaluation fails (`Err`; on `NeedInput` the interrupted frame is
+    /// back on the stack and the call is retryable).
+    fn drive(&mut self, mut fuel: u32) -> Result<Option<RunReport>, EngineError> {
+        if !self.started {
+            self.started = true;
+            self.bindings[VarId::ROOT.index()] = Some(BufferTree::ROOT);
+            // `compiled` outlives the engine ('q): borrow the body
+            // instead of deep-cloning the expression tree per run.
+            let body: &'q Expr = &self.compiled.rewritten.body;
+            self.frames.push(Frame::End);
+            self.frames.push(Frame::Eval(body));
+            self.frames.push(Frame::Begin);
+            if self.preload {
+                self.frames.push(Frame::Preload);
+            }
+        }
+        loop {
+            let Some(frame) = self.frames.pop() else {
+                return Ok(Some(self.build_report()));
+            };
+            if fuel == 0 {
+                self.frames.push(frame);
+                return Ok(None);
+            }
+            fuel -= 1;
+            self.exec_frame(frame, &mut fuel)?;
+        }
+    }
+
+    fn build_report(&mut self) -> RunReport {
         let safety = if self.gc {
             Some(self.buffer.all_roles_returned())
         } else {
@@ -343,7 +565,7 @@ impl<'t, 'q, R: Read, W: Write> GcxEngine<'t, 'q, R, W> {
             .roles()
             .map(|r| self.buffer.role_accounting(r))
             .collect();
-        Ok(RunReport {
+        RunReport {
             engine: if self.preload {
                 "static-projection".into()
             } else if self.gc {
@@ -353,7 +575,7 @@ impl<'t, 'q, R: Read, W: Write> GcxEngine<'t, 'q, R, W> {
             },
             output_bytes: self.writer.bytes_written(),
             stats: self.buffer.stats().clone(),
-            elapsed,
+            elapsed: self.run_elapsed,
             dfa_states: self.projector.dfa_states(),
             tokens_read: self.projector.tokens_read,
             tokens_skipped: self.projector.tokens_skipped,
@@ -361,7 +583,7 @@ impl<'t, 'q, R: Read, W: Write> GcxEngine<'t, 'q, R, W> {
             safety,
             role_balance,
             scan_kernel: gcx_xml::scan::kernel_name(),
-        })
+        }
     }
 
     /// Access to the buffer (tests and traces).
@@ -398,16 +620,26 @@ impl<'t, 'q, R: Read, W: Write> GcxEngine<'t, 'q, R, W> {
         }
     }
 
-    /// Pumps until `node`'s closing tag has been processed.
-    fn pump_until_finished(&mut self, node: BufNodeId) -> Result<(), EngineError> {
+    /// Pumps until `node`'s closing tag has been processed, charging
+    /// one fuel per pump event. Returns `Ok(false)` when the fuel ran
+    /// out first. At least one pump happens per call even with no fuel
+    /// left: the frame-dispatch charge in `drive` can drain the budget
+    /// before the frame's real work starts, and a work loop that then
+    /// refuses to work would re-suspend identically forever — every
+    /// step must make progress (overshoot is bounded by one event).
+    fn pump_finish_fuel(&mut self, node: BufNodeId, fuel: &mut u32) -> Result<bool, EngineError> {
         while !self.buffer.is_finished(node) {
             if self.pump_step()? == PumpEvent::Eof && !self.buffer.is_finished(node) {
                 return Err(EngineError::MissingData(
                     "input ended before an open element finished".into(),
                 ));
             }
+            *fuel = fuel.saturating_sub(1);
+            if *fuel == 0 && !self.buffer.is_finished(node) {
+                return Ok(false);
+            }
         }
-        Ok(())
+        Ok(true)
     }
 
     // ------------------------------------------------------------------
@@ -423,11 +655,22 @@ impl<'t, 'q, R: Read, W: Write> GcxEngine<'t, 'q, R, W> {
     }
 
     /// Advances a cursor to its next match, pumping the input as needed
-    /// (this is where the evaluator "blocks" in the paper's terms).
-    fn cursor_next(&mut self, c: &mut Cursor) -> Result<Option<BufNodeId>, EngineError> {
+    /// (this is where the evaluator "blocks" in the paper's terms —
+    /// except nothing blocks: fuel is charged per candidate examined
+    /// and per pump event, and `OutOfFuel` suspends the scan with the
+    /// position parked in the cursor's pinned mark).
+    fn cursor_next_fuel(
+        &mut self,
+        c: &mut Cursor,
+        fuel: &mut u32,
+    ) -> Result<CursorStep, EngineError> {
         if c.done {
-            return Ok(None);
+            return Ok(CursorStep::End);
         }
+        // Fuel is checked *after* each unit of work (candidate examined
+        // or event pumped), never before the first: see
+        // [`Self::pump_finish_fuel`] for why refusing to work at zero
+        // fuel would livelock a budget-1 step.
         loop {
             let candidate = match (c.step.axis, c.mark) {
                 (Axis::Child, None) => self.buffer.first_child(c.base),
@@ -443,13 +686,13 @@ impl<'t, 'q, R: Read, W: Write> GcxEngine<'t, 'q, R, W> {
                     }
                     c.mark = Some(n);
                     if self.node_matches(n, c.step.test) {
-                        return Ok(Some(n));
+                        return Ok(CursorStep::Found(n));
                     }
                 }
                 None => {
                     if self.buffer.is_finished(c.base) {
                         self.cursor_abort(c);
-                        return Ok(None);
+                        return Ok(CursorStep::End);
                     }
                     if self.pump_step()? == PumpEvent::Eof && !self.buffer.is_finished(c.base) {
                         return Err(EngineError::MissingData(
@@ -457,6 +700,10 @@ impl<'t, 'q, R: Read, W: Write> GcxEngine<'t, 'q, R, W> {
                         ));
                     }
                 }
+            }
+            *fuel = fuel.saturating_sub(1);
+            if *fuel == 0 {
+                return Ok(CursorStep::OutOfFuel);
             }
         }
     }
@@ -470,10 +717,204 @@ impl<'t, 'q, R: Read, W: Write> GcxEngine<'t, 'q, R, W> {
     }
 
     // ------------------------------------------------------------------
-    // Expression evaluation
+    // Frame execution (the step machine's inner dispatch)
     // ------------------------------------------------------------------
 
-    fn eval(&mut self, e: &Expr) -> Result<(), EngineError> {
+    /// Pushes `frame` back for retry when `e` is a need-input
+    /// suspension, then propagates the error either way. Non-resumable
+    /// errors end the run, so not re-pushing them is fine.
+    fn suspend_err(&mut self, frame: Frame<'q>, e: EngineError) -> Result<(), EngineError> {
+        if e.is_need_input() {
+            self.frames.push(frame);
+        }
+        Err(e)
+    }
+
+    /// Executes one frame. Frames that suspend (out of fuel, input ran
+    /// dry) push themselves back — with whatever state they mutated —
+    /// before returning, so the next `drive` resumes mid-construct.
+    fn exec_frame(&mut self, frame: Frame<'q>, fuel: &mut u32) -> Result<(), EngineError> {
+        match frame {
+            Frame::Preload => loop {
+                match self.pump_step() {
+                    Ok(PumpEvent::Eof) => return Ok(()),
+                    Ok(_) => {}
+                    Err(e) => return self.suspend_err(Frame::Preload, e),
+                }
+                *fuel = fuel.saturating_sub(1);
+                if *fuel == 0 {
+                    self.frames.push(Frame::Preload);
+                    return Ok(());
+                }
+            },
+            Frame::Begin => {
+                let root_tag = self.compiled.rewritten.root_tag;
+                self.writer.open(root_tag, self.projector.tags())?;
+                self.trace("output root open");
+                Ok(())
+            }
+            Frame::End => {
+                let root_tag = self.compiled.rewritten.root_tag;
+                self.writer.close(root_tag, self.projector.tags())?;
+                self.writer.flush()?;
+                Ok(())
+            }
+            Frame::Eval(e) => self.eval_frame(e),
+            Frame::Seq { items, idx } => {
+                if let Some(item) = items.get(idx) {
+                    self.frames.push(Frame::Seq {
+                        items,
+                        idx: idx + 1,
+                    });
+                    self.frames.push(Frame::Eval(item));
+                }
+                Ok(())
+            }
+            Frame::CloseTag(t) => {
+                self.writer.close(t, self.projector.tags())?;
+                Ok(())
+            }
+            Frame::VarEmit { node } => {
+                match self.pump_finish_fuel(node, fuel) {
+                    Ok(true) => {}
+                    Ok(false) => {
+                        self.frames.push(Frame::VarEmit { node });
+                        return Ok(());
+                    }
+                    Err(e) => return self.suspend_err(Frame::VarEmit { node }, e),
+                }
+                let t_emit = self.emit_timer();
+                self.buffer
+                    .write_subtree(node, self.projector.tags(), &mut self.writer)?;
+                self.record_emit(t_emit);
+                self.trace("output binding subtree");
+                Ok(())
+            }
+            Frame::PathOut { mut cur, mut emit } => loop {
+                if let Some(n) = emit {
+                    match self.pump_finish_fuel(n, fuel) {
+                        Ok(true) => {}
+                        Ok(false) => {
+                            self.frames.push(Frame::PathOut { cur, emit });
+                            return Ok(());
+                        }
+                        Err(e) => return self.suspend_err(Frame::PathOut { cur, emit }, e),
+                    }
+                    let t_emit = self.emit_timer();
+                    self.buffer
+                        .write_subtree(n, self.projector.tags(), &mut self.writer)?;
+                    self.record_emit(t_emit);
+                    emit = None;
+                }
+                match self.cursor_next_fuel(&mut cur, fuel) {
+                    Ok(CursorStep::Found(n)) => emit = Some(n),
+                    Ok(CursorStep::End) => return Ok(()),
+                    Ok(CursorStep::OutOfFuel) => {
+                        self.frames.push(Frame::PathOut { cur, emit });
+                        return Ok(());
+                    }
+                    Err(e) => return self.suspend_err(Frame::PathOut { cur, emit }, e),
+                }
+            },
+            Frame::ForLoop { var, body, mut cur } => {
+                self.check_cancelled()?;
+                match self.cursor_next_fuel(&mut cur, fuel) {
+                    Ok(CursorStep::Found(n)) => {
+                        if self.debug {
+                            let name = self
+                                .buffer
+                                .tag(n)
+                                .map(|t| self.projector.tags().name(t).to_string())
+                                .unwrap_or_else(|| "#text".into());
+                            log_debug!(
+                                LOG_TARGET,
+                                "bind var{} -> node {} <{}>   buffer: {}",
+                                var.0,
+                                n.0,
+                                name,
+                                self.buffer.render_debug(self.projector.tags())
+                            );
+                        }
+                        self.bindings[var.index()] = Some(n);
+                        self.frames.push(Frame::ForLoop { var, body, cur });
+                        self.frames.push(Frame::Eval(body));
+                        Ok(())
+                    }
+                    Ok(CursorStep::End) => {
+                        self.bindings[var.index()] = None;
+                        Ok(())
+                    }
+                    Ok(CursorStep::OutOfFuel) => {
+                        self.frames.push(Frame::ForLoop { var, body, cur });
+                        Ok(())
+                    }
+                    Err(e) => self.suspend_err(Frame::ForLoop { var, body, cur }, e),
+                }
+            }
+            Frame::IfBranch {
+                then_branch,
+                else_branch,
+            } => {
+                let branch = if self.cond_reg {
+                    then_branch
+                } else {
+                    else_branch
+                };
+                self.frames.push(Frame::Eval(branch));
+                Ok(())
+            }
+            Frame::Cond(c) => self.cond_frame(c),
+            Frame::CondAnd(b) => {
+                if self.cond_reg {
+                    self.frames.push(Frame::Cond(b));
+                }
+                Ok(())
+            }
+            Frame::CondOr(b) => {
+                if !self.cond_reg {
+                    self.frames.push(Frame::Cond(b));
+                }
+                Ok(())
+            }
+            Frame::CondNot => {
+                self.cond_reg = !self.cond_reg;
+                Ok(())
+            }
+            Frame::CondExists { mut cur } => match self.cursor_next_fuel(&mut cur, fuel) {
+                Ok(CursorStep::Found(_)) => {
+                    self.cursor_abort(&mut cur);
+                    self.cond_reg = true;
+                    Ok(())
+                }
+                Ok(CursorStep::End) => {
+                    self.cond_reg = false;
+                    Ok(())
+                }
+                Ok(CursorStep::OutOfFuel) => {
+                    self.frames.push(Frame::CondExists { cur });
+                    Ok(())
+                }
+                Err(e) => self.suspend_err(Frame::CondExists { cur }, e),
+            },
+            Frame::CondPump(c) => self.exec_cond_pump(c, fuel),
+            Frame::SignOff { base, path, role } => {
+                match self.pump_finish_fuel(base, fuel) {
+                    Ok(true) => {}
+                    Ok(false) => {
+                        self.frames.push(Frame::SignOff { base, path, role });
+                        return Ok(());
+                    }
+                    Err(e) => return self.suspend_err(Frame::SignOff { base, path, role }, e),
+                }
+                self.signoff_commit(base, path, role)
+            }
+        }
+    }
+
+    /// Dispatches one expression onto the frame stack. Pure stack
+    /// manipulation plus the leaf cases that cannot suspend (writer
+    /// opens/closes); anything that pumps gets its own frame.
+    fn eval_frame(&mut self, e: &'q Expr) -> Result<(), EngineError> {
         match e {
             Expr::Empty => Ok(()),
             Expr::OpenTag(t) => {
@@ -486,36 +927,25 @@ impl<'t, 'q, R: Read, W: Write> GcxEngine<'t, 'q, R, W> {
             }
             Expr::Element { tag, content } => {
                 self.writer.open(*tag, self.projector.tags())?;
-                self.eval(content)?;
-                self.writer.close(*tag, self.projector.tags())?;
+                self.frames.push(Frame::CloseTag(*tag));
+                self.frames.push(Frame::Eval(content));
                 Ok(())
             }
             Expr::Sequence(items) => {
-                for i in items {
-                    self.eval(i)?;
-                }
+                self.frames.push(Frame::Seq { items, idx: 0 });
                 Ok(())
             }
             Expr::VarRef(v) => {
                 let node = self.binding(*v);
-                self.pump_until_finished(node)?;
-                let t_emit = self.emit_timer();
-                self.buffer
-                    .write_subtree(node, self.projector.tags(), &mut self.writer)?;
-                self.record_emit(t_emit);
-                self.trace("output binding subtree");
+                self.frames.push(Frame::VarEmit { node });
                 Ok(())
             }
             Expr::PathOutput { var, step } => {
                 let base = self.binding(*var);
-                let mut cur = Cursor::new(base, *step);
-                while let Some(n) = self.cursor_next(&mut cur)? {
-                    self.pump_until_finished(n)?;
-                    let t_emit = self.emit_timer();
-                    self.buffer
-                        .write_subtree(n, self.projector.tags(), &mut self.writer)?;
-                    self.record_emit(t_emit);
-                }
+                self.frames.push(Frame::PathOut {
+                    cur: Cursor::new(base, *step),
+                    emit: None,
+                });
                 Ok(())
             }
             Expr::For {
@@ -525,28 +955,11 @@ impl<'t, 'q, R: Read, W: Write> GcxEngine<'t, 'q, R, W> {
                 body,
             } => {
                 let base = self.binding(*source);
-                let mut cur = Cursor::new(base, *step);
-                while let Some(n) = self.cursor_next(&mut cur)? {
-                    self.check_cancelled()?;
-                    if self.debug {
-                        let name = self
-                            .buffer
-                            .tag(n)
-                            .map(|t| self.projector.tags().name(t).to_string())
-                            .unwrap_or_else(|| "#text".into());
-                        log_debug!(
-                            LOG_TARGET,
-                            "bind var{} -> node {} <{}>   buffer: {}",
-                            var.0,
-                            n.0,
-                            name,
-                            self.buffer.render_debug(self.projector.tags())
-                        );
-                    }
-                    self.bindings[var.index()] = Some(n);
-                    self.eval(body)?;
-                }
-                self.bindings[var.index()] = None;
+                self.frames.push(Frame::ForLoop {
+                    var: *var,
+                    body,
+                    cur: Cursor::new(base, *step),
+                });
                 Ok(())
             }
             Expr::If {
@@ -554,13 +967,30 @@ impl<'t, 'q, R: Read, W: Write> GcxEngine<'t, 'q, R, W> {
                 then_branch,
                 else_branch,
             } => {
-                if self.eval_cond(cond)? {
-                    self.eval(then_branch)
-                } else {
-                    self.eval(else_branch)
-                }
+                self.frames.push(Frame::IfBranch {
+                    then_branch,
+                    else_branch,
+                });
+                self.frames.push(Frame::Cond(cond));
+                Ok(())
             }
-            Expr::SignOff { var, path, role } => self.exec_signoff(*var, path, *role),
+            Expr::SignOff { var, path, role } => {
+                if !self.gc {
+                    return Ok(());
+                }
+                let base = self.binding(*var);
+                if path.is_empty() {
+                    self.buffer.sign_off(base, *role, 1)?;
+                    self.trace("signOff(ε)");
+                    return Ok(());
+                }
+                self.frames.push(Frame::SignOff {
+                    base,
+                    path,
+                    role: *role,
+                });
+                Ok(())
+            }
         }
     }
 
@@ -573,43 +1003,66 @@ impl<'t, 'q, R: Read, W: Write> GcxEngine<'t, 'q, R, W> {
     // Conditions
     // ------------------------------------------------------------------
 
-    fn eval_cond(&mut self, c: &Cond) -> Result<bool, EngineError> {
+    /// Dispatches one condition onto the frame stack; leaves (or
+    /// arranges for) its verdict in `cond_reg`.
+    fn cond_frame(&mut self, c: &'q Cond) -> Result<(), EngineError> {
         match c {
-            Cond::True => Ok(true),
+            Cond::True => {
+                self.cond_reg = true;
+                Ok(())
+            }
             Cond::Exists { var, step } => {
                 let base = self.binding(*var);
-                let mut cur = Cursor::new(base, *step);
-                let found = self.cursor_next(&mut cur)?.is_some();
-                self.cursor_abort(&mut cur);
-                Ok(found)
+                self.frames.push(Frame::CondExists {
+                    cur: Cursor::new(base, *step),
+                });
+                Ok(())
             }
+            Cond::CmpStr { .. } | Cond::CmpVar { .. } => {
+                self.frames.push(Frame::CondPump(c));
+                Ok(())
+            }
+            Cond::And(a, b) => {
+                self.frames.push(Frame::CondAnd(b));
+                self.frames.push(Frame::Cond(a));
+                Ok(())
+            }
+            Cond::Or(a, b) => {
+                self.frames.push(Frame::CondOr(b));
+                self.frames.push(Frame::Cond(a));
+                Ok(())
+            }
+            Cond::Not(inner) => {
+                self.frames.push(Frame::CondNot);
+                self.frames.push(Frame::Cond(inner));
+                Ok(())
+            }
+        }
+    }
+
+    /// Runs a comparison condition: pump the base subtree(s) finished
+    /// (fueled — re-entry is idempotent because a finished base pumps
+    /// zero events), then compute the verdict in one non-suspending
+    /// commit.
+    fn exec_cond_pump(&mut self, c: &'q Cond, fuel: &mut u32) -> Result<(), EngineError> {
+        match c {
             Cond::CmpStr {
                 var,
                 step,
                 op,
                 value,
             } => {
-                // Hot path (every binding of a conditioned for-loop runs
-                // this): match nodes and string values go through the
-                // engine's reusable scratch, not fresh allocations.
                 let base = self.binding(*var);
-                self.pump_until_finished(base)?;
-                let mut matches = std::mem::take(&mut self.cmp_nodes);
-                matches.clear();
-                self.collect_matches_into(base, *step, &mut matches);
-                let mut text = std::mem::take(&mut self.cmp_text);
-                let mut found = false;
-                for &n in &matches {
-                    text.clear();
-                    self.buffer.string_value_into(n, &mut text);
-                    if compare_values(&text, value, *op) {
-                        found = true;
-                        break;
+                match self.pump_finish_fuel(base, fuel) {
+                    Ok(true) => {}
+                    Ok(false) => {
+                        self.frames.push(Frame::CondPump(c));
+                        return Ok(());
                     }
+                    Err(e) => return self.suspend_err(Frame::CondPump(c), e),
                 }
-                self.cmp_text = text;
-                self.cmp_nodes = matches;
-                Ok(found)
+                self.cond_reg = self.cmp_str_commit(base, *step, *op, value);
+                Ok(())
             }
             Cond::CmpVar {
                 left_var,
@@ -620,31 +1073,80 @@ impl<'t, 'q, R: Read, W: Write> GcxEngine<'t, 'q, R, W> {
             } => {
                 let lbase = self.binding(*left_var);
                 let rbase = self.binding(*right_var);
-                self.pump_until_finished(lbase)?;
-                self.pump_until_finished(rbase)?;
-                let mut lnodes = Vec::new();
-                self.collect_matches_into(lbase, *left_step, &mut lnodes);
-                let left: Vec<String> = lnodes
-                    .iter()
-                    .map(|&n| self.buffer.string_value(n))
-                    .collect();
-                if left.is_empty() {
-                    return Ok(false);
-                }
-                let mut right = Vec::new();
-                self.collect_matches_into(rbase, *right_step, &mut right);
-                for &rn in &right {
-                    let rv = self.buffer.string_value(rn);
-                    if left.iter().any(|lv| compare_values(lv, &rv, *op)) {
-                        return Ok(true);
+                for base in [lbase, rbase] {
+                    match self.pump_finish_fuel(base, fuel) {
+                        Ok(true) => {}
+                        Ok(false) => {
+                            self.frames.push(Frame::CondPump(c));
+                            return Ok(());
+                        }
+                        Err(e) => return self.suspend_err(Frame::CondPump(c), e),
                     }
                 }
-                Ok(false)
+                self.cond_reg = self.cmp_var_commit(lbase, *left_step, *op, rbase, *right_step);
+                Ok(())
             }
-            Cond::And(a, b) => Ok(self.eval_cond(a)? && self.eval_cond(b)?),
-            Cond::Or(a, b) => Ok(self.eval_cond(a)? || self.eval_cond(b)?),
-            Cond::Not(inner) => Ok(!self.eval_cond(inner)?),
+            _ => unreachable!("CondPump only holds comparison conditions"),
         }
+    }
+
+    /// `$x/π op "literal"` over a *finished* base. Hot path (every
+    /// binding of a conditioned for-loop runs this): match nodes and
+    /// string values go through the engine's reusable scratch, not
+    /// fresh allocations.
+    fn cmp_str_commit(
+        &mut self,
+        base: BufNodeId,
+        step: Step,
+        op: gcx_query::RelOp,
+        value: &str,
+    ) -> bool {
+        let mut matches = std::mem::take(&mut self.cmp_nodes);
+        matches.clear();
+        self.collect_matches_into(base, step, &mut matches);
+        let mut text = std::mem::take(&mut self.cmp_text);
+        let mut found = false;
+        for &n in &matches {
+            text.clear();
+            self.buffer.string_value_into(n, &mut text);
+            if compare_values(&text, value, op) {
+                found = true;
+                break;
+            }
+        }
+        self.cmp_text = text;
+        self.cmp_nodes = matches;
+        found
+    }
+
+    /// `$x/π op $y/ρ` over two *finished* bases (existential
+    /// comparison semantics).
+    fn cmp_var_commit(
+        &mut self,
+        lbase: BufNodeId,
+        left_step: Step,
+        op: gcx_query::RelOp,
+        rbase: BufNodeId,
+        right_step: Step,
+    ) -> bool {
+        let mut lnodes = Vec::new();
+        self.collect_matches_into(lbase, left_step, &mut lnodes);
+        let left: Vec<String> = lnodes
+            .iter()
+            .map(|&n| self.buffer.string_value(n))
+            .collect();
+        if left.is_empty() {
+            return false;
+        }
+        let mut right = Vec::new();
+        self.collect_matches_into(rbase, right_step, &mut right);
+        for &rn in &right {
+            let rv = self.buffer.string_value(rn);
+            if left.iter().any(|lv| compare_values(lv, &rv, op)) {
+                return true;
+            }
+        }
+        false
     }
 
     /// Collects all buffered matches of `step` under a *finished* base (no
@@ -676,25 +1178,17 @@ impl<'t, 'q, R: Read, W: Write> GcxEngine<'t, 'q, R, W> {
     // signOff execution (paper Fig. 10)
     // ------------------------------------------------------------------
 
-    fn exec_signoff(
+    /// Executes a path signOff over a *finished* base subtree (path
+    /// evaluation is only correct once the base is complete; the
+    /// [`Frame::SignOff`] frame pumps it finished first, which
+    /// coincides with when the paper's sequential semantics reaches
+    /// the statement).
+    fn signoff_commit(
         &mut self,
-        var: VarId,
-        path: &gcx_projection::RelPath,
+        base: BufNodeId,
+        path: &RelPath,
         role: Role,
     ) -> Result<(), EngineError> {
-        if !self.gc {
-            return Ok(());
-        }
-        let base = self.binding(var);
-        if path.is_empty() {
-            self.buffer.sign_off(base, role, 1)?;
-            self.trace("signOff(ε)");
-            return Ok(());
-        }
-        // Path evaluation is only correct once the base subtree is
-        // complete; the evaluator blocks until then (this coincides with
-        // when the paper's sequential semantics reaches the statement).
-        self.pump_until_finished(base)?;
         // Aggregate roles (paper §6) are carried by the subtree root only:
         // evaluate the path without its dos::node() terminal.
         let steps: &[PStep] = if self.compiled.is_aggregate(role) {
@@ -1203,13 +1697,12 @@ mod tests {
 
     #[test]
     fn tracer_sees_buffer_states() {
-        use std::cell::RefCell;
-        use std::rc::Rc;
+        use std::sync::Mutex;
         let query = "<r>{ for $b in /bib/book return $b/title }</r>";
         let doc = "<bib><book><title>A</title></book></bib>";
         let mut tags = TagInterner::new();
         let compiled = compile_default(query, &mut tags).unwrap();
-        let events: Rc<RefCell<Vec<String>>> = Rc::new(RefCell::new(Vec::new()));
+        let events: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
         let sink = events.clone();
         let mut engine = GcxEngine::new(
             &compiled,
@@ -1219,12 +1712,180 @@ mod tests {
             EngineOptions::default(),
         );
         engine.set_tracer(Box::new(move |ev| {
-            sink.borrow_mut()
+            sink.lock()
+                .unwrap()
                 .push(format!("{}: {}", ev.label, ev.buffer));
         }));
         engine.run().unwrap();
-        let log = events.borrow();
+        let log = events.lock().unwrap();
         assert!(!log.is_empty());
         assert!(log.iter().any(|l| l.contains("title")));
+    }
+
+    // ------------------------------------------------------------------
+    // Step machine
+    // ------------------------------------------------------------------
+
+    /// The smallest possible budget forces a yield after every frame:
+    /// output, statistics and safety must be identical to the blocking
+    /// run, with many yields in between.
+    #[test]
+    fn step_budget_one_is_byte_identical() {
+        let query = r#"<r>{ for $bib in /bib return
+          ((for $x in $bib/* return if (not(exists($x/price))) then $x else ()),
+           for $b in $bib/book return $b/title) }</r>"#;
+        let doc = "<bib><book><title>T1</title><author>A1</author></book>\
+                   <book><title>T2</title><price>9</price></book>\
+                   <cd><label>L</label></cd></bib>";
+        let (reference, ref_report) = gcx_output(query, doc);
+        let mut tags = TagInterner::new();
+        let compiled = compile_default(query, &mut tags).unwrap();
+        let mut out = Vec::new();
+        let mut engine = GcxEngine::new(
+            &compiled,
+            &mut tags,
+            doc.as_bytes(),
+            &mut out,
+            EngineOptions::default(),
+        );
+        let mut yields = 0u64;
+        let report = loop {
+            match engine.step(1) {
+                StepOutcome::Yielded => yields += 1,
+                StepOutcome::Finished(r) => break r,
+                other => panic!("unexpected step outcome: {other:?}"),
+            }
+        };
+        drop(engine);
+        assert_eq!(String::from_utf8(out).unwrap(), reference);
+        assert!(yields > 10, "budget 1 must yield many times, got {yields}");
+        assert_eq!(report.safety, Some(true));
+        assert_eq!(report.output_bytes, ref_report.output_bytes);
+        assert_eq!(report.tokens_read, ref_report.tokens_read);
+    }
+
+    /// A reader that returns `WouldBlock` before every (tiny) chunk.
+    struct BlockyReader<'a> {
+        data: &'a [u8],
+        pos: usize,
+        turn: bool,
+    }
+
+    impl std::io::Read for BlockyReader<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            self.turn = !self.turn;
+            if self.turn {
+                return Err(std::io::ErrorKind::WouldBlock.into());
+            }
+            let n = buf.len().min(3).min(self.data.len() - self.pos);
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    /// `NeedInput` suspends evaluation wherever it was (mid-construct,
+    /// mid-skip, mid-pump) and a retried step resumes it losslessly.
+    #[test]
+    fn need_input_steps_resume_losslessly() {
+        let query = "<r>{ for $b in /bib/book return $b/title }</r>";
+        let doc = "<bib><book><title>A</title></book><junk><x/><deep><y/></deep></junk>\
+                   <book><title>B</title></book></bib>";
+        let (reference, _) = gcx_output(query, doc);
+        let mut tags = TagInterner::new();
+        let compiled = compile_default(query, &mut tags).unwrap();
+        let input = BlockyReader {
+            data: doc.as_bytes(),
+            pos: 0,
+            turn: false,
+        };
+        let mut out = Vec::new();
+        let mut engine = GcxEngine::new(
+            &compiled,
+            &mut tags,
+            input,
+            &mut out,
+            EngineOptions::default(),
+        );
+        let mut need_input = 0u64;
+        let report = loop {
+            match engine.step(4) {
+                StepOutcome::Yielded => {}
+                StepOutcome::NeedInput => need_input += 1,
+                StepOutcome::Finished(r) => break r,
+                other => panic!("unexpected step outcome: {other:?}"),
+            }
+        };
+        drop(engine);
+        assert_eq!(String::from_utf8(out).unwrap(), reference);
+        assert!(need_input > 0, "the blocky reader must surface NeedInput");
+        assert_eq!(report.safety, Some(true));
+    }
+
+    /// A closed output gate parks the engine without running anything;
+    /// opening it lets the run complete normally.
+    #[test]
+    fn output_gate_pauses_stepping() {
+        let query = "<r>{ for $b in /bib/book return $b/title }</r>";
+        let doc = "<bib><book><title>A</title></book></bib>";
+        let mut tags = TagInterner::new();
+        let compiled = compile_default(query, &mut tags).unwrap();
+        let mut out = Vec::new();
+        let mut engine = GcxEngine::new(
+            &compiled,
+            &mut tags,
+            doc.as_bytes(),
+            &mut out,
+            EngineOptions::default(),
+        );
+        let open = Arc::new(AtomicBool::new(false));
+        let probe = open.clone();
+        engine.set_output_gate(Box::new(move || probe.load(Ordering::Relaxed)));
+        for _ in 0..3 {
+            assert!(matches!(
+                engine.step(1_000),
+                StepOutcome::OutputBackpressure
+            ));
+        }
+        open.store(true, Ordering::Relaxed);
+        let report = loop {
+            match engine.step(1_000) {
+                StepOutcome::Yielded => {}
+                StepOutcome::Finished(r) => break r,
+                other => panic!("unexpected step outcome: {other:?}"),
+            }
+        };
+        drop(engine);
+        assert_eq!(String::from_utf8(out).unwrap(), "<r><title>A</title></r>");
+        assert_eq!(report.safety, Some(true));
+    }
+
+    /// The step machine records yield spans in the flight recorder.
+    #[test]
+    fn yield_spans_recorded() {
+        use gcx_obs::FlightRecorder;
+        let query = "<r>{ for $b in /bib/book return $b/title }</r>";
+        let doc = "<bib><book><title>A</title></book><book><title>B</title></book></bib>";
+        let mut tags = TagInterner::new();
+        let compiled = compile_default(query, &mut tags).unwrap();
+        let rec = Arc::new(FlightRecorder::new());
+        let mut engine = GcxEngine::new(
+            &compiled,
+            &mut tags,
+            doc.as_bytes(),
+            Vec::new(),
+            EngineOptions::default(),
+        );
+        engine.set_flight_recorder(rec.clone(), 77);
+        loop {
+            match engine.step(2) {
+                StepOutcome::Yielded => {}
+                StepOutcome::Finished(_) => break,
+                other => panic!("unexpected step outcome: {other:?}"),
+            }
+        }
+        rec.keep(77, "steps", 0, false);
+        let json = rec.export_chrome_json();
+        assert!(json.contains("\"name\":\"yield\""), "{json}");
     }
 }

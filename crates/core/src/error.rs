@@ -23,6 +23,20 @@ pub enum EngineError {
     Cancelled,
 }
 
+impl EngineError {
+    /// True when evaluation stopped only because the (non-blocking)
+    /// input stream has no bytes available right now. The lexer has
+    /// rewound to a construct boundary and every engine suspension
+    /// point is idempotent: retry [`crate::engine::GcxEngine::step`]
+    /// once more input arrives and evaluation continues exactly where
+    /// it left off. Output-sink `Io` errors are deliberately *not*
+    /// need-input: output backpressure is signalled through the output
+    /// gate, never through `WouldBlock` writes.
+    pub fn is_need_input(&self) -> bool {
+        matches!(self, EngineError::Xml(e) if e.is_would_block())
+    }
+}
+
 impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -36,7 +36,7 @@ pub mod value;
 pub use baseline::{run_dom, run_dom_with_options};
 pub use engine::{
     run_gcx, run_no_gc_streaming, run_static_projection, CancelFlag, EngineOptions, GcxEngine,
-    RunReport, TraceEvent,
+    RunReport, StepOutcome, TraceEvent,
 };
 pub use error::EngineError;
 pub use metrics::{EngineStageMetrics, DEFAULT_STAGE_SAMPLE_EVERY};

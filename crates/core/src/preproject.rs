@@ -50,6 +50,20 @@ struct OpenEntry {
     attach: BufNodeId,
 }
 
+/// A dead-subtree skip that blocked mid-way on a non-blocking input.
+///
+/// The matcher consumed the subtree's `Open` *before* the skip started,
+/// so a blocked skip must be **resumed** on the next pump — re-lexing a
+/// fresh token would run it against a matcher that is already one level
+/// deep into the dead subtree.
+enum SkipResume {
+    /// The lexer's raw skip blocked; the lexer's own resume state holds
+    /// the position and depth.
+    Raw,
+    /// The per-event fallback blocked at this element depth.
+    Events(usize),
+}
+
 /// Streaming projector over a lexer. See module docs.
 pub struct Preprojector<'t, 'q, R: Read> {
     lexer: XmlLexer<'t, R>,
@@ -75,6 +89,9 @@ pub struct Preprojector<'t, 'q, R: Read> {
     /// Pump steps between timed samples, and the running tick.
     sample_every: u32,
     sample_tick: u32,
+    /// A dead-subtree skip that blocked on `WouldBlock`; resumed by the
+    /// next [`Self::pump`] before anything new is lexed.
+    pending_skip: Option<SkipResume>,
 }
 
 /// Records `t0.elapsed()` into the stage picked by `pick` when this pump
@@ -128,6 +145,7 @@ impl<'t, 'q, R: Read> Preprojector<'t, 'q, R> {
             flight: None,
             sample_every: crate::metrics::DEFAULT_STAGE_SAMPLE_EVERY,
             sample_tick: 0,
+            pending_skip: None,
         }
     }
 
@@ -181,6 +199,13 @@ impl<'t, 'q, R: Read> Preprojector<'t, 'q, R> {
     /// Uses the lexer's borrowed-event API: buffered text is copied
     /// exactly once, from the lexer's scratch straight into the buffer's
     /// text arena, with no intermediate `String`.
+    ///
+    /// **Non-blocking inputs:** a `WouldBlock` error (see
+    /// [`EngineError::is_need_input`]) leaves the projector retryable —
+    /// call `pump` again once more input arrives and the event stream
+    /// continues exactly where it left off. A blocked dead-subtree skip
+    /// is resumed internally (the matcher had already consumed the
+    /// subtree's opening tag).
     pub fn pump(&mut self, buffer: &mut BufferTree) -> Result<PumpEvent, EngineError> {
         if self.eof {
             return Ok(PumpEvent::Eof);
@@ -197,6 +222,35 @@ impl<'t, 'q, R: Read> Preprojector<'t, 'q, R> {
                 false
             }
         };
+        // A dead-subtree skip blocked mid-way last pump: finish it before
+        // lexing anything new, then do the matcher close + accounting
+        // that the original skip never reached (exactly once).
+        if let Some(resume) = self.pending_skip.take() {
+            let tok_offset = self.lexer.offset();
+            let t_skip = sampled.then(Instant::now);
+            match resume {
+                SkipResume::Raw => {
+                    if let Err(e) = self.lexer.skip_subtree() {
+                        if e.is_would_block() {
+                            self.pending_skip = Some(SkipResume::Raw);
+                        }
+                        return Err(e.into());
+                    }
+                }
+                SkipResume::Events(depth) => self.skip_subtree_events(depth)?,
+            }
+            record_stage(
+                &self.stage_metrics,
+                &self.flight,
+                |m| &m.skip,
+                SpanKind::Skip,
+                t_skip,
+                tok_offset,
+            );
+            self.matcher.close();
+            self.tokens_skipped += 1;
+            return Ok(PumpEvent::Skipped);
+        }
         // Token-start offset, captured before lexing: borrowed events
         // (`Text`) keep the lexer borrowed, so it cannot be read later.
         let tok_offset = self.lexer.offset();
@@ -258,7 +312,12 @@ impl<'t, 'q, R: Read> Preprojector<'t, 'q, R> {
                     // raw byte scan when skip-mode lexing is on.
                     if self.skip_lexing {
                         let t_skip = sampled.then(Instant::now);
-                        self.lexer.skip_subtree()?;
+                        if let Err(e) = self.lexer.skip_subtree() {
+                            if e.is_would_block() {
+                                self.pending_skip = Some(SkipResume::Raw);
+                            }
+                            return Err(e.into());
+                        }
                         record_stage(
                             &self.stage_metrics,
                             &self.flight,
@@ -268,7 +327,7 @@ impl<'t, 'q, R: Read> Preprojector<'t, 'q, R> {
                             tok_offset,
                         );
                     } else {
-                        self.skip_subtree_events()?;
+                        self.skip_subtree_events(0)?;
                     }
                     self.matcher.close();
                     self.tokens_skipped += 1;
@@ -354,11 +413,20 @@ impl<'t, 'q, R: Read> Preprojector<'t, 'q, R> {
     /// Consumes tokens until the current element's closing tag, without
     /// matching (the matcher has proven the subtree dead). Per-event
     /// fallback for [`XmlLexer::skip_subtree`]; see
-    /// [`Self::set_skip_lexing`].
-    fn skip_subtree_events(&mut self) -> Result<(), EngineError> {
-        let mut depth = 0usize;
+    /// [`Self::set_skip_lexing`]. On `WouldBlock` the reached depth is
+    /// parked in [`Self::pending_skip`] so the next pump resumes here.
+    fn skip_subtree_events(&mut self, mut depth: usize) -> Result<(), EngineError> {
         loop {
-            let Some(event) = self.lexer.next_event()? else {
+            let event = match self.lexer.next_event() {
+                Ok(ev) => ev,
+                Err(e) => {
+                    if e.is_would_block() {
+                        self.pending_skip = Some(SkipResume::Events(depth));
+                    }
+                    return Err(e.into());
+                }
+            };
+            let Some(event) = event else {
                 // Unbalanced input is caught by the lexer itself.
                 return Ok(());
             };

@@ -1,0 +1,393 @@
+//! Minimal raw-syscall bindings for `epoll(7)` and `eventfd(2)`.
+//!
+//! The workspace is offline and dependency-free, so there is no `libc`
+//! crate to lean on; the four syscalls the readiness loop needs are
+//! issued directly via inline assembly (x86_64 and aarch64 Linux ABIs).
+//! Everything else — sockets, reads, writes — stays on `std::net`.
+//!
+//! Scope is deliberately tiny: create an epoll instance, register fds
+//! with a `u64` token, wait for events, and signal/drain an eventfd.
+//! `EINTR` is retried inside every wrapper (a signal during graceful
+//! drain must never surface as an I/O error — see the accept/read/write
+//! paths in `server.rs` for the same rule on socket syscalls).
+
+use std::io;
+use std::os::fd::RawFd;
+
+pub(crate) const EPOLLIN: u32 = 0x001;
+pub(crate) const EPOLLOUT: u32 = 0x004;
+pub(crate) const EPOLLERR: u32 = 0x008;
+pub(crate) const EPOLLHUP: u32 = 0x010;
+pub(crate) const EPOLLRDHUP: u32 = 0x2000;
+pub(crate) const EPOLLET: u32 = 1 << 31;
+
+const EPOLL_CTL_ADD: i64 = 1;
+const EPOLL_CTL_DEL: i64 = 2;
+
+const EPOLL_CLOEXEC: i64 = 0o2000000;
+const EFD_CLOEXEC: i64 = 0o2000000;
+const EFD_NONBLOCK: i64 = 0o4000;
+
+const EINTR: i64 = 4;
+const EAGAIN: i64 = 11;
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod nr {
+    pub const READ: i64 = 0;
+    pub const WRITE: i64 = 1;
+    pub const CLOSE: i64 = 3;
+    pub const EPOLL_CTL: i64 = 233;
+    pub const EPOLL_PWAIT: i64 = 281;
+    pub const EVENTFD2: i64 = 290;
+    pub const EPOLL_CREATE1: i64 = 291;
+}
+
+#[cfg(all(target_os = "linux", target_arch = "aarch64"))]
+mod nr {
+    pub const EVENTFD2: i64 = 19;
+    pub const EPOLL_CREATE1: i64 = 20;
+    pub const EPOLL_CTL: i64 = 21;
+    pub const EPOLL_PWAIT: i64 = 22;
+    pub const CLOSE: i64 = 57;
+    pub const READ: i64 = 63;
+    pub const WRITE: i64 = 64;
+}
+
+/// Raw 6-argument syscall. Returns the kernel's raw result: `>= 0` on
+/// success, `-errno` on failure.
+///
+/// # Safety
+/// The caller must pass arguments valid for the given syscall number —
+/// in particular, pointer arguments must reference live memory of the
+/// size the kernel expects for the call.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+unsafe fn syscall6(nr: i64, a1: i64, a2: i64, a3: i64, a4: i64, a5: i64, a6: i64) -> i64 {
+    let ret: i64;
+    core::arch::asm!(
+        "syscall",
+        inlateout("rax") nr => ret,
+        in("rdi") a1,
+        in("rsi") a2,
+        in("rdx") a3,
+        in("r10") a4,
+        in("r8") a5,
+        in("r9") a6,
+        lateout("rcx") _,
+        lateout("r11") _,
+        options(nostack),
+    );
+    ret
+}
+
+/// See the x86_64 variant for the contract.
+///
+/// # Safety
+/// Same as the x86_64 variant.
+#[cfg(all(target_os = "linux", target_arch = "aarch64"))]
+unsafe fn syscall6(nr: i64, a1: i64, a2: i64, a3: i64, a4: i64, a5: i64, a6: i64) -> i64 {
+    let ret: i64;
+    core::arch::asm!(
+        "svc 0",
+        in("x8") nr,
+        inlateout("x0") a1 => ret,
+        in("x1") a2,
+        in("x2") a3,
+        in("x3") a4,
+        in("x4") a5,
+        in("x5") a6,
+        options(nostack),
+    );
+    ret
+}
+
+/// Unsupported targets compile (the workspace builds everywhere) but the
+/// readiness loop fails at `Epoll::new()` with `ENOSYS`.
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+mod nr {
+    pub const READ: i64 = -1;
+    pub const WRITE: i64 = -1;
+    pub const CLOSE: i64 = -1;
+    pub const EPOLL_CTL: i64 = -1;
+    pub const EPOLL_PWAIT: i64 = -1;
+    pub const EVENTFD2: i64 = -1;
+    pub const EPOLL_CREATE1: i64 = -1;
+}
+
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+unsafe fn syscall6(_nr: i64, _a1: i64, _a2: i64, _a3: i64, _a4: i64, _a5: i64, _a6: i64) -> i64 {
+    -38 // ENOSYS
+}
+
+fn check(ret: i64) -> io::Result<i64> {
+    if ret < 0 {
+        Err(io::Error::from_raw_os_error(-ret as i32))
+    } else {
+        Ok(ret)
+    }
+}
+
+fn close_fd(fd: RawFd) {
+    // EINTR on close is not retried: Linux guarantees the fd is released
+    // either way, and a retry could close a recycled descriptor.
+    unsafe {
+        syscall6(nr::CLOSE, i64::from(fd), 0, 0, 0, 0, 0);
+    }
+}
+
+/// One `epoll_event`, kernel layout. Packed on x86_64 only, matching the
+/// kernel's uapi definition (`EPOLL_PACKED`).
+#[derive(Clone, Copy)]
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+pub(crate) struct EpollEvent {
+    pub(crate) events: u32,
+    pub(crate) data: u64,
+}
+
+impl EpollEvent {
+    pub(crate) fn zeroed() -> Self {
+        EpollEvent { events: 0, data: 0 }
+    }
+}
+
+/// An epoll instance. Registered fds carry a `u64` token returned in
+/// each event's `data`.
+pub(crate) struct Epoll {
+    fd: RawFd,
+}
+
+impl Epoll {
+    pub(crate) fn new() -> io::Result<Epoll> {
+        let fd = check(unsafe { syscall6(nr::EPOLL_CREATE1, EPOLL_CLOEXEC, 0, 0, 0, 0, 0) })?;
+        Ok(Epoll { fd: fd as RawFd })
+    }
+
+    pub(crate) fn add(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events,
+            data: token,
+        };
+        check(unsafe {
+            syscall6(
+                nr::EPOLL_CTL,
+                i64::from(self.fd),
+                EPOLL_CTL_ADD,
+                i64::from(fd),
+                core::ptr::addr_of_mut!(ev) as i64,
+                0,
+                0,
+            )
+        })?;
+        Ok(())
+    }
+
+    /// Deregisters `fd`. Errors are ignored: closing the fd removes it
+    /// from every epoll set anyway, so `del` is best-effort hygiene for
+    /// fds about to be closed.
+    pub(crate) fn del(&self, fd: RawFd) {
+        let mut ev = EpollEvent::zeroed(); // pre-2.6.9 kernels reject NULL
+        unsafe {
+            syscall6(
+                nr::EPOLL_CTL,
+                i64::from(self.fd),
+                EPOLL_CTL_DEL,
+                i64::from(fd),
+                core::ptr::addr_of_mut!(ev) as i64,
+                0,
+                0,
+            );
+        }
+    }
+
+    /// Waits for events. `timeout_ms < 0` blocks indefinitely; `0` polls.
+    /// `EINTR` is retried with the full timeout (callers re-derive their
+    /// timer deadlines on every return, so a stretched wait only delays
+    /// timers, never loses a wakeup).
+    pub(crate) fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        loop {
+            let ret = unsafe {
+                syscall6(
+                    nr::EPOLL_PWAIT,
+                    i64::from(self.fd),
+                    events.as_mut_ptr() as i64,
+                    events.len() as i64,
+                    i64::from(timeout_ms),
+                    0, // sigmask: NULL — plain epoll_wait semantics
+                    8, // sigsetsize (ignored with a NULL mask)
+                )
+            };
+            if ret == -EINTR {
+                continue;
+            }
+            return check(ret).map(|n| n as usize);
+        }
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        close_fd(self.fd);
+    }
+}
+
+/// A non-blocking eventfd: the cross-thread wake source for a worker
+/// parked in `epoll_wait`. `signal` is cheap enough for evaluator hot
+/// paths (one `write(2)`); the counter semantics coalesce any number of
+/// signals into one wakeup.
+pub(crate) struct EventFd {
+    fd: RawFd,
+}
+
+impl EventFd {
+    pub(crate) fn new() -> io::Result<EventFd> {
+        let fd =
+            check(unsafe { syscall6(nr::EVENTFD2, 0, EFD_CLOEXEC | EFD_NONBLOCK, 0, 0, 0, 0) })?;
+        Ok(EventFd { fd: fd as RawFd })
+    }
+
+    pub(crate) fn raw(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Wakes any epoll waiter watching this fd. `EAGAIN` (counter
+    /// saturated) is ignored — a wakeup is already pending.
+    pub(crate) fn signal(&self) {
+        let one: u64 = 1;
+        loop {
+            let ret = unsafe {
+                syscall6(
+                    nr::WRITE,
+                    i64::from(self.fd),
+                    core::ptr::addr_of!(one) as i64,
+                    8,
+                    0,
+                    0,
+                    0,
+                )
+            };
+            if ret != -EINTR {
+                return; // success, EAGAIN, or a dead fd — all terminal
+            }
+        }
+    }
+
+    /// Resets the counter so the (level-triggered) fd stops reading as
+    /// ready. Pending signals landing after the drain re-arm it.
+    pub(crate) fn drain(&self) {
+        let mut buf: u64 = 0;
+        loop {
+            let ret = unsafe {
+                syscall6(
+                    nr::READ,
+                    i64::from(self.fd),
+                    core::ptr::addr_of_mut!(buf) as i64,
+                    8,
+                    0,
+                    0,
+                    0,
+                )
+            };
+            if ret != -EINTR {
+                return; // drained, or EAGAIN (nothing pending)
+            }
+        }
+    }
+}
+
+impl Drop for EventFd {
+    fn drop(&mut self) {
+        close_fd(self.fd);
+    }
+}
+
+// Suppress the unused-constant lint on targets where the stub module is
+// compiled in.
+#[allow(dead_code)]
+const _: i64 = EAGAIN;
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn eventfd_signals_epoll_waiter() {
+        let ep = Epoll::new().unwrap();
+        let ev = EventFd::new().unwrap();
+        ep.add(ev.raw(), EPOLLIN, 7).unwrap();
+        let mut events = [EpollEvent::zeroed(); 4];
+
+        // Nothing signalled: a zero timeout polls and returns empty.
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 0);
+
+        ev.signal();
+        ev.signal(); // coalesces into the same readiness
+        let n = ep.wait(&mut events, 1000).unwrap();
+        assert_eq!(n, 1);
+        let data = events[0].data; // copy out: packed fields can't be referenced
+        assert_eq!(data, 7);
+        let bits = events[0].events;
+        assert_ne!(bits & EPOLLIN, 0);
+
+        // Level-triggered: still ready until drained.
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 1);
+        ev.drain();
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 0);
+
+        // Signals after a drain re-arm the fd.
+        ev.signal();
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 1);
+    }
+
+    #[test]
+    fn wait_timeout_expires_without_events() {
+        let ep = Epoll::new().unwrap();
+        let ev = EventFd::new().unwrap();
+        ep.add(ev.raw(), EPOLLIN, 1).unwrap();
+        let mut events = [EpollEvent::zeroed(); 1];
+        let start = Instant::now();
+        assert_eq!(ep.wait(&mut events, 50).unwrap(), 0);
+        let waited = start.elapsed();
+        assert!(waited >= Duration::from_millis(40), "waited {waited:?}");
+    }
+
+    #[test]
+    fn signal_from_another_thread_wakes_a_blocked_wait() {
+        let ep = Epoll::new().unwrap();
+        let ev = std::sync::Arc::new(EventFd::new().unwrap());
+        ep.add(ev.raw(), EPOLLIN, 9).unwrap();
+        let signaller = {
+            let ev = ev.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(5));
+                ev.signal();
+            })
+        };
+        let mut events = [EpollEvent::zeroed(); 1];
+        let start = Instant::now();
+        let n = ep.wait(&mut events, 5000).unwrap();
+        assert_eq!(n, 1);
+        assert!(
+            start.elapsed() < Duration::from_secs(1),
+            "signal must cut the wait short"
+        );
+        signaller.join().unwrap();
+    }
+
+    #[test]
+    fn del_then_wait_sees_nothing() {
+        let ep = Epoll::new().unwrap();
+        let ev = EventFd::new().unwrap();
+        ep.add(ev.raw(), EPOLLIN, 3).unwrap();
+        ev.signal();
+        ep.del(ev.raw());
+        let mut events = [EpollEvent::zeroed(); 1];
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 0);
+    }
+}

@@ -11,14 +11,18 @@
 //! * **`GET /stats`** samples *live* per-session buffer statistics
 //!   (current/peak buffered nodes, text-arena bytes) from engines
 //!   mid-run, plus cache/budget/server counters.
-//! * A **fixed thread topology** (acceptor + connection workers +
-//!   a bounded [`gcx_service::EvaluatorPool`]) replaces
-//!   one-thread-per-session: connection workers multiplex non-blocking
-//!   sockets over a run-queue and drive sessions with the non-blocking
-//!   `try_feed` API, parking backpressured sessions instead of blocking.
+//! * A **fixed thread topology** (acceptor + epoll-driven connection
+//!   workers + a bounded [`gcx_service::EvaluatorPool`]) replaces
+//!   one-thread-per-session: each worker multiplexes its non-blocking
+//!   sockets over an `epoll(7)` readiness loop and drives sessions with
+//!   the non-blocking `try_feed` API. Blocked connections sleep until a
+//!   socket event or a session-progress eventfd wakeup — no polling
+//!   anywhere, so an idle server uses no CPU.
 //!
 //! Hand-rolled over `std::net` — the build environment is offline (no
-//! hyper/tokio), the same constraint that produced `crates/compat`.
+//! hyper/tokio), the same constraint that produced `crates/compat`; even
+//! epoll/eventfd are raw syscalls (`crate::epoll`) since there is no
+//! libc crate either.
 //!
 //! ```no_run
 //! use gcx_net::{GcxServer, NetConfig};
@@ -40,6 +44,7 @@
 //! ```
 
 pub mod client;
+mod epoll;
 pub mod http;
 mod metrics;
 pub mod server;

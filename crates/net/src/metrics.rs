@@ -272,6 +272,24 @@ pub(crate) fn render(shared: &ServerShared) -> String {
     );
     counter(
         &mut out,
+        "gcx_evaluator_steps_total",
+        "Evaluation slices run by the evaluator pool's ready-queue scheduler.",
+        shared.pool.steps(),
+    );
+    counter(
+        &mut out,
+        "gcx_session_yields_total",
+        "Times a session parked mid-evaluation (input starved, output backpressure, or budget yield).",
+        shared.pool.yields(),
+    );
+    counter(
+        &mut out,
+        "gcx_epoll_wakeups_total",
+        "epoll_wait returns that delivered events to a connection worker (idle workers sleep, so this only advances under load).",
+        c.epoll_wakeups.load(Ordering::Relaxed),
+    );
+    counter(
+        &mut out,
         "gcx_traces_captured_total",
         "Request traces kept by the flight recorder (sampled or slow).",
         shared.recorder.traces_captured.get(),

@@ -1,24 +1,34 @@
-//! The streaming HTTP front-end: acceptor, connection run-queue, bounded
-//! worker pool, session registry.
+//! The streaming HTTP front-end: acceptor, epoll-driven connection
+//! workers, session registry.
 //!
 //! ## Thread topology (fixed at bind time)
 //!
 //! ```text
-//!   acceptor ──► run-queue of connections ──► N connection workers
-//!                     ▲        │                  │ try_feed / drain
-//!                     └────────┘ (parked conns)   ▼
-//!                                         M evaluator-pool threads
-//!                                         (gcx-service EvaluatorPool)
+//!   acceptor ── round-robin ──► N connection workers, each an
+//!               (eventfd +      epoll(7) readiness loop over its
+//!                inbox)         own set of connections
+//!                                    │ try_feed / drain
+//!                                    ▼
+//!                            M evaluator-pool threads
+//!                            (gcx-service EvaluatorPool)
 //! ```
 //!
 //! `1 + N + M` threads total, **independent of how many sessions are
-//! open**: connection workers never block — sockets are non-blocking and
-//! sessions are driven through [`StreamSession::try_feed`], so a
-//! backpressured or slow connection is parked back on the run-queue and
-//! the worker picks up another. Evaluators run on the shared
-//! [`EvaluatorPool`]; sessions beyond its size queue (their input simply
-//! buffers until a pool thread frees up). This replaces the
-//! one-thread-per-session model `StreamSession` started with.
+//! open**: connection workers never block on any single socket — sockets
+//! are non-blocking and sessions are driven through
+//! [`StreamSession::try_feed`], so a backpressured or slow connection
+//! simply sleeps in its worker's epoll set while others are served.
+//! A worker parks in `epoll_wait` until one of exactly three wake
+//! sources fires: socket readiness (edge-triggered epoll events),
+//! session progress (evaluators signal the worker's eventfd through each
+//! session's `progress_waker`), or the nearest idle/keep-alive deadline.
+//! There is **no time-based polling** in the connection path — an idle
+//! server sits in `epoll_wait` with an infinite timeout and burns no
+//! CPU. Evaluators run on the shared [`EvaluatorPool`]; sessions beyond
+//! its size queue (their input simply buffers until a pool thread frees
+//! up). This replaces the one-thread-per-session model `StreamSession`
+//! started with, and the run-queue + condvar-poll worker pool that
+//! followed it.
 //!
 //! ## Endpoints
 //!
@@ -34,6 +44,9 @@
 //!   JSON (Perfetto-loadable); see [`gcx_obs::FlightRecorder`].
 //! * `GET /healthz` — liveness probe.
 
+use crate::epoll::{
+    Epoll, EpollEvent, EventFd, EPOLLERR, EPOLLET, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP,
+};
 use crate::http;
 use crate::metrics::{self, NetMetrics, ReqClass};
 use crate::stats_json;
@@ -43,84 +56,58 @@ use gcx_service::{EvaluatorPool, QueryService, ServiceConfig, StreamSession, Try
 use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Eventcount for session-progress wakeups. Connection workers that find
-/// a connection unable to move (socket and session both blocked) used to
-/// sleep a flat 500 µs before re-polling; now each session's evaluator
-/// bumps this signal whenever it consumes input, produces output or
-/// terminates (via [`gcx_service::SessionConfig::progress_waker`]), and a
-/// worker waits on it instead — waking immediately on evaluator progress
-/// while keeping the same bounded timeout as a poll fallback for socket
-/// readability (which has no notification source without epoll).
-///
-/// `bump` is wait-free when nobody is parked: one atomic increment plus
-/// one atomic load. The lock is only taken to publish the notify when a
-/// waiter is registered — evaluator hot paths (one bump per output tag
-/// batch) stay cheap.
-pub(crate) struct ProgressSignal {
-    seq: AtomicU64,
-    waiters: AtomicUsize,
-    lock: Mutex<()>,
-    cv: Condvar,
+/// Per-worker mailbox: the only cross-thread channel into a connection
+/// worker. The acceptor hands fresh connections to `inbox`; evaluator
+/// threads report session progress to `progressed` (via each session's
+/// `progress_waker`). Both pushes signal `wake`, the eventfd the
+/// worker's epoll set watches — so a worker parked in `epoll_wait` wakes
+/// immediately, and a busy worker picks the messages up at its next
+/// loop turn. eventfd counter semantics coalesce any number of signals
+/// into one wakeup.
+pub(crate) struct WorkerMailbox {
+    /// Wakes the worker out of `epoll_wait` (registered level-triggered
+    /// under [`WAKE_TOKEN`], so a pending signal keeps the next wait
+    /// from blocking even if it lands mid-loop).
+    wake: EventFd,
+    /// Freshly accepted connections handed over by the acceptor.
+    inbox: Mutex<Vec<(TcpStream, String, OpenGuard)>>,
+    /// Tokens of connections whose session made progress (consumed
+    /// input, produced output, or terminated).
+    progressed: Mutex<Vec<u64>>,
 }
 
-impl ProgressSignal {
-    fn new() -> Self {
-        ProgressSignal {
-            seq: AtomicU64::new(0),
-            waiters: AtomicUsize::new(0),
-            lock: Mutex::new(()),
-            cv: Condvar::new(),
-        }
+impl WorkerMailbox {
+    fn new() -> std::io::Result<WorkerMailbox> {
+        Ok(WorkerMailbox {
+            wake: EventFd::new()?,
+            inbox: Mutex::new(Vec::new()),
+            progressed: Mutex::new(Vec::new()),
+        })
     }
 
-    /// Records progress and wakes parked workers, if any.
-    ///
-    /// Orderings are `SeqCst` on both the seq bump and the waiters
-    /// check: with anything weaker the store→load pairs here and in
-    /// [`Self::wait_past`] may reorder (store buffering), letting a bump
-    /// see `waiters == 0` while the racing parker still sees the old
-    /// seq — a lost wakeup, the one failure mode this type exists to
-    /// prevent. The single total order makes one side always observe
-    /// the other.
-    pub(crate) fn bump(&self) {
-        self.seq.fetch_add(1, Ordering::SeqCst);
-        if self.waiters.load(Ordering::SeqCst) > 0 {
-            // Taking the lock orders the notify after a racing waiter's
-            // seq check: the waiter holds it between checking and waiting.
-            let _g = self.lock.lock().unwrap_or_else(|p| p.into_inner());
-            // One waiter per bump: workers share one run-queue, so any
-            // woken worker can drive the progressed connection; waking
-            // the whole park ring on every output batch of one fast
-            // session would burn idle-path CPU re-polling unrelated
-            // blocked sockets. Concurrent bumps wake additional workers,
-            // and the poll timeout still bounds worst-case staleness.
-            self.cv.notify_one();
-        }
+    fn submit(&self, stream: TcpStream, peer: String, open: OpenGuard) {
+        self.inbox
+            .lock()
+            .expect("worker inbox lock")
+            .push((stream, peer, open));
+        self.wake.signal();
     }
 
-    /// The current sequence number; read before driving a connection so
-    /// progress made during the attempt is never missed by `wait_past`.
-    fn current(&self) -> u64 {
-        self.seq.load(Ordering::SeqCst)
-    }
-
-    /// Parks until the sequence moves past `observed` or `timeout`
-    /// elapses, whichever is first.
-    fn wait_past(&self, observed: u64, timeout: Duration) {
-        self.waiters.fetch_add(1, Ordering::SeqCst);
-        let guard = self.lock.lock().unwrap_or_else(|p| p.into_inner());
-        if self.seq.load(Ordering::SeqCst) == observed {
-            let _ = self
-                .cv
-                .wait_timeout(guard, timeout)
-                .unwrap_or_else(|p| p.into_inner());
-        }
-        self.waiters.fetch_sub(1, Ordering::SeqCst);
+    /// Session-progress wakeup, called from evaluator threads. One
+    /// `Vec::push` plus (at most) one `write(2)` on the eventfd — cheap
+    /// enough for the evaluator hot path.
+    pub(crate) fn note_progress(&self, token: u64) {
+        self.progressed
+            .lock()
+            .expect("worker progressed lock")
+            .push(token);
+        self.wake.signal();
     }
 }
 
@@ -128,7 +115,11 @@ impl ProgressSignal {
 pub struct NetConfig {
     /// Connection workers (socket I/O + session driving). Default 4.
     pub workers: usize,
-    /// Evaluator-pool threads (concurrent evaluations). Default 8.
+    /// Evaluator-pool threads (concurrent evaluations). Default 8, or
+    /// `GCX_EVALUATORS` when set — a test/CI hook (like
+    /// `GCX_SCAN_KERNEL`) that constrains the scheduler without
+    /// threading a parameter through every test; explicitly set values
+    /// are never overridden.
     pub evaluators: usize,
     /// The underlying query service (cache, budget, engine options).
     pub service: ServiceConfig,
@@ -156,10 +147,14 @@ pub struct NetConfig {
     /// Per-session output high-water mark: above this many undrained
     /// result bytes the evaluator parks (backpressure). Default 1 MiB.
     pub output_high_water: usize,
-    /// Per-session output hard cap: a client that stops draining fails
-    /// its session cleanly (422 or aborted stream, counted in `/stats`
-    /// as `sessions_output_capped`) once undrained output creeps past
-    /// this. Default 4 MiB.
+    /// Per-session output hard cap: the session fails cleanly (422 or
+    /// aborted stream, counted in `/stats` as `sessions_output_capped`)
+    /// if undrained output ever exceeds this. The evaluator parks at
+    /// `output_high_water`, so the cap only trips when configured at or
+    /// below the high-water mark; a client that stops draining is
+    /// instead detected at the connection level — no progress for
+    /// `idle_timeout` with response bytes stuck in the send buffer —
+    /// and counted under the same counter. Default 4 MiB.
     pub output_max_bytes: usize,
     /// Admission cap: with this many connections already open, new ones
     /// are answered `503 Service Unavailable` + `Retry-After` straight
@@ -186,7 +181,7 @@ impl Default for NetConfig {
     fn default() -> Self {
         NetConfig {
             workers: 4,
-            evaluators: 8,
+            evaluators: env_evaluators().unwrap_or(8),
             service: ServiceConfig::default(),
             queries: Vec::new(),
             charge_engine_buffer: true,
@@ -205,6 +200,18 @@ impl Default for NetConfig {
     }
 }
 
+/// `GCX_EVALUATORS` override for the *default* evaluator count, so CI
+/// can run the whole net suite against a constrained scheduler (e.g.
+/// one evaluator thread). Configs that set `evaluators` explicitly are
+/// unaffected.
+fn env_evaluators() -> Option<usize> {
+    std::env::var("GCX_EVALUATORS")
+        .ok()?
+        .parse()
+        .ok()
+        .filter(|&n| n > 0)
+}
+
 /// Server-level counters (monotonic; `active_sessions` is derived from
 /// the registry instead).
 #[derive(Debug, Default)]
@@ -215,8 +222,10 @@ pub struct ServerCounters {
     pub requests: AtomicU64,
     pub sessions_completed: AtomicU64,
     pub sessions_failed: AtomicU64,
-    /// Sessions failed specifically because the client stopped draining
-    /// and the per-session output cap tripped.
+    /// Sessions failed specifically because the client stopped draining:
+    /// either the per-session output cap (`output_max_bytes`) tripped,
+    /// or the connection idled out with response bytes stuck in its send
+    /// buffer while the session sat parked on output backpressure.
     pub sessions_output_capped: AtomicU64,
     pub bytes_in: AtomicU64,
     pub bytes_out: AtomicU64,
@@ -230,6 +239,12 @@ pub struct ServerCounters {
     /// `accept(2)` failures (fd exhaustion, aborted handshakes); the
     /// acceptor backs off exponentially while these persist.
     pub accept_errors: AtomicU64,
+    /// `epoll_wait(2)` returns that delivered at least one event, summed
+    /// over all connection workers. With no traffic the workers sleep in
+    /// `epoll_wait` indefinitely, so this advancing means actual wake
+    /// sources fired — it is the witness that the connection path is
+    /// event-driven, not polling.
+    pub epoll_wakeups: AtomicU64,
 }
 
 /// One live session as seen by `/stats`.
@@ -243,11 +258,10 @@ pub struct SessionEntry {
 pub(crate) struct ServerShared {
     pub(crate) service: QueryService,
     pub(crate) queries: HashMap<String, String>,
-    run_queue: Mutex<VecDeque<Conn>>,
-    work: Condvar,
-    /// Session-progress wakeups for parked connections (own `Arc` so the
-    /// per-session waker closures hold no cycle back to `ServerShared`).
-    progress: Arc<ProgressSignal>,
+    /// One mailbox per connection worker (own `Arc`s so the per-session
+    /// waker closures hold no cycle back to `ServerShared`). The
+    /// acceptor round-robins new connections across them.
+    mailboxes: Vec<Arc<WorkerMailbox>>,
     stop: AtomicBool,
     /// Graceful drain in progress: stop accepting, finish in-flight
     /// requests, answer `Connection: close` at every response boundary.
@@ -337,12 +351,14 @@ impl GcxServer {
             .service
             .memory_budget
             .map_or(io_chunk_bytes, |b| io_chunk_bytes.min(b.max(1)));
+        let mut mailboxes = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            mailboxes.push(Arc::new(WorkerMailbox::new()?));
+        }
         let shared = Arc::new(ServerShared {
             service: QueryService::new(config.service),
             queries: config.queries.into_iter().collect(),
-            run_queue: Mutex::new(VecDeque::new()),
-            work: Condvar::new(),
-            progress: Arc::new(ProgressSignal::new()),
+            mailboxes,
             stop: AtomicBool::new(false),
             draining: AtomicBool::new(false),
             open_conns: Arc::new(AtomicUsize::new(0)),
@@ -383,10 +399,11 @@ impl GcxServer {
         }
         for i in 0..workers {
             let shared = shared.clone();
+            let mailbox = shared.mailboxes[i].clone();
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("gcx-net-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, &mailbox))
                     .expect("spawn connection worker"),
             );
         }
@@ -468,9 +485,13 @@ impl GcxServer {
             return;
         }
         self.shared.draining.store(true, Ordering::SeqCst);
-        // Unblock the acceptor so it observes the drain and exits.
+        // Unblock the acceptor so it observes the drain and exits, and
+        // wake every worker so idle keep-alive connections close now
+        // instead of sitting out their keep-alive timeout.
         let _ = TcpStream::connect(self.addr);
-        self.shared.work.notify_all();
+        for mb in &self.shared.mailboxes {
+            mb.wake.signal();
+        }
         let t0 = Instant::now();
         while t0.elapsed() < deadline {
             if self.shared.open_connections() == 0 {
@@ -487,9 +508,12 @@ impl GcxServer {
             return;
         }
         self.shared.stop.store(true, Ordering::SeqCst);
-        // Unblock the acceptor with a dummy connection.
+        // Unblock the acceptor with a dummy connection and every worker
+        // through its wake eventfd.
         let _ = TcpStream::connect(self.addr);
-        self.shared.work.notify_all();
+        for mb in &self.shared.mailboxes {
+            mb.wake.signal();
+        }
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
@@ -514,6 +538,10 @@ const ACCEPT_BACKOFF_MAX: Duration = Duration::from_secs(1);
 
 fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
     let mut backoff = ACCEPT_BACKOFF_MIN;
+    // Round-robin handoff target. Connections are pinned to one worker
+    // for life (their epoll registration and session waker both point at
+    // it), so this is the only balancing decision.
+    let mut next_worker = 0usize;
     loop {
         match listener.accept() {
             Ok((stream, peer)) => {
@@ -541,19 +569,21 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
                     continue;
                 }
                 shared.counters.connections.fetch_add(1, Ordering::Relaxed);
-                let conn = Conn::new(
+                shared.mailboxes[next_worker].submit(
                     stream,
                     peer.to_string(),
                     OpenGuard::new(shared.open_conns.clone()),
                 );
-                let mut q = shared.run_queue.lock().expect("run queue lock");
-                q.push_back(conn);
-                drop(q);
-                shared.work.notify_one();
+                next_worker = (next_worker + 1) % shared.mailboxes.len();
             }
             Err(e) => {
                 if shared.stop.load(Ordering::SeqCst) || shared.draining.load(Ordering::SeqCst) {
                     return;
+                }
+                if e.kind() == std::io::ErrorKind::Interrupted {
+                    // EINTR: a signal landed mid-accept. Not a socket
+                    // error — retry without counting or backing off.
+                    continue;
                 }
                 shared
                     .counters
@@ -600,109 +630,220 @@ fn shed_overloaded_stream(shared: &Arc<ServerShared>, mut stream: TcpStream) {
     log_debug!(LOG_TARGET, "connection shed: admission cap reached");
 }
 
-fn worker_loop(shared: &Arc<ServerShared>) {
-    // Consecutive blocked connections stepped without progress. A
-    // progress bump wakes *one* worker, but the connection that
-    // progressed can sit anywhere in the run queue — so a woken worker
-    // keeps popping (and re-queuing) blocked connections until it has
-    // covered a full queue's worth without progress, and only then
-    // parks. Without the sweep, a wrong-connection pop would consume
-    // the bump and park again, leaving the progressed connection to
-    // wait out the poll timeout — per-request latency, multiplied under
-    // keep-alive where every request crosses the worker↔evaluator
-    // boundary twice.
-    let mut idle_streak = 0usize;
+/// The `epoll_event` token reserved for the worker's wake eventfd;
+/// connection tokens count up from zero and never reach it.
+const WAKE_TOKEN: u64 = u64::MAX;
+
+/// Events fetched per `epoll_wait` call.
+const EVENT_BATCH: usize = 256;
+
+/// Marks `token` runnable, once (the `queued` flag dedups: a connection
+/// can be woken by a socket event and a session bump in the same batch).
+fn mark_runnable(runnable: &mut VecDeque<u64>, conns: &mut HashMap<u64, Conn>, token: u64) {
+    if let Some(conn) = conns.get_mut(&token) {
+        if !conn.queued {
+            conn.queued = true;
+            runnable.push_back(token);
+        }
+    }
+}
+
+/// Disposes of a finished connection: deregisters the socket and drops
+/// the state (which cancels any in-flight session). Stale tokens — a
+/// session bump racing the teardown — are ignored.
+fn remove_conn(ep: &Epoll, conns: &mut HashMap<u64, Conn>, token: u64) {
+    if let Some(conn) = conns.remove(&token) {
+        ep.del(conn.stream.as_raw_fd());
+    }
+}
+
+/// One connection worker: an epoll readiness loop over the worker's own
+/// set of connections. Each iteration ingests mailbox messages (new
+/// connections, session-progress tokens), drives every runnable
+/// connection until it blocks or finishes, expires idle deadlines, and
+/// then sleeps in `epoll_wait` until the next wake source — socket
+/// readiness, the mailbox eventfd, or the nearest deadline. With no
+/// connections and nothing pending the timeout is infinite: an idle
+/// worker costs zero CPU.
+fn worker_loop(shared: &Arc<ServerShared>, mailbox: &Arc<WorkerMailbox>) {
+    let ep = match Epoll::new() {
+        Ok(ep) => ep,
+        Err(e) => {
+            log_warn!(LOG_TARGET, "epoll_create1 failed, worker exiting: {e}");
+            return;
+        }
+    };
+    if let Err(e) = ep.add(mailbox.wake.raw(), EPOLLIN, WAKE_TOKEN) {
+        log_warn!(LOG_TARGET, "epoll wake registration failed: {e}");
+        return;
+    }
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_token: u64 = 0;
+    let mut runnable: VecDeque<u64> = VecDeque::new();
+    let mut events = vec![EpollEvent::zeroed(); EVENT_BATCH];
+    let mut expired: Vec<u64> = Vec::new();
     loop {
-        let mut conn = {
-            let mut q = shared.run_queue.lock().expect("run queue lock");
-            loop {
-                if shared.stop.load(Ordering::SeqCst) {
-                    // Dropping connections cancels their sessions; the
-                    // evaluator pool is still alive to observe it.
-                    q.clear();
-                    return;
-                }
-                if let Some(c) = q.pop_front() {
-                    break c;
-                }
-                idle_streak = 0;
-                let (guard, _) = shared
-                    .work
-                    .wait_timeout(q, Duration::from_millis(5))
-                    .expect("run queue lock poisoned");
-                q = guard;
+        if shared.stop.load(Ordering::SeqCst) {
+            // Dropping connections cancels their sessions; the evaluator
+            // pool is still alive to observe it.
+            return;
+        }
+        let draining = shared.draining.load(Ordering::SeqCst);
+
+        // Adopt freshly accepted connections: register the socket
+        // edge-triggered and give the connection a first drive (its
+        // request bytes may already sit in the kernel buffer, and ET
+        // never re-announces what it already reported).
+        let fresh = std::mem::take(&mut *mailbox.inbox.lock().expect("worker inbox lock"));
+        for (stream, peer, open) in fresh {
+            let token = next_token;
+            next_token += 1;
+            if let Err(e) = ep.add(
+                stream.as_raw_fd(),
+                EPOLLIN | EPOLLOUT | EPOLLRDHUP | EPOLLET,
+                token,
+            ) {
+                log_debug!(LOG_TARGET, "epoll add failed for {peer}: {e}");
+                continue; // dropping stream + guard closes the connection
             }
-        };
-        if !conn.queue_wait_recorded {
-            conn.queue_wait_recorded = true;
-            let waited = conn.accepted.elapsed();
-            shared.metrics.queue_wait.record(waited);
-            if waited > shared.queue_wait_deadline {
-                // Saturated past the deadline before the first drive:
-                // shedding this connection fast beats serving everyone
-                // at collapsed latency.
-                conn.shed_overloaded(shared);
-                idle_streak = 0;
+            conns.insert(token, Conn::new(stream, peer, open, token, mailbox.clone()));
+            mark_runnable(&mut runnable, &mut conns, token);
+        }
+
+        // Session-progress wakeups from evaluator threads.
+        let progressed =
+            std::mem::take(&mut *mailbox.progressed.lock().expect("worker progressed lock"));
+        for token in progressed {
+            mark_runnable(&mut runnable, &mut conns, token);
+        }
+
+        // Drive every runnable connection as far as it goes. A blocked
+        // connection is *not* re-queued — it sleeps until one of its
+        // wake sources fires (socket readiness, session progress, or
+        // the deadline scan below).
+        while let Some(token) = runnable.pop_front() {
+            let Some(conn) = conns.get_mut(&token) else {
+                continue;
+            };
+            conn.queued = false;
+            if !conn.queue_wait_recorded {
+                conn.queue_wait_recorded = true;
+                let waited = conn.accepted.elapsed();
+                shared.metrics.queue_wait.record(waited);
+                if waited > shared.queue_wait_deadline {
+                    // Saturated past the deadline before the first
+                    // drive: shedding this connection fast beats
+                    // serving everyone at collapsed latency.
+                    conn.shed_overloaded(shared);
+                    remove_conn(&ep, &mut conns, token);
+                    continue;
+                }
+            }
+            if draining && conn.is_idle_keep_alive() {
+                // Draining: close parked keep-alive connections
+                // immediately instead of letting them sit out the
+                // keep-alive timeout.
+                conn.teardown(shared);
+                remove_conn(&ep, &mut conns, token);
                 continue;
             }
+            let mut made_progress = false;
+            let finished = loop {
+                match conn.step(shared) {
+                    StepResult::Progress => made_progress = true,
+                    StepResult::Blocked => break false,
+                    StepResult::Finished => break true,
+                }
+            };
+            if finished {
+                conn.teardown(shared);
+                remove_conn(&ep, &mut conns, token);
+                continue;
+            }
+            if made_progress {
+                conn.last_progress = Instant::now();
+            }
         }
-        if shared.draining.load(Ordering::SeqCst) && conn.is_idle_keep_alive() {
-            // Draining: close parked keep-alive connections immediately
-            // instead of letting them sit out the keep-alive timeout.
-            conn.teardown(shared);
-            idle_streak = 0;
-            continue;
+
+        // Deadline pass: expire idle/keep-alive budgets and find the
+        // nearest remaining deadline — which becomes the epoll timeout,
+        // so timeouts fire without any polling tick. During a drain,
+        // idle keep-alive connections are closed here as well (they are
+        // blocked, so the drive loop above never sees them).
+        let now = Instant::now();
+        let mut next_deadline: Option<Instant> = None;
+        for (&token, conn) in &conns {
+            if draining && conn.is_idle_keep_alive() {
+                expired.push(token);
+                continue;
+            }
+            let deadline = conn.last_progress + conn.idle_budget(shared);
+            if deadline <= now {
+                expired.push(token);
+            } else {
+                next_deadline = Some(next_deadline.map_or(deadline, |d: Instant| d.min(deadline)));
+            }
         }
-        // Observe the progress sequence *before* driving: progress made
-        // by an evaluator during the attempt bumps it, so a subsequent
-        // `wait_past` returns immediately instead of losing the wakeup.
-        let observed = shared.progress.current();
-        let mut made_progress = false;
-        // Drive this connection as far as it goes without blocking.
-        let finished = loop {
-            match conn.step(shared) {
-                StepResult::Progress => made_progress = true,
-                StepResult::Blocked => break false,
-                StepResult::Finished => break true,
+        for token in expired.drain(..) {
+            if let Some(conn) = conns.get_mut(&token) {
+                conn.fail_idle(shared);
+                conn.teardown(shared);
+                remove_conn(&ep, &mut conns, token);
+            }
+        }
+
+        let timeout_ms = match next_deadline {
+            // No deadlines pending: sleep until an event arrives.
+            None => -1,
+            Some(d) => {
+                let dur = d.saturating_duration_since(now);
+                // Round up: a sub-millisecond remainder truncated to 0
+                // would spin until the deadline actually passes.
+                dur.as_micros().div_ceil(1000).min(i32::MAX as u128) as i32
             }
         };
-        if finished {
-            conn.teardown(shared);
-            idle_streak = 0;
-            continue;
+        match ep.wait(&mut events, timeout_ms) {
+            Ok(n) => {
+                if n > 0 {
+                    shared
+                        .counters
+                        .epoll_wakeups
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                for ev in &events[..n] {
+                    let token = ev.data;
+                    let bits = ev.events;
+                    if token == WAKE_TOKEN {
+                        // Drain *before* the next mailbox read at the
+                        // loop top: a signal landing after the drain
+                        // leaves the counter nonzero, so the next wait
+                        // returns immediately and nothing is lost.
+                        mailbox.wake.drain();
+                        continue;
+                    }
+                    // ERR/HUP are folded into both directions: the next
+                    // read/write surfaces the actual error or EOF.
+                    if bits & (EPOLLIN | EPOLLRDHUP | EPOLLERR | EPOLLHUP) != 0 {
+                        if let Some(conn) = conns.get_mut(&token) {
+                            conn.sock_readable = true;
+                        }
+                    }
+                    if bits & (EPOLLOUT | EPOLLERR | EPOLLHUP) != 0 {
+                        if let Some(conn) = conns.get_mut(&token) {
+                            conn.sock_writable = true;
+                        }
+                    }
+                    mark_runnable(&mut runnable, &mut conns, token);
+                }
+            }
+            Err(e) => {
+                // Defensive: nothing recoverable lives here (EBADF,
+                // EFAULT would be bugs), but a hot error loop would be
+                // worse than a degraded one.
+                log_warn!(LOG_TARGET, "epoll_wait failed: {e}");
+                std::thread::sleep(Duration::from_millis(10));
+            }
         }
-        if made_progress {
-            conn.last_progress = Instant::now();
-            idle_streak = 0;
-        } else if conn.last_progress.elapsed() > conn.idle_budget(shared) {
-            conn.fail_idle(shared);
-            conn.teardown(shared);
-            // The queue shrank: a stale streak would end the sweep early
-            // and park past connections that still need a look.
-            idle_streak = 0;
-            continue;
-        } else {
-            idle_streak += 1;
-        }
-        let park = conn.park_timeout();
-        let mut q = shared.run_queue.lock().expect("run queue lock");
-        q.push_back(conn);
-        let queued = q.len();
-        drop(q);
-        if made_progress {
-            shared.work.notify_one();
-        } else if idle_streak >= queued {
-            // A full unproductive sweep of the queue: nothing anywhere
-            // can move. Park on the progress signal: an evaluator
-            // draining input, producing output or finishing wakes us
-            // immediately; the timeout is only the poll fallback for
-            // socket readability (shortened right after a response,
-            // when the next keep-alive request is likely already on
-            // the wire).
-            shared.progress.wait_past(observed, park);
-            idle_streak = 0;
-        }
-        // else: sweep on — try the next queued connection immediately.
     }
 }
 
@@ -866,21 +1007,24 @@ struct Conn {
     trace_keep: bool,
     /// Label for the kept trace (query name / preview, else the path).
     req_label: Option<String>,
-    /// Just finished a response: the client's next request is likely
-    /// already in flight, so parked workers poll this connection at
-    /// [`HOT_PARK_TIMEOUT`] instead of the regular poll fallback until
-    /// the window expires. Socket readability has no notification
-    /// source without epoll; this keeps sequential keep-alive requests
-    /// from paying the full poll interval as latency.
-    hot_until: Option<Instant>,
+    /// The worker-local epoll token — also the routing key the session's
+    /// `progress_waker` pushes into the worker mailbox.
+    token: u64,
+    /// The owning worker's mailbox (session-progress wakeups land here).
+    mailbox: Arc<WorkerMailbox>,
+    /// Cached socket readability. Edge-triggered epoll reports
+    /// *transitions*, so the last known state lives here: set by events
+    /// (and optimistically at accept), cleared only when a read actually
+    /// returns `WouldBlock`. While clear, `read_some` short-circuits —
+    /// the syscall could only confirm what the flag already says.
+    sock_readable: bool,
+    /// Cached socket writability; same discipline as `sock_readable`.
+    sock_writable: bool,
+    /// Already on the worker's runnable queue (dedup flag).
+    queued: bool,
     /// Slot in the server's `open_conns` count (released on drop).
     _open: OpenGuard,
 }
-
-/// How long after a completed response the connection is polled hot.
-const HOT_WINDOW: Duration = Duration::from_millis(2);
-/// Poll interval inside the hot window.
-const HOT_PARK_TIMEOUT: Duration = Duration::from_micros(30);
 
 /// Above this much un-flushed response data, stop pulling more output
 /// from the session: the socket's backpressure propagates to the engine
@@ -893,7 +1037,13 @@ const SEND_HIGH_WATER: usize = 256 * 1024;
 const RECV_HIGH_WATER: usize = 256 * 1024;
 
 impl Conn {
-    fn new(stream: TcpStream, peer: String, open: OpenGuard) -> Self {
+    fn new(
+        stream: TcpStream,
+        peer: String,
+        open: OpenGuard,
+        token: u64,
+        mailbox: Arc<WorkerMailbox>,
+    ) -> Self {
         Conn {
             stream,
             peer,
@@ -913,7 +1063,15 @@ impl Conn {
             trace_id: 0,
             trace_keep: false,
             req_label: None,
-            hot_until: None,
+            token,
+            mailbox,
+            // Optimistic: a fresh socket is writable, and its first
+            // request bytes may predate the epoll registration. The
+            // first `WouldBlock` corrects the flags; from then on epoll
+            // maintains them.
+            sock_readable: true,
+            sock_writable: true,
+            queued: false,
         }
     }
 
@@ -938,14 +1096,6 @@ impl Conn {
             let _ = self.stream.write_all(&self.send[self.send_pos..]);
         }
         self.teardown(shared);
-    }
-
-    /// The park timeout for a worker holding this (blocked) connection.
-    fn park_timeout(&self) -> Duration {
-        match self.hot_until {
-            Some(t) if Instant::now() < t => HOT_PARK_TIMEOUT,
-            _ => Duration::from_micros(500),
-        }
     }
 
     /// The no-progress budget for the connection's current state: a
@@ -1003,7 +1153,6 @@ impl Conn {
             return StepResult::Finished;
         }
         self.state = ConnState::Head;
-        self.hot_until = Some(Instant::now() + HOT_WINDOW);
         StepResult::Progress
     }
 
@@ -1280,7 +1429,8 @@ impl Conn {
             let live = live.clone();
             let pool = shared.pool.clone();
             let charge = shared.charge_engine_buffer;
-            let signal = shared.progress.clone();
+            let mailbox = self.mailbox.clone();
+            let token = self.token;
             let output_high_water = shared.output_high_water;
             let output_max_bytes = shared.output_max_bytes;
             let session_metrics = shared.metrics.sessions.clone();
@@ -1294,7 +1444,9 @@ impl Conn {
                 cfg.charge_engine_buffer = charge;
                 cfg.output_high_water = output_high_water;
                 cfg.output_max_bytes = output_max_bytes;
-                cfg.progress_waker = Some(Arc::new(move || signal.bump()));
+                // Progress wakeups route straight to the one worker that
+                // owns this connection, keyed by its epoll token.
+                cfg.progress_waker = Some(Arc::new(move || mailbox.note_progress(token)));
                 cfg.metrics = Some(session_metrics);
                 cfg.stage_metrics = Some(stage_metrics);
                 cfg.label = Some(label);
@@ -1673,6 +1825,17 @@ impl Conn {
             _ => None,
         };
         if let Some((session_id, sent_head)) = info {
+            // Mid-response with undrained bytes stuck in `send`: the
+            // *client* stopped reading, so its session sits parked on
+            // the output high-water mark. That is the connection-level
+            // face of the output cap — counted under the same counter
+            // as an `output_max_bytes` trip.
+            if sent_head && self.send_pos < self.send.len() {
+                shared
+                    .counters
+                    .sessions_output_capped
+                    .fetch_add(1, Ordering::Relaxed);
+            }
             log_debug!(
                 LOG_TARGET,
                 "dropping idle connection from {} (session {session_id})",
@@ -1717,6 +1880,12 @@ impl Conn {
     }
 
     fn read_some(&mut self, shared: &Arc<ServerShared>) -> ReadOutcome {
+        if !self.sock_readable {
+            // Edge-triggered: the last read hit `WouldBlock` and no
+            // readiness event has arrived since — the syscall could
+            // only confirm that.
+            return ReadOutcome::WouldBlock;
+        }
         // Reuse one scratch buffer per connection — this runs on every
         // step of every connection, and a fresh zeroed 64 KiB Vec per
         // read would dominate the allocation profile.
@@ -1736,19 +1905,29 @@ impl Conn {
         } else {
             self.scratch.len()
         };
-        match self.stream.read(&mut self.scratch[..cap]) {
-            Ok(0) => ReadOutcome::Eof,
-            Ok(n) => {
-                shared
-                    .counters
-                    .bytes_in
-                    .fetch_add(n as u64, Ordering::Relaxed);
-                self.recv.extend_from_slice(&self.scratch[..n]);
-                ReadOutcome::Data
+        loop {
+            match self.stream.read(&mut self.scratch[..cap]) {
+                Ok(0) => return ReadOutcome::Eof,
+                Ok(n) => {
+                    shared
+                        .counters
+                        .bytes_in
+                        .fetch_add(n as u64, Ordering::Relaxed);
+                    self.recv.extend_from_slice(&self.scratch[..n]);
+                    return ReadOutcome::Data;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    self.sock_readable = false;
+                    return ReadOutcome::WouldBlock;
+                }
+                // EINTR: a signal interrupted the syscall before any
+                // bytes moved. Retry — mapping it to `WouldBlock` would
+                // clear the readiness cache on a socket that is still
+                // readable, and with edge-triggered epoll that edge
+                // never comes back.
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return ReadOutcome::Gone,
             }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => ReadOutcome::WouldBlock,
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => ReadOutcome::WouldBlock,
-            Err(_) => ReadOutcome::Gone,
         }
     }
 
@@ -1760,6 +1939,11 @@ impl Conn {
             }
             return WriteOutcome::Idle;
         }
+        if !self.sock_writable {
+            // Edge-triggered: still waiting for the EPOLLOUT edge after
+            // the last `WouldBlock`.
+            return WriteOutcome::WouldBlock;
+        }
         if gcx_faults::fire("net.write.err") {
             return WriteOutcome::Gone;
         }
@@ -1768,35 +1952,45 @@ impl Conn {
         } else {
             self.send.len() - self.send_pos
         };
-        match self
-            .stream
-            .write(&self.send[self.send_pos..self.send_pos + cap])
-        {
-            Ok(0) => WriteOutcome::Gone,
-            Ok(n) => {
-                shared
-                    .counters
-                    .bytes_out
-                    .fetch_add(n as u64, Ordering::Relaxed);
-                if self.ttfb_pending {
-                    self.ttfb_pending = false;
-                    if let Some(t0) = self.req_start {
-                        shared.metrics.ttfb.record(t0.elapsed());
-                    }
+        loop {
+            match self
+                .stream
+                .write(&self.send[self.send_pos..self.send_pos + cap])
+            {
+                Ok(0) => return WriteOutcome::Gone,
+                Ok(n) => {
                     shared
-                        .recorder
-                        .record_instant(self.trace_id, SpanKind::FirstByte, 0, n as u64);
+                        .counters
+                        .bytes_out
+                        .fetch_add(n as u64, Ordering::Relaxed);
+                    if self.ttfb_pending {
+                        self.ttfb_pending = false;
+                        if let Some(t0) = self.req_start {
+                            shared.metrics.ttfb.record(t0.elapsed());
+                        }
+                        shared.recorder.record_instant(
+                            self.trace_id,
+                            SpanKind::FirstByte,
+                            0,
+                            n as u64,
+                        );
+                    }
+                    self.send_pos += n;
+                    if self.send_pos >= self.send.len() {
+                        self.send.clear();
+                        self.send_pos = 0;
+                    }
+                    return WriteOutcome::Progress;
                 }
-                self.send_pos += n;
-                if self.send_pos >= self.send.len() {
-                    self.send.clear();
-                    self.send_pos = 0;
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    self.sock_writable = false;
+                    return WriteOutcome::WouldBlock;
                 }
-                WriteOutcome::Progress
+                // EINTR: retry, for the same edge-preservation reason as
+                // in `read_some`.
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return WriteOutcome::Gone,
             }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => WriteOutcome::WouldBlock,
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => WriteOutcome::WouldBlock,
-            Err(_) => WriteOutcome::Gone,
         }
     }
 
@@ -1884,47 +2078,25 @@ fn preview(query: &str) -> String {
 mod tests {
     use super::*;
 
-    /// A bump lands a parked waiter well before the poll timeout.
+    /// A session-progress note lands in the mailbox and signals the
+    /// worker's eventfd (observable as a drained token list).
     #[test]
-    fn progress_signal_wakes_early() {
-        let signal = Arc::new(ProgressSignal::new());
-        let observed = signal.current();
-        let bumper = {
-            let signal = signal.clone();
-            std::thread::spawn(move || {
-                std::thread::sleep(Duration::from_millis(5));
-                signal.bump();
-            })
+    fn mailbox_note_progress_records_token() {
+        let mb = WorkerMailbox::new().unwrap();
+        mb.note_progress(3);
+        mb.note_progress(3);
+        mb.note_progress(7);
+        let tokens = std::mem::take(&mut *mb.progressed.lock().unwrap());
+        assert_eq!(tokens, vec![3, 3, 7]);
+    }
+
+    /// `GCX_EVALUATORS` only shapes the default; explicit configs win.
+    #[test]
+    fn explicit_evaluator_count_survives_config() {
+        let cfg = NetConfig {
+            evaluators: 2,
+            ..NetConfig::default()
         };
-        let start = Instant::now();
-        signal.wait_past(observed, Duration::from_secs(5));
-        assert!(
-            start.elapsed() < Duration::from_secs(1),
-            "bump must cut the wait short, waited {:?}",
-            start.elapsed()
-        );
-        bumper.join().unwrap();
-    }
-
-    /// Progress recorded before the wait starts is never slept on.
-    #[test]
-    fn progress_signal_no_lost_wakeup() {
-        let signal = ProgressSignal::new();
-        let observed = signal.current();
-        signal.bump(); // progress between observing and waiting
-        let start = Instant::now();
-        signal.wait_past(observed, Duration::from_secs(5));
-        assert!(start.elapsed() < Duration::from_millis(500));
-    }
-
-    /// Without progress the wait falls back to the poll timeout.
-    #[test]
-    fn progress_signal_times_out() {
-        let signal = ProgressSignal::new();
-        let observed = signal.current();
-        let start = Instant::now();
-        signal.wait_past(observed, Duration::from_millis(10));
-        let waited = start.elapsed();
-        assert!(waited >= Duration::from_millis(5), "waited {waited:?}");
+        assert_eq!(cfg.evaluators, 2);
     }
 }

@@ -1,9 +1,12 @@
-//! `/stats` JSON rendering (schema `gcx-net-stats/3`).
+//! `/stats` JSON rendering (schema `gcx-net-stats/5`).
 //!
 //! Hand-rolled like gcx-bench's report module — the workspace is offline,
-//! no serde. The document has five sections:
+//! no serde. The document's main sections:
 //!
 //! * `server` — front-end counters and the (fixed) thread topology;
+//! * `scheduler` — the evaluator pool's ready-queue scheduler (slices
+//!   run, session yields, queue depth) plus the connection workers'
+//!   `epoll_wait` wakeup count (added in `/5`);
 //! * `service` — compiled-query cache statistics;
 //! * `budget` — the shared [`gcx_service::MemoryBudget`], or `null`;
 //! * `latency` — quantile summaries (count/mean/p50/p90/p99/max, µs) of
@@ -110,7 +113,7 @@ pub(crate) fn render(shared: &ServerShared) -> String {
     rows.sort_unstable_by_key(|r| r.id);
 
     let mut out = String::with_capacity(2048);
-    out.push_str("{\n  \"schema\": \"gcx-net-stats/4\",\n");
+    out.push_str("{\n  \"schema\": \"gcx-net-stats/5\",\n");
 
     let _ = writeln!(
         out,
@@ -140,6 +143,19 @@ pub(crate) fn render(shared: &ServerShared) -> String {
         c.connections_shed.load(Ordering::Relaxed),
         c.accept_errors.load(Ordering::Relaxed),
         shared.pool.panics(),
+    );
+
+    let _ = writeln!(
+        out,
+        "  \"scheduler\": {{ \"evaluators\": {}, \"steps\": {}, \"yields\": {}, \
+         \"queued\": {}, \"active\": {}, \"panics\": {}, \"epoll_wakeups\": {} }},",
+        shared.pool.size(),
+        shared.pool.steps(),
+        shared.pool.yields(),
+        shared.pool.queued(),
+        shared.pool.active(),
+        shared.pool.panics(),
+        c.epoll_wakeups.load(Ordering::Relaxed),
     );
 
     let _ = writeln!(

@@ -226,7 +226,7 @@ fn stats_report_live_mid_stream_buffer_figures() {
         let stats = client::get(addr, "/stats").unwrap();
         assert_eq!(stats.status, 200);
         let json = stats.text();
-        assert!(json.contains("\"schema\": \"gcx-net-stats/4\""));
+        assert!(json.contains("\"schema\": \"gcx-net-stats/5\""));
         // A live (mid-stream!) session whose engine has already created
         // buffer nodes — the sampling the finish()-only reports could
         // never give us.
@@ -312,7 +312,7 @@ fn metrics_exposition_covers_requests_stages_and_sessions() {
     }
     // /stats serves the same quantiles in the schema-3 latency section.
     let stats = client::get(addr, "/stats").unwrap().text();
-    assert!(stats.contains("\"schema\": \"gcx-net-stats/4\""), "{stats}");
+    assert!(stats.contains("\"schema\": \"gcx-net-stats/5\""), "{stats}");
     assert!(stats.contains("\"latency\""), "{stats}");
     assert!(stats.contains("\"engine_stages\""), "{stats}");
     assert!(stats.contains("\"p99_us\""), "{stats}");

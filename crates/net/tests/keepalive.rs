@@ -293,7 +293,13 @@ fn never_draining_client_hits_output_cap_without_hurting_others() {
         "127.0.0.1:0",
         NetConfig {
             output_high_water: 16 * 1024,
-            output_max_bytes: 64 * 1024,
+            // The evaluator parks at the high-water mark, so undrained
+            // output never grows toward `output_max_bytes`; the dead
+            // client is instead detected at the connection level once it
+            // makes no progress for `idle_timeout` with response bytes
+            // stuck in the send buffer. Short timeout so the test is
+            // quick.
+            idle_timeout: Duration::from_secs(2),
             ..Default::default()
         },
     )
@@ -311,8 +317,10 @@ fn never_draining_client_hits_output_cap_without_hurting_others() {
     );
     stuck.write_all(head.as_bytes()).unwrap();
     stuck.write_all(&doc).unwrap();
-    // Never read. The server's send path backs up, the session's output
-    // buffer creeps past its hard cap, and the session fails cleanly.
+    // Never read. The server's send path backs up, the session parks on
+    // its output high-water mark, and after `idle_timeout` without
+    // progress the connection is dropped with the failure attributed to
+    // the output cap.
     let deadline = std::time::Instant::now() + Duration::from_secs(30);
     loop {
         let capped = server

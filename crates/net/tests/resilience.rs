@@ -371,6 +371,170 @@ fn drain_deadline_hard_cancels_a_stuck_upload() {
     drop(ps);
 }
 
+/// Scheduler fairness: with only two evaluator threads, a storm of slow
+/// clients — each trickling a megabyte-scale chunked upload and never
+/// reading a byte of its response — must not starve a fast keep-alive
+/// client. The ready-queue scheduler's step budget forces every session
+/// to yield, so the fast client's small requests interleave with the
+/// storm and complete with bounded latency.
+#[test]
+fn fast_client_latency_bounded_under_slow_client_storm() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    const SLOW_CLIENTS: usize = 6;
+    let server = GcxServer::bind(
+        "127.0.0.1:0",
+        NetConfig {
+            workers: 2,
+            evaluators: 2,
+            // The fairness claim is about *evaluator* scheduling; don't
+            // let the admission-side queue-wait shed muddy the signal.
+            queue_wait_deadline: Duration::from_secs(10),
+            keep_alive_timeout: Duration::from_secs(60),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let small = make_doc(50);
+    let expected = reference_output(QUERY, &small);
+    let stop = AtomicBool::new(false);
+
+    let (total, worst) = std::thread::scope(|scope| {
+        for _ in 0..SLOW_CLIENTS {
+            let server = &server;
+            let stop = &stop;
+            scope.spawn(move || {
+                // Hand-rolled chunked upload so a write timeout keeps the
+                // thread responsive to `stop` even under backpressure.
+                let big = make_doc(30_000);
+                let mut s = open_chunked_post(server);
+                s.set_write_timeout(Some(Duration::from_millis(50)))
+                    .unwrap();
+                'feed: for chunk in big.chunks(4096) {
+                    let mut frame = format!("{:x}\r\n", chunk.len()).into_bytes();
+                    frame.extend_from_slice(chunk);
+                    frame.extend_from_slice(b"\r\n");
+                    let mut rest: &[u8] = &frame;
+                    while !rest.is_empty() {
+                        if stop.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        match s.write(rest) {
+                            Ok(n) => rest = &rest[n..],
+                            Err(e)
+                                if e.kind() == std::io::ErrorKind::WouldBlock
+                                    || e.kind() == std::io::ErrorKind::TimedOut =>
+                            {
+                                continue;
+                            }
+                            Err(_) => break 'feed,
+                        }
+                    }
+                }
+                // Fully uploaded (or reset); either way never send the
+                // terminating chunk and never read: the session stays
+                // parked until the test releases it.
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            });
+        }
+
+        let fast = scope.spawn(|| {
+            // Let the storm establish before measuring.
+            std::thread::sleep(Duration::from_millis(300));
+            let mut conn = client::HttpClient::connect(addr).unwrap();
+            let start = Instant::now();
+            let mut worst = Duration::ZERO;
+            for i in 0..5 {
+                let t0 = Instant::now();
+                let resp = conn.post(&query_path(QUERY), &small).unwrap();
+                worst = worst.max(t0.elapsed());
+                assert_eq!(resp.status, 200, "fast request {i}: {}", resp.text());
+                assert_eq!(resp.body, expected, "fast request {i} corrupted");
+            }
+            (start.elapsed(), worst)
+        });
+        let measured = fast.join().unwrap();
+        stop.store(true, Ordering::Relaxed);
+        measured
+    });
+
+    eprintln!("fast client under storm: total {total:?}, worst request {worst:?}");
+    assert!(
+        worst < Duration::from_secs(5),
+        "fast request took {worst:?} behind {SLOW_CLIENTS} slow clients on 2 evaluators"
+    );
+    assert!(
+        total < Duration::from_secs(10),
+        "fast client needed {total:?} for 5 small requests"
+    );
+    server.shutdown();
+}
+
+/// The epoll readiness loop holds 1000 concurrent keep-alive
+/// connections on two workers and two evaluators, and every response —
+/// two rounds per connection, so reuse is proven — is byte-identical to
+/// the in-process engine.
+#[test]
+fn thousand_keep_alive_connections_byte_identical_with_two_evaluators() {
+    const CONNS: usize = 1000;
+    let server = GcxServer::bind(
+        "127.0.0.1:0",
+        NetConfig {
+            workers: 2,
+            evaluators: 2,
+            // Parked connections must survive the sequential sweep of
+            // the other 999 on a single-core runner.
+            keep_alive_timeout: Duration::from_secs(120),
+            idle_timeout: Duration::from_secs(120),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let doc = make_doc(20);
+    let expected = reference_output(QUERY, &doc);
+
+    let mut conns = Vec::with_capacity(CONNS);
+    for i in 0..CONNS {
+        conns.push(
+            client::HttpClient::connect(addr).unwrap_or_else(|e| panic!("connect {i} failed: {e}")),
+        );
+    }
+    assert!(
+        wait_for(
+            || server.open_connections() >= CONNS,
+            Duration::from_secs(10)
+        ),
+        "only {} of {CONNS} connections admitted",
+        server.open_connections()
+    );
+
+    for round in 0..2 {
+        for (i, conn) in conns.iter_mut().enumerate() {
+            let resp = conn
+                .post(&query_path(QUERY), &doc)
+                .unwrap_or_else(|e| panic!("conn {i} round {round}: {e}"));
+            assert_eq!(resp.status, 200, "conn {i} round {round}");
+            assert_eq!(resp.body, expected, "conn {i} round {round} corrupted");
+        }
+    }
+
+    // The readiness loop, not a poll, served all of it.
+    assert!(
+        server
+            .counters()
+            .epoll_wakeups
+            .load(std::sync::atomic::Ordering::Relaxed)
+            > 0,
+        "epoll wakeup counter never moved"
+    );
+    drop(conns);
+    server.shutdown();
+}
+
 #[test]
 fn stats_expose_resilience_counters() {
     let server = GcxServer::bind("127.0.0.1:0", NetConfig::default()).unwrap();
@@ -378,7 +542,7 @@ fn stats_expose_resilience_counters() {
     assert_eq!(resp.status, 200);
     let text = resp.text();
     for key in [
-        "\"schema\": \"gcx-net-stats/4\"",
+        "\"schema\": \"gcx-net-stats/5\"",
         "\"open_connections\"",
         "\"connections_shed\"",
         "\"accept_errors\"",

@@ -1,6 +1,6 @@
 //! End-to-end tests for request-scoped tracing: the `/trace` endpoint,
 //! head-based sampling, retroactive slow-request keeps, and the
-//! `tracing` section of `/stats` (schema `gcx-net-stats/4`).
+//! `tracing` section of `/stats` (schema `gcx-net-stats/5`).
 
 mod support;
 use support::validate_json;
@@ -71,7 +71,7 @@ fn trace_export_holds_stage_spans_and_buffer_events() {
     // /stats reports the capture under the additive `tracing` section.
     let stats = client::get(addr, "/stats").unwrap().text();
     validate_json(&stats).unwrap_or_else(|e| panic!("/stats not JSON: {e}\n{stats}"));
-    assert!(stats.contains("\"schema\": \"gcx-net-stats/4\""), "{stats}");
+    assert!(stats.contains("\"schema\": \"gcx-net-stats/5\""), "{stats}");
     assert!(stats.contains("\"tracing\": {"), "{stats}");
     assert!(stats.contains("\"sample_every\": 1"), "{stats}");
     assert!(!stats.contains("\"traces_captured\": 0,"), "{stats}");
@@ -124,9 +124,22 @@ fn slow_requests_are_kept_even_when_sampling_is_off() {
     let resp = client::post(addr, &query_path(QUERY), &doc).unwrap();
     assert_eq!(resp.status, 200);
 
-    let text = client::get(addr, "/trace").unwrap().text();
-    validate_json(&text).unwrap_or_else(|e| panic!("/trace not JSON: {e}\n{text}"));
-    assert!(text.contains("[slow]"), "slow trace not kept: {text}");
+    // The keep decision lands right *after* the last response byte is on
+    // the wire, so an immediate scrape (different connection, possibly a
+    // different worker) can race it — poll briefly.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let text = client::get(addr, "/trace").unwrap().text();
+        validate_json(&text).unwrap_or_else(|e| panic!("/trace not JSON: {e}\n{text}"));
+        if text.contains("[slow]") {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "slow trace not kept: {text}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
     let stats = client::get(addr, "/stats").unwrap().text();
     assert!(stats.contains("\"sample_every\": 0"), "{stats}");
     assert!(!stats.contains("\"slow_requests\": 0,"), "{stats}");

@@ -88,6 +88,9 @@ pub enum SpanKind {
     /// Buffer event: the buffer's peak footprint crossed a new 64 KiB
     /// boundary (instant, arg2 = new peak bytes).
     HighWater = 16,
+    /// Step machine: one `Engine::step` slice that ended in a voluntary
+    /// yield (arg = pump events consumed this slice).
+    Yield = 17,
 }
 
 impl SpanKind {
@@ -110,6 +113,7 @@ impl SpanKind {
             SpanKind::BudgetReserve => "budget-reserve",
             SpanKind::BudgetReject => "budget-reject",
             SpanKind::HighWater => "high-water",
+            SpanKind::Yield => "yield",
         }
     }
 
@@ -160,6 +164,7 @@ impl SpanKind {
             14 => SpanKind::BudgetReserve,
             15 => SpanKind::BudgetReject,
             16 => SpanKind::HighWater,
+            17 => SpanKind::Yield,
             _ => return None,
         })
     }

@@ -1,76 +1,184 @@
-//! A bounded pool of evaluator threads shared by many sessions.
+//! The evaluator scheduler: a ready-queue of runnable session tasks
+//! drained round-robin by a fixed set of worker threads.
 //!
-//! [`crate::StreamSession`] historically spawned one OS thread per
-//! session — fine for batch jobs, fatal for a network front-end serving
-//! thousands of concurrent streams. An [`EvaluatorPool`] caps evaluator
-//! parallelism at a fixed thread count: sessions submit their evaluation
-//! as a job; `N` long-lived workers pull jobs off a run-queue and run
-//! them to completion. Sessions beyond the pool size queue (their `feed`
-//! calls simply buffer input until a worker frees up), so the *thread
-//! count stays fixed no matter how many sessions are open* — the
-//! schema-based scheduling shape of Koch et al.'s event-processor work.
+//! Historically this was a plain job pool — each session submitted one
+//! blocking closure that parked a worker thread inside evaluation
+//! whenever input ran dry or output backed up. A saturated pool then
+//! meant *queued sessions never ran at all*. The engine's resumable
+//! [`step`](gcx_core::GcxEngine::step) machine removes the need to park:
+//! a session is now a [`PoolTask`] whose `run_slice` advances evaluation
+//! by a bounded budget and reports what the scheduler should do next:
 //!
-//! A worker blocked on input (slow client) does occupy its thread — the
-//! evaluator is a pull-based interpreter, not a resumable state machine —
-//! so front-ends should size the pool for the number of *concurrently
-//! evaluating* sessions they want and cancel stalled ones (gcx-net
-//! enforces idle timeouts for exactly this reason).
+//! - [`Slice::Again`] — more work is ready: the task goes to the *back*
+//!   of the ready queue, so N runnable sessions share M workers
+//!   round-robin (fairness: one streaming giant cannot starve a quick
+//!   query).
+//! - [`Slice::Park`] — blocked on input or output. The task leaves the
+//!   scheduler entirely until [`TaskHandle::wake`] re-enqueues it (the
+//!   session layer wakes on `feed`/`drain`/`close_input`/`cancel`).
+//! - [`Slice::Done`] — finished (or failed); never scheduled again.
+//!
+//! Wake-ups and slice completions race; a small per-task atomic state
+//! machine (idle → queued → running, with a "notified while running"
+//! side state) guarantees a task is queued at most once, runs on at most
+//! one worker, and never misses a wake-up that arrives mid-slice.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
-type Job = Box<dyn FnOnce() + Send + 'static>;
+/// Log target for scheduler lifecycle events.
+const LOG_TARGET: &str = "gcx_service::pool";
 
-struct PoolState {
-    queue: VecDeque<Job>,
-    /// Jobs currently executing on a worker.
-    active: usize,
+/// What a task's slice told the scheduler to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Slice {
+    /// Progress was made and more work is ready: re-enqueue (fairness).
+    Again,
+    /// Blocked until [`TaskHandle::wake`]; the reason is informational
+    /// (dedicated drivers pick a condvar by it, `/stats` counts it).
+    Park(ParkReason),
+    /// The task is finished and must never be scheduled again.
+    Done,
+}
+
+/// Why a task parked (see [`Slice::Park`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParkReason {
+    /// The input stream ran dry mid-evaluation.
+    NeedInput,
+    /// Undrained output crossed the session's high-water mark.
+    OutputBackpressure,
+}
+
+/// A schedulable unit of resumable work. `run_slice` must be bounded —
+/// it is called on a shared worker thread and anything unbounded
+/// reintroduces the parked-worker starvation this scheduler exists to
+/// remove. Panics in `run_slice` are caught, counted, and retire the
+/// task (tasks wrapping sessions convert panics to session errors
+/// themselves; the catch here is a backstop).
+pub trait PoolTask: Send + Sync + 'static {
+    /// Advances the task by one bounded slice.
+    fn run_slice(&self) -> Slice;
+}
+
+/// Task lifecycle states (see the module docs).
+const IDLE: u8 = 0;
+const QUEUED: u8 = 1;
+const RUNNING: u8 = 2;
+/// Running, and a wake-up arrived mid-slice: if the slice parks, the
+/// task is immediately re-enqueued instead (the wake-up might carry the
+/// input/drain the slice was about to miss).
+const NOTIFIED: u8 = 3;
+const DONE: u8 = 4;
+
+struct Scheduled {
+    task: Box<dyn PoolTask>,
+    state: AtomicU8,
+}
+
+/// Handle for re-enqueueing a parked task; cloneable, held by the
+/// session layer. Outlives the pool safely: wakes after shutdown run
+/// the task inline on the waking thread (bounded slices make that
+/// cheap) so a parked session still completes.
+#[derive(Clone)]
+pub struct TaskHandle {
+    sched: Arc<Scheduled>,
+    inner: Arc<PoolInner>,
+}
+
+impl TaskHandle {
+    /// Re-enqueues the task if it is parked; marks a mid-slice
+    /// notification if it is running; no-op if already queued or done.
+    pub fn wake(&self) {
+        loop {
+            match self.sched.state.load(Ordering::Acquire) {
+                IDLE => {
+                    if self
+                        .sched
+                        .state
+                        .compare_exchange(IDLE, QUEUED, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        EvaluatorPool::enqueue(&self.inner, self.sched.clone());
+                        return;
+                    }
+                }
+                RUNNING => {
+                    if self
+                        .sched
+                        .state
+                        .compare_exchange(RUNNING, NOTIFIED, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        return;
+                    }
+                }
+                QUEUED | NOTIFIED | DONE => return,
+                _ => unreachable!("invalid task state"),
+            }
+        }
+    }
+
+    /// True once the task has retired (ran to completion or panicked).
+    pub fn is_done(&self) -> bool {
+        self.sched.state.load(Ordering::Acquire) == DONE
+    }
+}
+
+struct SchedState {
+    ready: VecDeque<Arc<Scheduled>>,
     shutdown: bool,
 }
 
 struct PoolInner {
-    state: Mutex<PoolState>,
-    /// Signaled when a job arrives or shutdown is requested.
+    state: Mutex<SchedState>,
+    /// Signaled when a task is enqueued or shutdown begins.
     work: Condvar,
     size: usize,
-    /// Evaluator panics observed — either caught by a worker's
-    /// `catch_unwind` or reported by a session via
-    /// [`EvaluatorPool::note_panic`] (sessions catch around the engine
-    /// run themselves so they can fail the session with a message).
+    /// Tasks currently executing a slice on a worker.
+    active: AtomicUsize,
+    /// Evaluator panics observed (tasks that unwound out of a slice, or
+    /// panics reported by the session layer via [`EvaluatorPool::note_panic`]).
     panics: AtomicU64,
+    /// Slices executed (one engine `step` each, typically).
+    steps: AtomicU64,
+    /// Slices that ended in a voluntary yield ([`Slice::Again`]) — the
+    /// fairness mechanism working.
+    yields: AtomicU64,
 }
 
-/// A fixed-size evaluator thread pool. Cheap to clone (shared handle).
+/// The shared scheduler; `Clone` hands out another reference to the
+/// same worker set and ready queue.
 #[derive(Clone)]
 pub struct EvaluatorPool {
     inner: Arc<PoolInner>,
-    /// Worker handles, joined by [`EvaluatorPool::shutdown`]. Shared so
-    /// clones agree on who joins.
     handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
 impl EvaluatorPool {
-    /// Spawns `size` (≥ 1) worker threads immediately.
+    /// Spawns `size` (min 1) workers named `gcx-eval-{i}`.
     pub fn new(size: usize) -> Self {
         let size = size.max(1);
         let inner = Arc::new(PoolInner {
-            state: Mutex::new(PoolState {
-                queue: VecDeque::new(),
-                active: 0,
+            state: Mutex::new(SchedState {
+                ready: VecDeque::new(),
                 shutdown: false,
             }),
             work: Condvar::new(),
             size,
+            active: AtomicUsize::new(0),
             panics: AtomicU64::new(0),
+            steps: AtomicU64::new(0),
+            yields: AtomicU64::new(0),
         });
         let handles = (0..size)
             .map(|i| {
                 let inner = inner.clone();
                 std::thread::Builder::new()
                     .name(format!("gcx-eval-{i}"))
-                    .spawn(move || worker_loop(&inner))
+                    .spawn(move || Self::worker_loop(&inner))
                     .expect("spawn evaluator worker")
             })
             .collect();
@@ -85,186 +193,349 @@ impl EvaluatorPool {
         self.inner.size
     }
 
-    /// Jobs waiting for a free worker.
+    /// Tasks waiting in the ready queue right now.
     pub fn queued(&self) -> usize {
-        self.inner.state.lock().expect("pool lock").queue.len()
+        self.lock_state().ready.len()
     }
 
-    /// Jobs currently executing.
+    /// Tasks currently executing a slice.
     pub fn active(&self) -> usize {
-        self.inner.state.lock().expect("pool lock").active
+        self.inner.active.load(Ordering::Relaxed)
     }
 
-    /// Evaluator panics observed so far (see `PoolInner::panics`).
+    /// Evaluator panics observed so far.
     pub fn panics(&self) -> u64 {
         self.inner.panics.load(Ordering::Relaxed)
     }
 
-    /// Records an evaluator panic that a session caught and converted
-    /// into a session error itself (the worker's own `catch_unwind`
-    /// never sees those).
+    /// Scheduler slices executed so far (≈ engine `step` calls).
+    pub fn steps(&self) -> u64 {
+        self.inner.steps.load(Ordering::Relaxed)
+    }
+
+    /// Slices that ended in a voluntary yield (task re-enqueued).
+    pub fn yields(&self) -> u64 {
+        self.inner.yields.load(Ordering::Relaxed)
+    }
+
+    /// Records an evaluator panic the session layer caught itself.
     pub fn note_panic(&self) {
         self.inner.panics.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Enqueues a job; some worker will run it. Jobs are never dropped —
-    /// sessions rely on their evaluator running to observe cancellation
-    /// and set `done`: queued jobs are drained even after `shutdown`
-    /// begins, and a job submitted *after* the workers have gone runs on
-    /// a fresh detached thread rather than sitting on a dead queue
-    /// forever.
-    pub fn submit(&self, job: Job) {
-        let mut st = self.inner.state.lock().expect("pool lock");
-        if st.shutdown {
-            drop(st);
-            std::thread::spawn(job);
-            return;
+    /// Registers a task and enqueues it for its first slice.
+    pub fn spawn_task(&self, task: Box<dyn PoolTask>) -> TaskHandle {
+        let sched = Arc::new(Scheduled {
+            task,
+            state: AtomicU8::new(QUEUED),
+        });
+        Self::enqueue(&self.inner, sched.clone());
+        TaskHandle {
+            sched,
+            inner: self.inner.clone(),
         }
-        st.queue.push_back(job);
-        drop(st);
-        self.inner.work.notify_one();
     }
 
-    /// Drains the queue, stops the workers and joins them. Callers must
-    /// cancel outstanding sessions first; a job blocked waiting for input
-    /// that will never arrive would block the join.
+    /// Pushes a QUEUED task onto the ready queue — or, after shutdown,
+    /// runs it inline on the calling thread until it parks or finishes
+    /// (slices are bounded, and a task enqueued after shutdown would
+    /// otherwise never run: its session would hang in `finish`).
+    fn enqueue(inner: &Arc<PoolInner>, sched: Arc<Scheduled>) {
+        {
+            let mut st = inner.state.lock().unwrap_or_else(|p| p.into_inner());
+            if !st.shutdown {
+                st.ready.push_back(sched);
+                inner.work.notify_one();
+                return;
+            }
+        }
+        while Self::run_one(inner, &sched) {}
+    }
+
+    fn worker_loop(inner: &Arc<PoolInner>) {
+        loop {
+            let sched = {
+                let mut st = inner.state.lock().unwrap_or_else(|p| p.into_inner());
+                loop {
+                    if let Some(s) = st.ready.pop_front() {
+                        break s;
+                    }
+                    if st.shutdown {
+                        // Queue fully drained: even tasks enqueued
+                        // during shutdown got their slice.
+                        return;
+                    }
+                    st = inner.work.wait(st).unwrap_or_else(|p| p.into_inner());
+                }
+            };
+            // Fault-injection point: delay task dispatch (chaos tests
+            // shake out schedule-dependent assumptions).
+            gcx_faults::delay("pool.delay");
+            inner.active.fetch_add(1, Ordering::Relaxed);
+            let requeue = Self::run_one(inner, &sched);
+            inner.active.fetch_sub(1, Ordering::Relaxed);
+            if requeue {
+                let mut st = inner.state.lock().unwrap_or_else(|p| p.into_inner());
+                st.ready.push_back(sched);
+                inner.work.notify_one();
+            }
+        }
+    }
+
+    /// Runs one slice of `sched`, driving its state machine. Returns
+    /// true when the task should be re-enqueued (yielded, or a wake-up
+    /// arrived mid-slice).
+    fn run_one(inner: &Arc<PoolInner>, sched: &Arc<Scheduled>) -> bool {
+        sched.state.store(RUNNING, Ordering::Release);
+        inner.steps.fetch_add(1, Ordering::Relaxed);
+        let slice =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sched.task.run_slice()));
+        match slice {
+            Ok(Slice::Again) => {
+                inner.yields.fetch_add(1, Ordering::Relaxed);
+                sched.state.store(QUEUED, Ordering::Release);
+                true
+            }
+            Ok(Slice::Park(_)) => {
+                match sched.state.compare_exchange(
+                    RUNNING,
+                    IDLE,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => false,
+                    // A wake-up landed mid-slice; it may carry exactly
+                    // the input/drain this slice blocked on — retry.
+                    Err(_) => {
+                        sched.state.store(QUEUED, Ordering::Release);
+                        true
+                    }
+                }
+            }
+            Ok(Slice::Done) => {
+                sched.state.store(DONE, Ordering::Release);
+                false
+            }
+            Err(payload) => {
+                // Backstop only: session tasks catch their own panics
+                // and convert them to session errors.
+                inner.panics.fetch_add(1, Ordering::Relaxed);
+                sched.state.store(DONE, Ordering::Release);
+                gcx_obs::log_error!(
+                    LOG_TARGET,
+                    "task panicked out of run_slice: {}",
+                    crate::session::panic_message(payload.as_ref())
+                );
+                false
+            }
+        }
+    }
+
+    /// Stops accepting queue work, drains already-queued tasks (each
+    /// gets its slices until it parks or finishes), and joins the
+    /// workers. Parked tasks woken afterwards run inline on the waking
+    /// thread. Idempotent; concurrent calls join whatever is left.
     pub fn shutdown(&self) {
         {
-            let mut st = self.inner.state.lock().expect("pool lock");
+            let mut st = self.lock_state();
             st.shutdown = true;
         }
         self.inner.work.notify_all();
-        let handles = std::mem::take(&mut *self.handles.lock().expect("pool handles"));
-        for h in handles {
+        let mut handles = self.handles.lock().unwrap_or_else(|p| p.into_inner());
+        for h in handles.drain(..) {
             let _ = h.join();
         }
     }
-}
 
-fn worker_loop(inner: &PoolInner) {
-    loop {
-        let job = {
-            let mut st = inner.state.lock().expect("pool lock");
-            loop {
-                if let Some(job) = st.queue.pop_front() {
-                    st.active += 1;
-                    break job;
-                }
-                if st.shutdown {
-                    return;
-                }
-                st = inner.work.wait(st).expect("pool lock poisoned");
-            }
-        };
-        if let Some(d) = gcx_faults::delay("pool.delay") {
-            std::thread::sleep(d);
-        }
-        // Panics are the session's problem (its DoneGuard reports them);
-        // the worker itself must survive to serve the next job — but they
-        // are counted, never silently swallowed.
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
-        if result.is_err() {
-            inner.panics.fetch_add(1, Ordering::Relaxed);
-        }
-        let mut st = inner.state.lock().expect("pool lock");
-        st.active -= 1;
-        drop(st);
-        drop(result);
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, SchedState> {
+        self.inner.state.lock().unwrap_or_else(|p| p.into_inner())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    /// Runs `n` slices (yielding between them), then finishes.
+    struct Counter {
+        left: AtomicUsize,
+        ran: Arc<AtomicUsize>,
+    }
+
+    impl PoolTask for Counter {
+        fn run_slice(&self) -> Slice {
+            self.ran.fetch_add(1, Ordering::SeqCst);
+            if self.left.fetch_sub(1, Ordering::SeqCst) > 1 {
+                Slice::Again
+            } else {
+                Slice::Done
+            }
+        }
+    }
+
+    fn counter(slices: usize, ran: &Arc<AtomicUsize>) -> Box<Counter> {
+        Box::new(Counter {
+            left: AtomicUsize::new(slices),
+            ran: ran.clone(),
+        })
+    }
+
+    fn wait_done(handle: &TaskHandle) {
+        for _ in 0..2000 {
+            if handle.is_done() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        panic!("task did not finish");
+    }
 
     #[test]
-    fn runs_all_jobs_with_bounded_threads() {
+    fn runs_all_tasks_with_bounded_threads() {
         let pool = EvaluatorPool::new(2);
-        let done = Arc::new(AtomicUsize::new(0));
-        let peak = Arc::new(AtomicUsize::new(0));
-        let running = Arc::new(AtomicUsize::new(0));
-        for _ in 0..16 {
-            let done = done.clone();
-            let peak = peak.clone();
-            let running = running.clone();
-            pool.submit(Box::new(move || {
-                let now = running.fetch_add(1, Ordering::SeqCst) + 1;
-                peak.fetch_max(now, Ordering::SeqCst);
-                std::thread::sleep(std::time::Duration::from_millis(2));
-                running.fetch_sub(1, Ordering::SeqCst);
-                done.fetch_add(1, Ordering::SeqCst);
-            }));
+        let ran = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..16).map(|_| pool.spawn_task(counter(3, &ran))).collect();
+        for h in &handles {
+            wait_done(h);
         }
-        for _ in 0..1000 {
-            if done.load(Ordering::SeqCst) == 16 {
-                break;
+        assert_eq!(ran.load(Ordering::SeqCst), 16 * 3);
+        assert!(pool.steps() >= 16 * 3);
+        assert!(pool.yields() >= 16 * 2, "each task yielded twice");
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_tasks() {
+        let pool = EvaluatorPool::new(1);
+        let ran = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..8).map(|_| pool.spawn_task(counter(1, &ran))).collect();
+        pool.shutdown();
+        assert_eq!(ran.load(Ordering::SeqCst), 8, "queued tasks still ran");
+        assert!(handles.iter().all(TaskHandle::is_done));
+    }
+
+    #[test]
+    fn spawn_after_shutdown_runs_inline() {
+        let pool = EvaluatorPool::new(1);
+        pool.shutdown();
+        let ran = Arc::new(AtomicUsize::new(0));
+        let handle = pool.spawn_task(counter(3, &ran));
+        assert!(handle.is_done(), "ran inline to completion");
+        assert_eq!(ran.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn panicking_task_does_not_kill_worker() {
+        struct Bomb;
+        impl PoolTask for Bomb {
+            fn run_slice(&self) -> Slice {
+                panic!("boom");
             }
-            std::thread::sleep(std::time::Duration::from_millis(1));
         }
-        assert_eq!(done.load(Ordering::SeqCst), 16);
-        assert!(peak.load(Ordering::SeqCst) <= 2, "pool bounds parallelism");
-        pool.shutdown();
-    }
-
-    #[test]
-    fn shutdown_drains_queued_jobs() {
         let pool = EvaluatorPool::new(1);
-        let done = Arc::new(AtomicUsize::new(0));
-        for _ in 0..8 {
-            let done = done.clone();
-            pool.submit(Box::new(move || {
-                done.fetch_add(1, Ordering::SeqCst);
-            }));
-        }
-        pool.shutdown();
-        assert_eq!(done.load(Ordering::SeqCst), 8, "no job dropped");
-    }
-
-    #[test]
-    fn submit_after_shutdown_still_runs_the_job() {
-        let pool = EvaluatorPool::new(1);
-        pool.shutdown();
-        let done = Arc::new(AtomicUsize::new(0));
-        {
-            let done = done.clone();
-            pool.submit(Box::new(move || {
-                done.fetch_add(1, Ordering::SeqCst);
-            }));
-        }
-        for _ in 0..1000 {
-            if done.load(Ordering::SeqCst) == 1 {
-                break;
-            }
-            std::thread::sleep(std::time::Duration::from_millis(1));
-        }
-        assert_eq!(done.load(Ordering::SeqCst), 1, "job must not be stranded");
-    }
-
-    #[test]
-    fn panicking_job_does_not_kill_worker() {
-        let pool = EvaluatorPool::new(1);
-        pool.submit(Box::new(|| panic!("boom")));
-        let done = Arc::new(AtomicUsize::new(0));
-        {
-            let done = done.clone();
-            pool.submit(Box::new(move || {
-                done.fetch_add(1, Ordering::SeqCst);
-            }));
-        }
-        pool.shutdown();
-        assert_eq!(done.load(Ordering::SeqCst), 1);
-    }
-
-    #[test]
-    fn panics_are_counted() {
-        let pool = EvaluatorPool::new(1);
-        assert_eq!(pool.panics(), 0);
-        pool.submit(Box::new(|| panic!("boom")));
-        pool.submit(Box::new(|| {}));
-        pool.shutdown();
+        let bomb = pool.spawn_task(Box::new(Bomb));
+        wait_done(&bomb);
         assert_eq!(pool.panics(), 1);
-        pool.note_panic();
-        assert_eq!(pool.panics(), 2);
+        // The worker survived and keeps scheduling.
+        let ran = Arc::new(AtomicUsize::new(0));
+        let ok = pool.spawn_task(counter(1, &ran));
+        wait_done(&ok);
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn parked_task_waits_for_wake() {
+        struct Gate {
+            open: Arc<AtomicBool>,
+            slices: Arc<AtomicUsize>,
+        }
+        impl PoolTask for Gate {
+            fn run_slice(&self) -> Slice {
+                self.slices.fetch_add(1, Ordering::SeqCst);
+                if self.open.load(Ordering::SeqCst) {
+                    Slice::Done
+                } else {
+                    Slice::Park(ParkReason::NeedInput)
+                }
+            }
+        }
+        let pool = EvaluatorPool::new(1);
+        let open = Arc::new(AtomicBool::new(false));
+        let slices = Arc::new(AtomicUsize::new(0));
+        let handle = pool.spawn_task(Box::new(Gate {
+            open: open.clone(),
+            slices: slices.clone(),
+        }));
+        // First slice parks; without a wake no further slice runs.
+        for _ in 0..200 {
+            if slices.load(Ordering::SeqCst) == 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(slices.load(Ordering::SeqCst), 1, "parked, not polled");
+        // Spurious wake: runs one more slice, parks again.
+        handle.wake();
+        for _ in 0..200 {
+            if slices.load(Ordering::SeqCst) == 2 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(slices.load(Ordering::SeqCst), 2);
+        // Real wake: finishes.
+        open.store(true, Ordering::SeqCst);
+        handle.wake();
+        wait_done(&handle);
+        assert_eq!(slices.load(Ordering::SeqCst), 3);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn round_robin_interleaves_yielding_tasks() {
+        // Two endless yielders on one worker: both must keep making
+        // progress (round-robin), neither may monopolize the thread.
+        struct Yielder {
+            me: usize,
+            log: Arc<Mutex<Vec<usize>>>,
+        }
+        impl PoolTask for Yielder {
+            fn run_slice(&self) -> Slice {
+                let mut log = self.log.lock().unwrap();
+                if log.len() >= 20 {
+                    return Slice::Done;
+                }
+                log.push(self.me);
+                Slice::Again
+            }
+        }
+        let pool = EvaluatorPool::new(1);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let a = pool.spawn_task(Box::new(Yielder {
+            me: 0,
+            log: log.clone(),
+        }));
+        let b = pool.spawn_task(Box::new(Yielder {
+            me: 1,
+            log: log.clone(),
+        }));
+        wait_done(&a);
+        wait_done(&b);
+        let log = log.lock().unwrap();
+        let zeros = log.iter().filter(|&&m| m == 0).count();
+        let ones = log.len() - zeros;
+        assert!(
+            zeros >= 8 && ones >= 8,
+            "both tasks progressed (round-robin): {zeros} vs {ones}"
+        );
+        // Strict alternation on a single worker.
+        for w in log.windows(2) {
+            assert_ne!(w[0], w[1], "fair interleave, got {log:?}");
+        }
+        pool.shutdown();
     }
 }

@@ -30,6 +30,16 @@ pub enum XmlError {
     TrailingContent { offset: u64 },
 }
 
+impl XmlError {
+    /// True when lexing stopped only because a non-blocking input has no
+    /// bytes available right now. The lexer has rewound to the previous
+    /// construct boundary: retry the same call once more input arrives
+    /// and the token stream continues exactly as if it had never blocked.
+    pub fn is_would_block(&self) -> bool {
+        matches!(self, XmlError::Io(e) if e.kind() == std::io::ErrorKind::WouldBlock)
+    }
+}
+
 impl fmt::Display for XmlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

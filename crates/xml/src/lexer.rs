@@ -27,6 +27,21 @@
 //! strictly inside the skipped subtree, entity names, UTF-8 in character
 //! data — is intentionally not, because the bytes are discarded anyway.
 //! Skipped byte counts accumulate in [`XmlLexer::bytes_skipped`].
+//!
+//! ## Non-blocking readers
+//!
+//! The lexer is resumable over readers that return
+//! [`std::io::ErrorKind::WouldBlock`]: every construct boundary is a
+//! rewind checkpoint, refills preserve the bytes from the checkpoint
+//! onward, and a `WouldBlock` mid-construct rewinds the lexer to the
+//! checkpoint before propagating (see [`XmlError::is_would_block`]).
+//! Calling [`XmlLexer::next_event`] (or [`XmlLexer::skip_subtree`],
+//! which additionally persists its nesting depth) again once more bytes
+//! are available continues exactly where the blocking lexer would have:
+//! the token stream is bit-identical to the blocking one. A reader's
+//! `Ok(0)` still means end of input, so a non-blocking source must
+//! return `WouldBlock` — never a zero read — while input is merely
+//! pending.
 
 use crate::error::XmlError;
 use crate::scan::{self, ScanKernel};
@@ -115,6 +130,24 @@ pub struct XmlLexer<'t, R: Read> {
     /// Total bytes consumed by [`Self::skip_subtree`] raw scans.
     bytes_skipped: u64,
     eof: bool,
+    /// Rewind checkpoint (≤ `pos`): the buffer index of the current
+    /// construct's start. [`Self::fill`] preserves `buf[ckpt..len]`
+    /// across refills, and a `WouldBlock` read rewinds to here so the
+    /// construct re-lexes verbatim once more input arrives.
+    ckpt: usize,
+    /// Text-scratch length at the checkpoint (rewind truncates to it).
+    ckpt_text: usize,
+    /// An in-flight [`Self::skip_subtree`] interrupted by `WouldBlock`:
+    /// call `skip_subtree` again to resume it.
+    skip: Option<SkipState>,
+}
+
+/// Persisted state of a raw subtree skip across `WouldBlock` returns.
+struct SkipState {
+    /// Nesting depth relative to the element being skipped.
+    depth: usize,
+    /// Input offset where the skip began (for the byte count).
+    start: u64,
 }
 
 const BUF_SIZE: usize = 64 * 1024;
@@ -144,6 +177,9 @@ impl<'t, R: Read> XmlLexer<'t, R> {
             name_buf: Vec::new(),
             bytes_skipped: 0,
             eof: false,
+            ckpt: 0,
+            ckpt_text: 0,
+            skip: None,
         }
     }
 
@@ -173,6 +209,26 @@ impl<'t, R: Read> XmlLexer<'t, R> {
         self.bytes_skipped
     }
 
+    /// Marks the current position as a rewind checkpoint: everything
+    /// before it is consumed for good, everything from it on re-lexes
+    /// after a `WouldBlock` rewind.
+    #[inline]
+    fn set_ckpt(&mut self) {
+        self.ckpt = self.pos;
+        self.ckpt_text = self.text.len();
+    }
+
+    /// Rewinds to the checkpoint after a `WouldBlock` read: position and
+    /// text scratch return to the construct boundary, and any events the
+    /// partial construct queued (attribute expansion) are dropped — the
+    /// retry re-derives them. Called with the queue in its checkpoint
+    /// state (empty): checkpoints are only set once it has drained.
+    fn rewind_to_ckpt(&mut self) {
+        self.pos = self.ckpt;
+        self.text.truncate(self.ckpt_text);
+        self.pending.clear();
+    }
+
     #[inline]
     fn fill(&mut self) -> Result<bool> {
         if self.pos < self.len {
@@ -181,20 +237,39 @@ impl<'t, R: Read> XmlLexer<'t, R> {
         if self.eof {
             return Ok(false);
         }
-        self.base += self.len as u64;
-        self.pos = 0;
-        self.len = 0;
+        // Compact: discard only up to the rewind checkpoint, so a
+        // construct interrupted by `WouldBlock` re-lexes from bytes we
+        // still hold. In the common case `ckpt == len` and the whole
+        // buffer is discarded, exactly as a plain refill.
+        let keep = self.ckpt.min(self.len);
+        self.buf.copy_within(keep..self.len, 0);
+        self.base += keep as u64;
+        self.pos -= keep;
+        self.len -= keep;
+        self.ckpt = 0;
+        if self.len == self.buf.len() {
+            // A single construct spans the entire buffer (giant text
+            // run or CDATA section pinned by the checkpoint): grow so
+            // lexing can make progress.
+            let new_len = self.buf.len() * 2;
+            self.buf.resize(new_len, 0);
+        }
         loop {
-            match self.reader.read(&mut self.buf) {
+            let dst = self.len;
+            match self.reader.read(&mut self.buf[dst..]) {
                 Ok(0) => {
                     self.eof = true;
                     return Ok(false);
                 }
                 Ok(n) => {
-                    self.len = n;
+                    self.len += n;
                     return Ok(true);
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    self.rewind_to_ckpt();
+                    return Err(e.into());
+                }
                 Err(e) => return Err(e.into()),
             }
         }
@@ -716,6 +791,9 @@ impl<'t, R: Read> XmlLexer<'t, R> {
         }
         // The attribute arena only backs queued events; the queue is empty.
         self.attr_buf.clear();
+        // Construct boundary: a WouldBlock anywhere below rewinds here
+        // (with the text accumulated so far — re-entry keeps appending).
+        self.set_ckpt();
         loop {
             let b = match self.peek()? {
                 Some(b) => b,
@@ -763,6 +841,10 @@ impl<'t, R: Read> XmlLexer<'t, R> {
                     self.text.extend_from_slice(&self.buf[self.pos..i]);
                     self.pos = i;
                 }
+                // Accumulated-text state is re-enterable (next_event
+                // resumes appending): advance the checkpoint so long
+                // text runs neither pin the buffer nor re-lex on retry.
+                self.set_ckpt();
                 continue;
             }
             // A markup construct begins; flush any accumulated text first,
@@ -860,165 +942,228 @@ impl<'t, R: Read> XmlLexer<'t, R> {
     /// in the module docs; structural errors (unbalanced nesting at EOF,
     /// a mismatched close of the subtree root itself) still surface.
     pub fn skip_subtree(&mut self) -> Result<u64> {
-        debug_assert!(!self.text_emitted, "skip_subtree must follow an Open event");
-        // Depth relative to the element being skipped: 0 means the next
-        // close at this level is the element's own.
-        let mut depth = 0usize;
-        while let Some(p) = self.pending.pop_front() {
-            match p {
-                Pending::Open(_) => depth += 1,
-                Pending::Close(_) => {
-                    if depth == 0 {
-                        // Self-closing element: the queue terminated the
-                        // subtree before any raw bytes belonged to it.
-                        return Ok(0);
+        let (mut depth, start) = match self.skip.take() {
+            // Resuming a skip interrupted by WouldBlock: position and
+            // depth are back at the last item boundary.
+            Some(s) => (s.depth, s.start),
+            None => {
+                debug_assert!(!self.text_emitted, "skip_subtree must follow an Open event");
+                // Depth relative to the element being skipped: 0 means
+                // the next close at this level is the element's own.
+                let mut depth = 0usize;
+                let mut done = false;
+                while let Some(p) = self.pending.pop_front() {
+                    match p {
+                        Pending::Open(_) => depth += 1,
+                        Pending::Close(_) => {
+                            if depth == 0 {
+                                // Self-closing element: the queue
+                                // terminated the subtree before any raw
+                                // bytes belonged to it.
+                                done = true;
+                                break;
+                            }
+                            depth -= 1;
+                        }
+                        Pending::AttrText { .. } => {}
                     }
-                    depth -= 1;
                 }
-                Pending::AttrText { .. } => {}
+                if done {
+                    return Ok(0);
+                }
+                (depth, self.offset())
+            }
+        };
+        loop {
+            match self.skip_one(&mut depth, start) {
+                Ok(Some(skipped)) => return Ok(skipped),
+                Ok(None) => {}
+                Err(e) => {
+                    if e.is_would_block() {
+                        // Park the skip so the next call resumes at the
+                        // item boundary the lexer rewound to.
+                        self.skip = Some(SkipState { depth, start });
+                    }
+                    return Err(e);
+                }
             }
         }
-        let start = self.offset();
+    }
+
+    /// One pass of the raw skip: the vectorized window scan, plus — when
+    /// the window ends mid-item — one cross-refill item resolution.
+    /// Returns `Some(byte count)` once the subtree root's close tag has
+    /// been consumed. A `WouldBlock` read restores `depth` and the
+    /// position to the in-flight item's boundary before propagating, so
+    /// the pass retries verbatim.
+    fn skip_one(&mut self, depth: &mut usize, start: u64) -> Result<Option<u64>> {
+        // Fast path: drive the state machine over the buffered window
+        // with a register-resident cursor and no helper calls (see
+        // [`skip_fast`]). The kernel is selected once per window so
+        // dispatch and vector constants hoist out of the per-item
+        // loop; the Sse2 and Avx2 tiers share the inline-SSE2 impl
+        // (scan-level rationale on [`scan::SimdOps`]).
+        let outcome = match scan::active_kernel() {
+            ScanKernel::Scalar => {
+                skip_fast::<scan::ScalarOps>(&self.buf, self.pos, self.len, depth)
+            }
+            ScanKernel::Swar => skip_fast::<scan::SwarOps>(&self.buf, self.pos, self.len, depth),
+            #[cfg(target_arch = "x86_64")]
+            ScanKernel::Sse2 | ScanKernel::Avx2 => {
+                skip_fast::<scan::SimdOps>(&self.buf, self.pos, self.len, depth)
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => skip_fast::<scan::SwarOps>(&self.buf, self.pos, self.len, depth),
+        };
+        match outcome {
+            SkipFast::Drained => self.pos = self.len,
+            SkipFast::Rewind(lt) => self.pos = lt,
+            SkipFast::RootClose(i) => {
+                // The subtree root's own close tag: validate it like
+                // the per-event path (the name is already interned
+                // from its open tag, so this allocates nothing in
+                // steady state). Rewind target: the close tag's '<'
+                // (depth is untouched on this path).
+                self.pos = i;
+                self.ckpt = i - 2;
+                self.ckpt_text = self.text.len();
+                let id = self.read_name_id("closing tag")?;
+                self.skip_ws()?;
+                self.expect(b'>', "closing tag")?;
+                self.close_tag(id)?;
+                let skipped = self.offset() - start;
+                self.bytes_skipped += skipped;
+                return Ok(Some(skipped));
+            }
+        }
+        // Generic path: refill and resolve one item with the
+        // cross-refill helpers, then return to the fast loop. Character
+        // data up to the item's '<' is consumed for good (the
+        // checkpoint advances with it); the item itself rewinds to its
+        // '<' on WouldBlock.
+        let lt;
         loop {
-            // Fast path: drive the state machine over the buffered window
-            // with a register-resident cursor and no helper calls (see
-            // [`skip_fast`]). The kernel is selected once per window so
-            // dispatch and vector constants hoist out of the per-item
-            // loop; the Sse2 and Avx2 tiers share the inline-SSE2 impl
-            // (scan-level rationale on [`scan::SimdOps`]).
-            let outcome = match scan::active_kernel() {
-                ScanKernel::Scalar => {
-                    skip_fast::<scan::ScalarOps>(&self.buf, self.pos, self.len, &mut depth)
+            self.set_ckpt();
+            if !self.fill()? {
+                return Err(XmlError::UnclosedElements {
+                    offset: self.offset(),
+                    open: self.open.len() + *depth,
+                });
+            }
+            match scan::find_byte(&self.buf[self.pos..self.len], b'<') {
+                Some(i) => {
+                    lt = self.pos + i;
+                    self.pos = lt + 1;
+                    break;
                 }
-                ScanKernel::Swar => {
-                    skip_fast::<scan::SwarOps>(&self.buf, self.pos, self.len, &mut depth)
+                None => self.pos = self.len,
+            }
+        }
+        self.ckpt = lt;
+        self.ckpt_text = self.text.len();
+        let ck_depth = *depth;
+        match self.skip_resolve_item(depth) {
+            Ok(true) => {
+                let skipped = self.offset() - start;
+                self.bytes_skipped += skipped;
+                Ok(Some(skipped))
+            }
+            Ok(false) => Ok(None),
+            Err(e) => {
+                if e.is_would_block() {
+                    *depth = ck_depth;
                 }
-                #[cfg(target_arch = "x86_64")]
-                ScanKernel::Sse2 | ScanKernel::Avx2 => {
-                    skip_fast::<scan::SimdOps>(&self.buf, self.pos, self.len, &mut depth)
-                }
-                #[cfg(not(target_arch = "x86_64"))]
-                _ => skip_fast::<scan::SwarOps>(&self.buf, self.pos, self.len, &mut depth),
-            };
-            match outcome {
-                SkipFast::Drained => self.pos = self.len,
-                SkipFast::Rewind(lt) => self.pos = lt,
-                SkipFast::RootClose(i) => {
-                    // The subtree root's own close tag: validate it like
-                    // the per-event path (the name is already interned
-                    // from its open tag, so this allocates nothing in
-                    // steady state).
-                    self.pos = i;
+                Err(e)
+            }
+        }
+    }
+
+    /// Resolves one markup item whose `<` has just been consumed,
+    /// possibly across refills. Returns `true` when it was the subtree
+    /// root's own close tag (consumed and validated).
+    fn skip_resolve_item(&mut self, depth: &mut usize) -> Result<bool> {
+        match self.bump("skipped subtree")? {
+            b'/' => {
+                if *depth == 0 {
+                    // The subtree root's own close tag: validate it
+                    // like the per-event path (the name is already
+                    // interned from its open tag, so this allocates
+                    // nothing in steady state).
                     let id = self.read_name_id("closing tag")?;
                     self.skip_ws()?;
                     self.expect(b'>', "closing tag")?;
                     self.close_tag(id)?;
-                    let skipped = self.offset() - start;
-                    self.bytes_skipped += skipped;
-                    return Ok(skipped);
+                    return Ok(true);
                 }
+                // Close-tag names cannot contain '>'.
+                self.skip_to_byte(b'>', "closing tag")?;
+                *depth -= 1;
             }
-            // Generic path: refill and resolve one item with the
-            // cross-refill helpers, then return to the fast loop.
-            loop {
-                if !self.fill()? {
-                    return Err(XmlError::UnclosedElements {
+            b'!' => {
+                let b3 = self.bump("markup declaration")?;
+                if b3 == b'-' {
+                    self.expect(b'-', "comment")?;
+                    self.skip_until(b"-->", "comment")?;
+                } else if b3 == b'[' {
+                    for &c in b"CDATA[" {
+                        self.expect(c, "CDATA section")?;
+                    }
+                    self.skip_until(b"]]>", "CDATA section")?;
+                } else if b3 == b'D' {
+                    self.skip_doctype()?;
+                } else {
+                    return Err(XmlError::Malformed {
                         offset: self.offset(),
-                        open: self.open.len() + depth,
+                        detail: "unsupported '<!' construct".into(),
                     });
                 }
-                match scan::find_byte(&self.buf[self.pos..self.len], b'<') {
-                    Some(i) => {
-                        self.pos += i + 1;
-                        break;
-                    }
-                    None => self.pos = self.len,
-                }
             }
-            match self.bump("skipped subtree")? {
-                b'/' => {
-                    if depth == 0 {
-                        // The subtree root's own close tag: validate it
-                        // like the per-event path (the name is already
-                        // interned from its open tag, so this allocates
-                        // nothing in steady state).
-                        let id = self.read_name_id("closing tag")?;
-                        self.skip_ws()?;
-                        self.expect(b'>', "closing tag")?;
-                        self.close_tag(id)?;
-                        let skipped = self.offset() - start;
-                        self.bytes_skipped += skipped;
-                        return Ok(skipped);
-                    }
-                    depth -= 1;
-                    // Close-tag names cannot contain '>'.
-                    self.skip_to_byte(b'>', "closing tag")?;
-                }
-                b'!' => {
-                    let b3 = self.bump("markup declaration")?;
-                    if b3 == b'-' {
-                        self.expect(b'-', "comment")?;
-                        self.skip_until(b"-->", "comment")?;
-                    } else if b3 == b'[' {
-                        for &c in b"CDATA[" {
-                            self.expect(c, "CDATA section")?;
-                        }
-                        self.skip_until(b"]]>", "CDATA section")?;
-                    } else if b3 == b'D' {
-                        self.skip_doctype()?;
-                    } else {
-                        return Err(XmlError::Malformed {
+            b'?' => self.skip_until(b"?>", "processing instruction")?,
+            _ => {
+                // Opening tag. Scan to its '>' stepping over quoted
+                // attribute values (which may legally contain '>');
+                // '/' immediately before '>' makes it self-closing.
+                // Vectorized: jump to the next of '>'/'"'/'\'',
+                // tracking the last byte consumed before the jump
+                // target so the self-closing check survives both
+                // quote skips and buffer refills.
+                let mut last = 0u8; // first name byte: never '/'
+                loop {
+                    if !self.fill()? {
+                        return Err(XmlError::UnexpectedEof {
                             offset: self.offset(),
-                            detail: "unsupported '<!' construct".into(),
+                            context: "opening tag",
                         });
                     }
-                }
-                b'?' => self.skip_until(b"?>", "processing instruction")?,
-                _ => {
-                    // Opening tag. Scan to its '>' stepping over quoted
-                    // attribute values (which may legally contain '>');
-                    // '/' immediately before '>' makes it self-closing.
-                    // Vectorized: jump to the next of '>'/'"'/'\'',
-                    // tracking the last byte consumed before the jump
-                    // target so the self-closing check survives both
-                    // quote skips and buffer refills.
-                    let mut last = 0u8; // first name byte: never '/'
-                    loop {
-                        if !self.fill()? {
-                            return Err(XmlError::UnexpectedEof {
-                                offset: self.offset(),
-                                context: "opening tag",
-                            });
+                    match scan::find_byte3(&self.buf[self.pos..self.len], b'>', b'"', b'\'') {
+                        None => {
+                            last = self.buf[self.len - 1];
+                            self.pos = self.len;
                         }
-                        match scan::find_byte3(&self.buf[self.pos..self.len], b'>', b'"', b'\'') {
-                            None => {
-                                last = self.buf[self.len - 1];
-                                self.pos = self.len;
-                            }
-                            Some(i) => {
-                                let c = self.buf[self.pos + i];
-                                let prev = if i == 0 {
-                                    last
-                                } else {
-                                    self.buf[self.pos + i - 1]
-                                };
-                                self.pos += i + 1;
-                                if c == b'>' {
-                                    if prev != b'/' {
-                                        depth += 1;
-                                    }
-                                    break;
+                        Some(i) => {
+                            let c = self.buf[self.pos + i];
+                            let prev = if i == 0 {
+                                last
+                            } else {
+                                self.buf[self.pos + i - 1]
+                            };
+                            self.pos += i + 1;
+                            if c == b'>' {
+                                if prev != b'/' {
+                                    *depth += 1;
                                 }
-                                // A quoted attribute value: step over it
-                                // wholesale ('>' inside is not a tag end).
-                                self.skip_to_byte(c, "attribute value")?;
-                                last = c;
+                                break;
                             }
+                            // A quoted attribute value: step over it
+                            // wholesale ('>' inside is not a tag end).
+                            self.skip_to_byte(c, "attribute value")?;
+                            last = c;
                         }
                     }
                 }
             }
         }
+        Ok(false)
     }
 
     /// Returns the next token as an owned value, or `None` at the end of
@@ -1715,6 +1860,131 @@ mod tests {
                 matches!(lexer.tokenize_all(), Err(XmlError::MismatchedClose { .. })),
                 "chunk size {chunk}"
             );
+        }
+    }
+
+    /// A reader that returns `WouldBlock` before every chunk, simulating
+    /// a non-blocking socket that runs dry at arbitrary points —
+    /// including mid-tag, mid-entity, mid-comment and mid-CDATA.
+    struct BlockyReader<'a> {
+        data: &'a [u8],
+        chunk: usize,
+        ready: bool,
+    }
+
+    impl Read for BlockyReader<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if !self.ready {
+                self.ready = true;
+                return Err(std::io::ErrorKind::WouldBlock.into());
+            }
+            self.ready = false;
+            let n = self.data.len().min(self.chunk).min(buf.len());
+            buf[..n].copy_from_slice(&self.data[..n]);
+            self.data = &self.data[n..];
+            Ok(n)
+        }
+    }
+
+    /// Lexes a document off a non-blocking reader, retrying the same
+    /// call whenever the lexer reports `WouldBlock`. The rewind
+    /// machinery must make the retries invisible: the token stream is
+    /// identical to blocking lexing at every chunk size.
+    #[test]
+    fn would_block_retries_are_invisible() {
+        let doc = "<a id=\"x&amp;y\"><![CDATA[1 < 2]]>h\u{e9}llo \u{2014} w\u{f6}rld\
+                   <!-- c --><b/>&#65;&lt;tail</a>";
+        let reference = lex(doc);
+        for chunk in 1..=16 {
+            let mut tags = TagInterner::new();
+            let reader = BlockyReader {
+                data: doc.as_bytes(),
+                chunk,
+                ready: false,
+            };
+            let mut lexer = XmlLexer::new(reader, &mut tags);
+            let mut shown = Vec::new();
+            let mut blocked = 0u32;
+            loop {
+                match lexer.next_token() {
+                    Ok(Some(t)) => shown.push(t.display(lexer.tags()).to_string()),
+                    Ok(None) => break,
+                    Err(e) if e.is_would_block() => blocked += 1,
+                    Err(e) => panic!("chunk {chunk}: {e}"),
+                }
+            }
+            assert_eq!(shown, reference, "stream changed at chunk size {chunk}");
+            assert!(blocked > 0, "the reader never ran dry at chunk {chunk}");
+        }
+    }
+
+    /// `skip_subtree` interrupted by `WouldBlock` resumes where it left
+    /// off: the adversarial corpus skips identically under a reader
+    /// that runs dry between every chunk.
+    #[test]
+    fn skip_subtree_resumes_across_would_block() {
+        for doc in SKIP_CORPUS {
+            for chunk in 1..=7 {
+                let mut tags = TagInterner::new();
+                let k = tags.intern("k");
+                let reader = BlockyReader {
+                    data: doc.as_bytes(),
+                    chunk,
+                    ready: false,
+                };
+                let mut lexer = XmlLexer::new(reader, &mut tags);
+                let mut shown = Vec::new();
+                loop {
+                    match lexer.next_token() {
+                        Ok(Some(t)) => {
+                            if matches!(t, XmlToken::Open(tag) if tag == k) {
+                                loop {
+                                    match lexer.skip_subtree() {
+                                        Ok(_) => break,
+                                        Err(e) if e.is_would_block() => continue,
+                                        Err(e) => panic!("chunk {chunk} on {doc:?}: {e}"),
+                                    }
+                                }
+                                continue;
+                            }
+                            shown.push(t.display(lexer.tags()).to_string());
+                        }
+                        Ok(None) => break,
+                        Err(e) if e.is_would_block() => continue,
+                        Err(e) => panic!("chunk {chunk} on {doc:?}: {e}"),
+                    }
+                }
+                assert!(
+                    shown.iter().any(|s| s == "<after>"),
+                    "chunk {chunk} on {doc:?}: {shown:?}"
+                );
+                assert!(
+                    !shown
+                        .iter()
+                        .any(|s| s == "<e>" || s == "<d>" || s == "<nope>"),
+                    "skipped content leaked at chunk {chunk} on {doc:?}: {shown:?}"
+                );
+            }
+        }
+    }
+
+    /// A construct larger than the lexer buffer grows it instead of
+    /// wedging: a giant CDATA section (whose bytes the checkpoint pins
+    /// until the terminator) lexes correctly.
+    #[test]
+    fn construct_larger_than_buffer_grows_it() {
+        let big = "x".repeat(BUF_SIZE * 2 + 17);
+        let doc = format!("<a><![CDATA[{big}]]></a>");
+        let mut tags = TagInterner::new();
+        let reader = ChunkedReader {
+            data: doc.as_bytes(),
+            chunk: 4096,
+        };
+        let mut lexer = XmlLexer::new(reader, &mut tags);
+        let tokens = lexer.tokenize_all().unwrap();
+        match &tokens[1] {
+            XmlToken::Text(t) => assert_eq!(t.len(), big.len()),
+            other => panic!("expected text, got {other:?}"),
         }
     }
 

@@ -9,8 +9,7 @@
 use gcx::query::{compile_default, pretty_query};
 use gcx::xml::TagInterner;
 use gcx::{EngineOptions, GcxEngine};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 fn main() {
     let query = r#"<r>{
@@ -33,14 +32,14 @@ fn main() {
     println!("{}\n", pretty_query(&compiled.rewritten, &tags));
 
     println!("=== Paper Fig. 2: buffer contents while evaluating ===\n");
-    let log: Rc<RefCell<Vec<(String, String)>>> = Rc::new(RefCell::new(Vec::new()));
+    let log: Arc<Mutex<Vec<(String, String)>>> = Arc::new(Mutex::new(Vec::new()));
     let sink = log.clone();
-    let out: Rc<RefCell<Vec<u8>>> = Rc::new(RefCell::new(Vec::new()));
+    let out: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
 
-    struct SharedOut(Rc<RefCell<Vec<u8>>>);
+    struct SharedOut(Arc<Mutex<Vec<u8>>>);
     impl std::io::Write for SharedOut {
         fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-            self.0.borrow_mut().extend_from_slice(buf);
+            self.0.lock().unwrap().extend_from_slice(buf);
             Ok(buf.len())
         }
         fn flush(&mut self) -> std::io::Result<()> {
@@ -57,15 +56,16 @@ fn main() {
     );
     let out_for_trace = out.clone();
     engine.set_tracer(Box::new(move |ev| {
-        let output = String::from_utf8_lossy(&out_for_trace.borrow()).into_owned();
-        sink.borrow_mut()
+        let output = String::from_utf8_lossy(&out_for_trace.lock().unwrap()).into_owned();
+        sink.lock()
+            .unwrap()
             .push((format!("{:<24} out: {output}", ev.label), ev.buffer.clone()));
     }));
     let report = engine.run().expect("run");
 
     let mut last_buffer = String::new();
     let mut step = 0;
-    for (label, buffer) in log.borrow().iter() {
+    for (label, buffer) in log.lock().unwrap().iter() {
         // Only print steps where the buffer changed (Fig. 2 shows those).
         if *buffer != last_buffer {
             step += 1;
@@ -75,7 +75,10 @@ fn main() {
         }
     }
 
-    println!("\nFinal output: {}", String::from_utf8_lossy(&out.borrow()));
+    println!(
+        "\nFinal output: {}",
+        String::from_utf8_lossy(&out.lock().unwrap())
+    );
     println!(
         "Peak buffered nodes: {} — all roles returned: {:?}",
         report.stats.peak_nodes, report.safety

@@ -4,8 +4,7 @@
 use gcx::query::{compile, pretty_query, CompileOptions};
 use gcx::xml::TagInterner;
 use gcx::{EngineOptions, GcxEngine};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 const INTRO_QUERY: &str = r#"<r>{
     for $bib in /bib return
@@ -39,7 +38,7 @@ fn fig2_active_gc_trace() {
     let mut tags = TagInterner::new();
     let compiled = compile(INTRO_QUERY, &mut tags, CompileOptions::plain()).unwrap();
     let xml = "<bib><book><title/><author/></book><book><title/><price>1</price></book></bib>";
-    let log: Rc<RefCell<Vec<String>>> = Rc::new(RefCell::new(Vec::new()));
+    let log: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
     let sink = log.clone();
     let mut engine = GcxEngine::new(
         &compiled,
@@ -49,10 +48,10 @@ fn fig2_active_gc_trace() {
         EngineOptions::default(),
     );
     engine.set_tracer(Box::new(move |ev| {
-        sink.borrow_mut().push(ev.buffer.clone());
+        sink.lock().unwrap().push(ev.buffer.clone());
     }));
     let report = engine.run().expect("run");
-    let log = log.borrow();
+    let log = log.lock().unwrap();
 
     // Role map (plain pipeline): r0=$bib(≙paper r2), r1=$x(r3),
     // r2=exists price[1](r4), r3=output $x dos(r5), r4=$b(r6),
